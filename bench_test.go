@@ -1,0 +1,197 @@
+package skueue
+
+// Benchmark harness: one benchmark per figure and experiment of the
+// paper's evaluation (see DESIGN.md §4). Each benchmark regenerates the
+// corresponding data series at bench scale and reports the headline
+// quantity via ReportMetric, so `go test -bench=. -benchmem` reproduces
+// the shape of every figure. cmd/skueue-experiments prints the full
+// series (and -full runs paper-scale sizes).
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"skueue/internal/batch"
+	"skueue/internal/core"
+	"skueue/internal/harness"
+	"skueue/internal/workload"
+)
+
+// benchOpts are small enough for the benchmark loop but large enough to
+// show the figures' shapes.
+func benchOpts() harness.Options {
+	return harness.Options{
+		Seed:        1,
+		Sizes:       []int{64, 256},
+		Ratios:      []float64{0, 0.5, 1.0},
+		Probs:       []float64{0.1, 0.5, 1.0},
+		Rounds:      100,
+		ReqPerRound: 10,
+		Fig4N:       128,
+		MaxDrain:    100000,
+	}
+}
+
+// reportFigure publishes every point of a figure as bench metrics. Metric
+// units must not contain whitespace, so labels are kebab-cased.
+func reportFigure(b *testing.B, f harness.Figure) {
+	b.Helper()
+	for _, s := range f.Series {
+		label := strings.ReplaceAll(s.Label, " ", "-")
+		for _, p := range s.Points {
+			b.ReportMetric(p.Y, fmt.Sprintf("%s/x=%g", label, p.X))
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates paper Fig. 2: queue latency vs n for
+// several enqueue ratios.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := harness.Figure2(benchOpts())
+		if i == b.N-1 {
+			reportFigure(b, f)
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates paper Fig. 3: stack latency vs n.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := harness.Figure3(benchOpts())
+		if i == b.N-1 {
+			reportFigure(b, f)
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates paper Fig. 4: queue vs stack under growing
+// per-node request probability.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := harness.Figure4(benchOpts())
+		if i == b.N-1 {
+			reportFigure(b, f)
+		}
+	}
+}
+
+// BenchmarkBatchSize regenerates E4 (Theorems 18 and 20): max batch size
+// under one request per node per round.
+func BenchmarkBatchSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := harness.BatchSizes(benchOpts())
+		if i == b.N-1 {
+			reportFigure(b, f)
+		}
+	}
+}
+
+// BenchmarkFairness regenerates E5 (Lemma 4 / Corollary 19): DHT load
+// balance.
+func BenchmarkFairness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := harness.Fairness(benchOpts())
+		if i == b.N-1 {
+			reportFigure(b, f)
+		}
+	}
+}
+
+// BenchmarkStageBreakdown regenerates E6: measured latency vs the paper's
+// 3·ATH + DHT decomposition.
+func BenchmarkStageBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := harness.StageBreakdown(benchOpts())
+		if i == b.N-1 {
+			reportFigure(b, f)
+		}
+	}
+}
+
+// BenchmarkChurnPhases regenerates E7 (Theorem 17): time for join/leave
+// bursts to settle.
+func BenchmarkChurnPhases(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := harness.ChurnPhases(benchOpts())
+		if i == b.N-1 {
+			reportFigure(b, f)
+		}
+	}
+}
+
+// BenchmarkBaseline regenerates E8: Skueue vs the centralized server queue
+// under a total load growing with n.
+func BenchmarkBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := harness.Baseline(benchOpts())
+		if i == b.N-1 {
+			reportFigure(b, f)
+		}
+	}
+}
+
+// BenchmarkProtocolRound measures the raw cost of simulating one
+// synchronous round of an idle 1000-process system — the unit everything
+// above is built from.
+func BenchmarkProtocolRound(b *testing.B) {
+	cl, err := core.New(core.Config{Processes: 1000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl.Run(100) // warm the waves up
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl.Step()
+	}
+}
+
+// BenchmarkThroughput measures end-to-end operation throughput (requests
+// per simulated wall-second of this host) at a moderate size.
+func BenchmarkThroughput(b *testing.B) {
+	cl, err := core.New(core.Config{Processes: 256, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := workload.New(cl, workload.Spec{
+		Rounds: 1 << 30, RequestsPerRound: 10, EnqRatio: 0.5,
+	}, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Step()
+	}
+	b.StopTimer()
+	if !cl.Drain(1_000_000) {
+		b.Fatal("drain failed")
+	}
+	if err := cl.CheckConsistency(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(cl.Finished())/b.Elapsed().Seconds(), "requests/s")
+}
+
+// BenchmarkStackCombiningAblation quantifies §VI local combining: ops per
+// second with and without combining at full request rate (the uncombined
+// stack is also unsound — see DESIGN.md §6 — so it runs the queue-safe
+// load shape only briefly).
+func BenchmarkStackCombiningAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cl, err := core.New(core.Config{Processes: 64, Seed: 4, Mode: batch.Stack})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen, _ := workload.New(cl, workload.Spec{Rounds: 100, PerNodeProb: 1.0, EnqRatio: 0.5}, 5)
+		if !gen.Run(100000) {
+			b.Fatal("drain failed")
+		}
+		if i == b.N-1 {
+			st := cl.Metrics()
+			b.ReportMetric(float64(st.CombinedOps), "combined-ops")
+			b.ReportMetric(float64(st.MaxBatchRuns), "max-batch-runs")
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Command skueue-experiments regenerates the paper's evaluation figures
+// and the additional experiments from DESIGN.md §4.
+//
+//	skueue-experiments -fig all          # quick, laptop-sized sweep
+//	skueue-experiments -fig fig2 -full   # paper-scale (slow)
+//
+// Experiments: fig2, fig3, fig4 (the paper's figures), batchsize (Thm 18 /
+// Thm 20), fairness (Lemma 4), stages (§VII-B decomposition), churn
+// (Thm 17), baseline (central-server comparison).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"skueue/internal/harness"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "experiment id or 'all' ("+strings.Join(harness.IDs(), ", ")+")")
+		full   = flag.Bool("full", false, "paper-scale sizes (n up to 100000, 1000 rounds)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		sizes  = flag.String("sizes", "", "comma-separated process counts (overrides preset)")
+		rounds = flag.Int("rounds", 0, "request generation rounds (overrides preset)")
+		csv    = flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
+	)
+	flag.Parse()
+
+	o := harness.Defaults(*full)
+	o.Seed = *seed
+	if *sizes != "" {
+		o.Sizes = nil
+		for _, s := range strings.Split(*sizes, ",") {
+			var v int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &v); err != nil || v < 1 {
+				fmt.Fprintf(os.Stderr, "bad -sizes entry %q\n", s)
+				os.Exit(2)
+			}
+			o.Sizes = append(o.Sizes, v)
+		}
+	}
+	if *rounds > 0 {
+		o.Rounds = *rounds
+	}
+
+	run := func(id string) {
+		gen, ok := harness.All()[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s\n", id, strings.Join(harness.IDs(), ", "))
+			os.Exit(2)
+		}
+		f := gen(o)
+		if *csv {
+			fmt.Print(f.CSV())
+			return
+		}
+		fmt.Println(f.Render())
+	}
+
+	if *fig == "all" {
+		for _, id := range harness.IDs() {
+			run(id)
+		}
+		return
+	}
+	run(*fig)
+}

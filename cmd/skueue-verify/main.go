@@ -1,0 +1,96 @@
+// Command skueue-verify tortures the protocol for sequential consistency:
+// many seeds of adversarial asynchronous schedules with churn, for both
+// the queue and the stack, each execution checked against Definition 1.
+// With -stack-no-wait it instead demonstrates the §VI counterexample by
+// disabling the stage-4 completion wait and counting how many seeds
+// violate consistency (E9 in DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"skueue/internal/batch"
+	"skueue/internal/core"
+	"skueue/internal/xrand"
+)
+
+func runSeed(mode batch.Mode, seed int64, churn, noWait bool) (drained bool, err error) {
+	cl, e := core.New(core.Config{
+		Processes: 4, Seed: seed, Mode: mode,
+		Async: true, MaxDelay: 16, TimeoutEvery: 5,
+		DisableStage4Wait: noWait, DisableLocalCombining: noWait,
+	})
+	if e != nil {
+		return false, e
+	}
+	rng := xrand.New(seed)
+	cl.Run(10)
+	for burst := 0; burst < 25; burst++ {
+		clients := cl.ActiveClients()
+		c := clients[rng.Intn(len(clients))]
+		if rng.Bool(0.5) {
+			cl.Enqueue(c)
+		} else {
+			cl.Dequeue(c)
+		}
+		if churn {
+			switch burst {
+			case 8:
+				cl.JoinProcess(0)
+			case 16:
+				cl.LeaveProcess(2)
+			}
+		}
+		cl.Run(int64(2 + rng.Intn(25)))
+	}
+	if !cl.Drain(500000) {
+		return false, nil
+	}
+	return true, cl.CheckConsistency()
+}
+
+func main() {
+	var (
+		seeds  = flag.Int("seeds", 50, "number of seeds per configuration")
+		noWait = flag.Bool("stack-no-wait", false, "demonstrate the §VI counterexample instead")
+	)
+	flag.Parse()
+
+	if *noWait {
+		violations := 0
+		for s := int64(0); s < int64(*seeds); s++ {
+			drained, err := runSeed(batch.Stack, s, false, true)
+			if !drained || err != nil {
+				violations++
+			}
+		}
+		fmt.Printf("stack WITHOUT stage-4 wait: %d/%d seeds violated sequential consistency\n", violations, *seeds)
+		fmt.Println("(each violation is a stuck or misdelivered pop — exactly the race §VI's fix prevents)")
+		return
+	}
+
+	fail := 0
+	for _, mode := range []batch.Mode{batch.Queue, batch.Stack} {
+		for _, churn := range []bool{false, true} {
+			for s := int64(0); s < int64(*seeds); s++ {
+				drained, err := runSeed(mode, s, churn, false)
+				switch {
+				case !drained:
+					fmt.Printf("FAIL %s churn=%v seed=%d: did not drain\n", mode, churn, s)
+					fail++
+				case err != nil:
+					fmt.Printf("FAIL %s churn=%v seed=%d: %v\n", mode, churn, s, err)
+					fail++
+				}
+			}
+			fmt.Printf("%s churn=%v: %d seeds checked\n", mode, churn, *seeds)
+		}
+	}
+	if fail > 0 {
+		fmt.Printf("%d configurations violated sequential consistency\n", fail)
+		os.Exit(1)
+	}
+	fmt.Println("all executions sequentially consistent (Definition 1)")
+}

@@ -1,0 +1,55 @@
+// Distributed mutual exclusion (paper §I): the queue's global FIFO order
+// hands out a critical section fairly. Each contender enqueues its own
+// token; whoever's token reaches the front holds the lock, dequeues it on
+// release, and the next token in FIFO order takes over. Sequential
+// consistency guarantees a single global handover order.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"skueue"
+)
+
+func main() {
+	const contenders = 5
+	sys, err := skueue.New(skueue.Config{Processes: contenders, Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Every contender requests the lock by enqueuing its id.
+	for p := 0; p < contenders; p++ {
+		sys.Enqueue(p, p)
+	}
+	if !sys.Drain(50_000) {
+		log.Fatal("lock requests did not finish")
+	}
+
+	// The token at the queue head owns the critical section. Releasing =
+	// dequeuing the head; the dequeue result tells everyone who just ran.
+	fmt.Println("critical-section schedule (FIFO = request order):")
+	var order []any
+	for i := 0; i < contenders; i++ {
+		h := sys.Dequeue(i) // the releasing process advances the queue
+		if !sys.Drain(50_000) {
+			log.Fatal("handover did not finish")
+		}
+		order = append(order, h.Value())
+		fmt.Printf("  slot %d: process %v enters and leaves the critical section\n", i, h.Value())
+	}
+
+	// No process ran twice, and the schedule respects enqueue order.
+	seen := map[any]bool{}
+	for _, p := range order {
+		if seen[p] {
+			log.Fatalf("process %v scheduled twice — mutual exclusion broken", p)
+		}
+		seen[p] = true
+	}
+	if err := sys.Check(); err != nil {
+		log.Fatalf("consistency: %v", err)
+	}
+	fmt.Println("mutual exclusion schedule is a total order — verified")
+}

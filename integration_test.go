@@ -1,0 +1,114 @@
+package skueue
+
+// End-to-end integration tests through the public API: both data
+// structures, both message-passing models, with churn, always finishing
+// with a Definition 1 verification of the complete history.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestIntegrationQueueAsyncChurn(t *testing.T) {
+	sys, err := New(Config{Processes: 4, Seed: 21, Async: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deqs []*Handle
+	procs := []int{0, 1, 2, 3}
+	for phase := 0; phase < 3; phase++ {
+		for i := 0; i < 5; i++ {
+			sys.Enqueue(procs[i%len(procs)], fmt.Sprintf("p%d-%d", phase, i))
+		}
+		if !sys.Drain(200_000) {
+			t.Fatalf("phase %d enqueues did not drain", phase)
+		}
+		switch phase {
+		case 0:
+			sys.Join(1)
+		case 1:
+			sys.Leave(2)
+			procs = []int{0, 1, 3} // process 2 is gone
+		}
+		if !sys.Settle(400_000) {
+			t.Fatalf("phase %d churn did not settle", phase)
+		}
+		for i := 0; i < 5; i++ {
+			deqs = append(deqs, sys.Dequeue(0))
+		}
+		if !sys.Drain(200_000) {
+			t.Fatalf("phase %d dequeues did not drain", phase)
+		}
+	}
+	for i, d := range deqs {
+		if d.Empty() {
+			t.Fatalf("dequeue %d lost its element", i)
+		}
+	}
+	if err := sys.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntegrationStackSyncChurn(t *testing.T) {
+	sys, err := New(Config{Processes: 4, Seed: 22, Mode: Stack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		sys.Push(i%4, i)
+	}
+	if !sys.Drain(100_000) {
+		t.Fatal("pushes did not drain")
+	}
+	p := sys.Join(0)
+	if !sys.Settle(200_000) {
+		t.Fatal("join did not settle")
+	}
+	// The joiner pops everything; values must be the pushed set.
+	got := map[any]bool{}
+	for i := 0; i < 8; i++ {
+		h := sys.Pop(p)
+		if !sys.Drain(100_000) {
+			t.Fatal("pop did not drain")
+		}
+		if h.Empty() {
+			t.Fatalf("pop %d empty", i)
+		}
+		if got[h.Value()] {
+			t.Fatalf("value %v popped twice", h.Value())
+		}
+		got[h.Value()] = true
+	}
+	if err := sys.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntegrationManySeedsMixed(t *testing.T) {
+	// A compact cross-product soak: mode × scheduler over several seeds.
+	for _, mode := range []Mode{Queue, Stack} {
+		for _, async := range []bool{false, true} {
+			for seed := int64(30); seed < 33; seed++ {
+				sys, err := New(Config{Processes: 3, Seed: seed, Mode: mode, Async: async})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < 12; i++ {
+					if i%3 == 0 {
+						sys.Dequeue(i % 3)
+					} else {
+						sys.Enqueue(i%3, i)
+					}
+					sys.Run(7)
+				}
+				if !sys.Drain(300_000) {
+					t.Fatalf("mode=%v async=%v seed=%d did not drain", mode, async, seed)
+				}
+				if err := sys.Check(); err != nil {
+					t.Fatalf("mode=%v async=%v seed=%d: %v", mode, async, seed, err)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package baseline
+
+import "testing"
+
+func TestServerFIFO(t *testing.T) {
+	cl := New(Config{Clients: 2, Capacity: 10, Seed: 1})
+	cl.Enqueue(0)
+	cl.Enqueue(0)
+	cl.Dequeue(1)
+	cl.Dequeue(1)
+	if !cl.Drain(100) {
+		t.Fatalf("did not drain")
+	}
+	if cl.Finished() != 4 {
+		t.Fatalf("finished %d", cl.Finished())
+	}
+}
+
+func TestLatencyLowUnderCapacity(t *testing.T) {
+	cl := New(Config{Clients: 4, Capacity: 100, Seed: 2})
+	for i := 0; i < 50; i++ {
+		cl.Enqueue(i % 4)
+		cl.Step()
+	}
+	if !cl.Drain(1000) {
+		t.Fatalf("did not drain")
+	}
+	if avg := cl.AvgRounds(); avg > 5 {
+		t.Fatalf("uncontended latency %v too high", avg)
+	}
+}
+
+func TestBacklogExplodesPastCapacity(t *testing.T) {
+	// Offered load 20/round vs capacity 5: latency grows with run length.
+	runAvg := func(rounds int) float64 {
+		cl := New(Config{Clients: 20, Capacity: 5, Seed: 3})
+		for r := 0; r < rounds; r++ {
+			for c := 0; c < 20; c++ {
+				cl.Enqueue(c)
+			}
+			cl.Step()
+		}
+		if !cl.Drain(100000) {
+			t.Fatalf("did not drain")
+		}
+		return cl.AvgRounds()
+	}
+	short, long := runAvg(20), runAvg(80)
+	if long < short*2 {
+		t.Fatalf("saturated server latency should grow with load duration: %v -> %v", short, long)
+	}
+}
+
+func TestCapacityDefault(t *testing.T) {
+	cl := New(Config{Clients: 1, Seed: 4})
+	cl.Enqueue(0)
+	if !cl.Drain(100) {
+		t.Fatalf("default capacity should process requests")
+	}
+}
+
+func TestDequeueEmptyAnswers(t *testing.T) {
+	cl := New(Config{Clients: 1, Capacity: 5, Seed: 5})
+	cl.Dequeue(0)
+	if !cl.Drain(100) || cl.Finished() != 1 {
+		t.Fatalf("empty dequeue must still be answered")
+	}
+}

@@ -1,0 +1,351 @@
+// Package batch implements the operation-batch algebra of the paper:
+// run-length encoded batches (Definition 5), batch combination, the
+// anchor's position-interval assignment (§III-D for the queue, §VI for the
+// stack), the recursive interval decomposition of Stage 3 (§III-E), and
+// the join/leave counters of §IV. It also threads through the value()
+// ranks of §V, which define the witness total order ≺ used to verify
+// sequential consistency, and the ticket counters of the stack variant.
+//
+// Everything here is pure data manipulation with no I/O; the protocol
+// packages drive it from their message handlers.
+package batch
+
+import "fmt"
+
+// Mode selects the data-structure semantics: FIFO queue or LIFO stack.
+type Mode uint8
+
+// The two data structures of the paper.
+const (
+	Queue Mode = iota
+	Stack
+)
+
+func (m Mode) String() string {
+	if m == Stack {
+		return "stack"
+	}
+	return "queue"
+}
+
+// Batch is a sequence of operation runs (Definition 5): Runs[i-1] is the
+// paper's op_i; odd 1-based indices are enqueue (push) run lengths, even
+// indices are dequeue (pop) run lengths. J and L count the JOIN and LEAVE
+// requests the batch reports towards the anchor (§IV).
+//
+// The stack variant always uses the canonical shape (0, pops, pushes)
+// so that combining batches keeps every pop ordered before every push of
+// the same aggregation wave (Theorem 20 and the §VI asynchrony fix rely on
+// this).
+type Batch struct {
+	Runs []int64
+	J, L int64
+}
+
+// IsDeqIndex reports whether 0-based run index i holds dequeues.
+func IsDeqIndex(i int) bool { return i%2 == 1 }
+
+// Empty reports whether the batch carries nothing at all: no operations
+// and no join/leave counts. It corresponds to the paper's empty batch (0).
+func (b Batch) Empty() bool {
+	if b.J != 0 || b.L != 0 {
+		return false
+	}
+	for _, r := range b.Runs {
+		if r != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NumOps returns the total number of queue operations in the batch.
+func (b Batch) NumOps() int64 {
+	var n int64
+	for _, r := range b.Runs {
+		n += r
+	}
+	return n
+}
+
+// NumEnqueues returns the number of enqueue (push) operations.
+func (b Batch) NumEnqueues() int64 {
+	var n int64
+	for i := 0; i < len(b.Runs); i += 2 {
+		n += b.Runs[i]
+	}
+	return n
+}
+
+// NumDequeues returns the number of dequeue (pop) operations.
+func (b Batch) NumDequeues() int64 {
+	var n int64
+	for i := 1; i < len(b.Runs); i += 2 {
+		n += b.Runs[i]
+	}
+	return n
+}
+
+// Size is a rough message-size measure: the number of run entries
+// (Theorem 18 bounds it by O(log n) under one request per node per round).
+func (b Batch) Size() int { return len(b.Runs) }
+
+// AppendEnqueue records one locally generated enqueue, preserving the
+// local generation order (§III-A): extend the last run if it is an
+// enqueue run, else open a new one.
+func (b *Batch) AppendEnqueue() {
+	if len(b.Runs)%2 == 1 {
+		b.Runs[len(b.Runs)-1]++
+		return
+	}
+	b.Runs = append(b.Runs, 1)
+}
+
+// AppendDequeue records one locally generated dequeue.
+func (b *Batch) AppendDequeue() {
+	if n := len(b.Runs); n > 0 && n%2 == 0 {
+		b.Runs[n-1]++
+		return
+	}
+	if len(b.Runs) == 0 {
+		// The batch must start with an (empty) enqueue run so that the
+		// dequeue lands on an even 1-based index.
+		b.Runs = append(b.Runs, 0)
+	}
+	b.Runs = append(b.Runs, 1)
+}
+
+// MakeStack builds the canonical stack batch (0, pops, pushes), trimming
+// trailing zero runs.
+func MakeStack(pops, pushes int64) Batch {
+	switch {
+	case pops == 0 && pushes == 0:
+		return Batch{}
+	case pushes == 0:
+		return Batch{Runs: []int64{0, pops}}
+	default:
+		return Batch{Runs: []int64{0, pops, pushes}}
+	}
+}
+
+// Combine merges batches element-wise (§III-A): run i of the result is the
+// sum of runs i, and the join/leave counters add up. The order of the
+// arguments is the sub-batch order later used by Decompose; it determines
+// the relative serialization of the sub-batches' operations.
+func Combine(bs ...Batch) Batch {
+	var out Batch
+	for _, b := range bs {
+		if len(b.Runs) > len(out.Runs) {
+			out.Runs = append(out.Runs, make([]int64, len(b.Runs)-len(out.Runs))...)
+		}
+		for i, r := range b.Runs {
+			out.Runs[i] += r
+		}
+		out.J += b.J
+		out.L += b.L
+	}
+	return out
+}
+
+func (b Batch) String() string {
+	return fmt.Sprintf("B%v{j=%d,l=%d}", b.Runs, b.J, b.L)
+}
+
+// Clone returns a deep copy.
+func (b Batch) Clone() Batch {
+	return Batch{Runs: append([]int64(nil), b.Runs...), J: b.J, L: b.L}
+}
+
+// Interval is an inclusive range of DHT positions; it is empty when
+// Hi < Lo (canonically Hi == Lo-1, the paper's x_i = y_i + 1 case).
+type Interval struct {
+	Lo, Hi int64
+}
+
+// Len returns the number of positions in the interval.
+func (iv Interval) Len() int64 {
+	if iv.Hi < iv.Lo {
+		return 0
+	}
+	return iv.Hi - iv.Lo + 1
+}
+
+// Empty reports whether the interval holds no position.
+func (iv Interval) Empty() bool { return iv.Hi < iv.Lo }
+
+func (iv Interval) String() string { return fmt.Sprintf("[%d,%d]", iv.Lo, iv.Hi) }
+
+// RunAssign is the assignment the anchor computes for one run of a batch
+// (Stage 2) and that Stage 3 decomposes down the tree: the position
+// interval, the value() rank of the run's first operation (§V), and for
+// the stack the ticket base (pushes) or ticket bound (pops) of §VI.
+type RunAssign struct {
+	Iv        Interval
+	ValueBase int64
+	Ticket    int64
+}
+
+// AnchorState is the state the anchor maintains across waves: the occupied
+// position window [First,Last] with the invariant First <= Last+1 (queue;
+// the stack uses only Last), the value counter c of §V, and the
+// monotonically increasing ticket counter of §VI.
+type AnchorState struct {
+	First  int64
+	Last   int64
+	Value  int64
+	Ticket int64
+}
+
+// NewAnchorState returns the initial state: empty structure, positions
+// starting at 1, value counter starting at 1 (§V).
+func NewAnchorState() AnchorState {
+	return AnchorState{First: 1, Last: 0, Value: 1, Ticket: 0}
+}
+
+// Size returns the current number of stored elements.
+func (st AnchorState) Size() int64 { return st.Last - st.First + 1 }
+
+// CheckInvariant panics if the queue invariant First <= Last+1 is broken;
+// the protocol calls it after every assignment as a self-check.
+func (st *AnchorState) CheckInvariant() {
+	if st.First > st.Last+1 {
+		panic(fmt.Sprintf("batch: anchor invariant violated: first=%d last=%d", st.First, st.Last))
+	}
+}
+
+// Assign performs Stage 2 at the anchor: one RunAssign per run of b, in
+// index order, updating the anchor state. Queue semantics follow §III-D;
+// stack semantics follow §VI (pops consume descending from Last, pushes
+// get fresh positions and tickets).
+func (st *AnchorState) Assign(mode Mode, b Batch) []RunAssign {
+	out := make([]RunAssign, len(b.Runs))
+	for i, k := range b.Runs {
+		ra := RunAssign{ValueBase: st.Value}
+		st.Value += k
+		if !IsDeqIndex(i) {
+			// Enqueue / push run: fresh positions above Last.
+			ra.Iv = Interval{Lo: st.Last + 1, Hi: st.Last + k}
+			ra.Ticket = st.Ticket + 1
+			st.Ticket += k
+			st.Last += k
+		} else if mode == Queue {
+			// Dequeue run: consume ascending from First.
+			hi := st.First + k - 1
+			if hi > st.Last {
+				hi = st.Last
+			}
+			ra.Iv = Interval{Lo: st.First, Hi: hi}
+			st.First = min64(st.First+k, st.Last+1)
+		} else {
+			// Pop run: consume descending from Last; the interval is
+			// stored ascending, consumers take it from Hi downward. All
+			// pops of the run share the current ticket as their bound.
+			lo := st.Last - k + 1
+			if lo < 1 {
+				lo = 1
+			}
+			ra.Iv = Interval{Lo: lo, Hi: st.Last}
+			ra.Ticket = st.Ticket
+			st.Last -= k
+			if st.Last < 0 {
+				st.Last = 0
+			}
+			if st.First > st.Last+1 {
+				st.First = st.Last + 1
+			}
+		}
+		out[i] = ra
+	}
+	st.CheckInvariant()
+	return out
+}
+
+// Decompose carves the prefix of each run assignment for one sub-batch
+// (Stage 3, §III-E). It mutates assigns — the remaining suffixes stay for
+// the following sub-batches — and returns the sub-batch's own run
+// assignments, aligned with sub.Runs.
+func Decompose(mode Mode, assigns []RunAssign, sub Batch) []RunAssign {
+	out := make([]RunAssign, len(sub.Runs))
+	for i, k := range sub.Runs {
+		a := &assigns[i]
+		ra := RunAssign{ValueBase: a.ValueBase, Ticket: a.Ticket}
+		a.ValueBase += k
+		switch {
+		case !IsDeqIndex(i):
+			// Enqueue / push run: exact prefix of length k.
+			ra.Iv = Interval{Lo: a.Iv.Lo, Hi: a.Iv.Lo + k - 1}
+			a.Iv.Lo += k
+			a.Ticket += k
+		case mode == Queue:
+			// Dequeue run: prefix of length at most k; the rest of the
+			// sub-run returns ⊥ (paper: [x_i, min{x_i+op_i-1, y_i}]).
+			hi := a.Iv.Lo + k - 1
+			if hi > a.Iv.Hi {
+				hi = a.Iv.Hi
+			}
+			ra.Iv = Interval{Lo: a.Iv.Lo, Hi: hi}
+			a.Iv.Lo = min64(a.Iv.Lo+k, a.Iv.Hi+1)
+		default:
+			// Pop run: suffix of length at most k, consumed from the top.
+			lo := a.Iv.Hi - k + 1
+			if lo < a.Iv.Lo {
+				lo = a.Iv.Lo
+			}
+			ra.Iv = Interval{Lo: lo, Hi: a.Iv.Hi}
+			a.Iv.Hi = max64(a.Iv.Hi-k, a.Iv.Lo-1)
+		}
+		out[i] = ra
+	}
+	return out
+}
+
+// OpAssign is one operation's final assignment: its DHT position (or
+// NoPosition for a ⊥ dequeue), its value() rank, and its ticket (stack:
+// the push's ticket, or the pop's inclusive upper bound).
+type OpAssign struct {
+	Pos    int64
+	Value  int64
+	Ticket int64
+}
+
+// NoPosition marks a dequeue that returns ⊥ without touching the DHT.
+const NoPosition int64 = -1
+
+// Expand lists the per-operation assignments of one run of length k owned
+// by a single node. For queue runs positions ascend from Iv.Lo; for stack
+// pop runs they descend from Iv.Hi (the first pop takes the top). The
+// operations beyond the interval capacity are ⊥ dequeues.
+func Expand(mode Mode, runIndex int, ra RunAssign, k int64) []OpAssign {
+	out := make([]OpAssign, k)
+	avail := ra.Iv.Len()
+	for j := int64(0); j < k; j++ {
+		oa := OpAssign{Value: ra.ValueBase + j, Ticket: ra.Ticket}
+		switch {
+		case !IsDeqIndex(runIndex):
+			oa.Pos = ra.Iv.Lo + j
+			oa.Ticket = ra.Ticket + j
+		case j >= avail:
+			oa.Pos = NoPosition
+		case mode == Queue:
+			oa.Pos = ra.Iv.Lo + j
+		default:
+			oa.Pos = ra.Iv.Hi - j
+		}
+		out[j] = oa
+	}
+	return out
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

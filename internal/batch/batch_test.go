@@ -1,0 +1,492 @@
+package batch
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"skueue/internal/xrand"
+)
+
+func TestAppendAlternation(t *testing.T) {
+	var b Batch
+	b.AppendEnqueue()
+	b.AppendEnqueue()
+	b.AppendDequeue()
+	b.AppendDequeue()
+	b.AppendDequeue()
+	b.AppendEnqueue()
+	want := []int64{2, 3, 1}
+	if !reflect.DeepEqual(b.Runs, want) {
+		t.Fatalf("runs = %v, want %v", b.Runs, want)
+	}
+}
+
+func TestAppendDequeueFirst(t *testing.T) {
+	var b Batch
+	b.AppendDequeue()
+	if !reflect.DeepEqual(b.Runs, []int64{0, 1}) {
+		t.Fatalf("runs = %v, want [0 1]", b.Runs)
+	}
+	b.AppendDequeue()
+	if !reflect.DeepEqual(b.Runs, []int64{0, 2}) {
+		t.Fatalf("runs = %v, want [0 2]", b.Runs)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	b := Batch{Runs: []int64{2, 3, 1, 4}}
+	if b.NumEnqueues() != 3 || b.NumDequeues() != 7 || b.NumOps() != 10 {
+		t.Fatalf("counts wrong: %d/%d/%d", b.NumEnqueues(), b.NumDequeues(), b.NumOps())
+	}
+	if b.Size() != 4 {
+		t.Fatalf("size = %d", b.Size())
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if !(Batch{}).Empty() {
+		t.Errorf("zero batch should be empty")
+	}
+	if !(Batch{Runs: []int64{0, 0}}).Empty() {
+		t.Errorf("all-zero runs should be empty")
+	}
+	if (Batch{J: 1}).Empty() || (Batch{L: 1}).Empty() {
+		t.Errorf("join/leave counters make a batch non-empty")
+	}
+	if (Batch{Runs: []int64{1}}).Empty() {
+		t.Errorf("batch with ops is not empty")
+	}
+}
+
+func TestCombine(t *testing.T) {
+	a := Batch{Runs: []int64{1, 2}, J: 1}
+	b := Batch{Runs: []int64{0, 1, 3}, L: 2}
+	c := Combine(a, b)
+	if !reflect.DeepEqual(c.Runs, []int64{1, 3, 3}) || c.J != 1 || c.L != 2 {
+		t.Fatalf("combine wrong: %v", c)
+	}
+}
+
+func TestCombineAssociativeCommutative(t *testing.T) {
+	// As pure element-wise sums, batch values are associative and
+	// commutative (the sub-batch order only matters for Decompose).
+	gen := func(r *xrand.RNG) Batch {
+		runs := make([]int64, r.Intn(5))
+		for i := range runs {
+			runs[i] = int64(r.Intn(4))
+		}
+		return Batch{Runs: runs, J: int64(r.Intn(3)), L: int64(r.Intn(3))}
+	}
+	r := xrand.New(42)
+	for trial := 0; trial < 200; trial++ {
+		a, b, c := gen(r), gen(r), gen(r)
+		ab_c := Combine(Combine(a, b), c)
+		a_bc := Combine(a, Combine(b, c))
+		if !equalBatch(ab_c, a_bc) {
+			t.Fatalf("not associative: %v %v %v", a, b, c)
+		}
+		if !equalBatch(Combine(a, b), Combine(b, a)) {
+			t.Fatalf("not commutative: %v %v", a, b)
+		}
+	}
+}
+
+func equalBatch(a, b Batch) bool {
+	if a.J != b.J || a.L != b.L {
+		return false
+	}
+	n := len(a.Runs)
+	if len(b.Runs) > n {
+		n = len(b.Runs)
+	}
+	at := func(rs []int64, i int) int64 {
+		if i < len(rs) {
+			return rs[i]
+		}
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		if at(a.Runs, i) != at(b.Runs, i) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMakeStack(t *testing.T) {
+	if !MakeStack(0, 0).Empty() {
+		t.Errorf("MakeStack(0,0) should be empty")
+	}
+	if got := MakeStack(2, 0).Runs; !reflect.DeepEqual(got, []int64{0, 2}) {
+		t.Errorf("MakeStack(2,0) = %v", got)
+	}
+	if got := MakeStack(2, 3).Runs; !reflect.DeepEqual(got, []int64{0, 2, 3}) {
+		t.Errorf("MakeStack(2,3) = %v", got)
+	}
+	if got := MakeStack(0, 3).Runs; !reflect.DeepEqual(got, []int64{0, 0, 3}) {
+		t.Errorf("MakeStack(0,3) = %v; pushes must stay at index 3", got)
+	}
+}
+
+func TestIntervalBasics(t *testing.T) {
+	if (Interval{Lo: 3, Hi: 5}).Len() != 3 {
+		t.Errorf("len wrong")
+	}
+	if !(Interval{Lo: 3, Hi: 2}).Empty() || (Interval{Lo: 3, Hi: 2}).Len() != 0 {
+		t.Errorf("empty interval wrong")
+	}
+	if (Interval{Lo: 3, Hi: 3}).Empty() {
+		t.Errorf("singleton interval should not be empty")
+	}
+}
+
+func TestAssignQueueExample(t *testing.T) {
+	// Batch (2, 3, 1): 2 enqueues, 3 dequeues, 1 enqueue on an empty queue.
+	st := NewAnchorState()
+	ras := st.Assign(Queue, Batch{Runs: []int64{2, 3, 1}})
+	if ras[0].Iv != (Interval{1, 2}) {
+		t.Errorf("enq run 1 interval %v", ras[0].Iv)
+	}
+	// Dequeues: only positions 1,2 exist; the third gets nothing.
+	if ras[1].Iv != (Interval{1, 2}) {
+		t.Errorf("deq run interval %v", ras[1].Iv)
+	}
+	if ras[2].Iv != (Interval{3, 3}) {
+		t.Errorf("enq run 2 interval %v", ras[2].Iv)
+	}
+	if st.First != 3 || st.Last != 3 || st.Size() != 1 {
+		t.Errorf("anchor state %+v", st)
+	}
+	// Value bases: 1, 3, 6.
+	if ras[0].ValueBase != 1 || ras[1].ValueBase != 3 || ras[2].ValueBase != 6 {
+		t.Errorf("value bases %d %d %d", ras[0].ValueBase, ras[1].ValueBase, ras[2].ValueBase)
+	}
+	if st.Value != 7 {
+		t.Errorf("value counter %d", st.Value)
+	}
+}
+
+func TestAssignQueueEmptyDequeues(t *testing.T) {
+	st := NewAnchorState()
+	ras := st.Assign(Queue, Batch{Runs: []int64{0, 5}})
+	if !ras[1].Iv.Empty() {
+		t.Errorf("dequeues on empty queue should get empty interval, got %v", ras[1].Iv)
+	}
+	if st.First != 1 || st.Last != 0 {
+		t.Errorf("state moved: %+v", st)
+	}
+	st.CheckInvariant()
+}
+
+func TestAssignStack(t *testing.T) {
+	st := NewAnchorState()
+	// Push 3.
+	ras := st.Assign(Stack, MakeStack(0, 3))
+	if ras[2].Iv != (Interval{1, 3}) || ras[2].Ticket != 1 {
+		t.Fatalf("push assign wrong: %+v", ras[2])
+	}
+	// Pop 2, push 1: pops take 3,2 (descending) with bound ticket 3;
+	// push gets position 2 again but fresh ticket 4.
+	ras = st.Assign(Stack, MakeStack(2, 1))
+	if ras[1].Iv != (Interval{2, 3}) || ras[1].Ticket != 3 {
+		t.Fatalf("pop assign wrong: %+v", ras[1])
+	}
+	if ras[2].Iv != (Interval{2, 2}) || ras[2].Ticket != 4 {
+		t.Fatalf("push-after-pop assign wrong: %+v", ras[2])
+	}
+	if st.Last != 2 || st.Ticket != 4 {
+		t.Fatalf("state %+v", st)
+	}
+}
+
+func TestAssignStackUnderflow(t *testing.T) {
+	st := NewAnchorState()
+	st.Assign(Stack, MakeStack(0, 2))
+	ras := st.Assign(Stack, MakeStack(5, 0))
+	if ras[1].Iv != (Interval{1, 2}) {
+		t.Fatalf("pop interval %v, want [1,2]", ras[1].Iv)
+	}
+	if st.Last != 0 {
+		t.Fatalf("stack should be empty, last=%d", st.Last)
+	}
+	st.CheckInvariant()
+}
+
+func TestDecomposePaperExample(t *testing.T) {
+	// Combined dequeue run of 5 with only 3 available positions [3,5].
+	assigns := []RunAssign{{}, {Iv: Interval{3, 5}, ValueBase: 10}}
+	sub1 := Batch{Runs: []int64{0, 2}}
+	sub2 := Batch{Runs: []int64{0, 3}}
+	d1 := Decompose(Queue, assigns, sub1)
+	d2 := Decompose(Queue, assigns, sub2)
+	if d1[1].Iv != (Interval{3, 4}) {
+		t.Errorf("sub1 deq interval %v, want [3,4]", d1[1].Iv)
+	}
+	if d2[1].Iv != (Interval{5, 5}) {
+		t.Errorf("sub2 deq interval %v, want [5,5]", d2[1].Iv)
+	}
+	if d1[1].ValueBase != 10 || d2[1].ValueBase != 12 {
+		t.Errorf("value bases %d %d", d1[1].ValueBase, d2[1].ValueBase)
+	}
+}
+
+func TestDecomposeStackPops(t *testing.T) {
+	// Pop run of 5 on a stack of 3: positions [1,3], first sub-batch pops
+	// from the top.
+	assigns := []RunAssign{{}, {Iv: Interval{1, 3}, ValueBase: 1, Ticket: 9}}
+	d1 := Decompose(Stack, assigns, MakeStack(2, 0))
+	d2 := Decompose(Stack, assigns, MakeStack(3, 0))
+	if d1[1].Iv != (Interval{2, 3}) {
+		t.Errorf("sub1 pops get %v, want [2,3]", d1[1].Iv)
+	}
+	if d2[1].Iv != (Interval{1, 1}) {
+		t.Errorf("sub2 pops get %v, want [1,1]", d2[1].Iv)
+	}
+	if d1[1].Ticket != 9 || d2[1].Ticket != 9 {
+		t.Errorf("pop ticket bounds must pass through")
+	}
+}
+
+func TestExpandQueueDequeueShortfall(t *testing.T) {
+	ra := RunAssign{Iv: Interval{5, 6}, ValueBase: 100}
+	ops := Expand(Queue, 1, ra, 4)
+	wantPos := []int64{5, 6, NoPosition, NoPosition}
+	for i, op := range ops {
+		if op.Pos != wantPos[i] {
+			t.Errorf("op %d pos %d, want %d", i, op.Pos, wantPos[i])
+		}
+		if op.Value != 100+int64(i) {
+			t.Errorf("op %d value %d", i, op.Value)
+		}
+	}
+}
+
+func TestExpandStackPopsDescend(t *testing.T) {
+	ra := RunAssign{Iv: Interval{4, 6}, ValueBase: 50, Ticket: 7}
+	ops := Expand(Stack, 1, ra, 4)
+	wantPos := []int64{6, 5, 4, NoPosition}
+	for i, op := range ops {
+		if op.Pos != wantPos[i] {
+			t.Errorf("pop %d pos %d, want %d", i, op.Pos, wantPos[i])
+		}
+		if op.Ticket != 7 {
+			t.Errorf("pop %d ticket %d, want bound 7", i, op.Ticket)
+		}
+	}
+}
+
+func TestExpandPushTickets(t *testing.T) {
+	ra := RunAssign{Iv: Interval{4, 6}, ValueBase: 1, Ticket: 10}
+	ops := Expand(Stack, 0, ra, 3)
+	for i, op := range ops {
+		if op.Ticket != 10+int64(i) || op.Pos != 4+int64(i) {
+			t.Errorf("push %d = %+v", i, op)
+		}
+	}
+}
+
+func TestInvariantPanics(t *testing.T) {
+	st := AnchorState{First: 5, Last: 2}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("CheckInvariant should panic on first > last+1")
+		}
+	}()
+	st.CheckInvariant()
+}
+
+// opRef identifies an operation in the randomized end-to-end test below.
+type opRef struct {
+	OpAssign
+	deq bool
+}
+
+// runTree simulates an aggregation tree purely at the batch level: leaves
+// hold random batches, inner nodes combine, the root assigns, and
+// decomposition plus expansion yield per-op assignments. It returns all
+// operations from all leaves.
+func runTree(t *testing.T, mode Mode, rng *xrand.RNG, st *AnchorState, leaves int) []opRef {
+	t.Helper()
+	// Random leaf batches.
+	subs := make([]Batch, leaves)
+	for i := range subs {
+		if mode == Queue {
+			var b Batch
+			for k := rng.Intn(6); k > 0; k-- {
+				if rng.Bool(0.5) {
+					b.AppendEnqueue()
+				} else {
+					b.AppendDequeue()
+				}
+			}
+			subs[i] = b
+		} else {
+			subs[i] = MakeStack(int64(rng.Intn(3)), int64(rng.Intn(3)))
+		}
+	}
+	root := Combine(subs...)
+	assigns := st.Assign(mode, root)
+	var ops []opRef
+	for _, sb := range subs {
+		d := Decompose(mode, assigns, sb)
+		for ri, k := range sb.Runs {
+			for _, oa := range Expand(mode, ri, d[ri], k) {
+				ops = append(ops, opRef{OpAssign: oa, deq: IsDeqIndex(ri)})
+			}
+		}
+	}
+	return ops
+}
+
+func TestQueueAlgebraSequentialReplay(t *testing.T) {
+	// The heart of Theorem 14 at the algebra level: ordering all operations
+	// by value() and replaying them against a sequential queue must
+	// reproduce exactly the assigned positions and ⊥ results.
+	rng := xrand.New(2024)
+	for trial := 0; trial < 200; trial++ {
+		st := NewAnchorState()
+		var all []opRef
+		for wave := 0; wave < 4; wave++ {
+			all = append(all, runTree(t, Queue, rng, &st, 1+rng.Intn(6))...)
+		}
+		replayQueue(t, all)
+	}
+}
+
+func replayQueue(t *testing.T, all []opRef) {
+	t.Helper()
+	sortByValue(all)
+	// Values must be unique and consecutive from 1.
+	for i, op := range all {
+		if op.Value != int64(i)+1 {
+			t.Fatalf("value sequence broken at %d: %+v", i, op)
+		}
+	}
+	var fifo []int64 // positions of live elements, FIFO order
+	for _, op := range all {
+		if !op.deq {
+			// Enqueue: must extend with a fresh, strictly increasing pos.
+			if len(fifo) > 0 && op.Pos <= fifo[len(fifo)-1] {
+				t.Fatalf("enqueue position %d not increasing", op.Pos)
+			}
+			fifo = append(fifo, op.Pos)
+			continue
+		}
+		if op.Pos == NoPosition {
+			if len(fifo) != 0 {
+				t.Fatalf("⊥ dequeue while %d elements present", len(fifo))
+			}
+			continue
+		}
+		if len(fifo) == 0 {
+			t.Fatalf("dequeue at pos %d on empty queue", op.Pos)
+		}
+		if fifo[0] != op.Pos {
+			t.Fatalf("dequeue got pos %d, FIFO head is %d", op.Pos, fifo[0])
+		}
+		fifo = fifo[1:]
+	}
+}
+
+func TestStackAlgebraSequentialReplay(t *testing.T) {
+	rng := xrand.New(77)
+	for trial := 0; trial < 200; trial++ {
+		st := NewAnchorState()
+		var all []opRef
+		for wave := 0; wave < 4; wave++ {
+			all = append(all, runTree(t, Stack, rng, &st, 1+rng.Intn(6))...)
+		}
+		replayStack(t, all)
+	}
+}
+
+func replayStack(t *testing.T, all []opRef) {
+	t.Helper()
+	sortByValue(all)
+	type elem struct{ pos, ticket int64 }
+	var stk []elem
+	for _, op := range all {
+		if !op.deq {
+			if int64(len(stk))+1 != op.Pos {
+				t.Fatalf("push pos %d but stack height %d", op.Pos, len(stk))
+			}
+			stk = append(stk, elem{op.Pos, op.Ticket})
+			continue
+		}
+		if op.Pos == NoPosition {
+			if len(stk) != 0 {
+				t.Fatalf("⊥ pop while %d elements present", len(stk))
+			}
+			continue
+		}
+		if len(stk) == 0 {
+			t.Fatalf("pop at pos %d on empty stack", op.Pos)
+		}
+		top := stk[len(stk)-1]
+		if top.pos != op.Pos {
+			t.Fatalf("pop got pos %d, top is %d", op.Pos, top.pos)
+		}
+		if top.ticket > op.Ticket {
+			t.Fatalf("pop bound %d older than matched push ticket %d", op.Ticket, top.ticket)
+		}
+		stk = stk[:len(stk)-1]
+	}
+}
+
+func sortByValue(ops []opRef) {
+	for i := 1; i < len(ops); i++ {
+		for j := i; j > 0 && ops[j].Value < ops[j-1].Value; j-- {
+			ops[j], ops[j-1] = ops[j-1], ops[j]
+		}
+	}
+}
+
+func TestQueuePositionsUniqueProperty(t *testing.T) {
+	// testing/quick over random run vectors: enqueue positions across an
+	// assignment are all distinct and partition the assigned intervals.
+	f := func(runsRaw []uint8) bool {
+		runs := make([]int64, len(runsRaw))
+		var total int64
+		for i, r := range runsRaw {
+			runs[i] = int64(r % 8)
+			if i%2 == 0 {
+				total += runs[i]
+			}
+		}
+		st := NewAnchorState()
+		ras := st.Assign(Queue, Batch{Runs: runs})
+		seen := make(map[int64]bool)
+		for i, ra := range ras {
+			if IsDeqIndex(i) {
+				continue
+			}
+			for p := ra.Iv.Lo; p <= ra.Iv.Hi; p++ {
+				if seen[p] {
+					return false
+				}
+				seen[p] = true
+			}
+		}
+		return int64(len(seen)) == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := Batch{Runs: []int64{1, 2}, J: 3}
+	b := a.Clone()
+	b.Runs[0] = 9
+	b.J = 0
+	if a.Runs[0] != 1 || a.J != 3 {
+		t.Errorf("clone aliases original")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Queue.String() != "queue" || Stack.String() != "stack" {
+		t.Errorf("mode strings wrong")
+	}
+}

@@ -1,0 +1,998 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"skueue/internal/batch"
+	"skueue/internal/dht"
+	"skueue/internal/fixpoint"
+	"skueue/internal/ldb"
+	"skueue/internal/sim"
+)
+
+// This file implements §IV of the paper: JOIN and LEAVE, handled lazily
+// through responsible nodes, plus the update phase during which joining
+// nodes are spliced into the ring and leave replacements are absorbed by
+// their left neighbours.
+//
+// Implementation notes (see DESIGN.md §7 for the substitution rationale):
+//
+//   - A departed node stays in the simulation as a pure forwarder instead
+//     of executing the paper's per-edge acknowledgment drain; the
+//     observable post-condition — no message addressed to it is ever lost
+//     — is the same, and the permission/priority handshake is implemented
+//     in full.
+//   - A leaving node first drains its own client state (buffered and
+//     in-flight requests) through normal waves before handing off; the
+//     paper's node does the equivalent by forwarding and acknowledging
+//     until quiescent. Child sub-batches, DHT data, joiners and
+//     responsibilities transfer with the handoff.
+//   - Update phases are numbered (epochs) so that duplicated or straggling
+//     phase-control messages from an earlier phase cannot corrupt a later
+//     one under asynchrony.
+
+// joinerInfo is a joining node this node is responsible for (§IV-A).
+type joinerInfo struct {
+	ref ldb.Ref
+}
+
+// anchorBundle is the anchor's transferable role state: the position
+// window and value counter (§III-D, §V), the pending churn level, and the
+// update-phase epoch counter.
+type anchorBundle struct {
+	Ast          batch.AnchorState
+	PendChurn    int64
+	EpochCounter int64
+}
+
+// churnState bundles all join/leave/update-phase state of a node.
+type churnState struct {
+	// Joining side: set while this node awaits integration.
+	joining  bool
+	relayVia ldb.Ref // the responsible node relaying for us
+	// routedHold buffers routed messages that reach us before we know our
+	// ring neighbours (the paper's "wait until a closer node is known").
+	routedHold []routedMsg
+	// rangeFrom/rangeEnd is the key range a joiner owns before it is part
+	// of the ring; transferCmds shrink it when newer joiners split it.
+	rangeFrom, rangeEnd fixpoint.Frac
+	rangeValid          bool
+	heldTransfers       []transferCmd
+	heldHandovers       []handoverMsg
+
+	// Responsible side.
+	joiners []joinerInfo // joining nodes hanging off us, sorted by point
+
+	// Leaving side.
+	leaving       bool
+	leaveReqSent  bool
+	leaveGranted  bool
+	grantsPending []ldb.Ref // permission requests we have not answered yet
+	grantedOpen   int       // grants given whose leaver has not departed yet
+	departed      bool
+	forwardTo     sim.NodeID // valid once the replacement introduced itself
+	buffer        []any      // messages held between handoff and redirect
+
+	// Replacement side. A replacement may only dissolve together with its
+	// two sibling replacements (triad-atomic absorption): the aggregation
+	// tree's virtual edges require intact process triads, so absorbing one
+	// sibling while another survives would leave the survivor with a dead
+	// tree slot and deadlock the wave. Each phase, a replacement asks its
+	// siblings whether they dissolve too and proceeds only on a unanimous
+	// yes; the vote is stable within a phase, so the triad decides
+	// consistently.
+	isReplacement bool
+	absorbSent    bool
+	votesPending  int
+	dissolveOK    bool
+	// heldQueries are dissolve queries for a phase we have not entered
+	// yet; they are answered at phase entry so the answer reflects our
+	// status within that phase (phase entry is not simultaneous across the
+	// tree, and an early "no" would wedge the querier's triad).
+	heldQueries []heldQuery
+	// heldHandoffs are leave handoffs that arrived while we were inside an
+	// update phase; spawning a replacement mid-phase would create a node
+	// that cannot participate in the phase's triad votes.
+	heldHandoffs []nodeSnapshot
+	// lastEpoch is the newest update phase this node has entered.
+	lastEpoch int64
+
+	// Update phase (§IV-A).
+	updatePhase    bool
+	epoch          int64
+	pold           sim.NodeID
+	acksLeft       int
+	introAcksLeft  int
+	integrationRun bool
+	phaseDone      bool
+
+	// Anchor bookkeeping (valid while holding the anchor role).
+	pendChurn    int64
+	epochCounter int64
+}
+
+// Churn control messages.
+
+// joinReq is routed to the node responsible for the new node's point.
+type joinReq struct{ NewNode ldb.Ref }
+
+// adoptMsg tells a joining node who relays for it and which key range
+// [From, End) it now owns.
+type adoptMsg struct {
+	Responsible ldb.Ref
+	From, End   fixpoint.Frac
+}
+
+// transferCmd instructs a joiner to hand the DHT keys in [From, End) over
+// to a newer joiner ("u issues v_i to transfer the DHT data to v'").
+type transferCmd struct {
+	To        ldb.Ref
+	From, End fixpoint.Frac
+}
+
+// handoverMsg moves DHT data (and parked GETs) to a new owner.
+type handoverMsg struct {
+	Entries []dht.Entry
+	Parked  []dht.ParkedEntry
+}
+
+// migrateEntry re-homes a stored element whose owner changed while it was
+// in flight; unlike putReq it records no completion.
+type migrateEntry struct{ Ent dht.Entry }
+
+// migrateParked re-homes a parked GET.
+type migrateParked struct {
+	Pos int64
+	W   dht.Waiter
+}
+
+// setNeighbors integrates a joiner by giving it its ring neighbours.
+type setNeighbors struct {
+	Pred, Succ ldb.Ref
+	Epoch      int64
+}
+
+// setPred rewires the successor side of a splice.
+type setPred struct {
+	Pred  ldb.Ref
+	Epoch int64
+}
+
+// introAck confirms a setNeighbors / setPred was applied.
+type introAck struct{ Epoch int64 }
+
+// sibHello tells the process siblings that this virtual node is now an
+// integrated ring member (see Node.sibIn).
+type sibHello struct{ Kind ldb.Kind }
+
+// updateAck aggregates "my old subtree finished integrating" (§IV-A).
+type updateAck struct{ Epoch int64 }
+
+// updateOver announces the end of the update phase down the new tree.
+type updateOver struct{ Epoch int64 }
+
+// rejectBatch returns an unprocessed relayed sub-batch to a joiner that is
+// being integrated; the joiner re-buffers its operations and resubmits
+// them through its new tree position.
+type rejectBatch struct{ B batch.Batch }
+
+// leavePermissionReq asks the left neighbour for permission to leave.
+type leavePermissionReq struct{ From ldb.Ref }
+
+// leaveGrant allows the requester to hand off once it has drained.
+type leaveGrant struct{}
+
+// leaveHandoff carries the leaving node's transferable state to its left
+// neighbour, which spawns the replacement.
+type leaveHandoff struct{ Snap nodeSnapshot }
+
+// redirectMsg announces that Old has been replaced by New.
+type redirectMsg struct{ Old, New ldb.Ref }
+
+// absorbMsg is sent by a replacement to its pred during the update phase:
+// take my data, successor, responsibilities and possibly the anchor role.
+type absorbMsg struct {
+	Entries     []dht.Entry
+	Parked      []dht.ParkedEntry
+	Succ        ldb.Ref
+	Waiting     []subBatch
+	Joiners     []joinerInfo
+	Grants      []ldb.Ref
+	GrantedOpen int
+	AnchorRole  bool
+	Anchor      anchorBundle
+	Epoch       int64
+}
+
+// absorbAck confirms an absorbMsg was ingested.
+type absorbAck struct{ Epoch int64 }
+
+// dissolveQuery asks a process sibling whether it dissolves in this phase.
+type dissolveQuery struct{ Epoch int64 }
+
+// dissolveReply answers a dissolveQuery.
+type dissolveReply struct {
+	Epoch int64
+	Yes   bool
+}
+
+// heldQuery is a buffered dissolveQuery.
+type heldQuery struct {
+	from  sim.NodeID
+	epoch int64
+}
+
+// anchorWalk carries the anchor role leftward to the structural minimum
+// at the end of an update phase.
+type anchorWalk struct{ Anchor anchorBundle }
+
+// nodeSnapshot is the transferable state of a drained leaving node.
+type nodeSnapshot struct {
+	Self                         ldb.Ref
+	Pred, Succ, SibL, SibM, SibR ldb.Ref
+	AnchorRole                   bool
+	Anchor                       anchorBundle
+	Waiting                      []subBatch
+	Entries                      []dht.Entry
+	Parked                       []dht.ParkedEntry
+	Joiners                      []joinerInfo
+	GrantsPending                []ldb.Ref
+	GrantedOpen                  int
+	SibIn                        [3]bool
+}
+
+// frozen reports whether stage 1 must hold: an unadopted joiner cannot
+// send batches anywhere.
+func (c *churnState) frozen() bool {
+	return c.joining && !c.relayVia.Valid()
+}
+
+// takeJoinCount reports the current number of un-integrated joiners. The
+// level (not a delta) rides in every batch, so stragglers keep triggering
+// update phases until everyone is integrated.
+func (c *churnState) takeJoinCount() int64 { return int64(len(c.joiners)) }
+
+// takeLeaveCount reports this node's own pending-leave level: a live
+// replacement reports itself until it dissolves. (Replacements are ring
+// members and send their own batches, unlike joiners, which are reported
+// by their responsible node.)
+func (c *churnState) takeLeaveCount() int64 {
+	if c.isReplacement {
+		return 1
+	}
+	return 0
+}
+
+// restoreCounts is a no-op under level-based reporting.
+func (c *churnState) restoreCounts(j, l int64) {}
+
+// anchorObserve runs at the anchor during Stage 2: decide whether this
+// wave starts an update phase. It returns the phase epoch, or 0.
+func (c *churnState) anchorObserve(n *Node, b batch.Batch) int64 {
+	c.pendChurn = b.J + b.L
+	if c.updatePhase || c.pendChurn < int64(n.cl.updateThreshold()) {
+		return 0
+	}
+	c.epochCounter++
+	n.cl.metrics.UpdatePhases++
+	return c.epochCounter
+}
+
+// enterUpdatePhase records the old-tree bookkeeping when the flagged
+// intervals arrive: p_old and |C_old| (§IV-A). Dissolve queries that were
+// waiting for this phase are answered now.
+func (c *churnState) enterUpdatePhase(ctx *sim.Context, from sim.NodeID, epoch int64, subs []subBatch) {
+	c.updatePhase = true
+	c.epoch = epoch
+	c.lastEpoch = epoch
+	c.pold = from
+	c.acksLeft = 0
+	c.introAcksLeft = 0
+	c.integrationRun = false
+	c.phaseDone = false
+	c.absorbSent = false
+	for _, sb := range subs {
+		if sb.from != sim.None {
+			c.acksLeft++
+		}
+	}
+	held := c.heldQueries
+	c.heldQueries = nil
+	for _, q := range held {
+		if q.epoch == epoch {
+			ctx.Send(q.from, dissolveReply{Epoch: q.epoch, Yes: c.isReplacement})
+		} else if q.epoch < epoch {
+			ctx.Send(q.from, dissolveReply{Epoch: q.epoch, Yes: false})
+		} else {
+			c.heldQueries = append(c.heldQueries, q)
+		}
+	}
+}
+
+// startIntegration begins this node's update-phase duties right after the
+// flagged serve was forwarded: splice joiners into the ring and reject
+// their unprocessed next-wave sub-batches.
+func (c *churnState) startIntegration(ctx *sim.Context, n *Node) {
+	if c.integrationRun {
+		return
+	}
+	c.integrationRun = true
+
+	if len(c.joiners) > 0 {
+		js := c.joiners
+		c.joiners = nil
+
+		var keep []subBatch
+		for _, w := range n.waiting {
+			rejected := false
+			for _, j := range js {
+				if w.from == j.ref.ID {
+					ctx.Send(j.ref.ID, rejectBatch{B: w.b})
+					rejected = true
+					break
+				}
+			}
+			if !rejected {
+				keep = append(keep, w)
+			}
+		}
+		n.waiting = keep
+
+		oldSucc := n.succ
+		for i, j := range js {
+			pred := n.self
+			if i > 0 {
+				pred = js[i-1].ref
+			}
+			succ := oldSucc
+			if i+1 < len(js) {
+				succ = js[i+1].ref
+			}
+			ctx.Send(j.ref.ID, setNeighbors{Pred: pred, Succ: succ, Epoch: c.epoch})
+			c.introAcksLeft++
+		}
+		if oldSucc.ID != n.self.ID {
+			ctx.Send(oldSucc.ID, setPred{Pred: js[len(js)-1].ref, Epoch: c.epoch})
+			c.introAcksLeft++
+		}
+		n.succ = js[0].ref
+		n.invalidateTopology()
+	}
+
+	// Replacements poll their sibling triad before dissolving.
+	c.votesPending = 0
+	c.dissolveOK = true
+	if c.isReplacement {
+		for _, sib := range []ldb.Ref{n.sibL, n.sibM, n.sibR} {
+			if sib.Valid() && sib.ID != n.self.ID {
+				ctx.Send(sib.ID, dissolveQuery{Epoch: c.epoch})
+				c.votesPending++
+			}
+		}
+	}
+	c.maybeFinishPhase(ctx, n)
+}
+
+// maybeFinishPhase completes this node's part of the update phase once all
+// local work and child acknowledgments are in.
+func (c *churnState) maybeFinishPhase(ctx *sim.Context, n *Node) {
+	if !c.updatePhase || c.phaseDone || !c.integrationRun {
+		return
+	}
+	if c.acksLeft > 0 || c.introAcksLeft > 0 || c.votesPending > 0 {
+		return
+	}
+	// A replacement's final duty is to dissolve into its pred; it acks
+	// p_old only after the pred confirmed the splice (absorbAck), so the
+	// phase cannot end with a dangling ring edge. It dissolves only with
+	// a unanimous triad vote (see churnState).
+	if c.isReplacement && c.dissolveOK && !c.absorbSent {
+		c.absorbSent = true
+		ents, parked := n.store.ExtractAll()
+		ctx.Send(n.pred.ID, absorbMsg{
+			Entries: ents, Parked: parked, Succ: n.succ,
+			Waiting: n.waiting, Joiners: c.joiners,
+			Grants:      c.grantsPending,
+			GrantedOpen: c.grantedOpen,
+			AnchorRole:  n.anchorRole, Anchor: n.anchorBundle(),
+			Epoch: c.epoch,
+		})
+		n.waiting = nil
+		c.joiners = nil
+		c.grantsPending = nil
+		return
+	}
+	c.phaseDone = true
+	if c.pold != sim.None {
+		ctx.Send(c.pold, updateAck{Epoch: c.epoch})
+		return
+	}
+	// Root of the old tree: the phase is globally done.
+	n.anchorFinal(ctx)
+}
+
+func (n *Node) anchorBundle() anchorBundle {
+	return anchorBundle{Ast: n.ast, PendChurn: n.churn.pendChurn, EpochCounter: n.churn.epochCounter}
+}
+
+func (n *Node) setAnchorBundle(b anchorBundle) {
+	n.ast = b.Ast
+	n.churn.pendChurn = b.PendChurn
+	n.churn.epochCounter = b.EpochCounter
+}
+
+// anchorFinal ends the update phase: if nodes joined left of us the anchor
+// role walks to the new leftmost node, which then announces updateOver.
+func (n *Node) anchorFinal(ctx *sim.Context) {
+	if !n.anchorRole {
+		panic(fmt.Sprintf("core: anchorFinal on non-anchor %v", n.self))
+	}
+	if n.nb().IsAnchor() {
+		n.broadcastUpdateOver(ctx)
+		return
+	}
+	n.anchorRole = false
+	ctx.Send(n.pred.ID, anchorWalk{Anchor: n.anchorBundle()})
+}
+
+// broadcastUpdateOver resumes normal operation down the new tree. The
+// epoch being ended is the anchor's phase counter — NOT the local
+// churn.epoch: the node announcing the end may have been integrated
+// mid-phase (the anchor role walked to it) and never have entered the
+// phase itself.
+func (n *Node) broadcastUpdateOver(ctx *sim.Context) {
+	epoch := n.churn.epochCounter
+	if n.churn.epoch > epoch {
+		epoch = n.churn.epoch
+	}
+	if epoch > n.churn.lastEpoch {
+		n.churn.lastEpoch = epoch
+	}
+	n.exitUpdatePhase(ctx)
+	for _, id := range n.updateOverTargets() {
+		ctx.Send(id, updateOver{Epoch: epoch})
+	}
+}
+
+// updateOverTargets lists where to propagate the end-of-phase signal: the
+// aggregation-tree children without the sibling-integration gate (the gate
+// protects wave expectations, but would cut the broadcast), plus the ring
+// neighbours. Flooding over tree and ring edges with epoch deduplication
+// reaches every ring member even while tree links are still settling.
+func (n *Node) updateOverTargets() []sim.NodeID {
+	seen := map[sim.NodeID]bool{n.self.ID: true}
+	var out []sim.NodeID
+	add := func(id sim.NodeID) {
+		if id >= 0 && !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	if !n.churn.joining {
+		for _, c := range n.nb().Children() {
+			add(c.ID)
+		}
+		add(n.pred.ID)
+		add(n.succ.ID)
+	}
+	for _, j := range n.churn.joiners {
+		add(j.ref.ID)
+	}
+	return out
+}
+
+// exitUpdatePhase leaves the phase and runs actions deferred during it.
+func (n *Node) exitUpdatePhase(ctx *sim.Context) {
+	n.churn.exitUpdatePhase()
+	held := n.churn.heldHandoffs
+	n.churn.heldHandoffs = nil
+	for _, snap := range held {
+		n.spawnReplacement(ctx, snap)
+	}
+}
+
+func (c *churnState) exitUpdatePhase() {
+	c.updatePhase = false
+	c.pold = sim.None
+	c.acksLeft = 0
+	c.introAcksLeft = 0
+	c.integrationRun = false
+	c.phaseDone = false
+}
+
+// tick runs deferred churn actions from TIMEOUT.
+func (c *churnState) tick(ctx *sim.Context, n *Node) {
+	if c.departed {
+		return
+	}
+	// Ask for leave permission once, postponing while we owe a granted
+	// right neighbour its departure (§IV-B: a node that acknowledged a
+	// right neighbour's leave waits until that neighbour has left).
+	// Unanswered requests from the right do NOT block us — the paper's
+	// priority rule makes the rightward leaver the one that postpones; its
+	// pending request transfers to our replacement, which grants it.
+	if c.leaving && !c.leaveReqSent && !c.joining && c.grantedOpen == 0 {
+		c.leaveReqSent = true
+		ctx.Send(n.pred.ID, leavePermissionReq{From: n.self})
+	}
+	// Serve deferred permission grants outside update phases, unless we
+	// are leaving ourselves (then the requester waits until our own leave
+	// finished; our replacement inherits the pending request).
+	if len(c.grantsPending) > 0 && !c.updatePhase && !c.leaving {
+		for _, req := range c.grantsPending {
+			c.grantedOpen++
+			ctx.Send(req.ID, leaveGrant{})
+		}
+		c.grantsPending = nil
+	}
+	// Execute our own handoff once granted, drained, and outside update
+	// phases.
+	if c.leaveGranted && !c.updatePhase && n.drainedForLeave() {
+		n.executeLeave(ctx)
+	}
+}
+
+// drainedForLeave reports whether all client-attributed state has flushed
+// through normal waves, so the replacement never carries foreign requests.
+func (n *Node) drainedForLeave() bool {
+	return len(n.pending) == 0 && n.combiner.Empty() && n.inBatch == nil &&
+		len(n.pendingGets) == 0 && n.outstanding == 0
+}
+
+// handleChurn processes churn control messages; it reports whether the
+// payload was one.
+func (n *Node) handleChurn(ctx *sim.Context, from sim.NodeID, payload any) bool {
+	c := &n.churn
+	switch m := payload.(type) {
+	case adoptMsg:
+		c.relayVia = m.Responsible
+		c.rangeFrom, c.rangeEnd = m.From, m.End
+		c.rangeValid = true
+		heldH := c.heldHandovers
+		c.heldHandovers = nil
+		for _, h := range heldH {
+			n.ingest(ctx, h.Entries, h.Parked)
+		}
+		held := c.heldTransfers
+		c.heldTransfers = nil
+		for _, tc := range held {
+			n.applyTransfer(ctx, tc)
+		}
+	case handoverMsg:
+		if c.joining && !c.rangeValid {
+			// Raced ahead of our adoption message; ingest once adopted.
+			c.heldHandovers = append(c.heldHandovers, m)
+			return true
+		}
+		n.ingest(ctx, m.Entries, m.Parked)
+	case transferCmd:
+		if c.joining && !c.rangeValid {
+			// Raced ahead of our own adoption; apply once adopted.
+			c.heldTransfers = append(c.heldTransfers, m)
+			return true
+		}
+		n.applyTransfer(ctx, m)
+	case setNeighbors:
+		n.pred, n.succ = m.Pred, m.Succ
+		c.joining = false
+		c.relayVia = ldb.Ref{ID: sim.None}
+		c.rangeValid = false
+		n.invalidateTopology()
+		n.cl.noteIntegrated(n)
+		ctx.Send(from, introAck{Epoch: m.Epoch})
+		for _, sib := range []ldb.Ref{n.sibL, n.sibM, n.sibR} {
+			if sib.Valid() && sib.ID != n.self.ID {
+				ctx.Send(sib.ID, sibHello{Kind: n.self.Kind})
+			}
+		}
+		// Now that the ring neighbours are known, release any routed
+		// messages that arrived too early.
+		hold := c.routedHold
+		c.routedHold = nil
+		for _, rm := range hold {
+			n.routeStep(ctx, rm)
+		}
+	case setPred:
+		n.pred = m.Pred
+		n.invalidateTopology()
+		ctx.Send(from, introAck{Epoch: m.Epoch})
+	case introAck:
+		if c.updatePhase && m.Epoch == c.epoch {
+			c.introAcksLeft--
+			c.maybeFinishPhase(ctx, n)
+		}
+	case updateAck:
+		if c.updatePhase && m.Epoch == c.epoch {
+			c.acksLeft--
+			c.maybeFinishPhase(ctx, n)
+		}
+	case updateOver:
+		// A newer epoch proves every older phase ended globally; this
+		// matters for nodes integrated in phase k whose process triad only
+		// completed in a later phase — they can miss phase k's broadcast
+		// (their tree parent was not a ring member yet).
+		fresh := m.Epoch > c.lastEpoch
+		if c.updatePhase && m.Epoch >= c.epoch {
+			n.exitUpdatePhase(ctx)
+			fresh = true
+		}
+		if m.Epoch > c.lastEpoch {
+			c.lastEpoch = m.Epoch
+		}
+		if fresh {
+			for _, id := range n.updateOverTargets() {
+				ctx.Send(id, updateOver{Epoch: m.Epoch})
+			}
+		}
+	case rejectBatch:
+		if n.inBatch == nil {
+			panic(fmt.Sprintf("core: %v got rejectBatch without a batch in flight", n.self))
+		}
+		kids := n.inBatch[1:]
+		own := n.inOwn
+		n.inBatch = nil
+		n.inOwn = ownWave{}
+		n.restoreOwn(own, kids)
+	case leavePermissionReq:
+		c.grantsPending = append(c.grantsPending, m.From)
+	case leaveGrant:
+		c.leaveGranted = true
+	case leaveHandoff:
+		if c.updatePhase {
+			// Spawning a replacement mid-phase would create a node outside
+			// the phase's triad votes; hold until the phase ends.
+			c.heldHandoffs = append(c.heldHandoffs, m.Snap)
+		} else {
+			n.spawnReplacement(ctx, m.Snap)
+		}
+	case redirectMsg:
+		n.applyRedirect(m.Old, m.New)
+	case absorbMsg:
+		n.absorb(ctx, from, m)
+	case absorbAck:
+		// Accept the ack even if a racing updateOver already ended the
+		// phase locally: the splice happened, so we must depart either way.
+		if c.absorbSent && !c.departed {
+			c.phaseDone = true
+			if c.updatePhase && c.pold != sim.None {
+				ctx.Send(c.pold, updateAck{Epoch: c.epoch})
+			}
+			n.depart(ctx, n.pred.ID)
+		}
+	case sibHello:
+		n.sibIn[m.Kind] = true
+		n.invalidateTopology()
+	case dissolveQuery:
+		switch {
+		case c.updatePhase && c.epoch == m.Epoch:
+			ctx.Send(from, dissolveReply{Epoch: m.Epoch, Yes: c.isReplacement})
+		case c.lastEpoch >= m.Epoch:
+			// A stale query from a phase we have already passed through.
+			ctx.Send(from, dissolveReply{Epoch: m.Epoch, Yes: false})
+		default:
+			// We have not entered that phase yet; answer at entry.
+			c.heldQueries = append(c.heldQueries, heldQuery{from: from, epoch: m.Epoch})
+		}
+	case dissolveReply:
+		if c.updatePhase && m.Epoch == c.epoch && c.votesPending > 0 {
+			c.votesPending--
+			if !m.Yes {
+				c.dissolveOK = false
+			}
+			c.maybeFinishPhase(ctx, n)
+		}
+	case anchorWalk:
+		n.receiveAnchorWalk(ctx, m)
+	default:
+		return false
+	}
+	return true
+}
+
+// handleRoutedChurn processes routed payloads that are not DHT operations.
+func (n *Node) handleRoutedChurn(ctx *sim.Context, inner any) {
+	switch m := inner.(type) {
+	case joinReq:
+		n.adoptJoiner(ctx, m.NewNode)
+	default:
+		panic(fmt.Sprintf("core: %v cannot handle routed payload %T", n.self, inner))
+	}
+}
+
+// cwLess orders ring points by clockwise distance from this node: the
+// order in which joiners must be chained into the ring. Absolute label
+// order would be wrong for the node before the 0/1 seam, whose interval
+// wraps.
+func (n *Node) cwLess(a, b ldb.Point) bool {
+	da := fixpoint.CWDist(n.self.Point.Label, a.Label)
+	db := fixpoint.CWDist(n.self.Point.Label, b.Label)
+	if da != db {
+		return da < db
+	}
+	return a.Tie < b.Tie
+}
+
+// adoptJoiner makes this node responsible for a joining node (§IV-A): it
+// introduces itself, hands over the DHT sub-interval (delegating to the
+// joiner's closest joining predecessor when one exists), and treats the
+// joiner as an extra aggregation-tree child.
+func (n *Node) adoptJoiner(ctx *sim.Context, v ldb.Ref) {
+	c := &n.churn
+	idx := sort.Search(len(c.joiners), func(i int) bool {
+		return n.cwLess(v.Point, c.joiners[i].ref.Point)
+	})
+	c.joiners = append(c.joiners, joinerInfo{})
+	copy(c.joiners[idx+1:], c.joiners[idx:])
+	c.joiners[idx] = joinerInfo{ref: v}
+
+	end := n.succ.Point.Label
+	if idx+1 < len(c.joiners) {
+		end = c.joiners[idx+1].ref.Point.Label
+	}
+	if idx > 0 {
+		holder := c.joiners[idx-1].ref
+		ctx.Send(holder.ID, transferCmd{To: v, From: v.Point.Label, End: end})
+	} else {
+		ents, parked := n.store.Extract(func(pos int64) bool {
+			return fixpoint.InCWRange(n.cl.keyHash.Frac(uint64(pos)), v.Point.Label, end)
+		})
+		ctx.Send(v.ID, handoverMsg{Entries: ents, Parked: parked})
+	}
+	ctx.Send(v.ID, adoptMsg{Responsible: n.self, From: v.Point.Label, End: end})
+}
+
+// joinerFor returns the joiner owning key, if any: the joiner with the
+// largest point not above the key, measured clockwise from this node.
+func (c *churnState) joinerFor(key fixpoint.Frac, self ldb.Ref) (joinerInfo, bool) {
+	if len(c.joiners) == 0 {
+		return joinerInfo{}, false
+	}
+	kd := fixpoint.CWDist(self.Point.Label, key)
+	best := -1
+	for i, j := range c.joiners {
+		jd := fixpoint.CWDist(self.Point.Label, j.ref.Point.Label)
+		if jd <= kd {
+			best = i
+		}
+	}
+	if best < 0 {
+		return joinerInfo{}, false
+	}
+	return c.joiners[best], true
+}
+
+// applyTransfer extracts a key range for a newer joiner and hands it over.
+func (n *Node) applyTransfer(ctx *sim.Context, m transferCmd) {
+	if n.churn.rangeValid {
+		// Shrink our owned range; anything arriving later for the split
+		// part will be re-dispatched by ingest.
+		if fixpoint.CWDist(n.churn.rangeFrom, m.From) < fixpoint.CWDist(n.churn.rangeFrom, n.churn.rangeEnd) {
+			n.churn.rangeEnd = m.From
+		}
+	}
+	ents, parked := n.store.Extract(func(pos int64) bool {
+		return fixpoint.InCWRange(n.cl.keyHash.Frac(uint64(pos)), m.From, m.End)
+	})
+	ctx.Send(m.To.ID, handoverMsg{Entries: ents, Parked: parked})
+}
+
+// ingest re-homes handed-over data. Every item passes through the
+// ownership-aware dispatch, so data that raced past a topology change
+// keeps moving until it reaches its current owner; nothing is ever
+// stranded or lost.
+func (n *Node) ingest(ctx *sim.Context, ents []dht.Entry, parked []dht.ParkedEntry) {
+	for _, p := range parked {
+		n.dispatchDHT(ctx, n.cl.keyHash.Frac(uint64(p.Pos)), migrateParked{Pos: p.Pos, W: p.Waiter})
+	}
+	for _, ent := range ents {
+		n.dispatchDHT(ctx, n.cl.keyHash.Frac(uint64(ent.Pos)), migrateEntry{Ent: ent})
+	}
+}
+
+// RequestLeave marks this node as wanting to leave; the permission
+// handshake and drained handoff run from TIMEOUT.
+func (n *Node) RequestLeave() { n.churn.leaving = true }
+
+// executeLeave hands the node's transferable state to the left neighbour
+// (§IV-B). The node has drained all client-attributed state by now.
+func (n *Node) executeLeave(ctx *sim.Context) {
+	c := &n.churn
+	snap := nodeSnapshot{
+		Self: n.self, Pred: n.pred, Succ: n.succ,
+		SibL: n.sibL, SibM: n.sibM, SibR: n.sibR,
+		AnchorRole: n.anchorRole, Anchor: n.anchorBundle(),
+		Waiting:       n.waiting,
+		Joiners:       c.joiners,
+		GrantsPending: c.grantsPending, GrantedOpen: c.grantedOpen,
+		SibIn: n.sibIn,
+	}
+	snap.Entries, snap.Parked = n.store.ExtractAll()
+	n.waiting = nil
+	ctx.Send(n.pred.ID, leaveHandoff{Snap: snap})
+	// Buffer everything until the replacement tells us its address.
+	c.departed = true
+	c.forwardTo = sim.None
+	ctx.StopTimeouts(ctx.Self())
+	n.cl.noteDeparted(n)
+}
+
+// spawnReplacement creates the replacement node v' for a departed right
+// neighbour and becomes responsible for it (§IV-B).
+func (n *Node) spawnReplacement(ctx *sim.Context, snap nodeSnapshot) {
+	repl := &Node{
+		cl:   n.cl,
+		self: ldb.Ref{ID: sim.None, Point: snap.Self.Point, Kind: snap.Self.Kind},
+		pred: snap.Pred, succ: snap.Succ,
+		sibL: snap.SibL, sibM: snap.SibM, sibR: snap.SibR,
+		anchorRole:  snap.AnchorRole,
+		clientID:    -1, // replacements never issue requests
+		store:       dht.NewStore(),
+		pendingGets: make(map[uint64]getCtx),
+		waiting:     snap.Waiting,
+	}
+	repl.setAnchorBundle(snap.Anchor)
+	repl.sibIn = snap.SibIn
+	repl.churn.isReplacement = true
+	repl.churn.joiners = snap.Joiners
+	repl.churn.grantsPending = snap.GrantsPending
+	repl.churn.grantedOpen = snap.GrantedOpen
+	id := ctx.Spawn(repl)
+	repl.self.ID = id
+	for _, p := range snap.Parked {
+		repl.store.Park(p.Pos, p.Waiter)
+	}
+	for _, ent := range snap.Entries {
+		repl.store.Insert(ent)
+	}
+	// Rewrite every reference we hold to the departed node — we may be its
+	// ring predecessor, but also its process sibling.
+	n.applyRedirect(snap.Self, repl.self)
+	if n.churn.grantedOpen > 0 {
+		n.churn.grantedOpen--
+	}
+	// Tell everyone who knew the old node, including the departed node
+	// itself so it can start forwarding. The order is deterministic: the
+	// engine schedule must not depend on map iteration.
+	targets := []sim.NodeID{snap.Self.ID}
+	seen := map[sim.NodeID]bool{snap.Self.ID: true, n.self.ID: true}
+	candidates := []ldb.Ref{snap.Pred, snap.Succ, snap.SibL, snap.SibM, snap.SibR}
+	for _, j := range snap.Joiners {
+		candidates = append(candidates, j.ref)
+	}
+	for _, r := range candidates {
+		if r.Valid() && !seen[r.ID] {
+			seen[r.ID] = true
+			targets = append(targets, r.ID)
+		}
+	}
+	for _, t := range targets {
+		ctx.Send(t, redirectMsg{Old: snap.Self, New: repl.self})
+	}
+	n.cl.noteReplacement(repl)
+}
+
+// applyRedirect rewrites every stored reference Old -> New.
+func (n *Node) applyRedirect(old, new ldb.Ref) {
+	rw := func(r *ldb.Ref) {
+		if r.ID == old.ID {
+			*r = new
+			n.invalidateTopology()
+		}
+	}
+	rw(&n.pred)
+	rw(&n.succ)
+	rw(&n.sibL)
+	rw(&n.sibM)
+	rw(&n.sibR)
+	rw(&n.churn.relayVia)
+	for i := range n.churn.joiners {
+		rw(&n.churn.joiners[i].ref)
+	}
+	for i := range n.churn.grantsPending {
+		rw(&n.churn.grantsPending[i])
+	}
+}
+
+// absorb ingests a dissolving replacement: its data, successor, relayed
+// joiners, pending duties, and possibly the anchor role (§IV-B).
+func (n *Node) absorb(ctx *sim.Context, from sim.NodeID, m absorbMsg) {
+	// Splice first: ingest re-dispatches anything we do not own, so the
+	// ring view must already cover the absorbed range.
+	if m.Succ.ID != from && m.Succ.ID != n.self.ID {
+		n.succ = m.Succ
+		ctx.Send(m.Succ.ID, setPred{Pred: n.self, Epoch: m.Epoch})
+		if n.churn.updatePhase && n.churn.epoch == m.Epoch {
+			n.churn.introAcksLeft++
+		}
+	}
+	n.invalidateTopology()
+	n.ingest(ctx, m.Entries, m.Parked)
+	n.churn.joiners = append(n.churn.joiners, m.Joiners...)
+	sort.Slice(n.churn.joiners, func(i, j int) bool {
+		return n.cwLess(n.churn.joiners[i].ref.Point, n.churn.joiners[j].ref.Point)
+	})
+	n.churn.grantsPending = append(n.churn.grantsPending, m.Grants...)
+	n.churn.grantedOpen += m.GrantedOpen
+	n.waiting = append(n.waiting, m.Waiting...)
+	ctx.Send(from, absorbAck{Epoch: m.Epoch})
+	if m.AnchorRole {
+		// The replacement was the old-tree root; its phase-end duty now
+		// falls to the anchor role holder, found by walking left.
+		n.receiveAnchorWalk(ctx, anchorWalk{Anchor: m.Anchor})
+	}
+	n.churn.maybeFinishPhase(ctx, n)
+}
+
+// receiveAnchorWalk accepts or forwards the travelling anchor role.
+func (n *Node) receiveAnchorWalk(ctx *sim.Context, m anchorWalk) {
+	if n.churn.departed {
+		n.churn.forwardOrBuffer(ctx, n, m)
+		return
+	}
+	if n.churn.isReplacement && n.churn.absorbSent {
+		// We are dissolving and already spliced out of our pred's view;
+		// re-accepting the role here would strand it on a zombie node.
+		// Push the walk back towards the ring (it converges once the
+		// splice introductions land).
+		ctx.Send(n.pred.ID, anchorWalk{Anchor: m.Anchor})
+		return
+	}
+	if n.nb().IsAnchor() {
+		n.anchorRole = true
+		n.setAnchorBundle(m.Anchor)
+		n.broadcastUpdateOver(ctx)
+		return
+	}
+	if n.succ.Point.Less(n.self.Point) {
+		// We are the ring maximum (this happens when the departed anchor's
+		// replacement dissolved into us); the minimum is our successor.
+		ctx.Send(n.succ.ID, anchorWalk{Anchor: m.Anchor})
+		return
+	}
+	ctx.Send(n.pred.ID, anchorWalk{Anchor: m.Anchor})
+}
+
+// depart switches the node into pure-forwarder mode towards a known peer.
+// Any DHT content that arrived after the handoff snapshot is flushed to
+// the forwarding target, which re-homes it.
+func (n *Node) depart(ctx *sim.Context, forwardTo sim.NodeID) {
+	n.churn.departed = true
+	n.churn.forwardTo = forwardTo
+	if ents, parked := n.store.ExtractAll(); len(ents) > 0 || len(parked) > 0 {
+		ctx.Send(forwardTo, handoverMsg{Entries: ents, Parked: parked})
+	}
+	ctx.StopTimeouts(ctx.Self())
+	n.cl.noteDeparted(n)
+	n.churn.flushBuffer(ctx, n)
+}
+
+// forwardOrBuffer relays a message for a departed node, or holds it until
+// the forwarding target is known.
+func (c *churnState) forwardOrBuffer(ctx *sim.Context, n *Node, payload any) {
+	if c.forwardTo == sim.None {
+		c.buffer = append(c.buffer, payload)
+		return
+	}
+	n.cl.metrics.ForwardedMsgs++
+	ctx.Send(c.forwardTo, payload)
+}
+
+func (c *churnState) flushBuffer(ctx *sim.Context, n *Node) {
+	buf := c.buffer
+	c.buffer = nil
+	for _, m := range buf {
+		c.forwardOrBuffer(ctx, n, m)
+	}
+}
+
+// handleDeparted processes messages at a departed node: the redirect that
+// names our replacement is consumed; everything else is forwarded.
+func (n *Node) handleDeparted(ctx *sim.Context, payload any) {
+	if m, ok := payload.(redirectMsg); ok && m.Old.ID == n.self.ID {
+		n.churn.forwardTo = m.New.ID
+		n.churn.flushBuffer(ctx, n)
+		return
+	}
+	n.churn.forwardOrBuffer(ctx, n, payload)
+}

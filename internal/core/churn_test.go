@@ -1,0 +1,447 @@
+package core
+
+import (
+	"testing"
+
+	"skueue/internal/batch"
+	"skueue/internal/seqcheck"
+	"skueue/internal/xrand"
+)
+
+// settleChurn runs until no process is joining/leaving-incomplete and the
+// topology verifies, or fails the test.
+func settleChurn(t *testing.T, cl *Cluster, maxTime int64) {
+	t.Helper()
+	ok := cl.Engine().RunUntil(func() bool {
+		return cl.ChurnQuiescent() && cl.VerifyTopology() == nil
+	}, maxTime)
+	if !ok {
+		for _, p := range cl.Processes() {
+			if p.Joining {
+				t.Logf("process %d still joining", p.ID)
+			}
+		}
+		t.Fatalf("churn did not settle within %d: quiescent=%v topology=%v",
+			maxTime, cl.ChurnQuiescent(), cl.VerifyTopology())
+	}
+}
+
+func TestSingleJoinIntegrates(t *testing.T) {
+	cl := newCluster(t, Config{Processes: 3, Seed: 100})
+	cl.Run(5) // let the waves start
+	p := cl.JoinProcess(0)
+	settleChurn(t, cl, 5000)
+	if cl.Processes()[p].Joining {
+		t.Fatalf("process %d not integrated", p)
+	}
+	ring := cl.LiveRing()
+	if ring.Len() != 12 {
+		t.Fatalf("ring has %d nodes, want 12", ring.Len())
+	}
+	if err := cl.VerifyTopology(); err != nil {
+		t.Fatalf("topology: %v", err)
+	}
+}
+
+func TestJoinThenOperate(t *testing.T) {
+	cl := newCluster(t, Config{Processes: 3, Seed: 101})
+	cl.Run(5)
+	p := cl.JoinProcess(1)
+	settleChurn(t, cl, 5000)
+	// The new process can enqueue/dequeue like anyone else. Drain the
+	// enqueues first so the dequeues are guaranteed to find them.
+	c := cl.Client(p)
+	cl.Enqueue(c)
+	cl.Enqueue(c)
+	drainAndCheck(t, cl, 10000)
+	cl.Dequeue(cl.Client(0))
+	cl.Dequeue(cl.Client(0))
+	drainAndCheck(t, cl, 10000)
+	st := seqcheck.Summarize(cl.History())
+	if st.Bottoms != 0 {
+		t.Fatalf("dequeues missed elements enqueued by the joiner: %+v", st)
+	}
+}
+
+func TestJoinWhileLoaded(t *testing.T) {
+	// Join in the middle of request traffic; everything stays consistent
+	// and no element is lost.
+	cl := newCluster(t, Config{Processes: 4, Seed: 102, ShuffleTimeouts: true})
+	rng := xrand.New(5)
+	enq := 0
+	for round := 0; round < 40; round++ {
+		clients := cl.ActiveClients()
+		c := clients[rng.Intn(len(clients))]
+		if rng.Bool(0.7) {
+			cl.Enqueue(c)
+			enq++
+		} else {
+			cl.Dequeue(c)
+		}
+		if round == 10 {
+			cl.JoinProcess(0)
+		}
+		if round == 25 {
+			cl.JoinProcess(2)
+		}
+		cl.Step()
+	}
+	settleChurn(t, cl, 20000)
+	drainAndCheck(t, cl, 20000)
+	st := seqcheck.Summarize(cl.History())
+	returned := st.Dequeues - st.Bottoms
+	if returned+cl.TotalStored() != enq {
+		t.Fatalf("element conservation broken across join: %d + %d != %d",
+			returned, cl.TotalStored(), enq)
+	}
+}
+
+func TestJoinMovesData(t *testing.T) {
+	// Fill the DHT, then join: the new nodes must end up owning the keys
+	// in their intervals, and dequeues must still find everything.
+	cl := newCluster(t, Config{Processes: 3, Seed: 103})
+	const k = 60
+	for i := 0; i < k; i++ {
+		cl.Enqueue(cl.Client(i % 3))
+	}
+	drainAndCheck(t, cl, 10000)
+	p := cl.JoinProcess(0)
+	settleChurn(t, cl, 10000)
+	// New process should have received some data (60 keys over 12 nodes).
+	got := 0
+	for _, id := range cl.Processes()[p].Nodes {
+		if n, ok := cl.Node(id); ok {
+			got += n.Store().Len()
+		}
+	}
+	t.Logf("joiner holds %d of %d elements", got, k)
+	if cl.TotalStored() != k {
+		t.Fatalf("stored %d, want %d", cl.TotalStored(), k)
+	}
+	for i := 0; i < k; i++ {
+		cl.Dequeue(cl.Client(i % 4))
+	}
+	drainAndCheck(t, cl, 20000)
+	st := seqcheck.Summarize(cl.History())
+	if st.Bottoms != 0 {
+		t.Fatalf("lost elements across join: %d ⊥ dequeues", st.Bottoms)
+	}
+}
+
+func TestJoinLeftOfAnchorMovesRole(t *testing.T) {
+	// Join processes until one lands left of the anchor; the anchor role
+	// must follow the leftmost node.
+	cl := newCluster(t, Config{Processes: 2, Seed: 104})
+	cl.Run(5)
+	for i := 0; i < 6; i++ {
+		cl.JoinProcess(0)
+		settleChurn(t, cl, 20000)
+	}
+	if err := cl.VerifyTopology(); err != nil {
+		t.Fatalf("topology/anchor: %v", err)
+	}
+	// And the queue still works.
+	cl.Enqueue(cl.Client(3))
+	cl.Dequeue(cl.Client(5))
+	drainAndCheck(t, cl, 20000)
+}
+
+func TestSingleLeave(t *testing.T) {
+	cl := newCluster(t, Config{Processes: 4, Seed: 105})
+	cl.Run(5)
+	cl.LeaveProcess(2)
+	settleChurn(t, cl, 20000)
+	ring := cl.LiveRing()
+	if ring.Len() != 9 {
+		t.Fatalf("ring has %d nodes after leave, want 9", ring.Len())
+	}
+	cl.Enqueue(cl.Client(0))
+	cl.Dequeue(cl.Client(1))
+	drainAndCheck(t, cl, 20000)
+}
+
+func TestLeavePreservesData(t *testing.T) {
+	cl := newCluster(t, Config{Processes: 4, Seed: 106})
+	const k = 40
+	for i := 0; i < k; i++ {
+		cl.Enqueue(cl.Client(i % 4))
+	}
+	drainAndCheck(t, cl, 10000)
+	cl.LeaveProcess(1)
+	settleChurn(t, cl, 30000)
+	if cl.TotalStored() != k {
+		t.Fatalf("stored %d after leave, want %d", cl.TotalStored(), k)
+	}
+	for i := 0; i < k; i++ {
+		cl.Dequeue(cl.Client([]int{0, 2, 3}[i%3]))
+	}
+	drainAndCheck(t, cl, 30000)
+	if st := seqcheck.Summarize(cl.History()); st.Bottoms != 0 {
+		t.Fatalf("lost %d elements across leave", st.Bottoms)
+	}
+}
+
+func TestAnchorLeave(t *testing.T) {
+	// The process owning the anchor leaves; the role must survive and the
+	// structure must keep working.
+	cl := newCluster(t, Config{Processes: 4, Seed: 107})
+	cl.Run(5)
+	a := cl.AnchorNode()
+	if a == nil {
+		t.Fatalf("no anchor")
+	}
+	var anchorProc int = -1
+	for i, p := range cl.Processes() {
+		for _, id := range p.Nodes {
+			if id == a.Ref().ID {
+				anchorProc = i
+			}
+		}
+	}
+	if anchorProc < 0 {
+		t.Fatalf("anchor not owned by any process")
+	}
+	cl.Enqueue(cl.Client((anchorProc + 1) % 4))
+	drainAndCheck(t, cl, 10000)
+	cl.LeaveProcess(anchorProc)
+	settleChurn(t, cl, 30000)
+	if err := cl.VerifyTopology(); err != nil {
+		t.Fatalf("topology after anchor leave: %v", err)
+	}
+	cl.Dequeue(cl.Client((anchorProc + 2) % 4))
+	drainAndCheck(t, cl, 20000)
+	if st := seqcheck.Summarize(cl.History()); st.Bottoms != 0 {
+		t.Fatalf("element lost across anchor leave")
+	}
+}
+
+func TestAdjacentLeavesPrioritize(t *testing.T) {
+	// Several processes leave concurrently; the label-order priority must
+	// untangle adjacent leavers.
+	cl := newCluster(t, Config{Processes: 6, Seed: 108})
+	cl.Run(5)
+	cl.LeaveProcess(1)
+	cl.LeaveProcess(2)
+	cl.LeaveProcess(3)
+	settleChurn(t, cl, 60000)
+	if got := cl.LiveRing().Len(); got != 9 {
+		t.Fatalf("ring has %d nodes, want 9", got)
+	}
+	cl.Enqueue(cl.Client(0))
+	cl.Dequeue(cl.Client(4))
+	drainAndCheck(t, cl, 20000)
+}
+
+func TestChurnStorm(t *testing.T) {
+	// Joins and leaves interleaved with traffic across several seeds.
+	for seed := int64(110); seed < 114; seed++ {
+		cl := newCluster(t, Config{Processes: 5, Seed: seed, ShuffleTimeouts: true})
+		rng := xrand.New(seed)
+		enq, deqHit := 0, 0
+		for round := 0; round < 120; round++ {
+			clients := cl.ActiveClients()
+			if len(clients) > 0 && rng.Bool(0.8) {
+				c := clients[rng.Intn(len(clients))]
+				if rng.Bool(0.6) {
+					cl.Enqueue(c)
+					enq++
+				} else {
+					cl.Dequeue(c)
+				}
+			}
+			switch round {
+			case 20:
+				cl.JoinProcess(0)
+			case 45:
+				cl.LeaveProcess(2)
+			case 70:
+				cl.JoinProcess(4)
+			case 95:
+				cl.LeaveProcess(1)
+			}
+			cl.Step()
+		}
+		settleChurn(t, cl, 60000)
+		drainAndCheck(t, cl, 60000)
+		st := seqcheck.Summarize(cl.History())
+		deqHit = st.Dequeues - st.Bottoms
+		if deqHit+cl.TotalStored() != enq {
+			t.Fatalf("seed %d: conservation broken: %d + %d != %d",
+				seed, deqHit, cl.TotalStored(), enq)
+		}
+	}
+}
+
+func TestChurnAsyncConsistency(t *testing.T) {
+	for seed := int64(120); seed < 124; seed++ {
+		cl := newCluster(t, Config{
+			Processes: 4, Seed: seed, Async: true, MaxDelay: 8, TimeoutEvery: 4,
+		})
+		rng := xrand.New(seed)
+		cl.Run(20)
+		for burst := 0; burst < 20; burst++ {
+			clients := cl.ActiveClients()
+			c := clients[rng.Intn(len(clients))]
+			if rng.Bool(0.5) {
+				cl.Enqueue(c)
+			} else {
+				cl.Dequeue(c)
+			}
+			if burst == 6 {
+				cl.JoinProcess(0)
+			}
+			if burst == 14 {
+				cl.LeaveProcess(3)
+			}
+			cl.Run(int64(5 + rng.Intn(30)))
+		}
+		settleChurn(t, cl, 300000)
+		drainAndCheck(t, cl, 300000)
+	}
+}
+
+func TestStackWithChurn(t *testing.T) {
+	cl := newCluster(t, Config{Processes: 4, Seed: 130, Mode: batch.Stack})
+	rng := xrand.New(9)
+	for round := 0; round < 80; round++ {
+		clients := cl.ActiveClients()
+		c := clients[rng.Intn(len(clients))]
+		if rng.Bool(0.6) {
+			cl.Enqueue(c)
+		} else {
+			cl.Dequeue(c)
+		}
+		if round == 20 {
+			cl.JoinProcess(1)
+		}
+		if round == 50 {
+			cl.LeaveProcess(0)
+		}
+		cl.Step()
+	}
+	settleChurn(t, cl, 60000)
+	drainAndCheck(t, cl, 60000)
+}
+
+func TestManyJoinsAtOnce(t *testing.T) {
+	// Theorem 17 flavour: a burst of joins integrates within one or few
+	// update phases.
+	cl := newCluster(t, Config{Processes: 4, Seed: 131})
+	cl.Run(5)
+	for i := 0; i < 6; i++ {
+		cl.JoinProcess(i % 4)
+	}
+	settleChurn(t, cl, 60000)
+	if got := cl.LiveRing().Len(); got != 30 {
+		t.Fatalf("ring has %d nodes, want 30", got)
+	}
+	// System functional afterwards.
+	for i := 0; i < 10; i++ {
+		cl.Enqueue(cl.Client(i % 10))
+	}
+	drainAndCheck(t, cl, 30000)
+	for i := 0; i < 10; i++ {
+		cl.Dequeue(cl.Client((i + 3) % 10))
+	}
+	drainAndCheck(t, cl, 30000)
+	if st := seqcheck.Summarize(cl.History()); st.Bottoms != 0 {
+		t.Fatalf("lost elements after join burst")
+	}
+}
+
+func TestJoinersBelowRingSeam(t *testing.T) {
+	// Regression: the node before the 0/1 seam (the ring maximum) adopts
+	// joiners on both sides of the wrap; chaining them by absolute label
+	// order instead of clockwise order corrupted the ring and stranded the
+	// anchor role. A large burst at a small base reliably hits the seam.
+	for seed := int64(3); seed < 12; seed++ {
+		cl := newCluster(t, Config{Processes: 8, Seed: seed})
+		cl.Run(5)
+		for i := 0; i < 8; i++ {
+			cl.JoinProcess(i % 8)
+		}
+		settleChurn(t, cl, 200000)
+		// The system must remain live: new requests still complete.
+		cl.Enqueue(cl.Client(9))
+		cl.Dequeue(cl.Client(12))
+		drainAndCheck(t, cl, 30000)
+	}
+}
+
+func TestLivenessAfterChurn(t *testing.T) {
+	// A settled system must still process traffic — wedged waves hide
+	// behind drained pre-churn requests otherwise.
+	cl := newCluster(t, Config{Processes: 5, Seed: 140, ShuffleTimeouts: true})
+	rng := xrand.New(1)
+	for round := 0; round < 100; round++ {
+		clients := cl.ActiveClients()
+		if rng.Bool(0.5) {
+			c := clients[rng.Intn(len(clients))]
+			cl.Enqueue(c)
+		}
+		switch round {
+		case 10:
+			cl.JoinProcess(0)
+		case 40:
+			cl.LeaveProcess(1)
+		case 70:
+			cl.JoinProcess(3)
+		}
+		cl.Step()
+	}
+	settleChurn(t, cl, 100000)
+	drainAndCheck(t, cl, 100000)
+	// Fresh traffic after full quiescence.
+	clients := cl.ActiveClients()
+	for i := 0; i < 10; i++ {
+		cl.Enqueue(clients[i%len(clients)])
+		cl.Dequeue(clients[(i+3)%len(clients)])
+	}
+	drainAndCheck(t, cl, 60000)
+}
+
+func TestUpdateThresholdBatchesChurn(t *testing.T) {
+	// With a higher threshold the anchor waits for several pending churn
+	// requests before starting a phase (§IV: "a sufficiently large number
+	// of nodes").
+	cl := newCluster(t, Config{Processes: 6, Seed: 141, UpdateThreshold: 6})
+	cl.Run(5)
+	cl.JoinProcess(0) // 3 joiners: below threshold
+	cl.Run(300)
+	if cl.Metrics().UpdatePhases != 0 {
+		t.Fatalf("phase started below threshold")
+	}
+	cl.JoinProcess(1) // 6 joiners total: meets threshold
+	settleChurn(t, cl, 60000)
+	if cl.Metrics().UpdatePhases == 0 {
+		t.Fatalf("phase never started at threshold")
+	}
+	if got := cl.LiveRing().Len(); got != 24 {
+		t.Fatalf("ring size %d, want 24", got)
+	}
+}
+
+func TestRejoinAfterLeave(t *testing.T) {
+	// Processes can come and go repeatedly.
+	cl := newCluster(t, Config{Processes: 4, Seed: 142})
+	cl.Run(5)
+	for cycle := 0; cycle < 3; cycle++ {
+		p := cl.JoinProcess(0)
+		settleChurn(t, cl, 100000)
+		cl.Enqueue(cl.Client(p))
+		drainAndCheck(t, cl, 30000)
+		cl.LeaveProcess(p)
+		settleChurn(t, cl, 200000)
+	}
+	if got := cl.LiveRing().Len(); got != 12 {
+		t.Fatalf("ring size %d after 3 join/leave cycles, want 12", got)
+	}
+	// All enqueued elements still retrievable.
+	for i := 0; i < 3; i++ {
+		cl.Dequeue(cl.Client(1))
+	}
+	drainAndCheck(t, cl, 30000)
+	if st := seqcheck.Summarize(cl.History()); st.Bottoms != 0 {
+		t.Fatalf("lost elements across rejoin cycles")
+	}
+}

@@ -1,0 +1,520 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"skueue/internal/batch"
+	"skueue/internal/dht"
+	"skueue/internal/ldb"
+	"skueue/internal/seqcheck"
+	"skueue/internal/sim"
+	"skueue/internal/xrand"
+)
+
+// Config parameterizes a simulated Skueue deployment.
+type Config struct {
+	// Processes is the initial number of processes; each emulates three
+	// virtual nodes (Definition 2).
+	Processes int
+	// Seed drives all randomness: labels, keys, scheduling, workloads.
+	Seed int64
+	// Mode selects queue (§III) or stack (§VI) semantics.
+	Mode batch.Mode
+	// Async switches to the fully asynchronous scheduler (§I-B model); the
+	// default is the synchronous round model the evaluation uses.
+	Async bool
+	// MaxDelay and TimeoutEvery tune the asynchronous scheduler.
+	MaxDelay     int
+	TimeoutEvery int
+	// ShuffleTimeouts randomizes per-round TIMEOUT order (synchronous).
+	ShuffleTimeouts bool
+	// DisableLocalCombining turns off the §VI local push/pop combining
+	// (ablation: batches grow, Theorem 20 no longer holds).
+	DisableLocalCombining bool
+	// DisableStage4Wait turns off the §VI completion wait (ablation: the
+	// paper's counterexample becomes reachable and sequential consistency
+	// can break under asynchrony).
+	DisableStage4Wait bool
+	// UpdateThreshold is the number of pending join/leave requests the
+	// anchor requires before starting an update phase; default 1.
+	UpdateThreshold int
+}
+
+// Process groups the three virtual nodes a process emulates.
+type Process struct {
+	ID    int32
+	Nodes [3]sim.NodeID // indexed by ldb.Kind: Left, Middle, Right
+	// Joining is true until all three nodes have been integrated.
+	Joining bool
+	// Left is true once the process has requested to leave.
+	Left bool
+}
+
+// Metrics aggregates protocol-level counters across a run.
+type Metrics struct {
+	BatchesSent   int64
+	MaxBatchRuns  int
+	WavesAssigned int64
+	UpdatePhases  int64
+	ParkedGets    int64
+	CombinedOps   int64
+	ForwardedMsgs int64
+	RouteMsgs     int64
+	RouteHops     int64
+	MaxQueueSize  int64
+}
+
+func (m *Metrics) noteBatch(b batch.Batch) {
+	m.BatchesSent++
+	if b.Size() > m.MaxBatchRuns {
+		m.MaxBatchRuns = b.Size()
+	}
+}
+
+func (m *Metrics) noteQueueSize(s int64) {
+	if s > m.MaxQueueSize {
+		m.MaxQueueSize = s
+	}
+}
+
+func (m *Metrics) noteRoute(hops int) {
+	m.RouteMsgs++
+	m.RouteHops += int64(hops)
+}
+
+// AvgRouteHops returns the mean LDB routing path length observed.
+func (m *Metrics) AvgRouteHops() float64 {
+	if m.RouteMsgs == 0 {
+		return 0
+	}
+	return float64(m.RouteHops) / float64(m.RouteMsgs)
+}
+
+// Cluster is a simulated Skueue deployment: the engine, the processes and
+// their virtual nodes, and the execution history.
+type Cluster struct {
+	cfg        Config
+	eng        *sim.Engine
+	labels     xrand.Hasher
+	keyHash    xrand.Hasher
+	procs      []*Process
+	nodes      map[sim.NodeID]*Node
+	hist       *seqcheck.History
+	metrics    Metrics
+	issued     int64
+	finished   int64
+	reqSeq     uint64
+	nextProc   int32
+	onComplete func(seqcheck.Completion)
+}
+
+// New builds and wires a cluster. All processes given in the config are
+// present from the start (bootstrap); later arrivals use JoinProcess.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Processes < 1 {
+		return nil, errors.New("core: need at least one process")
+	}
+	cl := &Cluster{
+		cfg:     cfg,
+		labels:  xrand.NewHasher(cfg.Seed, "labels"),
+		keyHash: xrand.NewHasher(cfg.Seed, "positions"),
+		nodes:   make(map[sim.NodeID]*Node),
+		hist:    &seqcheck.History{},
+	}
+	cl.eng = sim.New(sim.Config{
+		Seed:            xrand.New(cfg.Seed).Fork("engine").Int63(),
+		Async:           cfg.Async,
+		MaxDelay:        cfg.MaxDelay,
+		TimeoutEvery:    cfg.TimeoutEvery,
+		ShuffleTimeouts: cfg.ShuffleTimeouts,
+	})
+
+	// Spawn all initial nodes, then wire the ring and the sibling edges.
+	var refs []ldb.Ref
+	sibs := make(map[int32][3]ldb.Ref)
+	for p := 0; p < cfg.Processes; p++ {
+		proc, prefs := cl.spawnProcess()
+		proc.Joining = false
+		sibs[proc.ID] = prefs
+		refs = append(refs, prefs[0], prefs[1], prefs[2])
+	}
+	ring := ldb.NewRing(refs)
+	for i := 0; i < ring.Len(); i++ {
+		ref := ring.At(i)
+		n := cl.nodes[ref.ID]
+		n.pred = ring.Pred(i)
+		n.succ = ring.Succ(i)
+		n.churn.joining = false
+		n.sibIn = [3]bool{true, true, true}
+	}
+	anchor := cl.nodes[ring.Min().ID]
+	anchor.anchorRole = true
+	anchor.ast = batch.NewAnchorState()
+	return cl, nil
+}
+
+// spawnProcess creates the three virtual nodes of a fresh process. The
+// caller decides whether they start integrated (bootstrap) or joining.
+func (cl *Cluster) spawnProcess() (*Process, [3]ldb.Ref) {
+	pid := cl.nextProc
+	cl.nextProc++
+	l, m, r := ldb.ProcessPoints(cl.labels, uint64(pid))
+	proc := &Process{ID: pid, Joining: true}
+	var prefs [3]ldb.Ref
+	points := [3]ldb.Point{ldb.Left: l, ldb.Middle: m, ldb.Right: r}
+	for k, pt := range points {
+		kind := ldb.Kind(k)
+		n := &Node{
+			cl:          cl,
+			store:       dht.NewStore(),
+			pendingGets: make(map[uint64]getCtx),
+			// Until wired, every ref must be explicitly invalid; the zero
+			// Ref would silently address node 0.
+			pred: ldb.Ref{ID: sim.None},
+			succ: ldb.Ref{ID: sim.None},
+		}
+		n.churn.joining = true
+		n.churn.relayVia = ldb.Ref{ID: sim.None}
+		n.sibIn[kind] = true
+		id := cl.eng.Spawn(n)
+		n.self = ldb.Ref{ID: id, Point: pt, Kind: kind}
+		n.clientID = int32(id)
+		cl.nodes[id] = n
+		proc.Nodes[kind] = id
+		prefs[kind] = n.self
+	}
+	// Sibling (virtual) edges.
+	for kind := ldb.Left; kind <= ldb.Right; kind++ {
+		n := cl.nodes[proc.Nodes[kind]]
+		n.sibL, n.sibM, n.sibR = prefs[ldb.Left], prefs[ldb.Middle], prefs[ldb.Right]
+	}
+	cl.procs = append(cl.procs, proc)
+	return proc, prefs
+}
+
+func (cl *Cluster) updateThreshold() int {
+	if cl.cfg.UpdateThreshold < 1 {
+		return 1
+	}
+	return cl.cfg.UpdateThreshold
+}
+
+func (cl *Cluster) nextReqID() uint64 {
+	cl.reqSeq++
+	return cl.reqSeq
+}
+
+func (cl *Cluster) recordCompletion(c seqcheck.Completion) {
+	cl.hist.Record(c)
+	cl.finished++
+	if cl.onComplete != nil {
+		cl.onComplete(c)
+	}
+}
+
+// SetOnComplete registers a callback invoked for every completed request
+// (the facade uses it to resolve user-facing handles).
+func (cl *Cluster) SetOnComplete(fn func(seqcheck.Completion)) { cl.onComplete = fn }
+
+func (cl *Cluster) noteDeparted(n *Node)    { delete(cl.nodes, n.self.ID) }
+func (cl *Cluster) noteReplacement(n *Node) { cl.nodes[n.self.ID] = n }
+func (cl *Cluster) noteIntegrated(n *Node) {
+	// Mark the owning process fully joined once all three nodes are in.
+	for _, p := range cl.procs {
+		for _, id := range p.Nodes {
+			if id == n.self.ID {
+				for _, other := range p.Nodes {
+					if on, ok := cl.nodes[other]; ok && on.churn.joining {
+						return
+					}
+				}
+				p.Joining = false
+				return
+			}
+		}
+	}
+}
+
+// Engine exposes the simulation engine.
+func (cl *Cluster) Engine() *sim.Engine { return cl.eng }
+
+// History returns the completion history for verification.
+func (cl *Cluster) History() *seqcheck.History { return cl.hist }
+
+// Metrics returns a copy of the protocol metrics.
+func (cl *Cluster) Metrics() Metrics { return cl.metrics }
+
+// Issued and Finished return request progress counters.
+func (cl *Cluster) Issued() int64   { return cl.issued }
+func (cl *Cluster) Finished() int64 { return cl.finished }
+
+// Mode returns the configured semantics.
+func (cl *Cluster) Mode() batch.Mode { return cl.cfg.Mode }
+
+// Processes returns the process table (including departed entries).
+func (cl *Cluster) Processes() []*Process { return cl.procs }
+
+// Node returns the live node with the given id, if present.
+func (cl *Cluster) Node(id sim.NodeID) (*Node, bool) {
+	n, ok := cl.nodes[id]
+	return n, ok
+}
+
+// Client returns the virtual node a process issues requests through (its
+// middle node, per the facade convention).
+func (cl *Cluster) Client(proc int) sim.NodeID {
+	return cl.procs[proc].Nodes[ldb.Middle]
+}
+
+// ActiveClients lists nodes eligible to issue requests: live, not
+// departed, not leaving, not replacements.
+func (cl *Cluster) ActiveClients() []sim.NodeID {
+	var out []sim.NodeID
+	for _, p := range cl.procs {
+		if p.Left {
+			continue
+		}
+		for _, id := range p.Nodes {
+			n, ok := cl.nodes[id]
+			if ok && !n.churn.departed && !n.churn.leaving {
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// Enqueue buffers an ENQUEUE (PUSH) request at the given client node.
+func (cl *Cluster) Enqueue(client sim.NodeID) uint64 {
+	n, ok := cl.nodes[client]
+	if !ok {
+		panic(fmt.Sprintf("core: Enqueue at unknown node %d", client))
+	}
+	return n.InjectEnqueue(cl.eng.Now())
+}
+
+// Dequeue buffers a DEQUEUE (POP) request at the given client node.
+func (cl *Cluster) Dequeue(client sim.NodeID) uint64 {
+	n, ok := cl.nodes[client]
+	if !ok {
+		panic(fmt.Sprintf("core: Dequeue at unknown node %d", client))
+	}
+	return n.InjectDequeue(cl.eng.Now())
+}
+
+// Step advances the simulation by one round (or one event when async).
+func (cl *Cluster) Step() { cl.eng.Step() }
+
+// Run advances the simulation by the given number of rounds / time units.
+func (cl *Cluster) Run(rounds int64) { cl.eng.Run(rounds) }
+
+// Drain runs until every issued request completed, or maxTime elapses.
+// It reports whether the system fully drained.
+func (cl *Cluster) Drain(maxTime int64) bool {
+	return cl.eng.RunUntil(func() bool { return cl.finished >= cl.issued }, maxTime)
+}
+
+// CheckConsistency verifies the full history against Definition 1.
+func (cl *Cluster) CheckConsistency() error {
+	mode := seqcheck.Queue
+	if cl.cfg.Mode == batch.Stack {
+		mode = seqcheck.Stack
+	}
+	return seqcheck.Check(mode, cl.hist)
+}
+
+// JoinProcess spawns a fresh process and routes its three JOIN requests
+// into the system via the given contact process (§IV-A). It returns the
+// new process index.
+func (cl *Cluster) JoinProcess(contactProc int) int {
+	contact := cl.procs[contactProc]
+	contactID := contact.Nodes[ldb.Middle]
+	if _, ok := cl.nodes[contactID]; !ok {
+		panic("core: contact process has departed")
+	}
+	proc, prefs := cl.spawnProcess()
+	for _, ref := range prefs {
+		cl.eng.Inject(ref.ID, contactID, routedMsg{
+			RS:    ldb.RouteState{Target: ref.Point.Label, BitsLeft: -1},
+			Inner: joinReq{NewNode: ref},
+		})
+	}
+	return int(proc.ID)
+}
+
+// LeaveProcess asks all three nodes of a process to leave (§IV-B).
+func (cl *Cluster) LeaveProcess(proc int) {
+	p := cl.procs[proc]
+	if p.Joining {
+		panic("core: cannot leave while still joining")
+	}
+	if p.Left {
+		return
+	}
+	p.Left = true
+	for _, id := range p.Nodes {
+		if n, ok := cl.nodes[id]; ok {
+			n.RequestLeave()
+		}
+	}
+}
+
+// ChurnQuiescent reports whether all joins and leaves have fully settled:
+// no joining processes, no relayed joiners, no replacements awaiting
+// absorption, no update phase in progress, and every leave request
+// executed.
+func (cl *Cluster) ChurnQuiescent() bool {
+	for _, p := range cl.procs {
+		if p.Joining {
+			return false
+		}
+	}
+	for _, n := range cl.nodes {
+		c := &n.churn
+		if c.departed {
+			continue
+		}
+		if c.joining || len(c.joiners) > 0 ||
+			c.isReplacement || c.updatePhase || c.leaving ||
+			len(c.heldHandoffs) > 0 || len(c.grantsPending) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TreeHeight returns the height of the current aggregation tree, measured
+// from the global oracle (Corollary 6 predicts O(log n) w.h.p.; the §VII
+// latency discussion calls it ATH).
+func (cl *Cluster) TreeHeight() int {
+	max := 0
+	for _, n := range cl.nodes {
+		if n.churn.departed || n.churn.joining {
+			continue
+		}
+		depth := 0
+		cur := n
+		for {
+			p, ok := cur.nb().Parent()
+			if !ok {
+				break
+			}
+			next, live := cl.nodes[p.ID]
+			if !live {
+				break
+			}
+			depth++
+			if depth > len(cl.nodes) {
+				return -1 // should not happen: parent chain cycles
+			}
+			cur = next
+		}
+		if depth > max {
+			max = depth
+		}
+	}
+	return max
+}
+
+// Diagnose reports, for every live node that has not fired its current
+// wave, which children it is still waiting for — the first tool to reach
+// for when a wave stalls.
+func (cl *Cluster) Diagnose() []string {
+	var out []string
+	for _, n := range cl.nodes {
+		c := &n.churn
+		if c.departed || n.inBatch != nil {
+			continue
+		}
+		if c.updatePhase {
+			out = append(out, fmt.Sprintf("%v in update phase e%d (acks=%d intro=%d votes=%d done=%v)",
+				n.self, c.epoch, c.acksLeft, c.introAcksLeft, c.votesPending, c.phaseDone))
+			continue
+		}
+		var missing []string
+		for _, k := range n.children() {
+			if !n.hasWaitingFrom(k.ID) {
+				missing = append(missing, k.String())
+			}
+		}
+		if len(missing) > 0 {
+			out = append(out, fmt.Sprintf("%v (anchor=%v joining=%v) waits for %v",
+				n.self, n.anchorRole, c.joining, missing))
+		}
+	}
+	return out
+}
+
+// AnchorNode returns the node currently holding the anchor role.
+func (cl *Cluster) AnchorNode() *Node {
+	for _, n := range cl.nodes {
+		if n.anchorRole && !n.churn.departed {
+			return n
+		}
+	}
+	return nil
+}
+
+// StoreSizes returns the number of stored elements per live ring node
+// (fairness experiments, Lemma 4 / Corollary 19).
+func (cl *Cluster) StoreSizes() []int {
+	var out []int
+	for _, n := range cl.nodes {
+		if !n.churn.departed && !n.churn.joining {
+			out = append(out, n.store.Len())
+		}
+	}
+	return out
+}
+
+// TotalStored returns the number of elements held across the DHT.
+func (cl *Cluster) TotalStored() int {
+	total := 0
+	for _, n := range cl.nodes {
+		if !n.churn.departed {
+			total += n.store.Len()
+		}
+	}
+	return total
+}
+
+// LiveRing returns the live ring nodes sorted by point (test oracle).
+func (cl *Cluster) LiveRing() *ldb.Ring {
+	var refs []ldb.Ref
+	for _, n := range cl.nodes {
+		if !n.churn.departed && !n.churn.joining {
+			refs = append(refs, n.self)
+		}
+	}
+	return ldb.NewRing(refs)
+}
+
+// VerifyTopology checks, from the global test oracle, that every live
+// ring node's pred/succ agree with the sorted ring — the eventual
+// correctness condition after churn settles.
+func (cl *Cluster) VerifyTopology() error {
+	ring := cl.LiveRing()
+	for i := 0; i < ring.Len(); i++ {
+		n := cl.nodes[ring.At(i).ID]
+		if n.pred.ID != ring.Pred(i).ID {
+			return fmt.Errorf("node %v pred = %v, ring says %v", n.self, n.pred, ring.Pred(i))
+		}
+		if n.succ.ID != ring.Succ(i).ID {
+			return fmt.Errorf("node %v succ = %v, ring says %v", n.self, n.succ, ring.Succ(i))
+		}
+	}
+	anchors := 0
+	for _, n := range cl.nodes {
+		if n.anchorRole && !n.churn.departed {
+			anchors++
+			if n.self.ID != ring.Min().ID {
+				return fmt.Errorf("anchor role at %v, leftmost is %v", n.self, ring.Min())
+			}
+		}
+	}
+	if anchors != 1 {
+		return fmt.Errorf("%d anchor roles in the system", anchors)
+	}
+	return nil
+}

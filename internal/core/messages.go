@@ -1,0 +1,79 @@
+package core
+
+import (
+	"skueue/internal/batch"
+	"skueue/internal/dht"
+	"skueue/internal/fixpoint"
+	"skueue/internal/ldb"
+	"skueue/internal/sim"
+)
+
+// aggregateMsg carries a combined batch one hop up the aggregation tree
+// (Stage 1, Algorithm 1: AGGREGATE).
+type aggregateMsg struct {
+	From ldb.Ref
+	B    batch.Batch
+}
+
+// serveMsg carries decomposed run assignments one hop down the aggregation
+// tree (Stage 3, Algorithm 2: SERVE). A non-zero UpdateEpoch signals the
+// start of that update phase (§IV): no node may send new batches until the
+// phase ends.
+type serveMsg struct {
+	Assigns     []batch.RunAssign
+	UpdateEpoch int64
+}
+
+// routedMsg wraps a payload travelling over the LDB towards the node
+// responsible for a key (Lemma 3 routing).
+type routedMsg struct {
+	RS    ldb.RouteState
+	Inner any
+}
+
+// putReq inserts an element into the DHT (Stage 4). It carries everything
+// the storing node needs to record the enqueue completion (§VII measures
+// an ENQUEUE as finished when the element is stored) and, in stack mode,
+// to acknowledge completion to the issuer for the stage-4 wait.
+type putReq struct {
+	Pos    int64
+	Ticket int64
+	Elem   dht.Element
+
+	Requester sim.NodeID
+	ReqID     uint64
+	Born      int64
+	Client    int32
+	LocalSeq  int64
+	Value     int64
+}
+
+// getReq removes an element from the DHT and delivers it to the requester
+// (Stage 4). Bound is the stack ticket bound (§VI); queue gets use 0.
+type getReq struct {
+	Pos       int64
+	Bound     int64
+	Requester sim.NodeID
+	ReqID     uint64
+}
+
+// getReply returns the element of a GET to its requester.
+type getReply struct {
+	ReqID uint64
+	Entry dht.Entry
+}
+
+// putAck confirms a PUT was stored; only stack nodes request it (the
+// §VI fix: a node must not start the next aggregation phase before all
+// its stage-4 operations finished).
+type putAck struct {
+	ReqID uint64
+}
+
+// directMsg carries a DHT payload directly to a known node, bypassing
+// routing: used when the responsible node forwards requests into the
+// sub-interval of a joining node it relays for (§IV-A).
+type directMsg struct {
+	Key   fixpoint.Frac
+	Inner any
+}

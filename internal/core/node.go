@@ -1,0 +1,631 @@
+package core
+
+import (
+	"fmt"
+
+	"skueue/internal/batch"
+	"skueue/internal/dht"
+	"skueue/internal/fixpoint"
+	"skueue/internal/ldb"
+	"skueue/internal/seqcheck"
+	"skueue/internal/sim"
+	"skueue/internal/stack"
+)
+
+// pendingOp is one locally generated, not-yet-assigned queue operation.
+type pendingOp struct {
+	isDeq    bool
+	elem     dht.Element
+	reqID    uint64
+	born     int64
+	localSeq int64
+}
+
+// subBatch remembers one component of the processing batch and where it
+// came from: a child's sub-batch, or (from == sim.None) the node's own
+// buffered operations.
+type subBatch struct {
+	from sim.NodeID
+	b    batch.Batch
+}
+
+// ownWave is the node's own contribution to the current processing batch:
+// the operations in order plus their run encoding.
+type ownWave struct {
+	ops []pendingOp
+	b   batch.Batch
+}
+
+// getCtx is what the requester remembers about an in-flight GET.
+type getCtx struct {
+	born     int64
+	localSeq int64
+	value    int64
+}
+
+// Node is one virtual node of the linearized De Bruijn network running the
+// Skueue protocol. A process emulates three of them (§II-A); each is an
+// independent sim.Handler.
+type Node struct {
+	cl   *Cluster
+	self ldb.Ref
+	// clientID identifies this node as a request issuer in completion
+	// records; -1 for replacement nodes, which never issue requests.
+	clientID int32
+
+	// Topology (maintained under churn).
+	pred, succ       ldb.Ref
+	sibL, sibM, sibR ldb.Ref
+	// sibIn tracks which of the process's virtual nodes are integrated
+	// ring members (indexed by ldb.Kind). A sibling-derived tree child is
+	// only expected once that sibling announced its integration; joiners
+	// of a process can be integrated in different update phases, and
+	// waiting for a not-yet-integrated sibling would deadlock the wave.
+	sibIn        [3]bool
+	childCache   []ldb.Ref
+	childCacheOK bool
+
+	// Anchor role and state (§III-D). The role follows the leftmost node;
+	// it is transferred explicitly during update phases.
+	anchorRole bool
+	ast        batch.AnchorState
+
+	// Request generation.
+	nextElemSeq  int64
+	nextLocalSeq int64
+
+	// Stage 1: own buffered operations (queue mode and uncombined stack
+	// mode) or the residual word combiner (stack mode, §VI).
+	pending  []pendingOp
+	combiner stack.Combiner
+
+	// Stage 1: sub-batches received from children, waiting to be folded.
+	waiting []subBatch
+	// The processing batch B: provenance plus own-op bookkeeping.
+	// inBatch == nil means B is empty (the paper's B = (0)).
+	inBatch []subBatch
+	inOwn   ownWave
+
+	// Stage 4 (stack): own DHT operations not yet confirmed.
+	outstanding int
+
+	// DHT fragment and in-flight GETs issued by this node.
+	store       *dht.Store
+	pendingGets map[uint64]getCtx
+
+	// Churn (§IV) — see churn.go.
+	churn churnState
+}
+
+var _ sim.Handler = (*Node)(nil)
+
+// nb assembles the local neighbourhood view for the topology rules.
+func (n *Node) nb() ldb.Neighborhood {
+	return ldb.Neighborhood{
+		Self: n.self, Pred: n.pred, Succ: n.succ,
+		SibL: n.sibL, SibM: n.sibM, SibR: n.sibR,
+	}
+}
+
+// children returns the aggregation-tree children: the structural children
+// of §III-B plus any joining nodes this node relays for (§IV-A). A node
+// that is itself still joining is a pure leaf hanging off its responsible
+// node.
+func (n *Node) children() []ldb.Ref {
+	if n.churn.joining {
+		return nil
+	}
+	if !n.childCacheOK {
+		n.childCache = n.childCache[:0]
+		for _, c := range n.nb().Children() {
+			// Gate sibling-derived children on their integration; ring
+			// successors are ring members by construction.
+			if c.ID == n.sibM.ID && n.self.Kind == ldb.Left && !n.sibIn[ldb.Middle] {
+				continue
+			}
+			if c.ID == n.sibR.ID && n.self.Kind == ldb.Middle && !n.sibIn[ldb.Right] {
+				continue
+			}
+			n.childCache = append(n.childCache, c)
+		}
+		n.childCacheOK = true
+	}
+	if len(n.churn.joiners) == 0 {
+		return n.childCache
+	}
+	out := make([]ldb.Ref, 0, len(n.childCache)+len(n.churn.joiners))
+	out = append(out, n.childCache...)
+	for _, j := range n.churn.joiners {
+		out = append(out, j.ref)
+	}
+	return out
+}
+
+// invalidateTopology drops caches after pred/succ/sibling updates.
+func (n *Node) invalidateTopology() { n.childCacheOK = false }
+
+// OnInit is a no-op: bootstrap wiring happens in Cluster before the run,
+// and runtime spawns (join, leave replacement) wire explicitly.
+func (n *Node) OnInit(ctx *sim.Context) {}
+
+// OnTimeout is the paper's TIMEOUT action (Algorithm 1): when the
+// processing batch is empty and every child contributed a sub-batch, fold
+// the waiting data into the processing batch and push it towards the
+// anchor — or, at the anchor, assign positions immediately.
+func (n *Node) OnTimeout(ctx *sim.Context) {
+	if n.churn.departed {
+		return
+	}
+	n.churn.tick(ctx, n)
+	if n.churn.departed || n.churn.updatePhase || n.churn.frozen() {
+		return
+	}
+	if len(n.waiting) > 0 {
+		n.bounceStaleWaiting(ctx)
+	}
+	if n.inBatch != nil {
+		return
+	}
+	if n.stage4Gated() {
+		return
+	}
+	kids := n.children()
+	for _, k := range kids {
+		if !n.hasWaitingFrom(k.ID) {
+			return
+		}
+	}
+	n.fire(ctx)
+}
+
+// bounceStaleWaiting returns buffered sub-batches whose senders are no
+// longer our children. Keeping them could deadlock: the stale batch's
+// sender blocks on being served, while the wave that would serve it blocks
+// (transitively) on that sender's next batch. Bouncing makes the sender
+// re-buffer and resubmit through its current parent.
+func (n *Node) bounceStaleWaiting(ctx *sim.Context) {
+	kids := n.children()
+	keep := n.waiting[:0]
+	for _, w := range n.waiting {
+		current := false
+		for _, k := range kids {
+			if k.ID == w.from {
+				current = true
+				break
+			}
+		}
+		if current {
+			keep = append(keep, w)
+		} else {
+			ctx.Send(w.from, rejectBatch{B: w.b})
+		}
+	}
+	n.waiting = keep
+}
+
+// stage4Gated reports whether the §VI completion wait blocks the next
+// aggregation phase.
+func (n *Node) stage4Gated() bool {
+	return n.cl.cfg.Mode == batch.Stack && !n.cl.cfg.DisableStage4Wait && n.outstanding > 0
+}
+
+// isCurrentChild reports whether id is one of our aggregation-tree
+// children right now.
+func (n *Node) isCurrentChild(id sim.NodeID) bool {
+	for _, c := range n.children() {
+		if c.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Node) hasWaitingFrom(id sim.NodeID) bool {
+	for _, w := range n.waiting {
+		if w.from == id {
+			return true
+		}
+	}
+	return false
+}
+
+// takeOwnOps drains the node's own buffered operations into an ownWave.
+func (n *Node) takeOwnOps() ownWave {
+	var w ownWave
+	if n.cl.cfg.Mode == batch.Stack && !n.cl.cfg.DisableLocalCombining {
+		pops, pushes := n.combiner.TakeResidual()
+		for _, p := range pops {
+			w.ops = append(w.ops, pendingOp{isDeq: true, reqID: p.ReqID, born: p.Born, localSeq: p.LocalSeq})
+		}
+		for _, p := range pushes {
+			w.ops = append(w.ops, pendingOp{elem: p.Elem, reqID: p.ReqID, born: p.Born, localSeq: p.LocalSeq})
+		}
+		w.b = batch.MakeStack(int64(len(pops)), int64(len(pushes)))
+		return w
+	}
+	w.ops = n.pending
+	n.pending = nil
+	for _, op := range w.ops {
+		if op.isDeq {
+			w.b.AppendDequeue()
+		} else {
+			w.b.AppendEnqueue()
+		}
+	}
+	return w
+}
+
+// fire executes the Stage 1 transfer W -> B (Algorithm 1).
+func (n *Node) fire(ctx *sim.Context) {
+	own := n.takeOwnOps()
+	own.b.J = n.churn.takeJoinCount()
+	own.b.L = n.churn.takeLeaveCount()
+	subs := make([]subBatch, 0, 1+len(n.waiting))
+	subs = append(subs, subBatch{from: sim.None, b: own.b})
+	subs = append(subs, n.waiting...)
+	n.waiting = nil
+	n.inBatch = subs
+	n.inOwn = own
+
+	parts := make([]batch.Batch, len(subs))
+	for i, sb := range subs {
+		parts[i] = sb.b
+	}
+	combined := batch.Combine(parts...)
+	n.cl.metrics.noteBatch(combined)
+
+	if n.anchorRole {
+		n.assignAndServe(ctx, combined)
+		return
+	}
+	if n.churn.joining {
+		// Joining nodes relay their requests through the responsible node,
+		// which treats them as extra aggregation-tree children (§IV-A).
+		ctx.Send(n.churn.relayVia.ID, aggregateMsg{From: n.self, B: combined})
+		return
+	}
+	parent, ok := n.nb().Parent()
+	if !ok {
+		// Structurally leftmost but not (yet) holding the anchor role:
+		// happens only transiently during churn; hold the batch until the
+		// role arrives.
+		n.inBatch = nil
+		n.restoreOwn(own, subs[1:])
+		return
+	}
+	ctx.Send(parent.ID, aggregateMsg{From: n.self, B: combined})
+}
+
+// restoreOwn undoes a fire that could not proceed (rare churn corner).
+func (n *Node) restoreOwn(own ownWave, kids []subBatch) {
+	if n.cl.cfg.Mode == batch.Stack && !n.cl.cfg.DisableLocalCombining {
+		a := own.b.NumDequeues()
+		for i, op := range own.ops {
+			sop := stack.PendingOp{ReqID: op.reqID, Elem: op.elem, Born: op.born, LocalSeq: op.localSeq}
+			if int64(i) < a {
+				n.combiner.RestorePop(sop)
+			} else {
+				n.combiner.RestorePush(sop)
+			}
+		}
+	} else {
+		n.pending = append(own.ops, n.pending...)
+	}
+	n.churn.restoreCounts(own.b.J, own.b.L)
+	n.waiting = append(kids, n.waiting...)
+}
+
+// assignAndServe is Stage 2 at the anchor (Algorithm 2: ASSIGN).
+func (n *Node) assignAndServe(ctx *sim.Context, combined batch.Batch) {
+	n.cl.metrics.WavesAssigned++
+	epoch := n.churn.anchorObserve(n, combined)
+	assigns := n.ast.Assign(n.cl.cfg.Mode, combined)
+	n.cl.metrics.noteQueueSize(n.ast.Size())
+	n.serve(ctx, assigns, epoch, sim.None)
+}
+
+// serve is Stage 3 (Algorithm 2: SERVE): decompose the run assignments
+// over the remembered sub-batches and forward each share — down the tree
+// for child batches, into Stage 4 for own operations. A non-zero epoch
+// starts the update phase of §IV.
+func (n *Node) serve(ctx *sim.Context, assigns []batch.RunAssign, epoch int64, from sim.NodeID) {
+	if n.inBatch == nil {
+		panic(fmt.Sprintf("core: node %v received SERVE without a processing batch", n.self))
+	}
+	subs := n.inBatch
+	own := n.inOwn
+	n.inBatch = nil
+	n.inOwn = ownWave{}
+
+	if epoch != 0 {
+		n.churn.enterUpdatePhase(ctx, from, epoch, subs)
+	}
+	for _, sb := range subs {
+		d := batch.Decompose(n.cl.cfg.Mode, assigns, sb.b)
+		if sb.from == sim.None {
+			n.applyOwn(ctx, own, d)
+		} else {
+			ctx.Send(sb.from, serveMsg{Assigns: d, UpdateEpoch: epoch})
+		}
+	}
+	if epoch != 0 {
+		n.churn.startIntegration(ctx, n)
+	}
+}
+
+// applyOwn is Stage 4 for the node's own operations: turn every assigned
+// position into a PUT or GET, and complete ⊥ dequeues immediately.
+func (n *Node) applyOwn(ctx *sim.Context, own ownWave, d []batch.RunAssign) {
+	cur := 0
+	for ri, k := range own.b.Runs {
+		ops := batch.Expand(n.cl.cfg.Mode, ri, d[ri], k)
+		for j := int64(0); j < k; j++ {
+			n.dispatchOp(ctx, own.ops[cur], ops[j], batch.IsDeqIndex(ri))
+			cur++
+		}
+	}
+	if cur != len(own.ops) {
+		panic(fmt.Sprintf("core: node %v own-op bookkeeping mismatch: %d runs ops, %d pending", n.self, cur, len(own.ops)))
+	}
+}
+
+func (n *Node) dispatchOp(ctx *sim.Context, po pendingOp, oa batch.OpAssign, isDeq bool) {
+	if isDeq && oa.Pos == batch.NoPosition {
+		// Empty-structure dequeue: returns ⊥ right here (§III-E).
+		n.cl.recordCompletion(seqcheck.Completion{
+			Client: n.clientID, LocalSeq: po.localSeq,
+			Kind: seqcheck.Dequeue, Bottom: true,
+			Value: oa.Value, Born: po.born, Done: ctx.Now(), ReqID: po.reqID,
+		})
+		return
+	}
+	key := n.cl.keyHash.Frac(uint64(oa.Pos))
+	stackMode := n.cl.cfg.Mode == batch.Stack
+	if isDeq {
+		bound := int64(0)
+		if stackMode {
+			bound = oa.Ticket
+		}
+		n.pendingGets[po.reqID] = getCtx{born: po.born, localSeq: po.localSeq, value: oa.Value}
+		if stackMode {
+			n.outstanding++
+		}
+		n.sendRouted(ctx, key, getReq{Pos: oa.Pos, Bound: bound, Requester: n.self.ID, ReqID: po.reqID})
+		return
+	}
+	ticket := int64(0)
+	if stackMode {
+		ticket = oa.Ticket
+		n.outstanding++
+	}
+	n.sendRouted(ctx, key, putReq{
+		Pos: oa.Pos, Ticket: ticket, Elem: po.elem,
+		Requester: n.self.ID, ReqID: po.reqID, Born: po.born,
+		Client: n.clientID, LocalSeq: po.localSeq, Value: oa.Value,
+	})
+}
+
+// sendRouted starts LDB routing of a payload towards key, beginning at
+// this node. A joining node that is not yet part of the ring injects the
+// message through the node responsible for it instead (§IV-A).
+func (n *Node) sendRouted(ctx *sim.Context, key fixpoint.Frac, inner any) {
+	if n.churn.relayVia.Valid() {
+		ctx.Send(n.churn.relayVia.ID, routedMsg{RS: ldb.RouteState{Target: key, BitsLeft: -1}, Inner: inner})
+		return
+	}
+	rs := n.nb().NewRoute(key)
+	n.routeStep(ctx, routedMsg{RS: rs, Inner: inner})
+}
+
+// routeStep advances a routed message by one hop, or consumes it here.
+func (n *Node) routeStep(ctx *sim.Context, m routedMsg) {
+	if n.churn.joining {
+		// We do not know our ring neighbours yet; deciding now could
+		// misdeliver. Hold the message until integration (§IV-A: a request
+		// "can wait until it has learned to know a node that is closer").
+		n.churn.routedHold = append(n.churn.routedHold, m)
+		return
+	}
+	if m.RS.BitsLeft < 0 {
+		// Injected by a joiner through us: start a fresh route here.
+		m.RS = n.nb().NewRoute(m.RS.Target)
+	}
+	next, out, deliver := n.nb().NextHop(m.RS)
+	if deliver {
+		n.cl.metrics.noteRoute(out.Hops)
+		n.deliverRouted(ctx, m.RS.Target, m.Inner)
+		return
+	}
+	m.RS = out
+	ctx.Send(next.ID, m)
+}
+
+// deliverRouted handles a payload that routing delivered at this node.
+func (n *Node) deliverRouted(ctx *sim.Context, key fixpoint.Frac, inner any) {
+	switch inner.(type) {
+	case putReq, getReq, migrateEntry, migrateParked:
+		n.dispatchDHT(ctx, key, inner)
+	default:
+		n.handleRoutedChurn(ctx, inner)
+	}
+}
+
+// dispatchDHT places a DHT payload with the node that currently owns its
+// key: a relayed joiner's sub-interval (§IV-A), this node itself, or —
+// when ownership moved while the payload was in flight — the ring, via a
+// fresh route. This single choke point makes data placement self-healing
+// under churn.
+func (n *Node) dispatchDHT(ctx *sim.Context, key fixpoint.Frac, inner any) {
+	if j, ok := n.churn.joinerFor(key, n.self); ok {
+		ctx.Send(j.ref.ID, directMsg{Key: key, Inner: inner})
+		return
+	}
+	if n.churn.joining {
+		if n.churn.rangeValid && fixpoint.InCWRange(key, n.churn.rangeFrom, n.churn.rangeEnd) {
+			n.handleDHT(ctx, inner)
+			return
+		}
+		// Not ours: bounce through the responsible node.
+		ctx.Send(n.churn.relayVia.ID, directMsg{Key: key, Inner: inner})
+		return
+	}
+	if !n.nb().Responsible(key) {
+		n.sendRouted(ctx, key, inner)
+		return
+	}
+	n.handleDHT(ctx, inner)
+}
+
+// handleDHT executes a delivered PUT or GET against the local fragment.
+func (n *Node) handleDHT(ctx *sim.Context, inner any) {
+	switch m := inner.(type) {
+	case putReq:
+		released := n.store.Put(m.Pos, m.Ticket, m.Elem)
+		// The enqueue finishes the moment its element is stored (§VII).
+		n.cl.recordCompletion(seqcheck.Completion{
+			Client: m.Client, LocalSeq: m.LocalSeq,
+			Kind: seqcheck.Enqueue, Elem: m.Elem,
+			Value: m.Value, Born: m.Born, Done: ctx.Now(), ReqID: m.ReqID,
+		})
+		if n.cl.cfg.Mode == batch.Stack {
+			ctx.Send(m.Requester, putAck{ReqID: m.ReqID})
+		}
+		for _, rel := range released {
+			ctx.Send(rel.Waiter.Requester, getReply{ReqID: rel.Waiter.ReqID, Entry: rel.Entry})
+		}
+	case getReq:
+		if ent, ok := n.store.Get(m.Pos, m.Bound); ok {
+			ctx.Send(m.Requester, getReply{ReqID: m.ReqID, Entry: ent})
+			return
+		}
+		// GET outran its PUT: park until the element arrives (§III-F).
+		n.store.Park(m.Pos, dht.Waiter{Requester: m.Requester, ReqID: m.ReqID, Bound: m.Bound})
+		n.cl.metrics.ParkedGets++
+	case migrateEntry:
+		for _, rel := range n.store.Insert(m.Ent) {
+			ctx.Send(rel.Waiter.Requester, getReply{ReqID: rel.Waiter.ReqID, Entry: rel.Entry})
+		}
+	case migrateParked:
+		// The element may already be here (it migrated first).
+		if ent, ok := n.store.Get(m.Pos, m.W.Bound); ok {
+			ctx.Send(m.W.Requester, getReply{ReqID: m.W.ReqID, Entry: ent})
+			return
+		}
+		n.store.Park(m.Pos, m.W)
+	default:
+		panic(fmt.Sprintf("core: %v: handleDHT got %T", n.self, inner))
+	}
+}
+
+// OnMessage dispatches a delivered message (a remote action call).
+func (n *Node) OnMessage(ctx *sim.Context, from sim.NodeID, payload any) {
+	if n.churn.departed {
+		// A replaced node only forwards until the ring forgets it (§IV-B).
+		n.handleDeparted(ctx, payload)
+		return
+	}
+	switch m := payload.(type) {
+	case aggregateMsg:
+		if !n.isCurrentChild(m.From.ID) {
+			// The sender is not (or no longer) our child: its batch was in
+			// flight across a topology change (integration, replacement).
+			// Bounce it back so the sender re-buffers its operations and
+			// resubmits through its current parent; queueing it here could
+			// deadlock the wave (the new tree never consumes it).
+			ctx.Send(m.From.ID, rejectBatch{B: m.B})
+			return
+		}
+		if n.hasWaitingFrom(m.From.ID) {
+			panic(fmt.Sprintf("core: node %v got a second sub-batch from child %v within one wave", n.self, m.From))
+		}
+		n.waiting = append(n.waiting, subBatch{from: m.From.ID, b: m.B})
+	case serveMsg:
+		n.serve(ctx, m.Assigns, m.UpdateEpoch, from)
+	case routedMsg:
+		n.routeStep(ctx, m)
+	case directMsg:
+		n.dispatchDHT(ctx, m.Key, m.Inner)
+	case getReply:
+		gc, ok := n.pendingGets[m.ReqID]
+		if !ok {
+			panic(fmt.Sprintf("core: node %v got reply for unknown GET %d", n.self, m.ReqID))
+		}
+		delete(n.pendingGets, m.ReqID)
+		if n.cl.cfg.Mode == batch.Stack {
+			n.outstanding--
+		}
+		n.cl.recordCompletion(seqcheck.Completion{
+			Client: n.clientID, LocalSeq: gc.localSeq,
+			Kind: seqcheck.Dequeue, Elem: m.Entry.Elem,
+			Value: gc.value, Born: gc.born, Done: ctx.Now(), ReqID: m.ReqID,
+		})
+	case putAck:
+		n.outstanding--
+	default:
+		if !n.handleChurn(ctx, from, payload) {
+			panic(fmt.Sprintf("core: node %v cannot handle message %T", n.self, payload))
+		}
+	}
+}
+
+// InjectEnqueue buffers a locally generated ENQUEUE (PUSH) request. It is
+// called by the workload driver between rounds, mirroring the paper's
+// "nodes generate requests" — generation itself costs no messages.
+func (n *Node) InjectEnqueue(now int64) uint64 {
+	reqID := n.cl.nextReqID()
+	elem := dht.Element{Origin: n.clientID, Seq: n.nextElemSeq}
+	n.nextElemSeq++
+	op := pendingOp{elem: elem, reqID: reqID, born: now, localSeq: n.nextLocalSeq}
+	n.nextLocalSeq++
+	if n.cl.cfg.Mode == batch.Stack && !n.cl.cfg.DisableLocalCombining {
+		n.combiner.Push(stack.PendingOp{ReqID: op.reqID, Elem: op.elem, Born: op.born, LocalSeq: op.localSeq})
+	} else {
+		n.pending = append(n.pending, op)
+	}
+	n.cl.issued++
+	return reqID
+}
+
+// InjectDequeue buffers a locally generated DEQUEUE (POP) request. In
+// stack mode with local combining it may complete immediately together
+// with a buffered push (§VI).
+func (n *Node) InjectDequeue(now int64) uint64 {
+	reqID := n.cl.nextReqID()
+	op := pendingOp{isDeq: true, reqID: reqID, born: now, localSeq: n.nextLocalSeq}
+	n.nextLocalSeq++
+	n.cl.issued++
+	if n.cl.cfg.Mode == batch.Stack && !n.cl.cfg.DisableLocalCombining {
+		sop := stack.PendingOp{ReqID: op.reqID, Born: op.born, LocalSeq: op.localSeq}
+		if match, ok := n.combiner.Pop(sop); ok {
+			// Both operations complete on the spot, without value() ranks;
+			// the verifier anchors them into ≺ as a combined block.
+			n.cl.metrics.CombinedOps += 2
+			n.cl.recordCompletion(seqcheck.Completion{
+				Client: n.clientID, LocalSeq: match.LocalSeq,
+				Kind: seqcheck.Push, Elem: match.Elem,
+				Value: seqcheck.NoValue, Born: match.Born, Done: now, ReqID: match.ReqID,
+			})
+			n.cl.recordCompletion(seqcheck.Completion{
+				Client: n.clientID, LocalSeq: op.localSeq,
+				Kind: seqcheck.Pop, Elem: match.Elem,
+				Value: seqcheck.NoValue, Born: op.born, Done: now, ReqID: op.reqID,
+			})
+		}
+		return reqID
+	}
+	n.pending = append(n.pending, op)
+	return reqID
+}
+
+// Store exposes the DHT fragment for tests and load statistics.
+func (n *Node) Store() *dht.Store { return n.store }
+
+// Ref returns the node's identity.
+func (n *Node) Ref() ldb.Ref { return n.self }
+
+// IsAnchor reports whether the node currently holds the anchor role.
+func (n *Node) IsAnchor() bool { return n.anchorRole }
+
+// AnchorState returns a copy of the anchor's position window (valid only
+// on the anchor).
+func (n *Node) AnchorState() batch.AnchorState { return n.ast }

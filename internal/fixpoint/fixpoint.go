@@ -1,0 +1,113 @@
+// Package fixpoint implements exact fixed-point arithmetic on the unit
+// interval [0,1), the label and key space of the linearized De Bruijn
+// network and the DHT (paper §II). A Frac is a uint64 x interpreted as the
+// real number x/2^64. All protocol-relevant operations — De Bruijn halving,
+// clockwise distances and containment on the ring — are exact bit
+// operations, so the implementation is deterministic across platforms and
+// free of floating-point rounding.
+package fixpoint
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Frac is a number in [0,1) represented as numerator/2^64.
+type Frac uint64
+
+// Common constants.
+const (
+	Zero Frac = 0
+	// Half is 0.5, the boundary between left virtual node labels [0, 0.5)
+	// and right virtual node labels [0.5, 1).
+	Half Frac = 1 << 63
+)
+
+// FromFloat converts a float64 in [0,1) to the nearest Frac.
+// Values outside [0,1) are clamped.
+func FromFloat(f float64) Frac {
+	if f <= 0 {
+		return 0
+	}
+	if f >= 1 {
+		return Frac(math.MaxUint64)
+	}
+	return Frac(f * (1 << 32) * (1 << 32))
+}
+
+// Float returns the value as a float64 approximation (for display only;
+// never used in protocol decisions).
+func (x Frac) Float() float64 {
+	return float64(x) / (1 << 32) / (1 << 32)
+}
+
+// Halve returns x/2, the label of the left De Bruijn child of a middle
+// virtual node with label x (paper Definition 2: l(v) = m(v)/2).
+func (x Frac) Halve() Frac { return x >> 1 }
+
+// HalvePlus returns (x+1)/2, the label of the right De Bruijn child
+// (paper Definition 2: r(v) = (m(v)+1)/2).
+func (x Frac) HalvePlus() Frac { return x>>1 | 1<<63 }
+
+// Double returns 2x mod 1, the inverse of the halving maps: both
+// l(v).Double() and r(v).Double() equal m(v).
+func (x Frac) Double() Frac { return x << 1 }
+
+// Bit returns the i-th bit of the binary expansion 0.b1 b2 b3 …, with
+// i = 1 denoting the most significant bit b1. For i outside [1,64] it
+// returns 0.
+func (x Frac) Bit(i int) int {
+	if i < 1 || i > 64 {
+		return 0
+	}
+	return int(x>>(64-uint(i))) & 1
+}
+
+// PrependBit returns (b+x)/2 for bit b ∈ {0,1}: the point reached by one
+// De Bruijn hop that prepends b to the binary expansion of x.
+func (x Frac) PrependBit(b int) Frac {
+	if b == 0 {
+		return x.Halve()
+	}
+	return x.HalvePlus()
+}
+
+// CWDist returns the clockwise (increasing-label, wrapping) distance from x
+// to y on the unit circle. CWDist(x,x) == 0.
+func CWDist(x, y Frac) Frac { return y - x }
+
+// CCWDist returns the counter-clockwise distance from x to y, i.e. the
+// clockwise distance from y to x.
+func CCWDist(x, y Frac) Frac { return x - y }
+
+// InCWRange reports whether k lies in the clockwise half-open interval
+// [from, to). When from == to the interval is the full circle, so the
+// result is always true; this matches consistent-hashing responsibility
+// when a single node owns the whole ring.
+func InCWRange(k, from, to Frac) bool {
+	if from == to {
+		return true
+	}
+	return CWDist(from, k) < CWDist(from, to)
+}
+
+// MidCW returns the midpoint of the clockwise arc from x to y. For x == y
+// it returns the antipode of x (the arc is the full circle).
+func MidCW(x, y Frac) Frac { return x + (y-x)>>1 }
+
+// String renders the fraction with enough decimal digits to be readable in
+// logs while making clear it is an approximation.
+func (x Frac) String() string {
+	return fmt.Sprintf("%.12f", x.Float())
+}
+
+// Log2Inv returns ⌈log2(1/d)⌉ where d = x/2^64 is the real value of x,
+// capped at 64 (and 64 for x == 0). It is used to estimate log n from the
+// local node density: the distance to the ring successor is ≈ 1/n.
+func (x Frac) Log2Inv() int {
+	if x == 0 {
+		return 64
+	}
+	return 65 - bits.Len64(uint64(x))
+}

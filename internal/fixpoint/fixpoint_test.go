@@ -1,0 +1,248 @@
+package fixpoint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromFloatRoundTrip(t *testing.T) {
+	cases := []float64{0, 0.25, 0.5, 0.75, 0.999, 1.0 / 3.0}
+	for _, f := range cases {
+		x := FromFloat(f)
+		if got := x.Float(); math.Abs(got-f) > 1e-12 {
+			t.Errorf("FromFloat(%v).Float() = %v", f, got)
+		}
+	}
+}
+
+func TestFromFloatClamps(t *testing.T) {
+	if FromFloat(-0.5) != 0 {
+		t.Errorf("negative input should clamp to 0")
+	}
+	if FromFloat(1.5) != Frac(math.MaxUint64) {
+		t.Errorf("input >= 1 should clamp to max")
+	}
+	if FromFloat(0) != 0 {
+		t.Errorf("zero should map to zero")
+	}
+}
+
+func TestHalveExact(t *testing.T) {
+	cases := []struct {
+		in, want Frac
+	}{
+		{0, 0},
+		{Half, Half >> 1},                   // 0.5 -> 0.25
+		{FromFloat(0.75), FromFloat(0.375)}, // 0.75 -> 0.375
+		{Frac(math.MaxUint64), Frac(math.MaxUint64) >> 1},
+	}
+	for _, c := range cases {
+		if got := c.in.Halve(); got != c.want {
+			t.Errorf("Halve(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHalvePlusExact(t *testing.T) {
+	// (x+1)/2 for x=0 is 0.5; for x=0.5 is 0.75.
+	if got := Frac(0).HalvePlus(); got != Half {
+		t.Errorf("HalvePlus(0) = %v, want 0.5", got)
+	}
+	if got := Half.HalvePlus(); got != FromFloat(0.75) {
+		t.Errorf("HalvePlus(0.5) = %v, want 0.75", got)
+	}
+}
+
+func TestHalveRangeProperty(t *testing.T) {
+	// Left child labels are always < 0.5, right child labels always >= 0.5
+	// (paper: left virtual nodes live in [0,0.5), right in [0.5,1)).
+	f := func(x uint64) bool {
+		fx := Frac(x)
+		return fx.Halve() < Half && fx.HalvePlus() >= Half
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDoubleInvertsHalving(t *testing.T) {
+	f := func(x uint64) bool {
+		fx := Frac(x)
+		return fx.Halve().Double() == fx&^1 && fx.HalvePlus().Double() == fx&^1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBit(t *testing.T) {
+	x := Half // binary 0.1000...
+	if x.Bit(1) != 1 {
+		t.Errorf("Bit(1) of 0.5 should be 1")
+	}
+	for i := 2; i <= 64; i++ {
+		if x.Bit(i) != 0 {
+			t.Errorf("Bit(%d) of 0.5 should be 0", i)
+		}
+	}
+	y := FromFloat(0.25 + 0.125) // 0.011
+	if y.Bit(1) != 0 || y.Bit(2) != 1 || y.Bit(3) != 1 {
+		t.Errorf("bits of 0.375 wrong: %d%d%d", y.Bit(1), y.Bit(2), y.Bit(3))
+	}
+	if x.Bit(0) != 0 || x.Bit(65) != 0 {
+		t.Errorf("out-of-range bit indices should be 0")
+	}
+}
+
+func TestPrependBit(t *testing.T) {
+	// Prepending bit b to x yields a value whose first bit is b and whose
+	// remaining bits are x shifted.
+	f := func(x uint64, b bool) bool {
+		bit := 0
+		if b {
+			bit = 1
+		}
+		y := Frac(x).PrependBit(bit)
+		return y.Bit(1) == bit && y.Double() == Frac(x)&^1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCWDistWraps(t *testing.T) {
+	a, b := FromFloat(0.9), FromFloat(0.1)
+	d := CWDist(a, b)
+	if got := d.Float(); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("CWDist(0.9, 0.1) = %v, want ~0.2", got)
+	}
+	if CWDist(a, a) != 0 {
+		t.Errorf("CWDist(x,x) should be 0")
+	}
+}
+
+func TestCWDistSumProperty(t *testing.T) {
+	// Going clockwise x->y->x covers the whole circle (or 0 if x==y).
+	f := func(x, y uint64) bool {
+		a, b := Frac(x), Frac(y)
+		if a == b {
+			return CWDist(a, b) == 0
+		}
+		return CWDist(a, b)+CWDist(b, a) == 0 // sum is 2^64 ≡ 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCCWDist(t *testing.T) {
+	f := func(x, y uint64) bool {
+		return CCWDist(Frac(x), Frac(y)) == CWDist(Frac(y), Frac(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInCWRange(t *testing.T) {
+	cases := []struct {
+		k, from, to Frac
+		want        bool
+	}{
+		{FromFloat(0.5), FromFloat(0.4), FromFloat(0.6), true},
+		{FromFloat(0.3), FromFloat(0.4), FromFloat(0.6), false},
+		{FromFloat(0.7), FromFloat(0.4), FromFloat(0.6), false},
+		{FromFloat(0.4), FromFloat(0.4), FromFloat(0.6), true},  // inclusive lo
+		{FromFloat(0.6), FromFloat(0.4), FromFloat(0.6), false}, // exclusive hi
+		// wrapping interval [0.9, 0.1)
+		{FromFloat(0.95), FromFloat(0.9), FromFloat(0.1), true},
+		{FromFloat(0.05), FromFloat(0.9), FromFloat(0.1), true},
+		{FromFloat(0.5), FromFloat(0.9), FromFloat(0.1), false},
+		// degenerate full circle
+		{FromFloat(0.123), FromFloat(0.7), FromFloat(0.7), true},
+	}
+	for _, c := range cases {
+		if got := InCWRange(c.k, c.from, c.to); got != c.want {
+			t.Errorf("InCWRange(%v, %v, %v) = %v, want %v", c.k, c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestInCWRangePartitionProperty(t *testing.T) {
+	// For from != to, every point is in exactly one of [from,to) and [to,from).
+	f := func(k, from, to uint64) bool {
+		if from == to {
+			return true
+		}
+		a := InCWRange(Frac(k), Frac(from), Frac(to))
+		b := InCWRange(Frac(k), Frac(to), Frac(from))
+		return a != b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMidCW(t *testing.T) {
+	m := MidCW(FromFloat(0.2), FromFloat(0.4))
+	if got := m.Float(); math.Abs(got-0.3) > 1e-9 {
+		t.Errorf("MidCW(0.2,0.4) = %v, want 0.3", got)
+	}
+	// wrapping arc 0.9 -> 0.1: midpoint at 0.0
+	m = MidCW(FromFloat(0.9), FromFloat(0.1))
+	if got := m.Float(); got > 0.01 && got < 0.99 {
+		t.Errorf("MidCW(0.9,0.1) = %v, want ~0.0", got)
+	}
+}
+
+func TestMidCWInRangeProperty(t *testing.T) {
+	f := func(x, y uint64) bool {
+		a, b := Frac(x), Frac(y)
+		if a == b {
+			return true
+		}
+		return InCWRange(MidCW(a, b), a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLog2Inv(t *testing.T) {
+	cases := []struct {
+		x    Frac
+		want int
+	}{
+		{0, 64},
+		{Half, 1},            // 1/0.5 = 2
+		{FromFloat(0.25), 2}, // 1/0.25 = 4
+		{FromFloat(0.26), 2}, // ceil(log2(1/0.26)) = 2
+		{FromFloat(0.24), 3}, // 1/0.24 = 4.17 -> ceil = 3
+		{1, 64},
+	}
+	for _, c := range cases {
+		if got := c.x.Log2Inv(); got != c.want {
+			t.Errorf("Log2Inv(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLog2InvMonotone(t *testing.T) {
+	f := func(x, y uint64) bool {
+		a, b := Frac(x), Frac(y)
+		if a <= b {
+			return a.Log2Inv() >= b.Log2Inv()
+		}
+		return a.Log2Inv() <= b.Log2Inv()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := Half.String(); s != "0.500000000000" {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,305 @@
+// Package ldb implements the Linearized De Bruijn network of the paper
+// (§II-A, Definition 2): every process emulates three virtual nodes — a
+// middle node m(v) with a pseudorandom label in [0,1), a left node
+// l(v) = m(v)/2 and a right node r(v) = (m(v)+1)/2 — arranged on a sorted
+// cycle with linear edges between consecutive nodes and virtual edges
+// between nodes of the same process.
+//
+// The package provides the three local rules the protocol relies on:
+//
+//   - the aggregation-tree rules (§III-B): parent = leftmost neighbour,
+//     children derived from kind and successor kind, purely from local
+//     information;
+//   - De Bruijn routing (Lemma 3): O(log n) w.h.p. hops to the predecessor
+//     of any point, via bit-prepending hops over the virtual l/r edges plus
+//     short linear corrections;
+//   - ring bookkeeping helpers used for bootstrap and as test oracles.
+package ldb
+
+import (
+	"fmt"
+	"sort"
+
+	"skueue/internal/fixpoint"
+	"skueue/internal/sim"
+	"skueue/internal/xrand"
+)
+
+// Kind distinguishes the three virtual nodes a process emulates.
+type Kind uint8
+
+// The three virtual node kinds of Definition 2.
+const (
+	Left Kind = iota
+	Middle
+	Right
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Left:
+		return "L"
+	case Middle:
+		return "M"
+	case Right:
+		return "R"
+	}
+	return "?"
+}
+
+// Point is a position on the ring: the label plus a tiebreak that makes the
+// ordering total even under label collisions (the paper assumes an
+// injective hash; the code tolerates collisions).
+type Point struct {
+	Label fixpoint.Frac
+	Tie   uint64
+}
+
+// Less is the total order on ring positions.
+func (p Point) Less(q Point) bool {
+	if p.Label != q.Label {
+		return p.Label < q.Label
+	}
+	return p.Tie < q.Tie
+}
+
+// Equal reports identity of ring positions.
+func (p Point) Equal(q Point) bool { return p == q }
+
+func (p Point) String() string {
+	return fmt.Sprintf("%s#%04x", p.Label, p.Tie&0xffff)
+}
+
+// Ref is a node reference as carried in messages: the simulation address
+// plus everything a neighbour must know about the node (paper §II-A: when
+// a node learns a reference it also learns whether it is a left, middle or
+// right virtual node).
+type Ref struct {
+	ID    sim.NodeID
+	Point Point
+	Kind  Kind
+}
+
+// Valid reports whether the reference points at a node.
+func (r Ref) Valid() bool { return r.ID != sim.None }
+
+func (r Ref) String() string {
+	if !r.Valid() {
+		return "<nil>"
+	}
+	return fmt.Sprintf("%v@%d%s", r.Point, r.ID, r.Kind)
+}
+
+// ProcessPoints derives the three virtual node points for a process with
+// the given identifier, using the publicly known label hash.
+func ProcessPoints(labels xrand.Hasher, procID uint64) (l, m, r Point) {
+	ml := labels.Frac(procID)
+	tie := func(kind Kind) uint64 {
+		return xrand.SplitMix64(procID*4 + uint64(kind) + 0x5bf05bf0)
+	}
+	m = Point{Label: ml, Tie: tie(Middle)}
+	l = Point{Label: ml.Halve(), Tie: tie(Left)}
+	r = Point{Label: ml.HalvePlus(), Tie: tie(Right)}
+	return
+}
+
+// Neighborhood is the local view a virtual node has of the topology: its
+// own identity, its ring neighbours, and the three virtual nodes of its
+// process (its "siblings"; Self is one of them).
+type Neighborhood struct {
+	Self Ref
+	Pred Ref
+	Succ Ref
+	// SibL, SibM, SibR are l(v), m(v), r(v) of the owning process.
+	SibL, SibM, SibR Ref
+}
+
+// IsAnchor reports whether this node is the leftmost node of the ring,
+// detected purely locally: the predecessor wraps around (has a larger
+// point). The anchor is always a left virtual node (the minimum left label
+// is half the minimum middle label).
+func (nb Neighborhood) IsAnchor() bool {
+	return nb.Self.Point.Less(nb.Pred.Point) || nb.Self.ID == nb.Pred.ID
+}
+
+// isWrapSucc reports whether the successor edge wraps around the ring.
+func (nb Neighborhood) isWrapSucc() bool {
+	return nb.Succ.Point.Less(nb.Self.Point) || nb.Succ.ID == nb.Self.ID
+}
+
+// isWrapPred reports whether the predecessor edge wraps around the ring.
+func (nb Neighborhood) isWrapPred() bool {
+	return nb.Self.Point.Less(nb.Pred.Point) || nb.Pred.ID == nb.Self.ID
+}
+
+// Parent returns the aggregation-tree parent (§III-B): the leftmost
+// neighbour. ok is false exactly for the anchor, the tree root.
+func (nb Neighborhood) Parent() (parent Ref, ok bool) {
+	switch nb.Self.Kind {
+	case Middle:
+		return nb.SibL, true
+	case Right:
+		return nb.SibM, true
+	default: // Left
+		if nb.IsAnchor() {
+			return Ref{ID: sim.None}, false
+		}
+		return nb.Pred, true
+	}
+}
+
+// Children returns the aggregation-tree children (§III-B): the next
+// virtual node of the same process, plus the ring successor when that
+// successor is a left virtual node (and the edge does not wrap).
+func (nb Neighborhood) Children() []Ref {
+	var c []Ref
+	switch nb.Self.Kind {
+	case Middle:
+		c = append(c, nb.SibR)
+	case Left:
+		c = append(c, nb.SibM)
+	case Right:
+		return nil
+	}
+	if nb.Succ.Kind == Left && !nb.isWrapSucc() {
+		c = append(c, nb.Succ)
+	}
+	return c
+}
+
+// RouteState is the routing header of a message travelling to the node
+// responsible for Target (its predecessor on the ring). BitsLeft counts
+// the remaining De Bruijn hops; once zero, routing degenerates to a short
+// linear walk. WalkDir (+1 successor, -1 predecessor, 0 undecided) keeps
+// the walk-to-a-middle phase moving in one direction.
+type RouteState struct {
+	Target   fixpoint.Frac
+	BitsLeft int
+	Hops     int
+	WalkDir  int8
+}
+
+// RouteSlack is the number of extra De Bruijn bits beyond the local log n
+// estimate, driving the final linear walk to O(1) expected steps.
+const RouteSlack = 4
+
+// NewRoute prepares a route from a node with the given neighbourhood. The
+// bit count k ≈ log2 n + RouteSlack comes from the local density estimate:
+// the clockwise distance to the successor is ≈ 1/n w.h.p.
+func (nb Neighborhood) NewRoute(target fixpoint.Frac) RouteState {
+	d := fixpoint.CWDist(nb.Self.Point.Label, nb.Succ.Point.Label)
+	k := d.Log2Inv() + RouteSlack
+	if k > 64 {
+		k = 64
+	}
+	return RouteState{Target: target, BitsLeft: k}
+}
+
+// NextHop decides the next routing step at the current node. If deliver is
+// true the current node is responsible for the target and must consume the
+// message; otherwise the message moves to next with the updated state.
+func (nb Neighborhood) NextHop(rs RouteState) (next Ref, out RouteState, deliver bool) {
+	out = rs
+	out.Hops++
+	if rs.BitsLeft > 0 {
+		if nb.Self.Kind == Middle {
+			// One De Bruijn hop: prepend bit b of the target, i.e. jump to
+			// the own left (b=0) or right (b=1) virtual node, whose label
+			// is exactly (b + label)/2.
+			// Bits are consumed from the least significant bit of the
+			// k-prefix upward (t_k first, t_1 last) so that after all k
+			// prepending hops the position is 0.t1 t2 … tk ….
+			b := rs.Target.Bit(rs.BitsLeft)
+			out.BitsLeft--
+			out.WalkDir = 0
+			if b == 0 {
+				return nb.SibL, out, false
+			}
+			return nb.SibR, out, false
+		}
+		// Walk linearly to the nearest middle node; middles are one third
+		// of the ring, so this costs O(1) expected steps. The halving map
+		// is continuous on [0,1) but not across the 0/1 seam, so the walk
+		// must never wrap: prefer the successor direction, but flip away
+		// from the seam whenever the next edge would cross it. The
+		// direction travels in the message, so a flip cannot ping-pong:
+		// the previous node continues in the flipped direction too.
+		dir := rs.WalkDir
+		if dir == 0 {
+			dir = 1
+		}
+		if dir > 0 && nb.isWrapSucc() {
+			dir = -1
+		} else if dir < 0 && nb.isWrapPred() {
+			dir = 1
+		}
+		out.WalkDir = dir
+		if dir > 0 {
+			return nb.Succ, out, false
+		}
+		return nb.Pred, out, false
+	}
+	// Linear phase: deliver at the predecessor of the target.
+	if nb.responsible(rs.Target) {
+		return Ref{ID: sim.None}, out, true
+	}
+	if fixpoint.CWDist(nb.Self.Point.Label, rs.Target) <= fixpoint.CCWDist(nb.Self.Point.Label, rs.Target) {
+		return nb.Succ, out, false
+	}
+	return nb.Pred, out, false
+}
+
+// responsible reports whether this node's DHT interval [self, succ)
+// contains the key.
+func (nb Neighborhood) responsible(k fixpoint.Frac) bool {
+	return fixpoint.InCWRange(k, nb.Self.Point.Label, nb.Succ.Point.Label)
+}
+
+// Responsible is the exported form of the DHT ownership test.
+func (nb Neighborhood) Responsible(k fixpoint.Frac) bool { return nb.responsible(k) }
+
+// Ring is a sorted snapshot of references. The protocol itself never uses
+// it — nodes act on local neighbourhoods only — but bootstrap wiring and
+// test oracles do.
+type Ring struct {
+	refs []Ref
+}
+
+// NewRing sorts the references into ring order.
+func NewRing(refs []Ref) *Ring {
+	r := &Ring{refs: append([]Ref(nil), refs...)}
+	sort.Slice(r.refs, func(i, j int) bool { return r.refs[i].Point.Less(r.refs[j].Point) })
+	return r
+}
+
+// Len returns the number of nodes on the ring.
+func (r *Ring) Len() int { return len(r.refs) }
+
+// At returns the i-th reference in sorted order.
+func (r *Ring) At(i int) Ref { return r.refs[i] }
+
+// Pred returns the ring predecessor of position i (wrapping).
+func (r *Ring) Pred(i int) Ref { return r.refs[(i-1+len(r.refs))%len(r.refs)] }
+
+// Succ returns the ring successor of position i (wrapping).
+func (r *Ring) Succ(i int) Ref { return r.refs[(i+1)%len(r.refs)] }
+
+// Min returns the leftmost node — the anchor.
+func (r *Ring) Min() Ref { return r.refs[0] }
+
+// ResponsibleFor returns the node owning key k: the predecessor of k.
+func (r *Ring) ResponsibleFor(k fixpoint.Frac) Ref {
+	// First node with label > k, then step back.
+	i := sort.Search(len(r.refs), func(i int) bool { return r.refs[i].Point.Label > k })
+	return r.refs[(i-1+len(r.refs))%len(r.refs)]
+}
+
+// IndexOf returns the position of the reference with the given point, or
+// -1 when absent.
+func (r *Ring) IndexOf(p Point) int {
+	i := sort.Search(len(r.refs), func(i int) bool { return !r.refs[i].Point.Less(p) })
+	if i < len(r.refs) && r.refs[i].Point == p {
+		return i
+	}
+	return -1
+}

@@ -1,0 +1,424 @@
+package ldb
+
+import (
+	"math"
+	"testing"
+
+	"skueue/internal/fixpoint"
+	"skueue/internal/sim"
+	"skueue/internal/xrand"
+)
+
+// testNet builds a static LDB over n processes and exposes neighbourhoods
+// the way live nodes would see them.
+type testNet struct {
+	ring *Ring
+	// sibs maps process id -> [l, m, r] refs.
+	sibs map[uint64][3]Ref
+	// proc maps a node id -> its process id.
+	proc map[sim.NodeID]uint64
+}
+
+func buildNet(t *testing.T, n int, seed int64) *testNet {
+	t.Helper()
+	h := xrand.NewHasher(seed, "label")
+	net := &testNet{sibs: make(map[uint64][3]Ref), proc: make(map[sim.NodeID]uint64)}
+	var refs []Ref
+	for p := 0; p < n; p++ {
+		pid := uint64(p)
+		l, m, r := ProcessPoints(h, pid)
+		rl := Ref{ID: sim.NodeID(p*3 + 0), Point: l, Kind: Left}
+		rm := Ref{ID: sim.NodeID(p*3 + 1), Point: m, Kind: Middle}
+		rr := Ref{ID: sim.NodeID(p*3 + 2), Point: r, Kind: Right}
+		net.sibs[pid] = [3]Ref{rl, rm, rr}
+		for _, ref := range []Ref{rl, rm, rr} {
+			net.proc[ref.ID] = pid
+			refs = append(refs, ref)
+		}
+	}
+	net.ring = NewRing(refs)
+	return net
+}
+
+func (net *testNet) neighborhood(i int) Neighborhood {
+	self := net.ring.At(i)
+	s := net.sibs[net.proc[self.ID]]
+	return Neighborhood{
+		Self: self,
+		Pred: net.ring.Pred(i),
+		Succ: net.ring.Succ(i),
+		SibL: s[0], SibM: s[1], SibR: s[2],
+	}
+}
+
+func (net *testNet) neighborhoodOf(id sim.NodeID) Neighborhood {
+	for i := 0; i < net.ring.Len(); i++ {
+		if net.ring.At(i).ID == id {
+			return net.neighborhood(i)
+		}
+	}
+	panic("node not on ring")
+}
+
+func TestProcessPointsDefinition(t *testing.T) {
+	h := xrand.NewHasher(1, "label")
+	for pid := uint64(0); pid < 200; pid++ {
+		l, m, r := ProcessPoints(h, pid)
+		if l.Label != m.Label.Halve() {
+			t.Fatalf("pid %d: l != m/2", pid)
+		}
+		if r.Label != m.Label.HalvePlus() {
+			t.Fatalf("pid %d: r != (m+1)/2", pid)
+		}
+		if l.Label >= fixpoint.Half {
+			t.Fatalf("pid %d: left label %v not in [0,0.5)", pid, l.Label)
+		}
+		if r.Label < fixpoint.Half {
+			t.Fatalf("pid %d: right label %v not in [0.5,1)", pid, r.Label)
+		}
+		if l.Tie == m.Tie || m.Tie == r.Tie || l.Tie == r.Tie {
+			t.Fatalf("pid %d: tie collision", pid)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Left.String() != "L" || Middle.String() != "M" || Right.String() != "R" || Kind(9).String() != "?" {
+		t.Errorf("Kind.String wrong")
+	}
+}
+
+func TestPointOrderTotal(t *testing.T) {
+	a := Point{Label: 5, Tie: 1}
+	b := Point{Label: 5, Tie: 2}
+	c := Point{Label: 6, Tie: 0}
+	if !a.Less(b) || b.Less(a) {
+		t.Errorf("tie ordering broken")
+	}
+	if !b.Less(c) || !a.Less(c) {
+		t.Errorf("label ordering broken")
+	}
+	if !a.Equal(a) || a.Equal(b) {
+		t.Errorf("equality broken")
+	}
+}
+
+func TestRingSorted(t *testing.T) {
+	net := buildNet(t, 100, 2)
+	for i := 1; i < net.ring.Len(); i++ {
+		if !net.ring.At(i - 1).Point.Less(net.ring.At(i).Point) {
+			t.Fatalf("ring not strictly sorted at %d", i)
+		}
+	}
+	if net.ring.Len() != 300 {
+		t.Fatalf("ring has %d nodes, want 300", net.ring.Len())
+	}
+}
+
+func TestRingPredSuccWrap(t *testing.T) {
+	net := buildNet(t, 10, 3)
+	n := net.ring.Len()
+	if net.ring.Pred(0) != net.ring.At(n-1) {
+		t.Errorf("Pred(0) should wrap to max")
+	}
+	if net.ring.Succ(n-1) != net.ring.At(0) {
+		t.Errorf("Succ(max) should wrap to min")
+	}
+}
+
+func TestRingResponsibleFor(t *testing.T) {
+	net := buildNet(t, 50, 4)
+	rng := xrand.New(99)
+	for trial := 0; trial < 500; trial++ {
+		k := rng.Frac()
+		owner := net.ring.ResponsibleFor(k)
+		// Verify against the definition: owner <= k < succ(owner) cyclically.
+		i := net.ring.IndexOf(owner.Point)
+		succ := net.ring.Succ(i)
+		if !fixpoint.InCWRange(k, owner.Point.Label, succ.Point.Label) {
+			t.Fatalf("key %v assigned to %v whose interval ends at %v", k, owner, succ)
+		}
+	}
+}
+
+func TestRingIndexOf(t *testing.T) {
+	net := buildNet(t, 20, 5)
+	for i := 0; i < net.ring.Len(); i++ {
+		if net.ring.IndexOf(net.ring.At(i).Point) != i {
+			t.Fatalf("IndexOf roundtrip failed at %d", i)
+		}
+	}
+	if net.ring.IndexOf(Point{Label: 12345, Tie: 999}) != -1 {
+		t.Errorf("IndexOf should return -1 for absent point")
+	}
+}
+
+func TestAnchorIsGlobalMinAndLeft(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 10, 200} {
+		net := buildNet(t, n, int64(n))
+		anchors := 0
+		for i := 0; i < net.ring.Len(); i++ {
+			nb := net.neighborhood(i)
+			if nb.IsAnchor() {
+				anchors++
+				if i != 0 {
+					t.Fatalf("n=%d: node at ring index %d believes it is the anchor", n, i)
+				}
+				if nb.Self.Kind != Left {
+					t.Fatalf("n=%d: anchor is a %s node, want L", n, nb.Self.Kind)
+				}
+			}
+		}
+		if anchors != 1 {
+			t.Fatalf("n=%d: %d anchors", n, anchors)
+		}
+	}
+}
+
+func TestParentChildConsistency(t *testing.T) {
+	// parent(v) = u  <=>  v in Children(u); exactly one root.
+	for _, n := range []int{1, 2, 5, 50, 300} {
+		net := buildNet(t, n, int64(n)*7)
+		parentOf := make(map[sim.NodeID]Ref)
+		childless := 0
+		roots := 0
+		for i := 0; i < net.ring.Len(); i++ {
+			nb := net.neighborhood(i)
+			if p, ok := nb.Parent(); ok {
+				parentOf[nb.Self.ID] = p
+			} else {
+				roots++
+			}
+			if len(nb.Children()) == 0 {
+				childless++
+			}
+		}
+		if roots != 1 {
+			t.Fatalf("n=%d: %d roots", n, roots)
+		}
+		// Check symmetry.
+		for i := 0; i < net.ring.Len(); i++ {
+			nb := net.neighborhood(i)
+			for _, c := range nb.Children() {
+				if got := parentOf[c.ID]; got.ID != nb.Self.ID {
+					t.Fatalf("n=%d: child %v of %v has parent %v", n, c, nb.Self, got)
+				}
+			}
+			if p, ok := nb.Parent(); ok {
+				pnb := net.neighborhoodOf(p.ID)
+				found := false
+				for _, c := range pnb.Children() {
+					if c.ID == nb.Self.ID {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("n=%d: node %v not in children of its parent %v", n, nb.Self, p)
+				}
+			}
+		}
+	}
+}
+
+func TestTreeReachesRootAndHeight(t *testing.T) {
+	for _, n := range []int{1, 10, 100, 1000} {
+		net := buildNet(t, n, int64(n)+11)
+		maxDepth := 0
+		for i := 0; i < net.ring.Len(); i++ {
+			depth := 0
+			nb := net.neighborhood(i)
+			for {
+				p, ok := nb.Parent()
+				if !ok {
+					break
+				}
+				depth++
+				if depth > net.ring.Len() {
+					t.Fatalf("n=%d: parent chain from node %d does not terminate", n, i)
+				}
+				nb = net.neighborhoodOf(p.ID)
+			}
+			if depth > maxDepth {
+				maxDepth = depth
+			}
+		}
+		if n >= 10 {
+			bound := int(8 * math.Log2(float64(3*n)))
+			if maxDepth > bound {
+				t.Errorf("n=%d: tree height %d exceeds %d (≈8·log2(3n))", n, maxDepth, bound)
+			}
+		}
+	}
+}
+
+func TestParentStrictlyLeft(t *testing.T) {
+	net := buildNet(t, 150, 12)
+	for i := 0; i < net.ring.Len(); i++ {
+		nb := net.neighborhood(i)
+		if p, ok := nb.Parent(); ok {
+			if !p.Point.Less(nb.Self.Point) {
+				t.Fatalf("parent %v not left of %v", p, nb.Self)
+			}
+		}
+	}
+}
+
+func TestRightNodesAreLeaves(t *testing.T) {
+	net := buildNet(t, 80, 13)
+	for i := 0; i < net.ring.Len(); i++ {
+		nb := net.neighborhood(i)
+		if nb.Self.Kind == Right && len(nb.Children()) != 0 {
+			t.Fatalf("right node %v has children %v", nb.Self, nb.Children())
+		}
+	}
+}
+
+// route walks a message through the network hop by hop.
+func (net *testNet) route(from int, target fixpoint.Frac) (Ref, int) {
+	nb := net.neighborhood(from)
+	rs := nb.NewRoute(target)
+	for {
+		next, out, deliver := nb.NextHop(rs)
+		if deliver {
+			return nb.Self, out.Hops
+		}
+		if out.Hops > 40*64 {
+			return Ref{ID: sim.None}, out.Hops
+		}
+		nb = net.neighborhoodOf(next.ID)
+		rs = out
+	}
+}
+
+func TestRoutingDeliversAtResponsibleNode(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 32, 200} {
+		net := buildNet(t, n, int64(n)*3+1)
+		rng := xrand.New(int64(n))
+		for trial := 0; trial < 200; trial++ {
+			start := rng.Intn(net.ring.Len())
+			key := rng.Frac()
+			got, hops := net.route(start, key)
+			if !got.Valid() {
+				t.Fatalf("n=%d: routing to %v from %d did not terminate", n, key, start)
+			}
+			want := net.ring.ResponsibleFor(key)
+			if got.ID != want.ID {
+				t.Fatalf("n=%d: key %v delivered at %v, responsible is %v (hops %d)", n, key, got, want, hops)
+			}
+		}
+	}
+}
+
+func TestRoutingHopBound(t *testing.T) {
+	// Average hops should scale like log n; check a generous linear-in-log
+	// bound on the max, which would fail badly if routing degenerated to a
+	// linear walk.
+	for _, n := range []int{64, 512, 2048} {
+		net := buildNet(t, n, int64(n)+17)
+		rng := xrand.New(7)
+		maxHops, sum := 0, 0
+		const trials = 300
+		for trial := 0; trial < trials; trial++ {
+			start := rng.Intn(net.ring.Len())
+			key := rng.Frac()
+			_, hops := net.route(start, key)
+			sum += hops
+			if hops > maxHops {
+				maxHops = hops
+			}
+		}
+		// Each De Bruijn bit costs one jump plus an expected ~3-step walk
+		// to the next middle; the bit count is log2(3n)+RouteSlack.
+		perBit := math.Log2(float64(3*n)) + RouteSlack + 2
+		if float64(maxHops) > 12*perBit {
+			t.Errorf("n=%d: max hops %d > %0.f", n, maxHops, 12*perBit)
+		}
+		if avg := float64(sum) / trials; avg > 6*perBit {
+			t.Errorf("n=%d: avg hops %.1f > %.0f", n, avg, 6*perBit)
+		}
+	}
+}
+
+func TestRoutingToOwnKeyImmediate(t *testing.T) {
+	net := buildNet(t, 50, 21)
+	for i := 0; i < net.ring.Len(); i++ {
+		nb := net.neighborhood(i)
+		// A key just inside the own interval must be deliverable.
+		key := nb.Self.Point.Label
+		got, _ := net.route(i, key)
+		if got.ID != nb.Self.ID {
+			t.Fatalf("routing to own label landed at %v, not self %v", got, nb.Self)
+		}
+	}
+}
+
+func TestNewRouteBitEstimate(t *testing.T) {
+	net := buildNet(t, 1024, 22)
+	nb := net.neighborhood(5)
+	rs := nb.NewRoute(fixpoint.Half)
+	logn := int(math.Log2(3 * 1024))
+	if rs.BitsLeft < logn-4 || rs.BitsLeft > logn+12 {
+		t.Errorf("bit estimate %d far from log2(3n)=%d", rs.BitsLeft, logn)
+	}
+}
+
+func TestResponsibleMatchesRingOracle(t *testing.T) {
+	net := buildNet(t, 64, 23)
+	rng := xrand.New(5)
+	for trial := 0; trial < 300; trial++ {
+		k := rng.Frac()
+		count := 0
+		for i := 0; i < net.ring.Len(); i++ {
+			if net.neighborhood(i).Responsible(k) {
+				count++
+				if net.ring.ResponsibleFor(k).ID != net.ring.At(i).ID {
+					t.Fatalf("local Responsible disagrees with oracle for %v", k)
+				}
+			}
+		}
+		if count != 1 {
+			t.Fatalf("key %v claimed by %d nodes", k, count)
+		}
+	}
+}
+
+func TestRefValidAndString(t *testing.T) {
+	var r Ref
+	r.ID = sim.None
+	if r.Valid() || r.String() != "<nil>" {
+		t.Errorf("zero ref should be invalid")
+	}
+	r = Ref{ID: 3, Point: Point{Label: fixpoint.Half}, Kind: Middle}
+	if !r.Valid() || r.String() == "" {
+		t.Errorf("ref should be valid and printable")
+	}
+}
+
+func TestSingleProcessTopology(t *testing.T) {
+	// One process: chain l <- m <- r, anchor l.
+	net := buildNet(t, 1, 42)
+	l, m, r := net.neighborhood(0), net.neighborhood(1), net.neighborhood(2)
+	if l.Self.Kind != Left || m.Self.Kind != Middle || r.Self.Kind != Right {
+		t.Fatalf("ring order not l,m,r: %v %v %v", l.Self, m.Self, r.Self)
+	}
+	if !l.IsAnchor() {
+		t.Fatalf("left node should be anchor")
+	}
+	if p, ok := m.Parent(); !ok || p.ID != l.Self.ID {
+		t.Errorf("parent of middle should be left")
+	}
+	if p, ok := r.Parent(); !ok || p.ID != m.Self.ID {
+		t.Errorf("parent of right should be middle")
+	}
+	lc := l.Children()
+	if len(lc) != 1 || lc[0].ID != m.Self.ID {
+		t.Errorf("children of left should be {middle}, got %v", lc)
+	}
+	mc := m.Children()
+	if len(mc) != 1 || mc[0].ID != r.Self.ID {
+		t.Errorf("children of middle should be {right}, got %v", mc)
+	}
+	if len(r.Children()) != 0 {
+		t.Errorf("right node should be a leaf")
+	}
+}

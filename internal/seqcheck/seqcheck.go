@@ -1,0 +1,306 @@
+// Package seqcheck verifies sequential consistency (paper Definition 1) of
+// executions produced by the Skueue protocol and its stack variant.
+//
+// Definition 1 asks for the existence of a total order ≺ on all ENQUEUE and
+// DEQUEUE requests such that (1) elements are enqueued before being
+// dequeued, (2) dequeues return an element whenever one is present and no
+// enqueued element is skipped, (3) elements leave in FIFO order, and
+// (4) ≺ extends every client's local issue order. The protocol's value()
+// ranks (§V) provide a witness for ≺; this package checks the witness from
+// first principles:
+//
+//   - per-client issue order must embed into the witness order;
+//   - replaying the complete history in witness order against a sequential
+//     queue (resp. stack) must reproduce every return value, including ⊥.
+//
+// With all elements unique (the paper's standing assumption), the replay
+// check is equivalent to properties 1-3, and the embedding check is
+// property 4.
+//
+// Stack executions may contain locally combined operation pairs (§VI) that
+// never reach the anchor and therefore carry no value() rank. Each
+// client's run of combined operations between two anchor-valued operations
+// forms a balanced push/pop word; the checker places each such block
+// contiguously in the witness order, anchored right after the client's
+// preceding valued operation, which preserves both the local order and
+// stack semantics (a balanced block is stack-neutral).
+package seqcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"skueue/internal/dht"
+)
+
+// Kind is the operation type.
+type Kind uint8
+
+// Operation kinds. Push and Pop are aliases used by the stack variant.
+const (
+	Enqueue Kind = iota
+	Dequeue
+)
+
+// Push and Pop name the stack flavours of the two kinds.
+const (
+	Push = Enqueue
+	Pop  = Dequeue
+)
+
+func (k Kind) String() string {
+	if k == Dequeue {
+		return "deq"
+	}
+	return "enq"
+}
+
+// NoValue marks an operation without an anchor-assigned value() rank
+// (locally combined stack operations).
+const NoValue int64 = -1
+
+// Completion records one finished operation.
+type Completion struct {
+	// Client is the virtual node that issued the request; LocalSeq is the
+	// request's index in that client's issue order.
+	Client   int32
+	LocalSeq int64
+	Kind     Kind
+	// Elem is the enqueued element, or the element a dequeue returned.
+	Elem dht.Element
+	// Bottom marks a dequeue that returned ⊥.
+	Bottom bool
+	// Value is the operation's value() rank in ≺, or NoValue.
+	Value int64
+	// Born and Done are the issue and completion times (rounds).
+	Born, Done int64
+	// ReqID identifies the request within the run (diagnostics).
+	ReqID uint64
+}
+
+// History is an append-only record of completions.
+type History struct {
+	Ops []Completion
+}
+
+// Record appends one completion.
+func (h *History) Record(c Completion) { h.Ops = append(h.Ops, c) }
+
+// Len returns the number of recorded completions.
+func (h *History) Len() int { return len(h.Ops) }
+
+// Mode mirrors the data-structure semantics being checked.
+type Mode uint8
+
+// The two semantics.
+const (
+	Queue Mode = iota
+	Stack
+)
+
+type witnessKey struct {
+	v      int64
+	client int32 // -1 for anchor-valued ops, issuing client for combined
+	sub    int64
+}
+
+func (a witnessKey) less(b witnessKey) bool {
+	if a.v != b.v {
+		return a.v < b.v
+	}
+	if a.client != b.client {
+		return a.client < b.client
+	}
+	return a.sub < b.sub
+}
+
+// Check verifies the history. It returns nil when the execution is
+// sequentially consistent, and a descriptive error otherwise.
+func Check(mode Mode, h *History) error {
+	ops := make([]Completion, len(h.Ops))
+	copy(ops, h.Ops)
+
+	// Group by client and sort by local sequence.
+	byClient := make(map[int32][]Completion)
+	for _, op := range ops {
+		byClient[op.Client] = append(byClient[op.Client], op)
+	}
+	clients := make([]int32, 0, len(byClient))
+	for c := range byClient {
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+
+	// Assign witness keys per client in local order.
+	keys := make(map[opID]witnessKey, len(ops))
+	seenValues := make(map[int64]opID)
+	for _, c := range clients {
+		seq := byClient[c]
+		sort.Slice(seq, func(i, j int) bool { return seq[i].LocalSeq < seq[j].LocalSeq })
+		for i := 1; i < len(seq); i++ {
+			if seq[i].LocalSeq == seq[i-1].LocalSeq {
+				return fmt.Errorf("seqcheck: client %d has two operations with local seq %d", c, seq[i].LocalSeq)
+			}
+		}
+		lastV := int64(0)
+		sub := int64(0)
+		for _, op := range seq {
+			id := opID{op.Client, op.LocalSeq}
+			if op.Value != NoValue {
+				if prev, dup := seenValues[op.Value]; dup {
+					return fmt.Errorf("seqcheck: value %d assigned to both %v and %v", op.Value, prev, id)
+				}
+				seenValues[op.Value] = id
+				keys[id] = witnessKey{v: op.Value, client: -1}
+				lastV = op.Value
+				sub = 0
+				continue
+			}
+			if mode == Queue {
+				return fmt.Errorf("seqcheck: queue operation without value() rank: client %d seq %d", op.Client, op.LocalSeq)
+			}
+			sub++
+			keys[id] = witnessKey{v: lastV, client: op.Client, sub: sub}
+		}
+		// Property 4: the witness keys must be strictly increasing in local
+		// order. Anchor values increase by construction of the keys only if
+		// the protocol assigned them monotonically — check it.
+		var prev witnessKey
+		for i, op := range seq {
+			k := keys[opID{op.Client, op.LocalSeq}]
+			if i > 0 && !prev.less(k) {
+				return fmt.Errorf("seqcheck: property 4 violated at client %d: op seq %d (key %+v) not after seq %d (key %+v)",
+					c, op.LocalSeq, k, seq[i-1].LocalSeq, prev)
+			}
+			prev = k
+		}
+	}
+
+	// Global witness order.
+	sort.Slice(ops, func(i, j int) bool {
+		return keys[opID{ops[i].Client, ops[i].LocalSeq}].less(keys[opID{ops[j].Client, ops[j].LocalSeq}])
+	})
+
+	// Uniqueness of elements.
+	enqueued := make(map[dht.Element]opID)
+	dequeued := make(map[dht.Element]opID)
+	for _, op := range ops {
+		id := opID{op.Client, op.LocalSeq}
+		if op.Kind == Enqueue {
+			if prev, dup := enqueued[op.Elem]; dup {
+				return fmt.Errorf("seqcheck: element %v enqueued twice (%v and %v)", op.Elem, prev, id)
+			}
+			enqueued[op.Elem] = id
+		} else if !op.Bottom {
+			if prev, dup := dequeued[op.Elem]; dup {
+				return fmt.Errorf("seqcheck: element %v dequeued twice (%v and %v)", op.Elem, prev, id)
+			}
+			dequeued[op.Elem] = id
+		}
+	}
+
+	// Replay (properties 1-3).
+	if mode == Queue {
+		return replayQueue(ops)
+	}
+	return replayStack(ops)
+}
+
+type opID struct {
+	client int32
+	seq    int64
+}
+
+func (id opID) String() string { return fmt.Sprintf("op(c%d#%d)", id.client, id.seq) }
+
+func replayQueue(ops []Completion) error {
+	var fifo []dht.Element
+	for _, op := range ops {
+		switch {
+		case op.Kind == Enqueue:
+			fifo = append(fifo, op.Elem)
+		case op.Bottom:
+			if len(fifo) != 0 {
+				return fmt.Errorf("seqcheck: dequeue by client %d (seq %d) returned ⊥ while %d elements were queued (front %v)",
+					op.Client, op.LocalSeq, len(fifo), fifo[0])
+			}
+		default:
+			if len(fifo) == 0 {
+				return fmt.Errorf("seqcheck: dequeue by client %d (seq %d) returned %v from an empty queue",
+					op.Client, op.LocalSeq, op.Elem)
+			}
+			if fifo[0] != op.Elem {
+				return fmt.Errorf("seqcheck: FIFO violation: dequeue by client %d (seq %d) returned %v, expected front %v",
+					op.Client, op.LocalSeq, op.Elem, fifo[0])
+			}
+			fifo = fifo[1:]
+		}
+	}
+	return nil
+}
+
+func replayStack(ops []Completion) error {
+	var stk []dht.Element
+	for _, op := range ops {
+		switch {
+		case op.Kind == Push:
+			stk = append(stk, op.Elem)
+		case op.Bottom:
+			if len(stk) != 0 {
+				return fmt.Errorf("seqcheck: pop by client %d (seq %d) returned ⊥ while %d elements were stacked (top %v)",
+					op.Client, op.LocalSeq, len(stk), stk[len(stk)-1])
+			}
+		default:
+			if len(stk) == 0 {
+				return fmt.Errorf("seqcheck: pop by client %d (seq %d) returned %v from an empty stack",
+					op.Client, op.LocalSeq, op.Elem)
+			}
+			if top := stk[len(stk)-1]; top != op.Elem {
+				return fmt.Errorf("seqcheck: LIFO violation: pop by client %d (seq %d) returned %v, expected top %v",
+					op.Client, op.LocalSeq, op.Elem, top)
+			}
+			stk = stk[:len(stk)-1]
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a history for the experiment harness.
+type Stats struct {
+	Total     int
+	Enqueues  int
+	Dequeues  int
+	Bottoms   int
+	Combined  int // stack operations completed by local combining
+	AvgRounds float64
+	MaxRounds int64
+}
+
+// Summarize computes latency statistics over the history.
+func Summarize(h *History) Stats {
+	var s Stats
+	var sum int64
+	for _, op := range h.Ops {
+		s.Total++
+		if op.Kind == Enqueue {
+			s.Enqueues++
+		} else {
+			s.Dequeues++
+			if op.Bottom {
+				s.Bottoms++
+			}
+		}
+		if op.Value == NoValue {
+			s.Combined++
+		}
+		d := op.Done - op.Born
+		sum += d
+		if d > s.MaxRounds {
+			s.MaxRounds = d
+		}
+	}
+	if s.Total > 0 {
+		s.AvgRounds = float64(sum) / float64(s.Total)
+	}
+	return s
+}

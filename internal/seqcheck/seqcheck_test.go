@@ -1,0 +1,240 @@
+package seqcheck
+
+import (
+	"strings"
+	"testing"
+
+	"skueue/internal/dht"
+)
+
+func elem(o, s int) dht.Element { return dht.Element{Origin: int32(o), Seq: int64(s)} }
+
+// op builds a completion tersely.
+func op(client int32, seq int64, k Kind, e dht.Element, value int64) Completion {
+	return Completion{Client: client, LocalSeq: seq, Kind: k, Elem: e, Value: value}
+}
+
+func bottom(client int32, seq int64, value int64) Completion {
+	return Completion{Client: client, LocalSeq: seq, Kind: Dequeue, Bottom: true, Value: value}
+}
+
+func hist(ops ...Completion) *History {
+	h := &History{}
+	for _, o := range ops {
+		h.Record(o)
+	}
+	return h
+}
+
+func mustPass(t *testing.T, mode Mode, h *History) {
+	t.Helper()
+	if err := Check(mode, h); err != nil {
+		t.Fatalf("expected consistent, got: %v", err)
+	}
+}
+
+func mustFail(t *testing.T, mode Mode, h *History, want string) {
+	t.Helper()
+	err := Check(mode, h)
+	if err == nil {
+		t.Fatalf("expected violation containing %q, got nil", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not mention %q", err, want)
+	}
+}
+
+func TestEmptyHistory(t *testing.T) {
+	mustPass(t, Queue, hist())
+	mustPass(t, Stack, hist())
+}
+
+func TestSimpleFIFO(t *testing.T) {
+	mustPass(t, Queue, hist(
+		op(1, 0, Enqueue, elem(1, 0), 1),
+		op(1, 1, Enqueue, elem(1, 1), 2),
+		op(2, 0, Dequeue, elem(1, 0), 3),
+		op(2, 1, Dequeue, elem(1, 1), 4),
+	))
+}
+
+func TestFIFOViolationCaught(t *testing.T) {
+	mustFail(t, Queue, hist(
+		op(1, 0, Enqueue, elem(1, 0), 1),
+		op(1, 1, Enqueue, elem(1, 1), 2),
+		op(2, 0, Dequeue, elem(1, 1), 3), // wrong: skips elem(1,0)
+		op(2, 1, Dequeue, elem(1, 0), 4),
+	), "FIFO violation")
+}
+
+func TestDequeueFromEmptyCaught(t *testing.T) {
+	mustFail(t, Queue, hist(
+		op(2, 0, Dequeue, elem(1, 0), 1),
+		op(1, 0, Enqueue, elem(1, 0), 2),
+	), "empty queue")
+}
+
+func TestBottomWhileElementsPresent(t *testing.T) {
+	mustFail(t, Queue, hist(
+		op(1, 0, Enqueue, elem(1, 0), 1),
+		bottom(2, 0, 2),
+	), "⊥")
+}
+
+func TestBottomOnEmptyOK(t *testing.T) {
+	mustPass(t, Queue, hist(
+		bottom(2, 0, 1),
+		op(1, 0, Enqueue, elem(1, 0), 2),
+		op(2, 1, Dequeue, elem(1, 0), 3),
+		bottom(2, 2, 4),
+	))
+}
+
+func TestLocalOrderViolationCaught(t *testing.T) {
+	// Client 1 issues enq (seq 0) before deq (seq 1), but the values invert
+	// that order.
+	mustFail(t, Queue, hist(
+		op(1, 0, Enqueue, elem(1, 0), 5),
+		bottom(1, 1, 2),
+	), "property 4")
+}
+
+func TestDuplicateValueCaught(t *testing.T) {
+	mustFail(t, Queue, hist(
+		op(1, 0, Enqueue, elem(1, 0), 1),
+		op(2, 0, Enqueue, elem(2, 0), 1),
+	), "value 1")
+}
+
+func TestDuplicateLocalSeqCaught(t *testing.T) {
+	mustFail(t, Queue, hist(
+		op(1, 0, Enqueue, elem(1, 0), 1),
+		op(1, 0, Enqueue, elem(1, 1), 2),
+	), "local seq")
+}
+
+func TestDoubleEnqueueCaught(t *testing.T) {
+	mustFail(t, Queue, hist(
+		op(1, 0, Enqueue, elem(9, 9), 1),
+		op(2, 0, Enqueue, elem(9, 9), 2),
+	), "enqueued twice")
+}
+
+func TestDoubleDeliveryCaught(t *testing.T) {
+	mustFail(t, Queue, hist(
+		op(1, 0, Enqueue, elem(1, 0), 1),
+		op(2, 0, Dequeue, elem(1, 0), 2),
+		op(3, 0, Dequeue, elem(1, 0), 3),
+	), "dequeued twice")
+}
+
+func TestQueueOpWithoutValueRejected(t *testing.T) {
+	mustFail(t, Queue, hist(
+		op(1, 0, Enqueue, elem(1, 0), NoValue),
+	), "without value")
+}
+
+func TestSimpleLIFO(t *testing.T) {
+	mustPass(t, Stack, hist(
+		op(1, 0, Push, elem(1, 0), 1),
+		op(1, 1, Push, elem(1, 1), 2),
+		op(2, 0, Pop, elem(1, 1), 3),
+		op(2, 1, Pop, elem(1, 0), 4),
+	))
+}
+
+func TestLIFOViolationCaught(t *testing.T) {
+	mustFail(t, Stack, hist(
+		op(1, 0, Push, elem(1, 0), 1),
+		op(1, 1, Push, elem(1, 1), 2),
+		op(2, 0, Pop, elem(1, 0), 3), // wrong: pops the bottom
+	), "LIFO violation")
+}
+
+func TestCombinedBlockPlacement(t *testing.T) {
+	// Client 1: push a (valued 1), then a combined pair (push b, pop b),
+	// then pop a (valued 2). The combined ops have no value but must embed
+	// between the valued neighbours.
+	mustPass(t, Stack, hist(
+		op(1, 0, Push, elem(1, 0), 1),
+		op(1, 1, Push, elem(1, 1), NoValue),
+		op(1, 2, Pop, elem(1, 1), NoValue),
+		op(1, 3, Pop, elem(1, 0), 2),
+	))
+}
+
+func TestCombinedBlockAtHistoryStart(t *testing.T) {
+	// A client whose first actions are combined pairs, before any valued op.
+	mustPass(t, Stack, hist(
+		op(1, 0, Push, elem(1, 0), NoValue),
+		op(1, 1, Pop, elem(1, 0), NoValue),
+		op(2, 0, Push, elem(2, 0), 1),
+		op(1, 2, Pop, elem(2, 0), 2),
+	))
+}
+
+func TestTwoClientsCombinedBlocksDoNotInterleave(t *testing.T) {
+	// Two clients, each with a balanced combined block anchored at the
+	// start. Blocks are placed contiguously per client, so both must pass.
+	mustPass(t, Stack, hist(
+		op(1, 0, Push, elem(1, 0), NoValue),
+		op(1, 1, Pop, elem(1, 0), NoValue),
+		op(2, 0, Push, elem(2, 0), NoValue),
+		op(2, 1, Pop, elem(2, 0), NoValue),
+	))
+}
+
+func TestCombinedWrongElementCaught(t *testing.T) {
+	mustFail(t, Stack, hist(
+		op(1, 0, Push, elem(1, 0), NoValue),
+		op(1, 1, Push, elem(1, 1), NoValue),
+		op(1, 2, Pop, elem(1, 0), NoValue), // should return elem(1,1)
+	), "LIFO violation")
+}
+
+func TestNestedCombinedBlock(t *testing.T) {
+	// push a, push b, pop b, pop a — fully combined, nested.
+	mustPass(t, Stack, hist(
+		op(1, 0, Push, elem(1, 0), NoValue),
+		op(1, 1, Push, elem(1, 1), NoValue),
+		op(1, 2, Pop, elem(1, 1), NoValue),
+		op(1, 3, Pop, elem(1, 0), NoValue),
+	))
+}
+
+func TestInterleavedClientsConsistent(t *testing.T) {
+	// Values interleave the two producers; consumer respects merged order.
+	mustPass(t, Queue, hist(
+		op(1, 0, Enqueue, elem(1, 0), 1),
+		op(2, 0, Enqueue, elem(2, 0), 2),
+		op(1, 1, Enqueue, elem(1, 1), 3),
+		op(3, 0, Dequeue, elem(1, 0), 4),
+		op(3, 1, Dequeue, elem(2, 0), 5),
+		op(3, 2, Dequeue, elem(1, 1), 6),
+	))
+}
+
+func TestStatsSummarize(t *testing.T) {
+	h := hist(
+		Completion{Client: 1, LocalSeq: 0, Kind: Enqueue, Elem: elem(1, 0), Value: 1, Born: 0, Done: 10},
+		Completion{Client: 1, LocalSeq: 1, Kind: Dequeue, Elem: elem(1, 0), Value: 2, Born: 5, Done: 25},
+		Completion{Client: 1, LocalSeq: 2, Kind: Dequeue, Bottom: true, Value: 3, Born: 6, Done: 6},
+		Completion{Client: 1, LocalSeq: 3, Kind: Pop, Elem: elem(1, 9), Value: NoValue, Born: 7, Done: 7},
+	)
+	s := Summarize(h)
+	if s.Total != 4 || s.Enqueues != 1 || s.Dequeues != 3 || s.Bottoms != 1 || s.Combined != 1 {
+		t.Fatalf("stats wrong: %+v", s)
+	}
+	if s.MaxRounds != 20 {
+		t.Fatalf("max rounds %d", s.MaxRounds)
+	}
+	if s.AvgRounds != (10+20+0+0)/4.0 {
+		t.Fatalf("avg rounds %v", s.AvgRounds)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Enqueue.String() != "enq" || Dequeue.String() != "deq" {
+		t.Errorf("kind strings wrong")
+	}
+}

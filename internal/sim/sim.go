@@ -1,0 +1,370 @@
+// Package sim is a deterministic discrete-event simulator for the two
+// message-passing models of the paper (§I-B):
+//
+//   - the synchronous model used for the runtime analysis and the
+//     evaluation: time proceeds in rounds, every message sent in round i is
+//     delivered in round i+1, and every node executes its TIMEOUT action
+//     once per round;
+//   - the fully asynchronous model the correctness proofs assume: every
+//     message experiences an independent, arbitrary (bounded here, but
+//     configurable) delay, so messages can outrun each other (non-FIFO),
+//     and TIMEOUT fires periodically per node with random jitter.
+//
+// In both models messages are never lost and never duplicated (the paper's
+// channel assumption); the engine checks this with internal accounting.
+// All scheduling randomness derives from one seed, so every run is exactly
+// reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"skueue/internal/xrand"
+)
+
+// NodeID identifies a simulated node. IDs are dense indices assigned in
+// spawn order.
+type NodeID int32
+
+// None is the nil NodeID.
+const None NodeID = -1
+
+// Handler is the behaviour of a simulated node. A node is the paper's
+// "process executing actions": OnMessage corresponds to processing a remote
+// action call from the channel, OnTimeout to the periodic TIMEOUT action.
+type Handler interface {
+	// OnInit runs once when the node is spawned.
+	OnInit(ctx *Context)
+	// OnMessage processes one delivered message.
+	OnMessage(ctx *Context, from NodeID, payload any)
+	// OnTimeout runs once per round (synchronous model) or periodically
+	// (asynchronous model).
+	OnTimeout(ctx *Context)
+}
+
+// Config configures an Engine.
+type Config struct {
+	Seed int64
+	// Async selects the asynchronous scheduler. Default is synchronous.
+	Async bool
+	// MaxDelay (async only) is the maximum message delay; each message is
+	// delayed uniformly in [1, MaxDelay]. Defaults to 8.
+	MaxDelay int
+	// TimeoutEvery (async only) is the maximum gap between consecutive
+	// TIMEOUT firings of a node; each gap is uniform in [1, TimeoutEvery].
+	// Defaults to 4.
+	TimeoutEvery int
+	// ShuffleTimeouts (sync only) randomizes the per-round order in which
+	// nodes execute TIMEOUT. Delivery order is always shuffled. Shuffling
+	// timeouts costs a permutation per round; tests enable it to widen
+	// schedule coverage, large benchmarks leave it off.
+	ShuffleTimeouts bool
+	// TraceMessage, when set, observes every delivered message.
+	TraceMessage func(now int64, from, to NodeID, payload any)
+}
+
+// Stats carries engine-level accounting.
+type Stats struct {
+	MessagesSent      int64
+	MessagesDelivered int64
+	TimeoutsRun       int64
+	Spawned           int64
+}
+
+type message struct {
+	from, to NodeID
+	payload  any
+	seq      uint64
+}
+
+type event struct {
+	at   int64
+	tie  uint64 // random tiebreak among same-time events
+	seq  uint64 // creation order, final tiebreak for determinism
+	kind uint8  // 0 = message, 1 = timeout
+	msg  message
+	node NodeID // timeout target
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].tie != h[j].tie {
+		return h[i].tie < h[j].tie
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+type nodeSlot struct {
+	h        Handler
+	active   bool
+	timeouts bool
+}
+
+// Engine runs a set of nodes under one of the two schedulers.
+type Engine struct {
+	cfg   Config
+	rng   *xrand.RNG
+	nodes []nodeSlot
+	now   int64
+	// synchronous queues: messages awaiting delivery next round.
+	next []message
+	// asynchronous event heap.
+	events eventHeap
+	// messages in flight (both models).
+	inFlight int64
+	stats    Stats
+	seq      uint64
+	ctx      Context
+}
+
+// Context is the interface a handler uses to interact with the engine. A
+// single Context is reused across callbacks; handlers must not retain it
+// past the callback... except that in this single-threaded simulation the
+// pointer stays valid, so retaining it for convenience is tolerated.
+type Context struct {
+	eng  *Engine
+	self NodeID
+}
+
+// New creates an engine.
+func New(cfg Config) *Engine {
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 8
+	}
+	if cfg.TimeoutEvery <= 0 {
+		cfg.TimeoutEvery = 4
+	}
+	e := &Engine{cfg: cfg, rng: xrand.New(cfg.Seed)}
+	e.ctx.eng = e
+	return e
+}
+
+// Spawn adds a node and runs its OnInit. It may be called before the run
+// starts or from within any handler callback.
+func (e *Engine) Spawn(h Handler) NodeID {
+	id := NodeID(len(e.nodes))
+	e.nodes = append(e.nodes, nodeSlot{h: h, active: true, timeouts: true})
+	e.stats.Spawned++
+	if e.cfg.Async {
+		e.scheduleTimeout(id)
+	}
+	prev := e.ctx.self
+	e.ctx.self = id
+	h.OnInit(&e.ctx)
+	e.ctx.self = prev
+	return id
+}
+
+// Now returns the current round (synchronous) or virtual time (async).
+func (e *Engine) Now() int64 { return e.now }
+
+// Stats returns a copy of the engine statistics.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// InFlight returns the number of sent-but-undelivered messages.
+func (e *Engine) InFlight() int { return int(e.inFlight) }
+
+// NumNodes returns the number of nodes ever spawned.
+func (e *Engine) NumNodes() int { return len(e.nodes) }
+
+// Active reports whether the node receives messages.
+func (e *Engine) Active(id NodeID) bool {
+	return id >= 0 && int(id) < len(e.nodes) && e.nodes[id].active
+}
+
+// Handler returns the handler of a node (for test inspection).
+func (e *Engine) Handler(id NodeID) Handler { return e.nodes[id].h }
+
+// Rand exposes the engine RNG for workload generators that must share the
+// deterministic schedule.
+func (e *Engine) Rand() *xrand.RNG { return e.rng }
+
+// Inject sends a message into the system from outside any handler (e.g. a
+// freshly joining process contacting a member). It follows the same
+// delivery rules as handler sends.
+func (e *Engine) Inject(from, to NodeID, payload any) {
+	e.send(from, to, payload)
+}
+
+func (e *Engine) scheduleTimeout(id NodeID) {
+	gap := int64(1 + e.rng.Intn(e.cfg.TimeoutEvery))
+	e.seq++
+	heap.Push(&e.events, event{
+		at: e.now + gap, tie: e.rng.Uint64(), seq: e.seq, kind: 1, node: id,
+	})
+}
+
+func (e *Engine) send(from, to NodeID, payload any) {
+	if to < 0 || int(to) >= len(e.nodes) {
+		panic(fmt.Sprintf("sim: send to invalid node %d from %d at t=%d", to, from, e.now))
+	}
+	if !e.nodes[to].active {
+		panic(fmt.Sprintf("sim: send to deactivated node %d from %d at t=%d (message would be lost)", to, from, e.now))
+	}
+	e.stats.MessagesSent++
+	e.inFlight++
+	e.seq++
+	m := message{from: from, to: to, payload: payload, seq: e.seq}
+	if e.cfg.Async {
+		delay := int64(1 + e.rng.Intn(e.cfg.MaxDelay))
+		heap.Push(&e.events, event{at: e.now + delay, tie: e.rng.Uint64(), seq: e.seq, kind: 0, msg: m})
+	} else {
+		e.next = append(e.next, m)
+	}
+}
+
+func (e *Engine) deliver(m message) {
+	slot := &e.nodes[m.to]
+	if !slot.active {
+		panic(fmt.Sprintf("sim: message from %d delivered to deactivated node %d at t=%d", m.from, m.to, e.now))
+	}
+	e.inFlight--
+	e.stats.MessagesDelivered++
+	if e.cfg.TraceMessage != nil {
+		e.cfg.TraceMessage(e.now, m.from, m.to, m.payload)
+	}
+	prev := e.ctx.self
+	e.ctx.self = m.to
+	slot.h.OnMessage(&e.ctx, m.from, m.payload)
+	e.ctx.self = prev
+}
+
+func (e *Engine) timeout(id NodeID) {
+	slot := &e.nodes[id]
+	if !slot.active || !slot.timeouts {
+		return
+	}
+	e.stats.TimeoutsRun++
+	prev := e.ctx.self
+	e.ctx.self = id
+	slot.h.OnTimeout(&e.ctx)
+	e.ctx.self = prev
+}
+
+// Step advances the simulation: one full round in the synchronous model,
+// one event in the asynchronous model. It reports whether anything can
+// still happen (async: events remain; sync: always true, since timeouts
+// recur every round).
+func (e *Engine) Step() bool {
+	if e.cfg.Async {
+		return e.stepAsync()
+	}
+	e.stepSync()
+	return true
+}
+
+func (e *Engine) stepSync() {
+	e.now++
+	// Deliver every message sent in the previous round, in random order
+	// (the channel is a set: arbitrary processing order, non-FIFO).
+	batch := e.next
+	e.next = nil
+	e.rng.Shuffle(len(batch), func(i, j int) { batch[i], batch[j] = batch[j], batch[i] })
+	for _, m := range batch {
+		e.deliver(m)
+	}
+	// Then every node runs TIMEOUT once.
+	if e.cfg.ShuffleTimeouts {
+		order := e.rng.Perm(len(e.nodes))
+		for _, i := range order {
+			e.timeout(NodeID(i))
+		}
+	} else {
+		for i := range e.nodes {
+			e.timeout(NodeID(i))
+		}
+	}
+}
+
+func (e *Engine) stepAsync() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	if ev.at > e.now {
+		e.now = ev.at
+	}
+	switch ev.kind {
+	case 0:
+		e.deliver(ev.msg)
+	case 1:
+		if e.nodes[ev.node].active {
+			e.timeout(ev.node)
+			if e.nodes[ev.node].timeouts {
+				e.scheduleTimeout(ev.node)
+			}
+		}
+	}
+	return true
+}
+
+// Run advances the simulation until limit rounds (sync) or limit time
+// units (async) have elapsed, or — async only — no events remain.
+func (e *Engine) Run(limit int64) {
+	target := e.now + limit
+	for e.now < target {
+		if !e.Step() {
+			return
+		}
+	}
+}
+
+// RunUntil advances the simulation until cond returns true or maxTime
+// elapses. It returns whether cond was met. cond is evaluated after each
+// round (sync) or each event (async).
+func (e *Engine) RunUntil(cond func() bool, maxTime int64) bool {
+	target := e.now + maxTime
+	for e.now < target {
+		if cond() {
+			return true
+		}
+		if !e.Step() {
+			return cond()
+		}
+	}
+	return cond()
+}
+
+// Context methods, used by handlers.
+
+// Self returns the node the current callback belongs to.
+func (c *Context) Self() NodeID { return c.self }
+
+// Now returns the current simulation time.
+func (c *Context) Now() int64 { return c.eng.now }
+
+// Send enqueues a message to another (or the same) node.
+func (c *Context) Send(to NodeID, payload any) {
+	c.eng.send(c.self, to, payload)
+}
+
+// Spawn creates a new node mid-run (used for LEAVE replacements).
+func (c *Context) Spawn(h Handler) NodeID { return c.eng.Spawn(h) }
+
+// Rand returns the engine RNG.
+func (c *Context) Rand() *xrand.RNG { return c.eng.rng }
+
+// StopTimeouts disables further TIMEOUT callbacks for a node, leaving it
+// able to receive messages (used for departed nodes that only forward).
+func (c *Context) StopTimeouts(id NodeID) {
+	c.eng.nodes[id].timeouts = false
+}
+
+// Deactivate removes a node entirely; delivering or sending to it
+// afterwards is a protocol error and panics. The paper's leave protocol
+// guarantees no such message exists once the drain completes.
+func (c *Context) Deactivate(id NodeID) {
+	c.eng.nodes[id].active = false
+}
+
+// Engine gives handlers access to engine-level queries (tests, metrics).
+func (c *Context) Engine() *Engine { return c.eng }

@@ -1,0 +1,70 @@
+// Package stack implements the stack-specific machinery of §VI: the local
+// combining of PUSH/POP pairs. A node that generates a POP while it still
+// buffers an unsent PUSH can answer both immediately — the POP returns the
+// newest buffered PUSH's element — without involving the anchor at all.
+// The buffered residual word is then always of the form POP^a PUSH^b,
+// which is why stack batches have constant size (Theorem 20).
+//
+// The anchor-side stack changes (tickets, descending pop intervals) live
+// in internal/batch; the stage-4 completion wait lives in internal/core.
+package stack
+
+import "skueue/internal/dht"
+
+// PendingOp is one buffered stack operation.
+type PendingOp struct {
+	ReqID    uint64
+	Elem     dht.Element // pushes only
+	Born     int64
+	LocalSeq int64
+}
+
+// Combiner maintains a node's buffered, not-yet-sent stack operations in
+// the reduced form POP^a PUSH^b.
+type Combiner struct {
+	pops   []PendingOp
+	pushes []PendingOp
+}
+
+// Push buffers a push. A push never combines on arrival (only a later pop
+// can consume it).
+func (c *Combiner) Push(op PendingOp) {
+	c.pushes = append(c.pushes, op)
+}
+
+// Pop either combines with the newest buffered push — returning it with
+// ok=true, in which case both operations are complete — or buffers the pop
+// (ok=false).
+func (c *Combiner) Pop(op PendingOp) (match PendingOp, ok bool) {
+	if n := len(c.pushes); n > 0 {
+		match = c.pushes[n-1]
+		c.pushes = c.pushes[:n-1]
+		return match, true
+	}
+	c.pops = append(c.pops, op)
+	return PendingOp{}, false
+}
+
+// TakeResidual removes and returns the buffered residual word: all pops
+// (in issue order) followed by all pushes (in issue order). It is called
+// when the node folds its waiting batch into the processing batch.
+func (c *Combiner) TakeResidual() (pops, pushes []PendingOp) {
+	pops, pushes = c.pops, c.pushes
+	c.pops, c.pushes = nil, nil
+	return pops, pushes
+}
+
+// Counts returns the residual word shape (a pops, b pushes).
+func (c *Combiner) Counts() (pops, pushes int) {
+	return len(c.pops), len(c.pushes)
+}
+
+// RestorePop puts a pop back at the end of the pop run; used when a wave
+// could not be sent and its operations return to the buffer.
+func (c *Combiner) RestorePop(op PendingOp) { c.pops = append(c.pops, op) }
+
+// RestorePush puts a push back at the end of the push run.
+func (c *Combiner) RestorePush(op PendingOp) { c.pushes = append(c.pushes, op) }
+
+// Empty reports whether nothing is buffered.
+func (c *Combiner) Empty() bool { return len(c.pops) == 0 && len(c.pushes) == 0 }

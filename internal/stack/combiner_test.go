@@ -1,0 +1,122 @@
+package stack
+
+import (
+	"testing"
+	"testing/quick"
+
+	"skueue/internal/dht"
+)
+
+func push(seq int64) PendingOp {
+	return PendingOp{ReqID: uint64(seq), Elem: dht.Element{Seq: seq}, LocalSeq: seq}
+}
+
+func TestPopCombinesWithNewestPush(t *testing.T) {
+	var c Combiner
+	c.Push(push(1))
+	c.Push(push(2))
+	m, ok := c.Pop(PendingOp{LocalSeq: 3})
+	if !ok || m.Elem.Seq != 2 {
+		t.Fatalf("pop should combine with push 2, got %v ok=%v", m, ok)
+	}
+	m, ok = c.Pop(PendingOp{LocalSeq: 4})
+	if !ok || m.Elem.Seq != 1 {
+		t.Fatalf("second pop should combine with push 1, got %v", m)
+	}
+	if _, ok := c.Pop(PendingOp{LocalSeq: 5}); ok {
+		t.Fatalf("third pop has nothing to combine with")
+	}
+	if a, b := c.Counts(); a != 1 || b != 0 {
+		t.Fatalf("residual should be 1 pop, got %d/%d", a, b)
+	}
+}
+
+func TestResidualShape(t *testing.T) {
+	// Any sequence reduces to pops-then-pushes.
+	var c Combiner
+	c.Pop(PendingOp{LocalSeq: 0})
+	c.Push(push(1))
+	c.Push(push(2))
+	m, ok := c.Pop(PendingOp{LocalSeq: 3})
+	if !ok || m.LocalSeq != 2 {
+		t.Fatalf("expected combine with local seq 2")
+	}
+	c.Push(push(4))
+	pops, pushes := c.TakeResidual()
+	if len(pops) != 1 || pops[0].LocalSeq != 0 {
+		t.Fatalf("residual pops wrong: %v", pops)
+	}
+	if len(pushes) != 2 || pushes[0].LocalSeq != 1 || pushes[1].LocalSeq != 4 {
+		t.Fatalf("residual pushes wrong: %v", pushes)
+	}
+	if !c.Empty() {
+		t.Fatalf("combiner should be empty after TakeResidual")
+	}
+}
+
+func TestTakeResidualResets(t *testing.T) {
+	var c Combiner
+	c.Push(push(1))
+	c.TakeResidual()
+	// A pop after the wave fired cannot combine with the already-sent push.
+	if _, ok := c.Pop(PendingOp{LocalSeq: 2}); ok {
+		t.Fatalf("pop combined with a push that already left the buffer")
+	}
+}
+
+func TestReductionProperty(t *testing.T) {
+	// Property: after any operation sequence, the residual is pop^a push^b
+	// with a,b >= 0, combined pairs match LIFO-correctly, and the total
+	// number of ops is conserved.
+	f := func(opsRaw []bool) bool {
+		var c Combiner
+		var seq int64
+		combined := 0
+		for _, isPush := range opsRaw {
+			seq++
+			if isPush {
+				c.Push(push(seq))
+			} else if _, ok := c.Pop(PendingOp{LocalSeq: seq}); ok {
+				combined += 2
+			}
+		}
+		a, b := c.Counts()
+		return combined+a+b == len(opsRaw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLIFOMatchingProperty(t *testing.T) {
+	// Replaying the combines against a reference stack must agree.
+	f := func(opsRaw []bool) bool {
+		var c Combiner
+		var ref []int64 // reference stack of unsent pushes
+		var seq int64
+		for _, isPush := range opsRaw {
+			seq++
+			if isPush {
+				c.Push(push(seq))
+				ref = append(ref, seq)
+				continue
+			}
+			m, ok := c.Pop(PendingOp{LocalSeq: seq})
+			if len(ref) == 0 {
+				if ok {
+					return false
+				}
+				continue
+			}
+			want := ref[len(ref)-1]
+			ref = ref[:len(ref)-1]
+			if !ok || m.LocalSeq != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

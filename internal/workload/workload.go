@@ -1,0 +1,128 @@
+// Package workload generates the request patterns of the paper's
+// evaluation (§VII-A): a fixed number of requests per synchronous round
+// assigned to random nodes (Figures 2 and 3), or an independent per-node
+// generation probability each round (Figure 4), with a configurable
+// enqueue/push ratio. It can also script join/leave churn at given rounds.
+package workload
+
+import (
+	"fmt"
+
+	"skueue/internal/core"
+	"skueue/internal/sim"
+	"skueue/internal/xrand"
+)
+
+// Spec describes a request generation pattern.
+type Spec struct {
+	// Rounds of active generation; afterwards the caller drains.
+	Rounds int
+	// RequestsPerRound, when positive, issues that many requests per round
+	// at uniformly random clients (the paper's Figure 2/3 setup uses 10).
+	RequestsPerRound int
+	// PerNodeProb, when positive, lets every eligible client generate a
+	// request each round with this probability (Figure 4 setup).
+	PerNodeProb float64
+	// EnqRatio is the probability that a generated request is an
+	// ENQUEUE/PUSH; the rest are DEQUEUE/POP.
+	EnqRatio float64
+}
+
+// Validate reports configuration errors.
+func (s Spec) Validate() error {
+	if s.Rounds <= 0 {
+		return fmt.Errorf("workload: Rounds must be positive")
+	}
+	if (s.RequestsPerRound > 0) == (s.PerNodeProb > 0) {
+		return fmt.Errorf("workload: exactly one of RequestsPerRound and PerNodeProb must be set")
+	}
+	if s.EnqRatio < 0 || s.EnqRatio > 1 {
+		return fmt.Errorf("workload: EnqRatio must be in [0,1]")
+	}
+	return nil
+}
+
+// ChurnEvent schedules a join or leave at the start of a round.
+type ChurnEvent struct {
+	Round int
+	Join  bool
+	// Proc: contact process for joins, leaving process for leaves.
+	Proc int
+}
+
+// Generator drives a cluster through a workload.
+type Generator struct {
+	cl    *core.Cluster
+	spec  Spec
+	rng   *xrand.RNG
+	churn []ChurnEvent
+	round int
+}
+
+// New prepares a generator with its own deterministic randomness.
+func New(cl *core.Cluster, spec Spec, seed int64) (*Generator, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Generator{cl: cl, spec: spec, rng: xrand.New(seed).Fork("workload")}, nil
+}
+
+// Schedule adds churn events (may be called before running).
+func (g *Generator) Schedule(events ...ChurnEvent) { g.churn = append(g.churn, events...) }
+
+// Round returns the number of generation rounds completed.
+func (g *Generator) Round() int { return g.round }
+
+// Step generates one round of requests (and due churn events) and then
+// advances the simulation by one round. It reports whether generation
+// rounds remain.
+func (g *Generator) Step() bool {
+	if g.round >= g.spec.Rounds {
+		return false
+	}
+	for _, ev := range g.churn {
+		if ev.Round == g.round {
+			if ev.Join {
+				g.cl.JoinProcess(ev.Proc)
+			} else {
+				g.cl.LeaveProcess(ev.Proc)
+			}
+		}
+	}
+	clients := g.cl.ActiveClients()
+	if len(clients) > 0 {
+		if g.spec.RequestsPerRound > 0 {
+			for i := 0; i < g.spec.RequestsPerRound; i++ {
+				g.issue(clients[g.rng.Intn(len(clients))])
+			}
+		} else {
+			for _, c := range clients {
+				if g.rng.Bool(g.spec.PerNodeProb) {
+					g.issue(c)
+				}
+			}
+		}
+	}
+	g.cl.Step()
+	g.round++
+	return g.round < g.spec.Rounds
+}
+
+func (g *Generator) issue(c sim.NodeID) {
+	if g.rng.Bool(g.spec.EnqRatio) {
+		g.cl.Enqueue(c)
+	} else {
+		g.cl.Dequeue(c)
+	}
+}
+
+// Run executes all generation rounds and then drains the system: the
+// paper's measurement protocol ("after 1000 rounds we stop the generation
+// of requests and wait until all requests still being processed have
+// finished"). It reports whether the system drained within maxDrain
+// additional rounds.
+func (g *Generator) Run(maxDrain int64) bool {
+	for g.Step() {
+	}
+	return g.cl.Drain(maxDrain)
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"testing"
+
+	"skueue/internal/batch"
+	"skueue/internal/core"
+)
+
+func mkCluster(t *testing.T, n int, seed int64) *core.Cluster {
+	t.Helper()
+	cl, err := core.New(core.Config{Processes: n, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		ok   bool
+	}{
+		{Spec{Rounds: 10, RequestsPerRound: 5, EnqRatio: 0.5}, true},
+		{Spec{Rounds: 10, PerNodeProb: 0.1, EnqRatio: 0.5}, true},
+		{Spec{Rounds: 0, RequestsPerRound: 5}, false},
+		{Spec{Rounds: 10}, false},
+		{Spec{Rounds: 10, RequestsPerRound: 5, PerNodeProb: 0.5}, false},
+		{Spec{Rounds: 10, RequestsPerRound: 5, EnqRatio: 1.5}, false},
+	}
+	for i, c := range cases {
+		if err := c.spec.Validate(); (err == nil) != c.ok {
+			t.Errorf("case %d: Validate() = %v, want ok=%v", i, err, c.ok)
+		}
+	}
+}
+
+func TestFixedRateGeneratesExactCounts(t *testing.T) {
+	cl := mkCluster(t, 4, 1)
+	gen, err := New(cl, Spec{Rounds: 50, RequestsPerRound: 3, EnqRatio: 0.5}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gen.Run(20000) {
+		t.Fatalf("did not drain")
+	}
+	if cl.Issued() != 150 {
+		t.Fatalf("issued %d, want 150", cl.Issued())
+	}
+	if err := cl.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerNodeProbApproximatesRate(t *testing.T) {
+	cl := mkCluster(t, 8, 2)
+	gen, err := New(cl, Spec{Rounds: 100, PerNodeProb: 0.25, EnqRatio: 0.6}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gen.Run(30000) {
+		t.Fatalf("did not drain")
+	}
+	// 24 clients * 100 rounds * 0.25 = 600 expected.
+	if cl.Issued() < 450 || cl.Issued() > 750 {
+		t.Fatalf("issued %d, expected ~600", cl.Issued())
+	}
+}
+
+func TestEnqRatioRespected(t *testing.T) {
+	cl := mkCluster(t, 4, 3)
+	gen, _ := New(cl, Spec{Rounds: 100, RequestsPerRound: 5, EnqRatio: 0.8}, 11)
+	if !gen.Run(30000) {
+		t.Fatalf("did not drain")
+	}
+	enq := 0
+	for _, op := range cl.History().Ops {
+		if op.Kind == 0 { // seqcheck.Enqueue
+			enq++
+		}
+	}
+	frac := float64(enq) / float64(cl.Issued())
+	if frac < 0.7 || frac > 0.9 {
+		t.Fatalf("enqueue fraction %.2f, want ~0.8", frac)
+	}
+}
+
+func TestChurnSchedule(t *testing.T) {
+	cl := mkCluster(t, 4, 4)
+	gen, _ := New(cl, Spec{Rounds: 120, RequestsPerRound: 1, EnqRatio: 0.7}, 13)
+	gen.Schedule(
+		ChurnEvent{Round: 20, Join: true, Proc: 0},
+		ChurnEvent{Round: 60, Join: false, Proc: 2},
+	)
+	if !gen.Run(60000) {
+		t.Fatalf("did not drain")
+	}
+	if !cl.Engine().RunUntil(func() bool { return cl.ChurnQuiescent() }, 60000) {
+		t.Fatalf("churn did not settle")
+	}
+	if err := cl.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.LiveRing().Len(); got != 12 {
+		t.Fatalf("ring size %d after join+leave, want 12", got)
+	}
+}
+
+func TestStackWorkload(t *testing.T) {
+	cl, err := core.New(core.Config{Processes: 4, Seed: 5, Mode: batch.Stack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, _ := New(cl, Spec{Rounds: 80, PerNodeProb: 0.5, EnqRatio: 0.5}, 15)
+	if !gen.Run(60000) {
+		t.Fatalf("did not drain")
+	}
+	if err := cl.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Metrics().CombinedOps == 0 {
+		t.Fatalf("expected some local combining at this rate")
+	}
+}
+
+func TestDeterministicWorkload(t *testing.T) {
+	run := func() int64 {
+		cl := mkCluster(t, 4, 6)
+		gen, _ := New(cl, Spec{Rounds: 60, RequestsPerRound: 2, EnqRatio: 0.5}, 17)
+		gen.Run(20000)
+		return cl.Issued()*1000 + int64(cl.History().Len())
+	}
+	if run() != run() {
+		t.Fatalf("workload not deterministic")
+	}
+}

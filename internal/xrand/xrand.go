@@ -1,0 +1,140 @@
+// Package xrand provides the deterministic randomness used throughout the
+// repository: a small, fast, seedable PRNG for simulation scheduling and
+// workload generation, and keyed pseudorandom hash functions for node
+// labels and DHT keys (the paper's "publicly known pseudorandom hash
+// function", §II). Everything is reproducible from a single int64 seed so
+// that every experiment and every failure is replayable.
+package xrand
+
+import "skueue/internal/fixpoint"
+
+// SplitMix64 is the splitmix64 finalizer: a high-quality 64-bit mixing
+// function. It is the basis of both the PRNG seeding and the keyed hashes.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Hasher is a keyed pseudorandom hash from uint64 to the unit interval.
+// Distinct keys give independent-looking hash functions; the same key gives
+// the same function everywhere ("publicly known").
+type Hasher struct {
+	key uint64
+}
+
+// NewHasher derives a hasher from a seed and a domain-separation tag so
+// that e.g. label hashing and position hashing are independent functions.
+func NewHasher(seed int64, tag string) Hasher {
+	k := SplitMix64(uint64(seed))
+	for _, c := range tag {
+		k = SplitMix64(k ^ uint64(c))
+	}
+	return Hasher{key: k}
+}
+
+// Frac hashes x to a pseudorandom point in [0,1).
+func (h Hasher) Frac(x uint64) fixpoint.Frac {
+	return fixpoint.Frac(SplitMix64(h.key ^ SplitMix64(x)))
+}
+
+// Uint64 hashes x to a pseudorandom 64-bit value.
+func (h Hasher) Uint64(x uint64) uint64 {
+	return SplitMix64(h.key + 0x632be59bd9b4e019 ^ SplitMix64(x))
+}
+
+// RNG is a deterministic pseudorandom number generator (xoshiro256**).
+// It is not safe for concurrent use; the simulation is single-threaded by
+// design, and independent components should derive their own RNG via Fork.
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns an RNG seeded from seed via splitmix64, per the xoshiro
+// authors' recommendation.
+func New(seed int64) *RNG {
+	r := &RNG{}
+	x := uint64(seed)
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Fork derives an independent generator from the current one, tagged so
+// that different subsystems forked from the same parent do not correlate.
+func (r *RNG) Fork(tag string) *RNG {
+	h := r.Uint64()
+	for _, c := range tag {
+		h = SplitMix64(h ^ uint64(c))
+	}
+	return New(int64(h))
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next pseudorandom 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a pseudorandom int in [0,n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a non-negative pseudorandom int64.
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Float64 returns a pseudorandom float64 in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Frac returns a uniform pseudorandom point on the unit interval.
+func (r *RNG) Frac() fixpoint.Frac { return fixpoint.Frac(r.Uint64()) }
+
+// Perm returns a pseudorandom permutation of [0,n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts shuffles the slice in place (Fisher-Yates).
+func (r *RNG) ShuffleInts(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Shuffle shuffles n elements using the provided swap function.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

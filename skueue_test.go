@@ -1,0 +1,188 @@
+package skueue
+
+import (
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	sys, err := New(Config{Processes: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := sys.Enqueue(0, "a")
+	e2 := sys.Enqueue(1, "b")
+	if !sys.Drain(10000) {
+		t.Fatal("enqueues did not drain")
+	}
+	if !e1.Done() || !e2.Done() {
+		t.Fatal("handles not done after drain")
+	}
+	d1 := sys.Dequeue(2)
+	d2 := sys.Dequeue(2)
+	if !sys.Drain(10000) {
+		t.Fatal("dequeues did not drain")
+	}
+	// Both elements are gone now, so a later dequeue must come up empty.
+	d3 := sys.Dequeue(3)
+	if !sys.Drain(10000) {
+		t.Fatal("third dequeue did not drain")
+	}
+	got := []any{d1.Value(), d2.Value()}
+	// d1 and d2 are by the same process: FIFO order between them.
+	if got[0] != "a" && got[0] != "b" {
+		t.Fatalf("unexpected first value %v", got[0])
+	}
+	if got[1] == got[0] {
+		t.Fatalf("same element delivered twice")
+	}
+	if !d3.Empty() {
+		t.Fatalf("third dequeue should be empty, got %v", d3.Value())
+	}
+	if err := sys.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStackMode(t *testing.T) {
+	sys, err := New(Config{Processes: 2, Seed: 2, Mode: Stack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Push(0, 1)
+	sys.Push(0, 2)
+	if !sys.Drain(10000) {
+		t.Fatal("pushes did not drain")
+	}
+	p := sys.Pop(1)
+	if !sys.Drain(10000) {
+		t.Fatal("pop did not drain")
+	}
+	if p.Value() != 2 {
+		t.Fatalf("LIFO: pop got %v, want 2", p.Value())
+	}
+	if err := sys.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandleLifecycle(t *testing.T) {
+	sys, _ := New(Config{Processes: 2, Seed: 3})
+	h := sys.Enqueue(0, "x")
+	if h.Done() || h.Empty() || h.Value() != nil {
+		t.Fatalf("fresh handle should be pending")
+	}
+	sys.Drain(10000)
+	if !h.Done() || h.Rounds() <= 0 {
+		t.Fatalf("handle not resolved: done=%v rounds=%d", h.Done(), h.Rounds())
+	}
+}
+
+func TestJoinLeaveViaFacade(t *testing.T) {
+	sys, _ := New(Config{Processes: 3, Seed: 4})
+	sys.Run(5)
+	p := sys.Join(0)
+	if !sys.Settle(30000) {
+		t.Fatal("join did not settle")
+	}
+	sys.Enqueue(p, "from-joiner")
+	if !sys.Drain(10000) {
+		t.Fatal("joiner op did not drain")
+	}
+	sys.Leave(1)
+	if !sys.Settle(60000) {
+		t.Fatal("leave did not settle")
+	}
+	d := sys.Dequeue(0)
+	if !sys.Drain(30000) {
+		t.Fatal("post-leave op did not drain")
+	}
+	if d.Value() != "from-joiner" {
+		t.Fatalf("element lost across churn: %v", d.Value())
+	}
+	if err := sys.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValuesSurviveDHTTravel(t *testing.T) {
+	sys, _ := New(Config{Processes: 6, Seed: 5})
+	want := map[any]bool{}
+	for i := 0; i < 20; i++ {
+		v := i * 100
+		sys.Enqueue(i%6, v)
+		want[v] = true
+	}
+	sys.Drain(20000)
+	if sys.Stored() != 20 {
+		t.Fatalf("stored %d, want 20", sys.Stored())
+	}
+	var handles []*Handle
+	for i := 0; i < 20; i++ {
+		handles = append(handles, sys.Dequeue(i%6))
+	}
+	sys.Drain(20000)
+	for _, h := range handles {
+		if h.Empty() {
+			t.Fatalf("lost element")
+		}
+		if !want[h.Value()] {
+			t.Fatalf("unknown or duplicate value %v", h.Value())
+		}
+		delete(want, h.Value())
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	if _, err := New(Config{Processes: 0}); err == nil {
+		t.Fatal("zero processes should fail")
+	}
+}
+
+func TestPanicsOnBadProcess(t *testing.T) {
+	sys, _ := New(Config{Processes: 2, Seed: 6})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range process")
+		}
+	}()
+	sys.Enqueue(9, nil)
+}
+
+func TestAsyncFacade(t *testing.T) {
+	sys, _ := New(Config{Processes: 3, Seed: 7, Async: true})
+	sys.Enqueue(0, "v")
+	if !sys.Drain(50000) {
+		t.Fatal("async enqueue did not drain")
+	}
+	d := sys.Dequeue(1)
+	if !sys.Drain(50000) {
+		t.Fatal("async dequeue did not drain")
+	}
+	if d.Value() != "v" {
+		t.Fatalf("got %v", d.Value())
+	}
+	if err := sys.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAndMetrics(t *testing.T) {
+	sys, _ := New(Config{Processes: 3, Seed: 8})
+	for i := 0; i < 10; i++ {
+		sys.Enqueue(i%3, i)
+	}
+	sys.Drain(20000)
+	st := sys.Stats()
+	if st.Total != 10 || st.Enqueues != 10 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+	if sys.Metrics().WavesAssigned == 0 {
+		t.Fatalf("no waves recorded")
+	}
+	if sys.Now() == 0 {
+		t.Fatalf("time did not advance")
+	}
+	if sys.NumProcesses() != 3 {
+		t.Fatalf("process count wrong")
+	}
+}
