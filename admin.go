@@ -1,0 +1,63 @@
+package skueue
+
+import "context"
+
+// Admin is the membership sub-surface of a Client: joins, leaves and
+// settling. Obtain it with Client.Admin; the zero value is not usable.
+type Admin struct {
+	c *Client
+}
+
+// Admin returns the membership surface of the client.
+func (c *Client) Admin() Admin { return Admin{c: c} }
+
+// Join adds a fresh process to the system through the given contact
+// process (§IV-A) and returns its index. The process becomes usable once
+// the next update phase integrates it; Settle waits for that.
+func (a Admin) Join(contact int) (int, error) {
+	c := a.c
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if err := c.checkProcLocked(contact); err != nil {
+		c.mu.Unlock()
+		return 0, err
+	}
+	idx := c.cl.JoinProcess(contact)
+	c.mu.Unlock()
+	c.poke()
+	return idx, nil
+}
+
+// Leave withdraws a process from the system (§IV-B). Its data migrates to
+// the remaining members; Settle waits for the migration to finish.
+func (a Admin) Leave(proc int) error {
+	c := a.c
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if err := c.checkProcLocked(proc); err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	if c.cl.Processes()[proc].Joining {
+		c.mu.Unlock()
+		return ErrStillJoining
+	}
+	c.cl.LeaveProcess(proc)
+	c.mu.Unlock()
+	c.poke()
+	return nil
+}
+
+// Settle blocks until all pending joins and leaves finished integrating
+// and the overlay is fully consistent, the context ends, or the client
+// closes. Under WithManualClock it drives the engine inline on the calling
+// goroutine (the bounded Client.Settle is the non-blocking alternative).
+func (a Admin) Settle(ctx context.Context) error {
+	return a.c.await(ctx, a.c.settledLocked)
+}

@@ -1,17 +1,24 @@
-package skueue
+package skueue_test
 
 // Benchmark harness: one benchmark per figure and experiment of the
-// paper's evaluation (see DESIGN.md §4). Each benchmark regenerates the
-// corresponding data series at bench scale and reports the headline
-// quantity via ReportMetric, so `go test -bench=. -benchmem` reproduces
-// the shape of every figure. cmd/skueue-experiments prints the full
-// series (and -full runs paper-scale sizes).
+// paper's evaluation (see DESIGN.md §4), plus BenchmarkClientThroughput
+// for the blocking client API's hot path. Each figure benchmark
+// regenerates the corresponding data series at bench scale and reports the
+// headline quantity via ReportMetric, so `go test -bench=. -benchmem`
+// reproduces the shape of every figure. cmd/skueue-experiments prints the
+// full series (and -full runs paper-scale sizes).
+//
+// This file lives in the external test package: the harness drives the
+// experiments through the public client layer, so importing it from
+// package skueue itself would be an import cycle.
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
 
+	"skueue"
 	"skueue/internal/batch"
 	"skueue/internal/core"
 	"skueue/internal/harness"
@@ -172,6 +179,48 @@ func BenchmarkThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ReportMetric(float64(cl.Finished())/b.Elapsed().Seconds(), "requests/s")
+}
+
+// BenchmarkClientThroughput measures the blocking-API hot path: many
+// producer/consumer goroutines hammering one autopilot client, every call
+// a full submit → runner-advance → future-resolution round trip through
+// the client mutex.
+func BenchmarkClientThroughput(b *testing.B) {
+	c, err := skueue.Open(
+		skueue.WithProcesses(16),
+		skueue.WithSeed(9),
+		skueue.WithAutopilotQuantum(8),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	b.SetParallelism(4) // more blocked clients than GOMAXPROCS, like a real server
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		enq := true
+		for pb.Next() {
+			if enq {
+				if err := c.Enqueue(ctx, 1); err != nil {
+					b.Error(err)
+					return
+				}
+			} else {
+				if _, _, err := c.Dequeue(ctx); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			enq = !enq
+		}
+	})
+	b.StopTimer()
+	if err := c.Check(); err != nil {
+		b.Fatal(err)
+	}
+	ops := c.Stats().Total
+	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "client-ops/s")
 }
 
 // BenchmarkStackCombiningAblation quantifies §VI local combining: ops per

@@ -1,0 +1,654 @@
+package skueue
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"skueue/internal/batch"
+	"skueue/internal/core"
+	"skueue/internal/dht"
+	"skueue/internal/seqcheck"
+)
+
+// AnyProcess lets the client choose the submitting process itself: the
+// blocking operations round-robin over live, fully-joined members.
+const AnyProcess = -1
+
+// waiter is a parked Settle-style call: the autopilot closes ch once pred
+// holds. Both fields are touched only under the client mutex.
+type waiter struct {
+	pred func() bool
+	ch   chan struct{}
+}
+
+// Client is a running Skueue deployment. All methods are safe for
+// concurrent use from any number of goroutines: the simulated protocol
+// engine is single-threaded, so every engine access — injecting requests,
+// advancing time, resolving completions — is serialized behind one mutex.
+//
+// By default a background autopilot goroutine advances the engine whenever
+// operations or membership changes are pending, which is what makes the
+// blocking methods (Enqueue, Dequeue, Admin().Settle) block instead of
+// requiring the caller to pump simulated time. Open with WithManualClock
+// to disable the autopilot and drive time deterministically through Step,
+// Run, Drain and Settle.
+type Client struct {
+	manual  bool
+	quantum int64
+	mode    Mode
+
+	mu      sync.Mutex
+	cl      *core.Cluster
+	closed  bool
+	rr      int // round-robin cursor for AnyProcess submissions
+	futures map[uint64]*Future
+	values  map[dht.Element]any
+	pending map[uint64]any // enqueue values awaiting element binding
+	// early holds completions that fired synchronously inside the inject
+	// call (locally combined stack pairs), before the future existed. The
+	// client mutex covers the whole inject-then-register window, so the
+	// race is now confined to this map instead of leaking to callers.
+	// injecting marks that window: outside it, completions without a
+	// future belong to requests injected directly on the Cluster (the
+	// workload generators do that) and are not stashed.
+	early     map[uint64]seqcheck.Completion
+	injecting bool
+	waiters   []*waiter
+
+	wake    chan struct{} // poke the autopilot; buffered, never blocks
+	quit    chan struct{} // closed by Close
+	stopped chan struct{} // closed when the autopilot exits
+}
+
+// Open builds a client with all configured processes as initial members
+// and, unless WithManualClock is given, starts the autopilot runner.
+func Open(opts ...Option) (*Client, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.processes < 1 {
+		return nil, fmt.Errorf("skueue: WithProcesses(%d): need at least one process", o.processes)
+	}
+	if o.quantum < 1 {
+		return nil, fmt.Errorf("skueue: WithAutopilotQuantum(%d): need at least one round", o.quantum)
+	}
+	mode := batch.Queue
+	if o.mode == Stack {
+		mode = batch.Stack
+	}
+	cl, err := core.New(core.Config{
+		Processes:             o.processes,
+		Seed:                  o.seed,
+		Mode:                  mode,
+		Async:                 o.async,
+		MaxDelay:              o.maxDelay,
+		TimeoutEvery:          o.timeoutEvery,
+		ShuffleTimeouts:       o.shuffleTimeouts,
+		UpdateThreshold:       o.updateThreshold,
+		DisableStage4Wait:     o.noStage4Wait,
+		DisableLocalCombining: o.noCombining,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		manual:  o.manual,
+		quantum: o.quantum,
+		mode:    o.mode,
+		cl:      cl,
+		futures: make(map[uint64]*Future),
+		values:  make(map[dht.Element]any),
+		pending: make(map[uint64]any),
+		early:   make(map[uint64]seqcheck.Completion),
+		wake:    make(chan struct{}, 1),
+		quit:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	cl.SetOnComplete(c.onComplete)
+	if c.manual {
+		close(c.stopped)
+	} else {
+		go c.autopilot()
+	}
+	return c, nil
+}
+
+// Close shuts the client down: the autopilot exits, parked waiters and
+// future Waits return ErrClosed, and every subsequent call fails with
+// ErrClosed. Closing twice returns ErrClosed as well.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.closed = true
+	close(c.quit)
+	c.mu.Unlock()
+	<-c.stopped
+	return nil
+}
+
+// onComplete resolves the future of a finished request. It always runs
+// with the client mutex held: every code path that advances the engine or
+// injects a request holds it.
+func (c *Client) onComplete(comp seqcheck.Completion) {
+	f := c.futures[comp.ReqID]
+	if f == nil {
+		if c.injecting {
+			c.early[comp.ReqID] = comp
+		}
+		return
+	}
+	delete(c.futures, comp.ReqID)
+	f.rounds = comp.Done - comp.Born
+	if comp.Kind == seqcheck.Enqueue {
+		if v, ok := c.pending[comp.ReqID]; ok {
+			c.values[comp.Elem] = v
+			delete(c.pending, comp.ReqID)
+		}
+	} else {
+		f.bottom = comp.Bottom
+		if !comp.Bottom {
+			f.value = c.values[comp.Elem]
+			delete(c.values, comp.Elem)
+		}
+	}
+	close(f.done)
+}
+
+// resolveEarlyLocked applies a completion that fired inside the inject
+// call, before the future was registered.
+func (c *Client) resolveEarlyLocked(id uint64) {
+	if comp, ok := c.early[id]; ok {
+		delete(c.early, id)
+		c.onComplete(comp)
+	}
+}
+
+func (c *Client) checkProcLocked(proc int) error {
+	if proc < 0 || proc >= len(c.cl.Processes()) {
+		return fmt.Errorf("process %d: %w", proc, ErrNoSuchProcess)
+	}
+	if c.cl.Processes()[proc].Left {
+		return fmt.Errorf("process %d: %w", proc, ErrProcessLeft)
+	}
+	return nil
+}
+
+// pickLocked round-robins over live, fully-joined processes.
+func (c *Client) pickLocked() (int, error) {
+	procs := c.cl.Processes()
+	n := len(procs)
+	for i := 0; i < n; i++ {
+		idx := (c.rr + i) % n
+		if p := procs[idx]; !p.Left && !p.Joining {
+			c.rr = (idx + 1) % n
+			return idx, nil
+		}
+	}
+	return 0, fmt.Errorf("no live member process: %w", ErrProcessLeft)
+}
+
+// submit injects one request and registers its future, all under the
+// mutex so a synchronous completion (stack local combining) cannot race
+// the registration.
+func (c *Client) submit(kind seqcheck.Kind, proc int, value any) (*Future, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	p := proc
+	if p == AnyProcess {
+		var err error
+		if p, err = c.pickLocked(); err != nil {
+			return nil, err
+		}
+	} else if err := c.checkProcLocked(p); err != nil {
+		return nil, err
+	}
+	f := &Future{c: c, kind: kind, done: make(chan struct{})}
+	client := c.cl.Client(p)
+	c.injecting = true
+	if kind == seqcheck.Enqueue {
+		f.id = c.cl.Enqueue(client)
+	} else {
+		f.id = c.cl.Dequeue(client)
+	}
+	c.injecting = false
+	if kind == seqcheck.Enqueue {
+		c.pending[f.id] = value
+	}
+	c.futures[f.id] = f
+	c.resolveEarlyLocked(f.id)
+	return f, nil
+}
+
+// block completes a submitted future: under the autopilot it waits; under
+// the manual clock it pumps the engine inline on the calling goroutine
+// (which keeps single-threaded use fully deterministic).
+func (c *Client) block(ctx context.Context, f *Future) error {
+	if c.manual {
+		return c.pumpUntil(ctx, f.done)
+	}
+	c.poke()
+	select {
+	case <-f.done:
+		return nil
+	case <-ctx.Done():
+		return ctxError(ctx.Err())
+	case <-c.quit:
+		return ErrClosed
+	}
+}
+
+// pumpUntil drives the engine quantum by quantum until done closes or the
+// context ends (manual-clock mode only).
+func (c *Client) pumpUntil(ctx context.Context, done <-chan struct{}) error {
+	for {
+		select {
+		case <-done:
+			return nil
+		default:
+		}
+		if err := ctx.Err(); err != nil {
+			return ctxError(err)
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return ErrClosed
+		}
+		select {
+		case <-done:
+			c.mu.Unlock()
+			return nil
+		default:
+		}
+		c.cl.Run(c.quantum)
+		c.mu.Unlock()
+	}
+}
+
+// await blocks until pred holds under the mutex. Autopilot mode parks a
+// waiter the runner re-evaluates after every quantum; manual mode pumps
+// inline.
+func (c *Client) await(ctx context.Context, pred func() bool) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if pred() {
+		c.mu.Unlock()
+		return nil
+	}
+	if c.manual {
+		// Pump quantum by quantum, releasing the mutex in between (like
+		// pumpUntil) so concurrent calls and Close are not starved.
+		for {
+			if pred() {
+				c.mu.Unlock()
+				return nil
+			}
+			c.cl.Run(c.quantum)
+			c.mu.Unlock()
+			if err := ctx.Err(); err != nil {
+				return ctxError(err)
+			}
+			c.mu.Lock()
+			if c.closed {
+				c.mu.Unlock()
+				return ErrClosed
+			}
+		}
+	}
+	w := &waiter{pred: pred, ch: make(chan struct{})}
+	c.waiters = append(c.waiters, w)
+	c.mu.Unlock()
+	c.poke()
+	select {
+	case <-w.ch:
+		return nil
+	case <-ctx.Done():
+		c.removeWaiter(w)
+		select {
+		case <-w.ch: // satisfied concurrently with cancellation
+			return nil
+		default:
+		}
+		return ctxError(ctx.Err())
+	case <-c.quit:
+		c.removeWaiter(w)
+		return ErrClosed
+	}
+}
+
+func (c *Client) removeWaiter(w *waiter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, x := range c.waiters {
+		if x == w {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// poke nudges the autopilot; the buffered channel makes it non-blocking
+// and coalesces bursts.
+func (c *Client) poke() {
+	if c.manual {
+		return
+	}
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+}
+
+// autopilot is the background runner: whenever requests, waiters or
+// membership changes are pending it advances the engine one quantum at a
+// time, resolving futures and waiters as completions fire.
+func (c *Client) autopilot() {
+	defer close(c.stopped)
+	for {
+		select {
+		case <-c.quit:
+			return
+		case <-c.wake:
+		}
+		for {
+			select {
+			case <-c.quit:
+				return
+			default:
+			}
+			c.mu.Lock()
+			if c.closed {
+				c.mu.Unlock()
+				return
+			}
+			if c.idleLocked() {
+				c.mu.Unlock()
+				break
+			}
+			c.cl.Run(c.quantum)
+			c.notifyWaitersLocked()
+			c.mu.Unlock()
+		}
+	}
+}
+
+func (c *Client) idleLocked() bool {
+	return c.cl.Finished() >= c.cl.Issued() &&
+		len(c.waiters) == 0 &&
+		c.cl.ChurnQuiescent()
+}
+
+func (c *Client) notifyWaitersLocked() {
+	kept := c.waiters[:0]
+	for _, w := range c.waiters {
+		if w.pred() {
+			close(w.ch)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	c.waiters = kept
+}
+
+// ---- Queue operations ----
+
+// Enqueue submits an ENQUEUE(value) at a client-chosen live process and
+// blocks until the operation completes, the context ends, or the client
+// closes. Safe to call from many goroutines at once.
+//
+// Like any distributed queue client, a context error does not retract the
+// request: once submitted, the operation is in flight and will still be
+// serialized, so an enqueue abandoned on timeout can land in the queue
+// (and blindly retrying it can duplicate the value). Use EnqueueAsync and
+// keep the Future when that distinction matters.
+func (c *Client) Enqueue(ctx context.Context, value any) error {
+	return c.EnqueueAt(ctx, AnyProcess, value)
+}
+
+// EnqueueAt is Enqueue pinned to a specific process (AnyProcess defers the
+// choice to the client).
+func (c *Client) EnqueueAt(ctx context.Context, proc int, value any) error {
+	f, err := c.submit(seqcheck.Enqueue, proc, value)
+	if err != nil {
+		return err
+	}
+	return c.block(ctx, f)
+}
+
+// Dequeue submits a DEQUEUE at a client-chosen live process and blocks
+// until it completes. It returns the dequeued value and ok=true, or
+// ok=false when the operation was serialized against an empty structure
+// (the paper's ⊥ answer).
+//
+// As with Enqueue, a context error does not retract the in-flight
+// request: an abandoned dequeue still takes its turn in the serialization
+// and consumes an element no caller will receive. Use DequeueAsync and
+// keep the Future when the element must not be lost on timeout.
+func (c *Client) Dequeue(ctx context.Context) (any, bool, error) {
+	return c.DequeueAt(ctx, AnyProcess)
+}
+
+// DequeueAt is Dequeue pinned to a specific process.
+func (c *Client) DequeueAt(ctx context.Context, proc int) (any, bool, error) {
+	f, err := c.submit(seqcheck.Dequeue, proc, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := c.block(ctx, f); err != nil {
+		return nil, false, err
+	}
+	return f.Value(), !f.Empty(), nil
+}
+
+// Push is the stack-flavoured alias of Enqueue.
+func (c *Client) Push(ctx context.Context, value any) error { return c.Enqueue(ctx, value) }
+
+// Pop is the stack-flavoured alias of Dequeue.
+func (c *Client) Pop(ctx context.Context) (any, bool, error) { return c.Dequeue(ctx) }
+
+// EnqueueAsync submits an ENQUEUE (PUSH) at the given process without
+// waiting; the returned Future resolves as the simulation advances.
+func (c *Client) EnqueueAsync(proc int, value any) (*Future, error) {
+	f, err := c.submit(seqcheck.Enqueue, proc, value)
+	if err != nil {
+		return nil, err
+	}
+	c.poke()
+	return f, nil
+}
+
+// DequeueAsync submits a DEQUEUE (POP) at the given process without
+// waiting.
+func (c *Client) DequeueAsync(proc int) (*Future, error) {
+	f, err := c.submit(seqcheck.Dequeue, proc, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.poke()
+	return f, nil
+}
+
+// PushAsync is the stack-flavoured alias of EnqueueAsync.
+func (c *Client) PushAsync(proc int, value any) (*Future, error) {
+	return c.EnqueueAsync(proc, value)
+}
+
+// PopAsync is the stack-flavoured alias of DequeueAsync.
+func (c *Client) PopAsync(proc int) (*Future, error) { return c.DequeueAsync(proc) }
+
+// ---- Manual clock (WithManualClock only) ----
+
+// Step advances the simulation by one round (one event when async).
+func (c *Client) Step() error {
+	if !c.manual {
+		return ErrAutoClock
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	c.cl.Step()
+	return nil
+}
+
+// Run advances the simulation by n rounds (time units when async).
+func (c *Client) Run(n int64) error {
+	if !c.manual {
+		return ErrAutoClock
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	c.cl.Run(n)
+	return nil
+}
+
+// Drain runs until every submitted operation completed, up to maxTime; it
+// reports whether the system fully drained.
+func (c *Client) Drain(maxTime int64) (bool, error) {
+	if !c.manual {
+		return false, ErrAutoClock
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false, ErrClosed
+	}
+	return c.cl.Drain(maxTime), nil
+}
+
+// Settle runs until all pending joins and leaves finished integrating and
+// the overlay is fully consistent, up to maxTime.
+func (c *Client) Settle(maxTime int64) (bool, error) {
+	if !c.manual {
+		return false, ErrAutoClock
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false, ErrClosed
+	}
+	return c.cl.Engine().RunUntil(c.settledLocked, maxTime), nil
+}
+
+// settledLocked is the single definition of "churn has settled": no
+// pending joins or leaves and a fully consistent overlay.
+func (c *Client) settledLocked() bool {
+	return c.cl.ChurnQuiescent() && c.cl.VerifyTopology() == nil
+}
+
+// ---- Introspection ----
+
+// Check verifies the entire execution so far against the paper's
+// sequential-consistency definition (Definition 1).
+func (c *Client) Check() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cl.CheckConsistency()
+}
+
+// Stats summarizes completed operations.
+type Stats struct {
+	Total     int
+	Enqueues  int
+	Dequeues  int
+	Bottoms   int     // dequeues answered ⊥
+	Combined  int     // stack operations completed by local combining
+	AvgRounds float64 // mean request latency in simulated rounds
+	MaxRounds int64
+}
+
+// Stats returns a snapshot of the completed-operation statistics.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := seqcheck.Summarize(c.cl.History())
+	return Stats{
+		Total:     st.Total,
+		Enqueues:  st.Enqueues,
+		Dequeues:  st.Dequeues,
+		Bottoms:   st.Bottoms,
+		Combined:  st.Combined,
+		AvgRounds: st.AvgRounds,
+		MaxRounds: st.MaxRounds,
+	}
+}
+
+// Metrics exposes protocol-level counters (batch sizes, waves, routing).
+type Metrics struct {
+	BatchesSent   int64
+	MaxBatchRuns  int
+	WavesAssigned int64
+	UpdatePhases  int64
+	ParkedGets    int64
+	CombinedOps   int64
+	ForwardedMsgs int64
+	RouteMsgs     int64
+	RouteHops     int64
+	MaxQueueSize  int64
+	AvgRouteHops  float64 // mean LDB routing path length
+}
+
+// Metrics returns a snapshot of the protocol metrics.
+func (c *Client) Metrics() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.cl.Metrics()
+	return Metrics{
+		BatchesSent:   m.BatchesSent,
+		MaxBatchRuns:  m.MaxBatchRuns,
+		WavesAssigned: m.WavesAssigned,
+		UpdatePhases:  m.UpdatePhases,
+		ParkedGets:    m.ParkedGets,
+		CombinedOps:   m.CombinedOps,
+		ForwardedMsgs: m.ForwardedMsgs,
+		RouteMsgs:     m.RouteMsgs,
+		RouteHops:     m.RouteHops,
+		MaxQueueSize:  m.MaxQueueSize,
+		AvgRouteHops:  m.AvgRouteHops(),
+	}
+}
+
+// Mode returns the configured semantics.
+func (c *Client) Mode() Mode { return c.mode }
+
+// NumProcesses returns the number of processes ever part of the system
+// (including departed ones; their indices stay valid for bookkeeping).
+func (c *Client) NumProcesses() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cl.Processes())
+}
+
+// Stored returns the number of elements currently held in the DHT.
+func (c *Client) Stored() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cl.TotalStored()
+}
+
+// Now returns the current simulated time.
+func (c *Client) Now() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cl.Engine().Now()
+}
+
+// Cluster exposes the underlying protocol cluster for experiments and
+// advanced inspection. The cluster is not concurrency-safe: use it only in
+// WithManualClock mode, from one goroutine at a time.
+func (c *Client) Cluster() *core.Cluster { return c.cl }

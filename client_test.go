@@ -1,0 +1,330 @@
+package skueue
+
+// Concurrency tests for the autopilot client: many goroutines over the
+// blocking API, context semantics on Future.Wait, and lifecycle edges.
+// All of these are meant to run under -race.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestConcurrentEnqueueDequeue(t *testing.T) {
+	c, err := Open(WithProcesses(8), WithSeed(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	const producers, consumers, perWorker = 4, 4, 25
+	const total = producers * perWorker
+
+	var wg sync.WaitGroup
+	errs := make(chan error, producers+consumers)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if err := c.Enqueue(ctx, p*perWorker+i); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(p)
+	}
+	got := make(chan any, total)
+	for w := 0; w < consumers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Consumers race the producers, so ⊥ answers are legal;
+				// retry until a value arrives.
+				for {
+					v, ok, err := c.Dequeue(ctx)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if ok {
+						got <- v
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	close(got)
+	seen := map[any]bool{}
+	for v := range got {
+		if seen[v] {
+			t.Fatalf("value %v dequeued twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != total {
+		t.Fatalf("dequeued %d distinct values, want %d", len(seen), total)
+	}
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentMixedAtPinnedProcesses(t *testing.T) {
+	c, err := Open(WithProcesses(4), WithSeed(32), WithMode(Stack))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := c.EnqueueAt(ctx, p, i); err != nil {
+					t.Errorf("push at %d: %v", p, err)
+					return
+				}
+				if _, _, err := c.DequeueAt(ctx, p); err != nil {
+					t.Errorf("pop at %d: %v", p, err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFutureWaitContextCancel(t *testing.T) {
+	// Manual clock with nobody driving: the operation can never complete,
+	// so Wait must end through the context.
+	c, err := Open(WithProcesses(2), WithSeed(33), WithManualClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	f, err := c.EnqueueAsync(0, "stuck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	if err := f.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait under cancellation: got %v, want context.Canceled", err)
+	}
+}
+
+func TestFutureWaitContextTimeout(t *testing.T) {
+	c, err := Open(WithProcesses(2), WithSeed(34), WithManualClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	f, err := c.EnqueueAsync(0, "stuck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err = f.Wait(ctx)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Wait past deadline: got %v, want ErrTimeout", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ErrTimeout should wrap context.DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestBlockingCallContextTimeout(t *testing.T) {
+	// The blocking helpers honour an already-dead context even in manual
+	// mode, where they would otherwise pump the clock inline.
+	c, err := Open(WithProcesses(2), WithSeed(35), WithManualClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if err := c.Enqueue(ctx, "x"); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("expired-deadline enqueue: got %v, want ErrTimeout", err)
+	}
+}
+
+func TestBlockingOpsManualModeDriveInline(t *testing.T) {
+	// In manual-clock mode the blocking methods pump the engine on the
+	// calling goroutine, so a single-threaded caller needs no Step/Drain.
+	c, err := Open(WithProcesses(4), WithSeed(36), WithManualClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if err := c.Enqueue(ctx, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		v, ok, err := c.Dequeue(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("dequeue %d came up empty", i)
+		}
+		_ = v
+	}
+	if _, ok, err := c.Dequeue(ctx); err != nil || ok {
+		t.Fatalf("drained queue should answer ⊥ (ok=%v err=%v)", ok, err)
+	}
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitAfterClose(t *testing.T) {
+	c, err := Open(WithProcesses(2), WithSeed(37), WithManualClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.EnqueueAsync(0, "orphan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- f.Wait(context.Background()) }()
+	time.Sleep(10 * time.Millisecond)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Wait across Close: got %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait did not return after Close")
+	}
+}
+
+func TestAdminChurnUnderAutopilot(t *testing.T) {
+	c, err := Open(WithProcesses(4), WithSeed(38))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	admin := c.Admin()
+
+	for i := 0; i < 6; i++ {
+		if err := c.EnqueueAt(ctx, i%4, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := admin.Join(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.Settle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EnqueueAt(ctx, p, "joiner"); err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.Leave(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.Settle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	values := 0
+	for {
+		_, ok, err := c.Dequeue(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		values++
+	}
+	if values != 7 {
+		t.Fatalf("recovered %d values across churn, want 7", values)
+	}
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSettleContextCancel(t *testing.T) {
+	c, err := Open(WithProcesses(3), WithSeed(39), WithManualClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Admin().Join(0); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if err := c.Admin().Settle(ctx); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("settle past deadline: got %v, want ErrTimeout", err)
+	}
+	// A live context then settles normally (manual mode pumps inline).
+	if err := c.Admin().Settle(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundRobinSkipsDeparted(t *testing.T) {
+	c, err := Open(WithProcesses(3), WithSeed(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.Admin().Leave(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Admin().Settle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// AnyProcess submissions must keep working, silently skipping the
+	// departed member.
+	for i := 0; i < 8; i++ {
+		if err := c.Enqueue(ctx, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if _, ok, err := c.Dequeue(ctx); err != nil || !ok {
+			t.Fatalf("dequeue %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 // Command skueue-sim runs a single configured Skueue simulation under the
 // paper's workload model and reports latency statistics, protocol metrics
-// and the sequential-consistency verdict.
+// and the sequential-consistency verdict. It opens the public client in
+// manual-clock mode, so every run is exactly reproducible from its seed.
 //
 // Example:
 //
@@ -12,9 +13,7 @@ import (
 	"fmt"
 	"os"
 
-	"skueue/internal/batch"
-	"skueue/internal/core"
-	"skueue/internal/seqcheck"
+	"skueue"
 	"skueue/internal/workload"
 )
 
@@ -33,44 +32,55 @@ func main() {
 	)
 	flag.Parse()
 
-	m := batch.Queue
+	m := skueue.Queue
 	if *mode == "stack" {
-		m = batch.Stack
+		m = skueue.Stack
 	} else if *mode != "queue" {
 		fmt.Fprintln(os.Stderr, "mode must be queue or stack")
 		os.Exit(2)
 	}
-	cl, err := core.New(core.Config{Processes: *n, Seed: *seed, Mode: m, Async: *async})
+	opts := []skueue.Option{
+		skueue.WithManualClock(),
+		skueue.WithProcesses(*n),
+		skueue.WithSeed(*seed),
+		skueue.WithMode(m),
+	}
+	if *async {
+		opts = append(opts, skueue.WithAsync())
+	}
+	c, err := skueue.Open(opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	defer c.Close()
 	spec := workload.Spec{Rounds: *rounds, RequestsPerRound: *rate, PerNodeProb: *prob, EnqRatio: *ratio}
 	if *prob > 0 {
 		spec.RequestsPerRound = 0
 	}
-	gen, err := workload.New(cl, spec, *seed+7)
+	gen, err := workload.New(c.Cluster(), spec, *seed+7)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	if !gen.Run(*drain) {
-		fmt.Fprintf(os.Stderr, "did not drain: %d of %d requests finished\n", cl.Finished(), cl.Issued())
+		fmt.Fprintf(os.Stderr, "did not drain: %d of %d requests finished\n",
+			c.Cluster().Finished(), c.Cluster().Issued())
 		os.Exit(1)
 	}
-	st := seqcheck.Summarize(cl.History())
-	met := cl.Metrics()
+	st := c.Stats()
+	met := c.Metrics()
 	fmt.Printf("mode=%s n=%d rounds=%d requests=%d\n", m, *n, *rounds, st.Total)
 	fmt.Printf("avg rounds/request: %.2f (max %d)\n", st.AvgRounds, st.MaxRounds)
 	fmt.Printf("enqueues=%d dequeues=%d bottoms=%d combined=%d\n", st.Enqueues, st.Dequeues, st.Bottoms, st.Combined)
 	fmt.Printf("waves=%d maxBatchRuns=%d avgRouteHops=%.1f parkedGets=%d maxQueueSize=%d\n",
-		met.WavesAssigned, met.MaxBatchRuns, met.AvgRouteHops(), met.ParkedGets, met.MaxQueueSize)
+		met.WavesAssigned, met.MaxBatchRuns, met.AvgRouteHops, met.ParkedGets, met.MaxQueueSize)
 	if *verbose {
-		fmt.Printf("tree height (ATH): %d\n", cl.TreeHeight())
-		eng := cl.Engine().Stats()
+		fmt.Printf("tree height (ATH): %d\n", c.Cluster().TreeHeight())
+		eng := c.Cluster().Engine().Stats()
 		fmt.Printf("messages: %d sent, %d delivered\n", eng.MessagesSent, eng.MessagesDelivered)
 	}
-	if err := cl.CheckConsistency(); err != nil {
+	if err := c.Check(); err != nil {
 		fmt.Printf("sequential consistency: VIOLATED: %v\n", err)
 		os.Exit(1)
 	}

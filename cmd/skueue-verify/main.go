@@ -4,6 +4,11 @@
 // With -stack-no-wait it instead demonstrates the §VI counterexample by
 // disabling the stage-4 completion wait and counting how many seeds
 // violate consistency (E9 in DESIGN.md).
+//
+// The torture loop runs the public client in manual-clock mode and
+// injects requests at every virtual node (not only the per-process client
+// node) through the advanced Cluster surface, to keep the schedule
+// coverage the adversarial test needs.
 package main
 
 import (
@@ -11,44 +16,64 @@ import (
 	"fmt"
 	"os"
 
-	"skueue/internal/batch"
-	"skueue/internal/core"
+	"skueue"
 	"skueue/internal/xrand"
 )
 
-func runSeed(mode batch.Mode, seed int64, churn, noWait bool) (drained bool, err error) {
-	cl, e := core.New(core.Config{
-		Processes: 4, Seed: seed, Mode: mode,
-		Async: true, MaxDelay: 16, TimeoutEvery: 5,
-		DisableStage4Wait: noWait, DisableLocalCombining: noWait,
-	})
+func runSeed(mode skueue.Mode, seed int64, churn, noWait bool) (drained bool, err error) {
+	opts := []skueue.Option{
+		skueue.WithManualClock(),
+		skueue.WithProcesses(4),
+		skueue.WithSeed(seed),
+		skueue.WithMode(mode),
+		skueue.WithAsync(),
+		skueue.WithAsyncDelays(16, 5),
+	}
+	if noWait {
+		opts = append(opts, skueue.WithoutStage4Wait(), skueue.WithoutLocalCombining())
+	}
+	c, e := skueue.Open(opts...)
 	if e != nil {
 		return false, e
 	}
+	defer c.Close()
+	cl := c.Cluster()
 	rng := xrand.New(seed)
-	cl.Run(10)
+	if err := c.Run(10); err != nil {
+		return false, err
+	}
 	for burst := 0; burst < 25; burst++ {
 		clients := cl.ActiveClients()
-		c := clients[rng.Intn(len(clients))]
+		target := clients[rng.Intn(len(clients))]
 		if rng.Bool(0.5) {
-			cl.Enqueue(c)
+			cl.Enqueue(target)
 		} else {
-			cl.Dequeue(c)
+			cl.Dequeue(target)
 		}
 		if churn {
 			switch burst {
 			case 8:
-				cl.JoinProcess(0)
+				if _, err := c.Admin().Join(0); err != nil {
+					return false, err
+				}
 			case 16:
-				cl.LeaveProcess(2)
+				if err := c.Admin().Leave(2); err != nil {
+					return false, err
+				}
 			}
 		}
-		cl.Run(int64(2 + rng.Intn(25)))
+		if err := c.Run(int64(2 + rng.Intn(25))); err != nil {
+			return false, err
+		}
 	}
-	if !cl.Drain(500000) {
+	ok, err := c.Drain(500000)
+	if err != nil {
+		return false, err
+	}
+	if !ok {
 		return false, nil
 	}
-	return true, cl.CheckConsistency()
+	return true, c.Check()
 }
 
 func main() {
@@ -61,7 +86,7 @@ func main() {
 	if *noWait {
 		violations := 0
 		for s := int64(0); s < int64(*seeds); s++ {
-			drained, err := runSeed(batch.Stack, s, false, true)
+			drained, err := runSeed(skueue.Stack, s, false, true)
 			if !drained || err != nil {
 				violations++
 			}
@@ -72,7 +97,7 @@ func main() {
 	}
 
 	fail := 0
-	for _, mode := range []batch.Mode{batch.Queue, batch.Stack} {
+	for _, mode := range []skueue.Mode{skueue.Queue, skueue.Stack} {
 		for _, churn := range []bool{false, true} {
 			for s := int64(0); s < int64(*seeds); s++ {
 				drained, err := runSeed(mode, s, churn, false)

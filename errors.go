@@ -1,0 +1,46 @@
+package skueue
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors returned by the client layer. All errors carrying extra
+// context (process indices, deadlines) wrap one of these, so callers
+// dispatch with errors.Is.
+var (
+	// ErrNoSuchProcess reports a process index outside the process table.
+	ErrNoSuchProcess = errors.New("skueue: no such process")
+
+	// ErrProcessLeft reports an operation addressed to a process that has
+	// left the system (§IV-B). Departed indices stay valid for bookkeeping
+	// but can no longer issue requests.
+	ErrProcessLeft = errors.New("skueue: process has left the system")
+
+	// ErrStillJoining reports a Leave for a process whose three virtual
+	// nodes are not yet integrated (§IV-A).
+	ErrStillJoining = errors.New("skueue: process is still joining")
+
+	// ErrTimeout reports a blocking call that ran out of its context
+	// deadline. It always also wraps context.DeadlineExceeded.
+	ErrTimeout = errors.New("skueue: operation timed out")
+
+	// ErrClosed reports any use of a closed client.
+	ErrClosed = errors.New("skueue: client is closed")
+
+	// ErrAutoClock reports a manual clock call (Step, Run, Drain, Settle)
+	// on a client running the autopilot; open with WithManualClock to take
+	// deterministic control of simulated time.
+	ErrAutoClock = errors.New("skueue: clock is automatic (open with WithManualClock to step manually)")
+)
+
+// ctxError converts a context error into the client's typed form: deadline
+// expiry gains the ErrTimeout sentinel (while still wrapping
+// context.DeadlineExceeded); cancellation passes through unchanged.
+func ctxError(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrTimeout, err)
+	}
+	return err
+}

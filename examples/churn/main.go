@@ -1,10 +1,13 @@
 // Churn: processes join and leave while the queue is in use (paper §IV).
 // Elements survive membership changes — joining nodes receive their share
 // of the DHT, leaving nodes hand theirs over — and the execution stays
-// sequentially consistent throughout.
+// sequentially consistent throughout. Membership management lives on the
+// client's Admin surface; Settle blocks until the overlay is consistent
+// again.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,47 +15,57 @@ import (
 )
 
 func main() {
-	sys, err := skueue.New(skueue.Config{Processes: 4, Seed: 11})
+	c, err := skueue.Open(skueue.WithProcesses(4), skueue.WithSeed(11))
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer c.Close()
+	ctx := context.Background()
+	admin := c.Admin()
 
 	// Fill the queue from one process, so FIFO order is the submission
 	// order (across processes only the serialization order is fixed).
 	for i := 0; i < 12; i++ {
-		sys.Enqueue(0, i)
-	}
-	if !sys.Drain(50_000) {
-		log.Fatal("fill did not finish")
+		if err := c.EnqueueAt(ctx, 0, i); err != nil {
+			log.Fatalf("fill: %v", err)
+		}
 	}
 	fmt.Printf("12 elements stored over 4 processes\n")
 
 	// Two processes join; the DHT rebalances onto their virtual nodes.
-	p1 := sys.Join(0)
-	p2 := sys.Join(2)
-	if !sys.Settle(100_000) {
-		log.Fatal("joins did not settle")
+	p1, err := admin.Join(0)
+	if err != nil {
+		log.Fatalf("join: %v", err)
 	}
-	fmt.Printf("processes %d and %d joined; still storing %d elements\n", p1, p2, sys.Stored())
+	p2, err := admin.Join(2)
+	if err != nil {
+		log.Fatalf("join: %v", err)
+	}
+	if err := admin.Settle(ctx); err != nil {
+		log.Fatalf("joins did not settle: %v", err)
+	}
+	fmt.Printf("processes %d and %d joined; still storing %d elements\n", p1, p2, c.Stored())
 
 	// One of the original members leaves; its data migrates away.
-	sys.Leave(1)
-	if !sys.Settle(200_000) {
-		log.Fatal("leave did not settle")
+	if err := admin.Leave(1); err != nil {
+		log.Fatalf("leave: %v", err)
 	}
-	fmt.Printf("process 1 left; still storing %d elements\n", sys.Stored())
+	if err := admin.Settle(ctx); err != nil {
+		log.Fatalf("leave did not settle: %v", err)
+	}
+	fmt.Printf("process 1 left; still storing %d elements\n", c.Stored())
 
 	// Everything is still there, in FIFO order.
 	for i := 0; i < 12; i++ {
-		h := sys.Dequeue(p1)
-		if !sys.Drain(50_000) {
-			log.Fatal("dequeue did not finish")
+		v, ok, err := c.DequeueAt(ctx, p1)
+		if err != nil {
+			log.Fatalf("dequeue: %v", err)
 		}
-		if h.Empty() || h.Value() != i {
-			log.Fatalf("FIFO broken after churn: got %v, want %d", h.Value(), i)
+		if !ok || v != i {
+			log.Fatalf("FIFO broken after churn: got %v, want %d", v, i)
 		}
 	}
-	if err := sys.Check(); err != nil {
+	if err := c.Check(); err != nil {
 		log.Fatalf("consistency: %v", err)
 	}
 	fmt.Println("all 12 elements dequeued in order across two joins and one leave")

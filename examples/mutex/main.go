@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,17 +15,18 @@ import (
 
 func main() {
 	const contenders = 5
-	sys, err := skueue.New(skueue.Config{Processes: contenders, Seed: 9})
+	c, err := skueue.Open(skueue.WithProcesses(contenders), skueue.WithSeed(9))
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer c.Close()
+	ctx := context.Background()
 
 	// Every contender requests the lock by enqueuing its id.
 	for p := 0; p < contenders; p++ {
-		sys.Enqueue(p, p)
-	}
-	if !sys.Drain(50_000) {
-		log.Fatal("lock requests did not finish")
+		if err := c.EnqueueAt(ctx, p, p); err != nil {
+			log.Fatalf("lock request: %v", err)
+		}
 	}
 
 	// The token at the queue head owns the critical section. Releasing =
@@ -32,12 +34,15 @@ func main() {
 	fmt.Println("critical-section schedule (FIFO = request order):")
 	var order []any
 	for i := 0; i < contenders; i++ {
-		h := sys.Dequeue(i) // the releasing process advances the queue
-		if !sys.Drain(50_000) {
-			log.Fatal("handover did not finish")
+		v, ok, err := c.DequeueAt(ctx, i) // the releasing process advances the queue
+		if err != nil {
+			log.Fatalf("handover: %v", err)
 		}
-		order = append(order, h.Value())
-		fmt.Printf("  slot %d: process %v enters and leaves the critical section\n", i, h.Value())
+		if !ok {
+			log.Fatalf("slot %d: token missing", i)
+		}
+		order = append(order, v)
+		fmt.Printf("  slot %d: process %v enters and leaves the critical section\n", i, v)
 	}
 
 	// No process ran twice, and the schedule respects enqueue order.
@@ -48,7 +53,7 @@ func main() {
 		}
 		seen[p] = true
 	}
-	if err := sys.Check(); err != nil {
+	if err := c.Check(); err != nil {
 		log.Fatalf("consistency: %v", err)
 	}
 	fmt.Println("mutual exclusion schedule is a total order — verified")

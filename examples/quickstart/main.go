@@ -1,42 +1,71 @@
-// Quickstart: a minimal Skueue session — build a system, enqueue from
-// several processes, dequeue from others, verify sequential consistency.
+// Quickstart: a minimal Skueue session — open a client, enqueue from
+// several producer goroutines, dequeue from consumer goroutines, verify
+// sequential consistency. The background autopilot advances the simulated
+// protocol, so the blocking calls behave like a real queue client's.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sync"
 
 	"skueue"
 )
 
 func main() {
-	sys, err := skueue.New(skueue.Config{Processes: 8, Seed: 42})
+	c, err := skueue.Open(skueue.WithProcesses(8), skueue.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer c.Close()
+	ctx := context.Background()
 
-	// Three producers enqueue jobs from different processes.
-	for i := 0; i < 9; i++ {
-		sys.Enqueue(i%3, fmt.Sprintf("job-%d", i))
+	// Three producer goroutines enqueue jobs from different processes.
+	var producers sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		producers.Add(1)
+		go func(p int) {
+			defer producers.Done()
+			for i := 0; i < 3; i++ {
+				if err := c.EnqueueAt(ctx, p, fmt.Sprintf("job-%d-%d", p, i)); err != nil {
+					log.Fatalf("enqueue: %v", err)
+				}
+			}
+		}(p)
 	}
-	if !sys.Drain(50_000) {
-		log.Fatal("enqueues did not finish")
-	}
-	fmt.Printf("enqueued 9 jobs; DHT now stores %d elements across the ring\n", sys.Stored())
+	producers.Wait()
+	fmt.Printf("enqueued 9 jobs; DHT now stores %d elements across the ring\n", c.Stored())
 
-	// Two consumers on other processes drain them in FIFO order.
-	var handles []*skueue.Handle
-	for i := 0; i < 9; i++ {
-		handles = append(handles, sys.Dequeue(4+i%2))
+	// Two consumer goroutines on other processes drain them concurrently.
+	jobs := make(chan any, 9)
+	var consumers sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		consumers.Add(1)
+		go func(w int) {
+			defer consumers.Done()
+			for {
+				v, ok, err := c.DequeueAt(ctx, 4+w)
+				if err != nil {
+					log.Fatalf("dequeue: %v", err)
+				}
+				if !ok { // ⊥: the queue is empty, we are done
+					return
+				}
+				jobs <- v
+			}
+		}(w)
 	}
-	if !sys.Drain(50_000) {
-		log.Fatal("dequeues did not finish")
+	consumers.Wait()
+	close(jobs)
+	n := 0
+	for v := range jobs {
+		fmt.Printf("dequeued %v\n", v)
+		n++
 	}
-	for i, h := range handles {
-		fmt.Printf("dequeue %d -> %v (%d rounds)\n", i, h.Value(), h.Rounds())
-	}
+	fmt.Printf("%d jobs fetched, none lost, none duplicated\n", n)
 
-	if err := sys.Check(); err != nil {
+	if err := c.Check(); err != nil {
 		log.Fatalf("sequential consistency violated: %v", err)
 	}
 	fmt.Println("execution verified sequentially consistent (paper Definition 1)")

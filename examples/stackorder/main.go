@@ -2,6 +2,11 @@
 // newest pushes first, and a push immediately followed by a pop on the
 // same process is answered locally without any network traffic at all —
 // the local combining that keeps stack batches constant-sized (Thm 20).
+//
+// This example runs the client in manual-clock mode: the async
+// submissions return Futures and the caller drives simulated time
+// explicitly, which makes the zero-round local combining directly
+// observable.
 package main
 
 import (
@@ -12,41 +17,59 @@ import (
 )
 
 func main() {
-	sys, err := skueue.New(skueue.Config{Processes: 4, Seed: 3, Mode: skueue.Stack})
+	c, err := skueue.Open(
+		skueue.WithProcesses(4),
+		skueue.WithSeed(3),
+		skueue.WithMode(skueue.Stack),
+		skueue.WithManualClock(),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer c.Close()
 
 	// Build a stack from one process.
 	for i := 1; i <= 5; i++ {
-		sys.Push(0, i*10)
+		if _, err := c.PushAsync(0, i*10); err != nil {
+			log.Fatalf("push: %v", err)
+		}
 	}
-	if !sys.Drain(50_000) {
-		log.Fatal("pushes did not finish")
+	if ok, err := c.Drain(50_000); err != nil || !ok {
+		log.Fatalf("pushes did not finish (err=%v)", err)
 	}
 
 	// Pop from another process: LIFO order.
 	fmt.Println("draining the stack from process 2:")
 	for i := 0; i < 5; i++ {
-		h := sys.Pop(2)
-		if !sys.Drain(50_000) {
-			log.Fatal("pop did not finish")
+		f, err := c.PopAsync(2)
+		if err != nil {
+			log.Fatalf("pop: %v", err)
 		}
-		fmt.Printf("  pop -> %v\n", h.Value())
+		if ok, err := c.Drain(50_000); err != nil || !ok {
+			log.Fatalf("pop did not finish (err=%v)", err)
+		}
+		fmt.Printf("  pop -> %v\n", f.Value())
 	}
 
 	// Local combining: push+pop on the same process completes instantly,
-	// with zero protocol rounds.
-	before := sys.Metrics().CombinedOps
-	h1 := sys.Push(3, "ephemeral")
-	h2 := sys.Pop(3)
-	if !h1.Done() || !h2.Done() {
+	// with zero protocol rounds — both futures resolve inside the submit
+	// calls, before any clock step.
+	before := c.Metrics().CombinedOps
+	f1, err := c.PushAsync(3, "ephemeral")
+	if err != nil {
+		log.Fatalf("push: %v", err)
+	}
+	f2, err := c.PopAsync(3)
+	if err != nil {
+		log.Fatalf("pop: %v", err)
+	}
+	if !f1.Completed() || !f2.Completed() {
 		log.Fatal("combined pair should complete immediately")
 	}
-	fmt.Printf("local combining answered a push/pop pair in %d rounds (combined ops: %d)\n",
-		h2.Rounds(), sys.Metrics().CombinedOps-before)
+	fmt.Printf("local combining answered a push/pop pair (%v) in %d rounds (combined ops: %d)\n",
+		f2.Value(), f2.Rounds(), c.Metrics().CombinedOps-before)
 
-	if err := sys.Check(); err != nil {
+	if err := c.Check(); err != nil {
 		log.Fatalf("consistency: %v", err)
 	}
 	fmt.Println("stack execution verified sequentially consistent")

@@ -1,0 +1,94 @@
+package skueue
+
+import (
+	"context"
+
+	"skueue/internal/seqcheck"
+)
+
+// Future tracks one submitted operation. It completes as the simulation
+// advances — driven by the autopilot runner, or by the manual clock calls
+// in WithManualClock mode. All methods are safe for concurrent use.
+//
+// The result accessors (Value, Empty, Rounds) return their zero values
+// until the future completes; synchronize on Done or Wait first.
+type Future struct {
+	c    *Client
+	id   uint64
+	kind seqcheck.Kind
+	done chan struct{}
+
+	// Written once under the client mutex before done is closed; the
+	// channel close publishes them, so reads gated on Done are race-free.
+	value  any
+	bottom bool
+	rounds int64
+}
+
+// Done returns a channel closed when the operation completes. It never
+// closes for an operation the simulation cannot finish (e.g. on a closed
+// client); select against ctx.Done or the client's lifecycle for that.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Completed reports whether the operation already completed.
+func (f *Future) Completed() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait blocks until the operation completes, the context ends, or the
+// client closes. It never advances the simulated clock itself: under the
+// autopilot the runner completes the operation in the background; under
+// WithManualClock some goroutine must drive Step/Run/Drain (or use the
+// blocking Client methods, which pump the clock inline).
+//
+// A context deadline expiry returns an error wrapping both ErrTimeout and
+// context.DeadlineExceeded; cancellation returns the context's error; a
+// closed client returns ErrClosed.
+func (f *Future) Wait(ctx context.Context) error {
+	select {
+	case <-f.done:
+		return nil
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return ctxError(err)
+	}
+	if !f.c.manual {
+		f.c.poke()
+	}
+	select {
+	case <-f.done:
+		return nil
+	case <-ctx.Done():
+		return ctxError(ctx.Err())
+	case <-f.c.quit:
+		return ErrClosed
+	}
+}
+
+// Value returns the dequeued value (nil for ⊥, for enqueues, and until the
+// operation completes).
+func (f *Future) Value() any {
+	if f.Completed() {
+		return f.value
+	}
+	return nil
+}
+
+// Empty reports whether a completed dequeue/pop returned ⊥ (empty
+// structure).
+func (f *Future) Empty() bool { return f.Completed() && f.bottom }
+
+// Rounds returns the request latency in simulated rounds (0 until the
+// operation completes).
+func (f *Future) Rounds() int64 {
+	if f.Completed() {
+		return f.rounds
+	}
+	return 0
+}

@@ -1,0 +1,3 @@
+module skueue
+
+go 1.24

@@ -1,43 +1,55 @@
 package skueue
 
-// End-to-end integration tests through the public API: both data
-// structures, both message-passing models, with churn, always finishing
-// with a Definition 1 verification of the complete history.
+// End-to-end integration tests through the public client API: both data
+// structures, both message-passing models, both clock modes, with churn,
+// always finishing with a Definition 1 verification of the complete
+// history.
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestIntegrationQueueAsyncChurn(t *testing.T) {
-	sys, err := New(Config{Processes: 4, Seed: 21, Async: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	var deqs []*Handle
+	c := mustOpen(t, WithProcesses(4), WithSeed(21), WithAsync())
+	admin := c.Admin()
+	var deqs []*Future
 	procs := []int{0, 1, 2, 3}
 	for phase := 0; phase < 3; phase++ {
 		for i := 0; i < 5; i++ {
-			sys.Enqueue(procs[i%len(procs)], fmt.Sprintf("p%d-%d", phase, i))
+			if _, err := c.EnqueueAsync(procs[i%len(procs)], fmt.Sprintf("p%d-%d", phase, i)); err != nil {
+				t.Fatal(err)
+			}
 		}
-		if !sys.Drain(200_000) {
-			t.Fatalf("phase %d enqueues did not drain", phase)
+		if ok, err := c.Drain(200_000); err != nil || !ok {
+			t.Fatalf("phase %d enqueues did not drain (err=%v)", phase, err)
 		}
 		switch phase {
 		case 0:
-			sys.Join(1)
+			if _, err := admin.Join(1); err != nil {
+				t.Fatal(err)
+			}
 		case 1:
-			sys.Leave(2)
+			if err := admin.Leave(2); err != nil {
+				t.Fatal(err)
+			}
 			procs = []int{0, 1, 3} // process 2 is gone
 		}
-		if !sys.Settle(400_000) {
-			t.Fatalf("phase %d churn did not settle", phase)
+		if ok, err := c.Settle(400_000); err != nil || !ok {
+			t.Fatalf("phase %d churn did not settle (err=%v)", phase, err)
 		}
 		for i := 0; i < 5; i++ {
-			deqs = append(deqs, sys.Dequeue(0))
+			f, err := c.DequeueAsync(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			deqs = append(deqs, f)
 		}
-		if !sys.Drain(200_000) {
-			t.Fatalf("phase %d dequeues did not drain", phase)
+		if ok, err := c.Drain(200_000); err != nil || !ok {
+			t.Fatalf("phase %d dequeues did not drain (err=%v)", phase, err)
 		}
 	}
 	for i, d := range deqs {
@@ -45,70 +57,144 @@ func TestIntegrationQueueAsyncChurn(t *testing.T) {
 			t.Fatalf("dequeue %d lost its element", i)
 		}
 	}
-	if err := sys.Check(); err != nil {
+	if err := c.Check(); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestIntegrationStackSyncChurn(t *testing.T) {
-	sys, err := New(Config{Processes: 4, Seed: 22, Mode: Stack})
+	c := mustOpen(t, WithProcesses(4), WithSeed(22), WithMode(Stack))
+	for i := 0; i < 8; i++ {
+		if _, err := c.PushAsync(i%4, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustDrain(t, c, 100_000)
+	p, err := c.Admin().Join(0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < 8; i++ {
-		sys.Push(i%4, i)
-	}
-	if !sys.Drain(100_000) {
-		t.Fatal("pushes did not drain")
-	}
-	p := sys.Join(0)
-	if !sys.Settle(200_000) {
-		t.Fatal("join did not settle")
-	}
+	mustSettle(t, c, 200_000)
 	// The joiner pops everything; values must be the pushed set.
 	got := map[any]bool{}
 	for i := 0; i < 8; i++ {
-		h := sys.Pop(p)
-		if !sys.Drain(100_000) {
-			t.Fatal("pop did not drain")
+		f, err := c.PopAsync(p)
+		if err != nil {
+			t.Fatal(err)
 		}
-		if h.Empty() {
+		mustDrain(t, c, 100_000)
+		if f.Empty() {
 			t.Fatalf("pop %d empty", i)
 		}
-		if got[h.Value()] {
-			t.Fatalf("value %v popped twice", h.Value())
+		if got[f.Value()] {
+			t.Fatalf("value %v popped twice", f.Value())
 		}
-		got[h.Value()] = true
+		got[f.Value()] = true
 	}
-	if err := sys.Check(); err != nil {
+	if err := c.Check(); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestIntegrationManySeedsMixed(t *testing.T) {
-	// A compact cross-product soak: mode × scheduler over several seeds.
+	// A compact cross-product soak: mode × scheduler over several seeds,
+	// driven deterministically through the manual clock.
 	for _, mode := range []Mode{Queue, Stack} {
 		for _, async := range []bool{false, true} {
 			for seed := int64(30); seed < 33; seed++ {
-				sys, err := New(Config{Processes: 3, Seed: seed, Mode: mode, Async: async})
+				opts := []Option{WithManualClock(), WithProcesses(3), WithSeed(seed), WithMode(mode)}
+				if async {
+					opts = append(opts, WithAsync())
+				}
+				c, err := Open(opts...)
 				if err != nil {
 					t.Fatal(err)
 				}
 				for i := 0; i < 12; i++ {
 					if i%3 == 0 {
-						sys.Dequeue(i % 3)
+						_, err = c.DequeueAsync(i % 3)
 					} else {
-						sys.Enqueue(i%3, i)
+						_, err = c.EnqueueAsync(i%3, i)
 					}
-					sys.Run(7)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := c.Run(7); err != nil {
+						t.Fatal(err)
+					}
 				}
-				if !sys.Drain(300_000) {
-					t.Fatalf("mode=%v async=%v seed=%d did not drain", mode, async, seed)
+				if ok, err := c.Drain(300_000); err != nil || !ok {
+					t.Fatalf("mode=%v async=%v seed=%d did not drain (err=%v)", mode, async, seed, err)
 				}
-				if err := sys.Check(); err != nil {
+				if err := c.Check(); err != nil {
 					t.Fatalf("mode=%v async=%v seed=%d: %v", mode, async, seed, err)
 				}
+				c.Close()
 			}
 		}
+	}
+}
+
+// TestIntegrationAutopilotChurnConcurrent drives blocking operations from
+// several goroutines while the membership changes underneath — the
+// workload the redesigned client exists for.
+func TestIntegrationAutopilotChurnConcurrent(t *testing.T) {
+	c, err := Open(WithProcesses(4), WithSeed(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	admin := c.Admin()
+
+	const total = 40
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < total/2; i++ {
+				if err := c.Enqueue(ctx, p*1000+i); err != nil {
+					t.Errorf("enqueue: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	// Churn while the producers run.
+	if _, err := admin.Join(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.Settle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.Leave(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.Settle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	seen := map[any]bool{}
+	for len(seen) < total {
+		v, ok, err := c.Dequeue(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("queue empty after %d of %d values", len(seen), total)
+		}
+		if seen[v] {
+			t.Fatalf("value %v dequeued twice", v)
+		}
+		seen[v] = true
+	}
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
 	}
 }

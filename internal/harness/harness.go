@@ -16,10 +16,8 @@ import (
 	"sort"
 	"strings"
 
+	"skueue"
 	"skueue/internal/baseline"
-	"skueue/internal/batch"
-	"skueue/internal/core"
-	"skueue/internal/seqcheck"
 	"skueue/internal/workload"
 	"skueue/internal/xrand"
 )
@@ -83,29 +81,38 @@ func Defaults(full bool) Options {
 	return o
 }
 
-// runOne drives a single configured cluster through a workload and returns
-// the summary statistics. It panics on drain failure or inconsistency —
-// an experiment that cannot certify its own execution must not report.
-func runOne(mode batch.Mode, procs int, spec workload.Spec, seed int64, maxDrain int64) (seqcheck.Stats, core.Metrics, *core.Cluster) {
-	cl, err := core.New(core.Config{Processes: procs, Seed: seed, Mode: mode})
+// runOne drives a single configured deployment through a workload and
+// returns the summary statistics. Construction goes through the public
+// client layer in manual-clock mode so every experiment run is exactly
+// reproducible; the workload generator keeps driving the underlying
+// cluster directly. It panics on drain failure or inconsistency — an
+// experiment that cannot certify its own execution must not report.
+func runOne(mode skueue.Mode, procs int, spec workload.Spec, seed int64, maxDrain int64) (skueue.Stats, skueue.Metrics, *skueue.Client) {
+	c, err := skueue.Open(
+		skueue.WithManualClock(),
+		skueue.WithProcesses(procs),
+		skueue.WithSeed(seed),
+		skueue.WithMode(mode),
+	)
 	if err != nil {
 		panic(err)
 	}
-	gen, err := workload.New(cl, spec, seed+7)
+	gen, err := workload.New(c.Cluster(), spec, seed+7)
 	if err != nil {
 		panic(err)
 	}
 	if !gen.Run(maxDrain) {
-		panic(fmt.Sprintf("harness: %s n=%d did not drain (%d/%d)", mode, procs, cl.Finished(), cl.Issued()))
+		panic(fmt.Sprintf("harness: %s n=%d did not drain (%d/%d)",
+			mode, procs, c.Cluster().Finished(), c.Cluster().Issued()))
 	}
-	if err := cl.CheckConsistency(); err != nil {
+	if err := c.Check(); err != nil {
 		panic(fmt.Sprintf("harness: consistency violated: %v", err))
 	}
-	return seqcheck.Summarize(cl.History()), cl.Metrics(), cl
+	return c.Stats(), c.Metrics(), c
 }
 
 // latencySweep is the shared engine behind Figures 2 and 3.
-func latencySweep(id, title string, mode batch.Mode, o Options) Figure {
+func latencySweep(id, title string, mode skueue.Mode, o Options) Figure {
 	fig := Figure{
 		ID: id, Title: title,
 		XLabel: "n (processes)", YLabel: "avg rounds per request",
@@ -128,12 +135,12 @@ func latencySweep(id, title string, mode batch.Mode, o Options) Figure {
 
 // Figure2 reproduces the queue latency scaling (paper Fig. 2).
 func Figure2(o Options) Figure {
-	return latencySweep("fig2", "Queue: avg rounds per request vs n (paper Fig. 2)", batch.Queue, o)
+	return latencySweep("fig2", "Queue: avg rounds per request vs n (paper Fig. 2)", skueue.Queue, o)
 }
 
 // Figure3 reproduces the stack latency scaling (paper Fig. 3).
 func Figure3(o Options) Figure {
-	return latencySweep("fig3", "Stack: avg rounds per request vs n (paper Fig. 3)", batch.Stack, o)
+	return latencySweep("fig3", "Stack: avg rounds per request vs n (paper Fig. 3)", skueue.Stack, o)
 }
 
 // Figure4 reproduces the request-rate experiment (paper Fig. 4): fixed n,
@@ -143,7 +150,7 @@ func Figure4(o Options) Figure {
 		ID: "fig4", Title: fmt.Sprintf("Queue vs stack under per-node request probability, n=%d (paper Fig. 4)", o.Fig4N),
 		XLabel: "request probability", YLabel: "avg rounds per request",
 	}
-	for _, mode := range []batch.Mode{batch.Queue, batch.Stack} {
+	for _, mode := range []skueue.Mode{skueue.Queue, skueue.Stack} {
 		s := Series{Label: mode.String()}
 		for _, p := range o.Probs {
 			spec := workload.Spec{Rounds: o.Rounds, PerNodeProb: p, EnqRatio: 0.5}
@@ -165,7 +172,7 @@ func BatchSizes(o Options) Figure {
 		ID: "batchsize", Title: "Max batch size (runs) at full request rate (Thm. 18 / Thm. 20)",
 		XLabel: "n (processes)", YLabel: "max runs per batch",
 	}
-	for _, mode := range []batch.Mode{batch.Queue, batch.Stack} {
+	for _, mode := range []skueue.Mode{skueue.Queue, skueue.Stack} {
 		s := Series{Label: mode.String()}
 		for _, n := range o.Sizes {
 			spec := workload.Spec{Rounds: o.Rounds, PerNodeProb: 1.0, EnqRatio: 0.5}
@@ -189,8 +196,8 @@ func Fairness(o Options) Figure {
 	cv := Series{Label: "coeff-of-variation"}
 	for _, n := range o.Sizes {
 		spec := workload.Spec{Rounds: o.Rounds, RequestsPerRound: o.ReqPerRound, EnqRatio: 1.0}
-		_, _, cl := runOne(batch.Queue, n, spec, o.Seed+int64(n)*5, o.MaxDrain)
-		sizes := cl.StoreSizes()
+		_, _, c := runOne(skueue.Queue, n, spec, o.Seed+int64(n)*5, o.MaxDrain)
+		sizes := c.Cluster().StoreSizes()
 		var sum, sumSq float64
 		maxLoad := 0.0
 		for _, s := range sizes {
@@ -223,10 +230,10 @@ func StageBreakdown(o Options) Figure {
 	ath := Series{Label: "ATH (tree height)"}
 	for _, n := range o.Sizes {
 		spec := workload.Spec{Rounds: o.Rounds, RequestsPerRound: o.ReqPerRound, EnqRatio: 0.5}
-		st, m, cl := runOne(batch.Queue, n, spec, o.Seed+int64(n)*7, o.MaxDrain)
-		h := float64(cl.TreeHeight())
+		st, m, c := runOne(skueue.Queue, n, spec, o.Seed+int64(n)*7, o.MaxDrain)
+		h := float64(c.Cluster().TreeHeight())
 		measured.Points = append(measured.Points, Point{X: float64(n), Y: st.AvgRounds})
-		predicted.Points = append(predicted.Points, Point{X: float64(n), Y: 3*h + m.AvgRouteHops()})
+		predicted.Points = append(predicted.Points, Point{X: float64(n), Y: 3*h + m.AvgRouteHops})
 		ath.Points = append(ath.Points, Point{X: float64(n), Y: h})
 	}
 	fig.Series = []Series{measured, predicted, ath}
@@ -246,36 +253,46 @@ func ChurnPhases(o Options) Figure {
 	}
 	joins := Series{Label: "joins"}
 	leaves := Series{Label: "leaves"}
+	churnClient := func(procs int, seed int64) *skueue.Client {
+		c, err := skueue.Open(
+			skueue.WithManualClock(),
+			skueue.WithProcesses(procs),
+			skueue.WithSeed(seed),
+		)
+		if err != nil {
+			panic(err)
+		}
+		if err := c.Run(5); err != nil {
+			panic(err)
+		}
+		return c
+	}
 	for _, burst := range []int{1, 2, 4, 8} {
 		// Joins.
-		cl, err := core.New(core.Config{Processes: base, Seed: o.Seed + int64(burst)})
-		if err != nil {
-			panic(err)
-		}
-		cl.Run(5)
+		c := churnClient(base, o.Seed+int64(burst))
 		for i := 0; i < burst; i++ {
-			cl.JoinProcess(i % base)
+			if _, err := c.Admin().Join(i % base); err != nil {
+				panic(err)
+			}
 		}
-		start := cl.Engine().Now()
-		if !cl.Engine().RunUntil(func() bool { return cl.ChurnQuiescent() }, 200000) {
+		start := c.Now()
+		if ok, err := c.Settle(200000); err != nil || !ok {
 			panic("harness: join burst did not settle")
 		}
-		joins.Points = append(joins.Points, Point{X: float64(burst), Y: float64(cl.Engine().Now() - start)})
+		joins.Points = append(joins.Points, Point{X: float64(burst), Y: float64(c.Now() - start)})
 
 		// Leaves.
-		cl, err = core.New(core.Config{Processes: base + burst, Seed: o.Seed + 100 + int64(burst)})
-		if err != nil {
-			panic(err)
-		}
-		cl.Run(5)
+		c = churnClient(base+burst, o.Seed+100+int64(burst))
 		for i := 0; i < burst; i++ {
-			cl.LeaveProcess(1 + i)
+			if err := c.Admin().Leave(1 + i); err != nil {
+				panic(err)
+			}
 		}
-		start = cl.Engine().Now()
-		if !cl.Engine().RunUntil(func() bool { return cl.ChurnQuiescent() }, 200000) {
+		start = c.Now()
+		if ok, err := c.Settle(200000); err != nil || !ok {
 			panic("harness: leave burst did not settle")
 		}
-		leaves.Points = append(leaves.Points, Point{X: float64(burst), Y: float64(cl.Engine().Now() - start)})
+		leaves.Points = append(leaves.Points, Point{X: float64(burst), Y: float64(c.Now() - start)})
 	}
 	fig.Series = []Series{joins, leaves}
 	fig.Notes = append(fig.Notes, fmt.Sprintf("Base system: %d processes; burst applied at once, measured to full quiescence.", base))
@@ -296,7 +313,7 @@ func Baseline(o Options) Figure {
 	srv := Series{Label: "central server"}
 	for _, n := range o.Sizes {
 		spec := workload.Spec{Rounds: o.Rounds, PerNodeProb: perNode, EnqRatio: 0.5}
-		st, _, _ := runOne(batch.Queue, n, spec, o.Seed+int64(n)*11, o.MaxDrain)
+		st, _, _ := runOne(skueue.Queue, n, spec, o.Seed+int64(n)*11, o.MaxDrain)
 		sk.Points = append(sk.Points, Point{X: float64(n), Y: st.AvgRounds})
 
 		bl := baseline.New(baseline.Config{Clients: 3 * n, Capacity: capacity, Seed: o.Seed + int64(n)})

@@ -1,0 +1,99 @@
+package skueue
+
+// Mode selects the data-structure semantics.
+type Mode int
+
+// Available semantics: FIFO queue (paper §III) and LIFO stack (§VI).
+const (
+	Queue Mode = iota
+	Stack
+)
+
+func (m Mode) String() string {
+	if m == Stack {
+		return "stack"
+	}
+	return "queue"
+}
+
+// options collects the Open configuration; every Option mutates it.
+type options struct {
+	processes       int
+	seed            int64
+	mode            Mode
+	async           bool
+	manual          bool
+	maxDelay        int
+	timeoutEvery    int
+	shuffleTimeouts bool
+	updateThreshold int
+	noStage4Wait    bool
+	noCombining     bool
+	quantum         int64
+}
+
+func defaultOptions() options {
+	return options{
+		processes: 4,
+		quantum:   32,
+	}
+}
+
+// Option configures a Client at Open time.
+type Option func(*options)
+
+// WithProcesses sets the initial number of member processes (default 4,
+// minimum 1). Each process emulates three virtual nodes (Definition 2).
+func WithProcesses(n int) Option { return func(o *options) { o.processes = n } }
+
+// WithSeed makes the whole run reproducible: labels, keys, scheduling and
+// any workload randomness all derive from this seed.
+func WithSeed(seed int64) Option { return func(o *options) { o.seed = seed } }
+
+// WithMode selects queue (default) or stack semantics.
+func WithMode(m Mode) Option { return func(o *options) { o.mode = m } }
+
+// WithAsync runs the fully asynchronous message-passing model (§I-B)
+// instead of the synchronous round model the evaluation uses.
+func WithAsync() Option { return func(o *options) { o.async = true } }
+
+// WithAsyncDelays tunes the asynchronous scheduler: maxDelay bounds each
+// message's delivery delay, timeoutEvery bounds the gap between TIMEOUT
+// firings. Zero values keep the engine defaults.
+func WithAsyncDelays(maxDelay, timeoutEvery int) Option {
+	return func(o *options) {
+		o.maxDelay = maxDelay
+		o.timeoutEvery = timeoutEvery
+	}
+}
+
+// WithShuffledTimeouts randomizes the per-round TIMEOUT order in the
+// synchronous model, widening schedule coverage for torture tests.
+func WithShuffledTimeouts() Option { return func(o *options) { o.shuffleTimeouts = true } }
+
+// WithUpdateThreshold sets how many pending join/leave requests the anchor
+// accumulates before starting an update phase (default 1).
+func WithUpdateThreshold(n int) Option { return func(o *options) { o.updateThreshold = n } }
+
+// WithManualClock disables the autopilot runner: simulated time advances
+// only through Step, Run, Drain and Settle on the client (or through the
+// blocking methods, which drive the clock inline on the calling
+// goroutine). This is the deterministic mode the experiment harness, the
+// sim CLI and the seqcheck-driven tests use.
+func WithManualClock() Option { return func(o *options) { o.manual = true } }
+
+// WithAutopilotQuantum sets how many rounds (time units when async) the
+// autopilot advances per scheduling slice while work is pending
+// (default 32). Smaller values reduce blocking-call latency jitter;
+// larger values reduce lock traffic.
+func WithAutopilotQuantum(rounds int64) Option { return func(o *options) { o.quantum = rounds } }
+
+// WithoutStage4Wait disables the §VI completion wait (unsafe ablation: the
+// paper's counterexample becomes reachable and sequential consistency can
+// break under asynchrony). See DESIGN.md §6.
+func WithoutStage4Wait() Option { return func(o *options) { o.noStage4Wait = true } }
+
+// WithoutLocalCombining disables the §VI local push/pop combining (unsafe
+// ablation: stack batches grow and Theorem 20 no longer holds). See
+// DESIGN.md §6.
+func WithoutLocalCombining() Option { return func(o *options) { o.noCombining = true } }

@@ -11,243 +11,28 @@
 // rounds per operation even under massive request rates, plus JOIN and
 // LEAVE support for dynamic membership.
 //
-// The package is a facade over the full protocol implementation in
-// internal/: construct a System, submit operations from any process,
-// advance simulated time, and collect results. Every execution can be
-// verified against the paper's Definition 1 with Check.
+// The package is a concurrency-safe client layer over the full protocol
+// implementation in internal/: open a Client, issue blocking operations
+// from any number of goroutines, and verify the execution against the
+// paper's Definition 1 with Check. A background autopilot advances
+// simulated time whenever work is pending, so the blocking calls behave
+// like a real queue client's:
 //
-//	sys, _ := skueue.New(skueue.Config{Processes: 8, Seed: 1})
-//	h := sys.Enqueue(0, "job-1")
-//	sys.Drain(10_000)
-//	d := sys.Dequeue(3)
-//	sys.Drain(10_000)
-//	fmt.Println(d.Value()) // job-1
+//	c, _ := skueue.Open(skueue.WithProcesses(8), skueue.WithSeed(1))
+//	defer c.Close()
+//	ctx := context.Background()
+//	_ = c.Enqueue(ctx, "job-1")
+//	v, ok, _ := c.Dequeue(ctx)
+//	fmt.Println(v, ok) // job-1 true
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduction of the paper's evaluation.
+// Deterministic single-goroutine control — what the experiment harness and
+// the CLIs use — is preserved behind WithManualClock: the async
+// submissions (EnqueueAsync, DequeueAsync) return a Future, and Step, Run,
+// Drain and Settle advance the clock explicitly.
+//
+// Errors are typed sentinels (ErrNoSuchProcess, ErrProcessLeft,
+// ErrTimeout, ErrClosed, ...); match them with errors.Is.
+//
+// See README.md for a quickstart, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the reproduction of the paper's evaluation.
 package skueue
-
-import (
-	"errors"
-	"fmt"
-
-	"skueue/internal/batch"
-	"skueue/internal/core"
-	"skueue/internal/dht"
-	"skueue/internal/seqcheck"
-)
-
-// Mode selects the data-structure semantics.
-type Mode int
-
-// Available semantics: FIFO queue (paper §III) and LIFO stack (§VI).
-const (
-	Queue Mode = iota
-	Stack
-)
-
-// Config configures a System.
-type Config struct {
-	// Processes is the initial number of member processes (>= 1).
-	Processes int
-	// Seed makes the whole run reproducible.
-	Seed int64
-	// Mode selects queue or stack semantics.
-	Mode Mode
-	// Async runs the fully asynchronous message-passing model instead of
-	// the synchronous round model.
-	Async bool
-	// Unsafe ablations (see DESIGN.md §6); leave false in normal use.
-	DisableStage4Wait     bool
-	DisableLocalCombining bool
-}
-
-// Handle tracks one submitted operation. Operations complete as the
-// simulation advances; query the handle afterwards.
-type Handle struct {
-	id     uint64
-	kind   seqcheck.Kind
-	done   bool
-	bottom bool
-	value  any
-	rounds int64
-}
-
-// Done reports whether the operation completed.
-func (h *Handle) Done() bool { return h.done }
-
-// Empty reports whether a dequeue/pop returned ⊥ (empty structure).
-func (h *Handle) Empty() bool { return h.done && h.bottom }
-
-// Value returns the dequeued value (nil for ⊥, enqueues, or when not done).
-func (h *Handle) Value() any { return h.value }
-
-// Rounds returns the request latency in simulated rounds.
-func (h *Handle) Rounds() int64 { return h.rounds }
-
-// System is a running Skueue deployment.
-type System struct {
-	cl      *core.Cluster
-	mode    Mode
-	handles map[uint64]*Handle
-	values  map[dht.Element]any
-	pending map[uint64]any // enqueue values awaiting element binding
-	// early holds completions that fired synchronously inside the inject
-	// call (locally combined stack pairs), before the handle existed.
-	early map[uint64]seqcheck.Completion
-}
-
-// New builds a system with all configured processes as initial members.
-func New(cfg Config) (*System, error) {
-	if cfg.Processes < 1 {
-		return nil, errors.New("skueue: Processes must be at least 1")
-	}
-	mode := batch.Queue
-	if cfg.Mode == Stack {
-		mode = batch.Stack
-	}
-	cl, err := core.New(core.Config{
-		Processes:             cfg.Processes,
-		Seed:                  cfg.Seed,
-		Mode:                  mode,
-		Async:                 cfg.Async,
-		DisableStage4Wait:     cfg.DisableStage4Wait,
-		DisableLocalCombining: cfg.DisableLocalCombining,
-	})
-	if err != nil {
-		return nil, err
-	}
-	s := &System{
-		cl:      cl,
-		mode:    cfg.Mode,
-		handles: make(map[uint64]*Handle),
-		values:  make(map[dht.Element]any),
-		pending: make(map[uint64]any),
-		early:   make(map[uint64]seqcheck.Completion),
-	}
-	cl.SetOnComplete(s.onComplete)
-	return s, nil
-}
-
-func (s *System) onComplete(c seqcheck.Completion) {
-	h := s.handles[c.ReqID]
-	if h == nil {
-		s.early[c.ReqID] = c
-		return
-	}
-	h.done = true
-	h.rounds = c.Done - c.Born
-	if c.Kind == seqcheck.Enqueue {
-		if v, ok := s.pending[c.ReqID]; ok {
-			s.values[c.Elem] = v
-			delete(s.pending, c.ReqID)
-		}
-		return
-	}
-	h.bottom = c.Bottom
-	if !c.Bottom {
-		h.value = s.values[c.Elem]
-	}
-}
-
-func (s *System) checkProc(proc int) {
-	if proc < 0 || proc >= len(s.cl.Processes()) {
-		panic(fmt.Sprintf("skueue: no such process %d", proc))
-	}
-	p := s.cl.Processes()[proc]
-	if p.Left {
-		panic(fmt.Sprintf("skueue: process %d has left the system", proc))
-	}
-}
-
-// Enqueue submits an ENQUEUE(value) at the given process. Stack mode: this
-// is PUSH.
-func (s *System) Enqueue(proc int, value any) *Handle {
-	s.checkProc(proc)
-	id := s.cl.Enqueue(s.cl.Client(proc))
-	h := &Handle{id: id, kind: seqcheck.Enqueue}
-	s.handles[id] = h
-	s.pending[id] = value
-	s.resolveEarly(id)
-	return h
-}
-
-// resolveEarly applies a completion that raced the handle registration.
-func (s *System) resolveEarly(id uint64) {
-	if c, ok := s.early[id]; ok {
-		delete(s.early, id)
-		s.onComplete(c)
-	}
-}
-
-// Push is the stack-flavoured alias of Enqueue.
-func (s *System) Push(proc int, value any) *Handle { return s.Enqueue(proc, value) }
-
-// Dequeue submits a DEQUEUE at the given process. Stack mode: this is POP.
-func (s *System) Dequeue(proc int) *Handle {
-	s.checkProc(proc)
-	id := s.cl.Dequeue(s.cl.Client(proc))
-	h := &Handle{id: id, kind: seqcheck.Dequeue}
-	s.handles[id] = h
-	s.resolveEarly(id)
-	return h
-}
-
-// Pop is the stack-flavoured alias of Dequeue.
-func (s *System) Pop(proc int) *Handle { return s.Dequeue(proc) }
-
-// Join adds a fresh process to the system through the given contact
-// process (§IV-A) and returns its index. The process becomes usable once
-// the next update phase integrates it; see Settle.
-func (s *System) Join(contact int) int {
-	s.checkProc(contact)
-	return s.cl.JoinProcess(contact)
-}
-
-// Leave withdraws a process from the system (§IV-B). Its data migrates to
-// the remaining members; see Settle.
-func (s *System) Leave(proc int) {
-	s.checkProc(proc)
-	s.cl.LeaveProcess(proc)
-}
-
-// Step advances the simulation by one round (one event when Async).
-func (s *System) Step() { s.cl.Step() }
-
-// Run advances the simulation by n rounds (time units when Async).
-func (s *System) Run(n int64) { s.cl.Run(n) }
-
-// Drain runs until every submitted operation completed, up to maxTime.
-func (s *System) Drain(maxTime int64) bool { return s.cl.Drain(maxTime) }
-
-// Settle runs until all pending joins and leaves finished integrating and
-// the overlay is fully consistent, up to maxTime.
-func (s *System) Settle(maxTime int64) bool {
-	return s.cl.Engine().RunUntil(func() bool {
-		return s.cl.ChurnQuiescent() && s.cl.VerifyTopology() == nil
-	}, maxTime)
-}
-
-// Check verifies the entire execution so far against the paper's
-// sequential-consistency definition (Definition 1).
-func (s *System) Check() error { return s.cl.CheckConsistency() }
-
-// Stats summarizes completed operations.
-func (s *System) Stats() seqcheck.Stats { return seqcheck.Summarize(s.cl.History()) }
-
-// Metrics exposes protocol-level counters (batch sizes, waves, routing).
-func (s *System) Metrics() core.Metrics { return s.cl.Metrics() }
-
-// NumProcesses returns the number of processes ever part of the system
-// (including departed ones; their indices stay valid for bookkeeping).
-func (s *System) NumProcesses() int { return len(s.cl.Processes()) }
-
-// Stored returns the number of elements currently held in the DHT.
-func (s *System) Stored() int { return s.cl.TotalStored() }
-
-// Now returns the current simulated time.
-func (s *System) Now() int64 { return s.cl.Engine().Now() }
-
-// Cluster exposes the underlying protocol cluster for experiments and
-// advanced inspection.
-func (s *System) Cluster() *core.Cluster { return s.cl }
