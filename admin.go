@@ -16,6 +16,9 @@ func (c *Client) Admin() Admin { return Admin{c: c} }
 // the next update phase integrates it; Settle waits for that.
 func (a Admin) Join(contact int) (int, error) {
 	c := a.c
+	if c.rem != nil {
+		return 0, ErrRemote
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -35,6 +38,9 @@ func (a Admin) Join(contact int) (int, error) {
 // the remaining members; Settle waits for the migration to finish.
 func (a Admin) Leave(proc int) error {
 	c := a.c
+	if c.rem != nil {
+		return ErrRemote
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -59,5 +65,8 @@ func (a Admin) Leave(proc int) error {
 // closes. Under WithManualClock it drives the engine inline on the calling
 // goroutine (the bounded Client.Settle is the non-blocking alternative).
 func (a Admin) Settle(ctx context.Context) error {
+	if a.c.rem != nil {
+		return ErrRemote
+	}
 	return a.c.await(ctx, a.c.settledLocked)
 }

@@ -1,7 +1,7 @@
 package skueue_test
 
 // Benchmark harness: one benchmark per figure and experiment of the
-// paper's evaluation (see DESIGN.md §4), plus BenchmarkClientThroughput
+// paper's evaluation (see DESIGN.md §5), plus BenchmarkClientThroughput
 // for the blocking client API's hot path. Each figure benchmark
 // regenerates the corresponding data series at bench scale and reports the
 // headline quantity via ReportMetric, so `go test -bench=. -benchmem`
@@ -15,13 +15,18 @@ package skueue_test
 import (
 	"context"
 	"fmt"
+	"net"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"skueue"
 	"skueue/internal/batch"
 	"skueue/internal/core"
 	"skueue/internal/harness"
+	"skueue/internal/server"
 	"skueue/internal/workload"
 )
 
@@ -225,7 +230,7 @@ func BenchmarkClientThroughput(b *testing.B) {
 
 // BenchmarkStackCombiningAblation quantifies §VI local combining: ops per
 // second with and without combining at full request rate (the uncombined
-// stack is also unsound — see DESIGN.md §6 — so it runs the queue-safe
+// stack is also unsound — see DESIGN.md §7 — so it runs the queue-safe
 // load shape only briefly).
 func BenchmarkStackCombiningAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -242,5 +247,76 @@ func BenchmarkStackCombiningAblation(b *testing.B) {
 			b.ReportMetric(float64(st.CombinedOps), "combined-ops")
 			b.ReportMetric(float64(st.MaxBatchRuns), "max-batch-runs")
 		}
+	}
+}
+
+// BenchmarkRemoteThroughput measures the networked path end to end: a
+// 3-member loopback TCP cluster (in-process servers), 8 concurrent remote
+// clients, each issuing blocking enqueue/dequeue pairs over the wire. The
+// figure covers the full stack — value codec, framing, member-to-member
+// protocol hops, completion acks — and is the baseline for EXPERIMENTS.md
+// §"Networked benchmark".
+func BenchmarkRemoteThroughput(b *testing.B) {
+	lis := make([]net.Listener, 3)
+	addrs := make([]string, 3)
+	for i := range lis {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		lis[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	srvs := make([]*server.Server, 3)
+	for i := range srvs {
+		s, err := server.New(server.Config{
+			Listener: lis[i], Seed: 7, Index: i, Members: addrs,
+			Tick: 200 * time.Microsecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srvs[i] = s
+		defer s.Close()
+	}
+
+	const clients = 8
+	cs := make([]*skueue.Client, clients)
+	for i := range cs {
+		c, err := skueue.Open(skueue.WithRemote(addrs[i%len(addrs)]))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cs[i] = c
+		defer c.Close()
+	}
+
+	b.ResetTimer()
+	var ops atomic.Int64
+	var wg sync.WaitGroup
+	per := b.N/clients + 1
+	for _, c := range cs {
+		wg.Add(1)
+		go func(c *skueue.Client) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < per; i++ {
+				if err := c.Enqueue(ctx, int64(i)); err != nil {
+					b.Error(err)
+					return
+				}
+				if _, _, err := c.Dequeue(ctx); err != nil {
+					b.Error(err)
+					return
+				}
+				ops.Add(2)
+			}
+		}(c)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(ops.Load())/b.Elapsed().Seconds(), "net-ops/s")
+	if err := cs[0].Check(); err != nil {
+		b.Fatal(err)
 	}
 }

@@ -37,6 +37,9 @@ type Client struct {
 	manual  bool
 	quantum int64
 	mode    Mode
+	// rem is set in WithRemote mode: operations round-trip to a networked
+	// cluster member and cl is nil. See remote.go.
+	rem *remoteClient
 
 	mu      sync.Mutex
 	cl      *core.Cluster
@@ -63,10 +66,17 @@ type Client struct {
 
 // Open builds a client with all configured processes as initial members
 // and, unless WithManualClock is given, starts the autopilot runner.
+//
+// With WithRemote the client instead connects to a networked cluster
+// member and no simulated cluster is created; see the option's
+// documentation for the reduced surface.
 func Open(opts ...Option) (*Client, error) {
 	o := defaultOptions()
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if o.remote != "" {
+		return openRemote(o.remote)
 	}
 	if o.processes < 1 {
 		return nil, fmt.Errorf("skueue: WithProcesses(%d): need at least one process", o.processes)
@@ -128,6 +138,9 @@ func (c *Client) Close() error {
 	close(c.quit)
 	c.mu.Unlock()
 	<-c.stopped
+	if c.rem != nil {
+		c.rem.close()
+	}
 	return nil
 }
 
@@ -196,6 +209,15 @@ func (c *Client) pickLocked() (int, error) {
 // mutex so a synchronous completion (stack local combining) cannot race
 // the registration.
 func (c *Client) submit(kind seqcheck.Kind, proc int, value any) (*Future, error) {
+	if c.rem != nil {
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return nil, ErrClosed
+		}
+		return c.rem.submit(kind, proc, value)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -237,7 +259,7 @@ func (c *Client) block(ctx context.Context, f *Future) error {
 	c.poke()
 	select {
 	case <-f.done:
-		return nil
+		return f.err
 	case <-ctx.Done():
 		return ctxError(ctx.Err())
 	case <-c.quit:
@@ -554,8 +576,23 @@ func (c *Client) settledLocked() bool {
 // ---- Introspection ----
 
 // Check verifies the entire execution so far against the paper's
-// sequential-consistency definition (Definition 1).
+// sequential-consistency definition (Definition 1). On a remote client it
+// fetches and merges the completion histories of every cluster member
+// (completions are recorded where they finish) and runs the same checker
+// locally — so a networked execution is verified end to end, across all
+// members and all clients.
 func (c *Client) Check() error {
+	if c.rem != nil {
+		hist, err := c.rem.histories()
+		if err != nil {
+			return err
+		}
+		mode := seqcheck.Queue
+		if c.mode == Stack {
+			mode = seqcheck.Stack
+		}
+		return seqcheck.Check(mode, hist)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.cl.CheckConsistency()
@@ -572,8 +609,26 @@ type Stats struct {
 	MaxRounds int64
 }
 
-// Stats returns a snapshot of the completed-operation statistics.
+// Stats returns a snapshot of the completed-operation statistics. On a
+// remote client they cover the whole cluster (merged member histories);
+// fetch errors yield the zero Stats.
 func (c *Client) Stats() Stats {
+	if c.rem != nil {
+		hist, err := c.rem.histories()
+		if err != nil {
+			return Stats{}
+		}
+		st := seqcheck.Summarize(hist)
+		return Stats{
+			Total:     st.Total,
+			Enqueues:  st.Enqueues,
+			Dequeues:  st.Dequeues,
+			Bottoms:   st.Bottoms,
+			Combined:  st.Combined,
+			AvgRounds: st.AvgRounds,
+			MaxRounds: st.MaxRounds,
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := seqcheck.Summarize(c.cl.History())
@@ -603,8 +658,12 @@ type Metrics struct {
 	AvgRouteHops  float64 // mean LDB routing path length
 }
 
-// Metrics returns a snapshot of the protocol metrics.
+// Metrics returns a snapshot of the protocol metrics (zero on a remote
+// client, whose members keep their own).
 func (c *Client) Metrics() Metrics {
+	if c.rem != nil {
+		return Metrics{}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	m := c.cl.Metrics()
@@ -628,27 +687,39 @@ func (c *Client) Mode() Mode { return c.mode }
 
 // NumProcesses returns the number of processes ever part of the system
 // (including departed ones; their indices stay valid for bookkeeping).
+// Zero on a remote client.
 func (c *Client) NumProcesses() int {
+	if c.rem != nil {
+		return 0
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.cl.Processes())
 }
 
-// Stored returns the number of elements currently held in the DHT.
+// Stored returns the number of elements currently held in the DHT (zero
+// on a remote client).
 func (c *Client) Stored() int {
+	if c.rem != nil {
+		return 0
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.cl.TotalStored()
 }
 
-// Now returns the current simulated time.
+// Now returns the current simulated time (zero on a remote client).
 func (c *Client) Now() int64 {
+	if c.rem != nil {
+		return 0
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.cl.Engine().Now()
 }
 
 // Cluster exposes the underlying protocol cluster for experiments and
-// advanced inspection. The cluster is not concurrency-safe: use it only in
-// WithManualClock mode, from one goroutine at a time.
+// advanced inspection (nil on a remote client). The cluster is not
+// concurrency-safe: use it only in WithManualClock mode, from one
+// goroutine at a time.
 func (c *Client) Cluster() *core.Cluster { return c.cl }

@@ -1,5 +1,5 @@
 // Command skueue-experiments regenerates the paper's evaluation figures
-// and the additional experiments from DESIGN.md §4.
+// and the additional experiments from DESIGN.md §5.
 //
 //	skueue-experiments -fig all          # quick, laptop-sized sweep
 //	skueue-experiments -fig fig2 -full   # paper-scale (slow)

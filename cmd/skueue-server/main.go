@@ -1,0 +1,86 @@
+// Command skueue-server hosts one member of a networked Skueue cluster:
+// its share of the protocol's virtual nodes runs over the TCP transport,
+// and the same port serves remote clients (skueue.Open with WithRemote).
+//
+// Bootstrap a 3-member cluster on one machine:
+//
+//	skueue-server -addr 127.0.0.1:7001 -index 0 -members 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 &
+//	skueue-server -addr 127.0.0.1:7002 -index 1 -members 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 &
+//	skueue-server -addr 127.0.0.1:7003 -index 2 -members 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 &
+//
+// All bootstrap members must agree on -members, -procs, -seed and -mode;
+// the topology is derived deterministically from them, so the members wire
+// themselves without any coordination traffic.
+//
+// Add a fourth member later by pointing it at the seed (member 0):
+//
+//	skueue-server -addr 127.0.0.1:7004 -join 127.0.0.1:7001
+//
+// The newcomer is admitted by the seed and integrated through the paper's
+// JOIN protocol (§IV-A).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"skueue/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7001", "listen address")
+		seed    = flag.Int64("seed", 1, "cluster-wide seed (bootstrap members must agree)")
+		mode    = flag.String("mode", "queue", "semantics: queue or stack")
+		index   = flag.Int("index", 0, "this member's index into -members")
+		members = flag.String("members", "", "comma-separated bootstrap member addresses")
+		procs   = flag.Int("procs", 0, "total bootstrap processes (default: one per member)")
+		join    = flag.String("join", "", "join a running cluster via this seed address (ignores bootstrap flags)")
+		tick    = flag.Duration("tick", time.Millisecond, "protocol TIMEOUT cadence")
+		verbose = flag.Bool("v", false, "log transport diagnostics")
+	)
+	flag.Parse()
+
+	cfg := server.Config{
+		Addr: *addr,
+		Seed: *seed,
+		Mode: *mode,
+		Tick: *tick,
+		Join: *join,
+	}
+	if *join == "" {
+		if *members == "" {
+			fmt.Fprintln(os.Stderr, "skueue-server: need -members for bootstrap or -join for admission")
+			os.Exit(2)
+		}
+		cfg.Index = *index
+		cfg.Members = strings.Split(*members, ",")
+		cfg.Procs = *procs
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+
+	s, err := server.New(cfg)
+	if err != nil {
+		log.Fatalf("skueue-server: %v", err)
+	}
+	if *join != "" {
+		log.Printf("skueue-server: joined cluster via %s, serving on %s", *join, s.Addr())
+	} else {
+		log.Printf("skueue-server: member %d of %d serving on %s (mode=%s seed=%d)",
+			*index, len(cfg.Members), s.Addr(), *mode, *seed)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("skueue-server: shutting down")
+	s.Close()
+}

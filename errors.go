@@ -33,6 +33,13 @@ var (
 	// on a client running the autopilot; open with WithManualClock to take
 	// deterministic control of simulated time.
 	ErrAutoClock = errors.New("skueue: clock is automatic (open with WithManualClock to step manually)")
+
+	// ErrRemote reports an operation that only exists against an
+	// in-process simulated cluster — process pinning, membership
+	// administration, simulation clock control — on a client opened with
+	// WithRemote. The networked cluster's membership is managed by its
+	// servers (cmd/skueue-server -join).
+	ErrRemote = errors.New("skueue: operation not available on a remote client")
 )
 
 // ctxError converts a context error into the client's typed form: deadline

@@ -23,6 +23,10 @@ type Future struct {
 	value  any
 	bottom bool
 	rounds int64
+	// err is a per-operation failure (remote mode only: server-side
+	// rejection or an undecodable value); simulated operations always
+	// complete cleanly.
+	err error
 }
 
 // Done returns a channel closed when the operation completes. It never
@@ -52,7 +56,7 @@ func (f *Future) Completed() bool {
 func (f *Future) Wait(ctx context.Context) error {
 	select {
 	case <-f.done:
-		return nil
+		return f.err
 	default:
 	}
 	if err := ctx.Err(); err != nil {
@@ -63,12 +67,22 @@ func (f *Future) Wait(ctx context.Context) error {
 	}
 	select {
 	case <-f.done:
-		return nil
+		return f.err
 	case <-ctx.Done():
 		return ctxError(ctx.Err())
 	case <-f.c.quit:
 		return ErrClosed
 	}
+}
+
+// Err returns the operation's failure, if any, once it completed (remote
+// mode: server-side rejection or an undecodable value). It is nil while
+// the future is pending and always nil for simulated operations.
+func (f *Future) Err() error {
+	if f.Completed() {
+		return f.err
+	}
+	return nil
 }
 
 // Value returns the dequeued value (nil for ⊥, for enqueues, and until the

@@ -8,7 +8,7 @@ import (
 	"skueue/internal/dht"
 	"skueue/internal/fixpoint"
 	"skueue/internal/ldb"
-	"skueue/internal/sim"
+	"skueue/internal/transport"
 )
 
 // This file implements §IV of the paper: JOIN and LEAVE, handled lazily
@@ -16,7 +16,7 @@ import (
 // nodes are spliced into the ring and leave replacements are absorbed by
 // their left neighbours.
 //
-// Implementation notes (see DESIGN.md §7 for the substitution rationale):
+// Implementation notes (see DESIGN.md §8 for the substitution rationale):
 //
 //   - A departed node stays in the simulation as a pure forwarder instead
 //     of executing the paper's per-edge acknowledgment drain; the
@@ -32,9 +32,11 @@ import (
 //     phase-control messages from an earlier phase cannot corrupt a later
 //     one under asynchrony.
 
-// joinerInfo is a joining node this node is responsible for (§IV-A).
+// joinerInfo is a joining node this node is responsible for (§IV-A). The
+// field is exported because joiner lists ride in handoff and absorb
+// messages, which cross the wire under the TCP transport.
 type joinerInfo struct {
-	ref ldb.Ref
+	Ref ldb.Ref
 }
 
 // anchorBundle is the anchor's transferable role state: the position
@@ -71,8 +73,8 @@ type churnState struct {
 	grantsPending []ldb.Ref // permission requests we have not answered yet
 	grantedOpen   int       // grants given whose leaver has not departed yet
 	departed      bool
-	forwardTo     sim.NodeID // valid once the replacement introduced itself
-	buffer        []any      // messages held between handoff and redirect
+	forwardTo     transport.NodeID // valid once the replacement introduced itself
+	buffer        []any            // messages held between handoff and redirect
 
 	// Replacement side. A replacement may only dissolve together with its
 	// two sibling replacements (triad-atomic absorption): the aggregation
@@ -101,7 +103,7 @@ type churnState struct {
 	// Update phase (§IV-A).
 	updatePhase    bool
 	epoch          int64
-	pold           sim.NodeID
+	pold           transport.NodeID
 	acksLeft       int
 	introAcksLeft  int
 	integrationRun bool
@@ -219,7 +221,7 @@ type dissolveReply struct {
 
 // heldQuery is a buffered dissolveQuery.
 type heldQuery struct {
-	from  sim.NodeID
+	from  transport.NodeID
 	epoch int64
 }
 
@@ -282,7 +284,7 @@ func (c *churnState) anchorObserve(n *Node, b batch.Batch) int64 {
 // enterUpdatePhase records the old-tree bookkeeping when the flagged
 // intervals arrive: p_old and |C_old| (§IV-A). Dissolve queries that were
 // waiting for this phase are answered now.
-func (c *churnState) enterUpdatePhase(ctx *sim.Context, from sim.NodeID, epoch int64, subs []subBatch) {
+func (c *churnState) enterUpdatePhase(ctx *transport.Context, from transport.NodeID, epoch int64, subs []subBatch) {
 	c.updatePhase = true
 	c.epoch = epoch
 	c.lastEpoch = epoch
@@ -293,7 +295,7 @@ func (c *churnState) enterUpdatePhase(ctx *sim.Context, from sim.NodeID, epoch i
 	c.phaseDone = false
 	c.absorbSent = false
 	for _, sb := range subs {
-		if sb.from != sim.None {
+		if sb.From != transport.None {
 			c.acksLeft++
 		}
 	}
@@ -313,7 +315,7 @@ func (c *churnState) enterUpdatePhase(ctx *sim.Context, from sim.NodeID, epoch i
 // startIntegration begins this node's update-phase duties right after the
 // flagged serve was forwarded: splice joiners into the ring and reject
 // their unprocessed next-wave sub-batches.
-func (c *churnState) startIntegration(ctx *sim.Context, n *Node) {
+func (c *churnState) startIntegration(ctx *transport.Context, n *Node) {
 	if c.integrationRun {
 		return
 	}
@@ -327,8 +329,8 @@ func (c *churnState) startIntegration(ctx *sim.Context, n *Node) {
 		for _, w := range n.waiting {
 			rejected := false
 			for _, j := range js {
-				if w.from == j.ref.ID {
-					ctx.Send(j.ref.ID, rejectBatch{B: w.b})
+				if w.From == j.Ref.ID {
+					ctx.Send(j.Ref.ID, rejectBatch{B: w.B})
 					rejected = true
 					break
 				}
@@ -343,20 +345,20 @@ func (c *churnState) startIntegration(ctx *sim.Context, n *Node) {
 		for i, j := range js {
 			pred := n.self
 			if i > 0 {
-				pred = js[i-1].ref
+				pred = js[i-1].Ref
 			}
 			succ := oldSucc
 			if i+1 < len(js) {
-				succ = js[i+1].ref
+				succ = js[i+1].Ref
 			}
-			ctx.Send(j.ref.ID, setNeighbors{Pred: pred, Succ: succ, Epoch: c.epoch})
+			ctx.Send(j.Ref.ID, setNeighbors{Pred: pred, Succ: succ, Epoch: c.epoch})
 			c.introAcksLeft++
 		}
 		if oldSucc.ID != n.self.ID {
-			ctx.Send(oldSucc.ID, setPred{Pred: js[len(js)-1].ref, Epoch: c.epoch})
+			ctx.Send(oldSucc.ID, setPred{Pred: js[len(js)-1].Ref, Epoch: c.epoch})
 			c.introAcksLeft++
 		}
-		n.succ = js[0].ref
+		n.succ = js[0].Ref
 		n.invalidateTopology()
 	}
 
@@ -376,7 +378,7 @@ func (c *churnState) startIntegration(ctx *sim.Context, n *Node) {
 
 // maybeFinishPhase completes this node's part of the update phase once all
 // local work and child acknowledgments are in.
-func (c *churnState) maybeFinishPhase(ctx *sim.Context, n *Node) {
+func (c *churnState) maybeFinishPhase(ctx *transport.Context, n *Node) {
 	if !c.updatePhase || c.phaseDone || !c.integrationRun {
 		return
 	}
@@ -404,7 +406,7 @@ func (c *churnState) maybeFinishPhase(ctx *sim.Context, n *Node) {
 		return
 	}
 	c.phaseDone = true
-	if c.pold != sim.None {
+	if c.pold != transport.None {
 		ctx.Send(c.pold, updateAck{Epoch: c.epoch})
 		return
 	}
@@ -424,7 +426,7 @@ func (n *Node) setAnchorBundle(b anchorBundle) {
 
 // anchorFinal ends the update phase: if nodes joined left of us the anchor
 // role walks to the new leftmost node, which then announces updateOver.
-func (n *Node) anchorFinal(ctx *sim.Context) {
+func (n *Node) anchorFinal(ctx *transport.Context) {
 	if !n.anchorRole {
 		panic(fmt.Sprintf("core: anchorFinal on non-anchor %v", n.self))
 	}
@@ -441,7 +443,7 @@ func (n *Node) anchorFinal(ctx *sim.Context) {
 // churn.epoch: the node announcing the end may have been integrated
 // mid-phase (the anchor role walked to it) and never have entered the
 // phase itself.
-func (n *Node) broadcastUpdateOver(ctx *sim.Context) {
+func (n *Node) broadcastUpdateOver(ctx *transport.Context) {
 	epoch := n.churn.epochCounter
 	if n.churn.epoch > epoch {
 		epoch = n.churn.epoch
@@ -460,10 +462,10 @@ func (n *Node) broadcastUpdateOver(ctx *sim.Context) {
 // protects wave expectations, but would cut the broadcast), plus the ring
 // neighbours. Flooding over tree and ring edges with epoch deduplication
 // reaches every ring member even while tree links are still settling.
-func (n *Node) updateOverTargets() []sim.NodeID {
-	seen := map[sim.NodeID]bool{n.self.ID: true}
-	var out []sim.NodeID
-	add := func(id sim.NodeID) {
+func (n *Node) updateOverTargets() []transport.NodeID {
+	seen := map[transport.NodeID]bool{n.self.ID: true}
+	var out []transport.NodeID
+	add := func(id transport.NodeID) {
 		if id >= 0 && !seen[id] {
 			seen[id] = true
 			out = append(out, id)
@@ -477,13 +479,13 @@ func (n *Node) updateOverTargets() []sim.NodeID {
 		add(n.succ.ID)
 	}
 	for _, j := range n.churn.joiners {
-		add(j.ref.ID)
+		add(j.Ref.ID)
 	}
 	return out
 }
 
 // exitUpdatePhase leaves the phase and runs actions deferred during it.
-func (n *Node) exitUpdatePhase(ctx *sim.Context) {
+func (n *Node) exitUpdatePhase(ctx *transport.Context) {
 	n.churn.exitUpdatePhase()
 	held := n.churn.heldHandoffs
 	n.churn.heldHandoffs = nil
@@ -494,7 +496,7 @@ func (n *Node) exitUpdatePhase(ctx *sim.Context) {
 
 func (c *churnState) exitUpdatePhase() {
 	c.updatePhase = false
-	c.pold = sim.None
+	c.pold = transport.None
 	c.acksLeft = 0
 	c.introAcksLeft = 0
 	c.integrationRun = false
@@ -502,7 +504,7 @@ func (c *churnState) exitUpdatePhase() {
 }
 
 // tick runs deferred churn actions from TIMEOUT.
-func (c *churnState) tick(ctx *sim.Context, n *Node) {
+func (c *churnState) tick(ctx *transport.Context, n *Node) {
 	if c.departed {
 		return
 	}
@@ -542,7 +544,7 @@ func (n *Node) drainedForLeave() bool {
 
 // handleChurn processes churn control messages; it reports whether the
 // payload was one.
-func (n *Node) handleChurn(ctx *sim.Context, from sim.NodeID, payload any) bool {
+func (n *Node) handleChurn(ctx *transport.Context, from transport.NodeID, payload any) bool {
 	c := &n.churn
 	switch m := payload.(type) {
 	case adoptMsg:
@@ -576,7 +578,7 @@ func (n *Node) handleChurn(ctx *sim.Context, from sim.NodeID, payload any) bool 
 	case setNeighbors:
 		n.pred, n.succ = m.Pred, m.Succ
 		c.joining = false
-		c.relayVia = ldb.Ref{ID: sim.None}
+		c.relayVia = ldb.Ref{ID: transport.None}
 		c.rangeValid = false
 		n.invalidateTopology()
 		n.cl.noteIntegrated(n)
@@ -655,7 +657,7 @@ func (n *Node) handleChurn(ctx *sim.Context, from sim.NodeID, payload any) bool 
 		// phase locally: the splice happened, so we must depart either way.
 		if c.absorbSent && !c.departed {
 			c.phaseDone = true
-			if c.updatePhase && c.pold != sim.None {
+			if c.updatePhase && c.pold != transport.None {
 				ctx.Send(c.pold, updateAck{Epoch: c.epoch})
 			}
 			n.depart(ctx, n.pred.ID)
@@ -691,7 +693,7 @@ func (n *Node) handleChurn(ctx *sim.Context, from sim.NodeID, payload any) bool 
 }
 
 // handleRoutedChurn processes routed payloads that are not DHT operations.
-func (n *Node) handleRoutedChurn(ctx *sim.Context, inner any) {
+func (n *Node) handleRoutedChurn(ctx *transport.Context, inner any) {
 	switch m := inner.(type) {
 	case joinReq:
 		n.adoptJoiner(ctx, m.NewNode)
@@ -717,21 +719,21 @@ func (n *Node) cwLess(a, b ldb.Point) bool {
 // introduces itself, hands over the DHT sub-interval (delegating to the
 // joiner's closest joining predecessor when one exists), and treats the
 // joiner as an extra aggregation-tree child.
-func (n *Node) adoptJoiner(ctx *sim.Context, v ldb.Ref) {
+func (n *Node) adoptJoiner(ctx *transport.Context, v ldb.Ref) {
 	c := &n.churn
 	idx := sort.Search(len(c.joiners), func(i int) bool {
-		return n.cwLess(v.Point, c.joiners[i].ref.Point)
+		return n.cwLess(v.Point, c.joiners[i].Ref.Point)
 	})
 	c.joiners = append(c.joiners, joinerInfo{})
 	copy(c.joiners[idx+1:], c.joiners[idx:])
-	c.joiners[idx] = joinerInfo{ref: v}
+	c.joiners[idx] = joinerInfo{Ref: v}
 
 	end := n.succ.Point.Label
 	if idx+1 < len(c.joiners) {
-		end = c.joiners[idx+1].ref.Point.Label
+		end = c.joiners[idx+1].Ref.Point.Label
 	}
 	if idx > 0 {
-		holder := c.joiners[idx-1].ref
+		holder := c.joiners[idx-1].Ref
 		ctx.Send(holder.ID, transferCmd{To: v, From: v.Point.Label, End: end})
 	} else {
 		ents, parked := n.store.Extract(func(pos int64) bool {
@@ -751,7 +753,7 @@ func (c *churnState) joinerFor(key fixpoint.Frac, self ldb.Ref) (joinerInfo, boo
 	kd := fixpoint.CWDist(self.Point.Label, key)
 	best := -1
 	for i, j := range c.joiners {
-		jd := fixpoint.CWDist(self.Point.Label, j.ref.Point.Label)
+		jd := fixpoint.CWDist(self.Point.Label, j.Ref.Point.Label)
 		if jd <= kd {
 			best = i
 		}
@@ -763,7 +765,7 @@ func (c *churnState) joinerFor(key fixpoint.Frac, self ldb.Ref) (joinerInfo, boo
 }
 
 // applyTransfer extracts a key range for a newer joiner and hands it over.
-func (n *Node) applyTransfer(ctx *sim.Context, m transferCmd) {
+func (n *Node) applyTransfer(ctx *transport.Context, m transferCmd) {
 	if n.churn.rangeValid {
 		// Shrink our owned range; anything arriving later for the split
 		// part will be re-dispatched by ingest.
@@ -781,7 +783,7 @@ func (n *Node) applyTransfer(ctx *sim.Context, m transferCmd) {
 // ownership-aware dispatch, so data that raced past a topology change
 // keeps moving until it reaches its current owner; nothing is ever
 // stranded or lost.
-func (n *Node) ingest(ctx *sim.Context, ents []dht.Entry, parked []dht.ParkedEntry) {
+func (n *Node) ingest(ctx *transport.Context, ents []dht.Entry, parked []dht.ParkedEntry) {
 	for _, p := range parked {
 		n.dispatchDHT(ctx, n.cl.keyHash.Frac(uint64(p.Pos)), migrateParked{Pos: p.Pos, W: p.Waiter})
 	}
@@ -796,7 +798,7 @@ func (n *Node) RequestLeave() { n.churn.leaving = true }
 
 // executeLeave hands the node's transferable state to the left neighbour
 // (§IV-B). The node has drained all client-attributed state by now.
-func (n *Node) executeLeave(ctx *sim.Context) {
+func (n *Node) executeLeave(ctx *transport.Context) {
 	c := &n.churn
 	snap := nodeSnapshot{
 		Self: n.self, Pred: n.pred, Succ: n.succ,
@@ -812,17 +814,17 @@ func (n *Node) executeLeave(ctx *sim.Context) {
 	ctx.Send(n.pred.ID, leaveHandoff{Snap: snap})
 	// Buffer everything until the replacement tells us its address.
 	c.departed = true
-	c.forwardTo = sim.None
+	c.forwardTo = transport.None
 	ctx.StopTimeouts(ctx.Self())
 	n.cl.noteDeparted(n)
 }
 
 // spawnReplacement creates the replacement node v' for a departed right
 // neighbour and becomes responsible for it (§IV-B).
-func (n *Node) spawnReplacement(ctx *sim.Context, snap nodeSnapshot) {
+func (n *Node) spawnReplacement(ctx *transport.Context, snap nodeSnapshot) {
 	repl := &Node{
 		cl:   n.cl,
-		self: ldb.Ref{ID: sim.None, Point: snap.Self.Point, Kind: snap.Self.Kind},
+		self: ldb.Ref{ID: transport.None, Point: snap.Self.Point, Kind: snap.Self.Kind},
 		pred: snap.Pred, succ: snap.Succ,
 		sibL: snap.SibL, sibM: snap.SibM, sibR: snap.SibR,
 		anchorRole:  snap.AnchorRole,
@@ -854,11 +856,11 @@ func (n *Node) spawnReplacement(ctx *sim.Context, snap nodeSnapshot) {
 	// Tell everyone who knew the old node, including the departed node
 	// itself so it can start forwarding. The order is deterministic: the
 	// engine schedule must not depend on map iteration.
-	targets := []sim.NodeID{snap.Self.ID}
-	seen := map[sim.NodeID]bool{snap.Self.ID: true, n.self.ID: true}
+	targets := []transport.NodeID{snap.Self.ID}
+	seen := map[transport.NodeID]bool{snap.Self.ID: true, n.self.ID: true}
 	candidates := []ldb.Ref{snap.Pred, snap.Succ, snap.SibL, snap.SibM, snap.SibR}
 	for _, j := range snap.Joiners {
-		candidates = append(candidates, j.ref)
+		candidates = append(candidates, j.Ref)
 	}
 	for _, r := range candidates {
 		if r.Valid() && !seen[r.ID] {
@@ -887,7 +889,7 @@ func (n *Node) applyRedirect(old, new ldb.Ref) {
 	rw(&n.sibR)
 	rw(&n.churn.relayVia)
 	for i := range n.churn.joiners {
-		rw(&n.churn.joiners[i].ref)
+		rw(&n.churn.joiners[i].Ref)
 	}
 	for i := range n.churn.grantsPending {
 		rw(&n.churn.grantsPending[i])
@@ -896,7 +898,7 @@ func (n *Node) applyRedirect(old, new ldb.Ref) {
 
 // absorb ingests a dissolving replacement: its data, successor, relayed
 // joiners, pending duties, and possibly the anchor role (§IV-B).
-func (n *Node) absorb(ctx *sim.Context, from sim.NodeID, m absorbMsg) {
+func (n *Node) absorb(ctx *transport.Context, from transport.NodeID, m absorbMsg) {
 	// Splice first: ingest re-dispatches anything we do not own, so the
 	// ring view must already cover the absorbed range.
 	if m.Succ.ID != from && m.Succ.ID != n.self.ID {
@@ -910,7 +912,7 @@ func (n *Node) absorb(ctx *sim.Context, from sim.NodeID, m absorbMsg) {
 	n.ingest(ctx, m.Entries, m.Parked)
 	n.churn.joiners = append(n.churn.joiners, m.Joiners...)
 	sort.Slice(n.churn.joiners, func(i, j int) bool {
-		return n.cwLess(n.churn.joiners[i].ref.Point, n.churn.joiners[j].ref.Point)
+		return n.cwLess(n.churn.joiners[i].Ref.Point, n.churn.joiners[j].Ref.Point)
 	})
 	n.churn.grantsPending = append(n.churn.grantsPending, m.Grants...)
 	n.churn.grantedOpen += m.GrantedOpen
@@ -925,7 +927,7 @@ func (n *Node) absorb(ctx *sim.Context, from sim.NodeID, m absorbMsg) {
 }
 
 // receiveAnchorWalk accepts or forwards the travelling anchor role.
-func (n *Node) receiveAnchorWalk(ctx *sim.Context, m anchorWalk) {
+func (n *Node) receiveAnchorWalk(ctx *transport.Context, m anchorWalk) {
 	if n.churn.departed {
 		n.churn.forwardOrBuffer(ctx, n, m)
 		return
@@ -956,7 +958,7 @@ func (n *Node) receiveAnchorWalk(ctx *sim.Context, m anchorWalk) {
 // depart switches the node into pure-forwarder mode towards a known peer.
 // Any DHT content that arrived after the handoff snapshot is flushed to
 // the forwarding target, which re-homes it.
-func (n *Node) depart(ctx *sim.Context, forwardTo sim.NodeID) {
+func (n *Node) depart(ctx *transport.Context, forwardTo transport.NodeID) {
 	n.churn.departed = true
 	n.churn.forwardTo = forwardTo
 	if ents, parked := n.store.ExtractAll(); len(ents) > 0 || len(parked) > 0 {
@@ -969,8 +971,8 @@ func (n *Node) depart(ctx *sim.Context, forwardTo sim.NodeID) {
 
 // forwardOrBuffer relays a message for a departed node, or holds it until
 // the forwarding target is known.
-func (c *churnState) forwardOrBuffer(ctx *sim.Context, n *Node, payload any) {
-	if c.forwardTo == sim.None {
+func (c *churnState) forwardOrBuffer(ctx *transport.Context, n *Node, payload any) {
+	if c.forwardTo == transport.None {
 		c.buffer = append(c.buffer, payload)
 		return
 	}
@@ -978,7 +980,7 @@ func (c *churnState) forwardOrBuffer(ctx *sim.Context, n *Node, payload any) {
 	ctx.Send(c.forwardTo, payload)
 }
 
-func (c *churnState) flushBuffer(ctx *sim.Context, n *Node) {
+func (c *churnState) flushBuffer(ctx *transport.Context, n *Node) {
 	buf := c.buffer
 	c.buffer = nil
 	for _, m := range buf {
@@ -988,7 +990,7 @@ func (c *churnState) flushBuffer(ctx *sim.Context, n *Node) {
 
 // handleDeparted processes messages at a departed node: the redirect that
 // names our replacement is consumed; everything else is forwarded.
-func (n *Node) handleDeparted(ctx *sim.Context, payload any) {
+func (n *Node) handleDeparted(ctx *transport.Context, payload any) {
 	if m, ok := payload.(redirectMsg); ok && m.Old.ID == n.self.ID {
 		n.churn.forwardTo = m.New.ID
 		n.churn.flushBuffer(ctx, n)

@@ -335,7 +335,7 @@ func TestManyJoinsAtOnce(t *testing.T) {
 	if got := cl.LiveRing().Len(); got != 30 {
 		t.Fatalf("ring has %d nodes, want 30", got)
 	}
-	// System functional afterwards.
+	// The system stays functional afterwards.
 	for i := 0; i < 10; i++ {
 		cl.Enqueue(cl.Client(i % 10))
 	}

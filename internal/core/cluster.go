@@ -9,6 +9,7 @@ import (
 	"skueue/internal/ldb"
 	"skueue/internal/seqcheck"
 	"skueue/internal/sim"
+	"skueue/internal/transport"
 	"skueue/internal/xrand"
 )
 
@@ -39,12 +40,19 @@ type Config struct {
 	// UpdateThreshold is the number of pending join/leave requests the
 	// anchor requires before starting an update phase; default 1.
 	UpdateThreshold int
+	// AckAllPuts makes every PUT acknowledged to its issuer, not only the
+	// stack-mode ones the §VI completion wait needs. Networked members set
+	// it: an enqueue's completion is recorded at the member storing the
+	// element, so the issuing member needs the ack to resolve its client's
+	// blocking call. The simulator leaves it off (one cluster sees every
+	// completion).
+	AckAllPuts bool
 }
 
 // Process groups the three virtual nodes a process emulates.
 type Process struct {
 	ID    int32
-	Nodes [3]sim.NodeID // indexed by ldb.Kind: Left, Middle, Right
+	Nodes [3]transport.NodeID // indexed by ldb.Kind: Left, Middle, Right
 	// Joining is true until all three nodes have been integrated.
 	Joining bool
 	// Left is true once the process has requested to leave.
@@ -91,22 +99,36 @@ func (m *Metrics) AvgRouteHops() float64 {
 	return float64(m.RouteHops) / float64(m.RouteMsgs)
 }
 
-// Cluster is a simulated Skueue deployment: the engine, the processes and
-// their virtual nodes, and the execution history.
+// Cluster is one deployment's view of the Skueue protocol: the processes
+// and virtual nodes it hosts, the backend delivering their messages, and
+// the completion history recorded here.
+//
+// Under the simulator (New) a Cluster owns every node of the system and
+// the engine driving them. Under the TCP transport (NewMember) each
+// operating-system process holds one Cluster covering only its local
+// nodes; the engine is absent, simulation-only methods (Step, Run, Drain,
+// Engine, ...) must not be called, and counters such as Issued, Finished
+// and the history are member-local.
 type Cluster struct {
-	cfg        Config
-	eng        *sim.Engine
-	labels     xrand.Hasher
-	keyHash    xrand.Hasher
-	procs      []*Process
-	nodes      map[sim.NodeID]*Node
-	hist       *seqcheck.History
-	metrics    Metrics
-	issued     int64
-	finished   int64
+	cfg      Config
+	eng      *sim.Engine       // simulator backend; nil in member mode
+	net      transport.Network // message delivery (the engine, or a TCP peer)
+	reg      transport.Registry
+	labels   xrand.Hasher
+	keyHash  xrand.Hasher
+	procs    []*Process
+	nodes    map[transport.NodeID]*Node
+	hist     *seqcheck.History
+	metrics  Metrics
+	issued   int64
+	finished int64
+	// reqBase tags this member's request IDs so they stay globally unique
+	// across a networked cluster; zero under the simulator.
+	reqBase    uint64
 	reqSeq     uint64
 	nextProc   int32
 	onComplete func(seqcheck.Completion)
+	onPutAck   func(reqID uint64)
 }
 
 // New builds and wires a cluster. All processes given in the config are
@@ -119,7 +141,7 @@ func New(cfg Config) (*Cluster, error) {
 		cfg:     cfg,
 		labels:  xrand.NewHasher(cfg.Seed, "labels"),
 		keyHash: xrand.NewHasher(cfg.Seed, "positions"),
-		nodes:   make(map[sim.NodeID]*Node),
+		nodes:   make(map[transport.NodeID]*Node),
 		hist:    &seqcheck.History{},
 	}
 	cl.eng = sim.New(sim.Config{
@@ -129,6 +151,7 @@ func New(cfg Config) (*Cluster, error) {
 		TimeoutEvery:    cfg.TimeoutEvery,
 		ShuffleTimeouts: cfg.ShuffleTimeouts,
 	})
+	cl.net = cl.eng
 
 	// Spawn all initial nodes, then wire the ring and the sibling edges.
 	var refs []ldb.Ref
@@ -154,11 +177,25 @@ func New(cfg Config) (*Cluster, error) {
 	return cl, nil
 }
 
-// spawnProcess creates the three virtual nodes of a fresh process. The
-// caller decides whether they start integrated (bootstrap) or joining.
+// spawnProcess creates the three virtual nodes of a fresh process under
+// the next free process ID. The caller decides whether they start
+// integrated (bootstrap) or joining.
 func (cl *Cluster) spawnProcess() (*Process, [3]ldb.Ref) {
 	pid := cl.nextProc
 	cl.nextProc++
+	return cl.spawnProcessAt(pid)
+}
+
+// NodeIDForProcess is the globally agreed node address of process pid's
+// virtual node of the given kind under backends with caller-chosen
+// addresses (transport.Registry). The simulator's dense spawn order
+// produces the same IDs for bootstrap processes.
+func NodeIDForProcess(pid int32, kind ldb.Kind) transport.NodeID {
+	return transport.NodeID(pid*3 + int32(kind))
+}
+
+// spawnProcessAt creates the three virtual nodes of process pid.
+func (cl *Cluster) spawnProcessAt(pid int32) (*Process, [3]ldb.Ref) {
 	l, m, r := ldb.ProcessPoints(cl.labels, uint64(pid))
 	proc := &Process{ID: pid, Joining: true}
 	var prefs [3]ldb.Ref
@@ -171,13 +208,19 @@ func (cl *Cluster) spawnProcess() (*Process, [3]ldb.Ref) {
 			pendingGets: make(map[uint64]getCtx),
 			// Until wired, every ref must be explicitly invalid; the zero
 			// Ref would silently address node 0.
-			pred: ldb.Ref{ID: sim.None},
-			succ: ldb.Ref{ID: sim.None},
+			pred: ldb.Ref{ID: transport.None},
+			succ: ldb.Ref{ID: transport.None},
 		}
 		n.churn.joining = true
-		n.churn.relayVia = ldb.Ref{ID: sim.None}
+		n.churn.relayVia = ldb.Ref{ID: transport.None}
 		n.sibIn[kind] = true
-		id := cl.eng.Spawn(n)
+		var id transport.NodeID
+		if cl.reg != nil {
+			id = NodeIDForProcess(pid, kind)
+			cl.reg.Register(id, n)
+		} else {
+			id = cl.eng.Spawn(n)
+		}
 		n.self = ldb.Ref{ID: id, Point: pt, Kind: kind}
 		n.clientID = int32(id)
 		cl.nodes[id] = n
@@ -200,9 +243,19 @@ func (cl *Cluster) updateThreshold() int {
 	return cl.cfg.UpdateThreshold
 }
 
+// ReqIDMemberShift positions the issuing member's tag in a request ID:
+// the high bits carry memberIndex+1 (zero = simulator), the low 40 bits
+// the member-local sequence — ~10^12 requests per member before overflow.
+const ReqIDMemberShift = 40
+
+// ReqIDMember extracts the member tag of a request ID (memberIndex+1, or
+// zero under the simulator). The server layer uses it to recognize
+// completions of its own requests in a merged world.
+func ReqIDMember(reqID uint64) uint64 { return reqID >> ReqIDMemberShift }
+
 func (cl *Cluster) nextReqID() uint64 {
 	cl.reqSeq++
-	return cl.reqSeq
+	return cl.reqBase | cl.reqSeq
 }
 
 func (cl *Cluster) recordCompletion(c seqcheck.Completion) {
@@ -214,8 +267,15 @@ func (cl *Cluster) recordCompletion(c seqcheck.Completion) {
 }
 
 // SetOnComplete registers a callback invoked for every completed request
-// (the facade uses it to resolve user-facing handles).
+// (the client layer uses it to resolve futures; a networked member uses
+// it to answer remote clients).
 func (cl *Cluster) SetOnComplete(fn func(seqcheck.Completion)) { cl.onComplete = fn }
+
+// SetOnPutAck registers a callback invoked when a PUT issued by one of
+// this cluster's nodes is acknowledged as stored. With Config.AckAllPuts
+// set this covers every enqueue, which is how a networked member resolves
+// enqueues whose completion was recorded at the storing member.
+func (cl *Cluster) SetOnPutAck(fn func(reqID uint64)) { cl.onPutAck = fn }
 
 func (cl *Cluster) noteDeparted(n *Node)    { delete(cl.nodes, n.self.ID) }
 func (cl *Cluster) noteReplacement(n *Node) { cl.nodes[n.self.ID] = n }
@@ -256,21 +316,21 @@ func (cl *Cluster) Mode() batch.Mode { return cl.cfg.Mode }
 func (cl *Cluster) Processes() []*Process { return cl.procs }
 
 // Node returns the live node with the given id, if present.
-func (cl *Cluster) Node(id sim.NodeID) (*Node, bool) {
+func (cl *Cluster) Node(id transport.NodeID) (*Node, bool) {
 	n, ok := cl.nodes[id]
 	return n, ok
 }
 
 // Client returns the virtual node a process issues requests through (its
-// middle node, per the facade convention).
-func (cl *Cluster) Client(proc int) sim.NodeID {
+// middle node, per the client layer's convention).
+func (cl *Cluster) Client(proc int) transport.NodeID {
 	return cl.procs[proc].Nodes[ldb.Middle]
 }
 
 // ActiveClients lists nodes eligible to issue requests: live, not
 // departed, not leaving, not replacements.
-func (cl *Cluster) ActiveClients() []sim.NodeID {
-	var out []sim.NodeID
+func (cl *Cluster) ActiveClients() []transport.NodeID {
+	var out []transport.NodeID
 	for _, p := range cl.procs {
 		if p.Left {
 			continue
@@ -286,21 +346,27 @@ func (cl *Cluster) ActiveClients() []sim.NodeID {
 }
 
 // Enqueue buffers an ENQUEUE (PUSH) request at the given client node.
-func (cl *Cluster) Enqueue(client sim.NodeID) uint64 {
+func (cl *Cluster) Enqueue(client transport.NodeID) uint64 {
+	return cl.EnqueueBlob(client, nil)
+}
+
+// EnqueueBlob is Enqueue with an opaque application payload that rides
+// with the element through the DHT (see Node.InjectEnqueueBlob).
+func (cl *Cluster) EnqueueBlob(client transport.NodeID, blob []byte) uint64 {
 	n, ok := cl.nodes[client]
 	if !ok {
 		panic(fmt.Sprintf("core: Enqueue at unknown node %d", client))
 	}
-	return n.InjectEnqueue(cl.eng.Now())
+	return n.InjectEnqueueBlob(cl.net.Now(), blob)
 }
 
 // Dequeue buffers a DEQUEUE (POP) request at the given client node.
-func (cl *Cluster) Dequeue(client sim.NodeID) uint64 {
+func (cl *Cluster) Dequeue(client transport.NodeID) uint64 {
 	n, ok := cl.nodes[client]
 	if !ok {
 		panic(fmt.Sprintf("core: Dequeue at unknown node %d", client))
 	}
-	return n.InjectDequeue(cl.eng.Now())
+	return n.InjectDequeue(cl.net.Now())
 }
 
 // Step advances the simulation by one round (or one event when async).
@@ -335,7 +401,7 @@ func (cl *Cluster) JoinProcess(contactProc int) int {
 	}
 	proc, prefs := cl.spawnProcess()
 	for _, ref := range prefs {
-		cl.eng.Inject(ref.ID, contactID, routedMsg{
+		cl.net.Send(ref.ID, contactID, routedMsg{
 			RS:    ldb.RouteState{Target: ref.Point.Label, BitsLeft: -1},
 			Inner: joinReq{NewNode: ref},
 		})

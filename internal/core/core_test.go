@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"skueue/internal/batch"
@@ -298,7 +299,7 @@ func TestDeterministicRuns(t *testing.T) {
 		t.Fatalf("history lengths differ: %d vs %d", len(a), len(b))
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if !reflect.DeepEqual(a[i], b[i]) {
 			t.Fatalf("divergence at op %d: %+v vs %+v", i, a[i], b[i])
 		}
 	}

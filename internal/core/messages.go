@@ -5,7 +5,7 @@ import (
 	"skueue/internal/dht"
 	"skueue/internal/fixpoint"
 	"skueue/internal/ldb"
-	"skueue/internal/sim"
+	"skueue/internal/transport"
 )
 
 // aggregateMsg carries a combined batch one hop up the aggregation tree
@@ -39,8 +39,9 @@ type putReq struct {
 	Pos    int64
 	Ticket int64
 	Elem   dht.Element
+	Blob   []byte // opaque application payload stored with the element
 
-	Requester sim.NodeID
+	Requester transport.NodeID
 	ReqID     uint64
 	Born      int64
 	Client    int32
@@ -53,7 +54,7 @@ type putReq struct {
 type getReq struct {
 	Pos       int64
 	Bound     int64
-	Requester sim.NodeID
+	Requester transport.NodeID
 	ReqID     uint64
 }
 

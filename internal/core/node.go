@@ -8,8 +8,8 @@ import (
 	"skueue/internal/fixpoint"
 	"skueue/internal/ldb"
 	"skueue/internal/seqcheck"
-	"skueue/internal/sim"
 	"skueue/internal/stack"
+	"skueue/internal/transport"
 )
 
 // pendingOp is one locally generated, not-yet-assigned queue operation.
@@ -19,21 +19,24 @@ type pendingOp struct {
 	reqID    uint64
 	born     int64
 	localSeq int64
+	blob     []byte // opaque payload riding with an enqueue (networked mode)
 }
 
 // subBatch remembers one component of the processing batch and where it
-// came from: a child's sub-batch, or (from == sim.None) the node's own
-// buffered operations.
+// came from: a child's sub-batch, or (From == transport.None) the node's
+// own buffered operations. Fields are exported because sub-batches travel
+// inside leave handoffs and absorb messages, which cross the wire under
+// the TCP transport.
 type subBatch struct {
-	from sim.NodeID
-	b    batch.Batch
+	From transport.NodeID
+	B    batch.Batch
 }
 
 // ownWave is the node's own contribution to the current processing batch:
 // the operations in order plus their run encoding.
 type ownWave struct {
 	ops []pendingOp
-	b   batch.Batch
+	B   batch.Batch
 }
 
 // getCtx is what the requester remembers about an in-flight GET.
@@ -45,7 +48,7 @@ type getCtx struct {
 
 // Node is one virtual node of the linearized De Bruijn network running the
 // Skueue protocol. A process emulates three of them (§II-A); each is an
-// independent sim.Handler.
+// independent transport.Handler.
 type Node struct {
 	cl   *Cluster
 	self ldb.Ref
@@ -97,7 +100,7 @@ type Node struct {
 	churn churnState
 }
 
-var _ sim.Handler = (*Node)(nil)
+var _ transport.Handler = (*Node)(nil)
 
 // nb assembles the local neighbourhood view for the topology rules.
 func (n *Node) nb() ldb.Neighborhood {
@@ -136,7 +139,7 @@ func (n *Node) children() []ldb.Ref {
 	out := make([]ldb.Ref, 0, len(n.childCache)+len(n.churn.joiners))
 	out = append(out, n.childCache...)
 	for _, j := range n.churn.joiners {
-		out = append(out, j.ref)
+		out = append(out, j.Ref)
 	}
 	return out
 }
@@ -146,13 +149,13 @@ func (n *Node) invalidateTopology() { n.childCacheOK = false }
 
 // OnInit is a no-op: bootstrap wiring happens in Cluster before the run,
 // and runtime spawns (join, leave replacement) wire explicitly.
-func (n *Node) OnInit(ctx *sim.Context) {}
+func (n *Node) OnInit(ctx *transport.Context) {}
 
 // OnTimeout is the paper's TIMEOUT action (Algorithm 1): when the
 // processing batch is empty and every child contributed a sub-batch, fold
 // the waiting data into the processing batch and push it towards the
 // anchor — or, at the anchor, assign positions immediately.
-func (n *Node) OnTimeout(ctx *sim.Context) {
+func (n *Node) OnTimeout(ctx *transport.Context) {
 	if n.churn.departed {
 		return
 	}
@@ -183,13 +186,13 @@ func (n *Node) OnTimeout(ctx *sim.Context) {
 // sender blocks on being served, while the wave that would serve it blocks
 // (transitively) on that sender's next batch. Bouncing makes the sender
 // re-buffer and resubmit through its current parent.
-func (n *Node) bounceStaleWaiting(ctx *sim.Context) {
+func (n *Node) bounceStaleWaiting(ctx *transport.Context) {
 	kids := n.children()
 	keep := n.waiting[:0]
 	for _, w := range n.waiting {
 		current := false
 		for _, k := range kids {
-			if k.ID == w.from {
+			if k.ID == w.From {
 				current = true
 				break
 			}
@@ -197,7 +200,7 @@ func (n *Node) bounceStaleWaiting(ctx *sim.Context) {
 		if current {
 			keep = append(keep, w)
 		} else {
-			ctx.Send(w.from, rejectBatch{B: w.b})
+			ctx.Send(w.From, rejectBatch{B: w.B})
 		}
 	}
 	n.waiting = keep
@@ -211,7 +214,7 @@ func (n *Node) stage4Gated() bool {
 
 // isCurrentChild reports whether id is one of our aggregation-tree
 // children right now.
-func (n *Node) isCurrentChild(id sim.NodeID) bool {
+func (n *Node) isCurrentChild(id transport.NodeID) bool {
 	for _, c := range n.children() {
 		if c.ID == id {
 			return true
@@ -220,9 +223,9 @@ func (n *Node) isCurrentChild(id sim.NodeID) bool {
 	return false
 }
 
-func (n *Node) hasWaitingFrom(id sim.NodeID) bool {
+func (n *Node) hasWaitingFrom(id transport.NodeID) bool {
 	for _, w := range n.waiting {
-		if w.from == id {
+		if w.From == id {
 			return true
 		}
 	}
@@ -238,30 +241,30 @@ func (n *Node) takeOwnOps() ownWave {
 			w.ops = append(w.ops, pendingOp{isDeq: true, reqID: p.ReqID, born: p.Born, localSeq: p.LocalSeq})
 		}
 		for _, p := range pushes {
-			w.ops = append(w.ops, pendingOp{elem: p.Elem, reqID: p.ReqID, born: p.Born, localSeq: p.LocalSeq})
+			w.ops = append(w.ops, pendingOp{elem: p.Elem, reqID: p.ReqID, born: p.Born, localSeq: p.LocalSeq, blob: p.Blob})
 		}
-		w.b = batch.MakeStack(int64(len(pops)), int64(len(pushes)))
+		w.B = batch.MakeStack(int64(len(pops)), int64(len(pushes)))
 		return w
 	}
 	w.ops = n.pending
 	n.pending = nil
 	for _, op := range w.ops {
 		if op.isDeq {
-			w.b.AppendDequeue()
+			w.B.AppendDequeue()
 		} else {
-			w.b.AppendEnqueue()
+			w.B.AppendEnqueue()
 		}
 	}
 	return w
 }
 
 // fire executes the Stage 1 transfer W -> B (Algorithm 1).
-func (n *Node) fire(ctx *sim.Context) {
+func (n *Node) fire(ctx *transport.Context) {
 	own := n.takeOwnOps()
-	own.b.J = n.churn.takeJoinCount()
-	own.b.L = n.churn.takeLeaveCount()
+	own.B.J = n.churn.takeJoinCount()
+	own.B.L = n.churn.takeLeaveCount()
 	subs := make([]subBatch, 0, 1+len(n.waiting))
-	subs = append(subs, subBatch{from: sim.None, b: own.b})
+	subs = append(subs, subBatch{From: transport.None, B: own.B})
 	subs = append(subs, n.waiting...)
 	n.waiting = nil
 	n.inBatch = subs
@@ -269,7 +272,7 @@ func (n *Node) fire(ctx *sim.Context) {
 
 	parts := make([]batch.Batch, len(subs))
 	for i, sb := range subs {
-		parts[i] = sb.b
+		parts[i] = sb.B
 	}
 	combined := batch.Combine(parts...)
 	n.cl.metrics.noteBatch(combined)
@@ -299,9 +302,9 @@ func (n *Node) fire(ctx *sim.Context) {
 // restoreOwn undoes a fire that could not proceed (rare churn corner).
 func (n *Node) restoreOwn(own ownWave, kids []subBatch) {
 	if n.cl.cfg.Mode == batch.Stack && !n.cl.cfg.DisableLocalCombining {
-		a := own.b.NumDequeues()
+		a := own.B.NumDequeues()
 		for i, op := range own.ops {
-			sop := stack.PendingOp{ReqID: op.reqID, Elem: op.elem, Born: op.born, LocalSeq: op.localSeq}
+			sop := stack.PendingOp{ReqID: op.reqID, Elem: op.elem, Born: op.born, LocalSeq: op.localSeq, Blob: op.blob}
 			if int64(i) < a {
 				n.combiner.RestorePop(sop)
 			} else {
@@ -311,24 +314,24 @@ func (n *Node) restoreOwn(own ownWave, kids []subBatch) {
 	} else {
 		n.pending = append(own.ops, n.pending...)
 	}
-	n.churn.restoreCounts(own.b.J, own.b.L)
+	n.churn.restoreCounts(own.B.J, own.B.L)
 	n.waiting = append(kids, n.waiting...)
 }
 
 // assignAndServe is Stage 2 at the anchor (Algorithm 2: ASSIGN).
-func (n *Node) assignAndServe(ctx *sim.Context, combined batch.Batch) {
+func (n *Node) assignAndServe(ctx *transport.Context, combined batch.Batch) {
 	n.cl.metrics.WavesAssigned++
 	epoch := n.churn.anchorObserve(n, combined)
 	assigns := n.ast.Assign(n.cl.cfg.Mode, combined)
 	n.cl.metrics.noteQueueSize(n.ast.Size())
-	n.serve(ctx, assigns, epoch, sim.None)
+	n.serve(ctx, assigns, epoch, transport.None)
 }
 
 // serve is Stage 3 (Algorithm 2: SERVE): decompose the run assignments
 // over the remembered sub-batches and forward each share — down the tree
 // for child batches, into Stage 4 for own operations. A non-zero epoch
 // starts the update phase of §IV.
-func (n *Node) serve(ctx *sim.Context, assigns []batch.RunAssign, epoch int64, from sim.NodeID) {
+func (n *Node) serve(ctx *transport.Context, assigns []batch.RunAssign, epoch int64, from transport.NodeID) {
 	if n.inBatch == nil {
 		panic(fmt.Sprintf("core: node %v received SERVE without a processing batch", n.self))
 	}
@@ -341,11 +344,11 @@ func (n *Node) serve(ctx *sim.Context, assigns []batch.RunAssign, epoch int64, f
 		n.churn.enterUpdatePhase(ctx, from, epoch, subs)
 	}
 	for _, sb := range subs {
-		d := batch.Decompose(n.cl.cfg.Mode, assigns, sb.b)
-		if sb.from == sim.None {
+		d := batch.Decompose(n.cl.cfg.Mode, assigns, sb.B)
+		if sb.From == transport.None {
 			n.applyOwn(ctx, own, d)
 		} else {
-			ctx.Send(sb.from, serveMsg{Assigns: d, UpdateEpoch: epoch})
+			ctx.Send(sb.From, serveMsg{Assigns: d, UpdateEpoch: epoch})
 		}
 	}
 	if epoch != 0 {
@@ -355,9 +358,9 @@ func (n *Node) serve(ctx *sim.Context, assigns []batch.RunAssign, epoch int64, f
 
 // applyOwn is Stage 4 for the node's own operations: turn every assigned
 // position into a PUT or GET, and complete ⊥ dequeues immediately.
-func (n *Node) applyOwn(ctx *sim.Context, own ownWave, d []batch.RunAssign) {
+func (n *Node) applyOwn(ctx *transport.Context, own ownWave, d []batch.RunAssign) {
 	cur := 0
-	for ri, k := range own.b.Runs {
+	for ri, k := range own.B.Runs {
 		ops := batch.Expand(n.cl.cfg.Mode, ri, d[ri], k)
 		for j := int64(0); j < k; j++ {
 			n.dispatchOp(ctx, own.ops[cur], ops[j], batch.IsDeqIndex(ri))
@@ -369,7 +372,7 @@ func (n *Node) applyOwn(ctx *sim.Context, own ownWave, d []batch.RunAssign) {
 	}
 }
 
-func (n *Node) dispatchOp(ctx *sim.Context, po pendingOp, oa batch.OpAssign, isDeq bool) {
+func (n *Node) dispatchOp(ctx *transport.Context, po pendingOp, oa batch.OpAssign, isDeq bool) {
 	if isDeq && oa.Pos == batch.NoPosition {
 		// Empty-structure dequeue: returns ⊥ right here (§III-E).
 		n.cl.recordCompletion(seqcheck.Completion{
@@ -399,7 +402,7 @@ func (n *Node) dispatchOp(ctx *sim.Context, po pendingOp, oa batch.OpAssign, isD
 		n.outstanding++
 	}
 	n.sendRouted(ctx, key, putReq{
-		Pos: oa.Pos, Ticket: ticket, Elem: po.elem,
+		Pos: oa.Pos, Ticket: ticket, Elem: po.elem, Blob: po.blob,
 		Requester: n.self.ID, ReqID: po.reqID, Born: po.born,
 		Client: n.clientID, LocalSeq: po.localSeq, Value: oa.Value,
 	})
@@ -408,7 +411,7 @@ func (n *Node) dispatchOp(ctx *sim.Context, po pendingOp, oa batch.OpAssign, isD
 // sendRouted starts LDB routing of a payload towards key, beginning at
 // this node. A joining node that is not yet part of the ring injects the
 // message through the node responsible for it instead (§IV-A).
-func (n *Node) sendRouted(ctx *sim.Context, key fixpoint.Frac, inner any) {
+func (n *Node) sendRouted(ctx *transport.Context, key fixpoint.Frac, inner any) {
 	if n.churn.relayVia.Valid() {
 		ctx.Send(n.churn.relayVia.ID, routedMsg{RS: ldb.RouteState{Target: key, BitsLeft: -1}, Inner: inner})
 		return
@@ -418,7 +421,7 @@ func (n *Node) sendRouted(ctx *sim.Context, key fixpoint.Frac, inner any) {
 }
 
 // routeStep advances a routed message by one hop, or consumes it here.
-func (n *Node) routeStep(ctx *sim.Context, m routedMsg) {
+func (n *Node) routeStep(ctx *transport.Context, m routedMsg) {
 	if n.churn.joining {
 		// We do not know our ring neighbours yet; deciding now could
 		// misdeliver. Hold the message until integration (§IV-A: a request
@@ -441,7 +444,7 @@ func (n *Node) routeStep(ctx *sim.Context, m routedMsg) {
 }
 
 // deliverRouted handles a payload that routing delivered at this node.
-func (n *Node) deliverRouted(ctx *sim.Context, key fixpoint.Frac, inner any) {
+func (n *Node) deliverRouted(ctx *transport.Context, key fixpoint.Frac, inner any) {
 	switch inner.(type) {
 	case putReq, getReq, migrateEntry, migrateParked:
 		n.dispatchDHT(ctx, key, inner)
@@ -455,9 +458,9 @@ func (n *Node) deliverRouted(ctx *sim.Context, key fixpoint.Frac, inner any) {
 // when ownership moved while the payload was in flight — the ring, via a
 // fresh route. This single choke point makes data placement self-healing
 // under churn.
-func (n *Node) dispatchDHT(ctx *sim.Context, key fixpoint.Frac, inner any) {
+func (n *Node) dispatchDHT(ctx *transport.Context, key fixpoint.Frac, inner any) {
 	if j, ok := n.churn.joinerFor(key, n.self); ok {
-		ctx.Send(j.ref.ID, directMsg{Key: key, Inner: inner})
+		ctx.Send(j.Ref.ID, directMsg{Key: key, Inner: inner})
 		return
 	}
 	if n.churn.joining {
@@ -477,17 +480,17 @@ func (n *Node) dispatchDHT(ctx *sim.Context, key fixpoint.Frac, inner any) {
 }
 
 // handleDHT executes a delivered PUT or GET against the local fragment.
-func (n *Node) handleDHT(ctx *sim.Context, inner any) {
+func (n *Node) handleDHT(ctx *transport.Context, inner any) {
 	switch m := inner.(type) {
 	case putReq:
-		released := n.store.Put(m.Pos, m.Ticket, m.Elem)
+		released := n.store.PutBlob(m.Pos, m.Ticket, m.Elem, m.Blob)
 		// The enqueue finishes the moment its element is stored (§VII).
 		n.cl.recordCompletion(seqcheck.Completion{
 			Client: m.Client, LocalSeq: m.LocalSeq,
 			Kind: seqcheck.Enqueue, Elem: m.Elem,
 			Value: m.Value, Born: m.Born, Done: ctx.Now(), ReqID: m.ReqID,
 		})
-		if n.cl.cfg.Mode == batch.Stack {
+		if n.cl.cfg.Mode == batch.Stack || n.cl.cfg.AckAllPuts {
 			ctx.Send(m.Requester, putAck{ReqID: m.ReqID})
 		}
 		for _, rel := range released {
@@ -518,7 +521,7 @@ func (n *Node) handleDHT(ctx *sim.Context, inner any) {
 }
 
 // OnMessage dispatches a delivered message (a remote action call).
-func (n *Node) OnMessage(ctx *sim.Context, from sim.NodeID, payload any) {
+func (n *Node) OnMessage(ctx *transport.Context, from transport.NodeID, payload any) {
 	if n.churn.departed {
 		// A replaced node only forwards until the ring forgets it (§IV-B).
 		n.handleDeparted(ctx, payload)
@@ -538,7 +541,7 @@ func (n *Node) OnMessage(ctx *sim.Context, from sim.NodeID, payload any) {
 		if n.hasWaitingFrom(m.From.ID) {
 			panic(fmt.Sprintf("core: node %v got a second sub-batch from child %v within one wave", n.self, m.From))
 		}
-		n.waiting = append(n.waiting, subBatch{from: m.From.ID, b: m.B})
+		n.waiting = append(n.waiting, subBatch{From: m.From.ID, B: m.B})
 	case serveMsg:
 		n.serve(ctx, m.Assigns, m.UpdateEpoch, from)
 	case routedMsg:
@@ -558,9 +561,15 @@ func (n *Node) OnMessage(ctx *sim.Context, from sim.NodeID, payload any) {
 			Client: n.clientID, LocalSeq: gc.localSeq,
 			Kind: seqcheck.Dequeue, Elem: m.Entry.Elem,
 			Value: gc.value, Born: gc.born, Done: ctx.Now(), ReqID: m.ReqID,
+			Blob: m.Entry.Blob,
 		})
 	case putAck:
-		n.outstanding--
+		if n.cl.cfg.Mode == batch.Stack {
+			n.outstanding--
+		}
+		if n.cl.onPutAck != nil {
+			n.cl.onPutAck(m.ReqID)
+		}
 	default:
 		if !n.handleChurn(ctx, from, payload) {
 			panic(fmt.Sprintf("core: node %v cannot handle message %T", n.self, payload))
@@ -572,13 +581,21 @@ func (n *Node) OnMessage(ctx *sim.Context, from sim.NodeID, payload any) {
 // called by the workload driver between rounds, mirroring the paper's
 // "nodes generate requests" — generation itself costs no messages.
 func (n *Node) InjectEnqueue(now int64) uint64 {
+	return n.InjectEnqueueBlob(now, nil)
+}
+
+// InjectEnqueueBlob is InjectEnqueue with an opaque application payload
+// that rides with the element through the DHT; a dequeue serialized
+// against it receives the payload in its completion record. The networked
+// client layer stores the user's encoded value here.
+func (n *Node) InjectEnqueueBlob(now int64, blob []byte) uint64 {
 	reqID := n.cl.nextReqID()
 	elem := dht.Element{Origin: n.clientID, Seq: n.nextElemSeq}
 	n.nextElemSeq++
-	op := pendingOp{elem: elem, reqID: reqID, born: now, localSeq: n.nextLocalSeq}
+	op := pendingOp{elem: elem, reqID: reqID, born: now, localSeq: n.nextLocalSeq, blob: blob}
 	n.nextLocalSeq++
 	if n.cl.cfg.Mode == batch.Stack && !n.cl.cfg.DisableLocalCombining {
-		n.combiner.Push(stack.PendingOp{ReqID: op.reqID, Elem: op.elem, Born: op.born, LocalSeq: op.localSeq})
+		n.combiner.Push(stack.PendingOp{ReqID: op.reqID, Elem: op.elem, Born: op.born, LocalSeq: op.localSeq, Blob: op.blob})
 	} else {
 		n.pending = append(n.pending, op)
 	}
@@ -604,11 +621,13 @@ func (n *Node) InjectDequeue(now int64) uint64 {
 				Client: n.clientID, LocalSeq: match.LocalSeq,
 				Kind: seqcheck.Push, Elem: match.Elem,
 				Value: seqcheck.NoValue, Born: match.Born, Done: now, ReqID: match.ReqID,
+				Blob: match.Blob,
 			})
 			n.cl.recordCompletion(seqcheck.Completion{
 				Client: n.clientID, LocalSeq: op.localSeq,
 				Kind: seqcheck.Pop, Elem: match.Elem,
 				Value: seqcheck.NoValue, Born: op.born, Done: now, ReqID: op.reqID,
+				Blob: match.Blob,
 			})
 		}
 		return reqID

@@ -155,7 +155,7 @@ func TestStackWithoutCombiningIsUnsound(t *testing.T) {
 	// a new push, and two pops of the SAME wave can race for the same
 	// position in the DHT: one steals the other's element and the loser
 	// parks forever (the stage-4 wait only separates waves, so it cannot
-	// help). This test demonstrates the failure mode; DESIGN.md §6
+	// help). This test demonstrates the failure mode; DESIGN.md §7
 	// documents it.
 	broken := 0
 	for seed := int64(50); seed < 60; seed++ {

@@ -18,7 +18,7 @@ import (
 	"fmt"
 	"sort"
 
-	"skueue/internal/sim"
+	"skueue/internal/transport"
 )
 
 // Element is a value stored in the distributed queue or stack. The paper
@@ -31,17 +31,22 @@ type Element struct {
 
 func (e Element) String() string { return fmt.Sprintf("e%d.%d", e.Origin, e.Seq) }
 
-// Entry is one stored element with its DHT identity.
+// Entry is one stored element with its DHT identity. Blob is an opaque
+// application payload riding with the element: the networked client layer
+// stores the user's encoded value here so that a dequeue issued at a
+// different cluster member than the enqueue can still return it. The
+// simulated client layer keeps values outside the DHT and leaves Blob nil.
 type Entry struct {
 	Pos    int64
 	Ticket int64
 	Elem   Element
+	Blob   []byte
 }
 
 // Waiter is a parked GET: who asked, which request of theirs this is, and
 // the newest ticket they may take.
 type Waiter struct {
-	Requester sim.NodeID
+	Requester transport.NodeID
 	ReqID     uint64
 	Bound     int64
 }
@@ -82,6 +87,11 @@ func (s *Store) Parked() int { return s.nPark }
 // Inserting a duplicate (position, ticket) violates the protocol's unique
 // position assignment and panics.
 func (s *Store) Put(pos, ticket int64, e Element) []Released {
+	return s.PutBlob(pos, ticket, e, nil)
+}
+
+// PutBlob is Put with an opaque application payload attached to the entry.
+func (s *Store) PutBlob(pos, ticket int64, e Element, blob []byte) []Released {
 	list := s.items[pos]
 	i := sort.Search(len(list), func(i int) bool { return list[i].Ticket >= ticket })
 	if i < len(list) && list[i].Ticket == ticket {
@@ -89,7 +99,7 @@ func (s *Store) Put(pos, ticket int64, e Element) []Released {
 	}
 	list = append(list, Entry{})
 	copy(list[i+1:], list[i:])
-	list[i] = Entry{Pos: pos, Ticket: ticket, Elem: e}
+	list[i] = Entry{Pos: pos, Ticket: ticket, Elem: e, Blob: blob}
 	s.items[pos] = list
 	s.nItems++
 
@@ -183,7 +193,7 @@ func (s *Store) ExtractAll() ([]Entry, []ParkedEntry) {
 
 // Insert adds a handed-over entry, satisfying parked GETs like Put does.
 func (s *Store) Insert(ent Entry) []Released {
-	return s.Put(ent.Pos, ent.Ticket, ent.Elem)
+	return s.PutBlob(ent.Pos, ent.Ticket, ent.Elem, ent.Blob)
 }
 
 // Entries returns a sorted snapshot of all stored entries (tests, stats).

@@ -47,7 +47,7 @@ type Figure struct {
 
 // Options scales the experiments. The paper runs up to n = 100000
 // processes for 1000 rounds; the defaults are laptop-sized and preserve
-// the shapes (see DESIGN.md §4).
+// the shapes (see DESIGN.md §5).
 type Options struct {
 	Seed        int64
 	Sizes       []int     // process counts for the n sweeps

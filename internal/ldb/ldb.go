@@ -21,7 +21,7 @@ import (
 	"sort"
 
 	"skueue/internal/fixpoint"
-	"skueue/internal/sim"
+	"skueue/internal/transport"
 	"skueue/internal/xrand"
 )
 
@@ -75,13 +75,13 @@ func (p Point) String() string {
 // a node learns a reference it also learns whether it is a left, middle or
 // right virtual node).
 type Ref struct {
-	ID    sim.NodeID
+	ID    transport.NodeID
 	Point Point
 	Kind  Kind
 }
 
 // Valid reports whether the reference points at a node.
-func (r Ref) Valid() bool { return r.ID != sim.None }
+func (r Ref) Valid() bool { return r.ID != transport.None }
 
 func (r Ref) String() string {
 	if !r.Valid() {
@@ -142,7 +142,7 @@ func (nb Neighborhood) Parent() (parent Ref, ok bool) {
 		return nb.SibM, true
 	default: // Left
 		if nb.IsAnchor() {
-			return Ref{ID: sim.None}, false
+			return Ref{ID: transport.None}, false
 		}
 		return nb.Pred, true
 	}
@@ -241,7 +241,7 @@ func (nb Neighborhood) NextHop(rs RouteState) (next Ref, out RouteState, deliver
 	}
 	// Linear phase: deliver at the predecessor of the target.
 	if nb.responsible(rs.Target) {
-		return Ref{ID: sim.None}, out, true
+		return Ref{ID: transport.None}, out, true
 	}
 	if fixpoint.CWDist(nb.Self.Point.Label, rs.Target) <= fixpoint.CCWDist(nb.Self.Point.Label, rs.Target) {
 		return nb.Succ, out, false

@@ -76,6 +76,10 @@ type Completion struct {
 	Born, Done int64
 	// ReqID identifies the request within the run (diagnostics).
 	ReqID uint64
+	// Blob is the opaque application payload that rode with the element
+	// through the DHT (networked deployments; nil under the simulator).
+	// The checker ignores it.
+	Blob []byte
 }
 
 // History is an append-only record of completions.

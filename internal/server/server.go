@@ -1,0 +1,562 @@
+// Package server hosts one member of a networked Skueue cluster: a
+// core.Cluster fragment running over the TCP transport, one listener
+// speaking both the member-to-member envelope protocol and the remote
+// client protocol (the first Hello frame of a connection picks the
+// dialect), and the seed-side admission handshake that lets late members
+// join a running cluster by address.
+//
+// Topology bootstrap is coordination-free: all bootstrap members share
+// (seed, procs, member list) and derive identical rings, node addresses
+// and address books (see core.NewMember). A joining member instead asks
+// the seed member (index 0) for a member index and process ID, receives
+// the address book, and then enters through the paper's JOIN protocol
+// (§IV-A) — its three virtual nodes relay requests through their
+// responsible nodes until an update phase splices them into the ring.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"skueue/internal/batch"
+	"skueue/internal/core"
+	"skueue/internal/ldb"
+	"skueue/internal/seqcheck"
+	"skueue/internal/transport"
+	"skueue/internal/transport/tcp"
+	"skueue/internal/wire"
+)
+
+// Config configures one cluster member.
+type Config struct {
+	// Addr is the listen address ("127.0.0.1:0" picks a free port).
+	// Ignored when Listener is set.
+	Addr string
+	// Listener, when non-nil, is used instead of binding Addr; the server
+	// takes ownership. Pre-binding lets tests learn every member's address
+	// before starting any of them.
+	Listener net.Listener
+
+	// Seed is the cluster-wide seed; all members must agree on it.
+	Seed int64
+	// Mode is "queue" (default) or "stack".
+	Mode string
+	// UpdateThreshold mirrors core.Config.UpdateThreshold.
+	UpdateThreshold int
+
+	// Bootstrap deployment: Index is this member's position in Members,
+	// which lists every bootstrap member's address. Procs is the total
+	// number of bootstrap processes, distributed round-robin over the
+	// members (default: one per member). All bootstrap members must agree
+	// on Procs and Members.
+	Index   int
+	Procs   int
+	Members []string
+
+	// Join, when set, ignores the bootstrap fields: the member asks the
+	// seed member at this address for admission and enters via the JOIN
+	// protocol.
+	Join string
+
+	// Tick is the TIMEOUT cadence of the transport (default 1ms).
+	Tick time.Duration
+	// Logf receives diagnostics; default discards.
+	Logf func(format string, args ...any)
+}
+
+// BootstrapPids returns the process IDs member index hosts in a bootstrap
+// deployment of procs processes over members members (round-robin).
+func BootstrapPids(index, members, procs int) []int32 {
+	var out []int32
+	for pid := index; pid < procs; pid += members {
+		out = append(out, int32(pid))
+	}
+	return out
+}
+
+// Server is a running cluster member.
+type Server struct {
+	cfg  Config
+	lis  net.Listener
+	peer *tcp.Peer
+	cl   *core.Cluster
+	mode batch.Mode
+	logf func(string, ...any)
+
+	mu      sync.Mutex
+	waiters map[uint64]*waiter // reqID -> pending client op
+	rr      int                // round-robin over local procs
+	// Seed-side admission state (member 0 only).
+	nextIndex int32
+	nextPid   int32
+	closed    bool
+
+	// onEarly catches completions that fire inside an inject call, before
+	// the waiter is registered (stack local combining). Runner-confined.
+	onEarly func(reqID uint64, done wire.CliDone)
+
+	// conns tracks accepted connections so Close can unblock their
+	// handlers (the remote end may outlive us).
+	conns map[net.Conn]struct{}
+
+	wg sync.WaitGroup
+}
+
+// waiter tracks one in-flight client operation.
+type waiter struct {
+	sess *session
+	seq  uint64
+}
+
+// session is one remote client connection; a dedicated writer goroutine
+// keeps protocol callbacks from blocking on slow clients.
+type session struct {
+	conn *wire.Conn
+	out  chan any
+	quit chan struct{}
+	kill sync.Once
+}
+
+// send hands a frame to the session writer without ever blocking the
+// caller: completion callbacks run on the transport's runner goroutine,
+// which must not stall on one slow client. A client that lets the buffer
+// fill (it is not reading responses) loses its connection instead of
+// freezing the member.
+func (s *session) send(v any) {
+	select {
+	case s.out <- v:
+	case <-s.quit:
+	default:
+		s.kill.Do(func() { s.conn.Close() })
+	}
+}
+
+// New builds and starts a member.
+func New(cfg Config) (*Server, error) {
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	mode := batch.Queue
+	switch cfg.Mode {
+	case "", "queue":
+	case "stack":
+		mode = batch.Stack
+	default:
+		return nil, fmt.Errorf("server: unknown mode %q", cfg.Mode)
+	}
+	lis := cfg.Listener
+	if lis == nil {
+		var err error
+		lis, err = net.Listen("tcp", cfg.Addr)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s := &Server{
+		cfg:     cfg,
+		lis:     lis,
+		mode:    mode,
+		logf:    cfg.Logf,
+		waiters: make(map[uint64]*waiter),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	var err error
+	if cfg.Join != "" {
+		err = s.startJoining()
+	} else {
+		err = s.startBootstrap()
+	}
+	if err != nil {
+		lis.Close()
+		return nil, err
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	s.peer.Start()
+	return s, nil
+}
+
+// Addr returns the member's listen address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops the member. In-flight client operations fail with closed
+// connections; the hosted nodes stop processing.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.lis.Close()
+	s.peer.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) coreConfig(procs int) core.Config {
+	return core.Config{
+		Processes:       procs,
+		Seed:            s.cfg.Seed,
+		Mode:            s.mode,
+		UpdateThreshold: s.cfg.UpdateThreshold,
+		AckAllPuts:      true,
+	}
+}
+
+func (s *Server) startBootstrap() error {
+	if len(s.cfg.Members) == 0 {
+		return errors.New("server: bootstrap needs at least one member address")
+	}
+	if s.cfg.Index < 0 || s.cfg.Index >= len(s.cfg.Members) {
+		return fmt.Errorf("server: index %d outside member list", s.cfg.Index)
+	}
+	procs := s.cfg.Procs
+	if procs == 0 {
+		procs = len(s.cfg.Members)
+	}
+	if procs < len(s.cfg.Members) {
+		return fmt.Errorf("server: %d procs cannot cover %d members", procs, len(s.cfg.Members))
+	}
+	myPids := BootstrapPids(s.cfg.Index, len(s.cfg.Members), procs)
+	s.peer = tcp.New(tcp.Options{
+		Index: int32(s.cfg.Index),
+		Addr:  s.lis.Addr().String(),
+		Pids:  myPids,
+		Seed:  s.cfg.Seed,
+		Tick:  s.cfg.Tick,
+		Logf:  s.logf,
+	})
+	var book []wire.MemberInfo
+	for i, addr := range s.cfg.Members {
+		book = append(book, wire.MemberInfo{
+			Index: int32(i), Addr: addr,
+			Pids: BootstrapPids(i, len(s.cfg.Members), procs),
+		})
+	}
+	s.peer.SetBook(book)
+	cl, err := core.NewMember(s.coreConfig(procs), int32(s.cfg.Index), myPids, s.peer)
+	if err != nil {
+		return err
+	}
+	s.cl = cl
+	s.nextIndex = int32(len(s.cfg.Members))
+	s.nextPid = int32(procs)
+	s.wireCallbacks()
+	return nil
+}
+
+// startJoining performs the admission handshake with the seed member and
+// enters the cluster through the JOIN protocol.
+func (s *Server) startJoining() error {
+	nc, err := net.DialTimeout("tcp", s.cfg.Join, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("server: dialing seed: %w", err)
+	}
+	conn := wire.NewConn(nc)
+	defer conn.Close()
+	if err := conn.Write(wire.Hello{Kind: "client"}); err != nil {
+		return err
+	}
+	if _, err := conn.Read(); err != nil { // HelloAck
+		return err
+	}
+	if err := conn.Write(wire.CliJoin{Addr: s.lis.Addr().String()}); err != nil {
+		return err
+	}
+	v, err := conn.Read()
+	if err != nil {
+		return err
+	}
+	ack, ok := v.(wire.CliJoinResp)
+	if !ok {
+		return fmt.Errorf("server: seed answered %T to join request", v)
+	}
+	if ack.Err != "" {
+		return fmt.Errorf("server: join rejected: %s", ack.Err)
+	}
+	s.cfg.Seed = ack.Seed
+	s.cfg.Mode = ack.Mode
+	s.cfg.UpdateThreshold = ack.UpdateThreshold
+	s.mode = batch.Queue
+	if ack.Mode == "stack" {
+		s.mode = batch.Stack
+	}
+	s.peer = tcp.New(tcp.Options{
+		Index: ack.Index,
+		Addr:  s.lis.Addr().String(),
+		Pids:  []int32{ack.Pid},
+		Seed:  ack.Seed,
+		Tick:  s.cfg.Tick,
+		Logf:  s.logf,
+	})
+	s.peer.SetBook(ack.Book)
+	cl, err := core.NewMember(s.coreConfig(0), ack.Index, nil, s.peer)
+	if err != nil {
+		return err
+	}
+	s.cl = cl
+	s.wireCallbacks()
+	pid, contact := ack.Pid, ack.Contact
+	s.peer.Do(func() { cl.JoinRemote(pid, contact) })
+	return nil
+}
+
+// wireCallbacks connects completion and ack events to client waiters.
+// Both callbacks run on the transport's runner goroutine.
+func (s *Server) wireCallbacks() {
+	myTag := uint64(s.peer.Me().Index + 1)
+	s.cl.SetOnComplete(func(c seqcheck.Completion) {
+		if core.ReqIDMember(c.ReqID) != myTag {
+			return // recorded here, issued by another member
+		}
+		if c.Kind == seqcheck.Enqueue {
+			// Local enqueue stored locally, or combined stack push: the
+			// put-ack may never come (it does not for combined pairs), so
+			// resolve on the completion itself.
+			s.resolve(c.ReqID, wire.CliDone{Rounds: c.Done - c.Born})
+			return
+		}
+		s.resolve(c.ReqID, wire.CliDone{
+			Bottom: c.Bottom,
+			Value:  c.Blob,
+			Rounds: c.Done - c.Born,
+		})
+	})
+	s.cl.SetOnPutAck(func(reqID uint64) {
+		s.resolve(reqID, wire.CliDone{})
+	})
+}
+
+// resolve completes the waiter for reqID, if any, filling session
+// bookkeeping into the prepared response. Completions with no waiter yet
+// fall through to the early hook of an inject call in progress.
+func (s *Server) resolve(reqID uint64, done wire.CliDone) {
+	s.mu.Lock()
+	w, ok := s.waiters[reqID]
+	if ok {
+		delete(s.waiters, reqID)
+	}
+	s.mu.Unlock()
+	if ok {
+		done.Seq = w.seq
+		w.sess.send(done)
+		return
+	}
+	if s.onEarly != nil {
+		s.onEarly(reqID, done)
+	}
+}
+
+// pickClient returns the local node to inject the next request at,
+// round-robining over the member's live local processes.
+func (s *Server) pickClient() (transport.NodeID, error) {
+	local := s.cl.LocalProcs()
+	if len(local) == 0 {
+		return transport.None, errors.New("no live local process")
+	}
+	s.mu.Lock()
+	idx := local[s.rr%len(local)]
+	s.rr++
+	s.mu.Unlock()
+	return s.cl.Client(idx), nil
+}
+
+// ---- Listener ----
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.lis.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return
+		}
+		s.conns[nc] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, nc)
+				s.mu.Unlock()
+			}()
+			s.handleConn(wire.NewConn(nc))
+		}()
+	}
+}
+
+func (s *Server) handleConn(conn *wire.Conn) {
+	v, err := conn.Read()
+	if err != nil {
+		conn.Close()
+		return
+	}
+	hello, ok := v.(wire.Hello)
+	if !ok {
+		s.logf("server[%d]: first frame was %T, closing", s.cfg.Index, v)
+		conn.Close()
+		return
+	}
+	switch hello.Kind {
+	case "peer":
+		s.peer.AcceptPeer(conn, hello) // returns when the link closes
+	case "client":
+		s.serveClient(conn)
+	default:
+		s.logf("server[%d]: unknown hello kind %q", s.cfg.Index, hello.Kind)
+		conn.Close()
+	}
+}
+
+func (s *Server) serveClient(conn *wire.Conn) {
+	// The buffer absorbs completion bursts (one wave can resolve thousands
+	// of async operations back-to-back); only a client that stopped
+	// reading altogether fills it, and such a client is disconnected
+	// rather than allowed to block the runner (see session.send).
+	sess := &session{conn: conn, out: make(chan any, 1<<14), quit: make(chan struct{})}
+	defer s.dropSessionWaiters(sess)
+	defer close(sess.quit)
+	defer conn.Close()
+
+	mode := "queue"
+	if s.mode == batch.Stack {
+		mode = "stack"
+	}
+	if err := conn.Write(wire.HelloAck{Book: s.peer.Book(), Mode: mode, Index: s.peer.Me().Index}); err != nil {
+		return
+	}
+	// Writer: responses and completion notifications.
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for {
+			select {
+			case v := <-sess.out:
+				if err := conn.Write(v); err != nil {
+					return
+				}
+			case <-sess.quit:
+				return
+			}
+		}
+	}()
+
+	for {
+		v, err := conn.Read()
+		if err != nil {
+			return
+		}
+		switch m := v.(type) {
+		case wire.CliEnqueue:
+			s.submit(sess, m.Seq, true, m.Value)
+		case wire.CliDequeue:
+			s.submit(sess, m.Seq, false, nil)
+		case wire.CliHistory:
+			var ops []seqcheck.Completion
+			s.peer.DoSync(func() {
+				ops = append(ops, s.cl.History().Ops...)
+			})
+			sess.send(wire.CliHistoryResp{Ops: ops})
+		case wire.CliJoin:
+			sess.send(s.admit(m))
+		default:
+			s.logf("server[%d]: unexpected client frame %T", s.cfg.Index, v)
+			return
+		}
+	}
+}
+
+// submit injects one client operation on the runner goroutine. The waiter
+// is registered after the inject call returns the request ID; completions
+// also run on the runner, so the only thing that can beat the
+// registration is a completion firing synchronously inside the inject
+// itself (a locally combined stack pair) — the early hook catches those
+// and answers from the stash. The runner goroutine serializes the whole
+// window, so it cannot interleave with other requests.
+func (s *Server) submit(sess *session, seq uint64, enq bool, value []byte) {
+	s.peer.Do(func() {
+		node, err := s.pickClient()
+		if err != nil {
+			sess.send(wire.CliDone{Seq: seq, Err: err.Error()})
+			return
+		}
+		early := make(map[uint64]wire.CliDone, 1)
+		s.onEarly = func(reqID uint64, done wire.CliDone) { early[reqID] = done }
+		var reqID uint64
+		if enq {
+			reqID = s.cl.EnqueueBlob(node, value)
+		} else {
+			reqID = s.cl.Dequeue(node)
+		}
+		s.onEarly = nil
+		if done, ok := early[reqID]; ok {
+			done.Seq = seq
+			sess.send(done)
+			return
+		}
+		s.mu.Lock()
+		s.waiters[reqID] = &waiter{sess: sess, seq: seq}
+		s.mu.Unlock()
+	})
+}
+
+// dropSessionWaiters forgets the in-flight operations of a finished
+// session so long-lived servers do not leak one waiter per abandoned
+// request. The operations themselves are already in flight and still
+// take their turn in the serialization — exactly like an abandoned
+// in-process call (see Client.Dequeue) — their results just have nobody
+// left to deliver to.
+func (s *Server) dropSessionWaiters(sess *session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, w := range s.waiters {
+		if w.sess == sess {
+			delete(s.waiters, id)
+		}
+	}
+}
+
+// admit handles a CliJoin: only the seed member assigns member indices and
+// process IDs, and it broadcasts the updated address book before
+// answering, so every member can route to the newcomer by the time its
+// JOIN requests start flowing.
+func (s *Server) admit(m wire.CliJoin) wire.CliJoinResp {
+	if s.peer.Me().Index != 0 {
+		return wire.CliJoinResp{Err: "join via the seed member (index 0)"}
+	}
+	s.mu.Lock()
+	idx := s.nextIndex
+	pid := s.nextPid
+	s.nextIndex++
+	s.nextPid++
+	s.mu.Unlock()
+	s.peer.AddMember(wire.MemberInfo{Index: idx, Addr: m.Addr, Pids: []int32{pid}})
+	s.peer.BroadcastBook()
+	mode := "queue"
+	if s.mode == batch.Stack {
+		mode = "stack"
+	}
+	return wire.CliJoinResp{
+		Index: idx, Pid: pid,
+		Seed: s.cfg.Seed, Mode: mode, UpdateThreshold: s.cfg.UpdateThreshold,
+		Book:    s.peer.Book(),
+		Contact: core.NodeIDForProcess(s.peer.Me().Pids[0], ldb.Middle),
+	}
+}

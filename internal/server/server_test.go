@@ -1,0 +1,229 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"skueue"
+	"skueue/internal/server"
+)
+
+// startCluster boots a members-process loopback cluster. Listeners are
+// pre-bound so every member knows the full address list before any of
+// them starts.
+func startCluster(t *testing.T, members int, mode string) []*server.Server {
+	t.Helper()
+	lis := make([]net.Listener, members)
+	addrs := make([]string, members)
+	for i := range lis {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lis[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	srvs := make([]*server.Server, members)
+	for i := range srvs {
+		s, err := server.New(server.Config{
+			Listener: lis[i],
+			Seed:     42,
+			Mode:     mode,
+			Index:    i,
+			Members:  addrs,
+			Tick:     500 * time.Microsecond,
+		})
+		if err != nil {
+			t.Fatalf("server %d: %v", i, err)
+		}
+		srvs[i] = s
+		t.Cleanup(s.Close)
+	}
+	return srvs
+}
+
+// TestLoopbackClusterSequentialConsistency is the acceptance test of the
+// networked deployment: a 3-member TCP cluster serves interleaved
+// enqueues and dequeues from concurrent remote clients (two per member),
+// every dequeued value must be one that some client enqueued, and the
+// merged execution history must pass the Definition 1 checker.
+func TestLoopbackClusterSequentialConsistency(t *testing.T) {
+	srvs := startCluster(t, 3, "queue")
+
+	const clientsPerMember = 2
+	const opsPerClient = 24
+
+	var mu sync.Mutex
+	enqueued := make(map[string]bool)
+	dequeued := make(map[string]bool)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(srvs)*clientsPerMember)
+	for m, s := range srvs {
+		for k := 0; k < clientsPerMember; k++ {
+			wg.Add(1)
+			go func(member, cli int, addr string) {
+				defer wg.Done()
+				c, err := skueue.Open(skueue.WithRemote(addr))
+				if err != nil {
+					errs <- fmt.Errorf("client %d.%d: open: %w", member, cli, err)
+					return
+				}
+				defer c.Close()
+				ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+				defer cancel()
+				for i := 0; i < opsPerClient; i++ {
+					if i%2 == 0 {
+						v := fmt.Sprintf("v-%d.%d.%d", member, cli, i)
+						if err := c.Enqueue(ctx, v); err != nil {
+							errs <- fmt.Errorf("client %d.%d: enqueue %d: %w", member, cli, i, err)
+							return
+						}
+						mu.Lock()
+						enqueued[v] = true
+						mu.Unlock()
+					} else {
+						v, ok, err := c.Dequeue(ctx)
+						if err != nil {
+							errs <- fmt.Errorf("client %d.%d: dequeue %d: %w", member, cli, i, err)
+							return
+						}
+						if ok {
+							s, isStr := v.(string)
+							if !isStr {
+								errs <- fmt.Errorf("client %d.%d: dequeued %T, want string", member, cli, v)
+								return
+							}
+							mu.Lock()
+							if dequeued[s] {
+								errs <- fmt.Errorf("client %d.%d: value %q dequeued twice", member, cli, s)
+								mu.Unlock()
+								return
+							}
+							dequeued[s] = true
+							mu.Unlock()
+						}
+					}
+				}
+			}(m, k, s.Addr())
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Every dequeued value was enqueued by some client, across members.
+	mu.Lock()
+	for v := range dequeued {
+		if !enqueued[v] {
+			t.Errorf("dequeued %q was never enqueued", v)
+		}
+	}
+	mu.Unlock()
+
+	// Merge all member histories and verify Definition 1 end to end.
+	c, err := skueue.Open(skueue.WithRemote(srvs[0].Addr()))
+	if err != nil {
+		t.Fatalf("checker client: %v", err)
+	}
+	defer c.Close()
+	if err := c.Check(); err != nil {
+		t.Fatalf("sequential consistency check failed: %v", err)
+	}
+	st := c.Stats()
+	wantTotal := len(srvs) * clientsPerMember * opsPerClient
+	if st.Total != wantTotal {
+		t.Fatalf("merged history has %d completions, want %d", st.Total, wantTotal)
+	}
+}
+
+// TestLoopbackClusterStackMode runs the same deployment with LIFO
+// semantics, exercising tickets, the stage-4 wait and local combining
+// over the network.
+func TestLoopbackClusterStackMode(t *testing.T) {
+	srvs := startCluster(t, 3, "stack")
+	c, err := skueue.Open(skueue.WithRemote(srvs[1].Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i := 0; i < 8; i++ {
+		if err := c.Push(ctx, i); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if _, ok, err := c.Pop(ctx); err != nil || !ok {
+			t.Fatalf("pop %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if err := c.Check(); err != nil {
+		t.Fatalf("stack check: %v", err)
+	}
+}
+
+// TestJoinServer admits a fourth member into a running 3-member cluster
+// through the seed handshake and the §IV-A JOIN protocol, then serves a
+// client through the newcomer.
+func TestJoinServer(t *testing.T) {
+	srvs := startCluster(t, 3, "queue")
+
+	joiner, err := server.New(server.Config{
+		Addr: "127.0.0.1:0",
+		Join: srvs[0].Addr(),
+		Tick: 500 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatalf("joining server: %v", err)
+	}
+	t.Cleanup(joiner.Close)
+
+	c, err := skueue.Open(skueue.WithRemote(joiner.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := c.Enqueue(ctx, "via-joiner"); err != nil {
+		t.Fatalf("enqueue via joiner: %v", err)
+	}
+	v, ok, err := c.Dequeue(ctx)
+	if err != nil || !ok || v != "via-joiner" {
+		t.Fatalf("dequeue via joiner: v=%v ok=%v err=%v", v, ok, err)
+	}
+	if err := c.Check(); err != nil {
+		t.Fatalf("post-join check: %v", err)
+	}
+}
+
+// TestSingleMemberSmoke is the minimal networked deployment: one member,
+// one client, one enqueue and one dequeue.
+func TestSingleMemberSmoke(t *testing.T) {
+	srvs := startCluster(t, 1, "queue")
+	c, err := skueue.Open(skueue.WithRemote(srvs[0].Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := c.Enqueue(ctx, "x"); err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	v, ok, err := c.Dequeue(ctx)
+	if err != nil || !ok || v != "x" {
+		t.Fatalf("dequeue: v=%v ok=%v err=%v", v, ok, err)
+	}
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -14,34 +14,33 @@
 // channel assumption); the engine checks this with internal accounting.
 // All scheduling randomness derives from one seed, so every run is exactly
 // reproducible.
+//
+// The engine is the in-memory implementation of transport.Network — the
+// deterministic default backend; internal/transport/tcp is the networked
+// one. The node-facing vocabulary (NodeID, Handler, Context) lives in
+// internal/transport and is aliased here for convenience.
 package sim
 
 import (
 	"container/heap"
 	"fmt"
 
+	"skueue/internal/transport"
 	"skueue/internal/xrand"
 )
 
 // NodeID identifies a simulated node. IDs are dense indices assigned in
 // spawn order.
-type NodeID int32
+type NodeID = transport.NodeID
 
 // None is the nil NodeID.
-const None NodeID = -1
+const None = transport.None
 
-// Handler is the behaviour of a simulated node. A node is the paper's
-// "process executing actions": OnMessage corresponds to processing a remote
-// action call from the channel, OnTimeout to the periodic TIMEOUT action.
-type Handler interface {
-	// OnInit runs once when the node is spawned.
-	OnInit(ctx *Context)
-	// OnMessage processes one delivered message.
-	OnMessage(ctx *Context, from NodeID, payload any)
-	// OnTimeout runs once per round (synchronous model) or periodically
-	// (asynchronous model).
-	OnTimeout(ctx *Context)
-}
+// Handler is the behaviour of a simulated node; see transport.Handler.
+type Handler = transport.Handler
+
+// Context is the handler-to-backend interface; see transport.Context.
+type Context = transport.Context
 
 // Config configures an Engine.
 type Config struct {
@@ -107,6 +106,9 @@ type nodeSlot struct {
 	h        Handler
 	active   bool
 	timeouts bool
+	// ctx is the node's reusable callback context; binding it once per
+	// node keeps delivery allocation-free.
+	ctx Context
 }
 
 // Engine runs a set of nodes under one of the two schedulers.
@@ -123,17 +125,10 @@ type Engine struct {
 	inFlight int64
 	stats    Stats
 	seq      uint64
-	ctx      Context
 }
 
-// Context is the interface a handler uses to interact with the engine. A
-// single Context is reused across callbacks; handlers must not retain it
-// past the callback... except that in this single-threaded simulation the
-// pointer stays valid, so retaining it for convenience is tolerated.
-type Context struct {
-	eng  *Engine
-	self NodeID
-}
+var _ transport.Network = (*Engine)(nil)
+var _ transport.Registry = (*Engine)(nil)
 
 // New creates an engine.
 func New(cfg Config) *Engine {
@@ -143,9 +138,7 @@ func New(cfg Config) *Engine {
 	if cfg.TimeoutEvery <= 0 {
 		cfg.TimeoutEvery = 4
 	}
-	e := &Engine{cfg: cfg, rng: xrand.New(cfg.Seed)}
-	e.ctx.eng = e
-	return e
+	return &Engine{cfg: cfg, rng: xrand.New(cfg.Seed)}
 }
 
 // Spawn adds a node and runs its OnInit. It may be called before the run
@@ -153,15 +146,24 @@ func New(cfg Config) *Engine {
 func (e *Engine) Spawn(h Handler) NodeID {
 	id := NodeID(len(e.nodes))
 	e.nodes = append(e.nodes, nodeSlot{h: h, active: true, timeouts: true})
+	e.nodes[id].ctx = transport.NewContext(e, id)
 	e.stats.Spawned++
 	if e.cfg.Async {
 		e.scheduleTimeout(id)
 	}
-	prev := e.ctx.self
-	e.ctx.self = id
-	h.OnInit(&e.ctx)
-	e.ctx.self = prev
+	h.OnInit(&e.nodes[id].ctx)
 	return id
+}
+
+// Register places a node at a caller-chosen address (transport.Registry).
+// The simulator allocates addresses densely itself, so registration is
+// only valid for the next free index; it exists to satisfy backends-agnostic
+// bootstrap code paths in tests.
+func (e *Engine) Register(id NodeID, h Handler) {
+	if int(id) != len(e.nodes) {
+		panic(fmt.Sprintf("sim: Register(%d) out of spawn order (next is %d)", id, len(e.nodes)))
+	}
+	e.Spawn(h)
 }
 
 // Now returns the current round (synchronous) or virtual time (async).
@@ -188,12 +190,26 @@ func (e *Engine) Handler(id NodeID) Handler { return e.nodes[id].h }
 // deterministic schedule.
 func (e *Engine) Rand() *xrand.RNG { return e.rng }
 
-// Inject sends a message into the system from outside any handler (e.g. a
-// freshly joining process contacting a member). It follows the same
-// delivery rules as handler sends.
+// Send delivers a message between nodes (transport.Network). Called from
+// outside any handler it is an injection (e.g. a freshly joining process
+// contacting a member); handler sends arrive here through the Context.
+func (e *Engine) Send(from, to NodeID, payload any) {
+	e.send(from, to, payload)
+}
+
+// Inject is a readability alias of Send for out-of-band sends.
 func (e *Engine) Inject(from, to NodeID, payload any) {
 	e.send(from, to, payload)
 }
+
+// StopTimeouts disables further TIMEOUT callbacks for a node, leaving it
+// able to receive messages (used for departed nodes that only forward).
+func (e *Engine) StopTimeouts(id NodeID) { e.nodes[id].timeouts = false }
+
+// Deactivate removes a node entirely; delivering or sending to it
+// afterwards is a protocol error and panics. The paper's leave protocol
+// guarantees no such message exists once the drain completes.
+func (e *Engine) Deactivate(id NodeID) { e.nodes[id].active = false }
 
 func (e *Engine) scheduleTimeout(id NodeID) {
 	gap := int64(1 + e.rng.Intn(e.cfg.TimeoutEvery))
@@ -232,10 +248,7 @@ func (e *Engine) deliver(m message) {
 	if e.cfg.TraceMessage != nil {
 		e.cfg.TraceMessage(e.now, m.from, m.to, m.payload)
 	}
-	prev := e.ctx.self
-	e.ctx.self = m.to
-	slot.h.OnMessage(&e.ctx, m.from, m.payload)
-	e.ctx.self = prev
+	slot.h.OnMessage(&slot.ctx, m.from, m.payload)
 }
 
 func (e *Engine) timeout(id NodeID) {
@@ -244,10 +257,7 @@ func (e *Engine) timeout(id NodeID) {
 		return
 	}
 	e.stats.TimeoutsRun++
-	prev := e.ctx.self
-	e.ctx.self = id
-	slot.h.OnTimeout(&e.ctx)
-	e.ctx.self = prev
+	slot.h.OnTimeout(&slot.ctx)
 }
 
 // Step advances the simulation: one full round in the synchronous model,
@@ -333,38 +343,3 @@ func (e *Engine) RunUntil(cond func() bool, maxTime int64) bool {
 	}
 	return cond()
 }
-
-// Context methods, used by handlers.
-
-// Self returns the node the current callback belongs to.
-func (c *Context) Self() NodeID { return c.self }
-
-// Now returns the current simulation time.
-func (c *Context) Now() int64 { return c.eng.now }
-
-// Send enqueues a message to another (or the same) node.
-func (c *Context) Send(to NodeID, payload any) {
-	c.eng.send(c.self, to, payload)
-}
-
-// Spawn creates a new node mid-run (used for LEAVE replacements).
-func (c *Context) Spawn(h Handler) NodeID { return c.eng.Spawn(h) }
-
-// Rand returns the engine RNG.
-func (c *Context) Rand() *xrand.RNG { return c.eng.rng }
-
-// StopTimeouts disables further TIMEOUT callbacks for a node, leaving it
-// able to receive messages (used for departed nodes that only forward).
-func (c *Context) StopTimeouts(id NodeID) {
-	c.eng.nodes[id].timeouts = false
-}
-
-// Deactivate removes a node entirely; delivering or sending to it
-// afterwards is a protocol error and panics. The paper's leave protocol
-// guarantees no such message exists once the drain completes.
-func (c *Context) Deactivate(id NodeID) {
-	c.eng.nodes[id].active = false
-}
-
-// Engine gives handlers access to engine-level queries (tests, metrics).
-func (c *Context) Engine() *Engine { return c.eng }

@@ -17,6 +17,7 @@ type PendingOp struct {
 	Elem     dht.Element // pushes only
 	Born     int64
 	LocalSeq int64
+	Blob     []byte // opaque payload riding with a push (networked mode)
 }
 
 // Combiner maintains a node's buffered, not-yet-sent stack operations in

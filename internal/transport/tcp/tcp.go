@@ -1,0 +1,633 @@
+// Package tcp is the networked transport.Network backend: each
+// operating-system process runs a Peer hosting a subset of the protocol
+// nodes, and messages between members travel as length-prefixed gob
+// frames over persistent TCP links (see internal/wire).
+//
+// # Addressing
+//
+// NodeIDs are globally routable without coordination:
+//
+//   - the three virtual nodes of process pid live at IDs 3*pid+kind
+//     (internal/core.NodeIDForProcess), and the address book maps pids to
+//     members, so any member resolves any bootstrap or joined node;
+//   - nodes spawned at runtime (leave replacements) get IDs from the
+//     spawning member's reserved range DynBase + Index*DynSpan + i, so the
+//     member is recoverable from the ID alone.
+//
+// # Execution model
+//
+// One runner goroutine per Peer executes every handler callback, every
+// TIMEOUT tick and every injected closure (Do), serializing all access to
+// the hosted nodes and their shared member state — the same
+// single-threaded discipline a simulated process enjoys, while different
+// members run genuinely in parallel. Inbound frames and outbound writes
+// are handled by per-connection goroutines that never touch node state.
+//
+// # Delivery guarantees
+//
+// Links reconnect with backoff and resend the frame whose write failed,
+// so dial failures and resets detected at write time lose nothing. A
+// frame the kernel accepted but the network dropped on a mid-connection
+// reset is NOT redelivered — exactly-once across arbitrary connection
+// failures would need per-link acknowledgment sequencing, which this
+// backend does not implement; it targets the paper's model of reliable
+// processes on a reliable network (§I-B), where such resets do not
+// occur. A member that never comes back stalls its senders' queues (no
+// fail-stop story, same model). Frames addressed to a pid no member
+// claims yet are parked until an address-book update names its host,
+// which covers the join handshake races.
+package tcp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"skueue/internal/transport"
+	"skueue/internal/wire"
+	"skueue/internal/xrand"
+)
+
+// Dynamic NodeID layout: IDs below DynBase belong to process triads
+// (3*pid+kind); IDs at or above encode the spawning member.
+const (
+	// DynBase is the first runtime-allocated NodeID; it caps process IDs
+	// at DynBase/3 processes per cluster.
+	DynBase = 1 << 20
+	// DynSpan is the runtime allocation window per member: the number of
+	// leave replacements a member can spawn over its lifetime before the
+	// range is exhausted (IDs are not recycled; at three per adjacent
+	// leave this covers tens of thousands of leaves).
+	DynSpan = 1 << 16
+)
+
+// Options configures a Peer.
+type Options struct {
+	// Index is this member's index; it must be unique across the cluster.
+	Index int32
+	// Addr is the member's advertised listen address (host:port). The
+	// listener itself is owned by the caller, which hands inbound peer
+	// connections to AcceptPeer.
+	Addr string
+	// Pids are the process IDs this member hosts.
+	Pids []int32
+	// Seed seeds the backend RNG.
+	Seed int64
+	// Tick is the TIMEOUT cadence; default 1ms.
+	Tick time.Duration
+	// Logf receives diagnostics; default discards.
+	Logf func(format string, args ...any)
+}
+
+type nodeState struct {
+	h        transport.Handler
+	active   bool
+	timeouts bool
+	ctx      transport.Context
+}
+
+type link struct {
+	idx  int32
+	out  chan any // wire.Envelope or wire.BookUpdate frames
+	quit chan struct{}
+}
+
+// Peer is one cluster member's transport endpoint.
+type Peer struct {
+	opts Options
+	rng  *xrand.RNG
+
+	// Runner-confined state (nodes, clock, dynamic allocator). Register is
+	// additionally allowed before Start, when no runner exists yet.
+	nodes     map[transport.NodeID]*nodeState
+	order     []transport.NodeID // registration order, for tick iteration
+	now       int64
+	nextDyn   int32
+	heldLocal map[transport.NodeID][]wire.Envelope
+
+	// Task queue feeding the runner.
+	taskMu sync.Mutex
+	tasks  []func()
+	wake   chan struct{}
+
+	// Address book and links (shared with connection goroutines).
+	mu          sync.Mutex
+	book        map[int32]wire.MemberInfo
+	pidToMember map[int32]int32
+	links       map[int32]*link
+	pendingPid  map[int32][]wire.Envelope
+
+	quit    chan struct{}
+	stopped chan struct{}
+	started bool
+}
+
+var _ transport.Network = (*Peer)(nil)
+var _ transport.Registry = (*Peer)(nil)
+
+// New creates a Peer. Register the bootstrap nodes and seed the address
+// book (SetBook) before Start.
+func New(opts Options) *Peer {
+	if opts.Tick <= 0 {
+		opts.Tick = time.Millisecond
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	p := &Peer{
+		opts:        opts,
+		rng:         xrand.New(opts.Seed ^ int64(opts.Index)<<17),
+		nodes:       make(map[transport.NodeID]*nodeState),
+		heldLocal:   make(map[transport.NodeID][]wire.Envelope),
+		wake:        make(chan struct{}, 1),
+		book:        make(map[int32]wire.MemberInfo),
+		pidToMember: make(map[int32]int32),
+		links:       make(map[int32]*link),
+		pendingPid:  make(map[int32][]wire.Envelope),
+		quit:        make(chan struct{}),
+		stopped:     make(chan struct{}),
+	}
+	p.AddMember(p.Me())
+	return p
+}
+
+// Me returns this member's address-book entry.
+func (p *Peer) Me() wire.MemberInfo {
+	return wire.MemberInfo{Index: p.opts.Index, Addr: p.opts.Addr, Pids: p.opts.Pids}
+}
+
+// ---- transport.Network ----
+
+// Send routes a payload to the member hosting the target node; local
+// targets are delivered through the task queue, preserving asynchrony.
+// Like every node-touching Peer method it must run on the runner
+// goroutine (handler callbacks, Do/DoSync closures) or before Start:
+// isLocal consults the runner-confined node table.
+func (p *Peer) Send(from, to transport.NodeID, payload any) {
+	env := wire.Envelope{From: from, To: to, Payload: payload}
+	if p.isLocal(to) {
+		p.Do(func() { p.deliver(env) })
+		return
+	}
+	p.route(env)
+}
+
+// Spawn registers a runtime-created node under a fresh ID from this
+// member's reserved range. Runner goroutine only (handlers, Do closures).
+func (p *Peer) Spawn(h transport.Handler) transport.NodeID {
+	if p.nextDyn >= DynSpan {
+		panic("tcp: dynamic NodeID range exhausted")
+	}
+	id := transport.NodeID(DynBase + p.opts.Index*DynSpan + p.nextDyn)
+	p.nextDyn++
+	p.register(id, h)
+	return id
+}
+
+// Now returns the tick count: the backend clock completions are stamped
+// with.
+func (p *Peer) Now() int64 { return p.now }
+
+// Rand returns the backend RNG (runner goroutine only).
+func (p *Peer) Rand() *xrand.RNG { return p.rng }
+
+// StopTimeouts disables TIMEOUT for a local node.
+func (p *Peer) StopTimeouts(id transport.NodeID) {
+	if st, ok := p.nodes[id]; ok {
+		st.timeouts = false
+	}
+}
+
+// Deactivate drops a local node; further deliveries to it are logged and
+// discarded (the simulator panics instead, but a networked member cannot
+// assume global quiescence).
+func (p *Peer) Deactivate(id transport.NodeID) {
+	if st, ok := p.nodes[id]; ok {
+		st.active = false
+	}
+}
+
+// ---- transport.Registry ----
+
+// Register places a node at a fixed ID (bootstrap wiring and joins; see
+// core.NodeIDForProcess). Valid before Start or on the runner goroutine.
+func (p *Peer) Register(id transport.NodeID, h transport.Handler) {
+	p.register(id, h)
+}
+
+func (p *Peer) register(id transport.NodeID, h transport.Handler) {
+	if _, dup := p.nodes[id]; dup {
+		panic(fmt.Sprintf("tcp: node %d registered twice", id))
+	}
+	st := &nodeState{h: h, active: true, timeouts: true, ctx: transport.NewContext(p, id)}
+	p.nodes[id] = st
+	p.order = append(p.order, id)
+	h.OnInit(&st.ctx)
+	if held, ok := p.heldLocal[id]; ok {
+		delete(p.heldLocal, id)
+		for _, env := range held {
+			p.deliver(env)
+		}
+	}
+}
+
+// ---- Runner ----
+
+// Start launches the runner and the TIMEOUT ticker.
+func (p *Peer) Start() {
+	if p.started {
+		return
+	}
+	p.started = true
+	go p.run()
+}
+
+// Close stops the runner, the ticker and all links.
+func (p *Peer) Close() {
+	select {
+	case <-p.quit:
+		return
+	default:
+	}
+	close(p.quit)
+	if p.started {
+		<-p.stopped
+	}
+	p.mu.Lock()
+	for _, l := range p.links {
+		close(l.quit)
+	}
+	p.mu.Unlock()
+}
+
+// Do schedules fn on the runner goroutine, where it may touch hosted
+// nodes, inject requests and call Send/Spawn. It returns immediately.
+func (p *Peer) Do(fn func()) {
+	p.taskMu.Lock()
+	p.tasks = append(p.tasks, fn)
+	p.taskMu.Unlock()
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// DoSync runs fn on the runner goroutine and waits for it to finish. If
+// the peer shuts down before the task runs, DoSync returns without it —
+// waiting for the runner to have fully exited first, so fn can no longer
+// be running concurrently with the caller.
+func (p *Peer) DoSync(fn func()) {
+	done := make(chan struct{})
+	p.Do(func() { defer close(done); fn() })
+	select {
+	case <-done:
+	case <-p.quit:
+		if p.started {
+			<-p.stopped
+		}
+		select {
+		case <-done:
+		default:
+		}
+	}
+}
+
+func (p *Peer) run() {
+	defer close(p.stopped)
+	ticker := time.NewTicker(p.opts.Tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case <-ticker.C:
+			p.tickAll()
+		case <-p.wake:
+			p.drainTasks()
+		}
+	}
+}
+
+func (p *Peer) drainTasks() {
+	for {
+		p.taskMu.Lock()
+		tasks := p.tasks
+		p.tasks = nil
+		p.taskMu.Unlock()
+		if len(tasks) == 0 {
+			return
+		}
+		for _, fn := range tasks {
+			fn()
+		}
+	}
+}
+
+// tickAll advances the clock and fires TIMEOUT on every live node, then
+// drains tasks the timeouts produced.
+func (p *Peer) tickAll() {
+	p.now++
+	for _, id := range p.order {
+		st := p.nodes[id]
+		if st.active && st.timeouts {
+			st.h.OnTimeout(&st.ctx)
+		}
+	}
+	p.drainTasks()
+}
+
+func (p *Peer) deliver(env wire.Envelope) {
+	st, ok := p.nodes[env.To]
+	if !ok {
+		// A frame can outrun the local registration it depends on (join
+		// handshakes); park it until the node appears.
+		p.heldLocal[env.To] = append(p.heldLocal[env.To], env)
+		p.opts.Logf("tcp[%d]: holding %T for unregistered node %d", p.opts.Index, env.Payload, env.To)
+		return
+	}
+	if !st.active {
+		p.opts.Logf("tcp[%d]: dropping %T for deactivated node %d", p.opts.Index, env.Payload, env.To)
+		return
+	}
+	st.h.OnMessage(&st.ctx, env.From, env.Payload)
+}
+
+// ---- Addressing ----
+
+func (p *Peer) isLocal(id transport.NodeID) bool {
+	if _, ok := p.nodes[id]; ok {
+		return true
+	}
+	idx, ok := p.resolve(id)
+	return ok && idx == p.opts.Index
+}
+
+// resolve maps a NodeID to the member hosting it.
+func (p *Peer) resolve(id transport.NodeID) (int32, bool) {
+	if id >= DynBase {
+		return (int32(id) - DynBase) / DynSpan, true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idx, ok := p.pidToMember[int32(id)/3]
+	return idx, ok
+}
+
+func (p *Peer) route(env wire.Envelope) {
+	idx, ok := p.resolve(env.To)
+	if !ok {
+		pid := int32(env.To) / 3
+		p.mu.Lock()
+		p.pendingPid[pid] = append(p.pendingPid[pid], env)
+		p.mu.Unlock()
+		p.opts.Logf("tcp[%d]: parking %T for unknown pid %d", p.opts.Index, env.Payload, pid)
+		return
+	}
+	p.linkTo(idx).send(env)
+}
+
+// ---- Address book ----
+
+// SetBook merges a full address book (bootstrap, hello, join ack).
+func (p *Peer) SetBook(ms []wire.MemberInfo) {
+	for _, m := range ms {
+		p.AddMember(m)
+	}
+}
+
+// AddMember merges one member into the address book and releases any
+// frames parked on its pids.
+func (p *Peer) AddMember(m wire.MemberInfo) {
+	var release []wire.Envelope
+	p.mu.Lock()
+	cur, ok := p.book[m.Index]
+	if !ok {
+		cur = m
+	} else {
+		if m.Addr != "" {
+			cur.Addr = m.Addr
+		}
+		for _, pid := range m.Pids {
+			dup := false
+			for _, have := range cur.Pids {
+				if have == pid {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				cur.Pids = append(cur.Pids, pid)
+			}
+		}
+	}
+	p.book[m.Index] = cur
+	for _, pid := range cur.Pids {
+		p.pidToMember[pid] = m.Index
+		if parked := p.pendingPid[pid]; len(parked) > 0 {
+			release = append(release, parked...)
+			delete(p.pendingPid, pid)
+		}
+	}
+	p.mu.Unlock()
+	for _, env := range release {
+		p.route(env)
+	}
+}
+
+// Book returns a sorted copy of the address book.
+func (p *Peer) Book() []wire.MemberInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bookLocked()
+}
+
+func (p *Peer) bookLocked() []wire.MemberInfo {
+	out := make([]wire.MemberInfo, 0, len(p.book))
+	for _, m := range p.book {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// BroadcastBook pushes the current book to every known member, opening
+// links as needed (the seed calls it when a member joins, so everyone
+// learns the newcomer's address before protocol traffic names it).
+func (p *Peer) BroadcastBook() {
+	p.mu.Lock()
+	book := p.bookLocked()
+	p.mu.Unlock()
+	for _, m := range book {
+		if m.Index == p.opts.Index {
+			continue
+		}
+		p.linkTo(m.Index).send(wire.BookUpdate{Book: book})
+	}
+}
+
+// ---- Links ----
+
+func (p *Peer) linkTo(idx int32) *link {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if l, ok := p.links[idx]; ok {
+		return l
+	}
+	l := &link{idx: idx, out: make(chan any, 1<<14), quit: make(chan struct{})}
+	p.links[idx] = l
+	go p.runLink(l)
+	return l
+}
+
+func (l *link) send(frame any) {
+	select {
+	case l.out <- frame:
+	case <-l.quit:
+	}
+}
+
+// runLink owns one outbound connection: it dials (and redials) the target
+// member and writes queued frames. The frame that hits a write error is
+// retried on the fresh connection, so transient failures lose nothing.
+func (p *Peer) runLink(l *link) {
+	var conn *wire.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	backoff := 10 * time.Millisecond
+	for {
+		var frame any
+		select {
+		case <-l.quit:
+			return
+		case <-p.quit:
+			return
+		case frame = <-l.out:
+		}
+		for {
+			if conn == nil {
+				conn = p.dial(l)
+				if conn == nil {
+					return // shutting down
+				}
+			}
+			err := conn.Write(frame)
+			if err == nil {
+				break
+			}
+			if errors.Is(err, wire.ErrEncode) {
+				// Deterministic failure: retrying the same frame can never
+				// succeed. Drop it — and restart the connection, because a
+				// partial encode may have desynced the gob stream state
+				// shared with the receiver.
+				p.opts.Logf("tcp[%d]: dropping unencodable frame for member %d: %v", p.opts.Index, l.idx, err)
+				conn.Close()
+				conn = nil
+				break
+			}
+			p.opts.Logf("tcp[%d]: link to member %d broke (%v); redialing", p.opts.Index, l.idx, err)
+			conn.Close()
+			conn = nil
+			select {
+			case <-time.After(backoff):
+			case <-l.quit:
+				return
+			case <-p.quit:
+				return
+			}
+		}
+	}
+}
+
+// dial establishes a connection to member l.idx, performing the Hello
+// exchange. It retries until it succeeds or the peer shuts down.
+func (p *Peer) dial(l *link) *wire.Conn {
+	backoff := 10 * time.Millisecond
+	for {
+		select {
+		case <-l.quit:
+			return nil
+		case <-p.quit:
+			return nil
+		default:
+		}
+		p.mu.Lock()
+		addr := p.book[l.idx].Addr
+		p.mu.Unlock()
+		if addr == "" {
+			p.opts.Logf("tcp[%d]: no address for member %d yet", p.opts.Index, l.idx)
+		} else if nc, err := net.DialTimeout("tcp", addr, 2*time.Second); err == nil {
+			conn := wire.NewConn(nc)
+			if err := conn.Write(wire.Hello{Kind: "peer", Me: p.Me(), Book: p.Book()}); err == nil {
+				if ack, err := conn.Read(); err == nil {
+					if ha, ok := ack.(wire.HelloAck); ok {
+						p.SetBook(ha.Book)
+						// Drain control frames (book updates) and detect close.
+						go p.drainControl(conn)
+						return conn
+					}
+				}
+			}
+			conn.Close()
+		} else {
+			p.opts.Logf("tcp[%d]: dial member %d (%s): %v", p.opts.Index, l.idx, addr, err)
+		}
+		select {
+		case <-time.After(backoff):
+		case <-l.quit:
+			return nil
+		case <-p.quit:
+			return nil
+		}
+		if backoff < time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// drainControl consumes frames the remote pushes on a dialer-owned
+// connection (address-book updates) until the connection closes.
+func (p *Peer) drainControl(conn *wire.Conn) {
+	for {
+		v, err := conn.Read()
+		if err != nil {
+			return
+		}
+		if bu, ok := v.(wire.BookUpdate); ok {
+			p.SetBook(bu.Book)
+		}
+	}
+}
+
+// AcceptPeer serves an inbound peer connection whose Hello the listener
+// already consumed: it merges the dialer's book, acks with ours, and
+// delivers inbound envelopes until the connection closes. Run it on the
+// connection's goroutine.
+func (p *Peer) AcceptPeer(conn *wire.Conn, hello wire.Hello) {
+	p.AddMember(hello.Me)
+	p.SetBook(hello.Book)
+	if err := conn.Write(wire.HelloAck{Book: p.Book(), Index: p.opts.Index}); err != nil {
+		conn.Close()
+		return
+	}
+	for {
+		v, err := conn.Read()
+		if err != nil {
+			conn.Close()
+			return
+		}
+		switch m := v.(type) {
+		case wire.Envelope:
+			p.Do(func() { p.deliver(m) })
+		case wire.BookUpdate:
+			p.SetBook(m.Book)
+		default:
+			p.opts.Logf("tcp[%d]: unexpected peer frame %T", p.opts.Index, v)
+		}
+	}
+}

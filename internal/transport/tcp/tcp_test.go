@@ -1,0 +1,148 @@
+package tcp
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"skueue/internal/transport"
+	"skueue/internal/wire"
+)
+
+// echoNode counts timeouts and bounces every "ping" back as "pong".
+type echoNode struct {
+	timeouts atomic.Int64
+	got      atomic.Int64
+}
+
+func (e *echoNode) OnInit(ctx *transport.Context) {}
+func (e *echoNode) OnTimeout(ctx *transport.Context) {
+	e.timeouts.Add(1)
+}
+func (e *echoNode) OnMessage(ctx *transport.Context, from transport.NodeID, payload any) {
+	e.got.Add(1)
+	if payload == "ping" {
+		ctx.Send(from, "pong")
+	}
+}
+
+// serve runs a minimal accept loop for a peer (the server package owns the
+// real one).
+func serve(t *testing.T, lis net.Listener, p *Peer) {
+	t.Helper()
+	go func() {
+		for {
+			nc, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				conn := wire.NewConn(nc)
+				v, err := conn.Read()
+				if err != nil {
+					conn.Close()
+					return
+				}
+				hello, ok := v.(wire.Hello)
+				if !ok || hello.Kind != "peer" {
+					conn.Close()
+					return
+				}
+				p.AcceptPeer(conn, hello)
+			}()
+		}
+	}()
+}
+
+func TestPeersExchangeMessages(t *testing.T) {
+	lis0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis0.Close()
+	defer lis1.Close()
+
+	p0 := New(Options{Index: 0, Addr: lis0.Addr().String(), Pids: []int32{0}, Seed: 1, Tick: time.Millisecond})
+	p1 := New(Options{Index: 1, Addr: lis1.Addr().String(), Pids: []int32{1}, Seed: 1, Tick: time.Millisecond})
+	defer p0.Close()
+	defer p1.Close()
+
+	// Each member knows the other from the start (bootstrap book).
+	p0.SetBook([]wire.MemberInfo{p1.Me()})
+	p1.SetBook([]wire.MemberInfo{p0.Me()})
+
+	n0, n1 := &echoNode{}, &echoNode{}
+	p0.Register(0, n0) // pid 0, kind L
+	p1.Register(3, n1) // pid 1, kind L
+	serve(t, lis0, p0)
+	serve(t, lis1, p1)
+	p0.Start()
+	p1.Start()
+
+	// Inject pings from node 0 to node 3 across the wire.
+	const pings = 50
+	for i := 0; i < pings; i++ {
+		p0.Do(func() { p0.Send(0, 3, "ping") })
+	}
+	deadline := time.After(5 * time.Second)
+	for n0.got.Load() < pings {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d/%d pongs arrived (peer got %d pings)", n0.got.Load(), pings, n1.got.Load())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if n1.got.Load() != pings {
+		t.Fatalf("receiver saw %d pings, want %d", n1.got.Load(), pings)
+	}
+	if n0.timeouts.Load() == 0 || n1.timeouts.Load() == 0 {
+		t.Fatalf("TIMEOUT never fired: %d / %d", n0.timeouts.Load(), n1.timeouts.Load())
+	}
+}
+
+func TestParkedFramesFlushOnBookUpdate(t *testing.T) {
+	lis0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis0.Close()
+	defer lis1.Close()
+
+	p0 := New(Options{Index: 0, Addr: lis0.Addr().String(), Pids: []int32{0}, Seed: 1})
+	p1 := New(Options{Index: 1, Addr: lis1.Addr().String(), Pids: []int32{1}, Seed: 1})
+	defer p0.Close()
+	defer p1.Close()
+	n0, n1 := &echoNode{}, &echoNode{}
+	p0.Register(0, n0)
+	p1.Register(3, n1)
+	serve(t, lis0, p0)
+	serve(t, lis1, p1)
+	p0.Start()
+	p1.Start()
+
+	// p0 does not know who hosts pid 1 yet: the frame must park, then fly
+	// once the book names member 1.
+	p0.Do(func() { p0.Send(0, 3, "ping") })
+	time.Sleep(50 * time.Millisecond)
+	if n1.got.Load() != 0 {
+		t.Fatalf("frame delivered before the book knew the pid")
+	}
+	p0.AddMember(p1.Me())
+	deadline := time.After(5 * time.Second)
+	for n1.got.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("parked frame never flushed after book update")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,334 @@
+// Package wire is the codec of the networked transport: length-prefixed
+// binary frames whose bodies are encoding/gob streams, the message
+// envelope exchanged between cluster members, and the small
+// request/response protocol spoken by remote clients.
+//
+// # Framing
+//
+// Every frame on a connection is
+//
+//	[4-byte big-endian body length][body]
+//
+// with the body produced by a per-connection gob encoder. gob streams are
+// stateful — type descriptors are transmitted once per stream — so the
+// encoder and decoder persist for the lifetime of the connection while the
+// explicit length prefix provides cheap message delimiting, a hard size
+// guard (MaxFrame) against corrupt or hostile peers, and the ability to
+// skip or log frames without decoding them.
+//
+// # Envelopes
+//
+// Member-to-member connections carry a Hello handshake followed by
+// Envelope frames: (from, to, payload) triples whose payloads are the
+// protocol messages of internal/core, registered with Register by
+// core.RegisterWireTypes. Client connections carry a Hello followed by the
+// Cli* request/response types below.
+//
+// # Values
+//
+// Remote clients transmit user values as opaque byte blobs produced by
+// EncodeValue. Values must be gob-encodable; concrete types stored inside
+// interface values must be registered — common scalar and composite types
+// are pre-registered, applications add their own with RegisterValue.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"skueue/internal/seqcheck"
+	"skueue/internal/transport"
+)
+
+// ErrEncode marks a Write failure that happened before any byte reached
+// the socket (gob encoding error, frame over MaxFrame). Such failures are
+// deterministic: retrying the same value on a fresh connection fails
+// identically, so link layers must drop the frame instead of redialing.
+var ErrEncode = errors.New("wire: message not encodable")
+
+// MaxFrame is the largest frame body accepted from a connection. It
+// comfortably exceeds any protocol message (the largest are leave handoffs
+// carrying DHT fragments) while bounding memory under corruption.
+const MaxFrame = 64 << 20
+
+// Register makes a concrete type transmittable inside the `any`-typed
+// fields of envelopes and protocol messages (gob interface encoding).
+// It is the package's single registration point so that all encoders and
+// decoders agree; internal/core registers its message set through it.
+func Register(v any) { gob.Register(v) }
+
+func init() {
+	// Common value types for remote client payloads.
+	Register("")
+	Register(0)
+	Register(int64(0))
+	Register(uint64(0))
+	Register(float64(0))
+	Register(false)
+	Register([]byte(nil))
+	Register([]any(nil))
+	Register(map[string]any(nil))
+}
+
+// ---- Member-to-member protocol ----
+
+// MemberInfo describes one cluster member for the address book: its index,
+// its listen address, and the process IDs it hosts. Node addresses resolve
+// to members through the pid encoding (see internal/transport/tcp).
+type MemberInfo struct {
+	Index int32
+	Addr  string
+	Pids  []int32
+}
+
+// Hello is the first frame of every connection, in both directions on
+// peer links (each side introduces itself) and client-to-server.
+type Hello struct {
+	// Kind is "peer" or "client".
+	Kind string
+	// Me describes the dialing member (peer connections only).
+	Me MemberInfo
+	// Book is the sender's current address book (peer connections only);
+	// the receiver merges it.
+	Book []MemberInfo
+}
+
+// HelloAck answers a Hello: the receiver's address book and, for clients,
+// the cluster parameters a remote client needs.
+type HelloAck struct {
+	Book []MemberInfo
+	// Mode is "queue" or "stack" (client connections).
+	Mode string
+	// Index is the answering member's index.
+	Index int32
+}
+
+// Envelope is one protocol message in flight between members.
+type Envelope struct {
+	From, To transport.NodeID
+	Payload  any
+}
+
+// BookUpdate pushes an updated address book over an established peer link
+// (sent by the seed when a member joins).
+type BookUpdate struct {
+	Book []MemberInfo
+}
+
+// ---- Client protocol ----
+
+// CliEnqueue submits an ENQUEUE (PUSH) of an encoded value. Seq is the
+// client's correlation number, echoed in the CliDone.
+type CliEnqueue struct {
+	Seq   uint64
+	Value []byte
+}
+
+// CliDequeue submits a DEQUEUE (POP).
+type CliDequeue struct {
+	Seq uint64
+}
+
+// CliDone reports a completed client operation.
+type CliDone struct {
+	Seq uint64
+	// Bottom marks a dequeue serialized against an empty structure (⊥).
+	Bottom bool
+	// Value is the dequeued encoded value (dequeues only).
+	Value []byte
+	// Rounds is the request latency in transport ticks.
+	Rounds int64
+	// Err carries a server-side submission error, empty on success.
+	Err string
+}
+
+// CliHistory asks a member for its local completion history; the caller
+// merges the histories of all members before running the sequential-
+// consistency checker (completions are recorded where they finish, which
+// for enqueues is the member storing the element).
+type CliHistory struct{}
+
+// CliHistoryResp returns a member's local completion history.
+type CliHistoryResp struct {
+	Ops []seqcheck.Completion
+}
+
+// CliJoin asks the seed member to admit a new member into the cluster.
+type CliJoin struct {
+	// Addr is the joining member's listen address.
+	Addr string
+}
+
+// CliJoinResp carries the assignment the seed made for a joining member.
+type CliJoinResp struct {
+	// Index and Pid are the new member's member index and first process ID.
+	Index int32
+	Pid   int32
+	// Seed, Mode and UpdateThreshold mirror the cluster configuration so
+	// the joiner derives identical labels and hashes.
+	Seed            int64
+	Mode            string
+	UpdateThreshold int
+	// Book is the cluster's address book including the new member.
+	Book []MemberInfo
+	// Contact is the node the joiner routes its JOIN requests through.
+	Contact transport.NodeID
+	// Err reports a rejected join, empty on success.
+	Err string
+}
+
+// ---- Connection ----
+
+// Conn wraps a net.Conn with the framing and the persistent gob codec.
+// Reads and writes are independently locked, so one reader goroutine and
+// any number of writers may share it.
+type Conn struct {
+	c net.Conn
+
+	wmu  sync.Mutex
+	wbuf bytes.Buffer
+	enc  *gob.Encoder
+
+	rmu sync.Mutex
+	fr  *frameReader
+	dec *gob.Decoder
+}
+
+// NewConn wraps an established network connection.
+func NewConn(c net.Conn) *Conn {
+	w := &Conn{c: c}
+	w.enc = gob.NewEncoder(&w.wbuf)
+	w.fr = &frameReader{r: c}
+	w.dec = gob.NewDecoder(w.fr)
+	return w
+}
+
+// Write encodes v into the next frame and sends it.
+func (w *Conn) Write(v any) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	w.wbuf.Reset()
+	if err := w.enc.Encode(&v); err != nil {
+		return fmt.Errorf("%w: %w", ErrEncode, err)
+	}
+	body := w.wbuf.Bytes()
+	if len(body) > MaxFrame {
+		return fmt.Errorf("%w: frame of %d bytes exceeds MaxFrame", ErrEncode, len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.c.Write(body)
+	return err
+}
+
+// Read decodes the next frame. It blocks until a frame arrives, the
+// connection closes (io.EOF), or fails.
+func (w *Conn) Read() (any, error) {
+	w.rmu.Lock()
+	defer w.rmu.Unlock()
+	// Every Write produces one frame per message and caps it at MaxFrame,
+	// so one Decode may consume at most MaxFrame bytes; the budget stops a
+	// hostile peer from smuggling an oversized message as many compliant
+	// frames.
+	w.fr.budget = MaxFrame
+	var v any
+	if err := w.dec.Decode(&v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// Close closes the underlying connection; blocked Reads return.
+func (w *Conn) Close() error { return w.c.Close() }
+
+// RemoteAddr exposes the peer address for logging.
+func (w *Conn) RemoteAddr() net.Addr { return w.c.RemoteAddr() }
+
+// frameReader feeds the gob decoder the concatenated frame bodies,
+// enforcing the length prefix, MaxFrame per frame, and the per-message
+// budget set by Conn.Read.
+type frameReader struct {
+	r      io.Reader
+	left   int
+	budget int
+}
+
+func (f *frameReader) Read(p []byte) (int, error) {
+	if f.budget <= 0 {
+		return 0, fmt.Errorf("wire: message exceeds MaxFrame (split across frames)")
+	}
+	for f.left == 0 {
+		var hdr [4]byte
+		if _, err := io.ReadFull(f.r, hdr[:]); err != nil {
+			return 0, err
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > MaxFrame {
+			return 0, fmt.Errorf("wire: incoming frame of %d bytes exceeds MaxFrame", n)
+		}
+		f.left = int(n)
+	}
+	if len(p) > f.left {
+		p = p[:f.left]
+	}
+	if len(p) > f.budget {
+		p = p[:f.budget]
+	}
+	n, err := f.r.Read(p)
+	f.left -= n
+	f.budget -= n
+	return n, err
+}
+
+// ---- Value codec ----
+
+// RegisterValue registers a concrete user value type for transmission by
+// remote clients; see EncodeValue.
+func RegisterValue(v any) { gob.Register(v) }
+
+// EncodeValue serializes a user value for transport. Each value is a
+// self-contained gob stream, so blobs can be stored, forwarded and decoded
+// independently of any connection.
+func EncodeValue(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+		return nil, fmt.Errorf("wire: value %T is not transportable: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeValue reverses EncodeValue. A nil blob decodes to nil.
+func DecodeValue(b []byte) (any, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	var v any
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&v); err != nil {
+		return nil, fmt.Errorf("wire: decode value: %w", err)
+	}
+	return v, nil
+}
+
+func init() {
+	// Handshake and protocol frames themselves travel as `any` frames.
+	Register(Hello{})
+	Register(HelloAck{})
+	Register(Envelope{})
+	Register(BookUpdate{})
+	Register(CliEnqueue{})
+	Register(CliDequeue{})
+	Register(CliDone{})
+	Register(CliHistory{})
+	Register(CliHistoryResp{})
+	Register(CliJoin{})
+	Register(CliJoinResp{})
+}

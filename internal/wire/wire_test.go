@@ -1,0 +1,55 @@
+package wire
+
+import (
+	"net"
+	"reflect"
+	"testing"
+)
+
+func TestValueCodec(t *testing.T) {
+	for _, v := range []any{nil, "job-1", 42, int64(-7), 3.5, true, []byte{1, 2}, []any{"a", 1}, map[string]any{"k": "v"}} {
+		b, err := EncodeValue(v)
+		if err != nil {
+			t.Fatalf("EncodeValue(%v): %v", v, err)
+		}
+		got, err := DecodeValue(b)
+		if err != nil {
+			t.Fatalf("DecodeValue(%v): %v", v, err)
+		}
+		if !reflect.DeepEqual(got, v) {
+			t.Fatalf("round trip changed %#v into %#v", v, got)
+		}
+	}
+}
+
+func TestConnFraming(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	msgs := []any{
+		Hello{Kind: "peer", Me: MemberInfo{Index: 1, Addr: "x:1", Pids: []int32{1}}},
+		HelloAck{Book: []MemberInfo{{Index: 0, Addr: "y:2", Pids: []int32{0}}}, Mode: "queue"},
+		CliEnqueue{Seq: 9, Value: []byte("blob")},
+		CliDone{Seq: 9, Bottom: true, Rounds: 17},
+		BookUpdate{Book: []MemberInfo{{Index: 2, Addr: "z:3", Pids: []int32{5, 6}}}},
+	}
+	go func() {
+		for _, m := range msgs {
+			if err := ca.Write(m); err != nil {
+				t.Errorf("write %T: %v", m, err)
+				return
+			}
+		}
+	}()
+	for i, want := range msgs {
+		got, err := cb.Read()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("msg %d: got %+v want %+v", i, got, want)
+		}
+	}
+}

@@ -1,5 +1,7 @@
 package skueue
 
+import "skueue/internal/wire"
+
 // Mode selects the data-structure semantics.
 type Mode int
 
@@ -30,6 +32,7 @@ type options struct {
 	noStage4Wait    bool
 	noCombining     bool
 	quantum         int64
+	remote          string
 }
 
 func defaultOptions() options {
@@ -90,10 +93,25 @@ func WithAutopilotQuantum(rounds int64) Option { return func(o *options) { o.qua
 
 // WithoutStage4Wait disables the §VI completion wait (unsafe ablation: the
 // paper's counterexample becomes reachable and sequential consistency can
-// break under asynchrony). See DESIGN.md §6.
+// break under asynchrony). See DESIGN.md §7.
 func WithoutStage4Wait() Option { return func(o *options) { o.noStage4Wait = true } }
 
 // WithoutLocalCombining disables the §VI local push/pop combining (unsafe
 // ablation: stack batches grow and Theorem 20 no longer holds). See
-// DESIGN.md §6.
+// DESIGN.md §7.
 func WithoutLocalCombining() Option { return func(o *options) { o.noCombining = true } }
+
+// WithRemote connects the client to a networked Skueue cluster member
+// (started with cmd/skueue-server) at the given address instead of
+// hosting a simulated cluster in-process. Enqueue/Dequeue (and the async
+// variants) round-trip over TCP; Check fetches and merges the completion
+// histories of all cluster members. Values must be gob-encodable (see
+// RegisterValue). Simulation-only surfaces — process pinning, Admin,
+// manual clock, Cluster introspection — return ErrRemote or zero values;
+// every other Open option is ignored.
+func WithRemote(addr string) Option { return func(o *options) { o.remote = addr } }
+
+// RegisterValue registers a concrete user value type for transmission to
+// a remote cluster (the wire codec is encoding/gob; common scalar and
+// composite types are pre-registered).
+func RegisterValue(v any) { wire.RegisterValue(v) }

@@ -1,0 +1,247 @@
+package skueue
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"skueue/internal/seqcheck"
+	"skueue/internal/wire"
+)
+
+// remoteClient is the WithRemote backend of a Client: instead of hosting a
+// simulated cluster in-process, operations are submitted over TCP to a
+// cluster member started with cmd/skueue-server, and completions stream
+// back asynchronously. The Future machinery is shared with the simulated
+// mode; only submission and resolution differ.
+type remoteClient struct {
+	c    *Client
+	conn *wire.Conn
+	book []wire.MemberInfo
+	mode Mode
+
+	mu      sync.Mutex
+	seq     uint64
+	pending map[uint64]*Future
+	readErr error
+}
+
+// dialRemote establishes the client connection and handshake.
+func dialRemote(addr string) (*remoteClient, error) {
+	nc, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("skueue: dialing %s: %w", addr, err)
+	}
+	conn := wire.NewConn(nc)
+	if err := conn.Write(wire.Hello{Kind: "client"}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	v, err := conn.Read()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("skueue: handshake with %s: %w", addr, err)
+	}
+	ack, ok := v.(wire.HelloAck)
+	if !ok {
+		conn.Close()
+		return nil, fmt.Errorf("skueue: %s answered %T to hello", addr, v)
+	}
+	mode := Queue
+	if ack.Mode == "stack" {
+		mode = Stack
+	}
+	return &remoteClient{
+		conn:    conn,
+		book:    ack.Book,
+		mode:    mode,
+		pending: make(map[uint64]*Future),
+	}, nil
+}
+
+// reader dispatches completion frames to futures until the connection
+// closes, then fails the client so blocked calls return.
+func (r *remoteClient) reader() {
+	for {
+		v, err := r.conn.Read()
+		if err != nil {
+			r.mu.Lock()
+			r.readErr = err
+			r.mu.Unlock()
+			r.c.failRemote()
+			return
+		}
+		done, ok := v.(wire.CliDone)
+		if !ok {
+			continue // histories etc. use dedicated connections
+		}
+		r.mu.Lock()
+		f := r.pending[done.Seq]
+		delete(r.pending, done.Seq)
+		r.mu.Unlock()
+		if f == nil {
+			continue
+		}
+		f.rounds = done.Rounds
+		if done.Err != "" {
+			// Submission failed server-side (e.g. no live local process):
+			// the operation never entered the queue, so it must surface as
+			// an error, not as a ⊥ or a silent success.
+			f.err = fmt.Errorf("skueue: server rejected operation: %s", done.Err)
+		} else if f.kind == seqcheck.Dequeue {
+			f.bottom = done.Bottom
+			if !done.Bottom {
+				val, derr := wire.DecodeValue(done.Value)
+				if derr != nil {
+					// The element is consumed either way; losing the value
+					// silently would be worse than reporting it.
+					f.err = derr
+				} else {
+					f.value = val
+				}
+			}
+		}
+		close(f.done)
+	}
+}
+
+// submit sends one operation and registers its future.
+func (r *remoteClient) submit(kind seqcheck.Kind, proc int, value any) (*Future, error) {
+	if proc != AnyProcess {
+		return nil, fmt.Errorf("process pinning is not available over the network: %w", ErrRemote)
+	}
+	var blob []byte
+	if kind == seqcheck.Enqueue {
+		var err error
+		if blob, err = wire.EncodeValue(value); err != nil {
+			return nil, err
+		}
+	}
+	f := &Future{c: r.c, kind: kind, done: make(chan struct{})}
+	r.mu.Lock()
+	if r.readErr != nil {
+		err := r.readErr
+		r.mu.Unlock()
+		return nil, fmt.Errorf("skueue: server connection failed: %w", err)
+	}
+	r.seq++
+	seq := r.seq
+	f.id = seq
+	r.pending[seq] = f
+	r.mu.Unlock()
+	var req any
+	if kind == seqcheck.Enqueue {
+		req = wire.CliEnqueue{Seq: seq, Value: blob}
+	} else {
+		req = wire.CliDequeue{Seq: seq}
+	}
+	if err := r.conn.Write(req); err != nil {
+		r.mu.Lock()
+		delete(r.pending, seq)
+		r.mu.Unlock()
+		return nil, fmt.Errorf("skueue: submitting to server: %w", err)
+	}
+	return f, nil
+}
+
+// close shuts the connection; the reader then fails remaining futures.
+func (r *remoteClient) close() { r.conn.Close() }
+
+// freshBook asks the first reachable member for its current address book,
+// so members that joined after this client opened are included. Falls
+// back to the dial-time snapshot if nobody answers.
+func (r *remoteClient) freshBook() []wire.MemberInfo {
+	for _, m := range r.book {
+		nc, err := net.DialTimeout("tcp", m.Addr, 5*time.Second)
+		if err != nil {
+			continue
+		}
+		conn := wire.NewConn(nc)
+		if conn.Write(wire.Hello{Kind: "client"}) == nil {
+			if v, err := conn.Read(); err == nil {
+				if ack, ok := v.(wire.HelloAck); ok && len(ack.Book) > 0 {
+					conn.Close()
+					return ack.Book
+				}
+			}
+		}
+		conn.Close()
+	}
+	return r.book
+}
+
+// histories fetches the completion history of every cluster member over
+// fresh connections and merges them. Completions are recorded where they
+// finish — enqueues at the member storing the element — so no single
+// member holds the full execution. The member list is re-fetched first:
+// members admitted after this client opened hold completions too.
+func (r *remoteClient) histories() (*seqcheck.History, error) {
+	hist := &seqcheck.History{}
+	for _, m := range r.freshBook() {
+		nc, err := net.DialTimeout("tcp", m.Addr, 10*time.Second)
+		if err != nil {
+			return nil, fmt.Errorf("skueue: dialing member %d (%s): %w", m.Index, m.Addr, err)
+		}
+		conn := wire.NewConn(nc)
+		err = func() error {
+			defer conn.Close()
+			if err := conn.Write(wire.Hello{Kind: "client"}); err != nil {
+				return err
+			}
+			if _, err := conn.Read(); err != nil {
+				return err
+			}
+			if err := conn.Write(wire.CliHistory{}); err != nil {
+				return err
+			}
+			v, err := conn.Read()
+			if err != nil {
+				return err
+			}
+			resp, ok := v.(wire.CliHistoryResp)
+			if !ok {
+				return fmt.Errorf("member %d answered %T to history request", m.Index, v)
+			}
+			hist.Ops = append(hist.Ops, resp.Ops...)
+			return nil
+		}()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return hist, nil
+}
+
+// openRemote builds the WithRemote flavour of a Client: no cluster, no
+// autopilot — just the connection and the shared Future machinery.
+func openRemote(addr string) (*Client, error) {
+	r, err := dialRemote(addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		mode:    r.mode,
+		rem:     r,
+		wake:    make(chan struct{}, 1),
+		quit:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	close(c.stopped) // no autopilot to wait for on Close
+	r.c = c
+	go r.reader()
+	return c, nil
+}
+
+// failRemote is called by the reader when the server connection dies: it
+// closes the client so every blocked call returns ErrClosed.
+func (c *Client) failRemote() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	close(c.quit)
+	c.mu.Unlock()
+}

@@ -3,27 +3,39 @@
 // Scheideler and Setzer (IPDPS 2018), together with its distributed stack
 // variant.
 //
-// The protocol runs on a simulated network of processes, each emulating
-// three virtual nodes of a linearized De Bruijn overlay. Queue operations
-// are aggregated into batches over an implicit aggregation tree, assigned
-// positions by the leftmost node (the anchor), and stored in a DHT via
-// consistent hashing; the result is sequential consistency with O(log n)
-// rounds per operation even under massive request rates, plus JOIN and
-// LEAVE support for dynamic membership.
+// Processes each emulate three virtual nodes of a linearized De Bruijn
+// overlay. Queue operations are aggregated into batches over an implicit
+// aggregation tree, assigned positions by the leftmost node (the anchor),
+// and stored in a DHT via consistent hashing; the result is sequential
+// consistency with O(log n) rounds per operation even under massive
+// request rates, plus JOIN and LEAVE support for dynamic membership.
 //
 // The package is a concurrency-safe client layer over the full protocol
 // implementation in internal/: open a Client, issue blocking operations
 // from any number of goroutines, and verify the execution against the
-// paper's Definition 1 with Check. A background autopilot advances
-// simulated time whenever work is pending, so the blocking calls behave
-// like a real queue client's:
+// paper's Definition 1 with Check. The protocol runs over a pluggable
+// transport (internal/transport) with two backends, selected at Open:
 //
-//	c, _ := skueue.Open(skueue.WithProcesses(8), skueue.WithSeed(1))
-//	defer c.Close()
-//	ctx := context.Background()
-//	_ = c.Enqueue(ctx, "job-1")
-//	v, ok, _ := c.Dequeue(ctx)
-//	fmt.Println(v, ok) // job-1 true
+//   - Simulated (default): the whole deployment lives in-process on the
+//     deterministic discrete-event engine of internal/sim. A background
+//     autopilot advances simulated time whenever work is pending, so the
+//     blocking calls behave like a real queue client's:
+//
+//     c, _ := skueue.Open(skueue.WithProcesses(8), skueue.WithSeed(1))
+//     defer c.Close()
+//     ctx := context.Background()
+//     _ = c.Enqueue(ctx, "job-1")
+//     v, ok, _ := c.Dequeue(ctx)
+//     fmt.Println(v, ok) // job-1 true
+//
+//   - Networked (WithRemote): the cluster is a set of skueue-server
+//     processes exchanging protocol messages over TCP
+//     (internal/transport/tcp, cmd/skueue-server), and the client
+//     round-trips operations to one of them:
+//
+//     c, _ := skueue.Open(skueue.WithRemote("127.0.0.1:7001"))
+//     defer c.Close()
+//     _ = c.Enqueue(ctx, "job-1")
 //
 // Deterministic single-goroutine control — what the experiment harness and
 // the CLIs use — is preserved behind WithManualClock: the async
@@ -31,8 +43,9 @@
 // Drain and Settle advance the clock explicitly.
 //
 // Errors are typed sentinels (ErrNoSuchProcess, ErrProcessLeft,
-// ErrTimeout, ErrClosed, ...); match them with errors.Is.
+// ErrTimeout, ErrClosed, ErrRemote, ...); match them with errors.Is.
 //
-// See README.md for a quickstart, DESIGN.md for the system inventory and
-// EXPERIMENTS.md for the reproduction of the paper's evaluation.
+// See README.md for quickstarts (including a networked cluster),
+// DESIGN.md for the architecture and EXPERIMENTS.md for the reproduction
+// of the paper's evaluation.
 package skueue
