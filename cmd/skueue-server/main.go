@@ -18,6 +18,18 @@
 //
 // The newcomer is admitted by the seed and integrated through the paper's
 // JOIN protocol (§IV-A).
+//
+// Fail-stop recovery: give each member a -state directory and it
+// persists write-ahead snapshots of its DHT fragment and queue state. A
+// crashed member restarts from the snapshot with the same flags — it
+// re-announces its address through the seed (-join) and its peers replay
+// everything it missed:
+//
+//	skueue-server -addr 127.0.0.1:7002 -state /var/lib/skueue/m1 -join 127.0.0.1:7001
+//
+// -give-up bounds how long the member waits for an unreachable peer (or
+// seed) before failing pending operations (or exiting) with a clear
+// error instead of blocking forever; 0 waits indefinitely.
 package main
 
 import (
@@ -42,17 +54,23 @@ func main() {
 		members = flag.String("members", "", "comma-separated bootstrap member addresses")
 		procs   = flag.Int("procs", 0, "total bootstrap processes (default: one per member)")
 		join    = flag.String("join", "", "join a running cluster via this seed address (ignores bootstrap flags)")
+		state   = flag.String("state", "", "state directory for fail-stop snapshots (empty: no persistence)")
+		snapEv  = flag.Duration("snapshot-every", 250*time.Millisecond, "write-ahead snapshot cadence (with -state)")
+		giveUp  = flag.Duration("give-up", 0, "declare an unreachable member dead after this long (0: wait forever)")
 		tick    = flag.Duration("tick", time.Millisecond, "protocol TIMEOUT cadence")
 		verbose = flag.Bool("v", false, "log transport diagnostics")
 	)
 	flag.Parse()
 
 	cfg := server.Config{
-		Addr: *addr,
-		Seed: *seed,
-		Mode: *mode,
-		Tick: *tick,
-		Join: *join,
+		Addr:          *addr,
+		Seed:          *seed,
+		Mode:          *mode,
+		Tick:          *tick,
+		Join:          *join,
+		StateDir:      *state,
+		SnapshotEvery: *snapEv,
+		GiveUp:        *giveUp,
 	}
 	if *join == "" {
 		if *members == "" {

@@ -34,11 +34,14 @@ var (
 	// deterministic control of simulated time.
 	ErrAutoClock = errors.New("skueue: clock is automatic (open with WithManualClock to step manually)")
 
-	// ErrRemote reports an operation that only exists against an
+	// ErrRemote reports a remote-cluster condition on a client opened with
+	// WithRemote: either an operation that only exists against an
 	// in-process simulated cluster — process pinning, membership
-	// administration, simulation clock control — on a client opened with
-	// WithRemote. The networked cluster's membership is managed by its
-	// servers (cmd/skueue-server -join).
+	// administration, simulation clock control — or an operation the
+	// cluster abandoned because one of its members stayed unreachable past
+	// the server's give-up timeout (fail-stop detection; see
+	// cmd/skueue-server -give-up). The networked cluster's membership is
+	// managed by its servers (cmd/skueue-server -join).
 	ErrRemote = errors.New("skueue: operation not available on a remote client")
 )
 

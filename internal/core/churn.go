@@ -629,6 +629,12 @@ func (n *Node) handleChurn(ctx *transport.Context, from transport.NodeID, payloa
 		}
 	case rejectBatch:
 		if n.inBatch == nil {
+			if n.cl.memberMode() {
+				// Replay duplicate after a fail-stop restart: the batch it
+				// bounces was already restored or re-fired.
+				n.cl.logf("core: %v dropping rejectBatch without a batch in flight (restart replay)", n.self)
+				return true
+			}
 			panic(fmt.Sprintf("core: %v got rejectBatch without a batch in flight", n.self))
 		}
 		kids := n.inBatch[1:]

@@ -129,6 +129,7 @@ type Cluster struct {
 	nextProc   int32
 	onComplete func(seqcheck.Completion)
 	onPutAck   func(reqID uint64)
+	log        func(format string, args ...any)
 }
 
 // New builds and wires a cluster. All processes given in the config are
@@ -256,6 +257,24 @@ func ReqIDMember(reqID uint64) uint64 { return reqID >> ReqIDMemberShift }
 func (cl *Cluster) nextReqID() uint64 {
 	cl.reqSeq++
 	return cl.reqBase | cl.reqSeq
+}
+
+// memberMode reports whether this Cluster is one member's fragment of a
+// networked deployment. The simulator treats protocol anomalies as fatal
+// bugs (panic); a networked member additionally tolerates the benign
+// duplicates a fail-stop restart produces — a restored member re-executes
+// the tail of its history past its last snapshot, so its peers can see a
+// handful of its pre-crash messages again (see internal/server).
+func (cl *Cluster) memberMode() bool { return cl.eng == nil }
+
+// SetLogf routes diagnostics (restart-replay tolerance, churn corners) to
+// the member's logger; default discards.
+func (cl *Cluster) SetLogf(fn func(format string, args ...any)) { cl.log = fn }
+
+func (cl *Cluster) logf(format string, args ...any) {
+	if cl.log != nil {
+		cl.log(format, args...)
+	}
 }
 
 func (cl *Cluster) recordCompletion(c seqcheck.Completion) {

@@ -9,19 +9,25 @@ import (
 )
 
 // aggregateMsg carries a combined batch one hop up the aggregation tree
-// (Stage 1, Algorithm 1: AGGREGATE).
+// (Stage 1, Algorithm 1: AGGREGATE). WaveSeq is the sender's fire
+// counter: the parent echoes it in the matching serveMsg, so a node can
+// recognize a serve for a wave it no longer has in flight — which only
+// happens around a fail-stop restart, when a rolled-back member re-fires
+// a wave its peers partially saw (see internal/core/snapshot.go).
 type aggregateMsg struct {
-	From ldb.Ref
-	B    batch.Batch
+	From    ldb.Ref
+	B       batch.Batch
+	WaveSeq int64
 }
 
 // serveMsg carries decomposed run assignments one hop down the aggregation
-// tree (Stage 3, Algorithm 2: SERVE). A non-zero UpdateEpoch signals the
-// start of that update phase (§IV): no node may send new batches until the
-// phase ends.
+// tree (Stage 3, Algorithm 2: SERVE), echoing the aggregateMsg's WaveSeq.
+// A non-zero UpdateEpoch signals the start of that update phase (§IV): no
+// node may send new batches until the phase ends.
 type serveMsg struct {
 	Assigns     []batch.RunAssign
 	UpdateEpoch int64
+	WaveSeq     int64
 }
 
 // routedMsg wraps a payload travelling over the LDB towards the node

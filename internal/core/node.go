@@ -24,12 +24,14 @@ type pendingOp struct {
 
 // subBatch remembers one component of the processing batch and where it
 // came from: a child's sub-batch, or (From == transport.None) the node's
-// own buffered operations. Fields are exported because sub-batches travel
-// inside leave handoffs and absorb messages, which cross the wire under
-// the TCP transport.
+// own buffered operations. WaveSeq is the child's fire counter, echoed in
+// the serve so the child can match (or reject) it after a restart. Fields
+// are exported because sub-batches travel inside leave handoffs and
+// absorb messages, which cross the wire under the TCP transport.
 type subBatch struct {
-	From transport.NodeID
-	B    batch.Batch
+	From    transport.NodeID
+	B       batch.Batch
+	WaveSeq int64
 }
 
 // ownWave is the node's own contribution to the current processing batch:
@@ -76,6 +78,10 @@ type Node struct {
 	// Request generation.
 	nextElemSeq  int64
 	nextLocalSeq int64
+
+	// waveSeq counts this node's wave fires; the current processing batch
+	// (inBatch != nil) carries it upward and the parent's serve echoes it.
+	waveSeq int64
 
 	// Stage 1: own buffered operations (queue mode and uncombined stack
 	// mode) or the residual word combiner (stack mode, §VI).
@@ -269,6 +275,7 @@ func (n *Node) fire(ctx *transport.Context) {
 	n.waiting = nil
 	n.inBatch = subs
 	n.inOwn = own
+	n.waveSeq++
 
 	parts := make([]batch.Batch, len(subs))
 	for i, sb := range subs {
@@ -284,7 +291,7 @@ func (n *Node) fire(ctx *transport.Context) {
 	if n.churn.joining {
 		// Joining nodes relay their requests through the responsible node,
 		// which treats them as extra aggregation-tree children (§IV-A).
-		ctx.Send(n.churn.relayVia.ID, aggregateMsg{From: n.self, B: combined})
+		ctx.Send(n.churn.relayVia.ID, aggregateMsg{From: n.self, B: combined, WaveSeq: n.waveSeq})
 		return
 	}
 	parent, ok := n.nb().Parent()
@@ -293,10 +300,11 @@ func (n *Node) fire(ctx *transport.Context) {
 		// happens only transiently during churn; hold the batch until the
 		// role arrives.
 		n.inBatch = nil
+		n.waveSeq--
 		n.restoreOwn(own, subs[1:])
 		return
 	}
-	ctx.Send(parent.ID, aggregateMsg{From: n.self, B: combined})
+	ctx.Send(parent.ID, aggregateMsg{From: n.self, B: combined, WaveSeq: n.waveSeq})
 }
 
 // restoreOwn undoes a fire that could not proceed (rare churn corner).
@@ -333,6 +341,14 @@ func (n *Node) assignAndServe(ctx *transport.Context, combined batch.Batch) {
 // starts the update phase of §IV.
 func (n *Node) serve(ctx *transport.Context, assigns []batch.RunAssign, epoch int64, from transport.NodeID) {
 	if n.inBatch == nil {
+		if n.cl.memberMode() {
+			// A restarted member can receive the serve for a wave its
+			// snapshot predates (the fire was re-executed, or the wave was
+			// a pre-crash phantom). The restart protocol only guarantees
+			// this for empty waves, which lose nothing when dropped.
+			n.cl.logf("core: %v dropping SERVE without a processing batch (restart replay)", n.self)
+			return
+		}
 		panic(fmt.Sprintf("core: node %v received SERVE without a processing batch", n.self))
 	}
 	subs := n.inBatch
@@ -348,7 +364,7 @@ func (n *Node) serve(ctx *transport.Context, assigns []batch.RunAssign, epoch in
 		if sb.From == transport.None {
 			n.applyOwn(ctx, own, d)
 		} else {
-			ctx.Send(sb.From, serveMsg{Assigns: d, UpdateEpoch: epoch})
+			ctx.Send(sb.From, serveMsg{Assigns: d, UpdateEpoch: epoch, WaveSeq: sb.WaveSeq})
 		}
 	}
 	if epoch != 0 {
@@ -483,6 +499,16 @@ func (n *Node) dispatchDHT(ctx *transport.Context, key fixpoint.Frac, inner any)
 func (n *Node) handleDHT(ctx *transport.Context, inner any) {
 	switch m := inner.(type) {
 	case putReq:
+		if n.cl.memberMode() && n.store.Has(m.Pos, m.Ticket) {
+			// Replayed duplicate after a fail-stop restart: the element is
+			// already stored and its completion recorded. Re-acknowledge —
+			// the ack, not the store, may be what the crash swallowed.
+			n.cl.logf("core: %v dropping duplicate PUT at pos=%d (restart replay)", n.self, m.Pos)
+			if n.cl.cfg.Mode == batch.Stack || n.cl.cfg.AckAllPuts {
+				ctx.Send(m.Requester, putAck{ReqID: m.ReqID})
+			}
+			return
+		}
 		released := n.store.PutBlob(m.Pos, m.Ticket, m.Elem, m.Blob)
 		// The enqueue finishes the moment its element is stored (§VII).
 		n.cl.recordCompletion(seqcheck.Completion{
@@ -505,6 +531,10 @@ func (n *Node) handleDHT(ctx *transport.Context, inner any) {
 		n.store.Park(m.Pos, dht.Waiter{Requester: m.Requester, ReqID: m.ReqID, Bound: m.Bound})
 		n.cl.metrics.ParkedGets++
 	case migrateEntry:
+		if n.cl.memberMode() && n.store.Has(m.Ent.Pos, m.Ent.Ticket) {
+			n.cl.logf("core: %v dropping duplicate migrated entry at pos=%d (restart replay)", n.self, m.Ent.Pos)
+			return
+		}
 		for _, rel := range n.store.Insert(m.Ent) {
 			ctx.Send(rel.Waiter.Requester, getReply{ReqID: rel.Waiter.ReqID, Entry: rel.Entry})
 		}
@@ -539,10 +569,35 @@ func (n *Node) OnMessage(ctx *transport.Context, from transport.NodeID, payload 
 			return
 		}
 		if n.hasWaitingFrom(m.From.ID) {
+			if n.cl.memberMode() {
+				// A restarted child re-fires the wave its snapshot rolled
+				// back (same WaveSeq, regenerated from replayed inputs), or
+				// a replayed link delivered the previous wave again. Either
+				// way the latest arrival reflects the child's current
+				// reality, so it replaces the buffered one.
+				n.cl.logf("core: %v replacing sub-batch from restarted child %v (wave %d)", n.self, m.From, m.WaveSeq)
+				for i := range n.waiting {
+					if n.waiting[i].From == m.From.ID {
+						n.waiting[i].B = m.B
+						n.waiting[i].WaveSeq = m.WaveSeq
+					}
+				}
+				return
+			}
 			panic(fmt.Sprintf("core: node %v got a second sub-batch from child %v within one wave", n.self, m.From))
 		}
-		n.waiting = append(n.waiting, subBatch{From: m.From.ID, B: m.B})
+		n.waiting = append(n.waiting, subBatch{From: m.From.ID, B: m.B, WaveSeq: m.WaveSeq})
 	case serveMsg:
+		if n.cl.memberMode() && m.WaveSeq != 0 && m.WaveSeq != n.waveSeq {
+			// A serve for a wave this node no longer has in flight: around
+			// a fail-stop restart, both the pre-crash phantom serve and the
+			// re-aggregated one arrive tagged with the same WaveSeq — the
+			// first one consumes the batch, any other is dropped here. The
+			// restart protocol guarantees equivalence only for empty waves
+			// (see snapshot.go), which lose nothing either way.
+			n.cl.logf("core: %v dropping serve for wave %d (current %d; restart replay)", n.self, m.WaveSeq, n.waveSeq)
+			return
+		}
 		n.serve(ctx, m.Assigns, m.UpdateEpoch, from)
 	case routedMsg:
 		n.routeStep(ctx, m)
@@ -551,6 +606,12 @@ func (n *Node) OnMessage(ctx *transport.Context, from transport.NodeID, payload 
 	case getReply:
 		gc, ok := n.pendingGets[m.ReqID]
 		if !ok {
+			if n.cl.memberMode() {
+				// Replay duplicate after a fail-stop restart: the restored
+				// state already resolved this GET.
+				n.cl.logf("core: %v dropping reply for unknown GET %d (restart replay)", n.self, m.ReqID)
+				return
+			}
 			panic(fmt.Sprintf("core: node %v got reply for unknown GET %d", n.self, m.ReqID))
 		}
 		delete(n.pendingGets, m.ReqID)

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"skueue/internal/batch"
+	"skueue/internal/dht"
+	"skueue/internal/ldb"
+	"skueue/internal/seqcheck"
+	"skueue/internal/transport"
+	"skueue/internal/xrand"
+)
+
+// This file is the fail-stop recovery surface of a networked member: an
+// exported, gob-encodable image of everything a member must carry across
+// a crash — its DHT fragment (the elements and their queue positions),
+// topology references, wave buffers, request counters and completion
+// history — plus the constructor that rebuilds a Cluster from it.
+//
+// The image is deliberately a plain-data mirror of the node state rather
+// than the state itself: Node fields are unexported and full of
+// simulation-only bookkeeping, while the image only holds what a restart
+// needs and what the wire codec (encoding/gob) can carry.
+//
+// Consistency model: SnapshotMember must run on the transport's runner
+// goroutine, so the image is a point-in-time cut between two message
+// deliveries. Paired with the transport's write-ahead acknowledgment
+// release (tcp.Options.AckGate — deliveries are only acknowledged to
+// their senders once a snapshot covering them is durable), a restored
+// member re-receives exactly the messages its snapshot misses and
+// re-executes them against the rolled-back state. Messages the member
+// SENT after the snapshot may reach peers twice (once pre-crash, once
+// re-executed); the member-mode tolerance paths in node.go/churn.go and
+// the receiver-side idempotence of the DHT make those duplicates benign
+// for empty waves, which is why recovery is exact when the crash happens
+// while no client operations are in flight at the member, and
+// at-least-once best-effort otherwise (see DESIGN.md).
+
+// ErrNotQuiescent reports a snapshot attempt while churn is in progress
+// at this member: join/leave handshakes hold multi-message state that the
+// image does not model. Callers skip the interval and retry.
+var ErrNotQuiescent = errors.New("core: member is not churn-quiescent")
+
+// OpImage is one buffered, not-yet-assigned client operation.
+type OpImage struct {
+	IsDeq    bool
+	Elem     dht.Element
+	ReqID    uint64
+	Born     int64
+	LocalSeq int64
+	Blob     []byte
+}
+
+// SubBatchImage is one remembered sub-batch component of a wave.
+type SubBatchImage struct {
+	From    transport.NodeID
+	B       batch.Batch
+	WaveSeq int64
+}
+
+// GetImage is one in-flight GET issued by the node.
+type GetImage struct {
+	ReqID    uint64
+	Born     int64
+	LocalSeq int64
+	Value    int64
+}
+
+// NodeImage captures one virtual node.
+type NodeImage struct {
+	Self, Pred, Succ ldb.Ref
+	SibL, SibM, SibR ldb.Ref
+	SibIn            [3]bool
+	ClientID         int32
+
+	Anchor bool
+	Ast    batch.AnchorState
+
+	NextElemSeq  int64
+	NextLocalSeq int64
+	WaveSeq      int64
+
+	Pending  []OpImage
+	Waiting  []SubBatchImage
+	InBatch  []SubBatchImage // nil: no processing batch in flight
+	InOwnOps []OpImage
+	InOwnB   batch.Batch
+
+	Outstanding int
+
+	Entries []dht.Entry
+	Parked  []dht.ParkedEntry
+	Gets    []GetImage
+
+	LastEpoch    int64
+	EpochCounter int64
+	PendChurn    int64
+}
+
+// ProcessImage captures one process-table entry.
+type ProcessImage struct {
+	ID      int32
+	Nodes   [3]transport.NodeID
+	Joining bool
+	Left    bool
+}
+
+// MemberSnapshot is the full persistent image of one networked member.
+type MemberSnapshot struct {
+	Index    int32
+	Procs    []ProcessImage
+	Nodes    []NodeImage
+	ReqSeq   uint64
+	Issued   int64
+	Finished int64
+	History  []seqcheck.Completion
+}
+
+func opImages(ops []pendingOp) []OpImage {
+	out := make([]OpImage, len(ops))
+	for i, op := range ops {
+		out[i] = OpImage{IsDeq: op.isDeq, Elem: op.elem, ReqID: op.reqID, Born: op.born, LocalSeq: op.localSeq, Blob: op.blob}
+	}
+	return out
+}
+
+func opsFromImages(imgs []OpImage) []pendingOp {
+	if len(imgs) == 0 {
+		return nil
+	}
+	out := make([]pendingOp, len(imgs))
+	for i, im := range imgs {
+		out[i] = pendingOp{isDeq: im.IsDeq, elem: im.Elem, reqID: im.ReqID, born: im.Born, localSeq: im.LocalSeq, blob: im.Blob}
+	}
+	return out
+}
+
+func subImages(subs []subBatch) []SubBatchImage {
+	out := make([]SubBatchImage, len(subs))
+	for i, sb := range subs {
+		out[i] = SubBatchImage{From: sb.From, B: sb.B, WaveSeq: sb.WaveSeq}
+	}
+	return out
+}
+
+func subsFromImages(imgs []SubBatchImage) []subBatch {
+	if imgs == nil {
+		return nil
+	}
+	out := make([]subBatch, len(imgs))
+	for i, im := range imgs {
+		out[i] = subBatch{From: im.From, B: im.B, WaveSeq: im.WaveSeq}
+	}
+	return out
+}
+
+// snapshottable reports whether the node's churn state is trivial enough
+// to omit from the image: anything mid-handshake refuses the snapshot.
+func (n *Node) snapshottable() bool {
+	c := &n.churn
+	return !c.joining && !c.leaving && !c.departed && !c.isReplacement &&
+		!c.updatePhase && !c.leaveReqSent && !c.rangeValid &&
+		len(c.routedHold) == 0 && len(c.heldTransfers) == 0 &&
+		len(c.heldHandovers) == 0 && len(c.joiners) == 0 &&
+		len(c.grantsPending) == 0 && c.grantedOpen == 0 &&
+		len(c.buffer) == 0 && len(c.heldQueries) == 0 &&
+		len(c.heldHandoffs) == 0 && !c.relayVia.Valid()
+}
+
+// SnapshotMember captures this member's persistent image. It must run on
+// the transport's runner goroutine (tcp.Peer.DoSync), where no handler is
+// concurrently mutating node state. It fails with ErrNotQuiescent while
+// any local node is inside a join/leave handshake, and refuses stack mode
+// outright (the residual combiner and ticket wait make the stack's
+// restart story a separate project).
+func (cl *Cluster) SnapshotMember() (*MemberSnapshot, error) {
+	if !cl.memberMode() {
+		return nil, errors.New("core: only networked members snapshot (the simulator has no crashes)")
+	}
+	if cl.cfg.Mode == batch.Stack {
+		return nil, errors.New("core: stack-mode members do not support snapshots yet")
+	}
+	snap := &MemberSnapshot{
+		Index:    int32(cl.reqBase>>ReqIDMemberShift) - 1,
+		ReqSeq:   cl.reqSeq,
+		Issued:   cl.issued,
+		Finished: cl.finished,
+	}
+	for _, p := range cl.procs {
+		snap.Procs = append(snap.Procs, ProcessImage{ID: p.ID, Nodes: p.Nodes, Joining: p.Joining, Left: p.Left})
+	}
+	ids := make([]transport.NodeID, 0, len(cl.nodes))
+	for id := range cl.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		n := cl.nodes[id]
+		if !n.snapshottable() {
+			return nil, fmt.Errorf("%w: node %v mid-churn", ErrNotQuiescent, n.self)
+		}
+		img := NodeImage{
+			Self: n.self, Pred: n.pred, Succ: n.succ,
+			SibL: n.sibL, SibM: n.sibM, SibR: n.sibR,
+			SibIn:        n.sibIn,
+			ClientID:     n.clientID,
+			Anchor:       n.anchorRole,
+			Ast:          n.ast,
+			NextElemSeq:  n.nextElemSeq,
+			NextLocalSeq: n.nextLocalSeq,
+			WaveSeq:      n.waveSeq,
+			Pending:      opImages(n.pending),
+			Waiting:      subImages(n.waiting),
+			InOwnB:       n.inOwn.B,
+			Outstanding:  n.outstanding,
+			Entries:      n.store.Entries(),
+			LastEpoch:    n.churn.lastEpoch,
+			EpochCounter: n.churn.epochCounter,
+			PendChurn:    n.churn.pendChurn,
+		}
+		if n.inBatch != nil {
+			img.InBatch = subImages(n.inBatch)
+			img.InOwnOps = opImages(n.inOwn.ops)
+		}
+		img.Parked = parkedImage(n.store)
+		reqIDs := make([]uint64, 0, len(n.pendingGets))
+		for reqID := range n.pendingGets {
+			reqIDs = append(reqIDs, reqID)
+		}
+		sort.Slice(reqIDs, func(i, j int) bool { return reqIDs[i] < reqIDs[j] })
+		for _, reqID := range reqIDs {
+			gc := n.pendingGets[reqID]
+			img.Gets = append(img.Gets, GetImage{ReqID: reqID, Born: gc.born, LocalSeq: gc.localSeq, Value: gc.value})
+		}
+		snap.Nodes = append(snap.Nodes, img)
+	}
+	snap.History = append(snap.History, cl.hist.Ops...)
+	return snap, nil
+}
+
+// parkedImage lists a store's parked GETs without disturbing them.
+func parkedImage(s *dht.Store) []dht.ParkedEntry {
+	ents, parked := s.ExtractAll()
+	for _, e := range ents {
+		s.Insert(e)
+	}
+	for _, pk := range parked {
+		s.Park(pk.Pos, pk.Waiter)
+	}
+	return parked
+}
+
+// RestoreMember rebuilds the Cluster fragment of a member restarting
+// after a fail-stop crash: nodes are re-registered at their snapshotted
+// IDs with their snapshotted topology, DHT fragment and wave buffers, so
+// the member resumes exactly where the image was cut. The transport must
+// be restored to the matching state (tcp.Peer.RestoreState) so peers
+// replay everything the image misses.
+func RestoreMember(cfg Config, snap *MemberSnapshot, net transport.Network) (*Cluster, error) {
+	reg, ok := net.(transport.Registry)
+	if !ok {
+		return nil, errors.New("core: member backend does not support fixed-address registration")
+	}
+	if snap.Index < 0 {
+		return nil, fmt.Errorf("core: invalid member index %d in snapshot", snap.Index)
+	}
+	if cfg.Mode == batch.Stack {
+		return nil, errors.New("core: stack-mode members do not support snapshots yet")
+	}
+	RegisterWireTypes()
+	cl := &Cluster{
+		cfg:      cfg,
+		net:      net,
+		reg:      reg,
+		labels:   xrand.NewHasher(cfg.Seed, "labels"),
+		keyHash:  xrand.NewHasher(cfg.Seed, "positions"),
+		nodes:    make(map[transport.NodeID]*Node),
+		hist:     &seqcheck.History{},
+		reqBase:  uint64(snap.Index+1) << ReqIDMemberShift,
+		reqSeq:   snap.ReqSeq,
+		issued:   snap.Issued,
+		finished: snap.Finished,
+		nextProc: int32(cfg.Processes),
+	}
+	cl.hist.Ops = append(cl.hist.Ops, snap.History...)
+	for _, pi := range snap.Procs {
+		cl.procs = append(cl.procs, &Process{ID: pi.ID, Nodes: pi.Nodes, Joining: pi.Joining, Left: pi.Left})
+	}
+	for _, img := range snap.Nodes {
+		n := &Node{
+			cl:           cl,
+			self:         img.Self,
+			clientID:     img.ClientID,
+			pred:         img.Pred,
+			succ:         img.Succ,
+			sibL:         img.SibL,
+			sibM:         img.SibM,
+			sibR:         img.SibR,
+			sibIn:        img.SibIn,
+			anchorRole:   img.Anchor,
+			ast:          img.Ast,
+			nextElemSeq:  img.NextElemSeq,
+			nextLocalSeq: img.NextLocalSeq,
+			waveSeq:      img.WaveSeq,
+			pending:      opsFromImages(img.Pending),
+			waiting:      subsFromImages(img.Waiting),
+			outstanding:  img.Outstanding,
+			store:        dht.NewStore(),
+			pendingGets:  make(map[uint64]getCtx),
+		}
+		if img.InBatch != nil {
+			n.inBatch = subsFromImages(img.InBatch)
+			n.inOwn = ownWave{ops: opsFromImages(img.InOwnOps), B: img.InOwnB}
+		}
+		for _, ent := range img.Entries {
+			n.store.Insert(ent)
+		}
+		for _, pk := range img.Parked {
+			n.store.Park(pk.Pos, pk.Waiter)
+		}
+		for _, g := range img.Gets {
+			n.pendingGets[g.ReqID] = getCtx{born: g.Born, localSeq: g.LocalSeq, value: g.Value}
+		}
+		n.churn.joining = false
+		n.churn.relayVia = ldb.Ref{ID: transport.None}
+		n.churn.lastEpoch = img.LastEpoch
+		n.churn.epochCounter = img.EpochCounter
+		n.churn.pendChurn = img.PendChurn
+		cl.nodes[img.Self.ID] = n
+		reg.Register(img.Self.ID, n)
+	}
+	return cl, nil
+}

@@ -32,8 +32,8 @@ func TestWireRoundTrip(t *testing.T) {
 	}
 
 	msgs := []any{
-		aggregateMsg{From: ref, B: batch.Batch{Runs: []int64{2, 1}, J: 1, L: 2}},
-		serveMsg{Assigns: []batch.RunAssign{{Iv: batch.Interval{Lo: 1, Hi: 3}, ValueBase: 5, Ticket: 2}}, UpdateEpoch: 4},
+		aggregateMsg{From: ref, B: batch.Batch{Runs: []int64{2, 1}, J: 1, L: 2}, WaveSeq: 17},
+		serveMsg{Assigns: []batch.RunAssign{{Iv: batch.Interval{Lo: 1, Hi: 3}, ValueBase: 5, Ticket: 2}}, UpdateEpoch: 4, WaveSeq: 17},
 		routedMsg{RS: ldb.RouteState{Target: 123, BitsLeft: -1}, Inner: joinReq{NewNode: ref}},
 		directMsg{Key: 77, Inner: getReq{Pos: 1, Bound: 2, Requester: 3, ReqID: 4}},
 		putReq{Pos: 1, Ticket: 2, Elem: ent.Elem, Blob: []byte("payload"), Requester: 3, ReqID: 4, Born: 5, Client: 6, LocalSeq: 7, Value: 8},

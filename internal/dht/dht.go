@@ -147,6 +147,18 @@ func (s *Store) Get(pos, bound int64) (Entry, bool) {
 	return s.take(pos, bound)
 }
 
+// Has reports whether an entry with exactly (pos, ticket) is stored. The
+// networked protocol uses it to recognize a replayed duplicate PUT after
+// a fail-stop restart, where Put's duplicate panic would be wrong.
+func (s *Store) Has(pos, ticket int64) bool {
+	for _, e := range s.items[pos] {
+		if e.Ticket == ticket {
+			return true
+		}
+	}
+	return false
+}
+
 // Park records a GET whose PUT has not arrived yet.
 func (s *Store) Park(pos int64, w Waiter) {
 	s.parked[pos] = append(s.parked[pos], w)

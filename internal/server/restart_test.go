@@ -1,0 +1,287 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"skueue"
+	"skueue/internal/server"
+)
+
+// debugLogf returns a prefixed transport logger when SKUEUE_TEST_DEBUG is
+// set, for diagnosing recovery wedges; nil otherwise.
+func debugLogf(tag string) func(string, ...any) {
+	if os.Getenv("SKUEUE_TEST_DEBUG") == "" {
+		return nil
+	}
+	lg := log.New(os.Stderr, tag+" ", log.Ltime|log.Lmicroseconds)
+	return func(format string, args ...any) { lg.Printf(format, args...) }
+}
+
+// startDurableCluster boots a loopback cluster whose members persist
+// write-ahead snapshots, so any of them can be killed and restarted.
+func startDurableCluster(t *testing.T, members int) ([]*server.Server, []string) {
+	t.Helper()
+	base := t.TempDir()
+	lis := make([]net.Listener, members)
+	addrs := make([]string, members)
+	for i := range lis {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lis[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	srvs := make([]*server.Server, members)
+	dirs := make([]string, members)
+	for i := range srvs {
+		dirs[i] = filepath.Join(base, fmt.Sprintf("m%d", i))
+		s, err := server.New(server.Config{
+			Listener:      lis[i],
+			Seed:          42,
+			Index:         i,
+			Members:       addrs,
+			Tick:          500 * time.Microsecond,
+			StateDir:      dirs[i],
+			SnapshotEvery: 50 * time.Millisecond,
+			Logf:          debugLogf(fmt.Sprintf("[m%d]", i)),
+		})
+		if err != nil {
+			t.Fatalf("server %d: %v", i, err)
+		}
+		srvs[i] = s
+		t.Cleanup(s.Close)
+	}
+	return srvs, dirs
+}
+
+// TestMemberRestartFromSnapshot is the fail-stop recovery acceptance
+// test: run traffic across a durable 3-member cluster, kill one member
+// without warning (no final snapshot), keep issuing operations that
+// depend on the dead member's fragment, restart it from its snapshot on a
+// NEW address via the seed's rejoin handshake, and require that (a) the
+// stalled operations complete once the peers' links replay, (b) the
+// restarted member serves clients again, and (c) the merged history still
+// passes the Definition 1 sequential-consistency checker with every value
+// accounted for exactly once.
+func TestMemberRestartFromSnapshot(t *testing.T) {
+	srvs, dirs := startDurableCluster(t, 3)
+
+	c0, err := skueue.Open(skueue.WithRemote(srvs[0].Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	ctxTime := 120 * time.Second
+	if os.Getenv("SKUEUE_TEST_DEBUG") != "" {
+		ctxTime = 20 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), ctxTime)
+	defer cancel()
+
+	enqueued := make(map[string]bool)
+	dequeued := make(map[string]bool)
+	takeOne := func(c *skueue.Client) {
+		t.Helper()
+		v, ok, err := c.Dequeue(ctx)
+		if err != nil {
+			t.Fatalf("dequeue: %v", err)
+		}
+		if ok {
+			s := v.(string)
+			if dequeued[s] {
+				t.Fatalf("value %q dequeued twice", s)
+			}
+			dequeued[s] = true
+		}
+	}
+
+	// Phase 1: spread elements over every member's DHT fragment.
+	for i := 0; i < 12; i++ {
+		v := fmt.Sprintf("pre-%d", i)
+		if err := c0.Enqueue(ctx, v); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+		enqueued[v] = true
+	}
+	for i := 0; i < 4; i++ {
+		takeOne(c0)
+	}
+
+	// Let the periodic snapshots cover everything above: all operations
+	// have completed, so after a few intervals the only state still
+	// changing is the idle wave circulation the restart protocol is built
+	// to tolerate.
+	time.Sleep(500 * time.Millisecond)
+
+	// Kill a non-seed member that does not host the anchor (the seed owns
+	// rejoin admission, and the anchor adds no coverage here beyond what
+	// its wave buffers already get from the snapshot).
+	victim := -1
+	for i := 1; i < len(srvs); i++ {
+		if !srvs[i].HasAnchor() {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no non-seed member without the anchor")
+	}
+	t.Logf("killing member %d (no final snapshot)", victim)
+	srvs[victim].Kill()
+
+	// Phase 2: operations issued at a live member while the victim is
+	// down. Any of them whose position hashes into the victim's fragment
+	// stalls — buffered on the peers' links — and must complete after the
+	// restart replays them. Fail-stop, not fail-silent: nothing is lost.
+	var futures []*skueue.Future
+	for i := 0; i < 6; i++ {
+		v := fmt.Sprintf("down-%d", i)
+		f, err := c0.EnqueueAsync(skueue.AnyProcess, v)
+		if err != nil {
+			t.Fatalf("enqueue while member down: %v", err)
+		}
+		enqueued[v] = true
+		futures = append(futures, f)
+	}
+	time.Sleep(300 * time.Millisecond) // let them wedge mid-protocol
+
+	// Restart from the snapshot on a fresh port; the rejoin handshake
+	// through the seed re-broadcasts the new address.
+	restarted, err := server.New(server.Config{
+		Addr:          "127.0.0.1:0",
+		Join:          srvs[0].Addr(),
+		StateDir:      dirs[victim],
+		SnapshotEvery: 50 * time.Millisecond,
+		Tick:          500 * time.Microsecond,
+		Logf:          debugLogf("[re]"),
+	})
+	if err != nil {
+		t.Fatalf("restarting member %d: %v", victim, err)
+	}
+	t.Cleanup(restarted.Close)
+	t.Logf("member %d restarted on %s", victim, restarted.Addr())
+
+	// (a) The stalled operations complete.
+	for i, f := range futures {
+		if err := f.Wait(ctx); err != nil {
+			for mi, s := range srvs {
+				if mi == victim {
+					continue
+				}
+				for _, d := range s.Diagnose() {
+					t.Logf("member %d: %s", mi, d)
+				}
+			}
+			for _, d := range restarted.Diagnose() {
+				t.Logf("restarted member %d: %s", victim, d)
+			}
+			t.Fatalf("stalled enqueue %d never completed after restart: %v", i, err)
+		}
+		if err := f.Err(); err != nil {
+			t.Fatalf("stalled enqueue %d failed: %v", i, err)
+		}
+	}
+
+	// (b) The restarted member serves clients directly.
+	c2, err := skueue.Open(skueue.WithRemote(restarted.Addr()))
+	if err != nil {
+		t.Fatalf("client via restarted member: %v", err)
+	}
+	defer c2.Close()
+	for i := 0; i < 3; i++ {
+		v := fmt.Sprintf("post-%d", i)
+		if err := c2.Enqueue(ctx, v); err != nil {
+			t.Fatalf("enqueue via restarted member: %v", err)
+		}
+		enqueued[v] = true
+	}
+	for i := 0; i < 5; i++ {
+		takeOne(c2)
+	}
+
+	// (c) Global invariants: nothing dequeued that was not enqueued, and
+	// the merged history — including the restored pre-crash completions —
+	// is sequentially consistent.
+	for v := range dequeued {
+		if !enqueued[v] {
+			t.Fatalf("dequeued %q was never enqueued", v)
+		}
+	}
+	if err := c2.Check(); err != nil {
+		t.Fatalf("sequential consistency check failed after restart: %v", err)
+	}
+	st := c2.Stats()
+	wantTotal := 12 + 4 + 6 + 3 + 5 // every operation completed exactly once
+	if st.Total != wantTotal {
+		t.Fatalf("merged history has %d completions, want %d (lost or duplicated operations)", st.Total, wantTotal)
+	}
+}
+
+// TestJoinUnreachableSeedFailsFast pins the fail-fast contract of the
+// admission handshake: a member pointed at a dead seed address must
+// return a clear error once the give-up timeout expires — not hang.
+func TestJoinUnreachableSeedFailsFast(t *testing.T) {
+	// Reserve an address nobody listens on.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := l.Addr().String()
+	l.Close()
+
+	start := time.Now()
+	_, err = server.New(server.Config{
+		Addr:   "127.0.0.1:0",
+		Join:   deadAddr,
+		GiveUp: 500 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("joining an unreachable seed succeeded?")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("join took %v to fail; the give-up timeout should bound it", elapsed)
+	}
+	t.Logf("join failed fast with: %v", err)
+}
+
+// TestSilentSeedFailsFast covers the nastier variant: the seed address
+// accepts connections but never answers the handshake. Without read
+// deadlines this used to hang the joining member forever.
+func TestSilentSeedFailsFast(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			_ = c // accept and say nothing
+		}
+	}()
+
+	start := time.Now()
+	_, err = server.New(server.Config{
+		Addr:   "127.0.0.1:0",
+		Join:   l.Addr().String(),
+		GiveUp: 500 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("joining a silent seed succeeded?")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("join took %v to fail; deadlines should bound every read", elapsed)
+	}
+	t.Logf("join failed fast with: %v", err)
+}

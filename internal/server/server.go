@@ -12,12 +12,32 @@
 // the address book, and then enters through the paper's JOIN protocol
 // (§IV-A) — its three virtual nodes relay requests through their
 // responsible nodes until an update phase splices them into the ring.
+//
+// # Fail-stop recovery
+//
+// With Config.StateDir set, the member periodically persists a
+// write-ahead snapshot: its core image (core.Cluster.SnapshotMember — DHT
+// entries, queue positions, wave buffers, completion history) plus the
+// transport's receive cursors (tcp.Peer.CaptureState). Acknowledgments to
+// peers are only released once the snapshot holding their effects is
+// durable (tcp.Options.AckGate), so after a crash every message the
+// snapshot misses is still buffered at its sender and is replayed when
+// the restarted member reconnects. A restart finds the snapshot, rebuilds
+// the member with core.RestoreMember under a fresh boot epoch, announces
+// its (possibly new) address through the seed's rejoin handshake, and
+// resumes; peers that were blocked on the crashed member unstall as their
+// links replay. Senders that should NOT wait forever set Config.GiveUp:
+// when a member stays unreachable past it, pending client operations fail
+// with an unreachable error instead of blocking (see wire.CliDone).
 package server
 
 import (
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -58,8 +78,25 @@ type Config struct {
 
 	// Join, when set, ignores the bootstrap fields: the member asks the
 	// seed member at this address for admission and enters via the JOIN
-	// protocol.
+	// protocol. A member restarting from a snapshot uses it to announce
+	// its address through the seed's rejoin handshake instead.
 	Join string
+
+	// StateDir, when set, enables fail-stop recovery: the member persists
+	// write-ahead snapshots there and restarts from the newest one.
+	StateDir string
+	// SnapshotEvery is the snapshot cadence (default 250ms). Shorter
+	// intervals shrink both the replay window after a crash and the
+	// acknowledgment-release latency (peer send buffers drain on release).
+	SnapshotEvery time.Duration
+	// GiveUp, when positive, bounds how long this member's links redial an
+	// unreachable peer before failing pending client operations with an
+	// unreachable error (fail-stop detection), and how long the join
+	// handshake retries an unreachable seed (default 15s for the latter).
+	// It must exceed SnapshotEvery: with write-ahead acknowledgments a
+	// healthy peer's frames stay unacknowledged for up to one snapshot
+	// interval.
+	GiveUp time.Duration
 
 	// Tick is the TIMEOUT cadence of the transport (default 1ms).
 	Tick time.Duration
@@ -93,6 +130,15 @@ type Server struct {
 	nextIndex int32
 	nextPid   int32
 	closed    bool
+	// procsTotal is the bootstrap process count, persisted in snapshots.
+	procsTotal int
+	// snapQuit stops the snapshot loop (nil when StateDir is unset).
+	snapQuit chan struct{}
+	// snapMu serializes SnapshotNow: the capture-write-release sequence
+	// must be atomic, or a slow periodic snapshot could overwrite a newer
+	// one whose acknowledgments were already released — losing the frames
+	// between the two cursors for good.
+	snapMu sync.Mutex
 
 	// onEarly catches completions that fire inside an inject call, before
 	// the waiter is registered (stack local combining). Runner-confined.
@@ -164,9 +210,19 @@ func New(cfg Config) (*Server, error) {
 		conns:   make(map[net.Conn]struct{}),
 	}
 	var err error
-	if cfg.Join != "" {
+	var disk *diskSnapshot
+	if cfg.StateDir != "" {
+		if disk, err = loadSnapshot(cfg.StateDir); err != nil {
+			lis.Close()
+			return nil, fmt.Errorf("server: reading snapshot: %w", err)
+		}
+	}
+	switch {
+	case disk != nil:
+		err = s.startRestore(disk)
+	case cfg.Join != "":
 		err = s.startJoining()
-	} else {
+	default:
 		err = s.startBootstrap()
 	}
 	if err != nil {
@@ -175,6 +231,11 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
+	if s.cfg.StateDir != "" {
+		s.snapQuit = make(chan struct{})
+		s.wg.Add(1)
+		go s.snapshotLoop()
+	}
 	s.peer.Start()
 	return s, nil
 }
@@ -182,9 +243,19 @@ func New(cfg Config) (*Server, error) {
 // Addr returns the member's listen address.
 func (s *Server) Addr() string { return s.lis.Addr().String() }
 
-// Close stops the member. In-flight client operations fail with closed
-// connections; the hosted nodes stop processing.
-func (s *Server) Close() {
+// Close stops the member gracefully: with a StateDir it takes a final
+// snapshot first, so a clean shutdown loses nothing. In-flight client
+// operations fail with closed connections; the hosted nodes stop
+// processing.
+func (s *Server) Close() { s.shutdown(true) }
+
+// Kill stops the member WITHOUT the final snapshot, simulating a
+// fail-stop crash: whatever happened since the last periodic snapshot is
+// lost and must be recovered through peer replay on restart. Tests use it
+// to exercise the recovery path.
+func (s *Server) Kill() { s.shutdown(false) }
+
+func (s *Server) shutdown(graceful bool) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -196,6 +267,14 @@ func (s *Server) Close() {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
+	if s.snapQuit != nil {
+		close(s.snapQuit)
+	}
+	if graceful && s.cfg.StateDir != "" {
+		if err := s.SnapshotNow(); err != nil {
+			s.logf("server[%d]: final snapshot failed: %v", s.peer.Me().Index, err)
+		}
+	}
 	s.lis.Close()
 	s.peer.Close()
 	for _, c := range conns {
@@ -214,6 +293,53 @@ func (s *Server) coreConfig(procs int) core.Config {
 	}
 }
 
+// peerOptions assembles the transport options shared by every start path.
+// AckGate is tied to StateDir: without durable snapshots there is nothing
+// to gate acknowledgments on, and deliveries acknowledge immediately.
+func (s *Server) peerOptions(index int32, pids []int32, boot int64) tcp.Options {
+	return tcp.Options{
+		Index:   index,
+		Addr:    s.lis.Addr().String(),
+		Pids:    pids,
+		Seed:    s.cfg.Seed,
+		Tick:    s.cfg.Tick,
+		Logf:    s.logf,
+		Boot:    boot,
+		AckGate: s.cfg.StateDir != "",
+		GiveUp:  s.cfg.GiveUp,
+		OnDown:  s.peerDown,
+	}
+}
+
+// peerDown handles a give-up notification from the transport: some member
+// stayed unreachable past Config.GiveUp. Every pending client operation
+// may transitively depend on the dead member (its position assignment,
+// its DHT fragment), so all of them fail with an unreachable error rather
+// than blocking forever; the member itself keeps serving — operations
+// that avoid the dead member's fragment still succeed, and if the member
+// ever restarts, replay resumes where it left off.
+func (s *Server) peerDown(idx int32) {
+	s.mu.Lock()
+	ws := make([]*waiter, 0, len(s.waiters))
+	for _, w := range s.waiters {
+		ws = append(ws, w)
+	}
+	s.waiters = make(map[uint64]*waiter)
+	s.mu.Unlock()
+	if len(ws) == 0 {
+		return
+	}
+	s.logf("server[%d]: member %d unreachable past %v; failing %d pending operations",
+		s.peer.Me().Index, idx, s.cfg.GiveUp, len(ws))
+	for _, w := range ws {
+		w.sess.send(wire.CliDone{
+			Seq:         w.seq,
+			Err:         fmt.Sprintf("cluster member %d unreachable past the %v give-up timeout", idx, s.cfg.GiveUp),
+			Unreachable: true,
+		})
+	}
+}
+
 func (s *Server) startBootstrap() error {
 	if len(s.cfg.Members) == 0 {
 		return errors.New("server: bootstrap needs at least one member address")
@@ -229,14 +355,8 @@ func (s *Server) startBootstrap() error {
 		return fmt.Errorf("server: %d procs cannot cover %d members", procs, len(s.cfg.Members))
 	}
 	myPids := BootstrapPids(s.cfg.Index, len(s.cfg.Members), procs)
-	s.peer = tcp.New(tcp.Options{
-		Index: int32(s.cfg.Index),
-		Addr:  s.lis.Addr().String(),
-		Pids:  myPids,
-		Seed:  s.cfg.Seed,
-		Tick:  s.cfg.Tick,
-		Logf:  s.logf,
-	})
+	s.procsTotal = procs
+	s.peer = tcp.New(s.peerOptions(int32(s.cfg.Index), myPids, 1))
 	var book []wire.MemberInfo
 	for i, addr := range s.cfg.Members {
 		book = append(book, wire.MemberInfo{
@@ -256,34 +376,80 @@ func (s *Server) startBootstrap() error {
 	return nil
 }
 
-// startJoining performs the admission handshake with the seed member and
-// enters the cluster through the JOIN protocol.
-func (s *Server) startJoining() error {
-	nc, err := net.DialTimeout("tcp", s.cfg.Join, 5*time.Second)
-	if err != nil {
-		return fmt.Errorf("server: dialing seed: %w", err)
+// joinGiveUp bounds how long the seed admission handshake keeps retrying
+// before the member gives up with a clear error instead of hanging.
+func (s *Server) joinGiveUp() time.Duration {
+	if s.cfg.GiveUp > 0 {
+		return s.cfg.GiveUp
 	}
+	return 15 * time.Second
+}
+
+// seedDialog performs one Hello + CliJoin exchange with the seed, every
+// read and write bounded by deadline so a reachable-but-silent address
+// cannot hang the member.
+func seedDialog(addr string, req wire.CliJoin, deadline time.Time) (wire.CliJoinResp, error) {
+	var resp wire.CliJoinResp
+	nc, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+	if err != nil {
+		return resp, err
+	}
+	nc.SetDeadline(deadline)
 	conn := wire.NewConn(nc)
 	defer conn.Close()
 	if err := conn.Write(wire.Hello{Kind: "client"}); err != nil {
-		return err
+		return resp, err
 	}
 	if _, err := conn.Read(); err != nil { // HelloAck
-		return err
+		return resp, err
 	}
-	if err := conn.Write(wire.CliJoin{Addr: s.lis.Addr().String()}); err != nil {
-		return err
+	if err := conn.Write(req); err != nil {
+		return resp, err
 	}
 	v, err := conn.Read()
 	if err != nil {
-		return err
+		return resp, err
 	}
-	ack, ok := v.(wire.CliJoinResp)
+	resp, ok := v.(wire.CliJoinResp)
 	if !ok {
-		return fmt.Errorf("server: seed answered %T to join request", v)
+		return resp, fmt.Errorf("seed answered %T to join request", v)
 	}
-	if ack.Err != "" {
-		return fmt.Errorf("server: join rejected: %s", ack.Err)
+	return resp, nil
+}
+
+// askSeed retries the admission dialog with backoff until it succeeds, is
+// rejected, or the join give-up timeout expires — the member then fails
+// with a clear error rather than hanging on an unreachable seed.
+func (s *Server) askSeed(req wire.CliJoin) (wire.CliJoinResp, error) {
+	giveUp := s.joinGiveUp()
+	deadline := time.Now().Add(giveUp)
+	backoff := 100 * time.Millisecond
+	var lastErr error
+	for time.Now().Before(deadline) {
+		resp, err := seedDialog(s.cfg.Join, req, deadline)
+		if err == nil {
+			if resp.Err != "" {
+				return resp, fmt.Errorf("server: join rejected: %s", resp.Err)
+			}
+			return resp, nil
+		}
+		lastErr = err
+		s.logf("server: seed %s not answering (%v); retrying", s.cfg.Join, err)
+		time.Sleep(backoff)
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+	return wire.CliJoinResp{}, fmt.Errorf("server: seed %s unreachable after %v give-up timeout: %w",
+		s.cfg.Join, giveUp, lastErr)
+}
+
+// startJoining performs the admission handshake with the seed member and
+// enters the cluster through the JOIN protocol.
+func (s *Server) startJoining() error {
+	ack, err := s.askSeed(wire.CliJoin{Addr: s.lis.Addr().String()})
+	if err != nil {
+		return err
 	}
 	s.cfg.Seed = ack.Seed
 	s.cfg.Mode = ack.Mode
@@ -292,14 +458,7 @@ func (s *Server) startJoining() error {
 	if ack.Mode == "stack" {
 		s.mode = batch.Stack
 	}
-	s.peer = tcp.New(tcp.Options{
-		Index: ack.Index,
-		Addr:  s.lis.Addr().String(),
-		Pids:  []int32{ack.Pid},
-		Seed:  ack.Seed,
-		Tick:  s.cfg.Tick,
-		Logf:  s.logf,
-	})
+	s.peer = tcp.New(s.peerOptions(ack.Index, []int32{ack.Pid}, 1))
 	s.peer.SetBook(ack.Book)
 	cl, err := core.NewMember(s.coreConfig(0), ack.Index, nil, s.peer)
 	if err != nil {
@@ -312,9 +471,225 @@ func (s *Server) startJoining() error {
 	return nil
 }
 
+// startRestore rebuilds the member from a fail-stop snapshot: same index,
+// same process IDs, restored DHT fragment and wave buffers, next boot
+// epoch. With Config.Join set it announces its current address through
+// the seed's rejoin handshake so the cluster re-routes to it; without, it
+// relies on the snapshotted address book still being accurate (a restart
+// on the same addresses, e.g. the seed member itself).
+func (s *Server) startRestore(disk *diskSnapshot) error {
+	s.cfg.Seed = disk.Seed
+	s.cfg.Mode = disk.Mode
+	s.cfg.UpdateThreshold = disk.UpdateThreshold
+	s.mode = batch.Queue
+	if disk.Mode == "stack" {
+		s.mode = batch.Stack
+	}
+	s.procsTotal = disk.Procs
+	s.peer = tcp.New(s.peerOptions(disk.Member.Index, disk.Pids, disk.Peer.Boot+1))
+	s.peer.RestoreState(disk.Peer)
+	s.peer.SetBook(disk.Book)
+	// The snapshotted book carries our pre-crash address; re-merge the
+	// current one so the entry we gossip is the live listener.
+	s.peer.AddMember(s.peer.Me())
+	cl, err := core.RestoreMember(s.coreConfig(disk.Procs), disk.Member, s.peer)
+	if err != nil {
+		return err
+	}
+	s.cl = cl
+	s.nextIndex, s.nextPid = disk.NextIndex, disk.NextPid
+	s.wireCallbacks()
+	if s.cfg.Join != "" && disk.Member.Index != 0 {
+		ack, err := s.askSeed(wire.CliJoin{
+			Addr:   s.lis.Addr().String(),
+			Rejoin: true,
+			Index:  disk.Member.Index,
+			Pids:   disk.Pids,
+		})
+		if err != nil {
+			return fmt.Errorf("server: announcing restart: %w", err)
+		}
+		s.peer.SetBook(ack.Book)
+		s.peer.AddMember(s.peer.Me())
+	}
+	s.logf("server[%d]: restored from snapshot (boot %d, %d completions)",
+		disk.Member.Index, disk.Peer.Boot+1, len(disk.Member.History))
+	return nil
+}
+
+// ---- Fail-stop snapshots ----
+
+// diskSnapshot is the on-disk image: one gob stream holding the cluster
+// parameters, the member's core image and the transport receive cursors.
+type diskSnapshot struct {
+	Version         int
+	Seed            int64
+	Mode            string
+	UpdateThreshold int
+	Procs           int
+	Pids            []int32
+	NextIndex       int32
+	NextPid         int32
+	Member          *core.MemberSnapshot
+	Peer            *tcp.PeerState
+	Book            []wire.MemberInfo
+}
+
+const snapshotFile = "snapshot.gob"
+
+// loadSnapshot reads the member snapshot from dir; (nil, nil) when none
+// exists yet (first boot).
+func loadSnapshot(dir string) (*diskSnapshot, error) {
+	// The captured link frames carry core protocol messages in their
+	// interface-typed payloads; the decoder needs them registered before
+	// any member of this process has constructed a cluster.
+	core.RegisterWireTypes()
+	f, err := os.Open(filepath.Join(dir, snapshotFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var disk diskSnapshot
+	if err := gob.NewDecoder(f).Decode(&disk); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", f.Name(), err)
+	}
+	if disk.Version != 1 || disk.Member == nil || disk.Peer == nil {
+		return nil, fmt.Errorf("%s: unsupported or incomplete snapshot", f.Name())
+	}
+	return &disk, nil
+}
+
+// writeSnapshot persists atomically: temp file, fsync, rename. A crash
+// mid-write leaves the previous snapshot intact.
+func writeSnapshot(dir string, disk *diskSnapshot) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, snapshotFile+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := gob.NewEncoder(f).Encode(disk); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapshotFile)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// SnapshotNow captures and durably writes one member snapshot, then
+// releases the acknowledgments it covers (the write-ahead step: peers may
+// prune their send buffers only once the snapshot is on disk). It returns
+// core.ErrNotQuiescent — and changes nothing — while churn is mid-flight;
+// the periodic loop just retries next interval.
+func (s *Server) SnapshotNow() error {
+	if s.cfg.StateDir == "" {
+		return errors.New("server: no state dir configured")
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	var snap *core.MemberSnapshot
+	var ps *tcp.PeerState
+	var err error
+	s.peer.DoSync(func() {
+		snap, err = s.cl.SnapshotMember()
+		if err != nil {
+			return
+		}
+		ps = s.peer.CaptureState()
+	})
+	if err != nil {
+		return err
+	}
+	if snap == nil {
+		return fmt.Errorf("%w: shutting down", core.ErrNotQuiescent)
+	}
+	if ps == nil {
+		// Frames parked for unknown pids or local deliveries mid-flight in
+		// the task queue; both clear within a drain — retry next interval.
+		return fmt.Errorf("%w: transport has frames in flight", core.ErrNotQuiescent)
+	}
+	mode := s.cfg.Mode
+	if mode == "" {
+		mode = "queue"
+	}
+	s.mu.Lock()
+	nextIndex, nextPid := s.nextIndex, s.nextPid
+	s.mu.Unlock()
+	disk := &diskSnapshot{
+		Version:         1,
+		Seed:            s.cfg.Seed,
+		Mode:            mode,
+		UpdateThreshold: s.cfg.UpdateThreshold,
+		Procs:           s.procsTotal,
+		Pids:            s.peer.Me().Pids,
+		NextIndex:       nextIndex,
+		NextPid:         nextPid,
+		Member:          snap,
+		Peer:            ps,
+		Book:            s.peer.Book(),
+	}
+	if err := writeSnapshot(s.cfg.StateDir, disk); err != nil {
+		return err
+	}
+	s.peer.ReleaseAcks(ps.Recv)
+	return nil
+}
+
+func (s *Server) snapshotLoop() {
+	defer s.wg.Done()
+	every := s.cfg.SnapshotEvery
+	if every <= 0 {
+		every = 250 * time.Millisecond
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.snapQuit:
+			return
+		case <-t.C:
+			if err := s.SnapshotNow(); err != nil && !errors.Is(err, core.ErrNotQuiescent) {
+				s.logf("server[%d]: snapshot failed: %v", s.peer.Me().Index, err)
+			}
+		}
+	}
+}
+
+// HasAnchor reports whether this member currently hosts the anchor node
+// (tests pick restart victims with it).
+func (s *Server) HasAnchor() bool {
+	var has bool
+	s.peer.DoSync(func() { has = s.cl.AnchorNode() != nil })
+	return has
+}
+
+// Diagnose reports which local nodes are stalled waiting for wave
+// contributions (see core.Cluster.Diagnose) — the first tool to reach for
+// when a networked deployment wedges.
+func (s *Server) Diagnose() []string {
+	var out []string
+	s.peer.DoSync(func() { out = s.cl.Diagnose() })
+	return out
+}
+
 // wireCallbacks connects completion and ack events to client waiters.
 // Both callbacks run on the transport's runner goroutine.
 func (s *Server) wireCallbacks() {
+	s.cl.SetLogf(s.logf)
 	myTag := uint64(s.peer.Me().Index + 1)
 	s.cl.SetOnComplete(func(c seqcheck.Completion) {
 		if core.ReqIDMember(c.ReqID) != myTag {
@@ -536,10 +911,28 @@ func (s *Server) dropSessionWaiters(sess *session) {
 // admit handles a CliJoin: only the seed member assigns member indices and
 // process IDs, and it broadcasts the updated address book before
 // answering, so every member can route to the newcomer by the time its
-// JOIN requests start flowing.
+// JOIN requests start flowing. A rejoin (fail-stop restart) keeps the
+// member's existing assignment and only re-broadcasts its address.
 func (s *Server) admit(m wire.CliJoin) wire.CliJoinResp {
 	if s.peer.Me().Index != 0 {
 		return wire.CliJoinResp{Err: "join via the seed member (index 0)"}
+	}
+	if m.Rejoin {
+		if m.Index == 0 {
+			return wire.CliJoinResp{Err: "the seed member cannot rejoin through itself"}
+		}
+		s.logf("server[0]: member %d rejoining from %s after restart", m.Index, m.Addr)
+		s.peer.AddMember(wire.MemberInfo{Index: m.Index, Addr: m.Addr, Pids: m.Pids})
+		s.peer.BroadcastBook()
+		mode := "queue"
+		if s.mode == batch.Stack {
+			mode = "stack"
+		}
+		return wire.CliJoinResp{
+			Index: m.Index,
+			Seed:  s.cfg.Seed, Mode: mode, UpdateThreshold: s.cfg.UpdateThreshold,
+			Book: s.peer.Book(),
+		}
 	}
 	s.mu.Lock()
 	idx := s.nextIndex

@@ -25,17 +25,33 @@
 //
 // # Delivery guarantees
 //
-// Links reconnect with backoff and resend the frame whose write failed,
-// so dial failures and resets detected at write time lose nothing. A
-// frame the kernel accepted but the network dropped on a mid-connection
-// reset is NOT redelivered — exactly-once across arbitrary connection
-// failures would need per-link acknowledgment sequencing, which this
-// backend does not implement; it targets the paper's model of reliable
-// processes on a reliable network (§I-B), where such resets do not
-// occur. A member that never comes back stalls its senders' queues (no
-// fail-stop story, same model). Frames addressed to a pid no member
-// claims yet are parked until an address-book update names its host,
-// which covers the join handshake races.
+// Every link (the directed frame stream from one member to another)
+// assigns monotonically increasing sequence numbers to its frames and
+// keeps them buffered until the receiver's cumulative acknowledgment
+// covers them. Acknowledgments piggyback on reverse-direction traffic
+// (wire.Envelope.Ack) and on a standalone wire.Ack frame written on the
+// connection's reverse path when the link is otherwise idle. When a
+// connection dies — detected at write time or by the reader goroutine —
+// the link redials with backoff, learns the receiver's last delivered
+// sequence from the HelloAck handshake, and replays every buffered frame
+// past it in order; the receiver drops any sequence it has already
+// delivered. The result is exactly-once, per-link FIFO delivery across
+// arbitrary connection resets, including frames the kernel accepted but
+// the network dropped.
+//
+// Across member crashes the guarantee is pairwise two-sided: each member
+// tracks the boot epoch of every sender (wire.Hello.Boot) and resets its
+// delivery sequence when the epoch changes, and a member restored from a
+// snapshot resumes the receive sequences recorded there (see
+// internal/server for the write-ahead snapshot discipline that makes
+// acknowledgment release durable). A member that never comes back is
+// detected by the give-up timeout (Options.GiveUp): the dialing side
+// reports it through Options.OnDown so the hosting layer can fail
+// blocked operations instead of stalling forever.
+//
+// Frames addressed to a pid no member claims yet are parked until an
+// address-book update names its host, which covers the join handshake
+// races.
 package tcp
 
 import (
@@ -80,6 +96,23 @@ type Options struct {
 	Tick time.Duration
 	// Logf receives diagnostics; default discards.
 	Logf func(format string, args ...any)
+	// Boot is this member's boot epoch, strictly increasing across
+	// restarts of the same member index (default 1). Receivers reset
+	// their per-sender delivery sequence when it changes.
+	Boot int64
+	// AckGate delays acknowledgment release until the hosting layer calls
+	// ReleaseAcks (the write-ahead snapshot discipline): delivered frames
+	// stay unacknowledged — and thus replayable by their sender — until a
+	// durable snapshot covers their effects. Off, deliveries acknowledge
+	// immediately.
+	AckGate bool
+	// GiveUp, when positive, bounds how long a link keeps redialing an
+	// unreachable member before declaring it down; OnDown fires once per
+	// elapsed GiveUp period while the member stays unreachable.
+	GiveUp time.Duration
+	// OnDown receives give-up notifications. It runs on a link goroutine
+	// and must not block.
+	OnDown func(index int32)
 }
 
 type nodeState struct {
@@ -89,10 +122,79 @@ type nodeState struct {
 	ctx      transport.Context
 }
 
+// link is the sending side of one directed member-to-member stream. Both
+// stages of the outbound pipeline are mutex-guarded slices rather than
+// channels: the queue never blocks the runner goroutine however dead the
+// target member is, and a state capture (CaptureState) can copy the
+// not-yet-delivered frames — queued and unacknowledged alike — without
+// draining anything.
 type link struct {
 	idx  int32
-	out  chan any // wire.Envelope or wire.BookUpdate frames
 	quit chan struct{}
+
+	bmu     sync.Mutex
+	queue   []any // accepted, not yet transmitted (unsequenced)
+	unacked []any // transmitted with a sequence, awaiting acknowledgment
+	nextSeq uint64
+	// Cumulative-ack intake, coalesced to the maximum seen.
+	pendingAck uint64
+	// deadConns records connections whose reader goroutine saw them die,
+	// so an idle link still replays frames lost to a reset. A set, not a
+	// channel: a dropped notification would leave the link blocked on a
+	// dead connection forever.
+	deadConns map[*wire.Conn]bool
+
+	// notify wakes the link goroutine for new frames, acknowledgments or
+	// connection deaths.
+	notify chan struct{}
+}
+
+// recvState tracks one remote sender. enqueued is the connection-side
+// dedupe cursor (highest sequence admitted into the task queue);
+// delivered trails it, advanced on the runner goroutine as frames
+// actually reach their nodes, so a state capture never records a
+// sequence whose effects it does not hold. acked is the highest sequence
+// acknowledgment release has reached (== delivered unless AckGate holds
+// acks back for the write-ahead snapshot), and lastSent the highest
+// acknowledgment actually transmitted.
+type recvState struct {
+	boot      int64
+	enqueued  uint64
+	delivered uint64
+	acked     uint64
+	lastSent  uint64
+}
+
+// RecvEntry is one sender's durable receive cursor, as captured into and
+// restored from a member snapshot.
+type RecvEntry struct {
+	Index int32
+	Boot  int64
+	Seq   uint64
+}
+
+// LinkState is the not-yet-delivered outbound traffic of one link at
+// capture time: every envelope the target member has not durably
+// acknowledged. A restored member re-queues them (under fresh sequence
+// numbers of its new boot epoch), so a serve or aggregate emitted just
+// before the snapshot but swallowed by the crash still reaches its
+// destination; the receiving side tolerates the duplicates this can
+// produce (see internal/core).
+type LinkState struct {
+	Index  int32
+	Frames []wire.Envelope
+}
+
+// PeerState is the transport-level state a member persists: its own boot
+// epoch, the runner clock, the dynamic NodeID allocator, the receive
+// cursor for every known sender, and the undelivered outbound frames per
+// link.
+type PeerState struct {
+	Boot    int64
+	Now     int64
+	NextDyn int32
+	Recv    []RecvEntry
+	Links   []LinkState
 }
 
 // Peer is one cluster member's transport endpoint.
@@ -107,18 +209,25 @@ type Peer struct {
 	now       int64
 	nextDyn   int32
 	heldLocal map[transport.NodeID][]wire.Envelope
+	// localPending counts local deliveries sitting in the task queue. A
+	// state capture refuses while any are in flight: a local send crosses
+	// no link, so nothing would replay it if the snapshot cut fell between
+	// the send and its delivery.
+	localPending int
 
 	// Task queue feeding the runner.
 	taskMu sync.Mutex
 	tasks  []func()
 	wake   chan struct{}
 
-	// Address book and links (shared with connection goroutines).
+	// Address book, links and receive cursors (shared with connection
+	// goroutines).
 	mu          sync.Mutex
 	book        map[int32]wire.MemberInfo
 	pidToMember map[int32]int32
 	links       map[int32]*link
 	pendingPid  map[int32][]wire.Envelope
+	recv        map[int32]*recvState
 
 	quit    chan struct{}
 	stopped chan struct{}
@@ -137,6 +246,9 @@ func New(opts Options) *Peer {
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
+	if opts.Boot <= 0 {
+		opts.Boot = 1
+	}
 	p := &Peer{
 		opts:        opts,
 		rng:         xrand.New(opts.Seed ^ int64(opts.Index)<<17),
@@ -147,6 +259,7 @@ func New(opts Options) *Peer {
 		pidToMember: make(map[int32]int32),
 		links:       make(map[int32]*link),
 		pendingPid:  make(map[int32][]wire.Envelope),
+		recv:        make(map[int32]*recvState),
 		quit:        make(chan struct{}),
 		stopped:     make(chan struct{}),
 	}
@@ -169,7 +282,11 @@ func (p *Peer) Me() wire.MemberInfo {
 func (p *Peer) Send(from, to transport.NodeID, payload any) {
 	env := wire.Envelope{From: from, To: to, Payload: payload}
 	if p.isLocal(to) {
-		p.Do(func() { p.deliver(env) })
+		p.localPending++
+		p.Do(func() {
+			p.localPending--
+			p.deliver(env)
+		})
 		return
 	}
 	p.route(env)
@@ -454,8 +571,10 @@ func (p *Peer) bookLocked() []wire.MemberInfo {
 }
 
 // BroadcastBook pushes the current book to every known member, opening
-// links as needed (the seed calls it when a member joins, so everyone
-// learns the newcomer's address before protocol traffic names it).
+// links as needed (the seed calls it when a member joins or rejoins, so
+// everyone learns the newcomer's address before protocol traffic names
+// it). Book updates share the links' sequence space, so a broadcast lost
+// to a connection reset is replayed like any protocol frame.
 func (p *Peer) BroadcastBook() {
 	p.mu.Lock()
 	book := p.bookLocked()
@@ -468,6 +587,206 @@ func (p *Peer) BroadcastBook() {
 	}
 }
 
+// ---- Receive cursors and acknowledgments ----
+
+// senderHello records a peer handshake: a changed boot epoch means the
+// sender restarted and will number its frames from zero again, so the
+// delivery cursors reset. It returns the acknowledgment to hand back in
+// the HelloAck — the replay point for the dialer.
+func (p *Peer) senderHello(idx int32, boot int64) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rs := p.recvLocked(idx)
+	if rs.boot != boot {
+		if rs.boot != 0 {
+			p.opts.Logf("tcp[%d]: member %d rebooted (epoch %d -> %d); resetting delivery cursor %d",
+				p.opts.Index, idx, rs.boot, boot, rs.delivered)
+		}
+		rs.boot = boot
+		rs.enqueued, rs.delivered, rs.acked, rs.lastSent = 0, 0, 0, 0
+	}
+	return rs.acked
+}
+
+func (p *Peer) recvLocked(idx int32) *recvState {
+	rs, ok := p.recv[idx]
+	if !ok {
+		rs = &recvState{}
+		p.recv[idx] = rs
+	}
+	return rs
+}
+
+// preAdmit decides on the connection goroutine whether a sequenced frame
+// from idx is new (admit) or a replay duplicate (drop). Sequences arrive
+// in order per link — TCP preserves order within a connection and
+// reconnect replay is an in-order suffix — so a cumulative cursor
+// suffices. boot is the epoch of the connection's handshake: a frame
+// still in flight on a pre-restart connection must not touch the reset
+// cursor (the new epoch's handshake already arranged any replay needed),
+// so stale-epoch frames are dropped outright.
+func (p *Peer) preAdmit(idx int32, boot int64, seq uint64) bool {
+	if seq == 0 {
+		return true // unsequenced (never produced by current senders)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rs := p.recvLocked(idx)
+	if rs.boot != boot {
+		return false
+	}
+	if seq <= rs.enqueued {
+		return false
+	}
+	rs.enqueued = seq
+	return true
+}
+
+// markDelivered advances the durable receive cursor. It runs on the
+// runner goroutine, in the same task as (and ahead of) the frame's node
+// delivery, so a snapshot's cursor never exceeds the node state it
+// captured. boot guards against a sender reboot racing the task queue.
+func (p *Peer) markDelivered(idx int32, boot int64, seq uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rs := p.recvLocked(idx)
+	if rs.boot != boot {
+		return
+	}
+	if seq > rs.delivered {
+		rs.delivered = seq
+	}
+	if !p.opts.AckGate && rs.delivered > rs.acked {
+		rs.acked = rs.delivered
+	}
+}
+
+// takeAck returns the acknowledgment to piggyback on an outbound frame to
+// idx, marking it transmitted so the idle acker stays quiet.
+func (p *Peer) takeAck(idx int32) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rs, ok := p.recv[idx]
+	if !ok {
+		return 0
+	}
+	if rs.acked > rs.lastSent {
+		rs.lastSent = rs.acked
+	}
+	return rs.acked
+}
+
+// ackDue reports an acknowledgment that piggybacking has not transmitted
+// yet, marking it sent.
+func (p *Peer) ackDue(idx int32) (uint64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rs, ok := p.recv[idx]
+	if !ok || rs.acked <= rs.lastSent {
+		return 0, false
+	}
+	rs.lastSent = rs.acked
+	return rs.acked, true
+}
+
+// noteAckFor feeds a received cumulative acknowledgment to the link
+// sending to idx, if one exists.
+func (p *Peer) noteAckFor(idx int32, seq uint64) {
+	p.mu.Lock()
+	l := p.links[idx]
+	p.mu.Unlock()
+	if l != nil {
+		l.noteAck(seq)
+	}
+}
+
+// ReleaseAcks advances acknowledgment release to the given durable
+// receive cursors (write-ahead snapshot discipline, AckGate mode): the
+// hosting layer calls it after the snapshot recording these cursors hit
+// stable storage. Entries whose boot epoch no longer matches — the sender
+// restarted since the capture — are skipped.
+func (p *Peer) ReleaseAcks(entries []RecvEntry) {
+	p.mu.Lock()
+	for _, e := range entries {
+		rs, ok := p.recv[e.Index]
+		if ok && rs.boot == e.Boot && e.Seq > rs.acked {
+			rs.acked = e.Seq
+		}
+	}
+	p.mu.Unlock()
+}
+
+// CaptureState snapshots the transport-level member state, including the
+// undelivered outbound frames of every link. It must run on the runner
+// goroutine (DoSync): the clock and the dynamic allocator are
+// runner-confined, and with the runner parked no new sends race the
+// capture. It returns nil while frames are parked for unknown pids or
+// unregistered local nodes — such frames are delivered-but-held state a
+// snapshot cannot represent, and they only exist transiently during join
+// handshakes.
+func (p *Peer) CaptureState() *PeerState {
+	if len(p.heldLocal) > 0 || p.localPending > 0 {
+		return nil
+	}
+	ps := &PeerState{Boot: p.opts.Boot, Now: p.now, NextDyn: p.nextDyn}
+	p.mu.Lock()
+	if len(p.pendingPid) > 0 {
+		p.mu.Unlock()
+		return nil
+	}
+	for idx, rs := range p.recv {
+		if rs.boot == 0 && rs.delivered == 0 {
+			continue
+		}
+		ps.Recv = append(ps.Recv, RecvEntry{Index: idx, Boot: rs.boot, Seq: rs.delivered})
+	}
+	links := make(map[int32]*link, len(p.links))
+	for idx, l := range p.links {
+		links[idx] = l
+	}
+	p.mu.Unlock() // never hold p.mu and a link's bmu together
+	for idx, l := range links {
+		frames := l.pendingFrames()
+		var envs []wire.Envelope
+		for _, f := range frames {
+			if env, ok := f.(wire.Envelope); ok {
+				env.Seq, env.Ack = 0, 0
+				envs = append(envs, env)
+			}
+			// Book updates are not persisted: a stale book could regress
+			// addresses, and the seed re-broadcasts on rejoin anyway.
+		}
+		if len(envs) > 0 {
+			ps.Links = append(ps.Links, LinkState{Index: idx, Frames: envs})
+		}
+	}
+	sort.Slice(ps.Recv, func(i, j int) bool { return ps.Recv[i].Index < ps.Recv[j].Index })
+	sort.Slice(ps.Links, func(i, j int) bool { return ps.Links[i].Index < ps.Links[j].Index })
+	return ps
+}
+
+// RestoreState rewinds the peer to a captured state (before Start). The
+// restored receive cursors count as acknowledged: the snapshot holding
+// them covers their effects, so senders may prune them — the HelloAck of
+// the next handshake tells them to replay everything newer. Captured
+// outbound frames re-enter their links' queues and get fresh sequence
+// numbers under the new boot epoch.
+func (p *Peer) RestoreState(ps *PeerState) {
+	p.now = ps.Now
+	p.nextDyn = ps.NextDyn
+	p.mu.Lock()
+	for _, e := range ps.Recv {
+		p.recv[e.Index] = &recvState{boot: e.Boot, enqueued: e.Seq, delivered: e.Seq, acked: e.Seq}
+	}
+	p.mu.Unlock()
+	for _, ls := range ps.Links {
+		l := p.linkTo(ls.Index)
+		for _, env := range ls.Frames {
+			l.send(env)
+		}
+	}
+}
+
 // ---- Links ----
 
 func (p *Peer) linkTo(idx int32) *link {
@@ -476,22 +795,199 @@ func (p *Peer) linkTo(idx int32) *link {
 	if l, ok := p.links[idx]; ok {
 		return l
 	}
-	l := &link{idx: idx, out: make(chan any, 1<<14), quit: make(chan struct{})}
+	l := &link{
+		idx:    idx,
+		quit:   make(chan struct{}),
+		notify: make(chan struct{}, 1),
+	}
 	p.links[idx] = l
 	go p.runLink(l)
 	return l
 }
 
+// send queues a frame. It never blocks: a member that stopped reading
+// must not stall the runner goroutine feeding the queue, however long it
+// stays dead (the give-up timeout, not backpressure, is the bound on a
+// dead member).
 func (l *link) send(frame any) {
+	l.bmu.Lock()
+	l.queue = append(l.queue, frame)
+	l.bmu.Unlock()
+	l.wake()
+}
+
+func (l *link) wake() {
 	select {
-	case l.out <- frame:
-	case <-l.quit:
+	case l.notify <- struct{}{}:
+	default:
 	}
 }
 
-// runLink owns one outbound connection: it dials (and redials) the target
-// member and writes queued frames. The frame that hits a write error is
-// retried on the fresh connection, so transient failures lose nothing.
+// noteAck records a cumulative acknowledgment for this link, coalescing
+// to the maximum, and wakes the link goroutine to prune its buffer.
+func (l *link) noteAck(seq uint64) {
+	l.bmu.Lock()
+	if seq > l.pendingAck {
+		l.pendingAck = seq
+	}
+	l.bmu.Unlock()
+	l.wake()
+}
+
+// prune drops every buffered frame the cumulative acknowledgment covers.
+func (l *link) prune() {
+	l.bmu.Lock()
+	ack := l.pendingAck
+	i := 0
+	for ; i < len(l.unacked); i++ {
+		if frameSeq(l.unacked[i]) > ack {
+			break
+		}
+	}
+	if i > 0 {
+		l.unacked = append(l.unacked[:0], l.unacked[i:]...)
+	}
+	l.bmu.Unlock()
+}
+
+// popQueue moves the oldest queued frame into the unacknowledged buffer
+// under a fresh sequence number and returns it sealed with the piggyback
+// acknowledgment.
+func (l *link) popQueue(ack uint64) (any, bool) {
+	l.bmu.Lock()
+	defer l.bmu.Unlock()
+	if len(l.queue) == 0 {
+		return nil, false
+	}
+	frame := l.queue[0]
+	l.queue = append(l.queue[:0], l.queue[1:]...)
+	l.nextSeq++
+	sealed := sealFrame(frame, l.nextSeq, ack)
+	l.unacked = append(l.unacked, sealed)
+	return sealed, true
+}
+
+// dropUnacked removes the frame with the given sequence (unencodable).
+func (l *link) dropUnacked(seq uint64) {
+	l.bmu.Lock()
+	for i, f := range l.unacked {
+		if frameSeq(f) == seq {
+			l.unacked = append(l.unacked[:i], l.unacked[i+1:]...)
+			break
+		}
+	}
+	l.bmu.Unlock()
+}
+
+// unackedFrames copies the retransmission buffer (reconnect replay).
+func (l *link) unackedFrames() []any {
+	l.bmu.Lock()
+	defer l.bmu.Unlock()
+	return append([]any(nil), l.unacked...)
+}
+
+// pendingFrames copies everything not yet delivered — transmitted but
+// unacknowledged frames first, then the untransmitted queue — for a state
+// capture.
+func (l *link) pendingFrames() []any {
+	l.bmu.Lock()
+	defer l.bmu.Unlock()
+	out := make([]any, 0, len(l.unacked)+len(l.queue))
+	out = append(out, l.unacked...)
+	out = append(out, l.queue...)
+	return out
+}
+
+// noteDead tells the link goroutine a connection died, so an idle link
+// (nothing left to write) still reconnects and replays unacknowledged
+// frames. Never lossy: the link re-checks the set on every wake-up.
+func (l *link) noteDead(c *wire.Conn) {
+	l.bmu.Lock()
+	if l.deadConns == nil {
+		l.deadConns = make(map[*wire.Conn]bool)
+	}
+	l.deadConns[c] = true
+	l.bmu.Unlock()
+	l.wake()
+}
+
+// adoptConn makes c the link's current connection: entries for previous
+// connections are dropped (they can no longer be current), keeping the
+// set bounded. It reports false if c already died — the reader goroutine
+// can notice a death before the link loop ever runs with the connection.
+func (l *link) adoptConn(c *wire.Conn) bool {
+	l.bmu.Lock()
+	defer l.bmu.Unlock()
+	if l.deadConns[c] {
+		delete(l.deadConns, c)
+		return false
+	}
+	for k := range l.deadConns {
+		delete(l.deadConns, k)
+	}
+	return true
+}
+
+// connDead reports whether the current connection was declared dead.
+func (l *link) connDead(c *wire.Conn) bool {
+	l.bmu.Lock()
+	defer l.bmu.Unlock()
+	if l.deadConns[c] {
+		delete(l.deadConns, c)
+		return true
+	}
+	return false
+}
+
+// sealFrame stamps a link frame with its sequence number and the current
+// piggyback acknowledgment.
+func sealFrame(frame any, seq, ack uint64) any {
+	switch f := frame.(type) {
+	case wire.Envelope:
+		f.Seq, f.Ack = seq, ack
+		return f
+	case wire.BookUpdate:
+		f.Seq, f.Ack = seq, ack
+		return f
+	}
+	return frame
+}
+
+func frameSeq(frame any) uint64 {
+	switch f := frame.(type) {
+	case wire.Envelope:
+		return f.Seq
+	case wire.BookUpdate:
+		return f.Seq
+	}
+	return 0
+}
+
+// writeFrame writes one sealed frame, handling the two failure classes:
+// an encoding failure drops the frame (retrying can never succeed) and
+// recycles the connection (a partial encode desyncs the gob stream); any
+// other failure recycles the connection for redial-and-replay. It reports
+// whether the connection survived.
+func (p *Peer) writeFrame(l *link, conn *wire.Conn, sealed any) bool {
+	err := conn.Write(sealed)
+	if err == nil {
+		return true
+	}
+	if errors.Is(err, wire.ErrEncode) {
+		p.opts.Logf("tcp[%d]: dropping unencodable frame for member %d: %v", p.opts.Index, l.idx, err)
+		l.dropUnacked(frameSeq(sealed))
+	} else {
+		p.opts.Logf("tcp[%d]: link to member %d broke (%v); redialing", p.opts.Index, l.idx, err)
+	}
+	conn.Close()
+	return false
+}
+
+// runLink owns one directed stream: it dials (and redials) the target
+// member, assigns sequence numbers, writes frames, keeps everything
+// unacknowledged buffered, and replays past the receiver's cursor after
+// every reconnect. The buffer only shrinks on cumulative acknowledgments,
+// so a frame the kernel accepted but a reset swallowed is retransmitted.
 func (p *Peer) runLink(l *link) {
 	var conn *wire.Conn
 	defer func() {
@@ -499,61 +995,71 @@ func (p *Peer) runLink(l *link) {
 			conn.Close()
 		}
 	}()
-	backoff := 10 * time.Millisecond
 	for {
-		var frame any
+		if conn == nil {
+			c, ackSeq := p.dial(l)
+			if c == nil {
+				return // shutting down
+			}
+			if !l.adoptConn(c) {
+				c.Close()
+				continue // died during the handshake; redial
+			}
+			conn = c
+			l.noteAck(ackSeq)
+			l.prune()
+			for _, f := range l.unackedFrames() {
+				f = sealFrame(f, frameSeq(f), p.takeAck(l.idx))
+				if !p.writeFrame(l, conn, f) {
+					conn = nil
+					break
+				}
+			}
+			if conn == nil {
+				continue
+			}
+		}
+		l.prune()
+		if l.connDead(conn) {
+			conn.Close()
+			conn = nil
+			continue
+		}
+		if sealed, ok := l.popQueue(p.takeAck(l.idx)); ok {
+			if !p.writeFrame(l, conn, sealed) {
+				conn = nil
+			}
+			continue
+		}
 		select {
 		case <-l.quit:
 			return
 		case <-p.quit:
 			return
-		case frame = <-l.out:
-		}
-		for {
-			if conn == nil {
-				conn = p.dial(l)
-				if conn == nil {
-					return // shutting down
-				}
-			}
-			err := conn.Write(frame)
-			if err == nil {
-				break
-			}
-			if errors.Is(err, wire.ErrEncode) {
-				// Deterministic failure: retrying the same frame can never
-				// succeed. Drop it — and restart the connection, because a
-				// partial encode may have desynced the gob stream state
-				// shared with the receiver.
-				p.opts.Logf("tcp[%d]: dropping unencodable frame for member %d: %v", p.opts.Index, l.idx, err)
-				conn.Close()
-				conn = nil
-				break
-			}
-			p.opts.Logf("tcp[%d]: link to member %d broke (%v); redialing", p.opts.Index, l.idx, err)
-			conn.Close()
-			conn = nil
-			select {
-			case <-time.After(backoff):
-			case <-l.quit:
-				return
-			case <-p.quit:
-				return
-			}
+		case <-l.notify:
+			// Re-check queue, acknowledgments and connection liveness at
+			// the top of the loop.
 		}
 	}
 }
 
 // dial establishes a connection to member l.idx, performing the Hello
-// exchange. It retries until it succeeds or the peer shuts down.
-func (p *Peer) dial(l *link) *wire.Conn {
+// exchange. It retries until it succeeds or the peer shuts down, firing
+// the give-up notification each time Options.GiveUp elapses without a
+// connection. It returns the connection and the receiver's cumulative
+// acknowledgment (the replay point).
+func (p *Peer) dial(l *link) (*wire.Conn, uint64) {
 	backoff := 10 * time.Millisecond
+	var giveUpAt time.Time
+	if p.opts.GiveUp > 0 {
+		giveUpAt = time.Now().Add(p.opts.GiveUp)
+	}
 	for {
 		select {
 		case <-l.quit:
-			return nil
+			return nil, 0
 		case <-p.quit:
-			return nil
+			return nil, 0
 		default:
 		}
 		p.mu.Lock()
@@ -563,13 +1069,13 @@ func (p *Peer) dial(l *link) *wire.Conn {
 			p.opts.Logf("tcp[%d]: no address for member %d yet", p.opts.Index, l.idx)
 		} else if nc, err := net.DialTimeout("tcp", addr, 2*time.Second); err == nil {
 			conn := wire.NewConn(nc)
-			if err := conn.Write(wire.Hello{Kind: "peer", Me: p.Me(), Book: p.Book()}); err == nil {
+			if err := conn.Write(wire.Hello{Kind: "peer", Me: p.Me(), Book: p.Book(), Boot: p.opts.Boot}); err == nil {
 				if ack, err := conn.Read(); err == nil {
 					if ha, ok := ack.(wire.HelloAck); ok {
 						p.SetBook(ha.Book)
-						// Drain control frames (book updates) and detect close.
-						go p.drainControl(conn)
-						return conn
+						// Reverse path: acknowledgments and book pushes.
+						go p.drainControl(conn, l)
+						return conn, ha.AckSeq
 					}
 				}
 			}
@@ -580,41 +1086,88 @@ func (p *Peer) dial(l *link) *wire.Conn {
 		select {
 		case <-time.After(backoff):
 		case <-l.quit:
-			return nil
+			return nil, 0
 		case <-p.quit:
-			return nil
+			return nil, 0
 		}
 		if backoff < time.Second {
 			backoff *= 2
+		}
+		if !giveUpAt.IsZero() && time.Now().After(giveUpAt) {
+			p.opts.Logf("tcp[%d]: member %d unreachable for %v; declaring it down", p.opts.Index, l.idx, p.opts.GiveUp)
+			if p.opts.OnDown != nil {
+				p.opts.OnDown(l.idx)
+			}
+			giveUpAt = time.Now().Add(p.opts.GiveUp)
 		}
 	}
 }
 
 // drainControl consumes frames the remote pushes on a dialer-owned
-// connection (address-book updates) until the connection closes.
-func (p *Peer) drainControl(conn *wire.Conn) {
+// connection — cumulative acknowledgments and address-book updates —
+// until the connection closes, then tells the link so it reconnects and
+// replays even when it has nothing new to write.
+func (p *Peer) drainControl(conn *wire.Conn, l *link) {
 	for {
 		v, err := conn.Read()
 		if err != nil {
+			l.noteDead(conn)
 			return
 		}
-		if bu, ok := v.(wire.BookUpdate); ok {
-			p.SetBook(bu.Book)
+		switch m := v.(type) {
+		case wire.Ack:
+			l.noteAck(m.Seq)
+		case wire.BookUpdate:
+			p.SetBook(m.Book)
+		}
+	}
+}
+
+// ackLoop writes standalone acknowledgments on the reverse path of an
+// inbound peer connection while no outbound traffic to that member
+// piggybacks them. It exits when the connection dies or the read loop
+// finishes.
+func (p *Peer) ackLoop(conn *wire.Conn, idx int32, stop <-chan struct{}) {
+	period := 8 * p.opts.Tick
+	if period < 5*time.Millisecond {
+		period = 5 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-p.quit:
+			return
+		case <-t.C:
+			if seq, due := p.ackDue(idx); due {
+				if err := conn.Write(wire.Ack{Seq: seq}); err != nil {
+					return
+				}
+			}
 		}
 	}
 }
 
 // AcceptPeer serves an inbound peer connection whose Hello the listener
-// already consumed: it merges the dialer's book, acks with ours, and
-// delivers inbound envelopes until the connection closes. Run it on the
-// connection's goroutine.
+// already consumed: it merges the dialer's book, acks with ours (carrying
+// the delivery cursor the dialer must replay from), and delivers inbound
+// envelopes — deduplicated by link sequence — until the connection
+// closes. Run it on the connection's goroutine.
 func (p *Peer) AcceptPeer(conn *wire.Conn, hello wire.Hello) {
+	idx := hello.Me.Index
 	p.AddMember(hello.Me)
 	p.SetBook(hello.Book)
-	if err := conn.Write(wire.HelloAck{Book: p.Book(), Index: p.opts.Index}); err != nil {
+	ackSeq := p.senderHello(idx, hello.Boot)
+	if err := conn.Write(wire.HelloAck{Book: p.Book(), Index: p.opts.Index, AckSeq: ackSeq}); err != nil {
 		conn.Close()
 		return
 	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go p.ackLoop(conn, idx, stop)
+	boot := hello.Boot
 	for {
 		v, err := conn.Read()
 		if err != nil {
@@ -623,9 +1176,27 @@ func (p *Peer) AcceptPeer(conn *wire.Conn, hello wire.Hello) {
 		}
 		switch m := v.(type) {
 		case wire.Envelope:
-			p.Do(func() { p.deliver(m) })
+			if m.Ack > 0 {
+				p.noteAckFor(idx, m.Ack)
+			}
+			if p.preAdmit(idx, boot, m.Seq) {
+				p.Do(func() {
+					// Cursor and node effect advance in the same runner
+					// task: a state capture sees both or neither.
+					p.markDelivered(idx, boot, m.Seq)
+					p.deliver(m)
+				})
+			}
 		case wire.BookUpdate:
-			p.SetBook(m.Book)
+			if m.Ack > 0 {
+				p.noteAckFor(idx, m.Ack)
+			}
+			if p.preAdmit(idx, boot, m.Seq) {
+				p.SetBook(m.Book)
+				p.Do(func() { p.markDelivered(idx, boot, m.Seq) })
+			}
+		case wire.Ack:
+			p.noteAckFor(idx, m.Seq)
 		default:
 			p.opts.Logf("tcp[%d]: unexpected peer frame %T", p.opts.Index, v)
 		}

@@ -13,7 +13,10 @@
 //   - internal/transport/tcp, the networked backend: each operating-system
 //     process hosts a subset of the nodes, messages between processes
 //     travel as length-prefixed gob frames over TCP (see internal/wire),
-//     and TIMEOUT is driven by a wall-clock ticker.
+//     and TIMEOUT is driven by a wall-clock ticker. Per-link sequence
+//     numbers, cumulative acknowledgments and reconnect replay make
+//     delivery exactly-once across connection resets, realizing the
+//     reliable-channel contract on an unreliable network.
 //
 // The protocol core (internal/core) is written against this package only,
 // so the same node code runs unchanged under both backends. The split
@@ -52,8 +55,13 @@ type Handler interface {
 // delivery, node lifecycle, and the ambient clock and randomness. Sends
 // are asynchronous and reliable — a sent message is eventually delivered
 // exactly once, but with arbitrary delay and in arbitrary order relative
-// to other messages (the paper's channel assumption; per-connection FIFO
-// under TCP is a harmless special case).
+// to other messages (the paper's channel assumption). The simulator gets
+// this for free; the TCP backend earns it with per-link acknowledgment
+// sequencing and retransmission, and its per-link FIFO ordering is a
+// harmless special case. Around a fail-stop member restart the TCP
+// backend can additionally deliver a small number of benign duplicates of
+// the restarted member's pre-crash messages, which the protocol layer
+// detects and drops (see internal/core).
 type Network interface {
 	// Send delivers payload to the node to, attributed to from. It may be
 	// called from within a handler callback or from outside (injection);

@@ -16,13 +16,21 @@
 // guard (MaxFrame) against corrupt or hostile peers, and the ability to
 // skip or log frames without decoding them.
 //
-// # Envelopes
+// # Envelopes and link sequencing
 //
 // Member-to-member connections carry a Hello handshake followed by
 // Envelope frames: (from, to, payload) triples whose payloads are the
 // protocol messages of internal/core, registered with Register by
 // core.RegisterWireTypes. Client connections carry a Hello followed by the
 // Cli* request/response types below.
+//
+// Envelope and BookUpdate frames additionally carry a per-link sequence
+// number (Seq) and a piggybacked cumulative acknowledgment (Ack) for the
+// reverse direction of the member pair; the standalone Ack frame covers
+// idle links. Together with the last-acknowledged sequence exchanged in
+// HelloAck and the sender boot epoch in Hello, they give the TCP backend
+// exactly-once delivery across arbitrary connection resets (see
+// internal/transport/tcp, "Delivery guarantees").
 //
 // # Values
 //
@@ -97,6 +105,11 @@ type Hello struct {
 	// Book is the sender's current address book (peer connections only);
 	// the receiver merges it.
 	Book []MemberInfo
+	// Boot is the dialing member's boot epoch (peer connections only). A
+	// receiver that knew the member under a different epoch resets its
+	// per-sender delivery sequence: the sender restarted and numbers its
+	// link frames from zero again.
+	Boot int64
 }
 
 // HelloAck answers a Hello: the receiver's address book and, for clients,
@@ -107,18 +120,41 @@ type HelloAck struct {
 	Mode string
 	// Index is the answering member's index.
 	Index int32
+	// AckSeq is the receiver's cumulative acknowledgment for the dialing
+	// member's link (peer connections): every sequenced frame with
+	// Seq <= AckSeq is durably delivered and must not be retransmitted; the
+	// dialer replays everything newer.
+	AckSeq uint64
 }
 
 // Envelope is one protocol message in flight between members.
 type Envelope struct {
 	From, To transport.NodeID
 	Payload  any
+	// Seq is the per-link sequence number, assigned by the sending link in
+	// transmission order (1, 2, ...). Zero means unsequenced (local
+	// delivery, which never crosses a connection).
+	Seq uint64
+	// Ack piggybacks the sender's cumulative acknowledgment for the
+	// reverse direction of this member pair.
+	Ack uint64
 }
 
 // BookUpdate pushes an updated address book over an established peer link
-// (sent by the seed when a member joins).
+// (sent by the seed when a member joins). It shares the link's sequence
+// space with envelopes, so a book update lost to a connection reset is
+// retransmitted like any protocol message.
 type BookUpdate struct {
 	Book []MemberInfo
+	Seq  uint64
+	Ack  uint64
+}
+
+// Ack is a standalone cumulative acknowledgment, written on the reverse
+// path of a peer connection when no outbound traffic is available to
+// piggyback on: every sequenced frame with Seq <= Seq is delivered.
+type Ack struct {
+	Seq uint64
 }
 
 // ---- Client protocol ----
@@ -146,6 +182,10 @@ type CliDone struct {
 	Rounds int64
 	// Err carries a server-side submission error, empty on success.
 	Err string
+	// Unreachable marks an operation abandoned because a cluster member
+	// stayed unreachable past the server's give-up timeout (fail-stop
+	// detection); the client layer surfaces it as ErrRemote.
+	Unreachable bool
 }
 
 // CliHistory asks a member for its local completion history; the caller
@@ -159,10 +199,18 @@ type CliHistoryResp struct {
 	Ops []seqcheck.Completion
 }
 
-// CliJoin asks the seed member to admit a new member into the cluster.
+// CliJoin asks the seed member to admit a new member into the cluster —
+// or, with Rejoin set, to re-admit a member restarting from a snapshot.
 type CliJoin struct {
 	// Addr is the joining member's listen address.
 	Addr string
+	// Rejoin marks a fail-stop restart: the member already holds an index
+	// and process IDs (restored from its snapshot) and only needs the seed
+	// to re-broadcast its — possibly new — address.
+	Rejoin bool
+	// Index and Pids identify the restarting member (Rejoin only).
+	Index int32
+	Pids  []int32
 }
 
 // CliJoinResp carries the assignment the seed made for a joining member.
@@ -324,6 +372,7 @@ func init() {
 	Register(HelloAck{})
 	Register(Envelope{})
 	Register(BookUpdate{})
+	Register(Ack{})
 	Register(CliEnqueue{})
 	Register(CliDequeue{})
 	Register(CliDone{})

@@ -84,7 +84,12 @@ func (r *remoteClient) reader() {
 			continue
 		}
 		f.rounds = done.Rounds
-		if done.Err != "" {
+		if done.Unreachable {
+			// The cluster lost a member past the server's give-up timeout
+			// and abandoned the operation rather than blocking forever
+			// (fail-stop detection). ErrRemote lets callers dispatch on it.
+			f.err = fmt.Errorf("skueue: %s: %w", done.Err, ErrRemote)
+		} else if done.Err != "" {
 			// Submission failed server-side (e.g. no live local process):
 			// the operation never entered the queue, so it must surface as
 			// an error, not as a ⊥ or a silent success.
