@@ -20,10 +20,12 @@
 // JOIN protocol (§IV-A).
 //
 // Fail-stop recovery: give each member a -state directory and it
-// persists write-ahead snapshots of its DHT fragment and queue state. A
-// crashed member restarts from the snapshot with the same flags — it
-// re-announces its address through the seed (-join) and its peers replay
-// everything it missed:
+// persists write-ahead snapshots of its DHT fragment and queue or stack
+// state (both -mode values are recoverable), plus an operation journal
+// that makes client operations exactly-once across a crash. A crashed
+// member restarts from the snapshot with the same flags — it re-submits
+// the journaled operations the snapshot misses, re-announces its address
+// through the seed (-join), and its peers replay everything else:
 //
 //	skueue-server -addr 127.0.0.1:7002 -state /var/lib/skueue/m1 -join 127.0.0.1:7001
 //
@@ -54,7 +56,7 @@ func main() {
 		members = flag.String("members", "", "comma-separated bootstrap member addresses")
 		procs   = flag.Int("procs", 0, "total bootstrap processes (default: one per member)")
 		join    = flag.String("join", "", "join a running cluster via this seed address (ignores bootstrap flags)")
-		state   = flag.String("state", "", "state directory for fail-stop snapshots (empty: no persistence)")
+		state   = flag.String("state", "", "state directory for fail-stop snapshots and the operation journal (empty: no persistence)")
 		snapEv  = flag.Duration("snapshot-every", 250*time.Millisecond, "write-ahead snapshot cadence (with -state)")
 		giveUp  = flag.Duration("give-up", 0, "declare an unreachable member dead after this long (0: wait forever)")
 		tick    = flag.Duration("tick", time.Millisecond, "protocol TIMEOUT cadence")

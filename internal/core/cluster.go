@@ -129,7 +129,10 @@ type Cluster struct {
 	nextProc   int32
 	onComplete func(seqcheck.Completion)
 	onPutAck   func(reqID uint64)
-	log        func(format string, args ...any)
+	// onFire reports committed wave fires to the hosting layer (operation
+	// journal wave boundaries for exactly-once restart; see replay.go).
+	onFire func(node transport.NodeID, waveSeq int64)
+	log    func(format string, args ...any)
 }
 
 // New builds and wires a cluster. All processes given in the config are

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"skueue/internal/batch"
 	"skueue/internal/dht"
@@ -46,6 +47,13 @@ type getCtx struct {
 	born     int64
 	localSeq int64
 	value    int64
+}
+
+// heldServe is a replayed serve parked until its wave re-fires.
+type heldServe struct {
+	from    transport.NodeID
+	assigns []batch.RunAssign
+	epoch   int64
 }
 
 // Node is one virtual node of the linearized De Bruijn network running the
@@ -95,12 +103,43 @@ type Node struct {
 	inBatch []subBatch
 	inOwn   ownWave
 
-	// Stage 4 (stack): own DHT operations not yet confirmed.
-	outstanding int
+	// Stage 4 (stack): own DHT operations not yet confirmed. awaitingAcks
+	// holds the request IDs of the unacknowledged PUTs, making the
+	// accounting idempotent: around a fail-stop restart an ack can arrive
+	// twice (the replayed original plus the dedupe re-ack), and a blind
+	// decrement would corrupt the §VI completion-wait gate.
+	outstanding  int
+	awaitingAcks map[uint64]struct{}
 
 	// DHT fragment and in-flight GETs issued by this node.
 	store       *dht.Store
 	pendingGets map[uint64]getCtx
+
+	// Replay-dedupe windows (member mode only; see replay.go): request
+	// IDs of PUTs applied and GETs served here, so the re-executed tail
+	// of a crashed peer's history cannot double-apply an operation.
+	appliedPuts reqRing
+	servedGets  reqRing
+	// foldedWaves (member mode only) is the per-child cursor of the
+	// newest wave this node has FOLDED into a processing batch for that
+	// child. A restarted child re-fires the wave its snapshot rolled
+	// back, and the re-sent aggregate can arrive after the original was
+	// already folded — either already served, or still inside this
+	// node's in-flight batch: folding it again would double-count its
+	// operations at the anchor and orphan the fresh positions (nobody
+	// ever fills or consumes them), wedging the structure. Instead the
+	// re-send is dropped — the original serve, sent or still to come and
+	// unacknowledged by the crashed child either way, answers the
+	// re-fired wave.
+	foldedWaves map[transport.NodeID]int64
+	// heldServes (member mode only) parks replayed serves that arrive
+	// AHEAD of this node's wave counter. After a restart the parent's
+	// link replays every unacknowledged serve back-to-back — serve(w),
+	// serve(w+1), ... — while the rolled-back node is still at wave w;
+	// the later serves are not duplicates but the only copies of
+	// assignments this incarnation has yet to reach, so they wait here
+	// until the matching re-fire advances the counter.
+	heldServes map[int64]heldServe
 
 	// Churn (§IV) — see churn.go.
 	churn churnState
@@ -264,15 +303,76 @@ func (n *Node) takeOwnOps() ownWave {
 	return w
 }
 
+// takeWaiting drains the sub-batches for the next wave: the OLDEST
+// pending wave of each child. Normally that is everything buffered (one
+// wave per child); during a fail-stop replay a child's re-sent waves
+// queue up here and must be folded one per fire, in order, to line up
+// with the serves already in flight for them.
+func (n *Node) takeWaiting() []subBatch {
+	if !n.cl.memberMode() {
+		// The simulator delivers exactly once, so a second pending wave
+		// per child is impossible (OnMessage panics): take everything,
+		// allocation-free.
+		out := n.waiting
+		n.waiting = nil
+		return out
+	}
+	chosen := make([]subBatch, 0, len(n.waiting))
+	var rest []subBatch
+	pick := make(map[transport.NodeID]int, len(n.waiting))
+	for _, w := range n.waiting {
+		i, dup := pick[w.From]
+		if !dup {
+			pick[w.From] = len(chosen)
+			chosen = append(chosen, w)
+			continue
+		}
+		if w.WaveSeq < chosen[i].WaveSeq {
+			rest = append(rest, chosen[i])
+			chosen[i] = w
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	n.waiting = rest
+	return chosen
+}
+
 // fire executes the Stage 1 transfer W -> B (Algorithm 1).
 func (n *Node) fire(ctx *transport.Context) {
 	own := n.takeOwnOps()
 	own.B.J = n.churn.takeJoinCount()
 	own.B.L = n.churn.takeLeaveCount()
-	subs := make([]subBatch, 0, 1+len(n.waiting))
+	taken := n.takeWaiting()
+	subs := make([]subBatch, 0, 1+len(taken))
 	subs = append(subs, subBatch{From: transport.None, B: own.B})
-	subs = append(subs, n.waiting...)
-	n.waiting = nil
+	subs = append(subs, taken...)
+	if n.cl.memberMode() {
+		if len(subs) > 2 {
+			// Fold child sub-batches in sorted order, not arrival order:
+			// the fold order fixes how a later serve's intervals decompose
+			// over the children, and after a fail-stop restart the
+			// re-fired wave must decompose exactly like its crashed
+			// incarnation did even though the replayed sub-batches may
+			// arrive interleaved differently across links. Any fold order
+			// is a valid serialization; a deterministic one makes replay
+			// exact.
+			sort.Slice(subs[1:], func(i, j int) bool { return subs[1+i].From < subs[1+j].From })
+		}
+		// Advance the folded-wave cursors: from here on, a duplicate of
+		// any of these sub-batches is a restart re-send to drop.
+		for _, sb := range subs[1:] {
+			if sb.WaveSeq == 0 {
+				continue
+			}
+			if n.foldedWaves == nil {
+				n.foldedWaves = make(map[transport.NodeID]int64)
+			}
+			if sb.WaveSeq > n.foldedWaves[sb.From] {
+				n.foldedWaves[sb.From] = sb.WaveSeq
+			}
+		}
+	}
 	n.inBatch = subs
 	n.inOwn = own
 	n.waveSeq++
@@ -285,13 +385,16 @@ func (n *Node) fire(ctx *transport.Context) {
 	n.cl.metrics.noteBatch(combined)
 
 	if n.anchorRole {
+		n.noteFire()
 		n.assignAndServe(ctx, combined)
 		return
 	}
 	if n.churn.joining {
 		// Joining nodes relay their requests through the responsible node,
 		// which treats them as extra aggregation-tree children (§IV-A).
+		n.noteFire()
 		ctx.Send(n.churn.relayVia.ID, aggregateMsg{From: n.self, B: combined, WaveSeq: n.waveSeq})
+		n.takeHeldServe(ctx)
 		return
 	}
 	parent, ok := n.nb().Parent()
@@ -304,7 +407,43 @@ func (n *Node) fire(ctx *transport.Context) {
 		n.restoreOwn(own, subs[1:])
 		return
 	}
+	n.noteFire()
 	ctx.Send(parent.ID, aggregateMsg{From: n.self, B: combined, WaveSeq: n.waveSeq})
+	n.takeHeldServe(ctx)
+}
+
+// takeHeldServe applies a replayed serve parked for the wave this node
+// just fired (see heldServes). The aggregate was still sent — the parent
+// recognizes it as already served and drops it — so ordering matches a
+// serve that had arrived the instant after the fire.
+func (n *Node) takeHeldServe(ctx *transport.Context) {
+	if len(n.heldServes) == 0 {
+		return
+	}
+	hs, ok := n.heldServes[n.waveSeq]
+	if !ok {
+		return
+	}
+	delete(n.heldServes, n.waveSeq)
+	n.cl.logf("core: %v applying held serve for wave %d (restart replay)", n.self, n.waveSeq)
+	if n.inBatch != nil && !n.assignsFit(hs.assigns) {
+		// No second copy of a held serve exists; refusing it stops this
+		// node's waves rather than corrupting positions. Replay of an
+		// unchanged snapshot+journal is deterministic, so reaching this
+		// line means a replay-divergence bug — surface it loudly.
+		n.cl.logf("core: %v REFUSING held serve with mismatched shape for wave %d — replay diverged; member wedged pending restart (state remains recoverable)", n.self, n.waveSeq)
+		return
+	}
+	n.serve(ctx, hs.assigns, hs.epoch, hs.from)
+}
+
+// noteFire reports a committed wave fire to the hosting layer (operation
+// journal wave boundaries). It runs only on the paths that actually send
+// or assign the batch — an undone fire (restoreOwn) must not count.
+func (n *Node) noteFire() {
+	if n.cl.onFire != nil {
+		n.cl.onFire(n.self.ID, n.waveSeq)
+	}
 }
 
 // restoreOwn undoes a fire that could not proceed (rare churn corner).
@@ -416,6 +555,10 @@ func (n *Node) dispatchOp(ctx *transport.Context, po pendingOp, oa batch.OpAssig
 	if stackMode {
 		ticket = oa.Ticket
 		n.outstanding++
+		if n.awaitingAcks == nil {
+			n.awaitingAcks = make(map[uint64]struct{})
+		}
+		n.awaitingAcks[po.reqID] = struct{}{}
 	}
 	n.sendRouted(ctx, key, putReq{
 		Pos: oa.Pos, Ticket: ticket, Elem: po.elem, Blob: po.blob,
@@ -499,17 +642,22 @@ func (n *Node) dispatchDHT(ctx *transport.Context, key fixpoint.Frac, inner any)
 func (n *Node) handleDHT(ctx *transport.Context, inner any) {
 	switch m := inner.(type) {
 	case putReq:
-		if n.cl.memberMode() && n.store.Has(m.Pos, m.Ticket) {
-			// Replayed duplicate after a fail-stop restart: the element is
-			// already stored and its completion recorded. Re-acknowledge —
-			// the ack, not the store, may be what the crash swallowed.
-			n.cl.logf("core: %v dropping duplicate PUT at pos=%d (restart replay)", n.self, m.Pos)
+		if n.cl.memberMode() && (n.appliedPuts.has(m.ReqID) || n.store.Has(m.Pos, m.Ticket)) {
+			// Replayed duplicate after a fail-stop restart: the element
+			// was already stored — and possibly already consumed again,
+			// which is why the request-ID window backs up the positional
+			// check — and its completion recorded. Re-acknowledge: the
+			// ack, not the store, may be what the crash swallowed.
+			n.cl.logf("core: %v dropping duplicate PUT %d at pos=%d (restart replay)", n.self, m.ReqID, m.Pos)
 			if n.cl.cfg.Mode == batch.Stack || n.cl.cfg.AckAllPuts {
 				ctx.Send(m.Requester, putAck{ReqID: m.ReqID})
 			}
 			return
 		}
 		released := n.store.PutBlob(m.Pos, m.Ticket, m.Elem, m.Blob)
+		if n.cl.memberMode() {
+			n.appliedPuts.add(m.ReqID)
+		}
 		// The enqueue finishes the moment its element is stored (§VII).
 		n.cl.recordCompletion(seqcheck.Completion{
 			Client: m.Client, LocalSeq: m.LocalSeq,
@@ -520,10 +668,22 @@ func (n *Node) handleDHT(ctx *transport.Context, inner any) {
 			ctx.Send(m.Requester, putAck{ReqID: m.ReqID})
 		}
 		for _, rel := range released {
+			n.noteServedGet(rel.Waiter.ReqID)
 			ctx.Send(rel.Waiter.Requester, getReply{ReqID: rel.Waiter.ReqID, Entry: rel.Entry})
 		}
 	case getReq:
+		if n.cl.memberMode() && n.servedGets.has(m.ReqID) {
+			// Replayed duplicate of a GET this node already served: the
+			// original reply is replayed by the link layer (it stays
+			// unacknowledged until the requester's snapshot covers it).
+			// Serving — or parking — again would consume or steal a
+			// second element; in stack mode, where positions are reused,
+			// a stale parked waiter would swallow a future push.
+			n.cl.logf("core: %v dropping duplicate GET %d at pos=%d (restart replay)", n.self, m.ReqID, m.Pos)
+			return
+		}
 		if ent, ok := n.store.Get(m.Pos, m.Bound); ok {
+			n.noteServedGet(m.ReqID)
 			ctx.Send(m.Requester, getReply{ReqID: m.ReqID, Entry: ent})
 			return
 		}
@@ -536,17 +696,27 @@ func (n *Node) handleDHT(ctx *transport.Context, inner any) {
 			return
 		}
 		for _, rel := range n.store.Insert(m.Ent) {
+			n.noteServedGet(rel.Waiter.ReqID)
 			ctx.Send(rel.Waiter.Requester, getReply{ReqID: rel.Waiter.ReqID, Entry: rel.Entry})
 		}
 	case migrateParked:
 		// The element may already be here (it migrated first).
 		if ent, ok := n.store.Get(m.Pos, m.W.Bound); ok {
+			n.noteServedGet(m.W.ReqID)
 			ctx.Send(m.W.Requester, getReply{ReqID: m.W.ReqID, Entry: ent})
 			return
 		}
 		n.store.Park(m.Pos, m.W)
 	default:
 		panic(fmt.Sprintf("core: %v: handleDHT got %T", n.self, inner))
+	}
+}
+
+// noteServedGet records a served GET in the replay-dedupe window (member
+// mode; see replay.go).
+func (n *Node) noteServedGet(reqID uint64) {
+	if n.cl.memberMode() {
+		n.servedGets.add(reqID)
 	}
 }
 
@@ -568,20 +738,36 @@ func (n *Node) OnMessage(ctx *transport.Context, from transport.NodeID, payload 
 			ctx.Send(m.From.ID, rejectBatch{B: m.B})
 			return
 		}
+		if n.cl.memberMode() && m.WaveSeq != 0 && m.WaveSeq <= n.foldedWaves[m.From.ID] {
+			// A restarted child re-sent a wave this node already folded:
+			// the original serve — sent, or still to come with this
+			// node's in-flight batch — answers the child, so the re-send
+			// must not be consumed again (see foldedWaves).
+			n.cl.logf("core: %v dropping re-sent sub-batch from %v for already-folded wave %d (restart replay)",
+				n.self, m.From, m.WaveSeq)
+			return
+		}
 		if n.hasWaitingFrom(m.From.ID) {
 			if n.cl.memberMode() {
-				// A restarted child re-fires the wave its snapshot rolled
-				// back (same WaveSeq, regenerated from replayed inputs), or
-				// a replayed link delivered the previous wave again. Either
-				// way the latest arrival reflects the child's current
-				// reality, so it replaces the buffered one.
-				n.cl.logf("core: %v replacing sub-batch from restarted child %v (wave %d)", n.self, m.From, m.WaveSeq)
+				// Around a fail-stop restart several of a child's waves can
+				// be pending here at once: the link replays every
+				// unacknowledged aggregate back-to-back while this node is
+				// still working through its own rollback. An arrival for a
+				// wave already buffered is the restarted child's re-fire of
+				// that same wave (regenerated from replayed inputs) and
+				// replaces it; a NEWER wave queues behind the buffered ones
+				// — each wave must be folded individually, in order, or the
+				// re-fired waves would not match the serves already in
+				// flight for them (fire folds the oldest wave per child).
 				for i := range n.waiting {
-					if n.waiting[i].From == m.From.ID {
+					if n.waiting[i].From == m.From.ID && n.waiting[i].WaveSeq == m.WaveSeq {
+						n.cl.logf("core: %v replacing sub-batch from restarted child %v (wave %d)", n.self, m.From, m.WaveSeq)
 						n.waiting[i].B = m.B
-						n.waiting[i].WaveSeq = m.WaveSeq
+						return
 					}
 				}
+				n.cl.logf("core: %v queueing sub-batch from %v for wave %d behind its pending waves (restart replay)", n.self, m.From, m.WaveSeq)
+				n.waiting = append(n.waiting, subBatch{From: m.From.ID, B: m.B, WaveSeq: m.WaveSeq})
 				return
 			}
 			panic(fmt.Sprintf("core: node %v got a second sub-batch from child %v within one wave", n.self, m.From))
@@ -589,13 +775,33 @@ func (n *Node) OnMessage(ctx *transport.Context, from transport.NodeID, payload 
 		n.waiting = append(n.waiting, subBatch{From: m.From.ID, B: m.B, WaveSeq: m.WaveSeq})
 	case serveMsg:
 		if n.cl.memberMode() && m.WaveSeq != 0 && m.WaveSeq != n.waveSeq {
-			// A serve for a wave this node no longer has in flight: around
-			// a fail-stop restart, both the pre-crash phantom serve and the
-			// re-aggregated one arrive tagged with the same WaveSeq — the
-			// first one consumes the batch, any other is dropped here. The
-			// restart protocol guarantees equivalence only for empty waves
-			// (see snapshot.go), which lose nothing either way.
-			n.cl.logf("core: %v dropping serve for wave %d (current %d; restart replay)", n.self, m.WaveSeq, n.waveSeq)
+			if m.WaveSeq < n.waveSeq {
+				// A serve for a wave this node already completed: around a
+				// fail-stop restart both the replayed original and a serve
+				// for the re-sent aggregate can arrive; the first consumed
+				// the batch, this one is a true duplicate.
+				n.cl.logf("core: %v dropping serve for past wave %d (current %d; restart replay)", n.self, m.WaveSeq, n.waveSeq)
+				return
+			}
+			// A serve AHEAD of this node's counter: the link replays the
+			// whole unacknowledged tail back-to-back — serve(w), serve(w+1)
+			// — while the rolled-back node is still re-executing wave w.
+			// This is the only copy of those assignments; park it until
+			// the matching re-fire (see heldServes).
+			if n.heldServes == nil {
+				n.heldServes = make(map[int64]heldServe)
+			}
+			n.heldServes[m.WaveSeq] = heldServe{from: from, assigns: m.Assigns, epoch: m.UpdateEpoch}
+			n.cl.logf("core: %v holding replayed serve for future wave %d (current %d)", n.self, m.WaveSeq, n.waveSeq)
+			return
+		}
+		if n.cl.memberMode() && n.inBatch != nil && !n.assignsFit(m.Assigns) {
+			// Shape guard: the serve was computed for a batch that differs
+			// from the one in flight — a replay divergence the protocol
+			// must not apply (it would double-assign or orphan positions).
+			// Keep the batch; the serve matching the re-sent aggregate
+			// carries the same WaveSeq and is applied when it arrives.
+			n.cl.logf("core: %v dropping serve with mismatched shape for wave %d (restart replay divergence)", n.self, m.WaveSeq)
 			return
 		}
 		n.serve(ctx, m.Assigns, m.UpdateEpoch, from)
@@ -626,7 +832,17 @@ func (n *Node) OnMessage(ctx *transport.Context, from transport.NodeID, payload 
 		})
 	case putAck:
 		if n.cl.cfg.Mode == batch.Stack {
-			n.outstanding--
+			if _, awaited := n.awaitingAcks[m.ReqID]; awaited {
+				delete(n.awaitingAcks, m.ReqID)
+				n.outstanding--
+			} else if !n.cl.memberMode() {
+				panic(fmt.Sprintf("core: node %v got ack for unawaited PUT %d", n.self, m.ReqID))
+			} else {
+				// Duplicate ack around a fail-stop restart (replayed
+				// original plus dedupe re-ack): already accounted.
+				n.cl.logf("core: %v dropping duplicate ack for PUT %d (restart replay)", n.self, m.ReqID)
+				break
+			}
 		}
 		if n.cl.onPutAck != nil {
 			n.cl.onPutAck(m.ReqID)
@@ -651,6 +867,14 @@ func (n *Node) InjectEnqueue(now int64) uint64 {
 // client layer stores the user's encoded value here.
 func (n *Node) InjectEnqueueBlob(now int64, blob []byte) uint64 {
 	reqID := n.cl.nextReqID()
+	n.injectEnqueue(reqID, now, blob)
+	return reqID
+}
+
+// injectEnqueue buffers an enqueue under a caller-chosen request ID —
+// fresh from nextReqID, or the original ID of a journaled operation being
+// re-submitted after a fail-stop restart (Cluster.Resubmit).
+func (n *Node) injectEnqueue(reqID uint64, now int64, blob []byte) {
 	elem := dht.Element{Origin: n.clientID, Seq: n.nextElemSeq}
 	n.nextElemSeq++
 	op := pendingOp{elem: elem, reqID: reqID, born: now, localSeq: n.nextLocalSeq, blob: blob}
@@ -661,7 +885,6 @@ func (n *Node) InjectEnqueueBlob(now int64, blob []byte) uint64 {
 		n.pending = append(n.pending, op)
 	}
 	n.cl.issued++
-	return reqID
 }
 
 // InjectDequeue buffers a locally generated DEQUEUE (POP) request. In
@@ -669,6 +892,12 @@ func (n *Node) InjectEnqueueBlob(now int64, blob []byte) uint64 {
 // with a buffered push (§VI).
 func (n *Node) InjectDequeue(now int64) uint64 {
 	reqID := n.cl.nextReqID()
+	n.injectDequeue(reqID, now)
+	return reqID
+}
+
+// injectDequeue is injectEnqueue's dequeue counterpart.
+func (n *Node) injectDequeue(reqID uint64, now int64) {
 	op := pendingOp{isDeq: true, reqID: reqID, born: now, localSeq: n.nextLocalSeq}
 	n.nextLocalSeq++
 	n.cl.issued++
@@ -691,10 +920,9 @@ func (n *Node) InjectDequeue(now int64) uint64 {
 				Blob: match.Blob,
 			})
 		}
-		return reqID
+		return
 	}
 	n.pending = append(n.pending, op)
-	return reqID
 }
 
 // Store exposes the DHT fragment for tests and load statistics.

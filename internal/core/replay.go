@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+
+	"skueue/internal/batch"
+	"skueue/internal/transport"
+)
+
+// This file holds the member-mode replay machinery that upgrades
+// fail-stop recovery from at-least-once to exactly-once for operations
+// mid-flight at the crashed member: bounded request-ID dedupe windows for
+// replayed DHT operations, the re-submission entry points the hosting
+// layer's operation journal drives, and the serve shape guard.
+//
+// The threat model: a member restored from a write-ahead snapshot rolls
+// back to the cut and re-executes the interval up to the crash from
+// replayed inputs. Its re-sent messages reach peers a second time under a
+// new boot epoch, so the link layer cannot dedupe them — the receivers
+// must. Position-based dedupe (dht.Store.Has) covers a PUT replayed while
+// its element is still stored, but not a PUT whose element was already
+// consumed, and not a GET replayed after it was served — in stack mode
+// the latter would park forever and steal a future element, because
+// stack positions are reused (§VI: Last decrements on pops). The request
+// ID, tagged with the issuing member (ReqIDMemberShift), identifies an
+// operation across both incarnations and closes both holes.
+
+// replayDedupeWindow bounds the per-node dedupe memory. Duplicates only
+// arise within one crash-recovery replay interval — the traffic between
+// two snapshots plus the reconnect replay — so the window needs to cover
+// that interval's operations, not history. 2^14 request IDs per node is
+// several snapshot intervals of saturated traffic; beyond it, oldest
+// entries are evicted first.
+const replayDedupeWindow = 1 << 14
+
+// reqRing is a bounded FIFO set of request IDs. The zero value is ready
+// to use and allocates nothing until the first add, so simulator nodes
+// (which never see replays) pay nothing.
+type reqRing struct {
+	set  map[uint64]struct{}
+	buf  []uint64
+	next int
+}
+
+func (r *reqRing) add(id uint64) {
+	if id == 0 {
+		return // member request IDs are never zero (reqBase tag)
+	}
+	if r.set == nil {
+		r.set = make(map[uint64]struct{})
+		r.buf = make([]uint64, replayDedupeWindow)
+	}
+	if _, dup := r.set[id]; dup {
+		return
+	}
+	if old := r.buf[r.next]; old != 0 {
+		delete(r.set, old)
+	}
+	r.buf[r.next] = id
+	r.next = (r.next + 1) % replayDedupeWindow
+	r.set[id] = struct{}{}
+}
+
+func (r *reqRing) has(id uint64) bool {
+	_, ok := r.set[id]
+	return ok
+}
+
+// entries lists the window oldest first, for the member snapshot.
+func (r *reqRing) entries() []uint64 {
+	if r.set == nil {
+		return nil
+	}
+	out := make([]uint64, 0, len(r.set))
+	for i := 0; i < replayDedupeWindow; i++ {
+		if id := r.buf[(r.next+i)%replayDedupeWindow]; id != 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (r *reqRing) restore(ids []uint64) {
+	for _, id := range ids {
+		r.add(id)
+	}
+}
+
+// ReqIDSeq extracts the member-local sequence part of a request ID (the
+// low ReqIDMemberShift bits). The hosting layer compares it against the
+// snapshotted ReqSeq to decide which journaled operations the snapshot
+// already covers.
+func ReqIDSeq(reqID uint64) uint64 { return reqID & (1<<ReqIDMemberShift - 1) }
+
+// AdvanceReqSeq raises the member-local request sequence to at least seq.
+// A restore calls it with the journal's high-water mark BEFORE any client
+// can submit: journaled operations held back for their wave boundaries
+// keep their original request IDs, and a fresh ID colliding with one of
+// them would make two distinct operations indistinguishable to every
+// dedupe path. Runner goroutine (or before the transport starts) only.
+func (cl *Cluster) AdvanceReqSeq(seq uint64) {
+	if seq > cl.reqSeq {
+		cl.reqSeq = seq
+	}
+}
+
+// SetOnFire registers a callback invoked on the runner goroutine every
+// time a local node fires a wave (Stage 1 transfer W -> B), after the
+// wave's composition is fixed. The hosting layer uses it to place wave
+// boundaries in its operation journal and to feed held-back re-submitted
+// operations into the wave they originally rode in.
+func (cl *Cluster) SetOnFire(fn func(node transport.NodeID, waveSeq int64)) { cl.onFire = fn }
+
+// Resubmit re-injects a journaled client operation during or after a
+// fail-stop restart, under its ORIGINAL request ID: the re-executed
+// operation is thereby the same operation as far as every dedupe path is
+// concerned, and fresh request IDs can never collide with pre-crash ones
+// because the member-local sequence counter advances past it. It must run
+// on the runner goroutine (or before the transport starts).
+func (cl *Cluster) Resubmit(client transport.NodeID, reqID uint64, isDeq bool, blob []byte) {
+	n, ok := cl.nodes[client]
+	if !ok {
+		cl.logf("core: dropping resubmitted op %d for unknown node %d", reqID, client)
+		return
+	}
+	if seq := ReqIDSeq(reqID); seq > cl.reqSeq {
+		cl.reqSeq = seq
+	}
+	if isDeq {
+		n.injectDequeue(reqID, cl.net.Now())
+	} else {
+		n.injectEnqueue(reqID, cl.net.Now(), blob)
+	}
+}
+
+// assignsFit checks a serve's assignments against the node's current
+// processing batch: every enqueue/push run's position interval must have
+// exactly the run's length (the anchor always allocates enqueue intervals
+// exactly; only dequeue intervals may come up short). A mismatch means
+// the serve was computed for a different batch than the one in flight —
+// possible only when a fail-stop replay diverged — and applying it would
+// corrupt position accounting cluster-wide (double-assigned or orphaned
+// positions). Member mode drops such serves. The recompute is O(children)
+// with two small allocations per serve, on par with the Decompose work a
+// serve performs anyway.
+func (n *Node) assignsFit(assigns []batch.RunAssign) bool {
+	parts := make([]batch.Batch, len(n.inBatch))
+	for i, sb := range n.inBatch {
+		parts[i] = sb.B
+	}
+	combined := batch.Combine(parts...)
+	if len(assigns) != len(combined.Runs) {
+		n.cl.logf("core: %v assigns mismatch: %d assigns vs batch %v (inBatch %v)", n.self, len(assigns), combined, n.describeInBatch())
+		return false
+	}
+	for i, k := range combined.Runs {
+		if !batch.IsDeqIndex(i) && assigns[i].Iv.Len() != k {
+			n.cl.logf("core: %v assigns mismatch at run %d: interval %v vs run %d (batch %v, inBatch %v)",
+				n.self, i, assigns[i].Iv, k, combined, n.describeInBatch())
+			return false
+		}
+	}
+	return true
+}
+
+// describeInBatch renders the in-flight batch's provenance for replay
+// diagnostics.
+func (n *Node) describeInBatch() string {
+	out := ""
+	for _, sb := range n.inBatch {
+		out += fmt.Sprintf("[from=%d w=%d %v]", sb.From, sb.WaveSeq, sb.B)
+	}
+	return out
+}

@@ -9,15 +9,19 @@ import (
 	"skueue/internal/dht"
 	"skueue/internal/ldb"
 	"skueue/internal/seqcheck"
+	"skueue/internal/stack"
 	"skueue/internal/transport"
 	"skueue/internal/xrand"
 )
 
 // This file is the fail-stop recovery surface of a networked member: an
 // exported, gob-encodable image of everything a member must carry across
-// a crash — its DHT fragment (the elements and their queue positions),
-// topology references, wave buffers, request counters and completion
-// history — plus the constructor that rebuilds a Cluster from it.
+// a crash — its DHT fragment (the elements and their queue or stack
+// positions), topology references, wave buffers, the stack combiner's
+// residual word and stage-4 ticket waits, request counters, replay-dedupe
+// windows and completion history — plus the constructor that rebuilds a
+// Cluster from it. Both modes are supported: queue (§III) and stack
+// (§VI) members snapshot and restore alike.
 //
 // The image is deliberately a plain-data mirror of the node state rather
 // than the state itself: Node fields are unexported and full of
@@ -32,11 +36,34 @@ import (
 // member re-receives exactly the messages its snapshot misses and
 // re-executes them against the rolled-back state. Messages the member
 // SENT after the snapshot may reach peers twice (once pre-crash, once
-// re-executed); the member-mode tolerance paths in node.go/churn.go and
-// the receiver-side idempotence of the DHT make those duplicates benign
-// for empty waves, which is why recovery is exact when the crash happens
-// while no client operations are in flight at the member, and
-// at-least-once best-effort otherwise (see DESIGN.md).
+// re-executed); three mechanisms make the re-execution converge on
+// exactly-once application:
+//
+//   - deterministic re-aggregation: member-mode nodes fold sub-batches in
+//     sorted child order (see Node.fire), and the hosting layer re-injects
+//     journaled client operations at their original wave boundaries
+//     (internal/server's operation journal), so a re-fired wave carries
+//     the same batch the crashed incarnation sent and the replayed serve's
+//     assignments line up position for position;
+//   - receiver-side dedupe: stores recognize replayed PUTs by (position,
+//     ticket) and — surviving even consume-then-replay races — by request
+//     ID (Node.appliedPuts), served GETs are remembered by request ID so a
+//     re-executed GET cannot park again and steal a reused stack position
+//     (Node.servedGets), duplicate put-acks are absorbed by per-request
+//     accounting (Node.awaitingAcks), a parent drops a restarted child's
+//     re-sent aggregate for a wave it already folded (Node.foldedWaves —
+//     the original serve, sent or still to come, answers the re-fire)
+//     while queueing a child's replayed later waves and folding them one
+//     per fire in order (Node.takeWaiting), serves replayed
+//     AHEAD of a rolled-back node's wave counter are parked until the
+//     matching re-fire (Node.heldServes), and serves for past waves are
+//     dropped by WaveSeq;
+//   - a shape guard: a serve whose assignments cannot match the node's
+//     current processing batch (possible only if replay diverged) is
+//     dropped rather than applied, so divergence degrades to a retried
+//     wave instead of corrupting position accounting.
+//
+// See DESIGN.md "Fail-stop recovery" for the full argument.
 
 // ErrNotQuiescent reports a snapshot attempt while churn is in progress
 // at this member: join/leave handshakes hold multi-message state that the
@@ -60,12 +87,28 @@ type SubBatchImage struct {
 	WaveSeq int64
 }
 
-// GetImage is one in-flight GET issued by the node.
+// GetImage is one in-flight GET issued by the node. Restoring it re-arms
+// the stage-4 wait: the node keeps counting the GET as outstanding until
+// the replayed (or re-executed) reply arrives.
 type GetImage struct {
 	ReqID    uint64
 	Born     int64
 	LocalSeq int64
 	Value    int64
+}
+
+// CombinerImage is the stack combiner's buffered residual word (§VI):
+// the not-yet-sent operations in their reduced POP^a PUSH^b form. Pops
+// carry no element; pushes carry their element and blob.
+type CombinerImage struct {
+	Pops   []OpImage
+	Pushes []OpImage
+}
+
+// FoldedWaveImage is one entry of the per-child folded-wave cursor.
+type FoldedWaveImage struct {
+	From    transport.NodeID
+	WaveSeq int64
 }
 
 // NodeImage captures one virtual node.
@@ -88,11 +131,31 @@ type NodeImage struct {
 	InOwnOps []OpImage
 	InOwnB   batch.Batch
 
-	Outstanding int
+	// Combiner is the stack-mode residual word; empty in queue mode.
+	Combiner CombinerImage
+	// Outstanding re-arms the §VI stage-4 completion wait: the number of
+	// the node's own DHT operations (ticketed PUTs and GETs) still
+	// unconfirmed at the cut. The restored node stays gated until the
+	// replayed acknowledgments and replies drain it. AwaitingAcks lists
+	// the unacknowledged PUTs' request IDs, keeping the accounting
+	// idempotent under replayed duplicate acks.
+	Outstanding  int
+	AwaitingAcks []uint64
 
 	Entries []dht.Entry
 	Parked  []dht.ParkedEntry
 	Gets    []GetImage
+
+	// AppliedPuts and ServedGets are the node's replay-dedupe windows:
+	// request IDs of recently applied PUTs and served GETs, oldest first.
+	// They survive the restart so a member that crashes can still
+	// recognize duplicates produced by an earlier crash of a peer.
+	AppliedPuts []uint64
+	ServedGets  []uint64
+	// FoldedWaves is the per-child cursor of waves already folded into
+	// a processing batch, which recognizes a restarted child's re-sent
+	// aggregates (see Node.foldedWaves).
+	FoldedWaves []FoldedWaveImage
 
 	LastEpoch    int64
 	EpochCounter int64
@@ -118,6 +181,37 @@ type MemberSnapshot struct {
 	History  []seqcheck.Completion
 }
 
+// SnapshotStats summarizes the client-visible operations a snapshot holds
+// in flight, for diagnostics and for tests that need to assert a crash
+// was taken mid-traffic (e.g. with a non-empty combiner residual).
+type SnapshotStats struct {
+	// PendingOps counts buffered, not-yet-fired operations outside the
+	// combiner (queue mode, or stack mode with combining disabled).
+	PendingOps int
+	// CombinerPops and CombinerPushes are the residual word shape summed
+	// over the member's nodes (stack mode).
+	CombinerPops   int
+	CombinerPushes int
+	// InFlightOps counts own operations inside a processing batch (fired,
+	// not yet served).
+	InFlightOps int
+	// PendingGets counts GETs awaiting their reply.
+	PendingGets int
+}
+
+// Stats computes the in-flight operation summary of the image.
+func (s *MemberSnapshot) Stats() SnapshotStats {
+	var st SnapshotStats
+	for _, img := range s.Nodes {
+		st.PendingOps += len(img.Pending)
+		st.CombinerPops += len(img.Combiner.Pops)
+		st.CombinerPushes += len(img.Combiner.Pushes)
+		st.InFlightOps += len(img.InOwnOps)
+		st.PendingGets += len(img.Gets)
+	}
+	return st
+}
+
 func opImages(ops []pendingOp) []OpImage {
 	out := make([]OpImage, len(ops))
 	for i, op := range ops {
@@ -133,6 +227,28 @@ func opsFromImages(imgs []OpImage) []pendingOp {
 	out := make([]pendingOp, len(imgs))
 	for i, im := range imgs {
 		out[i] = pendingOp{isDeq: im.IsDeq, elem: im.Elem, reqID: im.ReqID, born: im.Born, localSeq: im.LocalSeq, blob: im.Blob}
+	}
+	return out
+}
+
+func stackOpImages(ops []stack.PendingOp, isDeq bool) []OpImage {
+	if len(ops) == 0 {
+		return nil
+	}
+	out := make([]OpImage, len(ops))
+	for i, op := range ops {
+		out[i] = OpImage{IsDeq: isDeq, Elem: op.Elem, ReqID: op.ReqID, Born: op.Born, LocalSeq: op.LocalSeq, Blob: op.Blob}
+	}
+	return out
+}
+
+func stackOpsFromImages(imgs []OpImage) []stack.PendingOp {
+	if len(imgs) == 0 {
+		return nil
+	}
+	out := make([]stack.PendingOp, len(imgs))
+	for i, im := range imgs {
+		out[i] = stack.PendingOp{ReqID: im.ReqID, Elem: im.Elem, Born: im.Born, LocalSeq: im.LocalSeq, Blob: im.Blob}
 	}
 	return out
 }
@@ -169,18 +285,16 @@ func (n *Node) snapshottable() bool {
 		len(c.heldHandoffs) == 0 && !c.relayVia.Valid()
 }
 
-// SnapshotMember captures this member's persistent image. It must run on
-// the transport's runner goroutine (tcp.Peer.DoSync), where no handler is
-// concurrently mutating node state. It fails with ErrNotQuiescent while
-// any local node is inside a join/leave handshake, and refuses stack mode
-// outright (the residual combiner and ticket wait make the stack's
-// restart story a separate project).
+// SnapshotMember captures this member's persistent image, in queue and
+// stack mode alike: the stack's residual combiner word, anchor-side
+// tickets (inside batch.AnchorState) and pending stage-4 ticket waits
+// are part of the image. It must run on the transport's runner goroutine
+// (tcp.Peer.DoSync), where no handler is concurrently mutating node
+// state. It fails with ErrNotQuiescent while any local node is inside a
+// join/leave handshake.
 func (cl *Cluster) SnapshotMember() (*MemberSnapshot, error) {
 	if !cl.memberMode() {
 		return nil, errors.New("core: only networked members snapshot (the simulator has no crashes)")
-	}
-	if cl.cfg.Mode == batch.Stack {
-		return nil, errors.New("core: stack-mode members do not support snapshots yet")
 	}
 	snap := &MemberSnapshot{
 		Index:    int32(cl.reqBase>>ReqIDMemberShift) - 1,
@@ -200,6 +314,13 @@ func (cl *Cluster) SnapshotMember() (*MemberSnapshot, error) {
 		n := cl.nodes[id]
 		if !n.snapshottable() {
 			return nil, fmt.Errorf("%w: node %v mid-churn", ErrNotQuiescent, n.self)
+		}
+		if len(n.heldServes) > 0 {
+			// A held serve is delivered-but-unapplied link state the image
+			// does not model: its delivery cursor already advanced, so a
+			// snapshot taken now could release the ack and lose the serve
+			// for good. Held serves drain within a wave; skip and retry.
+			return nil, fmt.Errorf("%w: node %v holds replayed serves", ErrNotQuiescent, n.self)
 		}
 		img := NodeImage{
 			Self: n.self, Pred: n.pred, Succ: n.succ,
@@ -224,6 +345,18 @@ func (cl *Cluster) SnapshotMember() (*MemberSnapshot, error) {
 			img.InBatch = subImages(n.inBatch)
 			img.InOwnOps = opImages(n.inOwn.ops)
 		}
+		pops, pushes := n.combiner.Snapshot()
+		img.Combiner = CombinerImage{Pops: stackOpImages(pops, true), Pushes: stackOpImages(pushes, false)}
+		img.AppliedPuts = n.appliedPuts.entries()
+		img.ServedGets = n.servedGets.entries()
+		for reqID := range n.awaitingAcks {
+			img.AwaitingAcks = append(img.AwaitingAcks, reqID)
+		}
+		sort.Slice(img.AwaitingAcks, func(i, j int) bool { return img.AwaitingAcks[i] < img.AwaitingAcks[j] })
+		for from, wave := range n.foldedWaves {
+			img.FoldedWaves = append(img.FoldedWaves, FoldedWaveImage{From: from, WaveSeq: wave})
+		}
+		sort.Slice(img.FoldedWaves, func(i, j int) bool { return img.FoldedWaves[i].From < img.FoldedWaves[j].From })
 		img.Parked = parkedImage(n.store)
 		reqIDs := make([]uint64, 0, len(n.pendingGets))
 		for reqID := range n.pendingGets {
@@ -265,9 +398,6 @@ func RestoreMember(cfg Config, snap *MemberSnapshot, net transport.Network) (*Cl
 	}
 	if snap.Index < 0 {
 		return nil, fmt.Errorf("core: invalid member index %d in snapshot", snap.Index)
-	}
-	if cfg.Mode == batch.Stack {
-		return nil, errors.New("core: stack-mode members do not support snapshots yet")
 	}
 	RegisterWireTypes()
 	cl := &Cluster{
@@ -313,6 +443,21 @@ func RestoreMember(cfg Config, snap *MemberSnapshot, net transport.Network) (*Cl
 		if img.InBatch != nil {
 			n.inBatch = subsFromImages(img.InBatch)
 			n.inOwn = ownWave{ops: opsFromImages(img.InOwnOps), B: img.InOwnB}
+		}
+		n.combiner.Restore(stackOpsFromImages(img.Combiner.Pops), stackOpsFromImages(img.Combiner.Pushes))
+		n.appliedPuts.restore(img.AppliedPuts)
+		n.servedGets.restore(img.ServedGets)
+		if len(img.AwaitingAcks) > 0 {
+			n.awaitingAcks = make(map[uint64]struct{}, len(img.AwaitingAcks))
+			for _, reqID := range img.AwaitingAcks {
+				n.awaitingAcks[reqID] = struct{}{}
+			}
+		}
+		if len(img.FoldedWaves) > 0 {
+			n.foldedWaves = make(map[transport.NodeID]int64, len(img.FoldedWaves))
+			for _, sw := range img.FoldedWaves {
+				n.foldedWaves[sw.From] = sw.WaveSeq
+			}
 		}
 		for _, ent := range img.Entries {
 			n.store.Insert(ent)

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"testing"
 
+	"skueue/internal/batch"
 	"skueue/internal/transport"
 	"skueue/internal/xrand"
 )
@@ -137,5 +138,75 @@ func TestMemberSnapshotRoundTrip(t *testing.T) {
 	net2.drain(cl2, 400)
 	if err := cl2.CheckConsistency(); err != nil {
 		t.Fatalf("restored member history inconsistent: %v", err)
+	}
+}
+
+// TestMemberSnapshotStackRoundTrip is the stack-mode twin: the snapshot
+// is taken with a NON-EMPTY combiner residual (a buffered pop at one
+// node, buffered pushes at another) so the §VI word-combining state must
+// survive the gob round trip and the restored member must complete the
+// buffered operations exactly once.
+func TestMemberSnapshotStackRoundTrip(t *testing.T) {
+	cfg := Config{Processes: 2, Seed: 11, Mode: batch.Stack, AckAllPuts: true}
+	net1 := newMemNet(t)
+	cl, err := NewMember(cfg, 0, []int32{0, 1}, net1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Settled traffic first, so the DHT fragment is non-trivial.
+	for i := 0; i < 4; i++ {
+		cl.EnqueueBlob(cl.Client(i%2), []byte{byte('a' + i)})
+	}
+	net1.drain(cl, 300)
+
+	// Mid-flight state: a pop buffered at process 0 (nothing local to
+	// combine with), pushes buffered at process 1.
+	cl.Dequeue(cl.Client(0))
+	cl.EnqueueBlob(cl.Client(1), []byte{'x'})
+	cl.EnqueueBlob(cl.Client(1), []byte{'y'})
+
+	snap, err := cl.SnapshotMember()
+	if err != nil {
+		t.Fatalf("stack snapshot: %v", err)
+	}
+	st := snap.Stats()
+	if st.CombinerPops != 1 || st.CombinerPushes != 2 {
+		t.Fatalf("snapshot residual = %d pops, %d pushes; want 1, 2", st.CombinerPops, st.CombinerPushes)
+	}
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var decoded MemberSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&decoded); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+
+	net2 := newMemNet(t)
+	cl2, err := RestoreMember(cfg, &decoded, net2)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if got, want := cl2.TotalStored(), cl.TotalStored(); got != want {
+		t.Fatalf("restored member stores %d elements, want %d", got, want)
+	}
+	// The buffered residual completes after the restart: the pop and both
+	// pushes were issued but unfinished at the cut.
+	net2.drain(cl2, 400)
+	if cl2.Finished() != cl2.Issued() {
+		t.Fatalf("restored member finished %d/%d", cl2.Finished(), cl2.Issued())
+	}
+	// Drain the structure and verify Definition 1 end to end.
+	remaining := cl2.TotalStored()
+	for i := 0; i < remaining; i++ {
+		cl2.Dequeue(cl2.Client(i % 2))
+	}
+	net2.drain(cl2, 600)
+	if err := cl2.CheckConsistency(); err != nil {
+		t.Fatalf("restored stack history inconsistent: %v", err)
+	}
+	if got := cl2.TotalStored(); got != 0 {
+		t.Fatalf("%d elements left after full drain", got)
 	}
 }

@@ -159,8 +159,18 @@ func (s *Store) Has(pos, ticket int64) bool {
 	return false
 }
 
-// Park records a GET whose PUT has not arrived yet.
+// Park records a GET whose PUT has not arrived yet. A waiter with the
+// same request ID already parked at the position is not parked twice: a
+// fail-stop restart can replay a GET while its original is still
+// waiting, and a duplicate waiter would swallow a second element once
+// positions are reused (stack mode). Under exactly-once delivery
+// (simulator) duplicates cannot occur, so this changes nothing there.
 func (s *Store) Park(pos int64, w Waiter) {
+	for _, have := range s.parked[pos] {
+		if have.ReqID == w.ReqID {
+			return
+		}
+	}
 	s.parked[pos] = append(s.parked[pos], w)
 	s.nPark++
 }

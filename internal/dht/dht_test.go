@@ -92,6 +92,32 @@ func TestParkedBoundRespectedOnPut(t *testing.T) {
 	}
 }
 
+func TestParkDedupesByReqID(t *testing.T) {
+	s := NewStore()
+	// A replayed GET (fail-stop restart) must not park a second waiter:
+	// once positions are reused, the stale duplicate would swallow a
+	// later element.
+	w := Waiter{Requester: 1, ReqID: 42}
+	s.Park(3, w)
+	s.Park(3, w)
+	if s.Parked() != 1 {
+		t.Fatalf("duplicate park counted: %d waiters", s.Parked())
+	}
+	if rel := s.Put(3, 0, Element{Seq: 1}); len(rel) != 1 {
+		t.Fatalf("put released %d waiters, want 1", len(rel))
+	}
+	// The duplicate must be gone too: a second put at the position (after
+	// the first was consumed) has nobody to release.
+	if rel := s.PutBlob(3, 1, Element{Seq: 2}, nil); len(rel) != 0 {
+		t.Fatalf("stale duplicate waiter stole a later element: %v", rel)
+	}
+	// A different request at the same position still parks normally.
+	s.Park(3, Waiter{Requester: 1, ReqID: 43, Bound: 99})
+	if s.Parked() != 1 {
+		t.Fatalf("distinct waiter rejected: %d parked", s.Parked())
+	}
+}
+
 func TestDuplicatePutPanics(t *testing.T) {
 	s := NewStore()
 	s.Put(1, 0, Element{})

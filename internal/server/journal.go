@@ -1,0 +1,425 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"skueue/internal/core"
+	"skueue/internal/transport"
+	"skueue/internal/wire"
+)
+
+// The operation journal gives client operations durable request
+// identities, closing the gap the write-ahead snapshot leaves open: a
+// snapshot is a consistent cut, and everything after the cut is
+// regenerated on restart from replayed peer frames — except the client
+// operations injected at this member, whose submitting sessions die with
+// the process. The journal records exactly that missing input stream:
+//
+//   - an op record (request ID, node, kind, value), fsynced, is appended
+//     the moment an operation is injected — before any CliDone for it can
+//     be released to the client;
+//   - a done record (request ID, outcome), fsynced, is appended before a
+//     CliDone frame is released, so a confirmed outcome is durable before
+//     the client can observe it;
+//   - a fire record (node, wave sequence) marks a wave boundary. Markers
+//     are written lazily — buffered in memory at each fire, flushed ahead
+//     of the next op record of that node — so an idle member journals
+//     nothing per wave. A marker is therefore durable whenever any op
+//     record that follows it is (fsync flushes the whole file), which is
+//     exactly the ordering the restart replay needs.
+//
+// On restart the records with a member-local sequence beyond the
+// snapshot's ReqSeq are re-submitted under their ORIGINAL request IDs
+// (core.Cluster.Resubmit), partitioned by the fire markers so each
+// operation re-enters the exact wave it originally rode in: the re-fired
+// waves then reproduce the crashed incarnation's batches bit for bit,
+// the replayed serves line up, and the receiver-side request-ID dedupe
+// (core, replay.go) collapses every re-sent effect onto the original —
+// neither dropping nor double-applying an operation.
+//
+// Records are framed individually ([4-byte length][self-contained gob
+// body]) so a crash mid-append leaves a recognizable torn tail: the
+// loader keeps the valid prefix and discards the rest, which at worst
+// forgets an operation whose client never received an answer.
+
+// Journal record kinds.
+const (
+	recOp   = 1
+	recDone = 2
+	recFire = 3
+)
+
+// journalRecord is one journal entry; Kind selects which fields matter.
+type journalRecord struct {
+	Kind  uint8
+	ReqID uint64           // op, done
+	Node  transport.NodeID // op, fire
+	IsDeq bool             // op
+	Value []byte           // op (enqueue payload)
+	Done  wire.CliDone     // done
+	Wave  int64            // fire
+}
+
+const journalFile = "ops.journal"
+
+// opJournal is the append side. All appends are serialized by mu; the
+// submit and resolve paths run on the transport's runner goroutine, the
+// compaction on the snapshot goroutine.
+type opJournal struct {
+	mu  sync.Mutex
+	dir string
+	f   *os.File
+	// size is the current file length; offset() hands it out as the
+	// compaction boundary of a snapshot capture (see truncatePrefix).
+	size int64
+	// Lazily flushed wave boundaries: lastFire is the newest committed
+	// fire per node (in memory only), lastMark the newest marker value
+	// actually written for the node.
+	lastFire map[transport.NodeID]int64
+	lastMark map[transport.NodeID]int64
+}
+
+// openJournal opens (or, with fresh set, truncates) the journal for
+// appending.
+func openJournal(dir string, fresh bool) (*opJournal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if fresh {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(filepath.Join(dir, journalFile), flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &opJournal{
+		dir:      dir,
+		f:        f,
+		size:     st.Size(),
+		lastFire: make(map[transport.NodeID]int64),
+		lastMark: make(map[transport.NodeID]int64),
+	}, nil
+}
+
+func (j *opJournal) close() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		j.f.Close()
+		j.f = nil
+	}
+}
+
+// encodeRecord frames one record as [length][gob body]. Each record is a
+// self-contained gob stream: appending across process restarts must not
+// depend on a shared encoder's type-descriptor state.
+func encodeRecord(rec *journalRecord) ([]byte, error) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(rec); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 4+body.Len())
+	binary.BigEndian.PutUint32(buf, uint32(body.Len()))
+	copy(buf[4:], body.Bytes())
+	return buf, nil
+}
+
+// noteFire records a committed wave boundary in memory; appendOp flushes
+// it ahead of the next operation of that node.
+func (j *opJournal) noteFire(node transport.NodeID, wave int64) {
+	j.mu.Lock()
+	if wave > j.lastFire[node] {
+		j.lastFire[node] = wave
+	}
+	j.mu.Unlock()
+}
+
+// appendOp journals one accepted client operation and fsyncs. It must be
+// called after injection and before any CliDone for the operation is
+// released.
+func (j *opJournal) appendOp(node transport.NodeID, reqID uint64, isDeq bool, value []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("server: journal closed")
+	}
+	var frames []byte
+	if lf := j.lastFire[node]; lf != j.lastMark[node] {
+		b, err := encodeRecord(&journalRecord{Kind: recFire, Node: node, Wave: lf})
+		if err != nil {
+			return err
+		}
+		frames = append(frames, b...)
+		j.lastMark[node] = lf
+	}
+	b, err := encodeRecord(&journalRecord{Kind: recOp, ReqID: reqID, Node: node, IsDeq: isDeq, Value: value})
+	if err != nil {
+		return err
+	}
+	frames = append(frames, b...)
+	if _, err := j.f.Write(frames); err != nil {
+		return err
+	}
+	j.size += int64(len(frames))
+	return j.f.Sync()
+}
+
+// appendDone journals one client-visible outcome and fsyncs. It must be
+// called before the CliDone frame is handed to the session writer.
+func (j *opJournal) appendDone(reqID uint64, done wire.CliDone) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("server: journal closed")
+	}
+	b, err := encodeRecord(&journalRecord{Kind: recDone, ReqID: reqID, Done: done})
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(b); err != nil {
+		return err
+	}
+	j.size += int64(len(b))
+	return j.f.Sync()
+}
+
+// offset returns the compaction boundary for a snapshot capture: the
+// journal length at this instant. All appends run on the transport's
+// runner goroutine, so reading it inside the capture's DoSync makes it a
+// precise cut — every record before it is covered by the snapshot (op
+// and done records carry sequences at or below the captured ReqSeq, and
+// fire markers precede some covered op record, putting their wave at or
+// below the captured per-node WaveSeq).
+func (j *opJournal) offset() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}
+
+// truncatePrefix drops every record before the given capture boundary by
+// copying the suffix — a raw byte copy, no decoding — into a fresh file.
+// The cost is proportional to the replay window (records since the
+// snapshot's cut), not to history, and the appends it briefly blocks are
+// bounded the same way. Crash-safe: temp file, fsync, rename, directory
+// fsync — a crash mid-truncation leaves the previous journal intact,
+// which the loader's covered-record filters tolerate.
+func (j *opJournal) truncatePrefix(offset int64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("server: journal closed")
+	}
+	if offset <= 0 {
+		return nil
+	}
+	if offset > j.size {
+		offset = j.size
+	}
+	path := filepath.Join(j.dir, journalFile)
+	src, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	if _, err := src.Seek(offset, io.SeekStart); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(j.dir, journalFile+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	n, err := io.Copy(tmp, src)
+	if err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	// Past the rename the old handle points at an unlinked inode: the
+	// swap (or, failing that, closing the journal so appends error
+	// loudly) must happen regardless of any later error — silently
+	// appending to the orphaned file would defeat the journaled-before-
+	// release contract without anyone noticing.
+	syncErr := syncDir(j.dir)
+	f, openErr := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	j.f.Close()
+	j.f = f // nil on open failure: subsequent appends fail explicitly
+	j.size = n
+	if syncErr != nil {
+		return syncErr
+	}
+	return openErr
+}
+
+// readJournal decodes the valid prefix of a journal file. A torn or
+// corrupt tail (crash mid-append) ends the prefix silently; a missing
+// file is an empty journal.
+func readJournal(path string) ([]journalRecord, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []journalRecord
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return out, nil // EOF or torn length prefix
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > wire.MaxFrame {
+			return out, nil // corrupt tail
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(f, body); err != nil {
+			return out, nil // torn body
+		}
+		var rec journalRecord
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&rec); err != nil {
+			return out, nil // corrupt tail
+		}
+		out = append(out, rec)
+	}
+}
+
+// replayPlan partitions the journal records a snapshot does not cover
+// into the re-submission schedule of a restart: operations grouped by
+// the wave boundary they followed, per node, in journal (= original
+// injection) order, plus the journaled outcomes for divergence auditing.
+type replayPlan struct {
+	// immediate ops are re-submitted before the transport starts: they
+	// were buffered at the crash, not yet part of any post-snapshot wave.
+	immediate []journalRecord
+	// held groups are re-submitted when their node re-fires the wave
+	// they followed, so they re-enter the exact wave they originally
+	// rode in. Groups are consumed strictly in order per node.
+	held map[transport.NodeID][]heldGroup
+	// outcomes maps request IDs to the CliDone the crashed incarnation
+	// released, for divergence auditing on re-completion.
+	outcomes map[uint64]wire.CliDone
+}
+
+// heldGroup is a run of operations awaiting their wave boundary.
+type heldGroup struct {
+	afterWave int64
+	ops       []journalRecord
+}
+
+// buildReplayPlan scans records in file order against the snapshot's
+// coverage: ops with sequence <= coveredSeq live inside the snapshot's
+// node images and are skipped; markers at or below the snapshotted wave
+// of their node reduce to "before the first post-restore fire".
+func buildReplayPlan(recs []journalRecord, coveredSeq uint64, waves map[transport.NodeID]int64) *replayPlan {
+	plan := &replayPlan{
+		held:     make(map[transport.NodeID][]heldGroup),
+		outcomes: make(map[uint64]wire.CliDone),
+	}
+	lastMarker := make(map[transport.NodeID]int64)
+	for i := range recs {
+		rec := recs[i]
+		switch rec.Kind {
+		case recFire:
+			if rec.Wave <= waves[rec.Node] {
+				rec.Wave = 0 // covered by the snapshot: not a boundary
+			}
+			lastMarker[rec.Node] = rec.Wave
+		case recOp:
+			if core.ReqIDSeq(rec.ReqID) <= coveredSeq {
+				continue
+			}
+			after := lastMarker[rec.Node]
+			if after == 0 {
+				plan.immediate = append(plan.immediate, rec)
+				continue
+			}
+			groups := plan.held[rec.Node]
+			if len(groups) > 0 && groups[len(groups)-1].afterWave == after {
+				groups[len(groups)-1].ops = append(groups[len(groups)-1].ops, rec)
+			} else {
+				groups = append(groups, heldGroup{afterWave: after, ops: []journalRecord{rec}})
+			}
+			plan.held[rec.Node] = groups
+		case recDone:
+			if core.ReqIDSeq(rec.ReqID) <= coveredSeq {
+				continue
+			}
+			plan.outcomes[rec.ReqID] = rec.Done
+		}
+	}
+	return plan
+}
+
+// pending reports how many operations the plan still holds back.
+func (p *replayPlan) pending() int {
+	n := 0
+	for _, groups := range p.held {
+		for _, g := range groups {
+			n += len(g.ops)
+		}
+	}
+	return n
+}
+
+// take pops the held groups of node that a fire of the given wave
+// releases: the head group (and any earlier-numbered successors) whose
+// boundary the fired wave has reached. Strictly in order — a later group
+// never jumps an earlier one, preserving original injection order.
+func (p *replayPlan) take(node transport.NodeID, wave int64) []journalRecord {
+	groups := p.held[node]
+	var out []journalRecord
+	for len(groups) > 0 && groups[0].afterWave <= wave {
+		out = append(out, groups[0].ops...)
+		groups = groups[1:]
+	}
+	if len(out) > 0 {
+		if len(groups) == 0 {
+			delete(p.held, node)
+		} else {
+			p.held[node] = groups
+		}
+	}
+	return out
+}
+
+// syncDir fsyncs a directory, making a rename inside it crash-durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

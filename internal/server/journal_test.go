@@ -1,0 +1,212 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"skueue/internal/transport"
+	"skueue/internal/wire"
+)
+
+// reqID builds a member-1-tagged request ID with the given local sequence.
+func reqID(seq uint64) uint64 { return 1<<40 | seq }
+
+// TestJournalRoundTripAndMarkers pins the lazy wave-boundary discipline:
+// a fire marker is not written on its own, but is flushed ahead of the
+// next operation record of its node — so an idle member journals nothing
+// per wave, yet every operation is preceded by the newest boundary it
+// follows.
+func TestJournalRoundTripAndMarkers(t *testing.T) {
+	dir := t.TempDir()
+	j, err := openJournal(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nodeA, nodeB := transport.NodeID(3), transport.NodeID(4)
+	if err := j.appendOp(nodeA, reqID(1), false, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	j.noteFire(nodeA, 7) // boundary, deferred
+	j.noteFire(nodeB, 9) // boundary of another node, also deferred
+	if err := j.appendOp(nodeA, reqID(2), true, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A second op of the same node must NOT repeat the marker.
+	if err := j.appendOp(nodeA, reqID(3), false, []byte("v3")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.appendDone(reqID(1), wire.CliDone{ReqID: reqID(1)}); err != nil {
+		t.Fatal(err)
+	}
+	j.close()
+
+	recs, err := readJournal(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []uint8
+	for _, r := range recs {
+		kinds = append(kinds, r.Kind)
+	}
+	want := []uint8{recOp, recFire, recOp, recOp, recDone}
+	if len(kinds) != len(want) {
+		t.Fatalf("journal has %d records (%v), want %v", len(kinds), kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("record %d kind = %d, want %d (%v)", i, kinds[i], want[i], kinds)
+		}
+	}
+	if recs[1].Node != nodeA || recs[1].Wave != 7 {
+		t.Fatalf("marker = node %d wave %d, want node %d wave 7", recs[1].Node, recs[1].Wave, nodeA)
+	}
+	// nodeB's boundary was never followed by an op: no marker for it.
+	for _, r := range recs {
+		if r.Kind == recFire && r.Node == nodeB {
+			t.Fatalf("idle node %d leaked a fire marker", nodeB)
+		}
+	}
+}
+
+// TestJournalTornTail verifies a crash mid-append costs only the torn
+// record: the valid prefix loads, the garbage is ignored.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, err := openJournal(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.appendOp(3, reqID(1), false, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	j.close()
+	path := filepath.Join(dir, journalFile)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A torn frame: plausible length prefix, half a body.
+	if _, err := f.Write([]byte{0, 0, 0, 200, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	recs, err := readJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ReqID != reqID(1) {
+		t.Fatalf("torn journal loaded %d records, want the 1 valid prefix record", len(recs))
+	}
+}
+
+// TestReplayPlanGrouping pins the re-submission schedule: snapshot-covered
+// records are skipped, ops with no post-snapshot boundary are immediate,
+// and held groups release strictly in order as their node's waves re-fire.
+func TestReplayPlanGrouping(t *testing.T) {
+	nodeA := transport.NodeID(3)
+	recs := []journalRecord{
+		{Kind: recOp, Node: nodeA, ReqID: reqID(5)},                     // covered by snapshot (seq <= 6)
+		{Kind: recFire, Node: nodeA, Wave: 10},                          // covered boundary (wave <= 12)
+		{Kind: recOp, Node: nodeA, ReqID: reqID(7), Value: []byte("i")}, // post-cut, before any live boundary
+		{Kind: recFire, Node: nodeA, Wave: 13},
+		{Kind: recOp, Node: nodeA, ReqID: reqID(8)},
+		{Kind: recOp, Node: nodeA, ReqID: reqID(9)},
+		{Kind: recFire, Node: nodeA, Wave: 14},
+		{Kind: recOp, Node: nodeA, ReqID: reqID(10), IsDeq: true},
+		{Kind: recDone, ReqID: reqID(7), Done: wire.CliDone{ReqID: reqID(7)}},
+		{Kind: recDone, ReqID: reqID(5), Done: wire.CliDone{ReqID: reqID(5)}}, // covered
+	}
+	plan := buildReplayPlan(recs, 6, map[transport.NodeID]int64{nodeA: 12})
+
+	if len(plan.immediate) != 1 || plan.immediate[0].ReqID != reqID(7) {
+		t.Fatalf("immediate = %+v, want the single op seq 7", plan.immediate)
+	}
+	if got := plan.pending(); got != 3 {
+		t.Fatalf("plan holds %d ops, want 3", got)
+	}
+	if _, ok := plan.outcomes[reqID(7)]; !ok {
+		t.Fatal("post-cut done record missing from outcomes")
+	}
+	if _, ok := plan.outcomes[reqID(5)]; ok {
+		t.Fatal("snapshot-covered done record leaked into outcomes")
+	}
+
+	// Wave 12 re-fires first: releases nothing (first group waits for 13).
+	if out := plan.take(nodeA, 12); len(out) != 0 {
+		t.Fatalf("wave 12 released %d ops, want 0", len(out))
+	}
+	// Wave 13: releases seqs 8 and 9, but NOT the group behind wave 14.
+	out := plan.take(nodeA, 13)
+	if len(out) != 2 || out[0].ReqID != reqID(8) || out[1].ReqID != reqID(9) {
+		t.Fatalf("wave 13 released %+v, want seqs 8, 9", out)
+	}
+	out = plan.take(nodeA, 14)
+	if len(out) != 1 || out[0].ReqID != reqID(10) || !out[0].IsDeq {
+		t.Fatalf("wave 14 released %+v, want the dequeue seq 10", out)
+	}
+	if plan.pending() != 0 {
+		t.Fatalf("plan still holds %d ops after all boundaries", plan.pending())
+	}
+}
+
+// TestJournalCompact verifies offset compaction drops everything before a
+// capture boundary, keeps the suffix byte-identical, and leaves the
+// journal appendable — including across a close/reopen (the restart
+// path), which must pick the size up from disk.
+func TestJournalCompact(t *testing.T) {
+	dir := t.TempDir()
+	j, err := openJournal(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeA := transport.NodeID(3)
+	if err := j.appendOp(nodeA, reqID(1), false, nil); err != nil {
+		t.Fatal(err)
+	}
+	j.noteFire(nodeA, 5)
+	// A snapshot capture happens here: its boundary covers seq 1.
+	boundary := j.offset()
+	if err := j.appendOp(nodeA, reqID(2), false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.appendDone(reqID(2), wire.CliDone{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.truncatePrefix(boundary); err != nil {
+		t.Fatal(err)
+	}
+	// The journal stays appendable after the rewrite.
+	if err := j.appendOp(nodeA, reqID(3), true, nil); err != nil {
+		t.Fatal(err)
+	}
+	j.close()
+
+	// Reopen (as a restart would) and append once more: size must resume
+	// from the on-disk length, not zero.
+	j2, err := openJournal(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.appendDone(reqID(3), wire.CliDone{Bottom: true}); err != nil {
+		t.Fatal(err)
+	}
+	j2.close()
+
+	recs, err := readJournal(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, r := range recs {
+		got = append(got, fmt.Sprintf("%d:%d", r.Kind, r.ReqID&(1<<40-1)))
+	}
+	// Seq 1's record is gone; the post-boundary suffix (marker flushed
+	// ahead of seq 2, seq 2's op and done) plus both later appends remain.
+	want := []string{"3:0", "1:2", "2:2", "1:3", "2:3"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("compacted journal holds %v, want %v", got, want)
+	}
+}

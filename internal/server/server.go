@@ -17,21 +17,32 @@
 //
 // With Config.StateDir set, the member periodically persists a
 // write-ahead snapshot: its core image (core.Cluster.SnapshotMember — DHT
-// entries, queue positions, wave buffers, completion history) plus the
-// transport's receive cursors (tcp.Peer.CaptureState). Acknowledgments to
-// peers are only released once the snapshot holding their effects is
-// durable (tcp.Options.AckGate), so after a crash every message the
-// snapshot misses is still buffered at its sender and is replayed when
-// the restarted member reconnects. A restart finds the snapshot, rebuilds
-// the member with core.RestoreMember under a fresh boot epoch, announces
-// its (possibly new) address through the seed's rejoin handshake, and
-// resumes; peers that were blocked on the crashed member unstall as their
-// links replay. Senders that should NOT wait forever set Config.GiveUp:
+// entries, queue and stack positions, wave buffers, the stack combiner's
+// residual word, completion history) plus the transport's receive cursors
+// (tcp.Peer.CaptureState). Acknowledgments to peers are only released
+// once the snapshot holding their effects is durable (tcp.Options
+// .AckGate), so after a crash every message the snapshot misses is still
+// buffered at its sender and is replayed when the restarted member
+// reconnects.
+//
+// Client operations are exactly-once across the crash: every accepted
+// operation is journaled under its durable request ID before any answer
+// can be released (journal.go), and every client-visible completion is
+// journaled before its CliDone frame goes out. A restart finds the
+// snapshot, rebuilds the member with core.RestoreMember under a fresh
+// boot epoch, re-submits the journaled operations the snapshot does not
+// cover — at their original wave boundaries, so the re-executed interval
+// reproduces the crashed incarnation's batches — announces its (possibly
+// new) address through the seed's rejoin handshake, and resumes; peers
+// that were blocked on the crashed member unstall as their links replay,
+// and receiver-side request-ID dedupe collapses re-sent effects onto the
+// originals. Senders that should NOT wait forever set Config.GiveUp:
 // when a member stays unreachable past it, pending client operations fail
 // with an unreachable error instead of blocking (see wire.CliDone).
 package server
 
 import (
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -139,6 +150,19 @@ type Server struct {
 	// one whose acknowledgments were already released — losing the frames
 	// between the two cursors for good.
 	snapMu sync.Mutex
+	// lastSnapStats summarizes the in-flight operations of the newest
+	// written snapshot (under snapMu; tests assert a kill happened with a
+	// non-empty combiner residual through it).
+	lastSnapStats core.SnapshotStats
+	snapCount     int64
+
+	// journal is the durable operation journal (nil when StateDir is
+	// unset); see journal.go. plan is the restart re-submission schedule,
+	// runner-confined after Start (built before the transport starts,
+	// consumed by the onFire callback and resolve, which both run on the
+	// runner goroutine).
+	journal *opJournal
+	plan    *replayPlan
 
 	// onEarly catches completions that fire inside an inject call, before
 	// the waiter is registered (stack local combining). Runner-confined.
@@ -211,23 +235,67 @@ func New(cfg Config) (*Server, error) {
 	}
 	var err error
 	var disk *diskSnapshot
+	var journalRecs []journalRecord
 	if cfg.StateDir != "" {
+		// A crash mid-write leaves CreateTemp leftovers behind; without a
+		// sweep they accumulate forever (one per interrupted snapshot or
+		// journal compaction).
+		sweepStaleTemps(cfg.StateDir, cfg.Logf)
 		if disk, err = loadSnapshot(cfg.StateDir); err != nil {
 			lis.Close()
 			return nil, fmt.Errorf("server: reading snapshot: %w", err)
 		}
+		if journalRecs, err = readJournal(filepath.Join(cfg.StateDir, journalFile)); err != nil {
+			lis.Close()
+			return nil, fmt.Errorf("server: reading operation journal: %w", err)
+		}
+		if disk == nil && len(journalRecs) > 0 {
+			// A journal without a snapshot means confirmed operations with
+			// no cut to replay them against. Refusing beats silently
+			// discarding them; the base snapshot taken below closes this
+			// window for every member that starts cleanly.
+			lis.Close()
+			return nil, fmt.Errorf("server: state dir %s holds %d journaled operations but no snapshot; refusing to discard them", cfg.StateDir, len(journalRecs))
+		}
+		if s.journal, err = openJournal(cfg.StateDir, disk == nil); err != nil {
+			lis.Close()
+			return nil, fmt.Errorf("server: opening operation journal: %w", err)
+		}
 	}
 	switch {
 	case disk != nil:
-		err = s.startRestore(disk)
+		err = s.startRestore(disk, journalRecs)
 	case cfg.Join != "":
 		err = s.startJoining()
 	default:
 		err = s.startBootstrap()
 	}
 	if err != nil {
+		if s.journal != nil {
+			s.journal.close()
+		}
 		lis.Close()
 		return nil, err
+	}
+	s.peer.Start()
+	if cfg.StateDir != "" && disk == nil {
+		// Base snapshot before any client can be confirmed: without one, a
+		// crash inside the first snapshot interval would leave journaled —
+		// confirmed — operations with no cut to replay them against. A
+		// bootstrap member is quiescent and succeeds immediately; a joiner
+		// may need a few retries while its JOIN settles.
+		deadline := time.Now().Add(s.joinGiveUp())
+		for {
+			err := s.SnapshotNow()
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, core.ErrNotQuiescent) || time.Now().After(deadline) {
+				s.logf("server[%d]: base snapshot not written (%v); durability begins at the first periodic snapshot", s.peer.Me().Index, err)
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -236,7 +304,6 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.snapshotLoop()
 	}
-	s.peer.Start()
 	return s, nil
 }
 
@@ -244,9 +311,10 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Addr() string { return s.lis.Addr().String() }
 
 // Close stops the member gracefully: with a StateDir it takes a final
-// snapshot first, so a clean shutdown loses nothing. In-flight client
-// operations fail with closed connections; the hosted nodes stop
-// processing.
+// snapshot first — retrying briefly if a shutdown during churn finds the
+// member not quiescent (see finalSnapshot) — so a clean shutdown loses
+// nothing. In-flight client operations fail with closed connections; the
+// hosted nodes stop processing.
 func (s *Server) Close() { s.shutdown(true) }
 
 // Kill stops the member WITHOUT the final snapshot, simulating a
@@ -254,6 +322,38 @@ func (s *Server) Close() { s.shutdown(true) }
 // lost and must be recovered through peer replay on restart. Tests use it
 // to exercise the recovery path.
 func (s *Server) Kill() { s.shutdown(false) }
+
+// ErrFinalSnapshotSkipped reports a graceful shutdown that could not
+// take its final snapshot within the retry budget (the member never
+// became churn-quiescent): the state on disk is the last periodic
+// snapshot plus the operation journal, and the tail since then is
+// recovered through peer replay on restart — nothing is lost, but the
+// restart will replay more.
+var ErrFinalSnapshotSkipped = errors.New("server: final snapshot skipped (member not quiescent within the retry budget)")
+
+// finalSnapshot takes the shutdown snapshot, retrying ErrNotQuiescent
+// with a short bounded backoff: a shutdown during churn or mid-wave
+// traffic usually becomes quiescent within a few intervals, and silently
+// settling for the stale periodic snapshot would discard the latest
+// state from the fast path for no reason. It returns
+// ErrFinalSnapshotSkipped once the budget is exhausted.
+func (s *Server) finalSnapshot() error {
+	backoff := 5 * time.Millisecond
+	deadline := time.Now().Add(time.Second)
+	for {
+		err := s.SnapshotNow()
+		if err == nil || !errors.Is(err, core.ErrNotQuiescent) {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w: %v", ErrFinalSnapshotSkipped, err)
+		}
+		time.Sleep(backoff)
+		if backoff < 100*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
 
 func (s *Server) shutdown(graceful bool) {
 	s.mu.Lock()
@@ -271,7 +371,11 @@ func (s *Server) shutdown(graceful bool) {
 		close(s.snapQuit)
 	}
 	if graceful && s.cfg.StateDir != "" {
-		if err := s.SnapshotNow(); err != nil {
+		switch err := s.finalSnapshot(); {
+		case err == nil:
+		case errors.Is(err, ErrFinalSnapshotSkipped):
+			s.logf("server[%d]: %v", s.peer.Me().Index, err)
+		default:
 			s.logf("server[%d]: final snapshot failed: %v", s.peer.Me().Index, err)
 		}
 	}
@@ -281,6 +385,9 @@ func (s *Server) shutdown(graceful bool) {
 		c.Close()
 	}
 	s.wg.Wait()
+	if s.journal != nil {
+		s.journal.close()
+	}
 }
 
 func (s *Server) coreConfig(procs int) core.Config {
@@ -319,10 +426,14 @@ func (s *Server) peerOptions(index int32, pids []int32, boot int64) tcp.Options 
 // that avoid the dead member's fragment still succeed, and if the member
 // ever restarts, replay resumes where it left off.
 func (s *Server) peerDown(idx int32) {
+	type failing struct {
+		w     *waiter
+		reqID uint64
+	}
 	s.mu.Lock()
-	ws := make([]*waiter, 0, len(s.waiters))
-	for _, w := range s.waiters {
-		ws = append(ws, w)
+	ws := make([]failing, 0, len(s.waiters))
+	for id, w := range s.waiters {
+		ws = append(ws, failing{w, id})
 	}
 	s.waiters = make(map[uint64]*waiter)
 	s.mu.Unlock()
@@ -331,9 +442,12 @@ func (s *Server) peerDown(idx int32) {
 	}
 	s.logf("server[%d]: member %d unreachable past %v; failing %d pending operations",
 		s.peer.Me().Index, idx, s.cfg.GiveUp, len(ws))
-	for _, w := range ws {
-		w.sess.send(wire.CliDone{
-			Seq:         w.seq,
+	for _, f := range ws {
+		// Not journaled: this is a failure notification, not an outcome —
+		// the operation may still complete if the member ever returns.
+		f.w.sess.send(wire.CliDone{
+			Seq:         f.w.seq,
+			ReqID:       f.reqID,
 			Err:         fmt.Sprintf("cluster member %d unreachable past the %v give-up timeout", idx, s.cfg.GiveUp),
 			Unreachable: true,
 		})
@@ -472,12 +586,18 @@ func (s *Server) startJoining() error {
 }
 
 // startRestore rebuilds the member from a fail-stop snapshot: same index,
-// same process IDs, restored DHT fragment and wave buffers, next boot
-// epoch. With Config.Join set it announces its current address through
-// the seed's rejoin handshake so the cluster re-routes to it; without, it
-// relies on the snapshotted address book still being accurate (a restart
-// on the same addresses, e.g. the seed member itself).
-func (s *Server) startRestore(disk *diskSnapshot) error {
+// same process IDs, restored DHT fragment, wave buffers and stack
+// combiner residual, next boot epoch. Journaled client operations the
+// snapshot does not cover are re-submitted under their original request
+// IDs — buffered ones before the transport starts, the rest when their
+// node re-fires the wave boundary they followed — so the re-executed
+// interval reproduces the crashed incarnation's waves and every
+// mid-flight operation completes exactly once. With Config.Join set it
+// announces its current address through the seed's rejoin handshake so
+// the cluster re-routes to it; without, it relies on the snapshotted
+// address book still being accurate (a restart on the same addresses,
+// e.g. the seed member itself).
+func (s *Server) startRestore(disk *diskSnapshot, journalRecs []journalRecord) error {
 	s.cfg.Seed = disk.Seed
 	s.cfg.Mode = disk.Mode
 	s.cfg.UpdateThreshold = disk.UpdateThreshold
@@ -499,6 +619,31 @@ func (s *Server) startRestore(disk *diskSnapshot) error {
 	s.cl = cl
 	s.nextIndex, s.nextPid = disk.NextIndex, disk.NextPid
 	s.wireCallbacks()
+
+	// Re-submit journaled operations past the snapshot's cut. The runner
+	// has not started, so direct cluster access is safe here.
+	waves := make(map[transport.NodeID]int64, len(disk.Member.Nodes))
+	for _, img := range disk.Member.Nodes {
+		waves[img.Self.ID] = img.WaveSeq
+	}
+	s.plan = buildReplayPlan(journalRecs, disk.Member.ReqSeq, waves)
+	// Skip the request counter past EVERY journaled identity first —
+	// including operations held back for their wave boundaries — so a
+	// client submitting before the held groups drain can never be issued
+	// a request ID a journaled operation still owns.
+	for _, rec := range journalRecs {
+		if rec.Kind == recOp {
+			s.cl.AdvanceReqSeq(core.ReqIDSeq(rec.ReqID))
+		}
+	}
+	for _, rec := range s.plan.immediate {
+		s.cl.Resubmit(rec.Node, rec.ReqID, rec.IsDeq, rec.Value)
+	}
+	if n := len(s.plan.immediate); n > 0 || s.plan.pending() > 0 {
+		s.logf("server[%d]: re-submitted %d journaled operations, %d held for wave boundaries",
+			disk.Member.Index, n, s.plan.pending())
+	}
+
 	if s.cfg.Join != "" && disk.Member.Index != 0 {
 		ack, err := s.askSeed(wire.CliJoin{
 			Addr:   s.lis.Addr().String(),
@@ -562,12 +707,21 @@ func loadSnapshot(dir string) (*diskSnapshot, error) {
 	return &disk, nil
 }
 
-// writeSnapshot persists atomically: temp file, fsync, rename. A crash
-// mid-write leaves the previous snapshot intact.
+// writeSnapshot persists atomically: temp file, fsync, rename, directory
+// fsync. A crash mid-write leaves the previous snapshot intact.
+//
+// Regression note: the directory fsync after the rename is load-bearing.
+// Fsyncing only the temp file makes the CONTENT durable, but the rename
+// lives in the directory — after a machine crash the directory entry can
+// still point at the previous snapshot even though acknowledgments
+// covering the new one were already released to peers, which would lose
+// the frames between the two cursors for good. Snapshot durability (and
+// therefore ReleaseAcks) requires the directory entry on stable storage.
 func writeSnapshot(dir string, disk *diskSnapshot) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	sweepStaleTemps(dir, nil)
 	f, err := os.CreateTemp(dir, snapshotFile+".tmp-")
 	if err != nil {
 		return err
@@ -587,7 +741,25 @@ func writeSnapshot(dir string, disk *diskSnapshot) error {
 		os.Remove(tmp)
 		return err
 	}
-	return nil
+	return syncDir(dir)
+}
+
+// sweepStaleTemps removes CreateTemp leftovers (snapshot.gob.tmp-*,
+// ops.journal.tmp-*) that a crash mid-write strands in the state
+// directory; without the sweep they accumulate forever. The currently
+// live snapshot and journal are never matched by the patterns.
+func sweepStaleTemps(dir string, logf func(string, ...any)) {
+	for _, pattern := range []string{snapshotFile + ".tmp-*", journalFile + ".tmp-*"} {
+		stale, err := filepath.Glob(filepath.Join(dir, pattern))
+		if err != nil {
+			continue
+		}
+		for _, path := range stale {
+			if err := os.Remove(path); err == nil && logf != nil {
+				logf("server: removed stale temp file %s", path)
+			}
+		}
+	}
 }
 
 // SnapshotNow captures and durably writes one member snapshot, then
@@ -603,6 +775,7 @@ func (s *Server) SnapshotNow() error {
 	defer s.snapMu.Unlock()
 	var snap *core.MemberSnapshot
 	var ps *tcp.PeerState
+	var journalOff int64
 	var err error
 	s.peer.DoSync(func() {
 		snap, err = s.cl.SnapshotMember()
@@ -610,6 +783,11 @@ func (s *Server) SnapshotNow() error {
 			return
 		}
 		ps = s.peer.CaptureState()
+		if s.journal != nil {
+			// The journal length at the cut: every record before it is
+			// covered by this snapshot (appends run on this goroutine).
+			journalOff = s.journal.offset()
+		}
 	})
 	if err != nil {
 		return err
@@ -646,7 +824,25 @@ func (s *Server) SnapshotNow() error {
 		return err
 	}
 	s.peer.ReleaseAcks(ps.Recv)
+	s.lastSnapStats = snap.Stats()
+	s.snapCount++
+	if s.journal != nil {
+		// The snapshot now covers every journal record before the
+		// captured boundary: drop that prefix.
+		if err := s.journal.truncatePrefix(journalOff); err != nil {
+			s.logf("server[%d]: compacting operation journal: %v", s.peer.Me().Index, err)
+		}
+	}
 	return nil
+}
+
+// SnapshotInfo reports how many snapshots have been durably written and
+// the in-flight operation summary of the newest one. Tests use it to
+// arrange a kill with a non-empty combiner residual on disk.
+func (s *Server) SnapshotInfo() (count int64, stats core.SnapshotStats) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return s.snapCount, s.lastSnapStats
 }
 
 func (s *Server) snapshotLoop() {
@@ -686,10 +882,21 @@ func (s *Server) Diagnose() []string {
 	return out
 }
 
-// wireCallbacks connects completion and ack events to client waiters.
-// Both callbacks run on the transport's runner goroutine.
+// wireCallbacks connects completion and ack events to client waiters,
+// and wave fires to the operation journal. All callbacks run on the
+// transport's runner goroutine.
 func (s *Server) wireCallbacks() {
 	s.cl.SetLogf(s.logf)
+	if s.journal != nil {
+		s.cl.SetOnFire(func(node transport.NodeID, wave int64) {
+			s.journal.noteFire(node, wave)
+			if s.plan != nil {
+				for _, rec := range s.plan.take(node, wave) {
+					s.cl.Resubmit(rec.Node, rec.ReqID, rec.IsDeq, rec.Value)
+				}
+			}
+		})
+	}
 	myTag := uint64(s.peer.Me().Index + 1)
 	s.cl.SetOnComplete(func(c seqcheck.Completion) {
 		if core.ReqIDMember(c.ReqID) != myTag {
@@ -714,9 +921,27 @@ func (s *Server) wireCallbacks() {
 }
 
 // resolve completes the waiter for reqID, if any, filling session
-// bookkeeping into the prepared response. Completions with no waiter yet
-// fall through to the early hook of an inject call in progress.
+// bookkeeping into the prepared response; with a state directory the
+// outcome is journaled — durably — before the CliDone frame is released,
+// so a confirmed result survives a crash of this member. Completions with
+// no waiter yet fall through to the early hook of an inject call in
+// progress. Runs on the runner goroutine.
 func (s *Server) resolve(reqID uint64, done wire.CliDone) {
+	done.ReqID = reqID
+	if s.plan != nil {
+		// Divergence audit: a re-executed operation must reach the same
+		// client-visible outcome the crashed incarnation released — same
+		// bottom-ness AND same value bytes.
+		if prev, ok := s.plan.outcomes[reqID]; ok {
+			delete(s.plan.outcomes, reqID)
+			if prev.Bottom != done.Bottom || !bytes.Equal(prev.Value, done.Value) || prev.Err != done.Err {
+				s.logf("server[%d]: DIVERGENT replay outcome for op %d: released (bottom=%v value=%dB err=%q), re-executed (bottom=%v value=%dB err=%q)",
+					s.peer.Me().Index, reqID,
+					prev.Bottom, len(prev.Value), prev.Err,
+					done.Bottom, len(done.Value), done.Err)
+			}
+		}
+	}
 	s.mu.Lock()
 	w, ok := s.waiters[reqID]
 	if ok {
@@ -725,6 +950,19 @@ func (s *Server) resolve(reqID uint64, done wire.CliDone) {
 	s.mu.Unlock()
 	if ok {
 		done.Seq = w.seq
+		if s.journal != nil {
+			if err := s.journal.appendDone(reqID, done); err != nil {
+				// The durable-before-release contract is broken: confirming
+				// now could hand the client a success the restarted member
+				// would not remember. Report the operation as indeterminate
+				// instead — honest, and exactly-once-safe either way.
+				s.logf("server[%d]: journaling completion of op %d: %v", s.peer.Me().Index, reqID, err)
+				done = wire.CliDone{
+					Seq: w.seq, ReqID: reqID,
+					Err: fmt.Sprintf("operation outcome could not be journaled: %v", err),
+				}
+			}
+		}
 		w.sess.send(done)
 		return
 	}
@@ -865,6 +1103,13 @@ func (s *Server) serveClient(conn *wire.Conn) {
 // itself (a locally combined stack pair) — the early hook catches those
 // and answers from the stash. The runner goroutine serializes the whole
 // window, so it cannot interleave with other requests.
+//
+// With a state directory, the operation is journaled under its durable
+// request ID before any CliDone for it can be released — including the
+// synchronous combined-pair completion, which is stashed until after the
+// journal append. A crash after the append re-submits the operation on
+// restart; a crash before it loses an operation no client was ever
+// answered for.
 func (s *Server) submit(sess *session, seq uint64, enq bool, value []byte) {
 	s.peer.Do(func() {
 		node, err := s.pickClient()
@@ -881,8 +1126,31 @@ func (s *Server) submit(sess *session, seq uint64, enq bool, value []byte) {
 			reqID = s.cl.Dequeue(node)
 		}
 		s.onEarly = nil
+		if s.journal != nil {
+			if err := s.journal.appendOp(node, reqID, !enq, value); err != nil {
+				// The operation is injected but not durable: a crash would
+				// forget it. Answer with an error (indeterminate) rather
+				// than ever confirming an unjournaled operation.
+				s.logf("server[%d]: journaling op %d: %v", s.peer.Me().Index, reqID, err)
+				sess.send(wire.CliDone{
+					Seq: seq, ReqID: reqID,
+					Err: fmt.Sprintf("operation could not be journaled: %v", err),
+				})
+				return
+			}
+		}
 		if done, ok := early[reqID]; ok {
 			done.Seq = seq
+			done.ReqID = reqID
+			if s.journal != nil {
+				if err := s.journal.appendDone(reqID, done); err != nil {
+					s.logf("server[%d]: journaling completion of op %d: %v", s.peer.Me().Index, reqID, err)
+					done = wire.CliDone{
+						Seq: seq, ReqID: reqID,
+						Err: fmt.Sprintf("operation outcome could not be journaled: %v", err),
+					}
+				}
+			}
 			sess.send(done)
 			return
 		}

@@ -69,3 +69,27 @@ func (c *Combiner) RestorePush(op PendingOp) { c.pushes = append(c.pushes, op) }
 
 // Empty reports whether nothing is buffered.
 func (c *Combiner) Empty() bool { return len(c.pops) == 0 && len(c.pushes) == 0 }
+
+// Snapshot returns copies of the buffered residual word — all pops and all
+// pushes in issue order — without disturbing the combiner. It is the
+// fail-stop persistence surface: a networked member captures the residual
+// into its write-ahead snapshot so buffered stack operations survive a
+// crash (see internal/core.SnapshotMember).
+func (c *Combiner) Snapshot() (pops, pushes []PendingOp) {
+	if len(c.pops) > 0 {
+		pops = append([]PendingOp(nil), c.pops...)
+	}
+	if len(c.pushes) > 0 {
+		pushes = append([]PendingOp(nil), c.pushes...)
+	}
+	return pops, pushes
+}
+
+// Restore replaces the combiner's contents with a previously snapshotted
+// residual word. The word must already have the reduced POP^a PUSH^b
+// shape, which Snapshot guarantees; restoring re-arms the buffered
+// operations exactly where the crash interrupted them.
+func (c *Combiner) Restore(pops, pushes []PendingOp) {
+	c.pops = append(c.pops[:0], pops...)
+	c.pushes = append(c.pushes[:0], pushes...)
+}

@@ -88,6 +88,74 @@ func TestReductionProperty(t *testing.T) {
 	}
 }
 
+func TestSnapshotRestoreProperty(t *testing.T) {
+	// Property: snapshotting mid-sequence and restoring into a fresh
+	// combiner is transparent — the restored combiner behaves identically
+	// to the original on the remaining operations, and the snapshot itself
+	// does not disturb the running combiner.
+	f := func(prefix, suffix []bool) bool {
+		var orig Combiner
+		var seq int64
+		apply := func(c *Combiner, isPush bool) (PendingOp, bool) {
+			if isPush {
+				c.Push(push(seq))
+				return PendingOp{}, false
+			}
+			return c.Pop(PendingOp{LocalSeq: seq})
+		}
+		for _, isPush := range prefix {
+			seq++
+			apply(&orig, isPush)
+		}
+		pops, pushes := orig.Snapshot()
+		if a, b := orig.Counts(); len(pops) != a || len(pushes) != b {
+			return false // snapshot must mirror the live counts
+		}
+		var restored Combiner
+		restored.Restore(pops, pushes)
+		for _, isPush := range suffix {
+			seq++
+			m1, ok1 := apply(&orig, isPush)
+			m2, ok2 := apply(&restored, isPush)
+			if ok1 != ok2 || m1.LocalSeq != m2.LocalSeq || m1.ReqID != m2.ReqID {
+				return false
+			}
+		}
+		p1, q1 := orig.TakeResidual()
+		p2, q2 := restored.TakeResidual()
+		if len(p1) != len(p2) || len(q1) != len(q2) {
+			return false
+		}
+		for i := range p1 {
+			if p1[i].LocalSeq != p2[i].LocalSeq {
+				return false
+			}
+		}
+		for i := range q1 {
+			if q1[i].LocalSeq != q2[i].LocalSeq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	// Mutating the combiner after Snapshot must not change the snapshot.
+	var c Combiner
+	c.Pop(PendingOp{LocalSeq: 1})
+	c.Push(push(2))
+	pops, pushes := c.Snapshot()
+	c.Pop(PendingOp{LocalSeq: 3}) // combines with push 2
+	c.TakeResidual()
+	if len(pops) != 1 || pops[0].LocalSeq != 1 || len(pushes) != 1 || pushes[0].LocalSeq != 2 {
+		t.Fatalf("snapshot changed under mutation: pops=%v pushes=%v", pops, pushes)
+	}
+}
+
 func TestLIFOMatchingProperty(t *testing.T) {
 	// Replaying the combines against a reference stack must agree.
 	f := func(opsRaw []bool) bool {

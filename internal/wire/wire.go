@@ -174,6 +174,12 @@ type CliDequeue struct {
 // CliDone reports a completed client operation.
 type CliDone struct {
 	Seq uint64
+	// ReqID is the operation's durable, member-tagged request identity
+	// (zero for submission errors that never reached injection). Servers
+	// with a state directory journal a completion under this identity
+	// before releasing the CliDone, which is what makes the operation's
+	// outcome exactly-once across a fail-stop restart of the member.
+	ReqID uint64
 	// Bottom marks a dequeue serialized against an empty structure (⊥).
 	Bottom bool
 	// Value is the dequeued encoded value (dequeues only).
