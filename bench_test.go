@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -247,6 +248,98 @@ func BenchmarkStackCombiningAblation(b *testing.B) {
 			b.ReportMetric(float64(st.CombinedOps), "combined-ops")
 			b.ReportMetric(float64(st.MaxBatchRuns), "max-batch-runs")
 		}
+	}
+}
+
+// BenchmarkDurableThroughput measures the durable-mode hot path: a
+// single-member loopback server with a state directory (operation
+// journal + write-ahead snapshots) — one member, so the figure isolates
+// the journal's fsync discipline instead of inter-member protocol hops —
+// and 8 remote clients each keeping a 32-deep pipeline of asynchronous
+// enqueues. The sub-benchmarks contrast the
+// synchronous per-operation fsync baseline (JournalBatchOps: 1, the
+// pre-group-commit behavior: two fsyncs per op ON the runner goroutine,
+// serializing the whole member) against group commit (the default: one
+// fsync per batch, off the runner); the coalesced fsyncs are the entire
+// difference. EXPERIMENTS.md records the before/after numbers.
+func BenchmarkDurableThroughput(b *testing.B) {
+	for _, bc := range []struct {
+		name     string
+		batchOps int
+	}{
+		{"fsync-per-op", 1},
+		{"group-commit", 0}, // server default (64 ops, flush-when-idle)
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := server.New(server.Config{
+				Listener: l, Seed: 11, Index: 0, Members: []string{l.Addr().String()},
+				Tick:     200 * time.Microsecond,
+				StateDir: filepath.Join(b.TempDir(), "m0"),
+				// Snapshots far apart: the figure isolates the journal's
+				// fsync cost, not snapshot churn.
+				SnapshotEvery:   time.Hour,
+				JournalBatchOps: bc.batchOps,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+
+			const clients = 8
+			const depth = 32 // async ops in flight per client
+			cs := make([]*skueue.Client, clients)
+			for i := range cs {
+				c, err := skueue.Open(skueue.WithRemote(l.Addr().String()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				cs[i] = c
+				defer c.Close()
+			}
+
+			b.ResetTimer()
+			var ops atomic.Int64
+			var wg sync.WaitGroup
+			per := b.N/clients + 1
+			for _, c := range cs {
+				wg.Add(1)
+				go func(c *skueue.Client) {
+					defer wg.Done()
+					ctx := context.Background()
+					fs := make([]*skueue.Future, 0, depth)
+					flush := func() bool {
+						for _, f := range fs {
+							if err := f.Wait(ctx); err != nil {
+								b.Error(err)
+								return false
+							}
+						}
+						ops.Add(int64(len(fs)))
+						fs = fs[:0]
+						return true
+					}
+					for i := 0; i < per; i++ {
+						f, err := c.EnqueueAsync(skueue.AnyProcess, int64(i))
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						fs = append(fs, f)
+						if len(fs) == depth && !flush() {
+							return
+						}
+					}
+					flush()
+				}(c)
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(ops.Load())/b.Elapsed().Seconds(), "durable-ops/s")
+		})
 	}
 }
 

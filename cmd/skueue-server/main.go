@@ -32,6 +32,21 @@
 // -give-up bounds how long the member waits for an unreachable peer (or
 // seed) before failing pending operations (or exiting) with a clear
 // error instead of blocking forever; 0 waits indefinitely.
+//
+// Durable-mode throughput is governed by the journal's group commit:
+// instead of fsyncing every operation on the submission path, a journal
+// writer coalesces concurrent operations into one write+fsync per batch
+// and releases their confirmations only after the sync — the same
+// durability contract, a fraction of the disk syncs. -journal-batch-ops
+// caps how many operations one batch may coalesce (default 64; 1
+// restores the synchronous per-operation fsync), and -journal-batch-delay
+// deliberately holds a batch open to accumulate more operations: zero
+// (the default) adds no latency — batches only form while a previous
+// fsync is in flight — while e.g. 2ms trades up to that much confirmation
+// latency for fewer, larger syncs on slow disks:
+//
+//	skueue-server -addr 127.0.0.1:7002 -state /var/lib/skueue/m1 \
+//	    -join 127.0.0.1:7001 -journal-batch-ops 256 -journal-batch-delay 2ms
 package main
 
 import (
@@ -49,30 +64,34 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7001", "listen address")
-		seed    = flag.Int64("seed", 1, "cluster-wide seed (bootstrap members must agree)")
-		mode    = flag.String("mode", "queue", "semantics: queue or stack")
-		index   = flag.Int("index", 0, "this member's index into -members")
-		members = flag.String("members", "", "comma-separated bootstrap member addresses")
-		procs   = flag.Int("procs", 0, "total bootstrap processes (default: one per member)")
-		join    = flag.String("join", "", "join a running cluster via this seed address (ignores bootstrap flags)")
-		state   = flag.String("state", "", "state directory for fail-stop snapshots and the operation journal (empty: no persistence)")
-		snapEv  = flag.Duration("snapshot-every", 250*time.Millisecond, "write-ahead snapshot cadence (with -state)")
-		giveUp  = flag.Duration("give-up", 0, "declare an unreachable member dead after this long (0: wait forever)")
-		tick    = flag.Duration("tick", time.Millisecond, "protocol TIMEOUT cadence")
-		verbose = flag.Bool("v", false, "log transport diagnostics")
+		addr       = flag.String("addr", "127.0.0.1:7001", "listen address")
+		seed       = flag.Int64("seed", 1, "cluster-wide seed (bootstrap members must agree)")
+		mode       = flag.String("mode", "queue", "semantics: queue or stack")
+		index      = flag.Int("index", 0, "this member's index into -members")
+		members    = flag.String("members", "", "comma-separated bootstrap member addresses")
+		procs      = flag.Int("procs", 0, "total bootstrap processes (default: one per member)")
+		join       = flag.String("join", "", "join a running cluster via this seed address (ignores bootstrap flags)")
+		state      = flag.String("state", "", "state directory for fail-stop snapshots and the operation journal (empty: no persistence)")
+		snapEv     = flag.Duration("snapshot-every", 250*time.Millisecond, "write-ahead snapshot cadence (with -state)")
+		batchOps   = flag.Int("journal-batch-ops", 0, "journal group-commit op cap: flush once this many ops are staged (0: default 64; 1: synchronous per-op fsync)")
+		batchDelay = flag.Duration("journal-batch-delay", 0, "hold a journal batch open this long to accumulate ops before the fsync (0: flush when idle)")
+		giveUp     = flag.Duration("give-up", 0, "declare an unreachable member dead after this long (0: wait forever)")
+		tick       = flag.Duration("tick", time.Millisecond, "protocol TIMEOUT cadence")
+		verbose    = flag.Bool("v", false, "log transport diagnostics")
 	)
 	flag.Parse()
 
 	cfg := server.Config{
-		Addr:          *addr,
-		Seed:          *seed,
-		Mode:          *mode,
-		Tick:          *tick,
-		Join:          *join,
-		StateDir:      *state,
-		SnapshotEvery: *snapEv,
-		GiveUp:        *giveUp,
+		Addr:              *addr,
+		Seed:              *seed,
+		Mode:              *mode,
+		Tick:              *tick,
+		Join:              *join,
+		StateDir:          *state,
+		SnapshotEvery:     *snapEv,
+		JournalBatchOps:   *batchOps,
+		JournalBatchDelay: *batchDelay,
+		GiveUp:            *giveUp,
 	}
 	if *join == "" {
 		if *members == "" {

@@ -92,6 +92,15 @@ func (r *reqRing) restore(ids []uint64) {
 // already covers.
 func ReqIDSeq(reqID uint64) uint64 { return reqID & (1<<ReqIDMemberShift - 1) }
 
+// ReqSeq returns the member-local request sequence most recently issued;
+// the next operation injected at this member receives ReqSeq()+1. The
+// hosting layer compares it against its durable sequence lease before
+// accepting an operation (see internal/server: a request ID must never
+// be issued unless a ceiling above it is already on stable storage, or a
+// crash could re-issue the ID and peer dedupe would swallow the new
+// operation as a replay of the dead one). Runner goroutine only.
+func (cl *Cluster) ReqSeq() uint64 { return cl.reqSeq }
+
 // AdvanceReqSeq raises the member-local request sequence to at least seq.
 // A restore calls it with the journal's high-water mark BEFORE any client
 // can submit: journaled operations held back for their wave boundaries

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"skueue/internal/core"
 	"skueue/internal/transport"
@@ -22,18 +23,49 @@ import (
 // operations injected at this member, whose submitting sessions die with
 // the process. The journal records exactly that missing input stream:
 //
-//   - an op record (request ID, node, kind, value), fsynced, is appended
-//     the moment an operation is injected — before any CliDone for it can
-//     be released to the client;
-//   - a done record (request ID, outcome), fsynced, is appended before a
-//     CliDone frame is released, so a confirmed outcome is durable before
-//     the client can observe it;
+//   - an op record (request ID, node, kind, value) is appended the moment
+//     an operation is injected — durable before any CliDone for it can be
+//     released to the client;
+//   - a done record (request ID, outcome) is appended when an operation
+//     completes — durable before its CliDone frame is released, so a
+//     confirmed outcome always survives a crash;
 //   - a fire record (node, wave sequence) marks a wave boundary. Markers
-//     are written lazily — buffered in memory at each fire, flushed ahead
+//     are written lazily — buffered in memory at each fire, staged ahead
 //     of the next op record of that node — so an idle member journals
-//     nothing per wave. A marker is therefore durable whenever any op
-//     record that follows it is (fsync flushes the whole file), which is
-//     exactly the ordering the restart replay needs.
+//     nothing per wave. A marker therefore precedes that op record in the
+//     file and is durable whenever the op record is, which is exactly the
+//     ordering the restart replay needs.
+//
+// # Group commit
+//
+// Appends are asynchronous: appendOp and appendDone only STAGE the
+// encoded record in an in-memory buffer — never touching the disk — and
+// park a release action on a pending-release queue. A dedicated journal
+// writer goroutine drains the buffer, makes each drained batch durable
+// with ONE write + fsync, and only then runs the batch's parked releases
+// (the actions that hand CliDone frames to their sessions). The
+// journaled-before-release invariant is therefore preserved exactly —
+// nothing client-visible escapes before the fsync covering it returns —
+// but N concurrent operations share one disk sync instead of paying one
+// (or two) each, and the submission path, which runs on the transport's
+// runner goroutine, never blocks on the disk at all.
+//
+// Batch formation: with batchDelay zero (the default) the writer flushes
+// whenever it is idle and records are staged — batches then form
+// naturally while the previous fsync is in flight, adding no latency when
+// the journal is keeping up. A positive batchDelay deliberately holds a
+// batch open that long to accumulate more records (throughput for
+// latency); the batchOps cap flushes early once that many operations are
+// staged. batchOps == 1 disables the pipeline entirely and restores the
+// synchronous per-record fsync on the caller, which is the baseline
+// BenchmarkDurableThroughput contrasts against.
+//
+// Failure is sticky: once a batch write or fsync fails, the file may end
+// in a torn record, and appending past the tear would hide every later
+// record from the restart loader's valid-prefix scan — silently
+// discarding confirmed operations. Instead the journal fails all parked
+// and future releases with the error (the server answers those clients
+// "indeterminate") and never writes again.
 //
 // On restart the records with a member-local sequence beyond the
 // snapshot's ReqSeq are re-submitted under their ORIGINAL request IDs
@@ -45,50 +77,132 @@ import (
 // neither dropping nor double-applying an operation.
 //
 // Records are framed individually ([4-byte length][self-contained gob
-// body]) so a crash mid-append leaves a recognizable torn tail: the
-// loader keeps the valid prefix and discards the rest, which at worst
-// forgets an operation whose client never received an answer.
+// body]) so a crash mid-append leaves a recognizable torn tail, and the
+// same property covers a torn BATCH: a batch is a concatenation of
+// frames written front to back, so a crash mid-batch leaves a valid
+// record prefix followed by garbage. The loader keeps the prefix and
+// discards the rest — and because a batch's releases run only after its
+// fsync returned, every record the tear swallows belongs to an operation
+// whose client never received an answer.
+
+// # The sequence lease
+//
+// Asynchronous appends open one more hole the synchronous code never
+// had: an operation's request ID is allocated at injection, and its
+// effects can ride a wave to peer members while the op record is still
+// staged. If the member then crashes before the batch syncs, the record
+// is lost, the restarted member's request counter — advanced only past
+// DURABLE records — re-issues the same ID to a fresh client operation,
+// and the peers' request-ID dedupe rings (which deliberately match
+// across boot epochs, replay depends on it) swallow the new operation as
+// a replay of the dead one. The journal therefore maintains a durable
+// sequence lease: a ceiling, persisted ahead of use in spans of
+// leaseSpan sequences, below which IDs may be issued freely. The server
+// refuses an operation whose sequence is not covered by the DURABLE
+// ceiling (practically unreachable: extensions are staged half a span
+// early), and a restart advances the counter past the ceiling — re-issue
+// is impossible by construction, with one tiny journal record per
+// leaseSpan operations instead of any per-op durability. Compaction
+// cannot lose the ceiling either: every snapshot captures the pending
+// ceiling (diskSnapshot.SeqCeiling), and any lease record the compaction
+// drops is at or below the ceiling of the snapshot that justified it.
 
 // Journal record kinds.
 const (
-	recOp   = 1
-	recDone = 2
-	recFire = 3
+	recOp    = 1
+	recDone  = 2
+	recFire  = 3
+	recLease = 4
 )
 
 // journalRecord is one journal entry; Kind selects which fields matter.
 type journalRecord struct {
-	Kind  uint8
-	ReqID uint64           // op, done
-	Node  transport.NodeID // op, fire
-	IsDeq bool             // op
-	Value []byte           // op (enqueue payload)
-	Done  wire.CliDone     // done
-	Wave  int64            // fire
+	Kind    uint8
+	ReqID   uint64           // op, done
+	Node    transport.NodeID // op, fire
+	IsDeq   bool             // op
+	Value   []byte           // op (enqueue payload)
+	Done    wire.CliDone     // done
+	Wave    int64            // fire
+	Ceiling uint64           // lease: request sequences below it may be issued
 }
+
+// leaseSpan is how many request sequences one lease record covers; an
+// extension is staged once issuance crosses the half-way mark, so the
+// durable ceiling is only ever reached if the journal cannot sync half a
+// span's worth of operations in time (or has failed).
+const leaseSpan = 1 << 16
 
 const journalFile = "ops.journal"
 
-// opJournal is the append side. All appends are serialized by mu; the
-// submit and resolve paths run on the transport's runner goroutine, the
-// compaction on the snapshot goroutine.
+// defaultBatchOps is the group-commit op cap when the config leaves it 0.
+const defaultBatchOps = 64
+
+// journalRelease is a parked release action: called with nil once the
+// fsync covering its record returned, or with the journal failure if the
+// record never became durable. Runs on the journal writer goroutine (or
+// inline on the caller with batchOps == 1).
+type journalRelease func(err error)
+
+// opJournal is the append side: staging on the submission path, one
+// writer goroutine doing the batched write+fsync, compaction on the
+// snapshot goroutine.
 type opJournal struct {
-	mu  sync.Mutex
-	dir string
-	f   *os.File
-	// size is the current file length; offset() hands it out as the
-	// compaction boundary of a snapshot capture (see truncatePrefix).
-	size int64
+	dir      string
+	batchOps int           // flush once this many ops are staged; 1 = synchronous
+	delay    time.Duration // hold a batch open this long to accumulate (0: flush when idle)
+
+	// mu guards the staging side: the batch buffer, the parked releases,
+	// the fire-marker bookkeeping, the lifecycle flags and the logical
+	// length. Staging never performs I/O, so appendOp/appendDone return
+	// immediately regardless of what the disk is doing.
+	mu         sync.Mutex
+	buf        []byte
+	releases   []journalRelease
+	stagedOps  int
+	firstStage time.Time // when the open batch received its first record
+	urgent     bool      // a barrier or shutdown wants the batch flushed now
+	closed     bool
+	failed     error // sticky: set on the first write/fsync error
+	// logical is durable plus the staged bytes: the file length as if
+	// everything staged were already written. offset() hands it out as
+	// the compaction boundary of a snapshot capture — staging happens on
+	// the runner goroutine, so reading it inside the capture's DoSync
+	// still yields a precise cut (see offset).
+	logical int64
 	// Lazily flushed wave boundaries: lastFire is the newest committed
 	// fire per node (in memory only), lastMark the newest marker value
-	// actually written for the node.
+	// actually staged for the node.
 	lastFire map[transport.NodeID]int64
 	lastMark map[transport.NodeID]int64
+	// The sequence lease (see the package comment): request sequences
+	// below leaseDurable are safe to issue — a ceiling at or above them
+	// is on stable storage — and leasePending is the highest ceiling
+	// staged so far (what the next snapshot captures).
+	leaseDurable uint64
+	leasePending uint64
+
+	// wmu guards the file side: the handle, the durable length, each
+	// batch write+fsync, and the compaction handle swap. Never acquired
+	// while holding mu (compaction takes mu INSIDE wmu for the length
+	// adjustment, so the reverse order would deadlock).
+	wmu     sync.Mutex
+	f       *os.File
+	durable int64
+
+	wake chan struct{}
+	wg   sync.WaitGroup
+
+	// testCompactPause, when set, runs between truncatePrefix's bulk
+	// suffix copy and its handle-swap critical section; tests park it to
+	// prove appends proceed while a compaction is in flight.
+	testCompactPause func()
 }
 
 // openJournal opens (or, with fresh set, truncates) the journal for
-// appending.
-func openJournal(dir string, fresh bool) (*opJournal, error) {
+// appending and starts the group-commit writer (unless batchOps is 1,
+// which selects the synchronous per-record mode).
+func openJournal(dir string, fresh bool, batchOps int, delay time.Duration) (*opJournal, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -105,21 +219,75 @@ func openJournal(dir string, fresh bool) (*opJournal, error) {
 		f.Close()
 		return nil, err
 	}
-	return &opJournal{
+	if batchOps <= 0 {
+		batchOps = defaultBatchOps
+	}
+	j := &opJournal{
 		dir:      dir,
+		batchOps: batchOps,
+		delay:    delay,
 		f:        f,
-		size:     st.Size(),
+		durable:  st.Size(),
+		logical:  st.Size(),
 		lastFire: make(map[transport.NodeID]int64),
 		lastMark: make(map[transport.NodeID]int64),
-	}, nil
+		wake:     make(chan struct{}, 1),
+	}
+	if !j.syncMode() {
+		j.wg.Add(1)
+		go j.writerLoop()
+	}
+	return j, nil
 }
 
+// syncMode reports whether appends write+fsync inline on the caller
+// instead of going through the writer goroutine.
+func (j *opJournal) syncMode() bool { return j.batchOps == 1 }
+
+// close flushes whatever is still staged, stops the writer and closes the
+// file. Parked releases run (or fail) before close returns.
 func (j *opJournal) close() {
 	j.mu.Lock()
-	defer j.mu.Unlock()
+	if j.closed {
+		j.mu.Unlock()
+		return
+	}
+	j.closed = true
+	j.urgent = true
+	j.mu.Unlock()
+	if !j.syncMode() {
+		j.wakeWriter()
+		j.wg.Wait()
+	}
+	j.wmu.Lock()
 	if j.f != nil {
 		j.f.Close()
 		j.f = nil
+	}
+	j.wmu.Unlock()
+}
+
+// discard simulates a fail-stop crash for Server.Kill: staged records are
+// dropped instead of flushed and every parked release fails, so whatever
+// group commit had not yet synced is lost exactly as a real process death
+// would lose it. The restart tests rely on this to exercise the
+// torn-batch window with batching enabled.
+func (j *opJournal) discard() {
+	j.mu.Lock()
+	if j.failed == nil {
+		j.failed = errors.New("server: journal discarded (simulated crash)")
+	}
+	j.logical -= int64(len(j.buf))
+	j.buf = nil
+	j.mu.Unlock()
+	j.close()
+}
+
+// wakeWriter nudges the writer without ever blocking the caller.
+func (j *opJournal) wakeWriter() {
+	select {
+	case j.wake <- struct{}{}:
+	default:
 	}
 }
 
@@ -137,7 +305,7 @@ func encodeRecord(rec *journalRecord) ([]byte, error) {
 	return buf, nil
 }
 
-// noteFire records a committed wave boundary in memory; appendOp flushes
+// noteFire records a committed wave boundary in memory; appendOp stages
 // it ahead of the next operation of that node.
 func (j *opJournal) noteFire(node transport.NodeID, wave int64) {
 	j.mu.Lock()
@@ -147,86 +315,311 @@ func (j *opJournal) noteFire(node transport.NodeID, wave int64) {
 	j.mu.Unlock()
 }
 
-// appendOp journals one accepted client operation and fsyncs. It must be
-// called after injection and before any CliDone for the operation is
-// released.
-func (j *opJournal) appendOp(node transport.NodeID, reqID uint64, isDeq bool, value []byte) error {
+// appendOp stages one accepted client operation — any pending fire marker
+// of its node first, preserving the boundary-before-op file order — and
+// parks release on the batch. It must be called after injection and
+// before any CliDone for the operation can be staged.
+func (j *opJournal) appendOp(node transport.NodeID, reqID uint64, isDeq bool, value []byte, release journalRelease) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.f == nil {
-		return errors.New("server: journal closed")
+	if err := j.unusableLocked(); err != nil {
+		j.mu.Unlock()
+		if release != nil {
+			release(err)
+		}
+		return
 	}
 	var frames []byte
 	if lf := j.lastFire[node]; lf != j.lastMark[node] {
 		b, err := encodeRecord(&journalRecord{Kind: recFire, Node: node, Wave: lf})
 		if err != nil {
-			return err
+			j.mu.Unlock()
+			if release != nil {
+				release(err)
+			}
+			return
 		}
 		frames = append(frames, b...)
 		j.lastMark[node] = lf
 	}
 	b, err := encodeRecord(&journalRecord{Kind: recOp, ReqID: reqID, Node: node, IsDeq: isDeq, Value: value})
 	if err != nil {
-		return err
+		j.mu.Unlock()
+		if release != nil {
+			release(err)
+		}
+		return
 	}
 	frames = append(frames, b...)
-	if _, err := j.f.Write(frames); err != nil {
-		return err
-	}
-	j.size += int64(len(frames))
-	return j.f.Sync()
+	j.stageLocked(frames, release)
 }
 
-// appendDone journals one client-visible outcome and fsyncs. It must be
-// called before the CliDone frame is handed to the session writer.
-func (j *opJournal) appendDone(reqID uint64, done wire.CliDone) error {
+// appendDone stages one client-visible outcome and parks release on the
+// batch; release must be the only path that hands the CliDone frame to
+// the session, so nothing escapes before the covering fsync.
+func (j *opJournal) appendDone(reqID uint64, done wire.CliDone, release journalRelease) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.f == nil {
-		return errors.New("server: journal closed")
+	if err := j.unusableLocked(); err != nil {
+		j.mu.Unlock()
+		if release != nil {
+			release(err)
+		}
+		return
 	}
 	b, err := encodeRecord(&journalRecord{Kind: recDone, ReqID: reqID, Done: done})
 	if err != nil {
+		j.mu.Unlock()
+		if release != nil {
+			release(err)
+		}
+		return
+	}
+	j.stageLocked(b, release)
+}
+
+// unusableLocked returns the error appends must fail with, if any.
+func (j *opJournal) unusableLocked() error {
+	if j.failed != nil {
+		return j.failed
+	}
+	if j.closed {
+		return errors.New("server: journal closed")
+	}
+	return nil
+}
+
+// stageLocked adds frames and a release to the open batch (mu held by the
+// caller; unlocks it) and kicks the flush machinery.
+func (j *opJournal) stageLocked(frames []byte, release journalRelease) {
+	if len(j.buf) == 0 && len(j.releases) == 0 {
+		j.firstStage = time.Now()
+	}
+	j.buf = append(j.buf, frames...)
+	j.logical += int64(len(frames))
+	j.releases = append(j.releases, release)
+	j.stagedOps++
+	sync := j.syncMode()
+	j.mu.Unlock()
+	if sync {
+		j.flush()
+	} else {
+		j.wakeWriter()
+	}
+}
+
+// coverSeq reports whether request sequence seq may be issued — a lease
+// ceiling above it is durable — and stages a lease extension once
+// issuance crosses the half-span mark, so the answer goes false only if
+// the journal failed or could not sync an extension within half a span
+// of operations. Runner goroutine (with the rest of the staging side).
+func (j *opJournal) coverSeq(seq uint64) bool {
+	j.mu.Lock()
+	durable, pending := j.leaseDurable, j.leasePending
+	usable := j.failed == nil && !j.closed
+	j.mu.Unlock()
+	if usable && seq+leaseSpan/2 >= pending {
+		j.stageLease(seq + leaseSpan)
+	}
+	return seq < durable
+}
+
+// stageLease stages a lease record raising the ceiling; its release
+// publishes the new durable ceiling once the covering fsync returns.
+// Ceilings never regress: a stale call is a no-op.
+func (j *opJournal) stageLease(ceiling uint64) {
+	j.mu.Lock()
+	if j.failed != nil || j.closed || ceiling <= j.leasePending {
+		j.mu.Unlock()
+		return
+	}
+	b, err := encodeRecord(&journalRecord{Kind: recLease, Ceiling: ceiling})
+	if err != nil {
+		j.mu.Unlock()
+		return
+	}
+	j.leasePending = ceiling
+	j.stageLocked(b, func(err error) {
+		if err != nil {
+			return
+		}
+		j.mu.Lock()
+		if ceiling > j.leaseDurable {
+			j.leaseDurable = ceiling
+		}
+		j.mu.Unlock()
+	})
+}
+
+// initLease establishes a durable ceiling a full span above base before
+// any client can submit: stage, then barrier. Boot-time only — the one
+// place the lease is allowed to wait for the disk.
+func (j *opJournal) initLease(base uint64) error {
+	j.stageLease(base + leaseSpan)
+	return j.barrier()
+}
+
+// leaseCeiling returns the highest ceiling staged so far; snapshots
+// capture it (diskSnapshot.SeqCeiling) so compaction dropping old lease
+// records can never lose the lease — a restored member advances its
+// counter past the snapshot's ceiling too.
+func (j *opJournal) leaseCeiling() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.leasePending
+}
+
+// barrier blocks until every record staged before the call is durable,
+// returning nil, or the journal has failed, returning the failure.
+// Snapshot compaction uses it to turn a logical cut boundary into a
+// durable one.
+func (j *opJournal) barrier() error {
+	j.mu.Lock()
+	if err := j.unusableLocked(); err != nil {
+		j.mu.Unlock()
 		return err
 	}
-	if _, err := j.f.Write(b); err != nil {
+	if j.syncMode() {
+		// Inline mode: everything staged was already synced.
+		j.mu.Unlock()
+		return nil
+	}
+	// A zero-byte sentinel: releases run in staging order after their
+	// batch's fsync, so when this one fires every earlier record is
+	// durable — including a batch the writer had already stolen when we
+	// arrived, because the sentinel lands in the NEXT batch.
+	errc := make(chan error, 1)
+	j.releases = append(j.releases, func(err error) { errc <- err })
+	j.urgent = true
+	j.mu.Unlock()
+	j.wakeWriter()
+	return <-errc
+}
+
+// writerLoop is the group-commit engine: it drains the staged batch,
+// writes and fsyncs it as one unit, then runs the parked releases. While
+// an fsync is in flight new records pile up into the next batch — that is
+// where the coalescing comes from.
+func (j *opJournal) writerLoop() {
+	defer j.wg.Done()
+	for {
+		j.mu.Lock()
+		pending := len(j.releases) > 0 || len(j.buf) > 0
+		ops, urgent, closed, failed := j.stagedOps, j.urgent, j.closed, j.failed != nil
+		first := j.firstStage
+		j.mu.Unlock()
+		if !pending {
+			if closed {
+				return
+			}
+			<-j.wake
+			continue
+		}
+		// Accumulation window: hold the batch open up to delay, unless
+		// the op cap is reached, a barrier wants it out, or we are
+		// draining for shutdown/failure.
+		if j.delay > 0 && ops < j.batchOps && !urgent && !closed && !failed {
+			if wait := time.Until(first.Add(j.delay)); wait > 0 {
+				select {
+				case <-j.wake:
+				case <-time.After(wait):
+				}
+				continue
+			}
+		}
+		j.flush()
+	}
+}
+
+// flush steals everything staged, makes it durable with one write+fsync,
+// and then runs the parked releases — with nil on success, with the
+// journal failure otherwise (sticky: see the package comment on why the
+// journal never writes past a failed batch).
+func (j *opJournal) flush() {
+	j.mu.Lock()
+	buf, rels := j.buf, j.releases
+	j.buf, j.releases = nil, nil
+	j.stagedOps = 0
+	j.urgent = false
+	err := j.failed
+	j.mu.Unlock()
+	if len(buf) == 0 && len(rels) == 0 {
+		return
+	}
+	if err == nil && len(buf) > 0 {
+		if werr := j.writeBatch(buf); werr != nil {
+			j.mu.Lock()
+			if j.failed == nil {
+				j.failed = werr
+			}
+			err = j.failed
+			j.mu.Unlock()
+		}
+	}
+	for _, rel := range rels {
+		if rel != nil {
+			rel(err)
+		}
+	}
+}
+
+// writeBatch appends one batch to the file and fsyncs it.
+func (j *opJournal) writeBatch(buf []byte) error {
+	j.wmu.Lock()
+	defer j.wmu.Unlock()
+	if j.f == nil {
+		return errors.New("server: journal closed")
+	}
+	if _, err := j.f.Write(buf); err != nil {
 		return err
 	}
-	j.size += int64(len(b))
+	j.durable += int64(len(buf))
 	return j.f.Sync()
 }
 
 // offset returns the compaction boundary for a snapshot capture: the
-// journal length at this instant. All appends run on the transport's
-// runner goroutine, so reading it inside the capture's DoSync makes it a
-// precise cut — every record before it is covered by the snapshot (op
-// and done records carry sequences at or below the captured ReqSeq, and
-// fire markers precede some covered op record, putting their wave at or
-// below the captured per-node WaveSeq).
+// LOGICAL journal length at this instant — counting staged records the
+// writer has not synced yet. All staging runs on the transport's runner
+// goroutine, so reading it inside the capture's DoSync makes it a precise
+// cut: every record before it belongs to an operation the snapshot's core
+// image covers (op and done records carry sequences at or below the
+// captured ReqSeq, and fire markers precede some covered op record,
+// putting their wave at or below the captured per-node WaveSeq). Staged
+// records before the cut need no durability of their own — once the
+// snapshot is durable they are covered by it, and truncatePrefix runs a
+// barrier before it copies, so the boundary is durable by the time the
+// file is rewritten.
 func (j *opJournal) offset() int64 {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.size
+	return j.logical
 }
 
 // truncatePrefix drops every record before the given capture boundary by
 // copying the suffix — a raw byte copy, no decoding — into a fresh file.
 // The cost is proportional to the replay window (records since the
-// snapshot's cut), not to history, and the appends it briefly blocks are
-// bounded the same way. Crash-safe: temp file, fsync, rename, directory
-// fsync — a crash mid-truncation leaves the previous journal intact,
-// which the loader's covered-record filters tolerate.
+// snapshot's cut), not to history, and the copy runs OUTSIDE both locks:
+// staging never blocks at all, and the writer's batch flushes block only
+// for the short catch-up-and-swap critical section at the end, never for
+// the bulk copy. Crash-safe: temp file, fsync, rename, directory fsync —
+// a crash mid-truncation leaves the previous journal intact, which the
+// loader's covered-record filters tolerate.
 func (j *opJournal) truncatePrefix(offset int64) error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.f == nil {
-		return errors.New("server: journal closed")
-	}
 	if offset <= 0 {
 		return nil
 	}
-	if offset > j.size {
-		offset = j.size
+	// The boundary is a logical length and may count staged records: make
+	// it durable before copying from the file.
+	if err := j.barrier(); err != nil {
+		return err
+	}
+	j.wmu.Lock()
+	if j.f == nil {
+		j.wmu.Unlock()
+		return errors.New("server: journal closed")
+	}
+	copied := j.durable
+	j.wmu.Unlock()
+	if offset > copied {
+		offset = copied // unreachable post-barrier; clamp defensively
 	}
 	path := filepath.Join(j.dir, journalFile)
 	src, err := os.Open(path)
@@ -247,10 +640,29 @@ func (j *opJournal) truncatePrefix(offset int64) error {
 		os.Remove(tmpName)
 		return err
 	}
-	n, err := io.Copy(tmp, src)
-	if err != nil {
+	// Bulk copy, lock-free: the file is append-only, so the bytes in
+	// [offset, copied) are stable even while the writer appends past
+	// them.
+	if _, err := io.CopyN(tmp, src, copied-offset); err != nil && !errors.Is(err, io.EOF) {
 		return fail(err)
 	}
+	if j.testCompactPause != nil {
+		j.testCompactPause()
+	}
+	// Short critical section: catch up whatever was appended during the
+	// bulk copy (bounded by the copy's duration, not by history), then
+	// swap the handle.
+	j.wmu.Lock()
+	defer j.wmu.Unlock()
+	if j.f == nil {
+		return fail(errors.New("server: journal closed"))
+	}
+	if j.durable > copied {
+		if _, err := io.CopyN(tmp, src, j.durable-copied); err != nil && !errors.Is(err, io.EOF) {
+			return fail(err)
+		}
+	}
+	newSize := j.durable - offset
 	if err := tmp.Sync(); err != nil {
 		return fail(err)
 	}
@@ -270,8 +682,11 @@ func (j *opJournal) truncatePrefix(offset int64) error {
 	syncErr := syncDir(j.dir)
 	f, openErr := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	j.f.Close()
-	j.f = f // nil on open failure: subsequent appends fail explicitly
-	j.size = n
+	j.f = f // nil on open failure: subsequent flushes fail explicitly
+	j.durable = newSize
+	j.mu.Lock()
+	j.logical -= offset
+	j.mu.Unlock()
 	if syncErr != nil {
 		return syncErr
 	}
@@ -279,8 +694,11 @@ func (j *opJournal) truncatePrefix(offset int64) error {
 }
 
 // readJournal decodes the valid prefix of a journal file. A torn or
-// corrupt tail (crash mid-append) ends the prefix silently; a missing
-// file is an empty journal.
+// corrupt tail — a crash mid-append, or mid-BATCH: group commit writes
+// several frames back to back, and a tear anywhere leaves a valid frame
+// prefix — ends the prefix silently; a missing file is an empty journal.
+// Every record a tear swallows belonged to a batch whose fsync never
+// returned, so none of its releases ran and no client saw an answer.
 func readJournal(path string) ([]journalRecord, error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -409,6 +827,20 @@ func (p *replayPlan) take(node transport.NodeID, wave int64) []journalRecord {
 		}
 	}
 	return out
+}
+
+// journalHoldsOps reports whether recs contain any operation or outcome
+// record — the only content whose loss the no-snapshot startup refusal
+// guards against. Lease records alone are left behind by a crash inside
+// the first boot window (initLease runs before the base snapshot) and
+// are recovered through the ceiling scan instead.
+func journalHoldsOps(recs []journalRecord) bool {
+	for _, rec := range recs {
+		if rec.Kind == recOp || rec.Kind == recDone {
+			return true
+		}
+	}
+	return false
 }
 
 // syncDir fsyncs a directory, making a rename inside it crash-durable.

@@ -2,9 +2,11 @@ package server
 
 import (
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"skueue/internal/transport"
 	"skueue/internal/wire"
@@ -13,34 +15,57 @@ import (
 // reqID builds a member-1-tagged request ID with the given local sequence.
 func reqID(seq uint64) uint64 { return 1<<40 | seq }
 
+// openSyncJournal opens a journal in synchronous mode (group commit
+// disabled): appends flush inline and releases run before the append
+// returns, which keeps the classic tests deterministic.
+func openSyncJournal(t *testing.T, dir string, fresh bool) *opJournal {
+	t.Helper()
+	j, err := openJournal(dir, fresh, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// syncAppendOp appends one op in synchronous mode and fails the test if
+// its release reports an error.
+func syncAppendOp(t *testing.T, j *opJournal, node transport.NodeID, id uint64, isDeq bool, value []byte) {
+	t.Helper()
+	var got error
+	j.appendOp(node, id, isDeq, value, func(err error) { got = err })
+	if got != nil {
+		t.Fatalf("appendOp: %v", got)
+	}
+}
+
+// syncAppendDone appends one outcome in synchronous mode and fails the
+// test if its release reports an error.
+func syncAppendDone(t *testing.T, j *opJournal, id uint64, done wire.CliDone) {
+	t.Helper()
+	var got error
+	j.appendDone(id, done, func(err error) { got = err })
+	if got != nil {
+		t.Fatalf("appendDone: %v", got)
+	}
+}
+
 // TestJournalRoundTripAndMarkers pins the lazy wave-boundary discipline:
-// a fire marker is not written on its own, but is flushed ahead of the
+// a fire marker is not written on its own, but is staged ahead of the
 // next operation record of its node — so an idle member journals nothing
 // per wave, yet every operation is preceded by the newest boundary it
 // follows.
 func TestJournalRoundTripAndMarkers(t *testing.T) {
 	dir := t.TempDir()
-	j, err := openJournal(dir, true)
-	if err != nil {
-		t.Fatal(err)
-	}
+	j := openSyncJournal(t, dir, true)
 
 	nodeA, nodeB := transport.NodeID(3), transport.NodeID(4)
-	if err := j.appendOp(nodeA, reqID(1), false, []byte("v1")); err != nil {
-		t.Fatal(err)
-	}
+	syncAppendOp(t, j, nodeA, reqID(1), false, []byte("v1"))
 	j.noteFire(nodeA, 7) // boundary, deferred
 	j.noteFire(nodeB, 9) // boundary of another node, also deferred
-	if err := j.appendOp(nodeA, reqID(2), true, nil); err != nil {
-		t.Fatal(err)
-	}
+	syncAppendOp(t, j, nodeA, reqID(2), true, nil)
 	// A second op of the same node must NOT repeat the marker.
-	if err := j.appendOp(nodeA, reqID(3), false, []byte("v3")); err != nil {
-		t.Fatal(err)
-	}
-	if err := j.appendDone(reqID(1), wire.CliDone{ReqID: reqID(1)}); err != nil {
-		t.Fatal(err)
-	}
+	syncAppendOp(t, j, nodeA, reqID(3), false, []byte("v3"))
+	syncAppendDone(t, j, reqID(1), wire.CliDone{ReqID: reqID(1)})
 	j.close()
 
 	recs, err := readJournal(filepath.Join(dir, journalFile))
@@ -75,13 +100,8 @@ func TestJournalRoundTripAndMarkers(t *testing.T) {
 // record: the valid prefix loads, the garbage is ignored.
 func TestJournalTornTail(t *testing.T) {
 	dir := t.TempDir()
-	j, err := openJournal(dir, true)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := j.appendOp(3, reqID(1), false, []byte("ok")); err != nil {
-		t.Fatal(err)
-	}
+	j := openSyncJournal(t, dir, true)
+	syncAppendOp(t, j, 3, reqID(1), false, []byte("ok"))
 	j.close()
 	path := filepath.Join(dir, journalFile)
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
@@ -99,6 +119,207 @@ func TestJournalTornTail(t *testing.T) {
 	}
 	if len(recs) != 1 || recs[0].ReqID != reqID(1) {
 		t.Fatalf("torn journal loaded %d records, want the 1 valid prefix record", len(recs))
+	}
+}
+
+// TestJournalGroupCommitReleasesInOrder drives the batched path: many
+// staged appends, releases fired by the writer goroutine strictly in
+// staging order and only with nil (every fsync succeeded), and the file
+// holding every record in that same order.
+func TestJournalGroupCommitReleasesInOrder(t *testing.T) {
+	dir := t.TempDir()
+	j, err := openJournal(dir, true, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	type fired struct {
+		seq uint64
+		err error
+	}
+	got := make(chan fired, n)
+	node := transport.NodeID(3)
+	for i := uint64(1); i <= n; i++ {
+		id := reqID(i)
+		j.appendOp(node, id, false, []byte("v"), func(err error) {
+			got <- fired{seq: id, err: err}
+		})
+	}
+	for i := uint64(1); i <= n; i++ {
+		f := <-got
+		if f.err != nil {
+			t.Fatalf("release %d reported %v", i, f.err)
+		}
+		if f.seq != reqID(i) {
+			t.Fatalf("release %d fired for op %d: releases out of staging order", i, f.seq&(1<<40-1))
+		}
+	}
+	j.close()
+	recs, err := readJournal(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n {
+		t.Fatalf("journal holds %d records, want %d", len(recs), n)
+	}
+	for i, r := range recs {
+		if r.ReqID != reqID(uint64(i+1)) {
+			t.Fatalf("record %d is op %d, want %d", i, r.ReqID&(1<<40-1), i+1)
+		}
+	}
+}
+
+// TestJournalBarrierForcesFlush pins the durability handshake snapshot
+// compaction relies on: with a long accumulation delay the writer sits on
+// the staged batch, offset() already counts it (the logical cut), and
+// barrier() must flush it immediately — not after the delay — so the
+// logical boundary becomes durable.
+func TestJournalBarrierForcesFlush(t *testing.T) {
+	dir := t.TempDir()
+	j, err := openJournal(dir, true, 1<<20, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.close()
+	j.appendOp(3, reqID(1), false, []byte("v"), nil)
+	logical := j.offset()
+	j.wmu.Lock()
+	durable := j.durable
+	j.wmu.Unlock()
+	if logical <= durable {
+		t.Fatalf("logical length %d not ahead of durable %d while the batch is held open", logical, durable)
+	}
+	start := time.Now()
+	if err := j.barrier(); err != nil {
+		t.Fatalf("barrier: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("barrier took %v; it must preempt the accumulation delay", elapsed)
+	}
+	j.wmu.Lock()
+	durable = j.durable
+	j.wmu.Unlock()
+	if durable != logical {
+		t.Fatalf("durable length %d after barrier, want %d", durable, logical)
+	}
+}
+
+// TestJournalTornBatchTail pins the torn-BATCH contract of group commit:
+// several records synced as one batch, a crash tearing the file inside
+// the batch — at a record boundary or mid-record — loses only the records
+// past the tear, and the valid prefix (including earlier records of the
+// same batch) still loads.
+func TestJournalTornBatchTail(t *testing.T) {
+	dir := t.TempDir()
+	j, err := openJournal(dir, true, 16, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := transport.NodeID(3)
+	var frames []int // encoded length of each record, in file order
+	for i := uint64(1); i <= 3; i++ {
+		value := []byte(fmt.Sprintf("value-%d", i))
+		b, err := encodeRecord(&journalRecord{Kind: recOp, ReqID: reqID(i), Node: node, IsDeq: false, Value: value})
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, len(b))
+		j.appendOp(node, reqID(i), false, value, nil)
+	}
+	// All three are still one staged batch (huge delay, cap not reached);
+	// the barrier flushes them as a single write+fsync.
+	if err := j.barrier(); err != nil {
+		t.Fatal(err)
+	}
+	j.close()
+
+	path := filepath.Join(dir, journalFile)
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(whole) != frames[0]+frames[1]+frames[2] {
+		t.Fatalf("batch wrote %d bytes, want %d", len(whole), frames[0]+frames[1]+frames[2])
+	}
+	for _, tc := range []struct {
+		name string
+		keep int // file length after the simulated tear
+		want int // surviving records
+	}{
+		{"mid-record", frames[0] + frames[1]/2, 1},
+		{"record-boundary", frames[0] + frames[1], 2},
+	} {
+		if err := os.WriteFile(path, whole[:tc.keep], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := readJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != tc.want {
+			t.Fatalf("%s tear: loaded %d records, want %d", tc.name, len(recs), tc.want)
+		}
+		for i, r := range recs {
+			if r.ReqID != reqID(uint64(i+1)) {
+				t.Fatalf("%s tear: record %d is op %d, want %d", tc.name, i, r.ReqID&(1<<40-1), i+1)
+			}
+		}
+	}
+}
+
+// TestJournalCompactionDoesNotBlockAppends parks a compaction between its
+// bulk suffix copy and its swap critical section and requires appends —
+// including their fsync — to complete meanwhile: the old implementation
+// held the append lock across the whole copy, freezing the member for the
+// duration.
+func TestJournalCompactionDoesNotBlockAppends(t *testing.T) {
+	dir := t.TempDir()
+	j := openSyncJournal(t, dir, true)
+	node := transport.NodeID(3)
+	syncAppendOp(t, j, node, reqID(1), false, []byte("old"))
+	boundary := j.offset()
+	syncAppendOp(t, j, node, reqID(2), false, []byte("keep"))
+
+	entered := make(chan struct{})
+	resume := make(chan struct{})
+	j.testCompactPause = func() {
+		close(entered)
+		<-resume
+	}
+	compacted := make(chan error, 1)
+	go func() { compacted <- j.truncatePrefix(boundary) }()
+	<-entered
+
+	// The compaction is mid-flight; a full append (stage + write + fsync)
+	// must still go through.
+	appended := make(chan struct{})
+	go func() {
+		syncAppendOp(t, j, node, reqID(3), true, nil)
+		close(appended)
+	}()
+	select {
+	case <-appended:
+	case <-time.After(10 * time.Second):
+		t.Fatal("append blocked behind an in-flight compaction")
+	}
+	close(resume)
+	if err := <-compacted; err != nil {
+		t.Fatalf("truncatePrefix: %v", err)
+	}
+	j.close()
+
+	// The rewritten journal holds the suffix plus the append that raced
+	// the compaction, in order.
+	recs, err := readJournal(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	for _, r := range recs {
+		got = append(got, r.ReqID&(1<<40-1))
+	}
+	if fmt.Sprint(got) != fmt.Sprint([]uint64{2, 3}) {
+		t.Fatalf("compacted journal holds ops %v, want [2 3]", got)
 	}
 }
 
@@ -158,39 +379,30 @@ func TestReplayPlanGrouping(t *testing.T) {
 // path), which must pick the size up from disk.
 func TestJournalCompact(t *testing.T) {
 	dir := t.TempDir()
-	j, err := openJournal(dir, true)
-	if err != nil {
-		t.Fatal(err)
-	}
+	j := openSyncJournal(t, dir, true)
 	nodeA := transport.NodeID(3)
-	if err := j.appendOp(nodeA, reqID(1), false, nil); err != nil {
-		t.Fatal(err)
-	}
+	syncAppendOp(t, j, nodeA, reqID(1), false, nil)
 	j.noteFire(nodeA, 5)
 	// A snapshot capture happens here: its boundary covers seq 1.
 	boundary := j.offset()
-	if err := j.appendOp(nodeA, reqID(2), false, nil); err != nil {
-		t.Fatal(err)
-	}
-	if err := j.appendDone(reqID(2), wire.CliDone{}); err != nil {
-		t.Fatal(err)
-	}
+	syncAppendOp(t, j, nodeA, reqID(2), false, nil)
+	syncAppendDone(t, j, reqID(2), wire.CliDone{})
 	if err := j.truncatePrefix(boundary); err != nil {
 		t.Fatal(err)
 	}
 	// The journal stays appendable after the rewrite.
-	if err := j.appendOp(nodeA, reqID(3), true, nil); err != nil {
-		t.Fatal(err)
-	}
+	syncAppendOp(t, j, nodeA, reqID(3), true, nil)
 	j.close()
 
 	// Reopen (as a restart would) and append once more: size must resume
-	// from the on-disk length, not zero.
-	j2, err := openJournal(dir, false)
+	// from the on-disk length, not zero. The reopen uses group commit to
+	// cover the batched path against a compacted file too.
+	j2, err := openJournal(dir, false, 8, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := j2.appendDone(reqID(3), wire.CliDone{Bottom: true}); err != nil {
+	j2.appendDone(reqID(3), wire.CliDone{Bottom: true}, nil)
+	if err := j2.barrier(); err != nil {
 		t.Fatal(err)
 	}
 	j2.close()
@@ -208,5 +420,117 @@ func TestJournalCompact(t *testing.T) {
 	want := []string{"3:0", "1:2", "2:2", "1:3", "2:3"}
 	if fmt.Sprint(got) != fmt.Sprint(want) {
 		t.Fatalf("compacted journal holds %v, want %v", got, want)
+	}
+}
+
+// TestJournalSequenceLease pins the re-issue guard: sequences are only
+// covered below a DURABLE ceiling, extensions are staged ahead of use
+// and become effective once synced, and a reopened journal recovers the
+// ceiling from its records — so a crash can never re-issue a request ID
+// the dead incarnation might already have leaked to a peer.
+func TestJournalSequenceLease(t *testing.T) {
+	dir := t.TempDir()
+	j := openSyncJournal(t, dir, true)
+	if j.coverSeq(1) {
+		t.Fatal("sequence covered before any lease is durable")
+	}
+	// coverSeq staged an extension; in sync mode it is already durable.
+	if !j.coverSeq(1) {
+		t.Fatal("sequence not covered after the lease synced")
+	}
+	if j.coverSeq(leaseSpan + 1) {
+		t.Fatal("sequence beyond the ceiling covered")
+	}
+	j.close()
+
+	// The ceiling survives in the records: a restart must advance the
+	// request counter past it even though no op record exists.
+	recs, err := readJournal(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ceiling uint64
+	for _, r := range recs {
+		if r.Kind == recLease && r.Ceiling > ceiling {
+			ceiling = r.Ceiling
+		}
+	}
+	if ceiling <= leaseSpan {
+		t.Fatalf("recovered ceiling %d, want > %d (the staged extensions)", ceiling, leaseSpan)
+	}
+
+	// Batched mode: initLease (the boot path) must leave a durable
+	// ceiling even while the writer would otherwise sit on the batch.
+	j2, err := openJournal(dir, false, 1<<20, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.close()
+	if err := j2.initLease(ceiling); err != nil {
+		t.Fatal(err)
+	}
+	if !j2.coverSeq(ceiling + 1) {
+		t.Fatal("sequence above the recovered base not covered after initLease")
+	}
+}
+
+// TestLeaseOnlyJournalDoesNotBrickFreshBoot pins the boot-window crash
+// path: initLease writes a journal record BEFORE the base snapshot, so a
+// crash in that window leaves a lease-bearing journal with no snapshot.
+// That state dir must still boot fresh (the no-snapshot refusal guards
+// operation records only) — and must stay above the dead incarnation's
+// ceiling, which bounds every request ID it could have issued.
+func TestLeaseOnlyJournalDoesNotBrickFreshBoot(t *testing.T) {
+	dir := t.TempDir()
+	j := openSyncJournal(t, dir, true)
+	j.stageLease(12345) // sync mode: durable before the call returns
+	j.close()
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Listener: lis, Seed: 7, Index: 0, Members: []string{lis.Addr().String()},
+		StateDir: dir, Tick: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("fresh boot with a lease-only journal refused: %v", err)
+	}
+	defer s.Close()
+	var seq uint64
+	s.peer.DoSync(func() { seq = s.cl.ReqSeq() })
+	if seq < 12345 {
+		t.Fatalf("request counter %d below the old lease ceiling 12345: a request ID could be re-issued", seq)
+	}
+}
+
+// TestJournalDiscardFailsParkedReleases pins the Kill semantics: discard
+// drops the staged batch (nothing more reaches the disk) and fails every
+// parked release instead of flushing it — a simulated crash must lose
+// exactly what a real one would.
+func TestJournalDiscardFailsParkedReleases(t *testing.T) {
+	dir := t.TempDir()
+	j, err := openJournal(dir, true, 1<<20, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := transport.NodeID(3)
+	j.appendOp(node, reqID(1), false, []byte("flushed"), nil)
+	if err := j.barrier(); err != nil {
+		t.Fatal(err)
+	}
+	relErr := make(chan error, 1)
+	j.appendOp(node, reqID(2), false, []byte("staged"), func(err error) { relErr <- err })
+	j.discard()
+	if err := <-relErr; err == nil {
+		t.Fatal("parked release of a discarded record reported success")
+	}
+	recs, err := readJournal(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ReqID != reqID(1) {
+		t.Fatalf("discarded journal holds %d records, want only the flushed op", len(recs))
 	}
 }

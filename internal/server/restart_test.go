@@ -7,12 +7,40 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 	"time"
 
 	"skueue"
 	"skueue/internal/server"
 )
+
+// journalBatchEnv reads the SKUEUE_JOURNAL_BATCH_OPS / _DELAY overrides
+// the CI fault-injection matrix sets to run the restart tests under
+// different group-commit configurations — synchronous per-op fsync
+// (ops=1), the default, and an aggressive batch with an accumulation
+// delay (see .github/workflows/ci.yml). Zero values keep the server
+// defaults.
+func journalBatchEnv(t *testing.T) (int, time.Duration) {
+	t.Helper()
+	ops := 0
+	if v := os.Getenv("SKUEUE_JOURNAL_BATCH_OPS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatalf("SKUEUE_JOURNAL_BATCH_OPS=%q: %v", v, err)
+		}
+		ops = n
+	}
+	var delay time.Duration
+	if v := os.Getenv("SKUEUE_JOURNAL_BATCH_DELAY"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			t.Fatalf("SKUEUE_JOURNAL_BATCH_DELAY=%q: %v", v, err)
+		}
+		delay = d
+	}
+	return ops, delay
+}
 
 // debugLogf returns a prefixed transport logger when SKUEUE_TEST_DEBUG is
 // set, for diagnosing recovery wedges; nil otherwise.
@@ -39,19 +67,22 @@ func startDurableCluster(t *testing.T, members int) ([]*server.Server, []string)
 		lis[i] = l
 		addrs[i] = l.Addr().String()
 	}
+	batchOps, batchDelay := journalBatchEnv(t)
 	srvs := make([]*server.Server, members)
 	dirs := make([]string, members)
 	for i := range srvs {
 		dirs[i] = filepath.Join(base, fmt.Sprintf("m%d", i))
 		s, err := server.New(server.Config{
-			Listener:      lis[i],
-			Seed:          42,
-			Index:         i,
-			Members:       addrs,
-			Tick:          500 * time.Microsecond,
-			StateDir:      dirs[i],
-			SnapshotEvery: 50 * time.Millisecond,
-			Logf:          debugLogf(fmt.Sprintf("[m%d]", i)),
+			Listener:          lis[i],
+			Seed:              42,
+			Index:             i,
+			Members:           addrs,
+			Tick:              500 * time.Microsecond,
+			StateDir:          dirs[i],
+			SnapshotEvery:     50 * time.Millisecond,
+			JournalBatchOps:   batchOps,
+			JournalBatchDelay: batchDelay,
+			Logf:              debugLogf(fmt.Sprintf("[m%d]", i)),
 		})
 		if err != nil {
 			t.Fatalf("server %d: %v", i, err)
@@ -155,13 +186,16 @@ func TestMemberRestartFromSnapshot(t *testing.T) {
 
 	// Restart from the snapshot on a fresh port; the rejoin handshake
 	// through the seed re-broadcasts the new address.
+	batchOps, batchDelay := journalBatchEnv(t)
 	restarted, err := server.New(server.Config{
-		Addr:          "127.0.0.1:0",
-		Join:          srvs[0].Addr(),
-		StateDir:      dirs[victim],
-		SnapshotEvery: 50 * time.Millisecond,
-		Tick:          500 * time.Microsecond,
-		Logf:          debugLogf("[re]"),
+		Addr:              "127.0.0.1:0",
+		Join:              srvs[0].Addr(),
+		StateDir:          dirs[victim],
+		SnapshotEvery:     50 * time.Millisecond,
+		Tick:              500 * time.Microsecond,
+		JournalBatchOps:   batchOps,
+		JournalBatchDelay: batchDelay,
+		Logf:              debugLogf("[re]"),
 	})
 	if err != nil {
 		t.Fatalf("restarting member %d: %v", victim, err)
@@ -242,20 +276,23 @@ func startStackCluster(t *testing.T, members int) ([]*server.Server, []string) {
 		lis[i] = l
 		addrs[i] = l.Addr().String()
 	}
+	batchOps, batchDelay := journalBatchEnv(t)
 	srvs := make([]*server.Server, members)
 	dirs := make([]string, members)
 	for i := range srvs {
 		dirs[i] = filepath.Join(base, fmt.Sprintf("m%d", i))
 		s, err := server.New(server.Config{
-			Listener:      lis[i],
-			Seed:          43,
-			Mode:          "stack",
-			Index:         i,
-			Members:       addrs,
-			Tick:          time.Millisecond,
-			StateDir:      dirs[i],
-			SnapshotEvery: time.Hour,
-			Logf:          debugLogf(fmt.Sprintf("[s%d]", i)),
+			Listener:          lis[i],
+			Seed:              43,
+			Mode:              "stack",
+			Index:             i,
+			Members:           addrs,
+			Tick:              time.Millisecond,
+			StateDir:          dirs[i],
+			SnapshotEvery:     time.Hour,
+			JournalBatchOps:   batchOps,
+			JournalBatchDelay: batchDelay,
+			Logf:              debugLogf(fmt.Sprintf("[s%d]", i)),
 		})
 		if err != nil {
 			t.Fatalf("server %d: %v", i, err)
@@ -418,13 +455,16 @@ hunt:
 	}
 	time.Sleep(300 * time.Millisecond)
 
+	batchOps, batchDelay := journalBatchEnv(t)
 	restarted, err := server.New(server.Config{
-		Addr:          "127.0.0.1:0",
-		Join:          srvs[0].Addr(),
-		StateDir:      dirs[victim],
-		SnapshotEvery: 50 * time.Millisecond,
-		Tick:          time.Millisecond,
-		Logf:          debugLogf("[re]"),
+		Addr:              "127.0.0.1:0",
+		Join:              srvs[0].Addr(),
+		StateDir:          dirs[victim],
+		SnapshotEvery:     50 * time.Millisecond,
+		Tick:              time.Millisecond,
+		JournalBatchOps:   batchOps,
+		JournalBatchDelay: batchDelay,
+		Logf:              debugLogf("[re]"),
 	})
 	if err != nil {
 		t.Fatalf("restarting member %d: %v", victim, err)

@@ -28,7 +28,10 @@
 // Client operations are exactly-once across the crash: every accepted
 // operation is journaled under its durable request ID before any answer
 // can be released (journal.go), and every client-visible completion is
-// journaled before its CliDone frame goes out. A restart finds the
+// journaled before its CliDone frame goes out — with group commit, the
+// frames are parked on the journal's release queue and go out once the
+// fsync coalescing their batch returns, taking the disk entirely off the
+// runner goroutine. A restart finds the
 // snapshot, rebuilds the member with core.RestoreMember under a fresh
 // boot epoch, re-submits the journaled operations the snapshot does not
 // cover — at their original wave boundaries, so the re-executed interval
@@ -109,6 +112,21 @@ type Config struct {
 	// interval.
 	GiveUp time.Duration
 
+	// JournalBatchOps bounds the operation journal's group commit: the
+	// journal writer flushes as soon as this many operations are staged
+	// (and otherwise as soon as it is idle, or when JournalBatchDelay
+	// expires). 0 selects the default (64); 1 disables group commit and
+	// restores the synchronous per-operation fsync on the submission
+	// path.
+	JournalBatchOps int
+	// JournalBatchDelay, when positive, holds a journal batch open this
+	// long to accumulate more operations before the fsync — higher
+	// throughput for up to this much added confirmation latency. 0 (the
+	// default) flushes whenever the journal writer is idle: batches then
+	// form naturally while the previous fsync is in flight, adding no
+	// latency when the disk keeps up.
+	JournalBatchDelay time.Duration
+
 	// Tick is the TIMEOUT cadence of the transport (default 1ms).
 	Tick time.Duration
 	// Logf receives diagnostics; default discards.
@@ -164,9 +182,30 @@ type Server struct {
 	journal *opJournal
 	plan    *replayPlan
 
+	// orphans tracks operations that were injected but whose journal
+	// append failed: the client was answered indeterminate, yet the
+	// operation still completes eventually — resolve logs, counts and
+	// best-effort journals the outcome instead of dropping it silently,
+	// keeping the on-disk trace truthful about what executed (under mu).
+	orphans        map[uint64]bool
+	orphanFailed   int64 // ops whose journal append failed after injection
+	orphanResolved int64 // orphaned ops whose completion later surfaced
+
 	// onEarly catches completions that fire inside an inject call, before
 	// the waiter is registered (stack local combining). Runner-confined.
 	onEarly func(reqID uint64, done wire.CliDone)
+
+	// deferring parks PARTNER completions that resolve inside an inject
+	// call in progress (a parked pop completed by the push being
+	// injected): their done records must not be staged — and can
+	// therefore never sync and release — before the op record of the
+	// operation whose injection produced them, or a crash between the
+	// two batches could make a client-visible outcome durable while the
+	// operation that caused it is lost from the journal. Runner-confined,
+	// like onEarly; submit drains deferredDones right after staging the
+	// op record.
+	deferring     bool
+	deferredDones []deferredDone
 
 	// conns tracks accepted connections so Close can unblock their
 	// handlers (the remote end may outlive us).
@@ -179,6 +218,16 @@ type Server struct {
 type waiter struct {
 	sess *session
 	seq  uint64
+}
+
+// deferredDone is a partner completion parked during an inject call (see
+// Server.deferring): fully resolved, waiting for the injected op's
+// record to enter the batch first.
+type deferredDone struct {
+	sess  *session
+	seq   uint64
+	reqID uint64
+	done  wire.CliDone
 }
 
 // session is one remote client connection; a dedicated writer goroutine
@@ -231,6 +280,7 @@ func New(cfg Config) (*Server, error) {
 		mode:    mode,
 		logf:    cfg.Logf,
 		waiters: make(map[uint64]*waiter),
+		orphans: make(map[uint64]bool),
 		conns:   make(map[net.Conn]struct{}),
 	}
 	var err error
@@ -249,15 +299,18 @@ func New(cfg Config) (*Server, error) {
 			lis.Close()
 			return nil, fmt.Errorf("server: reading operation journal: %w", err)
 		}
-		if disk == nil && len(journalRecs) > 0 {
+		if disk == nil && journalHoldsOps(journalRecs) {
 			// A journal without a snapshot means confirmed operations with
 			// no cut to replay them against. Refusing beats silently
 			// discarding them; the base snapshot taken below closes this
-			// window for every member that starts cleanly.
+			// window for every member that starts cleanly. Lease records
+			// alone do NOT trip this (a crash inside the first boot window
+			// leaves them behind) — their ceilings are recovered below and
+			// the fresh start is otherwise clean.
 			lis.Close()
-			return nil, fmt.Errorf("server: state dir %s holds %d journaled operations but no snapshot; refusing to discard them", cfg.StateDir, len(journalRecs))
+			return nil, fmt.Errorf("server: state dir %s holds %d journaled records including operations but no snapshot; refusing to discard them", cfg.StateDir, len(journalRecs))
 		}
-		if s.journal, err = openJournal(cfg.StateDir, disk == nil); err != nil {
+		if s.journal, err = openJournal(cfg.StateDir, disk == nil, cfg.JournalBatchOps, cfg.JournalBatchDelay); err != nil {
 			lis.Close()
 			return nil, fmt.Errorf("server: opening operation journal: %w", err)
 		}
@@ -269,6 +322,25 @@ func New(cfg Config) (*Server, error) {
 		err = s.startJoining()
 	default:
 		err = s.startBootstrap()
+	}
+	if err == nil && s.journal != nil {
+		// Stay above every lease ceiling the old journal carried even
+		// when there was no snapshot to restore (a crash inside the first
+		// boot window): the dead incarnation may have issued request IDs
+		// up to its durable ceiling, and re-issuing one would collide in
+		// the peers' dedupe rings. startRestore already scanned these;
+		// repeating the scan is idempotent and covers the fresh-boot
+		// paths too.
+		for _, rec := range journalRecs {
+			if rec.Kind == recLease {
+				s.cl.AdvanceReqSeq(rec.Ceiling)
+			}
+		}
+		// A durable sequence lease before any client can submit: request
+		// IDs may only be issued below a ceiling that is already on disk
+		// (journal.go, "The sequence lease"). The runner has not started,
+		// so reading the restored counter directly is safe.
+		err = s.journal.initLease(s.cl.ReqSeq())
 	}
 	if err != nil {
 		if s.journal != nil {
@@ -386,7 +458,14 @@ func (s *Server) shutdown(graceful bool) {
 	}
 	s.wg.Wait()
 	if s.journal != nil {
-		s.journal.close()
+		if graceful {
+			s.journal.close()
+		} else {
+			// A simulated crash must lose what a real one would: staged
+			// records whose group commit never synced are dropped, not
+			// flushed on the way out.
+			s.journal.discard()
+		}
 	}
 }
 
@@ -630,12 +709,19 @@ func (s *Server) startRestore(disk *diskSnapshot, journalRecs []journalRecord) e
 	// Skip the request counter past EVERY journaled identity first —
 	// including operations held back for their wave boundaries — so a
 	// client submitting before the held groups drain can never be issued
-	// a request ID a journaled operation still owns.
+	// a request ID a journaled operation still owns. The lease ceilings
+	// (journal records and the snapshot's capture) go further: past every
+	// sequence the crashed incarnation could have issued at all, durable
+	// record or not.
 	for _, rec := range journalRecs {
-		if rec.Kind == recOp {
+		switch rec.Kind {
+		case recOp:
 			s.cl.AdvanceReqSeq(core.ReqIDSeq(rec.ReqID))
+		case recLease:
+			s.cl.AdvanceReqSeq(rec.Ceiling)
 		}
 	}
+	s.cl.AdvanceReqSeq(disk.SeqCeiling)
 	for _, rec := range s.plan.immediate {
 		s.cl.Resubmit(rec.Node, rec.ReqID, rec.IsDeq, rec.Value)
 	}
@@ -678,6 +764,11 @@ type diskSnapshot struct {
 	Member          *core.MemberSnapshot
 	Peer            *tcp.PeerState
 	Book            []wire.MemberInfo
+	// SeqCeiling is the journal's pending sequence-lease ceiling at the
+	// capture: a restart must advance the request counter past it even if
+	// compaction dropped the lease records themselves (see journal.go,
+	// "The sequence lease"). Zero in pre-lease snapshots.
+	SeqCeiling uint64
 }
 
 const snapshotFile = "snapshot.gob"
@@ -776,6 +867,7 @@ func (s *Server) SnapshotNow() error {
 	var snap *core.MemberSnapshot
 	var ps *tcp.PeerState
 	var journalOff int64
+	var seqCeiling uint64
 	var err error
 	s.peer.DoSync(func() {
 		snap, err = s.cl.SnapshotMember()
@@ -784,9 +876,11 @@ func (s *Server) SnapshotNow() error {
 		}
 		ps = s.peer.CaptureState()
 		if s.journal != nil {
-			// The journal length at the cut: every record before it is
-			// covered by this snapshot (appends run on this goroutine).
+			// The logical journal length at the cut: every record before
+			// it — including records still staged for group commit — is
+			// covered by this snapshot (staging runs on this goroutine).
 			journalOff = s.journal.offset()
+			seqCeiling = s.journal.leaseCeiling()
 		}
 	})
 	if err != nil {
@@ -819,6 +913,7 @@ func (s *Server) SnapshotNow() error {
 		Member:          snap,
 		Peer:            ps,
 		Book:            s.peer.Book(),
+		SeqCeiling:      seqCeiling,
 	}
 	if err := writeSnapshot(s.cfg.StateDir, disk); err != nil {
 		return err
@@ -922,10 +1017,16 @@ func (s *Server) wireCallbacks() {
 
 // resolve completes the waiter for reqID, if any, filling session
 // bookkeeping into the prepared response; with a state directory the
-// outcome is journaled — durably — before the CliDone frame is released,
-// so a confirmed result survives a crash of this member. Completions with
-// no waiter yet fall through to the early hook of an inject call in
-// progress. Runs on the runner goroutine.
+// outcome is journaled — durably — before the CliDone frame is released:
+// the frame is parked on the journal's release queue and goes out on the
+// journal writer goroutine once the fsync covering the outcome record
+// returns, so a confirmed result always survives a crash of this member.
+// Divergence auditing stays here on the runner: outcomes journaled by the
+// crashed incarnation were released only after their sync, so anything in
+// plan.outcomes was client-visible and must be reproduced. Completions
+// with no waiter belong to an orphaned operation (its op record never
+// became durable — see journalOpFailed) or fall through to the early hook
+// of an inject call in progress. Runs on the runner goroutine.
 func (s *Server) resolve(reqID uint64, done wire.CliDone) {
 	done.ReqID = reqID
 	if s.plan != nil {
@@ -947,28 +1048,102 @@ func (s *Server) resolve(reqID uint64, done wire.CliDone) {
 	if ok {
 		delete(s.waiters, reqID)
 	}
+	orphan := false
+	if !ok && s.orphans[reqID] {
+		delete(s.orphans, reqID)
+		s.orphanResolved++
+		orphan = true
+	}
 	s.mu.Unlock()
 	if ok {
 		done.Seq = w.seq
 		if s.journal != nil {
-			if err := s.journal.appendDone(reqID, done); err != nil {
-				// The durable-before-release contract is broken: confirming
-				// now could hand the client a success the restarted member
-				// would not remember. Report the operation as indeterminate
-				// instead — honest, and exactly-once-safe either way.
-				s.logf("server[%d]: journaling completion of op %d: %v", s.peer.Me().Index, reqID, err)
-				done = wire.CliDone{
-					Seq: w.seq, ReqID: reqID,
-					Err: fmt.Sprintf("operation outcome could not be journaled: %v", err),
-				}
+			if s.deferring {
+				// Inside an inject call: park until the injected op's
+				// record is staged ahead of this outcome.
+				s.deferredDones = append(s.deferredDones, deferredDone{w.sess, w.seq, reqID, done})
+				return
 			}
+			s.journal.appendDone(reqID, done, s.releaseDone(w.sess, w.seq, reqID, done))
+			return
 		}
 		w.sess.send(done)
+		return
+	}
+	if orphan {
+		// The op record never became durable and the client was already
+		// answered indeterminate, but the operation executed anyway: log
+		// and count it, and journal the outcome best-effort, so the
+		// divergence audit and SnapshotInfo stay truthful about what was
+		// actually in flight.
+		s.logf("server[%d]: orphaned op %d completed after its journal append failed (bottom=%v value=%dB err=%q)",
+			s.peer.Me().Index, reqID, done.Bottom, len(done.Value), done.Err)
+		if s.journal != nil {
+			s.journal.appendDone(reqID, done, nil)
+		}
 		return
 	}
 	if s.onEarly != nil {
 		s.onEarly(reqID, done)
 	}
+}
+
+// releaseDone builds the parked release of one journaled outcome: on a
+// clean sync the prepared CliDone goes out, on a journal failure the
+// client gets an indeterminate error instead — confirming an outcome the
+// restarted member would not remember is the one forbidden move. Runs on
+// the journal writer goroutine (inline on the runner with group commit
+// disabled).
+func (s *Server) releaseDone(sess *session, seq, reqID uint64, done wire.CliDone) journalRelease {
+	return func(err error) {
+		if err != nil {
+			s.logf("server[%d]: journaling completion of op %d: %v", s.peer.Me().Index, reqID, err)
+			done = wire.CliDone{
+				Seq: seq, ReqID: reqID,
+				Err: fmt.Sprintf("operation outcome could not be journaled: %v", err),
+			}
+		}
+		sess.send(done)
+	}
+}
+
+// journalOpFailed handles a failed op-record append AFTER the operation
+// was injected: the waiter, if still registered, is answered with an
+// indeterminate error, and the request ID is remembered as an orphan so
+// the completion that eventually surfaces at resolve is logged, counted
+// and best-effort journaled rather than silently dropped. If the waiter
+// is already gone the outcome path owns the answer (its parked release
+// reports the same journal failure) and nothing is owed here. Runs on the
+// journal writer goroutine (inline on the runner with group commit
+// disabled).
+func (s *Server) journalOpFailed(reqID uint64, err error) {
+	s.mu.Lock()
+	w, ok := s.waiters[reqID]
+	if ok {
+		delete(s.waiters, reqID)
+		s.orphans[reqID] = true
+		s.orphanFailed++
+	}
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	s.logf("server[%d]: journaling op %d: %v", s.peer.Me().Index, reqID, err)
+	w.sess.send(wire.CliDone{
+		Seq: w.seq, ReqID: reqID,
+		Err: fmt.Sprintf("operation could not be journaled: %v", err),
+	})
+}
+
+// OrphanInfo reports how many operations were injected but never
+// journaled (their clients were answered indeterminate), and how many of
+// those later completed anyway. Non-zero numbers mean the journal failed
+// at some point; the completions were logged and counted rather than
+// silently dropped.
+func (s *Server) OrphanInfo() (failed, resolved int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.orphanFailed, s.orphanResolved
 }
 
 // pickClient returns the local node to inject the next request at,
@@ -1104,12 +1279,15 @@ func (s *Server) serveClient(conn *wire.Conn) {
 // and answers from the stash. The runner goroutine serializes the whole
 // window, so it cannot interleave with other requests.
 //
-// With a state directory, the operation is journaled under its durable
-// request ID before any CliDone for it can be released — including the
-// synchronous combined-pair completion, which is stashed until after the
-// journal append. A crash after the append re-submits the operation on
-// restart; a crash before it loses an operation no client was ever
-// answered for.
+// With a state directory, the operation's journal record is STAGED under
+// its durable request ID before submit returns — the group-commit writer
+// makes it durable off the runner — and every CliDone for it is parked on
+// the journal's release queue behind its own outcome record, so nothing
+// client-visible escapes before the covering fsync (journal.go). The
+// combined-pair answer produced inside the inject call takes the same
+// parked path. A crash after the op record synced re-submits the
+// operation on restart; a crash before it loses an operation no client
+// was ever answered for.
 func (s *Server) submit(sess *session, seq uint64, enq bool, value []byte) {
 	s.peer.Do(func() {
 		node, err := s.pickClient()
@@ -1117,8 +1295,23 @@ func (s *Server) submit(sess *session, seq uint64, enq bool, value []byte) {
 			sess.send(wire.CliDone{Seq: seq, Err: err.Error()})
 			return
 		}
+		if s.journal != nil && !s.journal.coverSeq(s.cl.ReqSeq()+1) {
+			// The next request ID is not covered by a durable lease
+			// ceiling: issuing it could let a crash re-issue the same ID,
+			// which peer dedupe would then swallow. Refuse BEFORE
+			// injection — the operation never exists, so the client can
+			// simply retry. Only reachable when the journal failed or
+			// cannot sync a lease extension within half a span of
+			// operations.
+			sess.send(wire.CliDone{
+				Seq: seq,
+				Err: "operation refused: journal sequence lease is not durable; retry",
+			})
+			return
+		}
 		early := make(map[uint64]wire.CliDone, 1)
 		s.onEarly = func(reqID uint64, done wire.CliDone) { early[reqID] = done }
+		s.deferring = s.journal != nil
 		var reqID uint64
 		if enq {
 			reqID = s.cl.EnqueueBlob(node, value)
@@ -1126,38 +1319,56 @@ func (s *Server) submit(sess *session, seq uint64, enq bool, value []byte) {
 			reqID = s.cl.Dequeue(node)
 		}
 		s.onEarly = nil
-		if s.journal != nil {
-			if err := s.journal.appendOp(node, reqID, !enq, value); err != nil {
-				// The operation is injected but not durable: a crash would
-				// forget it. Answer with an error (indeterminate) rather
-				// than ever confirming an unjournaled operation.
-				s.logf("server[%d]: journaling op %d: %v", s.peer.Me().Index, reqID, err)
-				sess.send(wire.CliDone{
-					Seq: seq, ReqID: reqID,
-					Err: fmt.Sprintf("operation could not be journaled: %v", err),
-				})
+		s.deferring = false
+		if s.journal == nil {
+			if done, ok := early[reqID]; ok {
+				done.Seq = seq
+				done.ReqID = reqID
+				sess.send(done)
 				return
 			}
-		}
-		if done, ok := early[reqID]; ok {
-			done.Seq = seq
-			done.ReqID = reqID
-			if s.journal != nil {
-				if err := s.journal.appendDone(reqID, done); err != nil {
-					s.logf("server[%d]: journaling completion of op %d: %v", s.peer.Me().Index, reqID, err)
-					done = wire.CliDone{
-						Seq: seq, ReqID: reqID,
-						Err: fmt.Sprintf("operation outcome could not be journaled: %v", err),
-					}
-				}
-			}
-			sess.send(done)
+			s.mu.Lock()
+			s.waiters[reqID] = &waiter{sess: sess, seq: seq}
+			s.mu.Unlock()
 			return
 		}
+		if done, ok := early[reqID]; ok {
+			// Combined pair answered inside the inject call: stage the op
+			// record, then the outcome record, and park the frame behind
+			// the latter. A journal failure answers indeterminate through
+			// the parked release, so the op record needs no release of
+			// its own.
+			done.Seq = seq
+			done.ReqID = reqID
+			s.journal.appendOp(node, reqID, !enq, value, nil)
+			s.journal.appendDone(reqID, done, s.releaseDone(sess, seq, reqID, done))
+			s.flushDeferred()
+			return
+		}
+		// Waiter before op record: the record's release can fire on the
+		// journal writer as soon as it is staged, and a failed append
+		// must find the waiter to answer it.
 		s.mu.Lock()
 		s.waiters[reqID] = &waiter{sess: sess, seq: seq}
 		s.mu.Unlock()
+		s.journal.appendOp(node, reqID, !enq, value, func(err error) {
+			if err != nil {
+				s.journalOpFailed(reqID, err)
+			}
+		})
+		s.flushDeferred()
 	})
+}
+
+// flushDeferred stages the partner completions parked during the inject
+// call, now that the injected operation's own record precedes them in
+// the batch: if any of these outcomes ever syncs and releases, the op
+// that produced it is durable too. Runner goroutine.
+func (s *Server) flushDeferred() {
+	for _, d := range s.deferredDones {
+		s.journal.appendDone(d.reqID, d.done, s.releaseDone(d.sess, d.seq, d.reqID, d.done))
+	}
+	s.deferredDones = s.deferredDones[:0]
 }
 
 // dropSessionWaiters forgets the in-flight operations of a finished

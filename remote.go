@@ -61,14 +61,27 @@ func dialRemote(addr string) (*remoteClient, error) {
 }
 
 // reader dispatches completion frames to futures until the connection
-// closes, then fails the client so blocked calls return.
+// closes, then drains every pending future with the connection error and
+// fails the client so blocked calls return. The drain matters for
+// callers polling Done()/Completed() instead of Wait: without it a
+// dropped server connection left their futures pending forever — Done
+// never fired, Completed stayed false, and Err lied nil.
 func (r *remoteClient) reader() {
 	for {
 		v, err := r.conn.Read()
 		if err != nil {
 			r.mu.Lock()
 			r.readErr = err
+			pending := r.pending
+			r.pending = make(map[uint64]*Future)
 			r.mu.Unlock()
+			for _, f := range pending {
+				// The operation may or may not have executed server-side:
+				// indeterminate, reported as a remote failure so callers
+				// can dispatch on ErrRemote.
+				f.err = fmt.Errorf("skueue: server connection lost: %v: %w", err, ErrRemote)
+				close(f.done)
+			}
 			r.c.failRemote()
 			return
 		}

@@ -1,0 +1,74 @@
+package skueue
+
+// Regression tests for the remote-client failure paths. They speak the
+// wire protocol directly through a minimal fake server, so they can drop
+// the connection at exact protocol points no real cluster member would.
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"skueue/internal/wire"
+)
+
+// TestRemoteFutureFailsOnDisconnect pins the in-flight-future contract of
+// a dropped server connection: every pending future must complete — Done
+// fires, Completed turns true — with a non-nil Err wrapping ErrRemote.
+// The fake server completes the handshake, reads the submitted operation,
+// and kills the connection without ever answering; before the fix the
+// future hung forever (failRemote closed the client but never drained the
+// pending map).
+func TestRemoteFutureFailsOnDisconnect(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		nc, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		conn := wire.NewConn(nc)
+		defer conn.Close()
+		if _, err := conn.Read(); err != nil { // Hello
+			return
+		}
+		if err := conn.Write(wire.HelloAck{Mode: "queue"}); err != nil {
+			return
+		}
+		conn.Read() // the CliEnqueue — swallow it, answer nothing, hang up
+	}()
+
+	c, err := Open(WithRemote(lis.Addr().String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	f, err := c.EnqueueAsync(AnyProcess, "lost")
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	select {
+	case <-f.Done():
+	case <-time.After(15 * time.Second):
+		t.Fatal("Done() never fired after the server connection dropped")
+	}
+	if !f.Completed() {
+		t.Fatal("Completed() false after Done() fired")
+	}
+	werr := f.Err()
+	if werr == nil {
+		t.Fatal("Err() nil for an operation whose connection died: the outcome is indeterminate, not a success")
+	}
+	if !errors.Is(werr, ErrRemote) {
+		t.Fatalf("Err() = %v, want it to wrap ErrRemote", werr)
+	}
+	// The client is failed: further submissions report the dead
+	// connection instead of queueing into the void.
+	if _, err := c.EnqueueAsync(AnyProcess, "after"); err == nil {
+		t.Fatal("submitting on a failed remote client succeeded")
+	}
+}
