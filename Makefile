@@ -1,0 +1,31 @@
+# Developer entry points. CI runs the same commands (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build test lint lint-invariants fmt vet
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# lint runs everything that gates a merge locally: formatting, vet, and the
+# repo-specific invariant analyzers (see DESIGN.md, "Enforced invariants").
+# staticcheck/govulncheck need network access to install, so CI owns those.
+lint: fmt vet lint-invariants
+
+lint-invariants:
+	$(GO) run ./cmd/skueue-lint ./...
+	$(GO) test ./internal/analysis/...
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...

@@ -252,6 +252,8 @@ func (c *Client) submit(kind seqcheck.Kind, proc int, value any) (*Future, error
 // block completes a submitted future: under the autopilot it waits; under
 // the manual clock it pumps the engine inline on the calling goroutine
 // (which keeps single-threaded use fully deterministic).
+//
+//skueue:awaits-future
 func (c *Client) block(ctx context.Context, f *Future) error {
 	if c.manual {
 		return c.pumpUntil(ctx, f.done)

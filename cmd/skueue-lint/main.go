@@ -1,0 +1,82 @@
+// Command skueue-lint runs the repo's invariant analyzers (package
+// skueue/internal/analysis) over the module and exits non-zero if any
+// invariant is violated.
+//
+// Usage:
+//
+//	go run ./cmd/skueue-lint [-list] [-only name,name] [packages]
+//
+// Packages default to ./... relative to the current directory. Findings
+// are suppressed line-by-line with a justified comment:
+//
+//	//skueue:ignore <analyzer>[,<analyzer>] -- reason
+//
+// The standalone driver replaces the usual `go vet -vettool` entry
+// point, which requires golang.org/x/tools' unitchecker; this build is
+// self-contained so the suite works in offline environments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"skueue/internal/analysis"
+	"skueue/internal/analysis/all"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range all.Analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all.Analyzers
+	if *only != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		analyzers = nil
+		for _, a := range all.Analyzers {
+			if want[a.Name] {
+				analyzers = append(analyzers, a)
+				delete(want, a.Name)
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "skueue-lint: unknown analyzer %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skueue-lint:", err)
+		os.Exit(2)
+	}
+	prog, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skueue-lint:", err)
+		os.Exit(2)
+	}
+	diags := analysis.Run(prog, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "skueue-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

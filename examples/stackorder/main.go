@@ -48,6 +48,9 @@ func main() {
 		if ok, err := c.Drain(50_000); err != nil || !ok {
 			log.Fatalf("pop did not finish (err=%v)", err)
 		}
+		if !f.Completed() {
+			log.Fatal("pop future not completed after drain")
+		}
 		fmt.Printf("  pop -> %v\n", f.Value())
 	}
 

@@ -11,7 +11,10 @@ import (
 // in WithManualClock mode. All methods are safe for concurrent use.
 //
 // The result accessors (Value, Empty, Rounds) return their zero values
-// until the future completes; synchronize on Done or Wait first.
+// until the future completes; synchronize on Done or Wait first
+// (enforced by internal/analysis/futureerr).
+//
+//skueue:future
 type Future struct {
 	c    *Client
 	id   uint64

@@ -1,0 +1,186 @@
+// Package atest is the golden-file test harness for the analyzers, in
+// the spirit of golang.org/x/tools/go/analysis/analysistest (which the
+// offline build cannot depend on).
+//
+// A test points it at testdata/src/<pkg> directories; every line that
+// should produce a diagnostic carries a trailing
+//
+//	// want "regexp"
+//
+// comment (several quoted patterns for several diagnostics). The
+// harness type-checks the packages, runs the analyzer, and fails the
+// test for every unmatched expectation and every unexpected diagnostic.
+// Expectations match against "[analyzer] message", so a pattern can pin
+// the analyzer name as well as the text.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"skueue/internal/analysis"
+)
+
+// Run loads testdata/src/<pkg> for each named package (listed in
+// dependency order if they import each other), runs the analyzer over
+// the resulting program, and checks diagnostics against want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	prog, err := load(testdata, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, prog, analysis.Run(prog, []*analysis.Analyzer{a}))
+}
+
+// testImporter resolves testdata packages by their directory name and
+// everything else from the standard library source importer.
+type testImporter struct {
+	done map[string]*analysis.Package
+	std  types.ImporterFrom
+}
+
+func (m *testImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.done[path]; ok {
+		return pkg.Types, nil
+	}
+	return m.std.ImportFrom(path, "", 0)
+}
+
+func load(testdata string, pkgs []string) (*analysis.Program, error) {
+	fset := token.NewFileSet()
+	imp := &testImporter{done: make(map[string]*analysis.Package), std: analysis.NewStdImporter(fset)}
+	var order []*analysis.Package
+	for _, name := range pkgs {
+		dir := filepath.Join(testdata, "src", name)
+		matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			return nil, err
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("no Go files in %s", dir)
+		}
+		var files []*ast.File
+		for _, m := range matches {
+			f, err := parser.ParseFile(fset, m, nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		tpkg, info, err := analysis.CheckFiles(fset, imp, name, files)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking testdata package %s: %w", name, err)
+		}
+		pkg := &analysis.Package{Path: name, Dir: dir, Types: tpkg, Info: info, Files: files}
+		imp.done[name] = pkg
+		order = append(order, pkg)
+	}
+	return analysis.NewProgram(fset, order), nil
+}
+
+// expectation is one `// want "re"` pattern with its location.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func expectations(prog *analysis.Program) ([]*expectation, error) {
+	var wants []*expectation
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					rest := strings.TrimSpace(m[1])
+					for rest != "" {
+						if rest[0] != '"' && rest[0] != '`' {
+							return nil, fmt.Errorf("%s: malformed want comment: %s", pos, c.Text)
+						}
+						q, err := quotedPrefix(rest)
+						if err != nil {
+							return nil, fmt.Errorf("%s: malformed want comment: %s", pos, c.Text)
+						}
+						pattern, err := strconv.Unquote(q)
+						if err != nil {
+							return nil, fmt.Errorf("%s: malformed want pattern %s", pos, q)
+						}
+						re, err := regexp.Compile(pattern)
+						if err != nil {
+							return nil, fmt.Errorf("%s: bad want regexp: %v", pos, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+						rest = strings.TrimSpace(rest[len(q):])
+					}
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// quotedPrefix extracts one leading Go string literal — double-quoted
+// (with escapes) or backquoted (raw, the friendly form for regexes).
+func quotedPrefix(s string) (string, error) {
+	if s[0] == '`' {
+		if i := strings.IndexByte(s[1:], '`'); i >= 0 {
+			return s[:i+2], nil
+		}
+		return "", fmt.Errorf("unterminated raw quote")
+	}
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return s[:i+1], nil
+		}
+	}
+	return "", fmt.Errorf("unterminated quote")
+}
+
+func check(t *testing.T, prog *analysis.Program, got []analysis.Diagnostic) {
+	t.Helper()
+	wants, err := expectations(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range got {
+		text := fmt.Sprintf("[%s] %s", d.Analyzer, d.Message)
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(text) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s: %s", d.Pos, text)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Package analysis is a small, self-contained static-analysis framework
+// in the spirit of golang.org/x/tools/go/analysis, built only on the
+// standard library's go/ast and go/types (the x/tools module is not a
+// dependency of this repo, and the build environment is offline — see
+// the loader in load.go for how packages are type-checked without it).
+//
+// It exists to mechanically enforce the repo's load-bearing concurrency
+// and durability invariants — rules that previously lived only in
+// DESIGN.md prose and code review:
+//
+//   - runnerblock: code reachable from the transport runner hot path must
+//     never block (no fsync, no time.Sleep, no dial, no unguarded channel
+//     send). PR 5's fsync-on-the-runner bug is the motivating regression.
+//   - lockorder: mutexes nest only along the declared lock hierarchy, and
+//     ranked locks are not held across blocking channel operations or
+//     blocking I/O (unless the lock is declared an I/O guard).
+//   - releaseorder: a client-visible outcome (wire.CliDone carrying a
+//     result) is released to a session only through the journal's parked
+//     releases — after the covering fsync — or under an explicit
+//     journal-disabled guard (PR 4/5's journaled-before-release contract).
+//   - wirereg: every concrete type that crosses the wire inside an
+//     interface-typed payload is registered with the wire codec, so the
+//     "gob: name not registered" class of drift fails in CI instead of at
+//     runtime.
+//   - futureerr: results of a Future are only read after synchronizing on
+//     its completion, and Wait errors are not discarded (the remote-future
+//     hang class fixed ad hoc in PR 5).
+//
+// # Declaring invariants in source
+//
+// Analyzers are driven by machine-readable marker comments placed on the
+// declarations they concern, so the rules live next to the code they
+// protect and testdata packages can declare their own:
+//
+//	//skueue:runner                  — func: root of the runner hot path
+//	//skueue:runs-on-runner          — func: func-literal args run on the runner
+//	//skueue:nonblocking -- reason   — func: trusted not to block (pruned)
+//	//skueue:blocking -- reason      — func: blocks by design; calling it
+//	                                   from the hot path is a violation
+//	//skueue:lock <rank> [io]        — mutex field: hierarchy rank; "io"
+//	                                   permits blocking I/O while held
+//	//skueue:client-release          — func: hands frames to a client session
+//	//skueue:client-outcome          — type: the client completion frame
+//	//skueue:journaled-release       — func: runs after the covering fsync
+//	//skueue:wire-payload            — func: last arg crosses the wire
+//	//skueue:wire-register           — func: registers a wire type
+//	//skueue:future                  — type: a future with Value/Err/Done
+//	//skueue:awaits-future           — func: synchronizes a future argument
+//
+// A finding is silenced with a justified suppression on (or on the line
+// above) the offending line:
+//
+//	//skueue:ignore <analyzer>[,<analyzer>] -- reason
+//
+// The reason is mandatory; an ignore without one is itself reported.
+package analysis

@@ -1,0 +1,124 @@
+// Package futureerr catches unsynchronized reads of future results.
+//
+// Reading a //skueue:future's result accessors (Value, Empty, Rounds)
+// before the future completes returns zero values and, worse, hides the
+// error a failed operation carried — the remote-future hang class fixed
+// ad hoc in PR 5. Within each function body, a read of a future's
+// result is accepted only if the same receiver expression was
+// synchronized lexically earlier: a call to one of its completion
+// methods (Wait, Err, Completed, Done), or being passed to a
+// //skueue:awaits-future function. A Wait whose error result is
+// discarded (expression statement) is reported too.
+package futureerr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"skueue/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "futureerr",
+	Doc:  "future results are read only after synchronizing on completion, and Wait errors are not discarded",
+	Run:  run,
+}
+
+var readMethods = map[string]bool{"Value": true, "Empty": true, "Rounds": true}
+var syncMethods = map[string]bool{"Wait": true, "Err": true, "Completed": true, "Done": true}
+
+func run(pass *analysis.Pass) {
+	for _, pkg := range pass.Prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkBody(pass, pkg, fd.Body)
+			}
+		}
+	}
+}
+
+type access struct {
+	recv string // rendered receiver expression
+	pos  token.Pos
+	name string // method called
+}
+
+// checkBody collects future accesses across one function body (nested
+// literals included: a closure over the same variable shares the
+// receiver expression) and validates reads against earlier syncs.
+func checkBody(pass *analysis.Pass, pkg *analysis.Package, body *ast.BlockStmt) {
+	var reads, syncs []access
+	discard := make(map[*ast.CallExpr]bool)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if es, ok := n.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				discard[call] = true
+			}
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Futures handed to an awaiting helper are synchronized by it.
+		if callee := analysis.Callee(pkg.Info, call); callee != nil && pass.Ann.Func(callee, "awaits-future") != nil {
+			for _, arg := range call.Args {
+				if isFuture(pass, pkg.Info, arg) {
+					syncs = append(syncs, access{recv: types.ExprString(arg), pos: call.Pos()})
+				}
+			}
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !isFuture(pass, pkg.Info, sel.X) {
+			return true
+		}
+		a := access{recv: types.ExprString(sel.X), pos: call.Pos(), name: sel.Sel.Name}
+		switch {
+		case syncMethods[a.name]:
+			if a.name == "Wait" && discard[call] {
+				pass.Reportf(call.Pos(), "%s.Wait error discarded; a failed operation would go unnoticed", a.recv)
+			}
+			syncs = append(syncs, a)
+		case readMethods[a.name]:
+			reads = append(reads, a)
+		}
+		return true
+	})
+
+	for _, r := range reads {
+		ok := false
+		for _, s := range syncs {
+			if s.recv == r.recv && s.pos < r.pos {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			pass.Reportf(r.pos, "%s.%s read before synchronizing on completion; check Wait/Err/Completed (or Done) first", r.recv, r.name)
+		}
+	}
+}
+
+// isFuture reports whether the expression's static type is (a pointer
+// to) a //skueue:future type.
+func isFuture(pass *analysis.Pass, info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return pass.Ann.Type(named.Obj(), "future") != nil
+}

@@ -1,0 +1,12 @@
+package futureerr_test
+
+import (
+	"testing"
+
+	"skueue/internal/analysis/atest"
+	"skueue/internal/analysis/futureerr"
+)
+
+func TestFutureerr(t *testing.T) {
+	atest.Run(t, "testdata", futureerr.Analyzer, "fut")
+}

@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked module package: its syntax trees and the
+// full go/types information analyzers need.
+type Package struct {
+	Path  string
+	Dir   string
+	Types *types.Package
+	Info  *types.Info
+	Files []*ast.File
+}
+
+// Program is the unit analyzers run over: every matched module package,
+// type-checked, in dependency order, plus the annotation index built from
+// their comments. Analyzers see the whole program at once, so
+// cross-package rules (the runner call graph, the wire registration set)
+// need no fact plumbing.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+	Ann  *Annotations
+
+	byPath map[string]*Package
+}
+
+// Package returns the loaded package with the given import path, or nil.
+func (p *Program) Package(path string) *Package { return p.byPath[path] }
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+}
+
+// forcePureGo makes both `go list` and the source importer see a cgo-free
+// build: with cgo on, packages like net split declarations into cgo files
+// that go/types cannot check from source. The repo itself uses no cgo, so
+// the pure-Go view is faithful.
+var forcePureGo = sync.OnceFunc(func() { build.Default.CgoEnabled = false })
+
+// goList runs `go list -json` for the patterns in dir and decodes the
+// package stream.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-json", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0", "GOWORK=off")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// moduleImporter resolves imports during type checking: module packages
+// come from the Program being built, everything else (the standard
+// library) from the stdlib source importer, which type-checks GOROOT
+// sources on demand — no export data, no network, no x/tools.
+type moduleImporter struct {
+	done map[string]*types.Package
+	std  types.ImporterFrom
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *moduleImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok := m.done[path]; ok {
+		return pkg, nil
+	}
+	return m.std.ImportFrom(path, srcDir, mode)
+}
+
+// NewProgram assembles a Program from already type-checked packages
+// (dependency order) and builds its annotation index. The golden-test
+// loader uses it to construct programs from testdata trees.
+func NewProgram(fset *token.FileSet, pkgs []*Package) *Program {
+	prog := &Program{Fset: fset, Pkgs: pkgs, byPath: make(map[string]*Package)}
+	for _, pkg := range pkgs {
+		prog.byPath[pkg.Path] = pkg
+	}
+	prog.Ann = buildAnnotations(prog)
+	return prog
+}
+
+// Load lists patterns in dir, parses and type-checks every matched module
+// package (production files only; _test.go files are not part of the
+// checked invariant surface), and returns the Program with its annotation
+// index built.
+func Load(dir string, patterns ...string) (*Program, error) {
+	forcePureGo()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	inModule := make(map[string]*listedPackage)
+	for _, lp := range listed {
+		if !lp.Standard {
+			inModule[lp.ImportPath] = lp
+		}
+	}
+	// Dependency order: imports within the module first. The import graph
+	// is acyclic (the compiler enforces it), so a simple DFS suffices.
+	var order []*listedPackage
+	state := make(map[string]int) // 0 new, 1 visiting, 2 done
+	var visit func(lp *listedPackage) error
+	visit = func(lp *listedPackage) error {
+		switch state[lp.ImportPath] {
+		case 2:
+			return nil
+		case 1:
+			return fmt.Errorf("import cycle through %s", lp.ImportPath)
+		}
+		state[lp.ImportPath] = 1
+		for _, imp := range lp.Imports {
+			if dep, ok := inModule[imp]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[lp.ImportPath] = 2
+		order = append(order, lp)
+		return nil
+	}
+	// Deterministic traversal order for deterministic diagnostics.
+	paths := make([]string, 0, len(inModule))
+	for path := range inModule {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if err := visit(inModule[path]); err != nil {
+			return nil, err
+		}
+	}
+
+	fset := token.NewFileSet()
+	prog := &Program{Fset: fset, byPath: make(map[string]*Package)}
+	imp := &moduleImporter{
+		done: make(map[string]*types.Package),
+		std:  importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+	for _, lp := range order {
+		pkg, err := checkPackage(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		imp.done[lp.ImportPath] = pkg.Types
+		prog.Pkgs = append(prog.Pkgs, pkg)
+		prog.byPath[lp.ImportPath] = pkg
+	}
+	prog.Ann = buildAnnotations(prog)
+	return prog, nil
+}
+
+func checkPackage(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Package, error) {
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg, info, err := CheckFiles(fset, imp, lp.ImportPath, files)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", lp.ImportPath, err)
+	}
+	return &Package{Path: lp.ImportPath, Dir: lp.Dir, Types: pkg, Info: info, Files: files}, nil
+}
+
+// CheckFiles type-checks one package's parsed files with a fresh
+// types.Info holding everything the analyzers consume. It is exported for
+// the golden-test loader (internal/analysis/atest), which builds programs
+// from testdata trees instead of `go list`.
+func CheckFiles(fset *token.FileSet, imp types.Importer, path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// NewStdImporter returns an importer for standard-library packages that
+// type-checks GOROOT sources (shared with the testdata loader).
+func NewStdImporter(fset *token.FileSet) types.ImporterFrom {
+	forcePureGo()
+	return importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+}

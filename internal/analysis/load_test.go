@@ -1,0 +1,30 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadRepo type-checks the whole module through the loader: the
+// analyzers are only as good as the program view this builds.
+func TestLoadRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the full module from source")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Pkgs) < 5 {
+		t.Fatalf("loaded %d packages, want the full module", len(prog.Pkgs))
+	}
+	for _, want := range []string{"skueue", "skueue/internal/server", "skueue/internal/transport/tcp", "skueue/internal/wire"} {
+		if prog.Package(want) == nil {
+			t.Errorf("package %s not loaded", want)
+		}
+	}
+}

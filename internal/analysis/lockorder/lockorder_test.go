@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"skueue/internal/analysis/atest"
+	"skueue/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	atest.Run(t, "testdata", lockorder.Analyzer, "locks")
+}

@@ -1,0 +1,12 @@
+package releaseorder_test
+
+import (
+	"testing"
+
+	"skueue/internal/analysis/atest"
+	"skueue/internal/analysis/releaseorder"
+)
+
+func TestReleaseorder(t *testing.T) {
+	atest.Run(t, "testdata", releaseorder.Analyzer, "rel")
+}

@@ -1,0 +1,12 @@
+package runnerblock_test
+
+import (
+	"testing"
+
+	"skueue/internal/analysis/atest"
+	"skueue/internal/analysis/runnerblock"
+)
+
+func TestRunnerblock(t *testing.T) {
+	atest.Run(t, "testdata", runnerblock.Analyzer, "runner")
+}

@@ -1,0 +1,40 @@
+package runner
+
+import "os"
+
+// Interface dispatch from a runner root must reach every in-module
+// implementation.
+
+type handler interface {
+	OnMsg()
+}
+
+type syncingHandler struct{ f *os.File }
+
+func (h *syncingHandler) OnMsg() {
+	h.f.Sync() // want `fsync via \(\*os\.File\)\.Sync on runner hot path: runner\.dispatch -> \(\*runner\.syncingHandler\)\.OnMsg`
+}
+
+type politeHandler struct{ n int }
+
+func (h *politeHandler) OnMsg() { h.n++ } // ok
+
+//skueue:runner
+func dispatch(h handler) {
+	h.OnMsg()
+}
+
+// Literals handed to a runs-on-runner scheduler execute on the runner
+// regardless of the call site.
+
+//skueue:runs-on-runner
+func do(fn func()) { fn() }
+
+func scheduleFromAnywhere(p *peer) {
+	do(func() {
+		p.f.Sync() // want `fsync via \(\*os\.File\)\.Sync on runner hot path: func literal at .*dispatch\.go:\d+ \(runs on runner via runner\.do\)`
+	})
+	do(func() { p.offRunnerBookkeeping() }) // ok
+}
+
+func (p *peer) offRunnerBookkeeping() { p.ch = nil }

@@ -1,0 +1,47 @@
+// Package wirepkg exercises the wirereg analyzer: unregistered payload
+// types, the interface-field closure rule, interface-typed arguments
+// and suppressions.
+package wirepkg
+
+type NodeID struct{ Index int32 }
+
+// Envelope mimics the wire envelope: its Payload field forwards any
+// concrete type stored in it onto the wire.
+type Envelope struct {
+	From, To NodeID
+	Payload  any
+}
+
+//skueue:wire-register
+func register(v any) {}
+
+//skueue:wire-payload
+func wireSend(to NodeID, payload any) {}
+
+type Registered struct{ A int }
+type Unregistered struct{ B int }
+type NestedOK struct{ C int }
+type NestedBad struct{ D int }
+type TestOnly struct{ E int }
+
+func init() {
+	register(Registered{})
+	register(Envelope{})
+	register(NestedOK{})
+}
+
+func sends(to NodeID) {
+	wireSend(to, Registered{})   // ok
+	wireSend(to, Unregistered{}) // want `wirepkg\.Unregistered crosses the wire but is never registered`
+	var e Envelope
+	e.Payload = NestedBad{} // want `wirepkg\.NestedBad crosses the wire but is never registered`
+	wireSend(to, e)
+	wireSend(to, Envelope{Payload: NestedOK{}}) // ok: closure rule finds it registered
+
+	var p any = Registered{}
+	wireSend(to, p) // ok: interface-typed argument contributes nothing itself
+}
+
+func suppressedSend(to NodeID) {
+	wireSend(to, TestOnly{}) //skueue:ignore wirereg -- fixture: loopback-only frame, never serialized
+}

@@ -1,0 +1,213 @@
+// Package wirereg proves every type that crosses the wire is registered
+// with the codec before it is ever encoded.
+//
+// The wire protocol moves values through interface-typed fields (an
+// Envelope's Payload, a client frame written as `any`), and gob refuses
+// unregistered concrete types at runtime — a drift class previously
+// caught only by a round-trip test, and only for the types that test
+// happened to exercise.
+//
+// The crossing set is seeded by the last argument of every call to a
+// //skueue:wire-payload function (the choke points where values enter
+// the wire) and closed under interface-field assignment: if a crossing
+// struct has an interface-typed field, every concrete type stored in
+// that field — by composite literal or assignment, anywhere in the
+// program — also crosses. Interface-typed arguments contribute nothing
+// themselves (their dynamic types arrive via the closure rule). The
+// registered set is the first argument of every call to a
+// //skueue:wire-register function or to encoding/gob.Register. Named
+// non-basic crossing types missing from the registered set are
+// reported at the call that first put them on the wire.
+package wirereg
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"skueue/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wirereg",
+	Doc:  "every concrete type placed on the wire is registered with the codec",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	registered := make(map[string]bool)
+	crossing := make(map[string]token.Pos) // type key -> first wire entry
+	crossingObj := make(map[string]*types.TypeName)
+
+	record := func(t types.Type, pos token.Pos) {
+		tn := namedOf(t)
+		if tn == nil {
+			return
+		}
+		key := typeKey(tn)
+		if _, seen := crossing[key]; !seen {
+			crossing[key] = pos
+			crossingObj[key] = tn
+		}
+	}
+
+	// Seed: arguments at wire-payload choke points, and everything a
+	// wire-register call covers.
+	for _, pkg := range pass.Prog.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				callee := analysis.Callee(pkg.Info, call)
+				if callee == nil {
+					return true
+				}
+				if pass.Ann.Func(callee, "wire-register") != nil || callee.FullName() == "encoding/gob.Register" {
+					if tn := namedOf(argType(pkg.Info, call.Args[0])); tn != nil {
+						registered[typeKey(tn)] = true
+					}
+					return true
+				}
+				if pass.Ann.Func(callee, "wire-payload") != nil {
+					arg := call.Args[len(call.Args)-1]
+					if t := argType(pkg.Info, arg); t != nil && !types.IsInterface(t) {
+						record(t, arg.Pos())
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Closure: concrete types stored into interface-typed fields of
+	// crossing structs cross too. Iterate to a fixed point — a payload
+	// can nest another envelope-like struct.
+	for {
+		fields := interfaceFields(crossingObj)
+		if len(fields) == 0 {
+			break
+		}
+		before := len(crossing)
+		for _, pkg := range pass.Prog.Pkgs {
+			for _, file := range pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.CompositeLit:
+						tn := namedOf(typeOf(pkg.Info, n))
+						if tn == nil || crossingObj[typeKey(tn)] == nil {
+							return true
+						}
+						for _, elt := range n.Elts {
+							kv, ok := elt.(*ast.KeyValueExpr)
+							if !ok {
+								continue
+							}
+							key, ok := kv.Key.(*ast.Ident)
+							if !ok {
+								continue
+							}
+							if v, ok := pkg.Info.Uses[key].(*types.Var); ok && fields[v] {
+								if t := argType(pkg.Info, kv.Value); t != nil && !types.IsInterface(t) {
+									record(t, kv.Value.Pos())
+								}
+							}
+						}
+					case *ast.AssignStmt:
+						for i, lhs := range n.Lhs {
+							sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+							if !ok || i >= len(n.Rhs) {
+								continue
+							}
+							if v, ok := pkg.Info.Uses[sel.Sel].(*types.Var); ok && fields[v] {
+								if t := argType(pkg.Info, n.Rhs[i]); t != nil && !types.IsInterface(t) {
+									record(t, n.Rhs[i].Pos())
+								}
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+		if len(crossing) == before {
+			break
+		}
+	}
+
+	keys := make([]string, 0, len(crossing))
+	for key := range crossing {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if !registered[key] {
+			pass.Reportf(crossing[key], "%s crosses the wire but is never registered with the codec (add it to the wire type registry)", key)
+		}
+	}
+}
+
+// interfaceFields collects the interface-typed struct fields of every
+// crossing type: values stored there cross the wire inside the struct.
+func interfaceFields(crossing map[string]*types.TypeName) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	for _, tn := range crossing {
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if types.IsInterface(st.Field(i).Type()) {
+				out[st.Field(i)] = true
+			}
+		}
+	}
+	return out
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func argType(info *types.Info, e ast.Expr) types.Type {
+	t := typeOf(info, e)
+	if t == nil {
+		return nil
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return nil
+	}
+	return t
+}
+
+// namedOf reduces a type to the named type that gob would register:
+// pointers are dereferenced, basics and anonymous composites are out of
+// scope (the codec pre-registers the base kinds).
+func namedOf(t types.Type) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, basic := named.Underlying().(*types.Basic); basic {
+		return nil
+	}
+	return named.Obj()
+}
+
+func typeKey(tn *types.TypeName) string {
+	if tn.Pkg() == nil {
+		return tn.Name()
+	}
+	return tn.Pkg().Path() + "." + tn.Name()
+}

@@ -1,0 +1,12 @@
+package wirereg_test
+
+import (
+	"testing"
+
+	"skueue/internal/analysis/atest"
+	"skueue/internal/analysis/wirereg"
+)
+
+func TestWirereg(t *testing.T) {
+	atest.Run(t, "testdata", wirereg.Analyzer, "wirepkg")
+}

@@ -290,13 +290,19 @@ func (cl *Cluster) recordCompletion(c seqcheck.Completion) {
 
 // SetOnComplete registers a callback invoked for every completed request
 // (the client layer uses it to resolve futures; a networked member uses
-// it to answer remote clients).
+// it to answer remote clients). The callback fires on the runner
+// goroutine and must not block.
+//
+//skueue:runs-on-runner
 func (cl *Cluster) SetOnComplete(fn func(seqcheck.Completion)) { cl.onComplete = fn }
 
 // SetOnPutAck registers a callback invoked when a PUT issued by one of
 // this cluster's nodes is acknowledged as stored. With Config.AckAllPuts
 // set this covers every enqueue, which is how a networked member resolves
-// enqueues whose completion was recorded at the storing member.
+// enqueues whose completion was recorded at the storing member. The
+// callback fires on the runner goroutine and must not block.
+//
+//skueue:runs-on-runner
 func (cl *Cluster) SetOnPutAck(fn func(reqID uint64)) { cl.onPutAck = fn }
 
 func (cl *Cluster) noteDeparted(n *Node)    { delete(cl.nodes, n.self.ID) }

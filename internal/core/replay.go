@@ -118,6 +118,8 @@ func (cl *Cluster) AdvanceReqSeq(seq uint64) {
 // wave's composition is fixed. The hosting layer uses it to place wave
 // boundaries in its operation journal and to feed held-back re-submitted
 // operations into the wave they originally rode in.
+//
+//skueue:runs-on-runner
 func (cl *Cluster) SetOnFire(fn func(node transport.NodeID, waveSeq int64)) { cl.onFire = fn }
 
 // Resubmit re-injects a journaled client operation during or after a

@@ -156,6 +156,8 @@ type opJournal struct {
 	// the fire-marker bookkeeping, the lifecycle flags and the logical
 	// length. Staging never performs I/O, so appendOp/appendDone return
 	// immediately regardless of what the disk is doing.
+	//
+	//skueue:lock 44
 	mu         sync.Mutex
 	buf        []byte
 	releases   []journalRelease
@@ -185,7 +187,11 @@ type opJournal struct {
 	// wmu guards the file side: the handle, the durable length, each
 	// batch write+fsync, and the compaction handle swap. Never acquired
 	// while holding mu (compaction takes mu INSIDE wmu for the length
-	// adjustment, so the reverse order would deadlock).
+	// adjustment, so the reverse order would deadlock) — hence the lower
+	// rank; "io" because holding it across the batch write+fsync is the
+	// whole point.
+	//
+	//skueue:lock 40 io
 	wmu     sync.Mutex
 	f       *os.File
 	durable int64
@@ -400,6 +406,11 @@ func (j *opJournal) stageLocked(frames []byte, release journalRelease) {
 	sync := j.syncMode()
 	j.mu.Unlock()
 	if sync {
+		// Group commit disabled (batchOps == 1): the fsync deliberately
+		// runs inline on the caller — the runner pays one disk sync per
+		// operation, which is the documented cost of that mode.
+		//
+		//skueue:ignore runnerblock -- sync mode fsyncs inline by design; group commit (the default) keeps the runner clean
 		j.flush()
 	} else {
 		j.wakeWriter()

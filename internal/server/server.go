@@ -152,6 +152,7 @@ type Server struct {
 	mode batch.Mode
 	logf func(string, ...any)
 
+	//skueue:lock 20
 	mu      sync.Mutex
 	waiters map[uint64]*waiter // reqID -> pending client op
 	rr      int                // round-robin over local procs
@@ -166,7 +167,10 @@ type Server struct {
 	// snapMu serializes SnapshotNow: the capture-write-release sequence
 	// must be atomic, or a slow periodic snapshot could overwrite a newer
 	// one whose acknowledgments were already released — losing the frames
-	// between the two cursors for good.
+	// between the two cursors for good. The capture-write sequence takes
+	// s.mu and runs DoSync inside, so snapMu ranks below everything.
+	//
+	//skueue:lock 10 io
 	snapMu sync.Mutex
 	// lastSnapStats summarizes the in-flight operations of the newest
 	// written snapshot (under snapMu; tests assert a kill happened with a
@@ -244,6 +248,9 @@ type session struct {
 // which must not stall on one slow client. A client that lets the buffer
 // fill (it is not reading responses) loses its connection instead of
 // freezing the member.
+//
+//skueue:client-release
+//skueue:wire-payload
 func (s *session) send(v any) {
 	select {
 	case s.out <- v:
@@ -1094,6 +1101,8 @@ func (s *Server) resolve(reqID uint64, done wire.CliDone) {
 // restarted member would not remember is the one forbidden move. Runs on
 // the journal writer goroutine (inline on the runner with group commit
 // disabled).
+//
+//skueue:journaled-release
 func (s *Server) releaseDone(sess *session, seq, reqID uint64, done wire.CliDone) journalRelease {
 	return func(err error) {
 		if err != nil {

@@ -132,6 +132,10 @@ type link struct {
 	idx  int32
 	quit chan struct{}
 
+	// bmu shares rank 60 with Peer.mu: the two are never held together
+	// (see route's unlock-before-send comment).
+	//
+	//skueue:lock 60
 	bmu     sync.Mutex
 	queue   []any // accepted, not yet transmitted (unsequenced)
 	unacked []any // transmitted with a sequence, awaiting acknowledgment
@@ -216,12 +220,16 @@ type Peer struct {
 	localPending int
 
 	// Task queue feeding the runner.
+	//
+	//skueue:lock 70
 	taskMu sync.Mutex
 	tasks  []func()
 	wake   chan struct{}
 
 	// Address book, links and receive cursors (shared with connection
-	// goroutines).
+	// goroutines). Shares rank 60 with link.bmu: never hold both.
+	//
+	//skueue:lock 60
 	mu          sync.Mutex
 	book        map[int32]wire.MemberInfo
 	pidToMember map[int32]int32
@@ -279,6 +287,8 @@ func (p *Peer) Me() wire.MemberInfo {
 // Like every node-touching Peer method it must run on the runner
 // goroutine (handler callbacks, Do/DoSync closures) or before Start:
 // isLocal consults the runner-confined node table.
+//
+//skueue:wire-payload
 func (p *Peer) Send(from, to transport.NodeID, payload any) {
 	env := wire.Envelope{From: from, To: to, Payload: payload}
 	if p.isLocal(to) {
@@ -382,6 +392,8 @@ func (p *Peer) Close() {
 
 // Do schedules fn on the runner goroutine, where it may touch hosted
 // nodes, inject requests and call Send/Spawn. It returns immediately.
+//
+//skueue:runs-on-runner
 func (p *Peer) Do(fn func()) {
 	p.taskMu.Lock()
 	p.tasks = append(p.tasks, fn)
@@ -396,6 +408,9 @@ func (p *Peer) Do(fn func()) {
 // the peer shuts down before the task runs, DoSync returns without it —
 // waiting for the runner to have fully exited first, so fn can no longer
 // be running concurrently with the caller.
+//
+//skueue:runs-on-runner
+//skueue:blocking -- waits for the task to finish on the runner; calling it from the runner would self-deadlock
 func (p *Peer) DoSync(fn func()) {
 	done := make(chan struct{})
 	p.Do(func() { defer close(done); fn() })
@@ -412,6 +427,11 @@ func (p *Peer) DoSync(fn func()) {
 	}
 }
 
+// run is the runner goroutine: the single thread on which every hosted
+// node, handler callback and scheduled task executes. Nothing reachable
+// from here may block (see internal/analysis/runnerblock).
+//
+//skueue:runner
 func (p *Peer) run() {
 	defer close(p.stopped)
 	ticker := time.NewTicker(p.opts.Tick)

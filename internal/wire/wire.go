@@ -69,6 +69,8 @@ const MaxFrame = 64 << 20
 // fields of envelopes and protocol messages (gob interface encoding).
 // It is the package's single registration point so that all encoders and
 // decoders agree; internal/core registers its message set through it.
+//
+//skueue:wire-register
 func Register(v any) { gob.Register(v) }
 
 func init() {
@@ -171,7 +173,12 @@ type CliDequeue struct {
 	Seq uint64
 }
 
-// CliDone reports a completed client operation.
+// CliDone reports a completed client operation. It is the client-visible
+// outcome frame: the fields below marked as result-bearing must never be
+// released to a session before the covering journal record could sync
+// (see internal/analysis/releaseorder).
+//
+//skueue:client-outcome
 type CliDone struct {
 	Seq uint64
 	// ReqID is the operation's durable, member-tagged request identity
@@ -181,10 +188,16 @@ type CliDone struct {
 	// outcome exactly-once across a fail-stop restart of the member.
 	ReqID uint64
 	// Bottom marks a dequeue serialized against an empty structure (⊥).
+	//
+	//skueue:client-outcome
 	Bottom bool
 	// Value is the dequeued encoded value (dequeues only).
+	//
+	//skueue:client-outcome
 	Value []byte
 	// Rounds is the request latency in transport ticks.
+	//
+	//skueue:client-outcome
 	Rounds int64
 	// Err carries a server-side submission error, empty on success.
 	Err string
@@ -245,10 +258,12 @@ type CliJoinResp struct {
 type Conn struct {
 	c net.Conn
 
+	//skueue:lock 80 io
 	wmu  sync.Mutex
 	wbuf bytes.Buffer
 	enc  *gob.Encoder
 
+	//skueue:lock 81 io
 	rmu sync.Mutex
 	fr  *frameReader
 	dec *gob.Decoder
@@ -264,6 +279,9 @@ func NewConn(c net.Conn) *Conn {
 }
 
 // Write encodes v into the next frame and sends it.
+//
+//skueue:wire-payload
+//skueue:blocking -- synchronous network write; sessions and links call it from writer goroutines, never the runner
 func (w *Conn) Write(v any) error {
 	w.wmu.Lock()
 	defer w.wmu.Unlock()
@@ -347,6 +365,8 @@ func (f *frameReader) Read(p []byte) (int, error) {
 
 // RegisterValue registers a concrete user value type for transmission by
 // remote clients; see EncodeValue.
+//
+//skueue:wire-register
 func RegisterValue(v any) { gob.Register(v) }
 
 // EncodeValue serializes a user value for transport. Each value is a

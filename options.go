@@ -114,4 +114,6 @@ func WithRemote(addr string) Option { return func(o *options) { o.remote = addr 
 // RegisterValue registers a concrete user value type for transmission to
 // a remote cluster (the wire codec is encoding/gob; common scalar and
 // composite types are pre-registered).
+//
+//skueue:wire-register
 func RegisterValue(v any) { wire.RegisterValue(v) }
