@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint lint-invariants fmt vet
+.PHONY: all build test soak lint lint-invariants fmt vet
 
 all: build lint test
 
@@ -11,6 +11,21 @@ build:
 
 test:
 	$(GO) test -race ./...
+
+# soak repeats the chaos and fail-stop recovery scenarios under the race
+# detector. Scale is env-tunable: SKUEUE_CHAOS_MEMBERS (in-process cluster
+# size), SKUEUE_CHAOS_PROC_MEMBERS / SKUEUE_CHAOS_KILLS / SKUEUE_CHAOS_OPS
+# (multi-process storm), SOAK_COUNT (repetitions). Example:
+#   SOAK_COUNT=5 SKUEUE_CHAOS_MEMBERS=64 SKUEUE_CHAOS_PROC_MEMBERS=8 make soak
+SOAK_COUNT ?= 3
+
+soak:
+	$(GO) test -race -count=$(SOAK_COUNT) -timeout 60m \
+		-run 'TestSimScenario|TestChaosProc|TestKillsLandInsideBatchWindow' \
+		./internal/chaos/
+	$(GO) test -race -count=$(SOAK_COUNT) -timeout 60m \
+		-run 'TestMemberRestartFromSnapshot|TestStackMemberRestartExactlyOnce' \
+		./internal/server/
 
 # lint runs everything that gates a merge locally: formatting, vet, and the
 # repo-specific invariant analyzers (see DESIGN.md, "Enforced invariants").

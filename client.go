@@ -84,6 +84,9 @@ func Open(opts ...Option) (*Client, error) {
 	if o.quantum < 1 {
 		return nil, fmt.Errorf("skueue: WithAutopilotQuantum(%d): need at least one round", o.quantum)
 	}
+	if err := o.wan.shape().Validate(); err != nil {
+		return nil, fmt.Errorf("skueue: WithWAN: %w", err)
+	}
 	mode := batch.Queue
 	if o.mode == Stack {
 		mode = batch.Stack
@@ -99,6 +102,7 @@ func Open(opts ...Option) (*Client, error) {
 		UpdateThreshold:       o.updateThreshold,
 		DisableStage4Wait:     o.noStage4Wait,
 		DisableLocalCombining: o.noCombining,
+		Shape:                 o.wan.shape(),
 	})
 	if err != nil {
 		return nil, err

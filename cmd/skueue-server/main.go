@@ -60,6 +60,7 @@ import (
 	"time"
 
 	"skueue/internal/server"
+	"skueue/internal/transport"
 )
 
 func main() {
@@ -77,9 +78,17 @@ func main() {
 		batchDelay = flag.Duration("journal-batch-delay", 0, "hold a journal batch open this long to accumulate ops before the fsync (0: flush when idle)")
 		giveUp     = flag.Duration("give-up", 0, "declare an unreachable member dead after this long (0: wait forever)")
 		tick       = flag.Duration("tick", time.Millisecond, "protocol TIMEOUT cadence")
+		wanLatency = flag.Duration("wan-latency", 0, "WAN shaping: base one-way delay added to inbound peer frames")
+		wanJitter  = flag.Duration("wan-jitter", 0, "WAN shaping: uniform extra delay in [0, jitter)")
+		wanLoss    = flag.Float64("wan-loss", 0, "WAN shaping: per-attempt loss probability in [0, 1), charged as retransmission delay")
 		verbose    = flag.Bool("v", false, "log transport diagnostics")
 	)
 	flag.Parse()
+
+	shape := transport.Shape{Latency: *wanLatency, Jitter: *wanJitter, Loss: *wanLoss}
+	if err := shape.Validate(); err != nil {
+		log.Fatalf("skueue-server: %v", err)
+	}
 
 	cfg := server.Config{
 		Addr:              *addr,
@@ -92,6 +101,7 @@ func main() {
 		JournalBatchOps:   *batchOps,
 		JournalBatchDelay: *batchDelay,
 		GiveUp:            *giveUp,
+		Shape:             shape,
 	}
 	if *join == "" {
 		if *members == "" {

@@ -1,0 +1,136 @@
+package chaos
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Histogram is a fixed-bucket log-linear latency histogram: values below
+// 8 get exact buckets, larger values get 8 buckets per power of two
+// (≤12.5% relative bucket width), so recording is allocation-free and
+// percentile error is bounded regardless of how many samples a chaos run
+// produces. The unit is whatever the caller records — simulated rounds
+// for in-process runs, microseconds for multi-process runs.
+type Histogram struct {
+	unit    string
+	buckets [8 + 8*61]int64
+	count   int64
+	sum     int64
+	max     int64
+}
+
+// NewHistogram creates an empty histogram whose samples are in unit.
+func NewHistogram(unit string) *Histogram { return &Histogram{unit: unit} }
+
+// Unit returns the sample unit label.
+func (h *Histogram) Unit() string { return h.unit }
+
+func bucketOf(v int64) int {
+	u := uint64(v)
+	if u < 8 {
+		return int(u)
+	}
+	// Shift the value down into [8, 16); the discarded bits select one of
+	// 8 sub-buckets per octave.
+	exp := bits.Len64(u) - 4
+	return 8 + 8*(exp-0) + int(u>>uint(exp)) - 8
+}
+
+// bucketBounds returns the half-open value range [lo, hi) of bucket b.
+func bucketBounds(b int) (lo, hi int64) {
+	if b < 8 {
+		return int64(b), int64(b) + 1
+	}
+	exp := uint((b - 8) / 8)
+	m := int64(8 + (b-8)%8)
+	return m << exp, (m + 1) << exp
+}
+
+// Record adds one sample; negative samples clamp to zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge folds other into h. Units must match.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	if h.unit != other.unit {
+		panic(fmt.Sprintf("chaos: merging %q histogram into %q", other.unit, h.unit))
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean returns the exact sample mean (the sum is tracked, not estimated).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) by linear interpolation
+// inside the covering bucket, clamped to the observed maximum.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen int64
+	for b, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		if rank < seen+c {
+			lo, hi := bucketBounds(b)
+			est := lo + (hi-lo)*(rank-seen)/c
+			if est > h.max {
+				est = h.max
+			}
+			return est
+		}
+		seen += c
+	}
+	return h.max
+}
+
+// P50, P99 and P999 are the percentile shorthands every BENCH point uses.
+func (h *Histogram) P50() int64  { return h.Quantile(0.50) }
+func (h *Histogram) P99() int64  { return h.Quantile(0.99) }
+func (h *Histogram) P999() int64 { return h.Quantile(0.999) }
+
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d p50=%d p99=%d p999=%d max=%d %s",
+		h.count, h.P50(), h.P99(), h.P999(), h.max, h.unit)
+}

@@ -1,0 +1,87 @@
+package chaos
+
+import (
+	"testing"
+
+	"skueue/internal/xrand"
+)
+
+func TestHistogramBucketsCoverInt64(t *testing.T) {
+	for _, v := range []int64{0, 1, 7, 8, 9, 15, 16, 100, 1023, 1 << 20, 1<<62 + 12345} {
+		b := bucketOf(v)
+		lo, hi := bucketBounds(b)
+		if v < lo || v >= hi {
+			t.Fatalf("value %d landed in bucket %d = [%d, %d)", v, b, lo, hi)
+		}
+	}
+	// Relative bucket width stays <= 12.5% beyond the exact range.
+	for _, v := range []int64{64, 1000, 1 << 30} {
+		lo, hi := bucketBounds(bucketOf(v))
+		if width := float64(hi-lo) / float64(lo); width > 0.126 {
+			t.Fatalf("bucket of %d has relative width %.3f", v, width)
+		}
+	}
+}
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	h := NewHistogram("rounds")
+	for v := int64(0); v < 8; v++ {
+		h.Record(v)
+	}
+	if h.Count() != 8 || h.Max() != 7 {
+		t.Fatalf("count=%d max=%d", h.Count(), h.Max())
+	}
+	if q := h.Quantile(0); q != 0 {
+		t.Fatalf("q0 = %d, want 0", q)
+	}
+	if q := h.Quantile(1); q != 7 {
+		t.Fatalf("q1 = %d, want 7", q)
+	}
+}
+
+func TestHistogramQuantilesUniform(t *testing.T) {
+	h := NewHistogram("us")
+	rng := xrand.New(11)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		h.Record(int64(rng.Intn(10000)))
+	}
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0.5, 5000}, {0.99, 9900}, {0.999, 9990}} {
+		got := h.Quantile(tc.q)
+		if got < tc.want*85/100 || got > tc.want*115/100 {
+			t.Fatalf("q%.3f = %d, want within 15%% of %d", tc.q, got, tc.want)
+		}
+	}
+	if m := h.Mean(); m < 4800 || m > 5200 {
+		t.Fatalf("mean = %f, want ~5000", m)
+	}
+}
+
+func TestHistogramMergeMatchesCombined(t *testing.T) {
+	a, b, all := NewHistogram("us"), NewHistogram("us"), NewHistogram("us")
+	rng := xrand.New(3)
+	for i := 0; i < 5000; i++ {
+		v := int64(rng.Intn(1 << 16))
+		all.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	a.Merge(b)
+	if a.Count() != all.Count() || a.Max() != all.Max() || a.P99() != all.P99() || a.P999() != all.P999() {
+		t.Fatalf("merged %s != combined %s", a, all)
+	}
+}
+
+func TestHistogramClampsNegative(t *testing.T) {
+	h := NewHistogram("us")
+	h.Record(-5)
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Fatalf("negative sample not clamped: %s", h)
+	}
+}

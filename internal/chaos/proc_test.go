@@ -1,0 +1,100 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// serverBin is the skueue-server binary TestMain builds for the
+// multi-process scenarios (the module has no dependencies, so the build
+// works offline and takes well under the cost of one scenario).
+var serverBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "skueue-chaos-bin-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	serverBin = filepath.Join(dir, "skueue-server")
+	out, err := exec.Command("go", "build", "-o", serverBin, "skueue/cmd/skueue-server").CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "building skueue-server: %v\n%s", err, out)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func chaosEnvInt(t *testing.T, name string, def int) int {
+	t.Helper()
+	s := os.Getenv(name)
+	if s == "" {
+		return def
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		t.Fatalf("%s=%q: want a positive integer", name, s)
+	}
+	return n
+}
+
+// TestChaosProcKillRestart is the multi-process acceptance scenario: a
+// durable loopback cluster serves mixed traffic from concurrent remote
+// clients while the storm SIGKILLs a member inside a journal group-commit
+// window and restarts it from its state directory mid-traffic. RunProc
+// then performs exact element accounting (every confirmed enqueue
+// dequeued exactly once, modulo dequeues whose answers died with a
+// connection) and the Definition 1 check over the merged histories.
+// Scale is env-tunable for `make soak`: SKUEUE_CHAOS_PROC_MEMBERS,
+// SKUEUE_CHAOS_KILLS, SKUEUE_CHAOS_OPS.
+func TestChaosProcKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process chaos scenario skipped in -short mode")
+	}
+	members := chaosEnvInt(t, "SKUEUE_CHAOS_PROC_MEMBERS", 3)
+	kills := chaosEnvInt(t, "SKUEUE_CHAOS_KILLS", 1)
+	ops := chaosEnvInt(t, "SKUEUE_CHAOS_OPS", 150)
+	sc := ProcScenario{
+		Bin:          serverBin,
+		Members:      members,
+		Mode:         "queue",
+		Seed:         42,
+		Workers:      4,
+		OpsPerWorker: ops,
+		EnqRatio:     0.65,
+		Storm: StormSpec{
+			Kills:       kills,
+			Start:       300 * time.Millisecond,
+			Every:       900 * time.Millisecond,
+			Downtime:    250 * time.Millisecond,
+			BatchWindow: 2 * time.Millisecond,
+		},
+		SnapshotEvery:     50 * time.Millisecond,
+		Tick:              500 * time.Microsecond,
+		JournalBatchDelay: 2 * time.Millisecond,
+		BaseDir:           t.TempDir(),
+		Logf:              t.Logf,
+	}
+	res, err := RunProc(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.Kills != kills || res.Faults.Restarts != kills {
+		t.Fatalf("storm executed %+v, want %d kill/restart pairs", res.Faults, kills)
+	}
+	if res.Confirmed == 0 {
+		t.Fatal("no enqueue confirmed; the scenario measured nothing")
+	}
+	if res.Hist.Count() == 0 || res.Hist.P999() < res.Hist.P50() {
+		t.Fatalf("malformed latency histogram %s", res.Hist)
+	}
+	t.Logf("proc chaos: %d members, %d ops (%.0f ops/s), latency %s, drained %d, stats %+v",
+		res.Members, res.Ops, res.OpsPerSec, res.Hist, res.Drained, res.Stats)
+}

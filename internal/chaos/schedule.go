@@ -1,0 +1,212 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"skueue/internal/workload"
+	"skueue/internal/xrand"
+)
+
+// FaultKind classifies one scheduled fault.
+type FaultKind uint8
+
+// Kill and Restart apply to multi-process clusters (SIGKILL a
+// skueue-server, bring it back from its state directory); Join and Leave
+// are the simulator's fault vocabulary (membership churn — the sim has no
+// process to kill, and churn is the paper's §IV dynamic behaviour).
+const (
+	Kill FaultKind = iota
+	Restart
+	Join
+	Leave
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case Kill:
+		return "kill"
+	case Restart:
+		return "restart"
+	case Join:
+		return "join"
+	default:
+		return "leave"
+	}
+}
+
+// Fault is one scheduled event of a storm.
+type Fault struct {
+	// At is the offset from storm start (wall clock, proc clusters).
+	At time.Duration
+	// Member is the victim member index (never 0 — the seed member owns
+	// rejoin admission and must survive — and never in StormSpec.Avoid).
+	Member int
+	Kind   FaultKind
+}
+
+// StormSpec parameterizes a kill/restart fault storm against a durable
+// multi-process cluster. The generator aims every kill inside the middle
+// half of a journal group-commit window — the moment a member is most
+// likely to hold staged-but-unsynced journal records, which is exactly
+// the crash CI's journal matrix (PR 5) is supposed to cover but never
+// provokes deliberately.
+type StormSpec struct {
+	// Members is the cluster size; victims are drawn from 1..Members-1
+	// minus the Avoid list.
+	Members int
+	// Kills is the number of kill(+restart) pairs to schedule.
+	Kills int
+	// Start is the earliest kill time (traffic should be flowing first).
+	Start time.Duration
+	// Every is the nominal spacing between consecutive kills.
+	Every time.Duration
+	// Downtime is how long a victim stays down before its restart.
+	Downtime time.Duration
+	// BatchWindow is the journal group-commit accumulation window the
+	// kills are phase-aligned into (JournalBatchDelay, or the expected
+	// batch fill time). Each kill lands at phase [W/4, 3W/4) of a window.
+	BatchWindow time.Duration
+	// Avoid lists member indexes that are never victims, in addition to
+	// the seed. RunProc adds the anchor-hosting member: the anchor role
+	// is a singleton that dies with its process, so killing its host is
+	// outside the fail-stop recovery contract (the repo's restart tests
+	// spare it for the same reason).
+	Avoid []int
+	// Seed makes the schedule reproducible.
+	Seed int64
+}
+
+// victims returns the eligible victim pool in index order: all members
+// except the seed and the Avoid list.
+func (s StormSpec) victims() []int {
+	avoid := make(map[int]bool, len(s.Avoid)+1)
+	avoid[0] = true
+	for _, m := range s.Avoid {
+		avoid[m] = true
+	}
+	var out []int
+	for i := 1; i < s.Members; i++ {
+		if !avoid[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Validate reports configuration errors.
+func (s StormSpec) Validate() error {
+	if s.Members < 2 {
+		return fmt.Errorf("chaos: storm needs at least 2 members (have %d), the seed is never a victim", s.Members)
+	}
+	if s.Kills < 0 {
+		return fmt.Errorf("chaos: negative kill count %d", s.Kills)
+	}
+	if s.Kills > 0 {
+		if s.Every <= 0 || s.Downtime <= 0 || s.BatchWindow <= 0 {
+			return fmt.Errorf("chaos: storm needs positive Every, Downtime and BatchWindow (%+v)", s)
+		}
+		victims := s.victims()
+		if len(victims) == 0 {
+			return fmt.Errorf("chaos: no eligible victims among %d members with avoid list %v", s.Members, s.Avoid)
+		}
+		if s.Downtime >= s.Every*time.Duration(len(victims)) {
+			return fmt.Errorf("chaos: downtime %v too long for %d victims every %v (a member would be killed while down)",
+				s.Downtime, len(victims), s.Every)
+		}
+	}
+	return nil
+}
+
+// Schedule generates the storm: Kills kill events, each phase-aligned
+// into the middle half of a BatchWindow and followed by the victim's
+// restart Downtime later, sorted by time. Victims rotate round-robin over
+// the eligible members (non-seed, not avoided) from a seeded random
+// starting order, and a victim is never killed before its previous
+// restart. The schedule is a pure function of the spec.
+func (s StormSpec) Schedule() ([]Fault, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rng := xrand.New(s.Seed).Fork("storm")
+	victims := s.victims()
+	rng.ShuffleInts(victims)
+
+	w := s.BatchWindow
+	readyAt := make(map[int]time.Duration)
+	var last time.Duration
+	var faults []Fault
+	for i := 0; i < s.Kills; i++ {
+		victim := victims[i%len(victims)]
+		nominal := s.Start + time.Duration(i)*s.Every
+		// Land in the middle half of the window covering the nominal
+		// time: phase uniform in [W/4, 3W/4).
+		phase := w/4 + time.Duration(rng.Int63()%int64(w/2))
+		at := nominal - nominal%w + phase
+		// Keep the storm ordered and never kill a member that is still
+		// down; whole-window steps preserve the phase alignment.
+		for at <= last || at < readyAt[victim] {
+			at += w
+		}
+		faults = append(faults, Fault{At: at, Member: victim, Kind: Kill})
+		faults = append(faults, Fault{At: at + s.Downtime, Member: victim, Kind: Restart})
+		readyAt[victim] = at + s.Downtime
+		last = at
+	}
+	sort.Slice(faults, func(i, j int) bool {
+		if faults[i].At != faults[j].At {
+			return faults[i].At < faults[j].At
+		}
+		return faults[i].Kind < faults[j].Kind
+	})
+	return faults, nil
+}
+
+// ChurnStorm is the simulator's fault storm: scheduled join/leave
+// membership churn riding the workload's generation rounds.
+type ChurnStorm struct {
+	// Procs is the initial process count.
+	Procs int
+	// Joins and Leaves are the event counts to spread over the run.
+	Joins, Leaves int
+	// Rounds is the workload's generation-round budget; events land in
+	// its middle three quarters so the cluster is warm and has time to
+	// finish the final update phases before drain.
+	Rounds int
+	// Seed makes the storm reproducible.
+	Seed int64
+}
+
+// Events generates the churn schedule. Leaves pick distinct non-zero
+// processes (process 0 stays as the join contact), joins contact process
+// 0. The schedule is a pure function of the spec.
+func (c ChurnStorm) Events() ([]workload.ChurnEvent, error) {
+	if c.Joins == 0 && c.Leaves == 0 {
+		return nil, nil
+	}
+	if c.Procs < 2 || c.Rounds < 8 {
+		return nil, fmt.Errorf("chaos: churn storm needs >=2 procs and >=8 rounds (%+v)", c)
+	}
+	if c.Leaves > c.Procs-1 {
+		return nil, fmt.Errorf("chaos: %d leaves exceed the %d non-contact processes", c.Leaves, c.Procs-1)
+	}
+	rng := xrand.New(c.Seed).Fork("churn")
+	lo, hi := c.Rounds/8, c.Rounds*7/8
+	roundIn := func() int { return lo + rng.Intn(hi-lo) }
+
+	var events []workload.ChurnEvent
+	for i := 0; i < c.Joins; i++ {
+		events = append(events, workload.ChurnEvent{Round: roundIn(), Join: true, Proc: 0})
+	}
+	leavers := make([]int, c.Procs-1)
+	for i := range leavers {
+		leavers[i] = i + 1
+	}
+	rng.ShuffleInts(leavers)
+	for i := 0; i < c.Leaves; i++ {
+		events = append(events, workload.ChurnEvent{Round: roundIn(), Proc: leavers[i]})
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Round < events[j].Round })
+	return events, nil
+}

@@ -1,0 +1,194 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestKillsLandInsideBatchWindow is the property PR 5's CI matrix relies
+// on but never asserted: every scheduled kill falls in the middle half of
+// a journal group-commit window — the phase where a member holds
+// staged-but-unsynced journal records, so the crash actually exercises
+// the group-commit loss window rather than an idle disk.
+func TestKillsLandInsideBatchWindow(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1234} {
+		spec := StormSpec{
+			Members:     8,
+			Kills:       25,
+			Start:       500 * time.Millisecond,
+			Every:       300 * time.Millisecond,
+			Downtime:    150 * time.Millisecond,
+			BatchWindow: 20 * time.Millisecond,
+			Seed:        seed,
+		}
+		faults, err := spec.Schedule()
+		if err != nil {
+			t.Fatal(err)
+		}
+		kills := 0
+		w := spec.BatchWindow
+		for _, f := range faults {
+			if f.Kind != Kill {
+				continue
+			}
+			kills++
+			phase := f.At % w
+			if phase < w/4 || phase >= 3*w/4 {
+				t.Fatalf("seed %d: kill at %v has phase %v outside [%v, %v)", seed, f.At, phase, w/4, 3*w/4)
+			}
+		}
+		if kills != spec.Kills {
+			t.Fatalf("seed %d: scheduled %d kills, want %d", seed, kills, spec.Kills)
+		}
+	}
+}
+
+func TestScheduleRestartsFollowKills(t *testing.T) {
+	spec := StormSpec{
+		Members: 4, Kills: 12,
+		Start: 100 * time.Millisecond, Every: 250 * time.Millisecond,
+		Downtime: 100 * time.Millisecond, BatchWindow: 10 * time.Millisecond,
+		Seed: 99,
+	}
+	faults, err := spec.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := make(map[int]time.Duration) // member -> restart due
+	var prev time.Duration
+	for _, f := range faults {
+		if f.At < prev {
+			t.Fatalf("schedule not sorted: %v after %v", f.At, prev)
+		}
+		prev = f.At
+		if f.Member == 0 {
+			t.Fatalf("seed member scheduled as a victim: %+v", f)
+		}
+		switch f.Kind {
+		case Kill:
+			if due, isDown := down[f.Member]; isDown {
+				t.Fatalf("member %d killed at %v while down until %v", f.Member, f.At, due)
+			}
+			down[f.Member] = f.At + spec.Downtime
+		case Restart:
+			due, isDown := down[f.Member]
+			if !isDown {
+				t.Fatalf("restart of member %d at %v without a preceding kill", f.Member, f.At)
+			}
+			if f.At != due {
+				t.Fatalf("member %d restarts at %v, want kill+downtime = %v", f.Member, f.At, due)
+			}
+			delete(down, f.Member)
+		default:
+			t.Fatalf("unexpected fault kind %v in a proc storm", f.Kind)
+		}
+	}
+	if len(down) != 0 {
+		t.Fatalf("members left down at storm end: %v", down)
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	spec := StormSpec{
+		Members: 16, Kills: 40,
+		Start: time.Second, Every: 100 * time.Millisecond,
+		Downtime: 50 * time.Millisecond, BatchWindow: 5 * time.Millisecond,
+		Seed: 7,
+	}
+	a, err := spec.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := spec.Schedule()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical specs produced different schedules")
+	}
+	spec.Seed = 8
+	c, _ := spec.Schedule()
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestScheduleAvoidsProtectedMembers covers the anchor exclusion RunProc
+// relies on: avoided members (like the anchor host) are never victims.
+func TestScheduleAvoidsProtectedMembers(t *testing.T) {
+	spec := StormSpec{
+		Members: 6, Kills: 30,
+		Start: 100 * time.Millisecond, Every: 200 * time.Millisecond,
+		Downtime: 50 * time.Millisecond, BatchWindow: 10 * time.Millisecond,
+		Avoid: []int{2, 4}, Seed: 13,
+	}
+	faults, err := spec.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := map[int]bool{}
+	for _, f := range faults {
+		if f.Member == 0 || f.Member == 2 || f.Member == 4 {
+			t.Fatalf("protected member scheduled as victim: %+v", f)
+		}
+		hit[f.Member] = true
+	}
+	if len(hit) != 3 { // members 1, 3, 5 all rotate through
+		t.Fatalf("victim pool %v, want all of 1, 3, 5", hit)
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	bad := []StormSpec{
+		{Members: 1, Kills: 1, Every: time.Second, Downtime: time.Millisecond, BatchWindow: time.Millisecond},
+		{Members: 4, Kills: 1},                      // missing durations
+		{Members: 4, Kills: -1, Every: time.Second}, // negative kills
+		{Members: 2, Kills: 2, Every: 10 * time.Millisecond, Downtime: time.Second, BatchWindow: time.Millisecond},                // down > rotation
+		{Members: 3, Kills: 1, Every: time.Second, Downtime: time.Millisecond, BatchWindow: time.Millisecond, Avoid: []int{1, 2}}, // empty pool
+	}
+	for i, spec := range bad {
+		if _, err := spec.Schedule(); err == nil {
+			t.Fatalf("spec %d accepted: %+v", i, spec)
+		}
+	}
+}
+
+func TestChurnStormEvents(t *testing.T) {
+	storm := ChurnStorm{Procs: 10, Joins: 4, Leaves: 3, Rounds: 400, Seed: 5}
+	events, err := storm.Events()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 7 {
+		t.Fatalf("got %d events, want 7", len(events))
+	}
+	seenLeaver := map[int]bool{}
+	prev := -1
+	for _, ev := range events {
+		if ev.Round < prev {
+			t.Fatal("events not sorted by round")
+		}
+		prev = ev.Round
+		if ev.Round < 400/8 || ev.Round >= 400*7/8 {
+			t.Fatalf("event at round %d outside the middle of the run", ev.Round)
+		}
+		if ev.Join {
+			if ev.Proc != 0 {
+				t.Fatalf("join contacts proc %d, want the stable contact 0", ev.Proc)
+			}
+		} else {
+			if ev.Proc == 0 {
+				t.Fatal("leave scheduled for the contact process")
+			}
+			if seenLeaver[ev.Proc] {
+				t.Fatalf("process %d leaves twice", ev.Proc)
+			}
+			seenLeaver[ev.Proc] = true
+		}
+	}
+	again, _ := storm.Events()
+	if !reflect.DeepEqual(events, again) {
+		t.Fatal("churn storm not deterministic")
+	}
+	if _, err := (ChurnStorm{Procs: 3, Leaves: 5, Rounds: 100, Joins: 0, Seed: 1}).Events(); err == nil {
+		t.Fatal("accepted more leaves than processes")
+	}
+}

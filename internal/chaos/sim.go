@@ -1,0 +1,136 @@
+// Package chaos is the scale-out chaos and capacity harness: it launches
+// large Skueue clusters — in-process on the simulator (hundreds of
+// members) or as real skueue-server processes on one host — drives
+// sustained mixed workloads through the public client layer under
+// configurable WAN shaping and scheduled fault storms, records per-op
+// latency into fixed-bucket histograms, verifies every run against the
+// paper's Definition 1 via internal/seqcheck, and emits machine-readable
+// BENCH_<scenario>.json files so the repo accumulates a perf trajectory
+// (cmd/skueue-chaos is the CLI front end).
+//
+// Fault storms are backend-appropriate: the simulator's storms are
+// join/leave membership churn (§IV dynamics — there is no process to
+// kill), while multi-process storms SIGKILL members mid-traffic, aimed
+// inside journal group-commit windows, and restart them from their state
+// directories (the PR 4/5 recovery paths, at cluster scale).
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"skueue"
+	"skueue/internal/harness"
+	"skueue/internal/workload"
+)
+
+// SimScenario configures one in-process (simulator) chaos run.
+type SimScenario struct {
+	Mode    skueue.Mode
+	Members int // member processes (each emulates 3 virtual nodes)
+	// Workload: Rounds of generation at RequestsPerRound, EnqRatio
+	// enqueue probability, then drain (bounded by MaxDrain).
+	Rounds           int
+	RequestsPerRound int
+	EnqRatio         float64
+	MaxDrain         int64
+	Seed             int64
+	// WAN shapes message delivery; the zero profile is the classic model.
+	WAN skueue.WANProfile
+	// Joins and Leaves size the churn storm (zero = calm run).
+	Joins, Leaves int
+}
+
+// SimResult is the certified outcome of a simulator chaos run: the
+// sequential-consistency check already passed (RunSim fails otherwise).
+type SimResult struct {
+	Stats   skueue.Stats
+	Metrics skueue.Metrics
+	// Hist holds per-op latency in simulated rounds (Done - Born).
+	Hist    *Histogram
+	Elapsed time.Duration
+	// OpsPerSec is completed operations per wall-clock second — the
+	// capacity axis of the scaling tables (simulated-round latency is
+	// the fidelity axis).
+	OpsPerSec float64
+	Faults    FaultSummary
+}
+
+// RunSim executes one simulator chaos scenario end to end: workload with
+// scheduled churn under the WAN profile, drain, Definition 1 check, and
+// latency collection from the completion history. The run is exactly
+// reproducible from the scenario.
+func RunSim(sc SimScenario) (res *SimResult, err error) {
+	if sc.Members < 1 || sc.Rounds < 1 || sc.RequestsPerRound < 1 {
+		return nil, fmt.Errorf("chaos: sim scenario needs members, rounds and a request rate (%+v)", sc)
+	}
+	maxDrain := sc.MaxDrain
+	if maxDrain <= 0 {
+		maxDrain = 20000
+	}
+	storm := ChurnStorm{
+		Procs: sc.Members, Joins: sc.Joins, Leaves: sc.Leaves,
+		Rounds: sc.Rounds, Seed: sc.Seed,
+	}
+	churn, err := storm.Events()
+	if err != nil {
+		return nil, err
+	}
+	// The harness driver panics when a run cannot certify itself (drain
+	// failure, Definition 1 violation); surface that as an error — a chaos
+	// harness reports failures, it does not crash the sweep.
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("chaos: sim run (members=%d seed=%d): %v", sc.Members, sc.Seed, p)
+		}
+	}()
+	spec := workload.Spec{
+		Rounds:           sc.Rounds,
+		RequestsPerRound: sc.RequestsPerRound,
+		EnqRatio:         sc.EnqRatio,
+	}
+	start := time.Now()
+	st, met, c := harness.RunOne(sc.Mode, sc.Members, spec, sc.Seed, maxDrain, sc.WAN, churn...)
+	elapsed := time.Since(start)
+	defer c.Close()
+
+	hist := NewHistogram("rounds")
+	for _, op := range c.Cluster().History().Ops {
+		hist.Record(op.Done - op.Born)
+	}
+	var faults FaultSummary
+	for _, ev := range churn {
+		if ev.Join {
+			faults.Joins++
+		} else {
+			faults.Leaves++
+		}
+	}
+	return &SimResult{
+		Stats:     st,
+		Metrics:   met,
+		Hist:      hist,
+		Elapsed:   elapsed,
+		OpsPerSec: float64(st.Total) / elapsed.Seconds(),
+		Faults:    faults,
+	}, nil
+}
+
+// Point converts the result into a BENCH point for the given member count.
+func (r *SimResult) Point(members int) Point {
+	return Point{
+		Members:     members,
+		Ops:         r.Stats.Total,
+		Bottoms:     r.Stats.Bottoms,
+		ElapsedSec:  r.Elapsed.Seconds(),
+		OpsPerSec:   r.OpsPerSec,
+		LatencyUnit: r.Hist.Unit(),
+		P50:         r.Hist.P50(),
+		P99:         r.Hist.P99(),
+		P999:        r.Hist.P999(),
+		MaxLatency:  r.Hist.Max(),
+		MeanLatency: r.Hist.Mean(),
+		AvgRounds:   r.Stats.AvgRounds,
+		Faults:      r.Faults,
+	}
+}

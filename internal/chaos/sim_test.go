@@ -1,0 +1,98 @@
+package chaos
+
+import (
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"skueue"
+)
+
+// chaosMembers returns the in-process cluster size for scenario tests,
+// env-tunable for `make soak` (SKUEUE_CHAOS_MEMBERS).
+func chaosMembers(t *testing.T, def int) int {
+	t.Helper()
+	s := os.Getenv("SKUEUE_CHAOS_MEMBERS")
+	if s == "" {
+		return def
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 2 {
+		t.Fatalf("SKUEUE_CHAOS_MEMBERS=%q: want an integer >= 2", s)
+	}
+	return n
+}
+
+// TestSimScenarioUnderStormAndWAN is the in-process chaos acceptance
+// path in miniature: a cluster under WAN shaping rides out a churn storm
+// while serving a mixed workload, drains, and passes Definition 1 (the
+// RunSim driver fails otherwise).
+func TestSimScenarioUnderStormAndWAN(t *testing.T) {
+	sc := SimScenario{
+		Mode:             skueue.Queue,
+		Members:          chaosMembers(t, 16),
+		Rounds:           160,
+		RequestsPerRound: 6,
+		EnqRatio:         0.6,
+		Seed:             21,
+		WAN: skueue.WANProfile{
+			Latency: 2 * time.Millisecond,
+			Jitter:  2 * time.Millisecond,
+			Loss:    0.02,
+			RTO:     4 * time.Millisecond,
+		},
+		Joins:  2,
+		Leaves: 2,
+	}
+	res, err := RunSim(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Total == 0 {
+		t.Fatal("run completed no operations")
+	}
+	if got, want := res.Hist.Count(), int64(res.Stats.Total); got != want {
+		t.Fatalf("histogram has %d samples, history has %d completions", got, want)
+	}
+	if res.Faults.Joins != 2 || res.Faults.Leaves != 2 {
+		t.Fatalf("fault summary %+v, want 2 joins and 2 leaves", res.Faults)
+	}
+	// WAN latency must show up: with >= 2 extra rounds each way, no op
+	// can complete in fewer rounds than an unshaped one-hop exchange.
+	if res.Hist.P50() < 4 {
+		t.Fatalf("p50 latency %d rounds is too low for a 2ms-latency WAN profile", res.Hist.P50())
+	}
+	p := res.Point(sc.Members)
+	if p.OpsPerSec <= 0 || p.P999 < p.P50 || p.LatencyUnit != "rounds" {
+		t.Fatalf("malformed bench point %+v", p)
+	}
+}
+
+func TestSimScenarioDeterministic(t *testing.T) {
+	sc := SimScenario{
+		Mode:             skueue.Stack,
+		Members:          8,
+		Rounds:           80,
+		RequestsPerRound: 4,
+		EnqRatio:         0.5,
+		Seed:             9,
+		Joins:            1,
+		Leaves:           1,
+	}
+	a, err := RunSim(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSim(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Stats, b.Stats) {
+		t.Fatalf("same scenario diverged: %+v vs %+v", a.Stats, b.Stats)
+	}
+	if a.Hist.String() != b.Hist.String() {
+		t.Fatalf("latency histograms diverged: %s vs %s", a.Hist, b.Hist)
+	}
+}

@@ -47,6 +47,10 @@ type Config struct {
 	// blocking call. The simulator leaves it off (one cluster sees every
 	// completion).
 	AckAllPuts bool
+	// Shape is an optional WAN delivery profile for the simulator backend
+	// (extra per-message delay in rounds; see transport.Shape). Ignored in
+	// member mode, where the hosting server configures the TCP peer.
+	Shape transport.Shape
 }
 
 // Process groups the three virtual nodes a process emulates.
@@ -154,6 +158,7 @@ func New(cfg Config) (*Cluster, error) {
 		MaxDelay:        cfg.MaxDelay,
 		TimeoutEvery:    cfg.TimeoutEvery,
 		ShuffleTimeouts: cfg.ShuffleTimeouts,
+		Shape:           cfg.Shape,
 	})
 	cl.net = cl.eng
 
@@ -538,6 +543,26 @@ func (cl *Cluster) Diagnose() []string {
 		}
 	}
 	return out
+}
+
+// AnchorProcess returns the process ID whose virtual node holds the
+// anchor role at bootstrap. The bootstrap topology is a pure function of
+// the seed and the process count (labels come from the seeded hasher,
+// spawn order is dense), so harnesses that must spare the anchor-hosting
+// member — killing the anchor holder is outside the fail-stop recovery
+// contract, the role would die with the process — can compute the member
+// to protect without starting a cluster.
+func AnchorProcess(seed int64, procs int) int32 {
+	labels := xrand.NewHasher(seed, "labels")
+	var refs []ldb.Ref
+	for pid := int32(0); pid < int32(procs); pid++ {
+		l, m, r := ldb.ProcessPoints(labels, uint64(pid))
+		points := [3]ldb.Point{ldb.Left: l, ldb.Middle: m, ldb.Right: r}
+		for k, pt := range points {
+			refs = append(refs, ldb.Ref{ID: NodeIDForProcess(pid, ldb.Kind(k)), Point: pt, Kind: ldb.Kind(k)})
+		}
+	}
+	return int32(ldb.NewRing(refs).Min().ID) / 3
 }
 
 // AnchorNode returns the node currently holding the anchor role.

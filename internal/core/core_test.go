@@ -338,3 +338,22 @@ func TestModeQueueNoCombinedOps(t *testing.T) {
 		t.Fatalf("queue mode must not combine ops")
 	}
 }
+
+// TestAnchorProcessMatchesBootstrap pins the pure derivation used by the
+// chaos harness to spare the anchor-hosting member against the cluster
+// the same (seed, procs) pair actually boots.
+func TestAnchorProcessMatchesBootstrap(t *testing.T) {
+	for _, procs := range []int{2, 3, 4, 8, 16} {
+		for seed := int64(0); seed < 20; seed++ {
+			cl := newCluster(t, Config{Processes: procs, Seed: seed})
+			a := cl.AnchorNode()
+			if a == nil {
+				t.Fatalf("procs=%d seed=%d: no anchor after bootstrap", procs, seed)
+			}
+			got := AnchorProcess(seed, procs)
+			if want := int32(a.self.ID) / 3; got != want {
+				t.Fatalf("procs=%d seed=%d: AnchorProcess = %d, bootstrap anchor is on process %d", procs, seed, got, want)
+			}
+		}
+	}
+}

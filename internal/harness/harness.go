@@ -81,18 +81,22 @@ func Defaults(full bool) Options {
 	return o
 }
 
-// runOne drives a single configured deployment through a workload and
+// RunOne drives a single configured deployment through a workload and
 // returns the summary statistics. Construction goes through the public
-// client layer in manual-clock mode so every experiment run is exactly
-// reproducible; the workload generator keeps driving the underlying
-// cluster directly. It panics on drain failure or inconsistency — an
-// experiment that cannot certify its own execution must not report.
-func runOne(mode skueue.Mode, procs int, spec workload.Spec, seed int64, maxDrain int64) (skueue.Stats, skueue.Metrics, *skueue.Client) {
+// client layer in manual-clock mode so every run is exactly reproducible;
+// the workload generator keeps driving the underlying cluster directly.
+// A non-zero wan profile shapes message delivery, and churn events are
+// scheduled into the generator — the chaos harness uses both to run its
+// storm scenarios through the same certified driver as the experiments.
+// It panics on drain failure or inconsistency — a run that cannot certify
+// its own execution must not report.
+func RunOne(mode skueue.Mode, procs int, spec workload.Spec, seed, maxDrain int64, wan skueue.WANProfile, churn ...workload.ChurnEvent) (skueue.Stats, skueue.Metrics, *skueue.Client) {
 	c, err := skueue.Open(
 		skueue.WithManualClock(),
 		skueue.WithProcesses(procs),
 		skueue.WithSeed(seed),
 		skueue.WithMode(mode),
+		skueue.WithWAN(wan),
 	)
 	if err != nil {
 		panic(err)
@@ -101,6 +105,7 @@ func runOne(mode skueue.Mode, procs int, spec workload.Spec, seed int64, maxDrai
 	if err != nil {
 		panic(err)
 	}
+	gen.Schedule(churn...)
 	if !gen.Run(maxDrain) {
 		panic(fmt.Sprintf("harness: %s n=%d did not drain (%d/%d)",
 			mode, procs, c.Cluster().Finished(), c.Cluster().Issued()))
@@ -109,6 +114,11 @@ func runOne(mode skueue.Mode, procs int, spec workload.Spec, seed int64, maxDrai
 		panic(fmt.Sprintf("harness: consistency violated: %v", err))
 	}
 	return c.Stats(), c.Metrics(), c
+}
+
+// runOne is RunOne without shaping or churn (the classic experiments).
+func runOne(mode skueue.Mode, procs int, spec workload.Spec, seed int64, maxDrain int64) (skueue.Stats, skueue.Metrics, *skueue.Client) {
+	return RunOne(mode, procs, spec, seed, maxDrain, skueue.WANProfile{})
 }
 
 // latencySweep is the shared engine behind Figures 2 and 3.

@@ -1,0 +1,125 @@
+package seqcheck
+
+import (
+	"testing"
+	"time"
+
+	"skueue/internal/dht"
+	"skueue/internal/xrand"
+)
+
+// synthHistory builds a valid history of n operations over nClients
+// clients by replaying a sequential queue or stack in witness order:
+// value() ranks are assigned in construction order, every client's
+// LocalSeq increases along the witness order (so the embedding property
+// holds by construction), and dequeue returns come from the sequential
+// structure itself (so the replay property holds too). This is the
+// shape of a real certified run at whatever scale the caller asks for.
+func synthHistory(mode Mode, nClients, n int, seed int64) *History {
+	rng := xrand.New(seed).Fork("synth")
+	h := &History{Ops: make([]Completion, 0, n)}
+	localSeq := make([]int64, nClients)
+	enqSeq := make([]int64, nClients)
+	var pending []dht.Element // front at index 0 (queue) / top at end (stack)
+	for v := int64(0); v < int64(n); v++ {
+		client := int32(rng.Intn(nClients))
+		c := Completion{Client: client, LocalSeq: localSeq[client], Value: v, Born: v, Done: v + 1}
+		localSeq[client]++
+		if rng.Bool(0.55) {
+			c.Kind = Enqueue
+			c.Elem = dht.Element{Origin: client, Seq: enqSeq[client]}
+			enqSeq[client]++
+			pending = append(pending, c.Elem)
+		} else {
+			c.Kind = Dequeue
+			if len(pending) == 0 {
+				c.Bottom = true
+			} else if mode == Queue {
+				c.Elem = pending[0]
+				pending = pending[1:]
+			} else {
+				c.Elem = pending[len(pending)-1]
+				pending = pending[:len(pending)-1]
+			}
+		}
+		h.Record(c)
+	}
+	return h
+}
+
+// TestSeqcheckMillionOps certifies that the Definition 1 checker scales
+// to chaos-harness history sizes: a million-operation history (200k under
+// -short) across 64 clients checks clean in bounded time. The chaos
+// harness runs Check after every scenario, so its cost ceiling is part of
+// the harness contract.
+func TestSeqcheckMillionOps(t *testing.T) {
+	n := 1_000_000
+	if testing.Short() {
+		n = 200_000
+	}
+	for _, mode := range []Mode{Queue, Stack} {
+		h := synthHistory(mode, 64, n, 17)
+		start := time.Now()
+		if err := Check(mode, h); err != nil {
+			t.Fatalf("mode %v: valid %d-op history rejected: %v", mode, n, err)
+		}
+		elapsed := time.Since(start)
+		t.Logf("mode %v: checked %d ops in %v (%.0f ops/s)", mode, n, elapsed, float64(n)/elapsed.Seconds())
+		if elapsed > 2*time.Minute {
+			t.Fatalf("mode %v: Check took %v for %d ops; the chaos harness cannot afford that", mode, elapsed, n)
+		}
+	}
+}
+
+// TestSeqcheckCatchesDeepViolation plants a single FIFO swap deep inside
+// an at-scale history and demands the checker finds it — a checker that
+// only looks at small histories end to end would be worthless to the
+// chaos harness.
+func TestSeqcheckCatchesDeepViolation(t *testing.T) {
+	n := 300_000
+	if testing.Short() {
+		n = 60_000
+	}
+	h := synthHistory(Queue, 32, n, 23)
+	// Swap the returned elements of two non-bottom dequeues in the back
+	// half of the history: FIFO order breaks at the first of the two.
+	var deqs []int
+	for i := n / 2; i < n && len(deqs) < 2; i++ {
+		if h.Ops[i].Kind == Dequeue && !h.Ops[i].Bottom {
+			deqs = append(deqs, i)
+		}
+	}
+	if len(deqs) < 2 {
+		t.Fatal("synthetic history has too few dequeues to corrupt")
+	}
+	i, j := deqs[0], deqs[1]
+	h.Ops[i].Elem, h.Ops[j].Elem = h.Ops[j].Elem, h.Ops[i].Elem
+	if err := Check(Queue, h); err == nil {
+		t.Fatalf("checker accepted a %d-op history with a planted FIFO swap at ops %d/%d", n, i, j)
+	}
+}
+
+// BenchmarkSeqcheckQueue measures the checker on a 100k-op queue history
+// (the typical size of one chaos scenario's merged history).
+func BenchmarkSeqcheckQueue(b *testing.B) {
+	h := synthHistory(Queue, 64, 100_000, 31)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Check(Queue, h); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(h.Ops))*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// BenchmarkSeqcheckStack is the stack-mode twin.
+func BenchmarkSeqcheckStack(b *testing.B) {
+	h := synthHistory(Stack, 64, 100_000, 37)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Check(Stack, h); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(h.Ops))*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}

@@ -129,6 +129,11 @@ type Config struct {
 
 	// Tick is the TIMEOUT cadence of the transport (default 1ms).
 	Tick time.Duration
+	// Shape is an optional WAN delivery profile applied to this member's
+	// inbound peer traffic (see transport.Shape and tcp.Options.Shape);
+	// the chaos harness uses it to run realistic wide-area scenarios on
+	// one host. The zero Shape delivers immediately.
+	Shape transport.Shape
 	// Logf receives diagnostics; default discards.
 	Logf func(format string, args ...any)
 }
@@ -501,6 +506,7 @@ func (s *Server) peerOptions(index int32, pids []int32, boot int64) tcp.Options 
 		AckGate: s.cfg.StateDir != "",
 		GiveUp:  s.cfg.GiveUp,
 		OnDown:  s.peerDown,
+		Shape:   s.cfg.Shape,
 	}
 }
 

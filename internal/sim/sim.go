@@ -59,6 +59,12 @@ type Config struct {
 	// timeouts costs a permutation per round; tests enable it to widen
 	// schedule coverage, large benchmarks leave it off.
 	ShuffleTimeouts bool
+	// Shape is an optional WAN delivery profile. When enabled, every
+	// message is charged extra whole-round delay sampled from the profile:
+	// synchronous sends land extra rounds late (via the event heap instead
+	// of the next-round batch), asynchronous sends add the extra to their
+	// native random delay. The zero Shape keeps the classic models.
+	Shape transport.Shape
 	// TraceMessage, when set, observes every delivered message.
 	TraceMessage func(now int64, from, to NodeID, payload any)
 }
@@ -230,9 +236,18 @@ func (e *Engine) send(from, to NodeID, payload any) {
 	e.inFlight++
 	e.seq++
 	m := message{from: from, to: to, payload: payload, seq: e.seq}
+	var extra int64
+	if e.cfg.Shape.Enabled() {
+		extra = e.cfg.Shape.Rounds(e.rng)
+	}
 	if e.cfg.Async {
-		delay := int64(1 + e.rng.Intn(e.cfg.MaxDelay))
+		delay := int64(1+e.rng.Intn(e.cfg.MaxDelay)) + extra
 		heap.Push(&e.events, event{at: e.now + delay, tie: e.rng.Uint64(), seq: e.seq, kind: 0, msg: m})
+	} else if extra > 0 {
+		// A shaped synchronous message misses its round-(i+1) slot and is
+		// parked on the event heap; stepSync drains due events into the
+		// round's delivery batch.
+		heap.Push(&e.events, event{at: e.now + 1 + extra, tie: e.rng.Uint64(), seq: e.seq, kind: 0, msg: m})
 	} else {
 		e.next = append(e.next, m)
 	}
@@ -278,6 +293,11 @@ func (e *Engine) stepSync() {
 	// (the channel is a set: arbitrary processing order, non-FIFO).
 	batch := e.next
 	e.next = nil
+	// Shaped messages whose delay has elapsed rejoin the round's batch
+	// (the heap holds only kind-0 events in the synchronous model).
+	for len(e.events) > 0 && e.events[0].at <= e.now {
+		batch = append(batch, heap.Pop(&e.events).(event).msg)
+	}
 	e.rng.Shuffle(len(batch), func(i, j int) { batch[i], batch[j] = batch[j], batch[i] })
 	for _, m := range batch {
 		e.deliver(m)

@@ -1,0 +1,107 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"skueue/internal/xrand"
+)
+
+// Shape is a WAN delivery profile: extra per-message delay injected by a
+// backend on top of its native scheduling. Both backends honor it — the
+// simulator converts sampled delays into whole rounds, the TCP backend
+// sleeps wall-clock time on the receive path — so the same profile
+// describes the same network under either model.
+//
+// Loss never violates the reliable-channel contract (§I-B: messages are
+// never lost). A "lost" transmission is modeled as the delay of detecting
+// the loss and retransmitting: each lost attempt charges one RTO of extra
+// latency, with the number of lost attempts geometric in Loss. This is
+// what a reliable transport over a lossy link actually exhibits, and it
+// keeps the engine's in-flight accounting and the TCP layer's exactly-once
+// sequencing exact.
+type Shape struct {
+	// Latency is the base one-way delay added to every message.
+	Latency time.Duration
+	// Jitter widens each delay by a uniform sample from [0, Jitter).
+	Jitter time.Duration
+	// Loss is the probability in [0, 1) that one transmission attempt is
+	// lost and must be retried after RTO. Attempts are independent; the
+	// retry count is capped at maxRetransmits so a pathological profile
+	// cannot stall a message forever.
+	Loss float64
+	// RTO is the retransmission timeout charged per lost attempt.
+	// Defaults to 4×Latency, and to 4×Round when Latency is zero.
+	RTO time.Duration
+	// Round is the simulated wall-clock length of one synchronous round,
+	// used to convert sampled delays into rounds. Defaults to 1ms.
+	Round time.Duration
+}
+
+// maxRetransmits bounds the geometric retry sampling so Loss→1 degrades
+// to a large finite delay instead of an unbounded one.
+const maxRetransmits = 8
+
+// Enabled reports whether the profile shapes anything at all. The zero
+// Shape is a no-op and backends skip the sampling path entirely.
+func (s Shape) Enabled() bool {
+	return s.Latency > 0 || s.Jitter > 0 || s.Loss > 0
+}
+
+// Validate rejects nonsensical profiles.
+func (s Shape) Validate() error {
+	if s.Latency < 0 || s.Jitter < 0 || s.RTO < 0 || s.Round < 0 {
+		return fmt.Errorf("transport: negative Shape durations (%+v)", s)
+	}
+	if s.Loss < 0 || s.Loss >= 1 {
+		return fmt.Errorf("transport: Shape.Loss %v outside [0, 1)", s.Loss)
+	}
+	return nil
+}
+
+func (s Shape) round() time.Duration {
+	if s.Round > 0 {
+		return s.Round
+	}
+	return time.Millisecond
+}
+
+func (s Shape) rto() time.Duration {
+	if s.RTO > 0 {
+		return s.RTO
+	}
+	if s.Latency > 0 {
+		return 4 * s.Latency
+	}
+	return 4 * s.round()
+}
+
+// Wall samples one shaped delay in wall-clock time (TCP backend).
+func (s Shape) Wall(rng *xrand.RNG) time.Duration {
+	d := s.Latency
+	if s.Jitter > 0 {
+		d += time.Duration(rng.Float64() * float64(s.Jitter))
+	}
+	if s.Loss > 0 {
+		rto := s.rto()
+		for k := 0; k < maxRetransmits && rng.Float64() < s.Loss; k++ {
+			d += rto
+		}
+	}
+	return d
+}
+
+// Rounds samples one shaped delay in whole simulation rounds (sim
+// backend), rounding the wall-clock sample half-up at Round granularity.
+func (s Shape) Rounds(rng *xrand.RNG) int64 {
+	r := s.round()
+	return int64((s.Wall(rng) + r/2) / r)
+}
+
+func (s Shape) String() string {
+	if !s.Enabled() {
+		return "off"
+	}
+	return fmt.Sprintf("latency=%v jitter=%v loss=%.3f rto=%v round=%v",
+		s.Latency, s.Jitter, s.Loss, s.rto(), s.round())
+}

@@ -1,0 +1,109 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"skueue/internal/xrand"
+)
+
+func TestShapeZeroIsDisabled(t *testing.T) {
+	var s Shape
+	if s.Enabled() {
+		t.Fatal("zero Shape reports Enabled")
+	}
+	rng := xrand.New(1)
+	if d := s.Wall(rng); d != 0 {
+		t.Fatalf("zero Shape Wall = %v, want 0", d)
+	}
+	if r := s.Rounds(rng); r != 0 {
+		t.Fatalf("zero Shape Rounds = %d, want 0", r)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("zero Shape invalid: %v", err)
+	}
+}
+
+func TestShapeFixedLatency(t *testing.T) {
+	s := Shape{Latency: 10 * time.Millisecond, Round: time.Millisecond}
+	rng := xrand.New(7)
+	for i := 0; i < 100; i++ {
+		if d := s.Wall(rng); d != 10*time.Millisecond {
+			t.Fatalf("Wall = %v, want exactly 10ms with no jitter/loss", d)
+		}
+		if r := s.Rounds(rng); r != 10 {
+			t.Fatalf("Rounds = %d, want 10 at 1ms/round", r)
+		}
+	}
+}
+
+func TestShapeJitterRange(t *testing.T) {
+	s := Shape{Latency: 5 * time.Millisecond, Jitter: 3 * time.Millisecond}
+	rng := xrand.New(7)
+	sawSpread := false
+	var first time.Duration
+	for i := 0; i < 500; i++ {
+		d := s.Wall(rng)
+		if d < 5*time.Millisecond || d >= 8*time.Millisecond {
+			t.Fatalf("Wall = %v outside [5ms, 8ms)", d)
+		}
+		if i == 0 {
+			first = d
+		} else if d != first {
+			sawSpread = true
+		}
+	}
+	if !sawSpread {
+		t.Fatal("jitter produced a constant delay over 500 samples")
+	}
+}
+
+func TestShapeLossChargesRTO(t *testing.T) {
+	s := Shape{Latency: time.Millisecond, Loss: 0.5, RTO: 4 * time.Millisecond}
+	rng := xrand.New(7)
+	var retried int
+	for i := 0; i < 2000; i++ {
+		d := s.Wall(rng)
+		extra := d - time.Millisecond
+		if extra%(4*time.Millisecond) != 0 {
+			t.Fatalf("loss extra %v is not a multiple of the RTO", extra)
+		}
+		if max := time.Duration(maxRetransmits) * 4 * time.Millisecond; extra > max {
+			t.Fatalf("loss extra %v exceeds the retransmission cap %v", extra, max)
+		}
+		if extra > 0 {
+			retried++
+		}
+	}
+	// Loss 0.5 retries roughly half the messages; 1/3 is a safe floor.
+	if retried < 2000/3 {
+		t.Fatalf("only %d/2000 samples charged a retransmission at Loss=0.5", retried)
+	}
+}
+
+func TestShapeDeterministicPerSeed(t *testing.T) {
+	s := Shape{Latency: 2 * time.Millisecond, Jitter: 5 * time.Millisecond, Loss: 0.2}
+	a, b := xrand.New(42), xrand.New(42)
+	for i := 0; i < 200; i++ {
+		if da, db := s.Wall(a), s.Wall(b); da != db {
+			t.Fatalf("sample %d diverged: %v vs %v", i, da, db)
+		}
+	}
+}
+
+func TestShapeValidate(t *testing.T) {
+	for _, bad := range []Shape{
+		{Latency: -time.Millisecond},
+		{Loss: -0.1},
+		{Loss: 1},
+		{Jitter: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("Validate accepted %+v", bad)
+		}
+	}
+	good := Shape{Latency: time.Millisecond, Jitter: time.Millisecond, Loss: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Validate rejected %+v: %v", good, err)
+	}
+}

@@ -1,0 +1,106 @@
+package tcp
+
+import (
+	"time"
+
+	"skueue/internal/transport"
+	"skueue/internal/xrand"
+)
+
+// shaper injects the Options.Shape WAN profile on the receive path of one
+// remote sender. Admitted sequenced frames (envelopes and book updates)
+// are parked in a FIFO pipe and released to the runner after a sampled
+// delay instead of immediately.
+//
+// Shaping must preserve per-sender FIFO order: preAdmit advances the
+// enqueued cursor at admission, and markDelivered advances the durable
+// delivery cursor to the maximum sequence seen. Delivering frame n+1
+// before frame n would let a state capture record a cursor covering an
+// undelivered frame, which the sender would then prune — losing the frame
+// across a crash. A single pipe goroutine per sender (not per connection,
+// and not one time.AfterFunc per frame) makes reordering impossible: the
+// pipe outlives connection resets, so a frame admitted on a dying
+// connection still delivers before anything admitted on its replacement.
+//
+// Only the inbound path is shaped. Acknowledgments stay immediate —
+// delaying them merely postpones prune, which is always safe — so one
+// traversal of the pipe charges exactly one one-way delay per message.
+// After a sender reboot the pipe can still hold old-epoch frames; their
+// markDelivered calls no-op on the boot check and their node effects are
+// the benign pre-crash duplicates the protocol layer already drops.
+type shaper struct {
+	idx   int32
+	shape transport.Shape
+	ch    chan shapedTask
+}
+
+type shapedTask struct {
+	arrived time.Time
+	fn      func()
+}
+
+// shaperBuffer bounds admitted-but-unreleased frames per sender; a full
+// pipe backpressures the connection goroutine, which is exactly what a
+// congested WAN path does.
+const shaperBuffer = 4096
+
+// shaperFor returns the shaping pipe for sender idx, creating it (and its
+// goroutine) on first use, or nil when shaping is off. Pipes live until
+// the peer closes, deliberately spanning connection resets.
+func (p *Peer) shaperFor(idx int32) *shaper {
+	if !p.opts.Shape.Enabled() {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if sh, ok := p.shapers[idx]; ok {
+		return sh
+	}
+	sh := &shaper{idx: idx, shape: p.opts.Shape, ch: make(chan shapedTask, shaperBuffer)}
+	p.shapers[idx] = sh
+	go sh.run(p)
+	return sh
+}
+
+// admit routes an admitted frame's delivery through the shaping pipe, or
+// runs it inline when shaping is off. Called on the connection goroutine;
+// a full pipe blocks it (TCP backpressure), never the runner.
+func (sh *shaper) admit(p *Peer, fn func()) {
+	if sh == nil {
+		fn()
+		return
+	}
+	select {
+	case sh.ch <- shapedTask{arrived: time.Now(), fn: fn}:
+	case <-p.quit:
+	}
+}
+
+// run releases parked frames in admission order after their sampled
+// delays. The pipe goroutine owns its RNG — Peer.rng is runner-confined —
+// and is unreachable from the runner, so sleeping here stalls only this
+// sender's shaped traffic.
+func (sh *shaper) run(p *Peer) {
+	rng := xrand.New(p.opts.Seed ^ int64(sh.idx)<<33 ^ 0x5a17e)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case task := <-sh.ch:
+			if wait := time.Until(task.arrived.Add(sh.shape.Wall(rng))); wait > 0 {
+				timer.Reset(wait)
+				select {
+				case <-p.quit:
+					return
+				case <-timer.C:
+				}
+			}
+			task.fn()
+		}
+	}
+}

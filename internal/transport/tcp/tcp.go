@@ -113,6 +113,11 @@ type Options struct {
 	// OnDown receives give-up notifications. It runs on a link goroutine
 	// and must not block.
 	OnDown func(index int32)
+	// Shape is an optional WAN delivery profile applied on the receive
+	// path: every admitted sequenced frame is released to the runner after
+	// a sampled extra delay, FIFO per sender (see shaper). The zero Shape
+	// delivers immediately.
+	Shape transport.Shape
 }
 
 type nodeState struct {
@@ -236,6 +241,7 @@ type Peer struct {
 	links       map[int32]*link
 	pendingPid  map[int32][]wire.Envelope
 	recv        map[int32]*recvState
+	shapers     map[int32]*shaper
 
 	quit    chan struct{}
 	stopped chan struct{}
@@ -268,6 +274,7 @@ func New(opts Options) *Peer {
 		links:       make(map[int32]*link),
 		pendingPid:  make(map[int32][]wire.Envelope),
 		recv:        make(map[int32]*recvState),
+		shapers:     make(map[int32]*shaper),
 		quit:        make(chan struct{}),
 		stopped:     make(chan struct{}),
 	}
@@ -1188,6 +1195,7 @@ func (p *Peer) AcceptPeer(conn *wire.Conn, hello wire.Hello) {
 	defer close(stop)
 	go p.ackLoop(conn, idx, stop)
 	boot := hello.Boot
+	sh := p.shaperFor(idx) // nil unless Options.Shape is enabled
 	for {
 		v, err := conn.Read()
 		if err != nil {
@@ -1200,11 +1208,14 @@ func (p *Peer) AcceptPeer(conn *wire.Conn, hello wire.Hello) {
 				p.noteAckFor(idx, m.Ack)
 			}
 			if p.preAdmit(idx, boot, m.Seq) {
-				p.Do(func() {
-					// Cursor and node effect advance in the same runner
-					// task: a state capture sees both or neither.
-					p.markDelivered(idx, boot, m.Seq)
-					p.deliver(m)
+				m := m
+				sh.admit(p, func() {
+					p.Do(func() {
+						// Cursor and node effect advance in the same runner
+						// task: a state capture sees both or neither.
+						p.markDelivered(idx, boot, m.Seq)
+						p.deliver(m)
+					})
 				})
 			}
 		case wire.BookUpdate:
@@ -1212,8 +1223,11 @@ func (p *Peer) AcceptPeer(conn *wire.Conn, hello wire.Hello) {
 				p.noteAckFor(idx, m.Ack)
 			}
 			if p.preAdmit(idx, boot, m.Seq) {
-				p.SetBook(m.Book)
-				p.Do(func() { p.markDelivered(idx, boot, m.Seq) })
+				m := m
+				sh.admit(p, func() {
+					p.SetBook(m.Book)
+					p.Do(func() { p.markDelivered(idx, boot, m.Seq) })
+				})
 			}
 		case wire.Ack:
 			p.noteAckFor(idx, m.Seq)

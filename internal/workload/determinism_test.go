@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// opStream runs the spec against a fresh cluster and captures the exact
+// request stream the generator issues, one op per line.
+func opStream(t *testing.T, procs int, clusterSeed, genSeed int64, spec Spec, churn []ChurnEvent) []byte {
+	t.Helper()
+	cl := mkCluster(t, procs, clusterSeed)
+	gen, err := New(cl, spec, genSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.Schedule(churn...)
+	var buf bytes.Buffer
+	gen.SetObserver(func(op Op) {
+		fmt.Fprintf(&buf, "r%d c%d enq=%v\n", op.Round, op.Client, op.Enq)
+	})
+	if !gen.Run(50000) {
+		t.Fatalf("spec %+v did not drain", spec)
+	}
+	return buf.Bytes()
+}
+
+// TestWorkloadDeterminism pins the generator's reproducibility contract:
+// the same (cluster seed, generator seed, spec, churn) produces a
+// byte-identical op stream on every run — the property every chaos
+// scenario, BENCH point, and "same scenario, same result" claim in
+// EXPERIMENTS.md rests on.
+func TestWorkloadDeterminism(t *testing.T) {
+	churny := []ChurnEvent{{Round: 10, Join: true, Proc: 0}, {Round: 20, Proc: 2}}
+	cases := []struct {
+		name  string
+		procs int
+		spec  Spec
+		churn []ChurnEvent
+	}{
+		{"fixed-rate", 4, Spec{Rounds: 40, RequestsPerRound: 5, EnqRatio: 0.5}, nil},
+		{"enq-heavy", 4, Spec{Rounds: 40, RequestsPerRound: 3, EnqRatio: 0.9}, nil},
+		{"deq-only", 3, Spec{Rounds: 30, RequestsPerRound: 2, EnqRatio: 0}, nil},
+		{"per-node", 6, Spec{Rounds: 40, PerNodeProb: 0.3, EnqRatio: 0.6}, nil},
+		{"under-churn", 5, Spec{Rounds: 40, RequestsPerRound: 4, EnqRatio: 0.5}, churny},
+		{"large", 16, Spec{Rounds: 25, RequestsPerRound: 8, EnqRatio: 0.7}, nil},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			a := opStream(t, tc.procs, 11, 7, tc.spec, tc.churn)
+			b := opStream(t, tc.procs, 11, 7, tc.spec, tc.churn)
+			if len(a) == 0 {
+				t.Fatal("observer captured no ops")
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatalf("op streams diverged between identical runs:\nfirst:\n%s\nsecond:\n%s", a, b)
+			}
+			// A different generator seed must change the stream (the
+			// observer sees real randomness, not a constant pattern).
+			c := opStream(t, tc.procs, 11, 8, tc.spec, tc.churn)
+			if bytes.Equal(a, c) && tc.spec.EnqRatio > 0 && tc.spec.EnqRatio < 1 {
+				t.Fatal("changing the generator seed did not change the op stream")
+			}
+		})
+	}
+}
+
+// TestObserverSeesEveryIssue cross-checks the observer against the
+// cluster's own issue counter.
+func TestObserverSeesEveryIssue(t *testing.T) {
+	cl := mkCluster(t, 4, 3)
+	gen, err := New(cl, Spec{Rounds: 30, RequestsPerRound: 4, EnqRatio: 0.5}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	lastRound := -1
+	gen.SetObserver(func(op Op) {
+		seen++
+		if op.Round < lastRound {
+			t.Fatalf("observer saw round %d after round %d", op.Round, lastRound)
+		}
+		lastRound = op.Round
+	})
+	if !gen.Run(20000) {
+		t.Fatal("did not drain")
+	}
+	if int64(seen) != cl.Issued() {
+		t.Fatalf("observer saw %d ops, cluster issued %d", seen, cl.Issued())
+	}
+}

@@ -50,6 +50,14 @@ type ChurnEvent struct {
 	Proc int
 }
 
+// Op is one generated request as observed by SetObserver: the round it
+// was issued in, the client node it was issued at, and its kind.
+type Op struct {
+	Round  int
+	Client sim.NodeID
+	Enq    bool
+}
+
 // Generator drives a cluster through a workload.
 type Generator struct {
 	cl    *core.Cluster
@@ -57,6 +65,7 @@ type Generator struct {
 	rng   *xrand.RNG
 	churn []ChurnEvent
 	round int
+	obs   func(Op)
 }
 
 // New prepares a generator with its own deterministic randomness.
@@ -69,6 +78,12 @@ func New(cl *core.Cluster, spec Spec, seed int64) (*Generator, error) {
 
 // Schedule adds churn events (may be called before running).
 func (g *Generator) Schedule(events ...ChurnEvent) { g.churn = append(g.churn, events...) }
+
+// SetObserver registers fn to be called synchronously for every request
+// the generator issues, in issue order. The determinism tests and the
+// chaos harness use it to capture the exact op stream of a run; identical
+// seed and spec must reproduce it byte for byte.
+func (g *Generator) SetObserver(fn func(Op)) { g.obs = fn }
 
 // Round returns the number of generation rounds completed.
 func (g *Generator) Round() int { return g.round }
@@ -109,7 +124,11 @@ func (g *Generator) Step() bool {
 }
 
 func (g *Generator) issue(c sim.NodeID) {
-	if g.rng.Bool(g.spec.EnqRatio) {
+	enq := g.rng.Bool(g.spec.EnqRatio)
+	if g.obs != nil {
+		g.obs(Op{Round: g.round, Client: c, Enq: enq})
+	}
+	if enq {
 		g.cl.Enqueue(c)
 	} else {
 		g.cl.Dequeue(c)

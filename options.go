@@ -1,6 +1,11 @@
 package skueue
 
-import "skueue/internal/wire"
+import (
+	"time"
+
+	"skueue/internal/transport"
+	"skueue/internal/wire"
+)
 
 // Mode selects the data-structure semantics.
 type Mode int
@@ -33,6 +38,7 @@ type options struct {
 	noCombining     bool
 	quantum         int64
 	remote          string
+	wan             WANProfile
 }
 
 func defaultOptions() options {
@@ -100,6 +106,48 @@ func WithoutStage4Wait() Option { return func(o *options) { o.noStage4Wait = tru
 // ablation: stack batches grow and Theorem 20 no longer holds). See
 // DESIGN.md §7.
 func WithoutLocalCombining() Option { return func(o *options) { o.noCombining = true } }
+
+// WANProfile describes wide-area delivery conditions injected into the
+// simulated cluster: every message is charged extra delay sampled from
+// the profile on top of the model's native scheduling. Loss is modeled as
+// retransmission latency (k lost attempts cost k RTOs), so the reliable
+// channel the protocol assumes is preserved. RoundLength calibrates the
+// simulated wall-clock length of one synchronous round (default 1ms) and
+// so how many rounds a given latency spans.
+type WANProfile struct {
+	// Latency is the base one-way delay per message.
+	Latency time.Duration
+	// Jitter widens each delay by a uniform sample from [0, Jitter).
+	Jitter time.Duration
+	// Loss is the per-attempt loss probability in [0, 1); each lost
+	// attempt charges one retransmission timeout of extra delay.
+	Loss float64
+	// RTO overrides the retransmission timeout (default 4×Latency).
+	RTO time.Duration
+	// RoundLength is the simulated duration of one round (default 1ms).
+	RoundLength time.Duration
+}
+
+func (w WANProfile) shape() transport.Shape {
+	return transport.Shape{
+		Latency: w.Latency,
+		Jitter:  w.Jitter,
+		Loss:    w.Loss,
+		RTO:     w.RTO,
+		Round:   w.RoundLength,
+	}
+}
+
+// Enabled reports whether the profile shapes anything; the zero profile
+// is a no-op.
+func (w WANProfile) Enabled() bool { return w.shape().Enabled() }
+
+// WithWAN runs the simulated cluster under a WAN delivery profile
+// (latency, jitter, loss as retransmission delay). Works in both the
+// synchronous and asynchronous models; ignored by WithRemote clients,
+// where shaping belongs to the servers (skueue-server -wan-latency,
+// -wan-jitter, -wan-loss).
+func WithWAN(p WANProfile) Option { return func(o *options) { o.wan = p } }
 
 // WithRemote connects the client to a networked Skueue cluster member
 // (started with cmd/skueue-server) at the given address instead of
