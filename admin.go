@@ -17,7 +17,7 @@ func (c *Client) Admin() Admin { return Admin{c: c} }
 func (a Admin) Join(contact int) (int, error) {
 	c := a.c
 	if c.rem != nil {
-		return 0, ErrRemote
+		return 0, ErrUnsupported
 	}
 	c.mu.Lock()
 	if c.closed {
@@ -39,7 +39,7 @@ func (a Admin) Join(contact int) (int, error) {
 func (a Admin) Leave(proc int) error {
 	c := a.c
 	if c.rem != nil {
-		return ErrRemote
+		return ErrUnsupported
 	}
 	c.mu.Lock()
 	if c.closed {
@@ -66,7 +66,7 @@ func (a Admin) Leave(proc int) error {
 // goroutine (the bounded Client.Settle is the non-blocking alternative).
 func (a Admin) Settle(ctx context.Context) error {
 	if a.c.rem != nil {
-		return ErrRemote
+		return ErrUnsupported
 	}
 	return a.c.await(ctx, a.c.settledLocked)
 }

@@ -76,7 +76,7 @@ func Open(opts ...Option) (*Client, error) {
 		opt(&o)
 	}
 	if o.remote != "" {
-		return openRemote(o.remote)
+		return openRemote(o)
 	}
 	if o.processes < 1 {
 		return nil, fmt.Errorf("skueue: WithProcesses(%d): need at least one process", o.processes)
@@ -586,7 +586,10 @@ func (c *Client) settledLocked() bool {
 // fetches and merges the completion histories of every cluster member
 // (completions are recorded where they finish) and runs the same checker
 // locally — so a networked execution is verified end to end, across all
-// members and all clients.
+// members and all clients. A WithSession client additionally verifies its
+// own session guarantees against the merged history: every outcome it was
+// delivered exists exactly once, at the rank the history assigned, and in
+// the session's dependency order (seqcheck.CheckSession).
 func (c *Client) Check() error {
 	if c.rem != nil {
 		hist, err := c.rem.histories()
@@ -597,11 +600,27 @@ func (c *Client) Check() error {
 		if c.mode == Stack {
 			mode = seqcheck.Stack
 		}
-		return seqcheck.Check(mode, hist)
+		if err := seqcheck.Check(mode, hist); err != nil {
+			return err
+		}
+		return c.rem.checkSession(hist)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.cl.CheckConsistency()
+}
+
+// History returns the execution's completion history: on a remote client
+// the freshly fetched and merged histories of every cluster member (the
+// same data Check verifies), on an embedded cluster the local record.
+// Harnesses use it to dump the execution when a check fails.
+func (c *Client) History() (*seqcheck.History, error) {
+	if c.rem != nil {
+		return c.rem.histories()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cl.History(), nil
 }
 
 // Stats summarizes completed operations.

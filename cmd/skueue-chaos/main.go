@@ -20,6 +20,10 @@
 //	# members are SIGKILLed inside journal group-commit windows and
 //	# restarted from their state directories. Exact element accounting
 //	# plus the Definition 1 check must both pass for the run to count.
+//	# By default workers ride durable client sessions (-sessions=true):
+//	# kills cost latency, not outcomes, and each worker's session order
+//	# is verified against the merged history; -sessions=false reverts to
+//	# ephemeral fail-fast connections.
 //	skueue-chaos -scenario proc -proc-members 16 -workers 8 \
 //	    -ops-per-worker 150 -kills 3 -out .
 //
@@ -81,6 +85,7 @@ func main() {
 		tick        = flag.Duration("tick", 500*time.Microsecond, "server protocol TIMEOUT cadence (proc)")
 		batchOps    = flag.Int("journal-batch-ops", 0, "server journal group-commit op cap (proc; 0: server default)")
 		batchDelay  = flag.Duration("journal-batch-delay", 2*time.Millisecond, "server journal batch hold time (proc; should match -batch-window)")
+		sessions    = flag.Bool("sessions", true, "drive proc traffic through durable client sessions (WithSession + reconnect) instead of ephemeral fail-fast connections")
 		stateDir    = flag.String("state-dir", "", "state/log directory for the proc cluster (empty: fresh temp dir)")
 	)
 	flag.Parse()
@@ -140,11 +145,16 @@ func main() {
 			log.Fatalf("skueue-chaos: %v", err)
 		}
 		defer cleanup()
-		bench.Workload = fmt.Sprintf("%d workers x %d ops, enq %.2f, %d kills",
-			*workers, *opsPer, *enqRatio, *kills)
+		kindWord := "ephemeral"
+		if *sessions {
+			kindWord = "sessions"
+		}
+		bench.Workload = fmt.Sprintf("%d workers x %d ops, enq %.2f, %d kills, %s",
+			*workers, *opsPer, *enqRatio, *kills, kindWord)
 		sc := chaos.ProcScenario{
 			Bin: bin, Members: *procMembers, Mode: *mode, Seed: *seed,
 			Workers: *workers, OpsPerWorker: *opsPer, EnqRatio: *enqRatio,
+			Sessions: *sessions,
 			Storm: chaos.StormSpec{
 				Kills: *kills, Start: *stormStart, Every: *stormEvery,
 				Downtime: *downtime, BatchWindow: *batchWindow,

@@ -34,15 +34,30 @@ var (
 	// deterministic control of simulated time.
 	ErrAutoClock = errors.New("skueue: clock is automatic (open with WithManualClock to step manually)")
 
-	// ErrRemote reports a remote-cluster condition on a client opened with
-	// WithRemote: either an operation that only exists against an
-	// in-process simulated cluster — process pinning, membership
-	// administration, simulation clock control — or an operation the
-	// cluster abandoned because one of its members stayed unreachable past
-	// the server's give-up timeout (fail-stop detection; see
-	// cmd/skueue-server -give-up). The networked cluster's membership is
-	// managed by its servers (cmd/skueue-server -join).
+	// ErrRemote is the umbrella sentinel for remote-cluster conditions on
+	// a client opened with WithRemote. It is never returned bare anymore:
+	// callers receive ErrUnsupported or ErrUnreachable, both of which wrap
+	// it, so existing errors.Is(err, ErrRemote) dispatch keeps working.
+	// Match on the two specific sentinels to tell the cases apart.
 	ErrRemote = errors.New("skueue: operation not available on a remote client")
+)
+
+// The two faces ErrRemote used to conflate. Both wrap ErrRemote.
+var (
+	// ErrUnsupported reports an operation that only exists against an
+	// in-process simulated cluster — process pinning, membership
+	// administration, simulation clock control. The networked cluster's
+	// membership is managed by its servers (cmd/skueue-server -join).
+	ErrUnsupported = fmt.Errorf("%w: operation only exists against an in-process cluster", ErrRemote)
+
+	// ErrUnreachable reports an operation the remote cluster could not
+	// carry to completion because a member became unreachable: the cluster
+	// abandoned it past the server's give-up timeout (fail-stop detection;
+	// see cmd/skueue-server -give-up), the connection was lost on an
+	// ephemeral client, or a session client exhausted its reconnect budget
+	// (WithReconnect) without resuming. Futures failed this way report
+	// Indeterminate() — the operation may or may not have executed.
+	ErrUnreachable = fmt.Errorf("%w: cluster member unreachable", ErrRemote)
 )
 
 // ctxError converts a context error into the client's typed form: deadline

@@ -30,6 +30,11 @@ type Future struct {
 	// rejection or an undecodable value); simulated operations always
 	// complete cleanly.
 	err error
+	// indeterminate marks a failed operation whose outcome is unknown
+	// rather than definitely rejected (remote mode: the connection or the
+	// member died with the operation in flight and no session resume
+	// recovered the journaled outcome).
+	indeterminate bool
 }
 
 // Done returns a channel closed when the operation completes. It never
@@ -86,6 +91,33 @@ func (f *Future) Err() error {
 		return f.err
 	}
 	return nil
+}
+
+// Indeterminate reports whether a completed operation's outcome is
+// unknown rather than definitely rejected: the member executing it
+// crashed or became unreachable with the operation in flight and no
+// session resume (WithSession) recovered the journaled outcome. An
+// indeterminate enqueue may or may not have entered the structure; an
+// indeterminate dequeue may have consumed an element whose identity is
+// lost. False while the future is pending, and false for definite
+// failures (a server-side rejection: Err non-nil, Indeterminate false).
+func (f *Future) Indeterminate() bool { return f.Completed() && f.indeterminate }
+
+// Result folds Wait, Err and the result accessors into one call: it
+// blocks like Wait (same context/close semantics), then returns the
+// operation's outcome. For a dequeue, value is the dequeued element and
+// ok reports whether one was present (ok false means ⊥); for an enqueue
+// both are zero. A non-nil error carries the same sentinels Wait
+// returns, plus the operation's own failure if any; Result counts as a
+// synchronization point for the futureerr analyzer.
+func (f *Future) Result(ctx context.Context) (value any, ok bool, err error) {
+	if err := f.Wait(ctx); err != nil {
+		return nil, false, err
+	}
+	if f.kind == seqcheck.Dequeue {
+		return f.value, !f.bottom, nil
+	}
+	return nil, false, nil
 }
 
 // Value returns the dequeued value (nil for ⊥, for enqueues, and until the

@@ -6,9 +6,9 @@
 // ad hoc in PR 5. Within each function body, a read of a future's
 // result is accepted only if the same receiver expression was
 // synchronized lexically earlier: a call to one of its completion
-// methods (Wait, Err, Completed, Done), or being passed to a
-// //skueue:awaits-future function. A Wait whose error result is
-// discarded (expression statement) is reported too.
+// methods (Wait, Result, Err, Completed, Done), or being passed to a
+// //skueue:awaits-future function. A Wait or Result whose error result
+// is discarded (expression statement) is reported too.
 package futureerr
 
 import (
@@ -26,7 +26,11 @@ var Analyzer = &analysis.Analyzer{
 }
 
 var readMethods = map[string]bool{"Value": true, "Empty": true, "Rounds": true}
-var syncMethods = map[string]bool{"Wait": true, "Err": true, "Completed": true, "Done": true}
+var syncMethods = map[string]bool{"Wait": true, "Result": true, "Err": true, "Completed": true, "Done": true}
+
+// errCarrying marks the sync methods whose returned error must not be
+// dropped on the floor: discarding it hides a failed operation.
+var errCarrying = map[string]bool{"Wait": true, "Result": true}
 
 func run(pass *analysis.Pass) {
 	for _, pkg := range pass.Prog.Pkgs {
@@ -81,8 +85,8 @@ func checkBody(pass *analysis.Pass, pkg *analysis.Package, body *ast.BlockStmt) 
 		a := access{recv: types.ExprString(sel.X), pos: call.Pos(), name: sel.Sel.Name}
 		switch {
 		case syncMethods[a.name]:
-			if a.name == "Wait" && discard[call] {
-				pass.Reportf(call.Pos(), "%s.Wait error discarded; a failed operation would go unnoticed", a.recv)
+			if errCarrying[a.name] && discard[call] {
+				pass.Reportf(call.Pos(), "%s.%s error discarded; a failed operation would go unnoticed", a.recv, a.name)
 			}
 			syncs = append(syncs, a)
 		case readMethods[a.name]:

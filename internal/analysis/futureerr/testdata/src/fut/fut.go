@@ -8,7 +8,10 @@ import "errors"
 //skueue:future
 type Future struct{ done chan struct{} }
 
-func (f *Future) Wait() error           { return errors.New("x") }
+func (f *Future) Wait() error { return errors.New("x") }
+func (f *Future) Result() (any, bool, error) {
+	return nil, false, errors.New("x")
+}
 func (f *Future) Err() error            { return nil }
 func (f *Future) Completed() bool       { return true }
 func (f *Future) Done() <-chan struct{} { return f.done }
@@ -33,6 +36,17 @@ func good(f *Future) {
 func discarded(f *Future) {
 	f.Wait()      // want `f\.Wait error discarded`
 	_ = f.Value() // ok: Wait still synchronized, its error is the finding
+}
+
+func viaResult(f *Future) {
+	if _, _, err := f.Result(); err != nil {
+		return
+	}
+	_ = f.Rounds() // ok: Result is a synchronization point
+}
+
+func discardedResult(f *Future) {
+	f.Result() // want `f\.Result error discarded`
 }
 
 func viaCompleted(f *Future) {

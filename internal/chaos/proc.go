@@ -8,11 +8,13 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"skueue"
 	"skueue/internal/core"
+	"skueue/internal/seqcheck"
 	"skueue/internal/xrand"
 )
 
@@ -34,6 +36,13 @@ type ProcScenario struct {
 	Workers      int
 	OpsPerWorker int
 	EnqRatio     float64
+	// Sessions drives the traffic through durable client sessions
+	// (WithSession + WithReconnect): a kill no longer tears a worker's
+	// pending operations down — the client resumes the session at the
+	// restarted owner and collects the journaled outcomes exactly once.
+	// Each worker's session order is verified against the merged history
+	// after the storm (seqcheck.CheckSession via Client.Check).
+	Sessions bool
 	// Storm's Members and Seed fields are filled in from the scenario.
 	Storm StormSpec
 	// WANLatency/WANJitter/WANLoss shape every member's inbound peer
@@ -219,6 +228,7 @@ func (c *ProcCluster) commonArgs(m *procMember) []string {
 		"-seed", fmt.Sprint(sc.Seed),
 		"-mode", sc.Mode,
 		"-state", m.dir,
+		"-v",
 	}
 	if sc.SnapshotEvery > 0 {
 		args = append(args, "-snapshot-every", sc.SnapshotEvery.String())
@@ -450,8 +460,10 @@ func RunProc(sc ProcScenario) (*ProcResult, error) {
 	}()
 
 	// Traffic: each worker drives a remote client, redialing a live
-	// member whenever a kill tears its connection down.
+	// member whenever a kill tears its connection down (ephemeral mode)
+	// or letting the session layer reconnect underneath it (Sessions).
 	tallies := make([]*workerTally, sc.Workers)
+	sessClients := make([]*skueue.Client, sc.Workers)
 	var wg sync.WaitGroup
 	for w := 0; w < sc.Workers; w++ {
 		w := w
@@ -463,13 +475,34 @@ func RunProc(sc ProcScenario) (*ProcResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			runWorker(cluster, sc, w, tallies[w])
+			if sc.Sessions {
+				sessClients[w] = runSessionWorker(cluster, sc, w, tallies[w])
+			} else {
+				runWorker(cluster, sc, w, tallies[w])
+			}
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 	if err := <-stormDone; err != nil {
 		return nil, fmt.Errorf("chaos: storm execution: %w", err)
+	}
+
+	// Per-session order check: every outcome each session observed must
+	// exist in the merged history at the rank it was delivered with, in
+	// the session's dependency order — across however many kills and
+	// resumes the storm inflicted on its owner.
+	for w, cl := range sessClients {
+		if cl == nil {
+			continue
+		}
+		err := cl.Check()
+		if err != nil {
+			dumpHistory(cluster, cl)
+			cl.Close()
+			return nil, fmt.Errorf("chaos: session check (worker %d): %w", w, err)
+		}
+		cl.Close()
 	}
 
 	// Merge the accounting universe.
@@ -615,6 +648,103 @@ func runWorker(cluster *ProcCluster, sc ProcScenario, id int, t *workerTally) {
 	}
 }
 
+// runSessionWorker drives one worker's traffic through a durable session:
+// reconnects and resumes happen inside the client (WithReconnect), so a
+// kill mid-operation usually costs latency, not an outcome. Only a client
+// that gave up — retry budget exhausted, or an operation answered
+// indeterminate/timed out — is replaced, under a fresh session
+// incarnation so the old and new dedupe windows never mix. Returns the
+// final incarnation's client, still open, for the per-session order
+// check.
+func runSessionWorker(cluster *ProcCluster, sc ProcScenario, id int, t *workerTally) *skueue.Client {
+	rng := xrand.New(sc.Seed ^ int64(id)<<21).Fork("session-worker")
+	incarnation := 0
+	var c *skueue.Client
+	open := func() bool {
+		if c != nil {
+			c.Close()
+			c = nil
+		}
+		incarnation++
+		sess := fmt.Sprintf("chaos-%d-w%d-i%d", sc.Seed, id, incarnation)
+		deadline := time.Now().Add(60 * time.Second)
+		for time.Now().Before(deadline) {
+			addr, ok := cluster.LiveAddr(rng)
+			if ok {
+				cl, err := skueue.Open(
+					skueue.WithRemote(addr),
+					skueue.WithSession(sess),
+					skueue.WithDialTimeout(2*time.Second),
+					skueue.WithReconnect(60, 200*time.Millisecond),
+				)
+				if err == nil {
+					c = cl
+					return true
+				}
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		return false
+	}
+	for i := 0; i < sc.OpsPerWorker; i++ {
+		if c == nil && !open() {
+			return nil // cluster unreachable; accounting will catch real loss
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), sc.OpTimeout)
+		var opErr error
+		if rng.Bool(sc.EnqRatio) {
+			v := fmt.Sprintf("w%d-%d", id, i)
+			t0 := time.Now()
+			f, err := c.EnqueueAsync(skueue.AnyProcess, v)
+			if err == nil {
+				_, _, err = f.Result(ctx)
+			}
+			if err == nil {
+				t.confirmed[v] = true
+				t.hist.Record(time.Since(t0).Microseconds())
+			} else {
+				// Retries exhausted, a timeout, or an indeterminate answer:
+				// the enqueue may or may not have committed server-side.
+				t.maybeEnq[v] = true
+			}
+			opErr = err
+		} else {
+			t0 := time.Now()
+			f, err := c.DequeueAsync(skueue.AnyProcess)
+			var v any
+			var present bool
+			if err == nil {
+				v, present, err = f.Result(ctx)
+			}
+			if err == nil {
+				if present {
+					if s, isStr := v.(string); isStr {
+						t.dequeued = append(t.dequeued, s)
+					}
+				} else {
+					t.bottoms++
+				}
+				t.hist.Record(time.Since(t0).Microseconds())
+			} else {
+				// The answer is lost; the dequeue may have consumed an
+				// element whose identity is unknown.
+				t.indetDeq++
+			}
+			opErr = err
+		}
+		cancel()
+		if opErr != nil {
+			// A timed-out operation could still settle on this session, but
+			// its tally entry is already conservative (maybe/indeterminate);
+			// replacing the incarnation keeps each pending window's
+			// accounting unambiguous.
+			c.Close()
+			c = nil
+		}
+	}
+	return c
+}
+
 // drainAndCheck empties the structure after the storm, then fetches the
 // merged histories for the Definition 1 check and the final stats.
 // dequeued is extended with the drained elements.
@@ -677,7 +807,34 @@ func drainAndCheck(cluster *ProcCluster, sc ProcScenario, dequeued map[string]in
 		}
 	}
 	if err := c.Check(); err != nil {
+		dumpHistory(cluster, c)
 		return drained, skueue.Stats{}, fmt.Errorf("chaos: Definition 1 check failed: %w", err)
 	}
 	return drained, c.Stats(), nil
+}
+
+// dumpHistory writes the merged completion history to the scenario's
+// base directory when a consistency check fails, so a violation found by
+// a storm can be diagnosed from the artifacts instead of re-run. Best
+// effort: fetch or write errors only log.
+func dumpHistory(cluster *ProcCluster, c *skueue.Client) {
+	h, err := c.History()
+	if err != nil {
+		cluster.logf("chaos: history dump failed: %v", err)
+		return
+	}
+	ops := append([]seqcheck.Completion(nil), h.Ops...)
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Value < ops[j].Value })
+	var b strings.Builder
+	b.WriteString("rank\tclient\tseq\tkind\telem\tbottom\treqid\n")
+	for _, op := range ops {
+		fmt.Fprintf(&b, "%d\tc%d\t%d\t%v\t%v\t%v\t%#x\n",
+			op.Value, op.Client, op.LocalSeq, op.Kind, op.Elem, op.Bottom, op.ReqID)
+	}
+	path := filepath.Join(cluster.BaseDir(), "history.tsv")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		cluster.logf("chaos: history dump failed: %v", err)
+		return
+	}
+	cluster.logf("chaos: merged history dumped to %s", path)
 }

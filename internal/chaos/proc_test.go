@@ -98,3 +98,60 @@ func TestChaosProcKillRestart(t *testing.T) {
 	t.Logf("proc chaos: %d members, %d ops (%.0f ops/s), latency %s, drained %d, stats %+v",
 		res.Members, res.Ops, res.OpsPerSec, res.Hist, res.Drained, res.Stats)
 }
+
+// TestChaosProcKillRestartSessions runs the same kill/restart storm with
+// every worker riding a durable client session (WithSession + reconnect)
+// instead of ephemeral fail-fast connections. The acceptance bar is
+// strictly higher: a kill costs the session client latency, never an
+// outcome, so the run must finish with zero confirmed-but-lost elements,
+// zero indeterminate operations of either kind, and every worker's
+// per-session order check passing against the merged history (RunProc
+// runs Client.Check per session worker before returning).
+func TestChaosProcKillRestartSessions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process chaos scenario skipped in -short mode")
+	}
+	members := chaosEnvInt(t, "SKUEUE_CHAOS_PROC_MEMBERS", 3)
+	kills := chaosEnvInt(t, "SKUEUE_CHAOS_KILLS", 1)
+	ops := chaosEnvInt(t, "SKUEUE_CHAOS_OPS", 150)
+	sc := ProcScenario{
+		Bin:          serverBin,
+		Members:      members,
+		Mode:         "queue",
+		Seed:         43,
+		Workers:      4,
+		OpsPerWorker: ops,
+		EnqRatio:     0.65,
+		Sessions:     true,
+		Storm: StormSpec{
+			Kills:       kills,
+			Start:       300 * time.Millisecond,
+			Every:       900 * time.Millisecond,
+			Downtime:    250 * time.Millisecond,
+			BatchWindow: 2 * time.Millisecond,
+		},
+		SnapshotEvery:     50 * time.Millisecond,
+		Tick:              500 * time.Microsecond,
+		JournalBatchDelay: 2 * time.Millisecond,
+		BaseDir:           t.TempDir(),
+		Logf:              t.Logf,
+	}
+	res, err := RunProc(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.Kills != kills || res.Faults.Restarts != kills {
+		t.Fatalf("storm executed %+v, want %d kill/restart pairs", res.Faults, kills)
+	}
+	if res.Confirmed == 0 {
+		t.Fatal("no enqueue confirmed; the scenario measured nothing")
+	}
+	if res.MaybeEnqueued != 0 {
+		t.Fatalf("%d enqueues ended indeterminate; session reconnect must resolve every submitted operation", res.MaybeEnqueued)
+	}
+	if res.IndetDequeues != 0 {
+		t.Fatalf("%d dequeues ended indeterminate; session reconnect must resolve every submitted operation", res.IndetDequeues)
+	}
+	t.Logf("proc session chaos: %d members, %d ops (%.0f ops/s), latency %s, drained %d, stats %+v",
+		res.Members, res.Ops, res.OpsPerSec, res.Hist, res.Drained, res.Stats)
+}

@@ -120,6 +120,24 @@ type Node struct {
 	// of a crashed peer's history cannot double-apply an operation.
 	appliedPuts reqRing
 	servedGets  reqRing
+	// earlyReplies / earlyAcks (member mode only) park link-replayed
+	// getReply / putAck frames that arrive before the journal replay has
+	// re-registered the operation they answer. After a fail-stop restart
+	// the peer link re-delivers its unacked frames immediately, while
+	// the restarted member is still re-injecting its journal tail wave
+	// by wave — so a reply can land while pendingGets/awaitingAcks is
+	// empty. Dropping it would lose the completion for good: when the
+	// re-injected op finally sends its GET, the serving member's
+	// servedGets window dedupes the request on the assumption that the
+	// original reply is (or was) replayed by the link layer. Instead the
+	// reply is parked here and consumed the moment the op re-registers.
+	// Entries that are never claimed are genuine duplicates (the GET was
+	// resolved before the snapshot cut, so its completion is already in
+	// the restored history); request IDs are never reused, so a stale
+	// entry can never be claimed by a different op, and the map is
+	// bounded by the link-replay window.
+	earlyReplies map[uint64]getReply
+	earlyAcks    map[uint64]struct{}
 	// foldedWaves (member mode only) is the per-child cursor of the
 	// newest wave this node has FOLDED into a processing batch for that
 	// child. A restarted child re-fires the wave its snapshot rolled
@@ -527,6 +545,22 @@ func (n *Node) applyOwn(ctx *transport.Context, own ownWave, d []batch.RunAssign
 	}
 }
 
+// resolveGet completes an in-flight GET of this node's client with the
+// given reply. The caller has checked that pendingGets holds the request.
+func (n *Node) resolveGet(ctx *transport.Context, m getReply) {
+	gc := n.pendingGets[m.ReqID]
+	delete(n.pendingGets, m.ReqID)
+	if n.cl.cfg.Mode == batch.Stack {
+		n.outstanding--
+	}
+	n.cl.recordCompletion(seqcheck.Completion{
+		Client: n.clientID, LocalSeq: gc.localSeq,
+		Kind: seqcheck.Dequeue, Elem: m.Entry.Elem,
+		Value: gc.value, Born: gc.born, Done: ctx.Now(), ReqID: m.ReqID,
+		Blob: m.Entry.Blob,
+	})
+}
+
 func (n *Node) dispatchOp(ctx *transport.Context, po pendingOp, oa batch.OpAssign, isDeq bool) {
 	if isDeq && oa.Pos == batch.NoPosition {
 		// Empty-structure dequeue: returns ⊥ right here (§III-E).
@@ -548,6 +582,16 @@ func (n *Node) dispatchOp(ctx *transport.Context, po pendingOp, oa batch.OpAssig
 		if stackMode {
 			n.outstanding++
 		}
+		if m, ok := n.earlyReplies[po.reqID]; ok {
+			// The reply already arrived via link replay while this op was
+			// still being re-injected from the journal (see earlyReplies).
+			// Complete it here; the serving member would only dedupe a
+			// re-sent GET anyway.
+			delete(n.earlyReplies, po.reqID)
+			n.cl.logf("core: %v claiming parked reply for GET %d (restart replay)", n.self, po.reqID)
+			n.resolveGet(ctx, m)
+			return
+		}
 		n.sendRouted(ctx, key, getReq{Pos: oa.Pos, Bound: bound, Requester: n.self.ID, ReqID: po.reqID})
 		return
 	}
@@ -559,6 +603,17 @@ func (n *Node) dispatchOp(ctx *transport.Context, po pendingOp, oa batch.OpAssig
 			n.awaitingAcks = make(map[uint64]struct{})
 		}
 		n.awaitingAcks[po.reqID] = struct{}{}
+		if _, ok := n.earlyAcks[po.reqID]; ok {
+			// The ack already arrived via link replay while this op was
+			// still being re-injected from the journal (see earlyAcks).
+			delete(n.earlyAcks, po.reqID)
+			delete(n.awaitingAcks, po.reqID)
+			n.outstanding--
+			n.cl.logf("core: %v claiming parked ack for PUT %d (restart replay)", n.self, po.reqID)
+			if n.cl.onPutAck != nil {
+				n.cl.onPutAck(po.reqID)
+			}
+		}
 	}
 	n.sendRouted(ctx, key, putReq{
 		Pos: oa.Pos, Ticket: ticket, Elem: po.elem, Blob: po.blob,
@@ -810,26 +865,25 @@ func (n *Node) OnMessage(ctx *transport.Context, from transport.NodeID, payload 
 	case directMsg:
 		n.dispatchDHT(ctx, m.Key, m.Inner)
 	case getReply:
-		gc, ok := n.pendingGets[m.ReqID]
-		if !ok {
+		if _, ok := n.pendingGets[m.ReqID]; !ok {
 			if n.cl.memberMode() {
-				// Replay duplicate after a fail-stop restart: the restored
-				// state already resolved this GET.
-				n.cl.logf("core: %v dropping reply for unknown GET %d (restart replay)", n.self, m.ReqID)
+				// After a fail-stop restart this is either a genuine
+				// duplicate (the restored state already resolved the GET)
+				// or a link-replayed reply racing ahead of the journal
+				// replay that will re-register the op. The two are
+				// indistinguishable here, so park it: a re-registered op
+				// claims it immediately, an unclaimed entry is inert (see
+				// earlyReplies).
+				n.cl.logf("core: %v parking reply for unknown GET %d (restart replay)", n.self, m.ReqID)
+				if n.earlyReplies == nil {
+					n.earlyReplies = make(map[uint64]getReply)
+				}
+				n.earlyReplies[m.ReqID] = m
 				return
 			}
 			panic(fmt.Sprintf("core: node %v got reply for unknown GET %d", n.self, m.ReqID))
 		}
-		delete(n.pendingGets, m.ReqID)
-		if n.cl.cfg.Mode == batch.Stack {
-			n.outstanding--
-		}
-		n.cl.recordCompletion(seqcheck.Completion{
-			Client: n.clientID, LocalSeq: gc.localSeq,
-			Kind: seqcheck.Dequeue, Elem: m.Entry.Elem,
-			Value: gc.value, Born: gc.born, Done: ctx.Now(), ReqID: m.ReqID,
-			Blob: m.Entry.Blob,
-		})
+		n.resolveGet(ctx, m)
 	case putAck:
 		if n.cl.cfg.Mode == batch.Stack {
 			if _, awaited := n.awaitingAcks[m.ReqID]; awaited {
@@ -838,9 +892,17 @@ func (n *Node) OnMessage(ctx *transport.Context, from transport.NodeID, payload 
 			} else if !n.cl.memberMode() {
 				panic(fmt.Sprintf("core: node %v got ack for unawaited PUT %d", n.self, m.ReqID))
 			} else {
-				// Duplicate ack around a fail-stop restart (replayed
-				// original plus dedupe re-ack): already accounted.
-				n.cl.logf("core: %v dropping duplicate ack for PUT %d (restart replay)", n.self, m.ReqID)
+				// Either a duplicate ack around a fail-stop restart
+				// (replayed original plus dedupe re-ack, already
+				// accounted) or a link-replayed ack racing ahead of the
+				// journal replay that will re-register the PUT. Park it
+				// so the re-registered op can claim it (see earlyAcks);
+				// an unclaimed entry is inert.
+				n.cl.logf("core: %v parking ack for unawaited PUT %d (restart replay)", n.self, m.ReqID)
+				if n.earlyAcks == nil {
+					n.earlyAcks = make(map[uint64]struct{})
+				}
+				n.earlyAcks[m.ReqID] = struct{}{}
 				break
 			}
 		}

@@ -144,6 +144,23 @@ func (cl *Cluster) Resubmit(client transport.NodeID, reqID uint64, isDeq bool, b
 	}
 }
 
+// HeldReplayServes reports how many replayed serve messages are still
+// parked for future waves across this member's nodes (Node.heldServes).
+// While any are parked, the restart replay has not converged: the parked
+// serves pin the exact batch shape of waves this member has yet to
+// re-fire, and a fresh operation joining one of those waves would fail
+// the shape guard and wedge the member. The hosting layer holds new
+// client traffic until this reaches zero (and the peer replay fences
+// have arrived — a serve still in TCP flight is parked only on arrival).
+// Runner goroutine only.
+func (cl *Cluster) HeldReplayServes() int {
+	n := 0
+	for _, node := range cl.nodes {
+		n += len(node.heldServes)
+	}
+	return n
+}
+
 // assignsFit checks a serve's assignments against the node's current
 // processing batch: every enqueue/push run's position interval must have
 // exactly the run's length (the anchor always allocates enqueue intervals

@@ -1,0 +1,44 @@
+package seqcheck
+
+import "fmt"
+
+// SessionOp records one delivered outcome of a durable client session, as
+// observed at the client: the operation's request ID, the session's
+// delivered-rank floor at the moment the operation was SUBMITTED, and the
+// rank its outcome reported (NoValue when the server did not learn one —
+// bare put-acks and locally combined stack operations carry no rank).
+type SessionOp struct {
+	ReqID uint64
+	Floor int64
+	Rank  int64
+}
+
+// CheckSession verifies one session's guarantees against the merged
+// cluster history: every outcome delivered to the session names an
+// operation the history actually recorded, the rank the client saw is the
+// rank the history assigned, and the session's dependency order holds —
+// an operation submitted after the session had observed rank F must
+// serialize strictly after F (this is read-your-writes for enqueues and
+// monotonic reads for dequeues, per Definition 1's per-client order).
+// Operations pipelined asynchronously before any of them completed may
+// legitimately interleave ranks among themselves; only the floor each
+// operation carried at submission is binding.
+func CheckSession(h *History, ops []SessionOp) error {
+	ranks := make(map[uint64]int64, h.Len())
+	for _, c := range h.Ops {
+		ranks[c.ReqID] = c.Value
+	}
+	for _, op := range ops {
+		histRank, ok := ranks[op.ReqID]
+		if !ok {
+			return fmt.Errorf("seqcheck: session op %d was delivered to the client but is absent from the merged history", op.ReqID)
+		}
+		if op.Rank != NoValue && histRank != NoValue && histRank != op.Rank {
+			return fmt.Errorf("seqcheck: session op %d was delivered rank %d but the history recorded rank %d", op.ReqID, op.Rank, histRank)
+		}
+		if op.Floor > 0 && op.Rank > 0 && op.Rank <= op.Floor {
+			return fmt.Errorf("seqcheck: session order violation: op %d serialized at rank %d, but was submitted after the session observed rank %d", op.ReqID, op.Rank, op.Floor)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package seqcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// sessHist builds a history whose completions carry request IDs, the
+// field CheckSession joins on.
+func sessHist(ops ...Completion) *History {
+	h := &History{}
+	for i := range ops {
+		ops[i].ReqID = uint64(100 + i)
+		h.Record(ops[i])
+	}
+	return h
+}
+
+func TestCheckSessionEmpty(t *testing.T) {
+	if err := CheckSession(hist(), nil); err != nil {
+		t.Fatalf("empty session: %v", err)
+	}
+}
+
+func TestCheckSessionHappyPath(t *testing.T) {
+	h := sessHist(
+		op(1, 0, Enqueue, elem(1, 0), 1),
+		op(1, 1, Enqueue, elem(1, 1), 2),
+		op(2, 0, Dequeue, elem(1, 0), 3),
+	)
+	ops := []SessionOp{
+		{ReqID: 100, Floor: 0, Rank: 1},
+		{ReqID: 101, Floor: 1, Rank: 2},
+		{ReqID: 102, Floor: 2, Rank: 3},
+	}
+	if err := CheckSession(h, ops); err != nil {
+		t.Fatalf("consistent session rejected: %v", err)
+	}
+}
+
+func TestCheckSessionPipelinedInterleaveOK(t *testing.T) {
+	// Two ops submitted back-to-back before either completed share the
+	// same floor; their ranks may complete in either order.
+	h := sessHist(
+		op(1, 0, Enqueue, elem(1, 0), 5),
+		op(1, 1, Enqueue, elem(1, 1), 4),
+	)
+	ops := []SessionOp{
+		{ReqID: 100, Floor: 0, Rank: 5},
+		{ReqID: 101, Floor: 0, Rank: 4},
+	}
+	if err := CheckSession(h, ops); err != nil {
+		t.Fatalf("pipelined interleave rejected: %v", err)
+	}
+}
+
+func TestCheckSessionMissingOpCaught(t *testing.T) {
+	h := sessHist(op(1, 0, Enqueue, elem(1, 0), 1))
+	err := CheckSession(h, []SessionOp{{ReqID: 999, Rank: 1}})
+	if err == nil || !strings.Contains(err.Error(), "absent from the merged history") {
+		t.Fatalf("missing op not caught: %v", err)
+	}
+}
+
+func TestCheckSessionRankMismatchCaught(t *testing.T) {
+	h := sessHist(op(1, 0, Enqueue, elem(1, 0), 7))
+	err := CheckSession(h, []SessionOp{{ReqID: 100, Floor: 0, Rank: 3}})
+	if err == nil || !strings.Contains(err.Error(), "recorded rank") {
+		t.Fatalf("rank mismatch not caught: %v", err)
+	}
+}
+
+func TestCheckSessionOrderViolationCaught(t *testing.T) {
+	// An op submitted after the session observed rank 6 must serialize
+	// strictly after 6.
+	h := sessHist(
+		op(1, 0, Enqueue, elem(1, 0), 6),
+		op(1, 1, Enqueue, elem(1, 1), 4),
+	)
+	ops := []SessionOp{
+		{ReqID: 100, Floor: 0, Rank: 6},
+		{ReqID: 101, Floor: 6, Rank: 4},
+	}
+	err := CheckSession(h, ops)
+	if err == nil || !strings.Contains(err.Error(), "session order violation") {
+		t.Fatalf("order violation not caught: %v", err)
+	}
+}
+
+func TestCheckSessionNoValueRankSkipsChecks(t *testing.T) {
+	// Bare put-acks deliver NoValue: the rank equality and order checks
+	// do not apply, but the op must still exist in the history.
+	h := sessHist(op(1, 0, Enqueue, elem(1, 0), NoValue))
+	if err := CheckSession(h, []SessionOp{{ReqID: 100, Floor: 3, Rank: NoValue}}); err != nil {
+		t.Fatalf("NoValue session op rejected: %v", err)
+	}
+}

@@ -109,10 +109,11 @@ import (
 
 // Journal record kinds.
 const (
-	recOp    = 1
-	recDone  = 2
-	recFire  = 3
-	recLease = 4
+	recOp      = 1
+	recDone    = 2
+	recFire    = 3
+	recLease   = 4
+	recSession = 5
 )
 
 // journalRecord is one journal entry; Kind selects which fields matter.
@@ -125,6 +126,16 @@ type journalRecord struct {
 	Done    wire.CliDone     // done
 	Wave    int64            // fire
 	Ceiling uint64           // lease: request sequences below it may be issued
+	// Sess names the durable client session a record belongs to: the
+	// session's own record (recSession, staged ahead of its first op) and
+	// every op submitted through it. Empty for ephemeral operations; done
+	// records need no Sess — restore maps their ReqID back through the op
+	// records and the snapshot's session images.
+	Sess string // session, op
+	// CliSeq is the operation's per-session sequence (op records of a
+	// session): the key the member dedupes re-presented operations by and
+	// retains undelivered outcomes under.
+	CliSeq uint64 // op
 }
 
 // leaseSpan is how many request sequences one lease record covers; an
@@ -324,8 +335,11 @@ func (j *opJournal) noteFire(node transport.NodeID, wave int64) {
 // appendOp stages one accepted client operation — any pending fire marker
 // of its node first, preserving the boundary-before-op file order — and
 // parks release on the batch. It must be called after injection and
-// before any CliDone for the operation can be staged.
-func (j *opJournal) appendOp(node transport.NodeID, reqID uint64, isDeq bool, value []byte, release journalRelease) {
+// before any CliDone for the operation can be staged. For an operation
+// submitted through a durable session, sess and cliSeq carry the
+// session's identity and the operation's per-session sequence; both are
+// zero for ephemeral operations.
+func (j *opJournal) appendOp(node transport.NodeID, reqID uint64, isDeq bool, value []byte, sess string, cliSeq uint64, release journalRelease) {
 	j.mu.Lock()
 	if err := j.unusableLocked(); err != nil {
 		j.mu.Unlock()
@@ -347,7 +361,7 @@ func (j *opJournal) appendOp(node transport.NodeID, reqID uint64, isDeq bool, va
 		frames = append(frames, b...)
 		j.lastMark[node] = lf
 	}
-	b, err := encodeRecord(&journalRecord{Kind: recOp, ReqID: reqID, Node: node, IsDeq: isDeq, Value: value})
+	b, err := encodeRecord(&journalRecord{Kind: recOp, ReqID: reqID, Node: node, IsDeq: isDeq, Value: value, Sess: sess, CliSeq: cliSeq})
 	if err != nil {
 		j.mu.Unlock()
 		if release != nil {
@@ -357,6 +371,24 @@ func (j *opJournal) appendOp(node transport.NodeID, reqID uint64, isDeq bool, va
 	}
 	frames = append(frames, b...)
 	j.stageLocked(frames, release)
+}
+
+// appendSession stages a durable session's record. The server stages it
+// on the runner right before the session's first appendOp, so the record
+// precedes every operation of the session in the file — a restart that
+// finds any of the session's ops finds the session itself first.
+func (j *opJournal) appendSession(sess string) {
+	j.mu.Lock()
+	if j.unusableLocked() != nil {
+		j.mu.Unlock()
+		return
+	}
+	b, err := encodeRecord(&journalRecord{Kind: recSession, Sess: sess})
+	if err != nil {
+		j.mu.Unlock()
+		return
+	}
+	j.stageLocked(b, nil)
 }
 
 // appendDone stages one client-visible outcome and parks release on the
@@ -505,6 +537,40 @@ func (j *opJournal) barrier() error {
 	return <-errc
 }
 
+// sendableNow reports whether every record staged so far is already
+// durable — the fast path of the WAL-before-send gate (Server.gateSend):
+// a peer frame enqueued while this holds cannot be carrying any
+// staged-but-unsynced operation, so it may leave the member immediately.
+// The releases check matters as much as the buffer check: a batch the
+// writer has stolen but not finished syncing keeps its releases parked,
+// and a frame overtaking those would reorder the outbound stream.
+func (j *opJournal) sendableNow() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.failed == nil && len(j.buf) == 0 && len(j.releases) == 0
+}
+
+// notifyDurable parks fn on the release queue: it runs (on the journal
+// writer goroutine, like every release) once everything staged before
+// the call is durable, with nil, or with the journal failure. Unlike the
+// appends it stages no bytes, so a pile of parked notifications still
+// costs one fsync. The WAL-before-send gate uses it to hold outbound
+// peer frames until the records they may carry are on stable storage.
+func (j *opJournal) notifyDurable(fn journalRelease) {
+	j.mu.Lock()
+	if err := j.unusableLocked(); err != nil {
+		j.mu.Unlock()
+		fn(err)
+		return
+	}
+	if len(j.buf) == 0 && len(j.releases) == 0 {
+		j.firstStage = time.Now()
+	}
+	j.releases = append(j.releases, fn)
+	j.mu.Unlock()
+	j.wakeWriter()
+}
+
 // writerLoop is the group-commit engine: it drains the staged batch,
 // writes and fsyncs it as one unit, then runs the parked releases. While
 // an fsync is in flight new records pile up into the next batch — that is
@@ -513,7 +579,8 @@ func (j *opJournal) writerLoop() {
 	defer j.wg.Done()
 	for {
 		j.mu.Lock()
-		pending := len(j.releases) > 0 || len(j.buf) > 0
+		staged := len(j.buf)
+		pending := len(j.releases) > 0 || staged > 0
 		ops, urgent, closed, failed := j.stagedOps, j.urgent, j.closed, j.failed != nil
 		first := j.firstStage
 		j.mu.Unlock()
@@ -526,8 +593,10 @@ func (j *opJournal) writerLoop() {
 		}
 		// Accumulation window: hold the batch open up to delay, unless
 		// the op cap is reached, a barrier wants it out, or we are
-		// draining for shutdown/failure.
-		if j.delay > 0 && ops < j.batchOps && !urgent && !closed && !failed {
+		// draining for shutdown/failure. A batch holding only parked
+		// notifications (no bytes) has nothing to coalesce and flushes
+		// immediately — waiting would only stall the send gate.
+		if j.delay > 0 && staged > 0 && ops < j.batchOps && !urgent && !closed && !failed {
 			if wait := time.Until(first.Add(j.delay)); wait > 0 {
 				select {
 				case <-j.wake:

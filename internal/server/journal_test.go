@@ -32,7 +32,7 @@ func openSyncJournal(t *testing.T, dir string, fresh bool) *opJournal {
 func syncAppendOp(t *testing.T, j *opJournal, node transport.NodeID, id uint64, isDeq bool, value []byte) {
 	t.Helper()
 	var got error
-	j.appendOp(node, id, isDeq, value, func(err error) { got = err })
+	j.appendOp(node, id, isDeq, value, "", 0, func(err error) { got = err })
 	if got != nil {
 		t.Fatalf("appendOp: %v", got)
 	}
@@ -141,7 +141,7 @@ func TestJournalGroupCommitReleasesInOrder(t *testing.T) {
 	node := transport.NodeID(3)
 	for i := uint64(1); i <= n; i++ {
 		id := reqID(i)
-		j.appendOp(node, id, false, []byte("v"), func(err error) {
+		j.appendOp(node, id, false, []byte("v"), "", 0, func(err error) {
 			got <- fired{seq: id, err: err}
 		})
 	}
@@ -181,7 +181,7 @@ func TestJournalBarrierForcesFlush(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer j.close()
-	j.appendOp(3, reqID(1), false, []byte("v"), nil)
+	j.appendOp(3, reqID(1), false, []byte("v"), "", 0, nil)
 	logical := j.offset()
 	j.wmu.Lock()
 	durable := j.durable
@@ -224,7 +224,7 @@ func TestJournalTornBatchTail(t *testing.T) {
 			t.Fatal(err)
 		}
 		frames = append(frames, len(b))
-		j.appendOp(node, reqID(i), false, value, nil)
+		j.appendOp(node, reqID(i), false, value, "", 0, nil)
 	}
 	// All three are still one staged batch (huge delay, cap not reached);
 	// the barrier flushes them as a single write+fsync.
@@ -516,12 +516,12 @@ func TestJournalDiscardFailsParkedReleases(t *testing.T) {
 		t.Fatal(err)
 	}
 	node := transport.NodeID(3)
-	j.appendOp(node, reqID(1), false, []byte("flushed"), nil)
+	j.appendOp(node, reqID(1), false, []byte("flushed"), "", 0, nil)
 	if err := j.barrier(); err != nil {
 		t.Fatal(err)
 	}
 	relErr := make(chan error, 1)
-	j.appendOp(node, reqID(2), false, []byte("staged"), func(err error) { relErr <- err })
+	j.appendOp(node, reqID(2), false, []byte("staged"), "", 0, func(err error) { relErr <- err })
 	j.discard()
 	if err := <-relErr; err == nil {
 		t.Fatal("parked release of a discarded record reported success")
@@ -532,5 +532,53 @@ func TestJournalDiscardFailsParkedReleases(t *testing.T) {
 	}
 	if len(recs) != 1 || recs[0].ReqID != reqID(1) {
 		t.Fatalf("discarded journal holds %d records, want only the flushed op", len(recs))
+	}
+}
+
+// TestJournalSessionRecordsRoundTrip pins the durable-session records:
+// a session record carries its ID, a session op record carries both the
+// session and the per-session sequence, and all of it survives a reload.
+// A journal holding only session records (no ops or outcomes) must not
+// trip the fresh-boot refusal — nothing client-visible can be lost.
+func TestJournalSessionRecordsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j := openSyncJournal(t, dir, true)
+	node := transport.NodeID(3)
+	j.appendSession("sess-a")
+	var got error
+	j.appendOp(node, reqID(1), false, []byte("v1"), "sess-a", 7, func(err error) { got = err })
+	if got != nil {
+		t.Fatalf("appendOp: %v", got)
+	}
+	syncAppendDone(t, j, reqID(1), wire.CliDone{ReqID: reqID(1), Seq: 7})
+	j.close()
+
+	recs, err := readJournal(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A lease record may precede (initLease); filter to the content kinds.
+	var content []journalRecord
+	for _, r := range recs {
+		if r.Kind == recSession || r.Kind == recOp || r.Kind == recDone {
+			content = append(content, r)
+		}
+	}
+	if len(content) != 3 {
+		t.Fatalf("journal holds %d content records, want 3", len(content))
+	}
+	if content[0].Kind != recSession || content[0].Sess != "sess-a" {
+		t.Fatalf("session record = %+v, want Sess sess-a", content[0])
+	}
+	if content[1].Kind != recOp || content[1].Sess != "sess-a" || content[1].CliSeq != 7 {
+		t.Fatalf("op record = %+v, want Sess sess-a CliSeq 7", content[1])
+	}
+	if content[2].Kind != recDone || content[2].Done.Seq != 7 {
+		t.Fatalf("done record = %+v, want Done.Seq 7", content[2])
+	}
+
+	// Session records alone do not hold client-visible state.
+	if journalHoldsOps([]journalRecord{{Kind: recSession, Sess: "x"}}) {
+		t.Fatal("a session-only journal claims to hold ops; fresh boots would brick")
 	}
 }

@@ -52,6 +52,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -159,8 +160,14 @@ type Server struct {
 
 	//skueue:lock 20
 	mu      sync.Mutex
-	waiters map[uint64]*waiter // reqID -> pending client op
+	waiters map[uint64]*waiter // reqID -> pending client op (ephemeral)
 	rr      int                // round-robin over local procs
+	// Durable client sessions: sessions indexes them by client-chosen ID,
+	// sessRefs maps an in-flight session operation's request ID back to
+	// its session and per-session sequence (session ops never use
+	// waiters — their delivery outlives any one connection).
+	sessions map[string]*durSession
+	sessRefs map[uint64]sessRef
 	// Seed-side admission state (member 0 only).
 	nextIndex int32
 	nextPid   int32
@@ -191,6 +198,24 @@ type Server struct {
 	journal *opJournal
 	plan    *replayPlan
 
+	// replayPeers are the senders the restored snapshot held receive
+	// cursors for — the only links that can still deliver pre-crash
+	// frames. replayConverged latches once every one of them has fenced
+	// (tcp.ReplayFenced), the core holds no replayed serves, and the plan
+	// drained: from then on fresh client operations cannot change the
+	// shape of a wave the replay must reproduce, so the submit gate stops
+	// parking them. Both runner-confined after Start.
+	replayPeers     []int32
+	replayConverged bool
+
+	// sendsParked counts outbound peer frames held by the WAL-before-send
+	// gate (gateSend): emitted by the core, but not yet enqueued on their
+	// link because a journal batch staged at emission time had not synced.
+	// Runner-confined; while it is nonzero a snapshot capture refuses the
+	// cut (the parked frames are in no link's replay buffer, so a restore
+	// from such a snapshot would never re-send them).
+	sendsParked int
+
 	// orphans tracks operations that were injected but whose journal
 	// append failed: the client was answered indeterminate, yet the
 	// operation still completes eventually — resolve logs, counts and
@@ -217,8 +242,11 @@ type Server struct {
 	deferredDones []deferredDone
 
 	// conns tracks accepted connections so Close can unblock their
-	// handlers (the remote end may outlive us).
-	conns map[net.Conn]struct{}
+	// handlers (the remote end may outlive us); cliConns is the subset
+	// currently serving the remote client protocol (CloseClientConns
+	// severs only those, sparing the peer links).
+	conns    map[net.Conn]struct{}
+	cliConns map[*wire.Conn]struct{}
 
 	wg sync.WaitGroup
 }
@@ -229,14 +257,59 @@ type waiter struct {
 	seq  uint64
 }
 
+// durSession is one durable client session at its owning member: the
+// dedupe table for re-presented operations (ops), the journaled outcomes
+// retained for redelivery until the client acknowledges them (outcomes),
+// the delivered-outcome cursor (acked), and the currently attached
+// connection, nil while the client is disconnected. All fields are
+// guarded by Server.mu; outcome delivery itself goes through the
+// attached session's writer like any other frame.
+type durSession struct {
+	id    string
+	acked uint64
+	// ops maps in-flight per-session sequences to their request IDs: a
+	// re-presented operation found here is already executing and needs no
+	// second injection.
+	ops map[uint64]uint64
+	// outcomes retains completed operations' CliDone frames by
+	// per-session sequence. Entries are inserted when the outcome record
+	// is STAGED (on the runner, so a snapshot capture on the same
+	// goroutine can never miss one inside its journal cut) and pruned
+	// when the client's cursor passes them; redelivery to a resuming
+	// connection runs a journal barrier first, so nothing leaves before
+	// its record is durable.
+	outcomes map[uint64]wire.CliDone
+	// cur is the attached connection; a fresh Hello for the same session
+	// detaches (and closes) the previous one.
+	cur *session
+	// journaled marks the session's own journal record staged (ahead of
+	// its first op record); sessions restored from disk count as
+	// journaled — the snapshot or the surviving journal prefix is their
+	// durable record.
+	journaled bool
+}
+
+// sessRef points an in-flight request ID back to its session.
+type sessRef struct {
+	sd     *durSession
+	cliSeq uint64
+}
+
+// sessionImage is a durSession inside a snapshot.
+type sessionImage struct {
+	ID       string
+	Acked    uint64
+	Ops      map[uint64]uint64
+	Outcomes map[uint64]wire.CliDone
+}
+
 // deferredDone is a partner completion parked during an inject call (see
-// Server.deferring): fully resolved, waiting for the injected op's
-// record to enter the batch first.
+// Server.deferring): fully resolved, its journal release already built,
+// waiting for the injected op's record to enter the batch first.
 type deferredDone struct {
-	sess  *session
-	seq   uint64
-	reqID uint64
-	done  wire.CliDone
+	reqID   uint64
+	done    wire.CliDone
+	release journalRelease
 }
 
 // session is one remote client connection; a dedicated writer goroutine
@@ -287,13 +360,16 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s := &Server{
-		cfg:     cfg,
-		lis:     lis,
-		mode:    mode,
-		logf:    cfg.Logf,
-		waiters: make(map[uint64]*waiter),
-		orphans: make(map[uint64]bool),
-		conns:   make(map[net.Conn]struct{}),
+		cfg:      cfg,
+		lis:      lis,
+		mode:     mode,
+		logf:     cfg.Logf,
+		waiters:  make(map[uint64]*waiter),
+		sessions: make(map[string]*durSession),
+		sessRefs: make(map[uint64]sessRef),
+		orphans:  make(map[uint64]bool),
+		conns:    make(map[net.Conn]struct{}),
+		cliConns: make(map[*wire.Conn]struct{}),
 	}
 	var err error
 	var disk *diskSnapshot
@@ -495,7 +571,7 @@ func (s *Server) coreConfig(procs int) core.Config {
 // AckGate is tied to StateDir: without durable snapshots there is nothing
 // to gate acknowledgments on, and deliveries acknowledge immediately.
 func (s *Server) peerOptions(index int32, pids []int32, boot int64) tcp.Options {
-	return tcp.Options{
+	opts := tcp.Options{
 		Index:   index,
 		Addr:    s.lis.Addr().String(),
 		Pids:    pids,
@@ -508,6 +584,50 @@ func (s *Server) peerOptions(index int32, pids []int32, boot int64) tcp.Options 
 		OnDown:  s.peerDown,
 		Shape:   s.cfg.Shape,
 	}
+	if s.cfg.StateDir != "" {
+		opts.SendGate = s.gateSend
+	}
+	return opts
+}
+
+// gateSend is the WAL-before-send gate (tcp.Options.SendGate): no frame
+// leaves this member while the operation journal holds records that are
+// staged but not yet synced. A wave batch fires on the tick, typically
+// well inside the group-commit window of the operations it carries; if
+// it departed immediately, a crash before the fsync would lose the
+// records of operations the cluster went on to execute — the restart
+// would replay the wave without them (diverging from the serve shapes
+// peers recorded, wedging the member) and a reconnecting session client
+// would re-present an operation the journal never admitted, executing
+// it twice. Holding the frame until the covering fsync closes both: a
+// lost record now proves the operation never left the member.
+//
+// Ordering: the fast path runs only while no send is parked (the
+// counter) and nothing staged is undurable (sendableNow), so it cannot
+// overtake a parked frame. Parked frames ride the journal's release
+// queue, which runs in staging order on the single writer goroutine,
+// and hop back to the runner through Do — FIFO end to end. On a failed
+// journal the frame is released anyway: durability is already void
+// (appends refuse, clients get errors), and muting the member would
+// additionally stall every peer waiting on its waves.
+func (s *Server) gateSend(route func()) {
+	if s.journal == nil {
+		// Boot-time sends (join handshake, restore replay) can precede
+		// the journal; nothing is staged yet, so nothing gates them.
+		route()
+		return
+	}
+	if s.sendsParked == 0 && s.journal.sendableNow() {
+		route()
+		return
+	}
+	s.sendsParked++
+	s.journal.notifyDurable(func(err error) {
+		s.peer.Do(func() {
+			s.sendsParked--
+			route()
+		})
+	})
 }
 
 // peerDown handles a give-up notification from the transport: some member
@@ -517,17 +637,29 @@ func (s *Server) peerOptions(index int32, pids []int32, boot int64) tcp.Options 
 // than blocking forever; the member itself keeps serving — operations
 // that avoid the dead member's fragment still succeed, and if the member
 // ever restarts, replay resumes where it left off.
+//
+// Session operations get the same notification on their attached
+// connections, but their sessRefs entries stay: if the operation ever
+// completes, its outcome still retires into the session's retention map
+// — the client that treated the notification as final has by then acked
+// past the sequence, and the stale outcome is dropped there (resolve).
 func (s *Server) peerDown(idx int32) {
 	type failing struct {
-		w     *waiter
+		sess  *session
+		seq   uint64
 		reqID uint64
 	}
 	s.mu.Lock()
-	ws := make([]failing, 0, len(s.waiters))
+	ws := make([]failing, 0, len(s.waiters)+len(s.sessRefs))
 	for id, w := range s.waiters {
-		ws = append(ws, failing{w, id})
+		ws = append(ws, failing{w.sess, w.seq, id})
 	}
 	s.waiters = make(map[uint64]*waiter)
+	for id, ref := range s.sessRefs {
+		if ref.sd.cur != nil {
+			ws = append(ws, failing{ref.sd.cur, ref.cliSeq, id})
+		}
+	}
 	s.mu.Unlock()
 	if len(ws) == 0 {
 		return
@@ -537,8 +669,8 @@ func (s *Server) peerDown(idx int32) {
 	for _, f := range ws {
 		// Not journaled: this is a failure notification, not an outcome —
 		// the operation may still complete if the member ever returns.
-		f.w.sess.send(wire.CliDone{
-			Seq:         f.w.seq,
+		f.sess.send(wire.CliDone{
+			Seq:         f.seq,
 			ReqID:       f.reqID,
 			Err:         fmt.Sprintf("cluster member %d unreachable past the %v give-up timeout", idx, s.cfg.GiveUp),
 			Unreachable: true,
@@ -719,6 +851,12 @@ func (s *Server) startRestore(disk *diskSnapshot, journalRecs []journalRecord) e
 		waves[img.Self.ID] = img.WaveSeq
 	}
 	s.plan = buildReplayPlan(journalRecs, disk.Member.ReqSeq, waves)
+	for _, e := range disk.Peer.Recv {
+		if e.Index != disk.Member.Index {
+			s.replayPeers = append(s.replayPeers, e.Index)
+		}
+	}
+	s.restoreSessions(disk.Sessions, journalRecs)
 	// Skip the request counter past EVERY journaled identity first —
 	// including operations held back for their wave boundaries — so a
 	// client submitting before the held groups drain can never be issued
@@ -761,6 +899,89 @@ func (s *Server) startRestore(disk *diskSnapshot, journalRecs []journalRecord) e
 	return nil
 }
 
+// restoreSessions rebuilds the durable session table from the snapshot's
+// session images plus the journal records past its cut: session records
+// re-create sessions the snapshot predates, op records re-register the
+// in-flight dedupe entries, and done records retire ops into the
+// retention map (the crashed incarnation staged — and possibly released
+// — those outcomes; a resuming client must receive the identical frame,
+// not a re-execution). Runs before the transport starts, so no locking
+// is needed; restored sessions count as journaled (their record is the
+// snapshot itself or the surviving journal prefix).
+func (s *Server) restoreSessions(images []sessionImage, recs []journalRecord) {
+	ref := make(map[uint64]sessRef) // reqID -> session/cliSeq, for done records
+	ensure := func(id string) *durSession {
+		if sd := s.sessions[id]; sd != nil {
+			return sd
+		}
+		sd := newDurSession(id)
+		sd.journaled = true
+		s.sessions[id] = sd
+		return sd
+	}
+	for _, img := range images {
+		sd := ensure(img.ID)
+		sd.acked = img.Acked
+		for cliSeq, reqID := range img.Ops {
+			sd.ops[cliSeq] = reqID
+			ref[reqID] = sessRef{sd, cliSeq}
+		}
+		for cliSeq, done := range img.Outcomes {
+			sd.outcomes[cliSeq] = done
+		}
+	}
+	for _, rec := range recs {
+		switch rec.Kind {
+		case recSession:
+			ensure(rec.Sess)
+		case recOp:
+			if rec.Sess == "" {
+				continue
+			}
+			sd := ensure(rec.Sess)
+			sd.ops[rec.CliSeq] = rec.ReqID
+			ref[rec.ReqID] = sessRef{sd, rec.CliSeq}
+		case recDone:
+			r, ok := ref[rec.ReqID]
+			if !ok {
+				continue // ephemeral operation
+			}
+			delete(r.sd.ops, r.cliSeq)
+			r.sd.outcomes[r.cliSeq] = rec.Done
+		}
+	}
+	sessions, retained, inflight := 0, 0, 0
+	for _, sd := range s.sessions {
+		for cliSeq := range sd.outcomes {
+			if cliSeq <= sd.acked {
+				delete(sd.outcomes, cliSeq)
+			}
+		}
+		for cliSeq, reqID := range sd.ops {
+			if _, done := sd.outcomes[cliSeq]; done || cliSeq <= sd.acked {
+				delete(sd.ops, cliSeq)
+				continue
+			}
+			s.sessRefs[reqID] = sessRef{sd, cliSeq}
+		}
+		sessions++
+		retained += len(sd.outcomes)
+		inflight += len(sd.ops)
+	}
+	if sessions > 0 {
+		s.logf("server[%d]: restored %d client sessions (%d retained outcomes, %d in flight)",
+			s.peer.Me().Index, sessions, retained, inflight)
+	}
+}
+
+func newDurSession(id string) *durSession {
+	return &durSession{
+		id:       id,
+		ops:      make(map[uint64]uint64),
+		outcomes: make(map[uint64]wire.CliDone),
+	}
+}
+
 // ---- Fail-stop snapshots ----
 
 // diskSnapshot is the on-disk image: one gob stream holding the cluster
@@ -782,6 +1003,13 @@ type diskSnapshot struct {
 	// compaction dropped the lease records themselves (see journal.go,
 	// "The sequence lease"). Zero in pre-lease snapshots.
 	SeqCeiling uint64
+	// Sessions are the durable client sessions at the capture — dedupe
+	// tables, retained outcomes, cursors. Captured inside the same DoSync
+	// as the journal cut, so an outcome staged before the cut (and hence
+	// compacted away with the prefix) is always in here, and one staged
+	// after it is always in the journal suffix: between them, restore
+	// rebuilds retention without a gap.
+	Sessions []sessionImage
 }
 
 const snapshotFile = "snapshot.gob"
@@ -881,10 +1109,18 @@ func (s *Server) SnapshotNow() error {
 	var ps *tcp.PeerState
 	var journalOff int64
 	var seqCeiling uint64
+	var sessImgs []sessionImage
 	var err error
 	s.peer.DoSync(func() {
 		snap, err = s.cl.SnapshotMember()
 		if err != nil {
+			return
+		}
+		if s.sendsParked > 0 {
+			// Frames held by the WAL-before-send gate are in no link's
+			// replay buffer yet; a cut here would strand them across a
+			// crash. They clear within a group-commit window — leave ps
+			// nil and retry next interval.
 			return
 		}
 		ps = s.peer.CaptureState()
@@ -895,6 +1131,12 @@ func (s *Server) SnapshotNow() error {
 			journalOff = s.journal.offset()
 			seqCeiling = s.journal.leaseCeiling()
 		}
+		// Session tables move only on this goroutine (submit/resolve) or
+		// under s.mu (cursor advances from connection handlers), so the
+		// capture here is consistent with the journal cut above: every
+		// outcome whose done record precedes the cut is already in its
+		// session's retention map.
+		sessImgs = s.captureSessions()
 	})
 	if err != nil {
 		return err
@@ -927,6 +1169,7 @@ func (s *Server) SnapshotNow() error {
 		Peer:            ps,
 		Book:            s.peer.Book(),
 		SeqCeiling:      seqCeiling,
+		Sessions:        sessImgs,
 	}
 	if err := writeSnapshot(s.cfg.StateDir, disk); err != nil {
 		return err
@@ -942,6 +1185,34 @@ func (s *Server) SnapshotNow() error {
 		}
 	}
 	return nil
+}
+
+// captureSessions deep-copies the durable session table for a snapshot.
+// Runs inside the capture's DoSync; s.mu still guards the maps against
+// cursor advances racing in from connection handlers.
+func (s *Server) captureSessions() []sessionImage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.sessions) == 0 {
+		return nil
+	}
+	out := make([]sessionImage, 0, len(s.sessions))
+	for id, sd := range s.sessions {
+		img := sessionImage{
+			ID:       id,
+			Acked:    sd.acked,
+			Ops:      make(map[uint64]uint64, len(sd.ops)),
+			Outcomes: make(map[uint64]wire.CliDone, len(sd.outcomes)),
+		}
+		for cliSeq, reqID := range sd.ops {
+			img.Ops[cliSeq] = reqID
+		}
+		for cliSeq, done := range sd.outcomes {
+			img.Outcomes[cliSeq] = done
+		}
+		out = append(out, img)
+	}
+	return out
 }
 
 // SnapshotInfo reports how many snapshots have been durably written and
@@ -1014,17 +1285,20 @@ func (s *Server) wireCallbacks() {
 			// Local enqueue stored locally, or combined stack push: the
 			// put-ack may never come (it does not for combined pairs), so
 			// resolve on the completion itself.
-			s.resolve(c.ReqID, wire.CliDone{Rounds: c.Done - c.Born})
+			s.resolve(c.ReqID, wire.CliDone{Rounds: c.Done - c.Born, Rank: c.Value})
 			return
 		}
 		s.resolve(c.ReqID, wire.CliDone{
 			Bottom: c.Bottom,
 			Value:  c.Blob,
 			Rounds: c.Done - c.Born,
+			Rank:   c.Value,
 		})
 	})
 	s.cl.SetOnPutAck(func(reqID uint64) {
-		s.resolve(reqID, wire.CliDone{})
+		// A bare put-ack does not know its serialization rank; session
+		// rank tracking skips NoValue.
+		s.resolve(reqID, wire.CliDone{Rank: seqcheck.NoValue})
 	})
 }
 
@@ -1057,6 +1331,39 @@ func (s *Server) resolve(reqID uint64, done wire.CliDone) {
 		}
 	}
 	s.mu.Lock()
+	if ref, isSess := s.sessRefs[reqID]; isSess {
+		// Session operation: retire it into the session's retention map at
+		// STAGING time — under s.mu, on this (runner) goroutine — so a
+		// snapshot capture is always consistent with its journal cut (see
+		// diskSnapshot.Sessions). The parked release only delivers; a
+		// client that already acked past the sequence (it treated a
+		// give-up notification as final) gets nothing retained.
+		sd := ref.sd
+		delete(s.sessRefs, reqID)
+		delete(sd.ops, ref.cliSeq)
+		done.Seq = ref.cliSeq
+		stale := ref.cliSeq <= sd.acked
+		if !stale {
+			sd.outcomes[ref.cliSeq] = done
+		}
+		s.mu.Unlock()
+		if stale {
+			return
+		}
+		if s.journal != nil {
+			release := s.releaseSessionDone(sd, ref.cliSeq, reqID)
+			if s.deferring {
+				// Inside an inject call: park until the injected op's
+				// record is staged ahead of this outcome.
+				s.deferredDones = append(s.deferredDones, deferredDone{reqID, done, release})
+				return
+			}
+			s.journal.appendDone(reqID, done, release)
+			return
+		}
+		s.deliverSession(sd, done)
+		return
+	}
 	w, ok := s.waiters[reqID]
 	if ok {
 		delete(s.waiters, reqID)
@@ -1071,13 +1378,14 @@ func (s *Server) resolve(reqID uint64, done wire.CliDone) {
 	if ok {
 		done.Seq = w.seq
 		if s.journal != nil {
+			release := s.releaseDone(w.sess, w.seq, reqID, done)
 			if s.deferring {
 				// Inside an inject call: park until the injected op's
 				// record is staged ahead of this outcome.
-				s.deferredDones = append(s.deferredDones, deferredDone{w.sess, w.seq, reqID, done})
+				s.deferredDones = append(s.deferredDones, deferredDone{reqID, done, release})
 				return
 			}
-			s.journal.appendDone(reqID, done, s.releaseDone(w.sess, w.seq, reqID, done))
+			s.journal.appendDone(reqID, done, release)
 			return
 		}
 		w.sess.send(done)
@@ -1120,6 +1428,223 @@ func (s *Server) releaseDone(sess *session, seq, reqID uint64, done wire.CliDone
 		}
 		sess.send(done)
 	}
+}
+
+// releaseSessionDone builds the parked release of a session operation's
+// journaled outcome. On a clean sync the outcome retained at staging time
+// (resolve) is delivered to whichever connection is attached NOW — the
+// client may have reconnected since the record was staged. On a journal
+// failure the retained outcome is withdrawn (a restarted member would not
+// remember it, so confirming it is forbidden) and the attached client, if
+// any, is told the operation is indeterminate. Runs on the journal writer
+// goroutine (inline on the runner with group commit disabled).
+//
+//skueue:journaled-release
+func (s *Server) releaseSessionDone(sd *durSession, cliSeq, reqID uint64) journalRelease {
+	return func(err error) {
+		s.mu.Lock()
+		done, retained := sd.outcomes[cliSeq]
+		if err != nil && retained && done.ReqID == reqID {
+			delete(sd.outcomes, cliSeq)
+			retained = false
+		}
+		cur := sd.cur
+		s.mu.Unlock()
+		if err != nil {
+			s.logf("server[%d]: journaling session %q outcome %d: %v",
+				s.peer.Me().Index, sd.id, cliSeq, err)
+			if cur != nil {
+				cur.send(wire.CliDone{
+					Seq: cliSeq, ReqID: reqID, Unreachable: true,
+					Err: fmt.Sprintf("operation outcome could not be journaled: %v", err),
+				})
+			}
+			return
+		}
+		if retained && cur != nil {
+			cur.send(done)
+		}
+	}
+}
+
+// deliverSession hands a retained session outcome to the currently
+// attached connection, if any; a detached session just keeps the outcome
+// for redelivery at the next resume. Only called where no journal gates
+// the frame (journal-less members and redelivery of already-synced
+// outcomes).
+//
+//skueue:journaled-release
+func (s *Server) deliverSession(sd *durSession, done wire.CliDone) {
+	s.mu.Lock()
+	cur := sd.cur
+	s.mu.Unlock()
+	if cur != nil {
+		cur.send(done)
+	}
+}
+
+// redeliverRetained replays the session's undelivered retained outcomes to
+// a freshly attached connection, in per-session sequence order. The
+// journal barrier first: outcomes are retained at STAGING time, so an
+// entry may not have synced yet — the barrier waits out the writer (any
+// entry whose sync failed is withdrawn by its release before the barrier
+// returns, and its parked release answered the failure). The client
+// dedupes by sequence, so racing a parked release delivering the same
+// frame is harmless. Runs on the connection's reader goroutine.
+//
+//skueue:journaled-release
+func (s *Server) redeliverRetained(sd *durSession, sess *session) {
+	if s.journal != nil {
+		if err := s.journal.barrier(); err != nil {
+			s.logf("server[%d]: session %q resume barrier: %v", s.peer.Me().Index, sd.id, err)
+		}
+	}
+	s.mu.Lock()
+	pending := make([]wire.CliDone, 0, len(sd.outcomes))
+	for seq, done := range sd.outcomes {
+		if seq > sd.acked {
+			pending = append(pending, done)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(pending, func(i, j int) bool { return pending[i].Seq < pending[j].Seq })
+	for _, done := range pending {
+		sess.send(done)
+	}
+}
+
+// sessionAck advances the session's delivered-outcome cursor: every
+// retained outcome at or below ack has reached the client (outcome
+// delivery is cumulative on the client side), so the member can stop
+// retaining them. Piggybacked on every CliEnqueue/CliDequeue and sent
+// standalone as CliSessionAck when the client has nothing else to say.
+func (s *Server) sessionAck(sd *durSession, ack uint64) {
+	if ack == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ack <= sd.acked {
+		return
+	}
+	sd.acked = ack
+	for seq := range sd.outcomes {
+		if seq <= ack {
+			delete(sd.outcomes, seq)
+		}
+	}
+}
+
+// ensureSessionRecord stages the session's own journal record ahead of
+// its first op record, so a restart knows the session existed even before
+// any outcome was retained in a snapshot. Idempotent; restored sessions
+// count as already journaled. Runner goroutine.
+func (s *Server) ensureSessionRecord(sd *durSession) {
+	s.mu.Lock()
+	stage := !sd.journaled
+	sd.journaled = true
+	s.mu.Unlock()
+	if stage {
+		s.journal.appendSession(sd.id)
+	}
+}
+
+// sessionOpFailed is journalOpFailed for session operations: the op
+// record's append failed after injection, so the client is answered
+// indeterminate and the request ID becomes an orphan (its eventual
+// completion is logged and counted by resolve, not silently dropped).
+// Runs on the journal writer goroutine.
+func (s *Server) sessionOpFailed(sd *durSession, cliSeq, reqID uint64, err error) {
+	s.mu.Lock()
+	_, ok := s.sessRefs[reqID]
+	if ok {
+		delete(s.sessRefs, reqID)
+		delete(sd.ops, cliSeq)
+		s.orphans[reqID] = true
+		s.orphanFailed++
+	}
+	cur := sd.cur
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	s.logf("server[%d]: journaling session %q op %d: %v", s.peer.Me().Index, sd.id, reqID, err)
+	if cur != nil {
+		cur.send(wire.CliDone{
+			Seq: cliSeq, ReqID: reqID, Unreachable: true,
+			Err: fmt.Sprintf("operation could not be journaled: %v", err),
+		})
+	}
+}
+
+// attachSession binds an arriving connection to its durable session,
+// creating the session unless the Hello asked for attach-only resume
+// (SessionResume with an ID this member does not hold returns nil — the
+// client is probing for the owner and must not strand a fresh empty
+// session here). A previously attached connection is displaced and
+// closed: the ID names one logical client, and its newest connection
+// wins. The Hello's cursor is applied before any redelivery.
+func (s *Server) attachSession(hello wire.Hello, sess *session) (*durSession, bool) {
+	s.mu.Lock()
+	sd, known := s.sessions[hello.Session]
+	if !known {
+		if hello.SessionResume {
+			s.mu.Unlock()
+			return nil, false
+		}
+		sd = newDurSession(hello.Session)
+		s.sessions[hello.Session] = sd
+	}
+	prev := sd.cur
+	sd.cur = sess
+	s.mu.Unlock()
+	if prev != nil && prev != sess {
+		prev.kill.Do(func() { prev.conn.Close() })
+	}
+	s.sessionAck(sd, hello.SessionAck)
+	return sd, known
+}
+
+// sessionHighSeq returns the session's operation-sequence high-water mark
+// (HelloAck.SessionSeq): the acked cursor is a floor — every retained
+// outcome below it has been discarded — and in-flight ops or retained
+// outcomes can sit above it. A resuming client without its own counter
+// numbers fresh operations past this mark; anything at or below it would
+// be deduplicated as dead history.
+func (s *Server) sessionHighSeq(sd *durSession) uint64 {
+	if sd == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	high := sd.acked
+	for seq := range sd.ops {
+		if seq > high {
+			high = seq
+		}
+	}
+	for seq := range sd.outcomes {
+		if seq > high {
+			high = seq
+		}
+	}
+	return high
+}
+
+// detachSession clears the session's attached connection when its reader
+// exits — unless a newer connection already displaced this one, in which
+// case the session is the newcomer's. The session itself, with its
+// in-flight operations and retained outcomes, stays until its client
+// resumes (or forever: sessions are only bounded by their clients' acks).
+func (s *Server) detachSession(sd *durSession, sess *session) {
+	if sd == nil {
+		return
+	}
+	s.mu.Lock()
+	if sd.cur == sess {
+		sd.cur = nil
+	}
+	s.mu.Unlock()
 }
 
 // journalOpFailed handles a failed op-record append AFTER the operation
@@ -1221,19 +1746,27 @@ func (s *Server) handleConn(conn *wire.Conn) {
 	case "peer":
 		s.peer.AcceptPeer(conn, hello) // returns when the link closes
 	case "client":
-		s.serveClient(conn)
+		s.serveClient(conn, hello)
 	default:
 		s.logf("server[%d]: unknown hello kind %q", s.cfg.Index, hello.Kind)
 		conn.Close()
 	}
 }
 
-func (s *Server) serveClient(conn *wire.Conn) {
+func (s *Server) serveClient(conn *wire.Conn, hello wire.Hello) {
 	// The buffer absorbs completion bursts (one wave can resolve thousands
 	// of async operations back-to-back); only a client that stopped
 	// reading altogether fills it, and such a client is disconnected
 	// rather than allowed to block the runner (see session.send).
 	sess := &session{conn: conn, out: make(chan any, 1<<14), quit: make(chan struct{})}
+	s.mu.Lock()
+	s.cliConns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.cliConns, conn)
+		s.mu.Unlock()
+	}()
 	defer s.dropSessionWaiters(sess)
 	defer close(sess.quit)
 	defer conn.Close()
@@ -1242,7 +1775,24 @@ func (s *Server) serveClient(conn *wire.Conn) {
 	if s.mode == batch.Stack {
 		mode = "stack"
 	}
-	if err := conn.Write(wire.HelloAck{Book: s.peer.Book(), Mode: mode, Index: s.peer.Me().Index}); err != nil {
+	var sd *durSession
+	resumed := false
+	var sessSeq uint64
+	if hello.Session != "" {
+		sd, resumed = s.attachSession(hello, sess)
+		defer s.detachSession(sd, sess)
+		sessSeq = s.sessionHighSeq(sd)
+	}
+	if err := conn.Write(wire.HelloAck{
+		Book: s.peer.Book(), Mode: mode, Index: s.peer.Me().Index,
+		SessionResumed: resumed, SessionSeq: sessSeq,
+	}); err != nil {
+		return
+	}
+	if hello.Session != "" && hello.SessionResume && !resumed {
+		// Attach-only resume of a session this member does not hold: the
+		// ack already said so; the client re-locates the owner through the
+		// book. Creating an empty session here would strand the real one.
 		return
 	}
 	// Writer: responses and completion notifications.
@@ -1260,6 +1810,11 @@ func (s *Server) serveClient(conn *wire.Conn) {
 			}
 		}
 	}()
+	if sd != nil {
+		// Outcomes completed while the client was away go out before any
+		// new traffic; runs a journal barrier so nothing unsynced leaves.
+		s.redeliverRetained(sd, sess)
+	}
 
 	for {
 		v, err := conn.Read()
@@ -1268,9 +1823,19 @@ func (s *Server) serveClient(conn *wire.Conn) {
 		}
 		switch m := v.(type) {
 		case wire.CliEnqueue:
-			s.submit(sess, m.Seq, true, m.Value)
+			if sd != nil {
+				s.sessionAck(sd, m.Ack)
+			}
+			s.submit(sess, sd, m.Seq, true, m.Value)
 		case wire.CliDequeue:
-			s.submit(sess, m.Seq, false, nil)
+			if sd != nil {
+				s.sessionAck(sd, m.Ack)
+			}
+			s.submit(sess, sd, m.Seq, false, nil)
+		case wire.CliSessionAck:
+			if sd != nil {
+				s.sessionAck(sd, m.Ack)
+			}
 		case wire.CliHistory:
 			var ops []seqcheck.Completion
 			s.peer.DoSync(func() {
@@ -1303,8 +1868,57 @@ func (s *Server) serveClient(conn *wire.Conn) {
 // parked path. A crash after the op record synced re-submits the
 // operation on restart; a crash before it loses an operation no client
 // was ever answered for.
-func (s *Server) submit(sess *session, seq uint64, enq bool, value []byte) {
+func (s *Server) submit(sess *session, sd *durSession, seq uint64, enq bool, value []byte) {
 	s.peer.Do(func() {
+		if sd != nil {
+			// Session dedupe before touching the cluster: a re-presented
+			// operation (the client reconnected and replayed its unresolved
+			// window) must not inject twice.
+			s.mu.Lock()
+			if done, ok := sd.outcomes[seq]; ok {
+				s.mu.Unlock()
+				// Already completed and retained: redeliver. Behind a
+				// journal the frame parks behind a duplicate done record
+				// (restore collapses duplicates idempotently), so even a
+				// redelivery waits for a covering fsync.
+				if s.journal != nil {
+					s.journal.appendDone(done.ReqID, done, s.releaseSessionDone(sd, seq, done.ReqID))
+					return
+				}
+				s.deliverSession(sd, done)
+				return
+			}
+			if seq <= sd.acked {
+				s.mu.Unlock()
+				return // delivered and acknowledged; the client moved on
+			}
+			if _, inFlight := sd.ops[seq]; inFlight {
+				s.mu.Unlock()
+				return // already executing; resolve will deliver it
+			}
+			s.mu.Unlock()
+		}
+		if s.plan != nil && !s.replayConverged {
+			// Restart replay gate: until every pre-crash sender's replay
+			// fence arrived, the core applied its parked replayed serves,
+			// and the journal plan re-submitted its held operations, a
+			// fresh operation could join a wave whose serve the crashed
+			// incarnation already consumed — the shape guard would refuse
+			// the replayed serve and wedge the member. Park the submission
+			// and retry; the dedupe above makes re-entry harmless, and a
+			// client that reconnected fast sees only added latency, never
+			// a lost operation.
+			if !s.peer.ReplayFenced(s.replayPeers) ||
+				s.cl.HeldReplayServes() > 0 || s.plan.pending() > 0 {
+				time.AfterFunc(2*time.Millisecond, func() {
+					s.submit(sess, sd, seq, enq, value)
+				})
+				return
+			}
+			s.replayConverged = true
+			s.logf("server[%d]: restart replay converged; admitting fresh client operations",
+				s.peer.Me().Index)
+		}
 		node, err := s.pickClient()
 		if err != nil {
 			sess.send(wire.CliDone{Seq: seq, Err: err.Error()})
@@ -1335,6 +1949,40 @@ func (s *Server) submit(sess *session, seq uint64, enq bool, value []byte) {
 		}
 		s.onEarly = nil
 		s.deferring = false
+		if sd != nil {
+			// Session bookkeeping before any journal staging: the op
+			// record's failure callback and the eventual resolve both find
+			// the operation through sessRefs, and an early (combined-pair)
+			// completion is replayed through resolve below, which needs the
+			// ref registered.
+			s.mu.Lock()
+			sd.ops[seq] = reqID
+			s.sessRefs[reqID] = sessRef{sd, seq}
+			s.mu.Unlock()
+			if s.journal == nil {
+				if done, ok := early[reqID]; ok {
+					s.resolve(reqID, done)
+				}
+				return
+			}
+			s.ensureSessionRecord(sd)
+			if done, ok := early[reqID]; ok {
+				// Combined pair answered inside the inject call: stage the
+				// op record, then retire the outcome through resolve (which
+				// retains it and parks the frame behind its done record).
+				s.journal.appendOp(node, reqID, !enq, value, sd.id, seq, nil)
+				s.resolve(reqID, done)
+				s.flushDeferred()
+				return
+			}
+			s.journal.appendOp(node, reqID, !enq, value, sd.id, seq, func(err error) {
+				if err != nil {
+					s.sessionOpFailed(sd, seq, reqID, err)
+				}
+			})
+			s.flushDeferred()
+			return
+		}
 		if s.journal == nil {
 			if done, ok := early[reqID]; ok {
 				done.Seq = seq
@@ -1355,7 +2003,7 @@ func (s *Server) submit(sess *session, seq uint64, enq bool, value []byte) {
 			// its own.
 			done.Seq = seq
 			done.ReqID = reqID
-			s.journal.appendOp(node, reqID, !enq, value, nil)
+			s.journal.appendOp(node, reqID, !enq, value, "", 0, nil)
 			s.journal.appendDone(reqID, done, s.releaseDone(sess, seq, reqID, done))
 			s.flushDeferred()
 			return
@@ -1366,7 +2014,7 @@ func (s *Server) submit(sess *session, seq uint64, enq bool, value []byte) {
 		s.mu.Lock()
 		s.waiters[reqID] = &waiter{sess: sess, seq: seq}
 		s.mu.Unlock()
-		s.journal.appendOp(node, reqID, !enq, value, func(err error) {
+		s.journal.appendOp(node, reqID, !enq, value, "", 0, func(err error) {
 			if err != nil {
 				s.journalOpFailed(reqID, err)
 			}
@@ -1381,7 +2029,7 @@ func (s *Server) submit(sess *session, seq uint64, enq bool, value []byte) {
 // that produced it is durable too. Runner goroutine.
 func (s *Server) flushDeferred() {
 	for _, d := range s.deferredDones {
-		s.journal.appendDone(d.reqID, d.done, s.releaseDone(d.sess, d.seq, d.reqID, d.done))
+		s.journal.appendDone(d.reqID, d.done, d.release)
 	}
 	s.deferredDones = s.deferredDones[:0]
 }
@@ -1399,6 +2047,23 @@ func (s *Server) dropSessionWaiters(sess *session) {
 		if w.sess == sess {
 			delete(s.waiters, id)
 		}
+	}
+}
+
+// CloseClientConns severs every connection currently serving the remote
+// client protocol, sparing the member-to-member peer links. Chaos/test
+// hook: it simulates a client-facing network partition without killing
+// the member — durable sessions must detach, retain their outcomes, and
+// redeliver on resume.
+func (s *Server) CloseClientConns() {
+	s.mu.Lock()
+	conns := make([]*wire.Conn, 0, len(s.cliConns))
+	for c := range s.cliConns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
 	}
 }
 

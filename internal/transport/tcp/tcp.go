@@ -118,6 +118,20 @@ type Options struct {
 	// a sampled extra delay, FIFO per sender (see shaper). The zero Shape
 	// delivers immediately.
 	Shape transport.Shape
+	// SendGate, when set, interposes on every frame leaving this member
+	// for a remote peer: route performs the actual enqueue onto the
+	// target link, and the gate must run it exactly once, on the runner
+	// goroutine, preserving submission order across all gated sends. The
+	// durable server installs one to hold outbound frames until the
+	// operation journal is synced past everything staged when the frame
+	// was emitted (WAL-before-send): a wave batch may otherwise carry an
+	// operation whose journal record a crash then loses, and the restart
+	// would replay that wave without the operation — diverging from the
+	// shape peers already recorded — while a session client re-presents
+	// the officially-never-accepted operation for a second execution.
+	// Local deliveries bypass the gate: they cross no member boundary, so
+	// a crash erases them together with the records.
+	SendGate func(route func())
 }
 
 type nodeState struct {
@@ -242,6 +256,12 @@ type Peer struct {
 	pendingPid  map[int32][]wire.Envelope
 	recv        map[int32]*recvState
 	shapers     map[int32]*shaper
+	// fenced records senders whose reconnect replay completed at least
+	// once in this boot: a wire.ReplayFence was delivered through the
+	// ordered receive path, so every frame the sender buffered before the
+	// fence's connection was established has been processed by the runner.
+	// Consulted by a restarting member's replay gate (ReplayFenced).
+	fenced map[int32]bool
 
 	quit    chan struct{}
 	stopped chan struct{}
@@ -275,6 +295,7 @@ func New(opts Options) *Peer {
 		pendingPid:  make(map[int32][]wire.Envelope),
 		recv:        make(map[int32]*recvState),
 		shapers:     make(map[int32]*shaper),
+		fenced:      make(map[int32]bool),
 		quit:        make(chan struct{}),
 		stopped:     make(chan struct{}),
 	}
@@ -304,6 +325,10 @@ func (p *Peer) Send(from, to transport.NodeID, payload any) {
 			p.localPending--
 			p.deliver(env)
 		})
+		return
+	}
+	if p.opts.SendGate != nil {
+		p.opts.SendGate(func() { p.route(env) })
 		return
 	}
 	p.route(env)
@@ -688,6 +713,38 @@ func (p *Peer) markDelivered(idx int32, boot int64, seq uint64) {
 	}
 }
 
+// noteReplayFence records that sender idx's reconnect replay drained.
+// Runs on the runner goroutine (ordered after every replayed frame's
+// delivery task). The boot guard drops a fence still in flight on a
+// connection from before the sender's own restart — its replacement
+// connection replays again and fences again.
+func (p *Peer) noteReplayFence(idx int32, boot int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if rs, ok := p.recv[idx]; ok && rs.boot != boot {
+		return
+	}
+	p.fenced[idx] = true
+}
+
+// ReplayFenced reports whether every listed sender has completed a
+// reconnect replay since this peer booted. A member restoring from a
+// fail-stop crash passes the senders its snapshot holds receive cursors
+// for: once each has fenced, no pre-crash frame is still in flight
+// toward this member, so (together with the core's held-serve drain) new
+// client operations can no longer change the shape of a wave the replay
+// must reproduce exactly.
+func (p *Peer) ReplayFenced(senders []int32) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, idx := range senders {
+		if !p.fenced[idx] {
+			return false
+		}
+	}
+	return true
+}
+
 // takeAck returns the acknowledgment to piggyback on an outbound frame to
 // idx, marking it transmitted so the idle acker stays quiet.
 func (p *Peer) takeAck(idx int32) uint64 {
@@ -1045,6 +1102,16 @@ func (p *Peer) runLink(l *link) {
 			if conn == nil {
 				continue
 			}
+			// End-of-replay fence: every frame buffered unacknowledged at
+			// reconnect now precedes it on this connection, so a receiver
+			// restoring from a crash knows this link's pre-crash traffic
+			// has fully arrived (see the replay gate in internal/server).
+			if err := conn.Write(wire.ReplayFence{Boot: p.opts.Boot}); err != nil {
+				p.opts.Logf("tcp[%d]: link to member %d broke (%v); redialing", p.opts.Index, l.idx, err)
+				conn.Close()
+				conn = nil
+				continue
+			}
 		}
 		l.prune()
 		if l.connDead(conn) {
@@ -1231,6 +1298,13 @@ func (p *Peer) AcceptPeer(conn *wire.Conn, hello wire.Hello) {
 			}
 		case wire.Ack:
 			p.noteAckFor(idx, m.Seq)
+		case wire.ReplayFence:
+			// Ride the same ordered path as sequenced frames (shaper pipe,
+			// then runner queue): when the runner task fires, every frame
+			// the sender replayed ahead of the fence has been processed.
+			sh.admit(p, func() {
+				p.Do(func() { p.noteReplayFence(idx, m.Boot) })
+			})
 		default:
 			p.opts.Logf("tcp[%d]: unexpected peer frame %T", p.opts.Index, v)
 		}

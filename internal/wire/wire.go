@@ -112,6 +112,24 @@ type Hello struct {
 	// per-sender delivery sequence: the sender restarted and numbers its
 	// link frames from zero again.
 	Boot int64
+	// Session is the client-chosen durable session ID (client
+	// connections). Empty selects an ephemeral connection: pending
+	// operations die with the connection. Non-empty, the member retains
+	// journaled outcomes addressable by (session, CliEnqueue/CliDequeue
+	// .Seq) until the client acknowledges their delivery.
+	Session string
+	// SessionResume marks a session reconnect: the answering member must
+	// already hold the session. Without it an unknown session is created
+	// fresh (first contact); with it the member answers
+	// HelloAck.SessionResumed false instead, so a client redialing after
+	// a failover can never silently start an empty session at a member
+	// that does not own its state.
+	SessionResume bool
+	// SessionAck is the client's cumulative delivered-outcome cursor:
+	// every session operation with Seq <= SessionAck has had its outcome
+	// delivered, so the member may prune outcomes it retains at or below
+	// it. See also CliSessionAck.
+	SessionAck uint64
 }
 
 // HelloAck answers a Hello: the receiver's address book and, for clients,
@@ -127,6 +145,19 @@ type HelloAck struct {
 	// Seq <= AckSeq is durably delivered and must not be retransmitted; the
 	// dialer replays everything newer.
 	AckSeq uint64
+	// SessionResumed reports that the answering member owns the presented
+	// session and re-attached it (client connections with
+	// Hello.SessionResume). False on a resume means the member does not
+	// hold the session — the client should locate the owner through Book
+	// instead; retained outcomes follow over this connection when true.
+	SessionResumed bool
+	// SessionSeq is the session's operation-sequence high-water mark:
+	// the largest per-session Seq the member has accepted, acknowledged
+	// or retained. A client that re-attaches without its own in-memory
+	// counter (a fresh process adopting a durable session) must continue
+	// numbering above it — sequences at or below are dead history the
+	// member silently deduplicates, so reusing them loses the op.
+	SessionSeq uint64
 }
 
 // Envelope is one protocol message in flight between members.
@@ -159,18 +190,47 @@ type Ack struct {
 	Seq uint64
 }
 
+// ReplayFence marks the end of a peer link's reconnect replay: every
+// frame the sender held unacknowledged when this connection was
+// established precedes it on the stream. It is unsequenced (a fresh one
+// is written on every reconnect) and carries the sender's boot epoch so
+// a fence from a stale connection cannot satisfy the receiver. A member
+// restarting from a fail-stop crash uses the fences to learn when
+// pre-crash traffic has finished arriving and fresh client operations
+// can safely be injected again (see the replay gate in internal/server:
+// a new operation joining a wave whose serve was already computed by the
+// crashed incarnation would diverge the replay and wedge the member).
+type ReplayFence struct {
+	Boot int64
+}
+
 // ---- Client protocol ----
 
 // CliEnqueue submits an ENQUEUE (PUSH) of an encoded value. Seq is the
-// client's correlation number, echoed in the CliDone.
+// client's correlation number — on a session connection, the per-session
+// operation sequence the member dedupes re-presented operations by —
+// echoed in the CliDone. Ack piggybacks the session's delivered-outcome
+// cursor (see Hello.SessionAck); zero-valued and ignored on ephemeral
+// connections.
 type CliEnqueue struct {
 	Seq   uint64
 	Value []byte
+	Ack   uint64
 }
 
-// CliDequeue submits a DEQUEUE (POP).
+// CliDequeue submits a DEQUEUE (POP). Seq and Ack as in CliEnqueue.
 type CliDequeue struct {
 	Seq uint64
+	Ack uint64
+}
+
+// CliSessionAck advances a durable session's delivered-outcome cursor
+// when no operation is available to piggyback it on: every session
+// operation with Seq <= Ack had its outcome delivered, and the member
+// prunes the outcomes it retains at or below it. Cursors are cumulative;
+// a regression is ignored.
+type CliSessionAck struct {
+	Ack uint64
 }
 
 // CliDone reports a completed client operation. It is the client-visible
@@ -199,11 +259,20 @@ type CliDone struct {
 	//
 	//skueue:client-outcome
 	Rounds int64
+	// Rank is the operation's serialization rank (core value()), when the
+	// completion path knows it: completions carry it, bare put-acks do not
+	// (seqcheck.NoValue there). Session clients track it in their
+	// per-session version vector to verify read-your-writes / monotonic
+	// dequeues across failover.
+	//
+	//skueue:client-outcome
+	Rank int64
 	// Err carries a server-side submission error, empty on success.
 	Err string
 	// Unreachable marks an operation abandoned because a cluster member
 	// stayed unreachable past the server's give-up timeout (fail-stop
-	// detection); the client layer surfaces it as ErrRemote.
+	// detection); the client layer surfaces it as ErrUnreachable with an
+	// indeterminate future.
 	Unreachable bool
 }
 
@@ -399,8 +468,10 @@ func init() {
 	Register(Envelope{})
 	Register(BookUpdate{})
 	Register(Ack{})
+	Register(ReplayFence{})
 	Register(CliEnqueue{})
 	Register(CliDequeue{})
+	Register(CliSessionAck{})
 	Register(CliDone{})
 	Register(CliHistory{})
 	Register(CliHistoryResp{})

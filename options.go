@@ -39,6 +39,10 @@ type options struct {
 	quantum         int64
 	remote          string
 	wan             WANProfile
+	session         string
+	dialTimeout     time.Duration
+	reconnRetries   int
+	reconnBackoff   time.Duration
 }
 
 func defaultOptions() options {
@@ -155,9 +159,44 @@ func WithWAN(p WANProfile) Option { return func(o *options) { o.wan = p } }
 // variants) round-trip over TCP; Check fetches and merges the completion
 // histories of all cluster members. Values must be gob-encodable (see
 // RegisterValue). Simulation-only surfaces — process pinning, Admin,
-// manual clock, Cluster introspection — return ErrRemote or zero values;
-// every other Open option is ignored.
+// manual clock, Cluster introspection — return ErrUnsupported (which
+// wraps ErrRemote) or zero values; of the other Open options only
+// WithSession, WithDialTimeout and WithReconnect apply.
 func WithRemote(addr string) Option { return func(o *options) { o.remote = addr } }
+
+// WithSession gives a WithRemote client a durable session under the
+// given client-chosen ID: the member journals a session record ahead of
+// the session's first operation and retains every journaled outcome
+// until the client acknowledges its delivery, so a lost connection no
+// longer fails pending futures — the client reconnects (see
+// WithReconnect), resumes the session at the owning member (finding its
+// new address through the cluster's address book if it restarted), and
+// collects each outcome exactly once. Read-your-writes and monotonic
+// dequeues hold across the failover and are verified per session by
+// Client.Check. The ID must be unique per logical client — reusing a
+// live session's ID detaches its previous connection. Empty (the zero
+// value, and the default) keeps the ephemeral behavior: a lost
+// connection drains every pending future with ErrUnreachable.
+func WithSession(id string) Option { return func(o *options) { o.session = id } }
+
+// WithDialTimeout bounds each TCP dial a WithRemote client performs —
+// the initial connection, session reconnects, and the per-member history
+// fetches behind Check and Stats. Zero (the default) selects 10s.
+func WithDialTimeout(d time.Duration) Option { return func(o *options) { o.dialTimeout = d } }
+
+// WithReconnect tunes the reconnect loop of a WithSession client:
+// maxRetries bounds how many resume attempts follow a lost connection
+// before the client gives up and drains its pending futures with
+// ErrUnreachable (marked Indeterminate), and backoff is the base delay
+// between attempts — exponential with jitter, capped at 2s. Zero values
+// select the defaults (8 retries, 100ms base). Ephemeral clients (no
+// WithSession) ignore it: they never reconnect.
+func WithReconnect(maxRetries int, backoff time.Duration) Option {
+	return func(o *options) {
+		o.reconnRetries = maxRetries
+		o.reconnBackoff = backoff
+	}
+}
 
 // RegisterValue registers a concrete user value type for transmission to
 // a remote cluster (the wire codec is encoding/gob; common scalar and

@@ -2,7 +2,9 @@ package skueue
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -10,124 +12,386 @@ import (
 	"skueue/internal/wire"
 )
 
+// Reconnect defaults (see WithDialTimeout and WithReconnect).
+const (
+	defaultDialTimeout = 10 * time.Second
+	defaultRetries     = 8
+	defaultBackoff     = 100 * time.Millisecond
+	maxBackoff         = 2 * time.Second
+	// ackEvery bounds how many settled outcomes accumulate before the
+	// client sends a standalone cursor update; submissions piggyback the
+	// cursor anyway, so this only matters for receive-heavy phases.
+	ackEvery = 32
+)
+
+// pendingOp is one submitted, not yet settled operation: everything needed
+// to re-present it after a reconnect, plus the session's delivered-rank
+// floor at submission time (the binding lower bound for the per-session
+// order check, see seqcheck.CheckSession).
+type pendingOp struct {
+	f     *Future
+	enq   bool
+	blob  []byte
+	floor int64
+}
+
 // remoteClient is the WithRemote backend of a Client: instead of hosting a
 // simulated cluster in-process, operations are submitted over TCP to a
 // cluster member started with cmd/skueue-server, and completions stream
 // back asynchronously. The Future machinery is shared with the simulated
 // mode; only submission and resolution differ.
+//
+// Without WithSession the connection is the client: when it dies, every
+// pending future drains fail-fast with ErrUnreachable (indeterminate) and
+// the client closes. With WithSession the member retains the session's
+// journaled outcomes server-side, so a dead connection instead enters the
+// reconnect loop: locate the session's owner (through the address book if
+// it moved), resume, re-present the unsettled window, and dedupe the
+// redelivered outcomes by per-session sequence — each future completes
+// exactly once.
 type remoteClient struct {
 	c    *Client
-	conn *wire.Conn
-	book []wire.MemberInfo
 	mode Mode
 
+	// Session configuration, immutable after open.
+	session     string
+	dialTimeout time.Duration
+	retries     int
+	backoff     time.Duration
+
 	mu      sync.Mutex
+	conn    *wire.Conn
+	book    []wire.MemberInfo
+	owner   int32 // member index holding the session (HelloAck.Index)
 	seq     uint64
-	pending map[uint64]*Future
+	pending map[uint64]*pendingOp
+	// acked is the settled low-water mark: every sequence at or below it
+	// completed client-side, so the server may drop its retained
+	// outcomes. settled holds the out-of-order settlements above it.
+	acked    uint64
+	settled  map[uint64]bool
+	sinceAck int
+	// versions is the session's version vector: the highest serialization
+	// rank delivered by each member the session was attached to. Its
+	// maximum (maxRank) is the floor stamped on new submissions.
+	versions map[int32]int64
+	maxRank  int64
+	// oplog records every successfully delivered outcome for the
+	// per-session order check Client.Check runs (seqcheck.CheckSession).
+	oplog   []seqcheck.SessionOp
 	readErr error
+	closed  bool
+	rng     *rand.Rand
 }
 
 // dialRemote establishes the client connection and handshake.
-func dialRemote(addr string) (*remoteClient, error) {
-	nc, err := net.DialTimeout("tcp", addr, 10*time.Second)
+func dialRemote(o options) (*remoteClient, error) {
+	r := &remoteClient{
+		session:     o.session,
+		dialTimeout: o.dialTimeout,
+		retries:     o.reconnRetries,
+		backoff:     o.reconnBackoff,
+		pending:     make(map[uint64]*pendingOp),
+		settled:     make(map[uint64]bool),
+		versions:    make(map[int32]int64),
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	if r.dialTimeout <= 0 {
+		r.dialTimeout = defaultDialTimeout
+	}
+	if r.retries <= 0 {
+		r.retries = defaultRetries
+	}
+	if r.backoff <= 0 {
+		r.backoff = defaultBackoff
+	}
+	conn, ack, err := r.handshake(o.remote, false)
 	if err != nil {
-		return nil, fmt.Errorf("skueue: dialing %s: %w", addr, err)
+		return nil, err
+	}
+	r.conn = conn
+	r.book = ack.Book
+	r.owner = ack.Index
+	if ack.Mode == "stack" {
+		r.mode = Stack
+	}
+	if r.session != "" && ack.SessionSeq > r.seq {
+		// A fresh process adopting an existing durable session has no
+		// in-memory counter; continue numbering above the member's
+		// high-water mark or new ops would collide with dead history
+		// (the member dedupes them silently) and hang forever. The acked
+		// cursor likewise resumes from the member's view.
+		r.seq = ack.SessionSeq
+		r.acked = ack.SessionSeq
+	}
+	return r, nil
+}
+
+// handshake dials one member and runs the client hello exchange,
+// presenting the session (if any) and its settled cursor. resume asks for
+// attach-only semantics: a member that does not hold the session answers
+// SessionResumed false instead of creating it.
+func (r *remoteClient) handshake(addr string, resume bool) (*wire.Conn, wire.HelloAck, error) {
+	nc, err := net.DialTimeout("tcp", addr, r.dialTimeout)
+	if err != nil {
+		return nil, wire.HelloAck{}, fmt.Errorf("skueue: dialing %s: %v: %w", addr, err, ErrUnreachable)
 	}
 	conn := wire.NewConn(nc)
-	if err := conn.Write(wire.Hello{Kind: "client"}); err != nil {
+	r.mu.Lock()
+	ack := r.acked
+	r.mu.Unlock()
+	hello := wire.Hello{Kind: "client", Session: r.session, SessionResume: resume, SessionAck: ack}
+	if err := conn.Write(hello); err != nil {
 		conn.Close()
-		return nil, err
+		return nil, wire.HelloAck{}, err
 	}
 	v, err := conn.Read()
 	if err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("skueue: handshake with %s: %w", addr, err)
+		return nil, wire.HelloAck{}, fmt.Errorf("skueue: handshake with %s: %w", addr, err)
 	}
-	ack, ok := v.(wire.HelloAck)
+	helloAck, ok := v.(wire.HelloAck)
 	if !ok {
 		conn.Close()
-		return nil, fmt.Errorf("skueue: %s answered %T to hello", addr, v)
+		return nil, wire.HelloAck{}, fmt.Errorf("skueue: %s answered %T to hello", addr, v)
 	}
-	mode := Queue
-	if ack.Mode == "stack" {
-		mode = Stack
-	}
-	return &remoteClient{
-		conn:    conn,
-		book:    ack.Book,
-		mode:    mode,
-		pending: make(map[uint64]*Future),
-	}, nil
+	return conn, helloAck, nil
 }
 
 // reader dispatches completion frames to futures until the connection
-// closes, then drains every pending future with the connection error and
-// fails the client so blocked calls return. The drain matters for
-// callers polling Done()/Completed() instead of Wait: without it a
-// dropped server connection left their futures pending forever — Done
-// never fired, Completed stayed false, and Err lied nil.
+// closes. An ephemeral client (no WithSession) then drains every pending
+// future fail-fast with ErrUnreachable and closes the client — without
+// the drain, callers polling Done()/Completed() instead of Wait would
+// hang forever on a dropped connection. A session client instead runs the
+// reconnect loop and keeps reading on the replacement connection; only an
+// exhausted loop (or a lost session) drains.
 func (r *remoteClient) reader() {
 	for {
-		v, err := r.conn.Read()
+		r.mu.Lock()
+		conn := r.conn
+		r.mu.Unlock()
+		v, err := conn.Read()
 		if err != nil {
-			r.mu.Lock()
-			r.readErr = err
-			pending := r.pending
-			r.pending = make(map[uint64]*Future)
-			r.mu.Unlock()
-			for _, f := range pending {
-				// The operation may or may not have executed server-side:
-				// indeterminate, reported as a remote failure so callers
-				// can dispatch on ErrRemote.
-				f.err = fmt.Errorf("skueue: server connection lost: %v: %w", err, ErrRemote)
-				close(f.done)
+			if r.session != "" && r.reconnect() {
+				continue
 			}
+			r.drain(err)
 			r.c.failRemote()
 			return
 		}
-		done, ok := v.(wire.CliDone)
-		if !ok {
-			continue // histories etc. use dedicated connections
+		if done, ok := v.(wire.CliDone); ok {
+			r.dispatch(done)
 		}
-		r.mu.Lock()
-		f := r.pending[done.Seq]
-		delete(r.pending, done.Seq)
+		// Other frame kinds (histories etc.) use dedicated connections.
+	}
+}
+
+// drain fails every pending future with the connection error. The
+// operations may or may not have executed server-side — indeterminate —
+// and the error wraps ErrUnreachable (hence ErrRemote) so callers can
+// dispatch on either.
+func (r *remoteClient) drain(cause error) {
+	r.mu.Lock()
+	r.readErr = cause
+	pending := r.pending
+	r.pending = make(map[uint64]*pendingOp)
+	r.mu.Unlock()
+	for _, op := range pending {
+		op.f.err = fmt.Errorf("skueue: server connection lost: %v: %w", cause, ErrUnreachable)
+		op.f.indeterminate = true
+		close(op.f.done)
+	}
+}
+
+// dispatch settles one completion frame. Redeliveries are expected with a
+// session — a resume replays retained outcomes, and a parked release can
+// race that replay — so anything not in the pending window is dropped:
+// the future completed the first time.
+func (r *remoteClient) dispatch(done wire.CliDone) {
+	r.mu.Lock()
+	op := r.pending[done.Seq]
+	if op == nil {
 		r.mu.Unlock()
-		if f == nil {
-			continue
-		}
-		f.rounds = done.Rounds
-		if done.Unreachable {
-			// The cluster lost a member past the server's give-up timeout
-			// and abandoned the operation rather than blocking forever
-			// (fail-stop detection). ErrRemote lets callers dispatch on it.
-			f.err = fmt.Errorf("skueue: %s: %w", done.Err, ErrRemote)
-		} else if done.Err != "" {
-			// Submission failed server-side (e.g. no live local process):
-			// the operation never entered the queue, so it must surface as
-			// an error, not as a ⊥ or a silent success.
-			f.err = fmt.Errorf("skueue: server rejected operation: %s", done.Err)
-		} else if f.kind == seqcheck.Dequeue {
-			f.bottom = done.Bottom
-			if !done.Bottom {
-				val, derr := wire.DecodeValue(done.Value)
-				if derr != nil {
-					// The element is consumed either way; losing the value
-					// silently would be worse than reporting it.
-					f.err = derr
-				} else {
-					f.value = val
-				}
+		return
+	}
+	delete(r.pending, done.Seq)
+	r.settled[done.Seq] = true
+	for r.settled[r.acked+1] {
+		delete(r.settled, r.acked+1)
+		r.acked++
+	}
+	failed := done.Err != ""
+	if r.session != "" && !failed {
+		if done.Rank > 0 {
+			if done.Rank > r.versions[r.owner] {
+				r.versions[r.owner] = done.Rank
+			}
+			if done.Rank > r.maxRank {
+				r.maxRank = done.Rank
 			}
 		}
-		close(f.done)
+		r.oplog = append(r.oplog, seqcheck.SessionOp{ReqID: done.ReqID, Floor: op.floor, Rank: done.Rank})
 	}
+	r.sinceAck++
+	var ackConn *wire.Conn
+	var ack uint64
+	if r.session != "" && r.sinceAck >= ackEvery {
+		r.sinceAck = 0
+		ack = r.acked
+		ackConn = r.conn
+	}
+	r.mu.Unlock()
+
+	f := op.f
+	f.rounds = done.Rounds
+	if done.Unreachable {
+		// The cluster lost a member past the give-up timeout and abandoned
+		// the operation rather than blocking forever (fail-stop
+		// detection); its outcome is unknown.
+		f.err = fmt.Errorf("skueue: %s: %w", done.Err, ErrUnreachable)
+		f.indeterminate = true
+	} else if failed {
+		// Submission failed server-side (e.g. no live local process): the
+		// operation never entered the queue, so it must surface as an
+		// error, not as a ⊥ or a silent success.
+		f.err = fmt.Errorf("skueue: server rejected operation: %s", done.Err)
+	} else if f.kind == seqcheck.Dequeue {
+		f.bottom = done.Bottom
+		if !done.Bottom {
+			val, derr := wire.DecodeValue(done.Value)
+			if derr != nil {
+				// The element is consumed either way; losing the value
+				// silently would be worse than reporting it.
+				f.err = derr
+			} else {
+				f.value = val
+			}
+		}
+	}
+	close(f.done)
+	if ackConn != nil {
+		ackConn.Write(wire.CliSessionAck{Ack: ack}) // best-effort; piggybacked anyway
+	}
+}
+
+// reconnect re-establishes a session client's connection after a loss:
+// locate the owner, resume the session, swap the connection in, and
+// re-present the unsettled window in submission order (the owner dedupes
+// by per-session sequence, so operations that survived inside the member
+// are not injected twice). Returns false when the client closed, the
+// retry budget ran out, or the owner itself no longer knows the session
+// (its state was lost — the outcomes are unrecoverable).
+func (r *remoteClient) reconnect() bool {
+	for attempt := 0; attempt < r.retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(r.backoffFor(attempt))
+		}
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return false
+		}
+		book := append([]wire.MemberInfo(nil), r.book...)
+		owner := r.owner
+		r.mu.Unlock()
+		conn, ack, lost := r.resumeDial(book, owner)
+		if lost {
+			return false
+		}
+		if conn == nil {
+			continue
+		}
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			conn.Close()
+			return false
+		}
+		r.conn = conn
+		r.owner = ack.Index
+		if len(ack.Book) > 0 {
+			r.book = ack.Book
+		}
+		seqs := make([]uint64, 0, len(r.pending))
+		for seq := range r.pending {
+			seqs = append(seqs, seq)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		ops := make([]*pendingOp, len(seqs))
+		for i, seq := range seqs {
+			ops[i] = r.pending[seq]
+		}
+		cursor := r.acked
+		r.mu.Unlock()
+		for i, seq := range seqs {
+			op := ops[i]
+			var req any
+			if op.enq {
+				req = wire.CliEnqueue{Seq: seq, Value: op.blob, Ack: cursor}
+			} else {
+				req = wire.CliDequeue{Seq: seq, Ack: cursor}
+			}
+			if conn.Write(req) != nil {
+				break // the reader sees the same error and reconnects again
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// resumeDial tries every known member — the session owner first, then the
+// rest of the book, then a freshly fetched book (the restarted owner
+// rejoins under a new address that only surviving members know). lost
+// reports the one unrecoverable answer: the owner itself no longer holds
+// the session.
+func (r *remoteClient) resumeDial(book []wire.MemberInfo, owner int32) (conn *wire.Conn, ack wire.HelloAck, lost bool) {
+	for round := 0; round < 2; round++ {
+		sort.SliceStable(book, func(i, j int) bool {
+			return (book[i].Index == owner) && (book[j].Index != owner)
+		})
+		for _, m := range book {
+			c, a, err := r.handshake(m.Addr, true)
+			if err != nil {
+				continue
+			}
+			if a.SessionResumed {
+				return c, a, false
+			}
+			c.Close()
+			if a.Index == owner {
+				// The owner answered and does not know the session: its
+				// journal and snapshots lost it. Retrying cannot help.
+				return nil, wire.HelloAck{}, true
+			}
+		}
+		if round == 0 {
+			book = r.freshBook()
+		}
+	}
+	return nil, wire.HelloAck{}, false
+}
+
+// backoffFor returns the jittered exponential delay before reconnect
+// attempt n (n ≥ 1): base·2ⁿ⁻¹ capped at maxBackoff, of which the upper
+// half is uniformly jittered so clients orphaned by the same crash do not
+// stampede the restarted member in lockstep.
+func (r *remoteClient) backoffFor(attempt int) time.Duration {
+	d := r.backoff << (attempt - 1)
+	if d > maxBackoff || d <= 0 {
+		d = maxBackoff
+	}
+	half := d / 2
+	r.mu.Lock()
+	j := time.Duration(r.rng.Int63n(int64(half) + 1))
+	r.mu.Unlock()
+	return half + j
 }
 
 // submit sends one operation and registers its future.
 func (r *remoteClient) submit(kind seqcheck.Kind, proc int, value any) (*Future, error) {
 	if proc != AnyProcess {
-		return nil, fmt.Errorf("process pinning is not available over the network: %w", ErrRemote)
+		return nil, fmt.Errorf("process pinning is not available over the network: %w", ErrUnsupported)
 	}
 	var blob []byte
 	if kind == seqcheck.Enqueue {
@@ -141,20 +405,28 @@ func (r *remoteClient) submit(kind seqcheck.Kind, proc int, value any) (*Future,
 	if r.readErr != nil {
 		err := r.readErr
 		r.mu.Unlock()
-		return nil, fmt.Errorf("skueue: server connection failed: %w", err)
+		return nil, fmt.Errorf("skueue: server connection failed: %v: %w", err, ErrUnreachable)
 	}
 	r.seq++
 	seq := r.seq
 	f.id = seq
-	r.pending[seq] = f
+	r.pending[seq] = &pendingOp{f: f, enq: kind == seqcheck.Enqueue, blob: blob, floor: r.maxRank}
+	cursor := r.acked
+	conn := r.conn
 	r.mu.Unlock()
 	var req any
 	if kind == seqcheck.Enqueue {
-		req = wire.CliEnqueue{Seq: seq, Value: blob}
+		req = wire.CliEnqueue{Seq: seq, Value: blob, Ack: cursor}
 	} else {
-		req = wire.CliDequeue{Seq: seq}
+		req = wire.CliDequeue{Seq: seq, Ack: cursor}
 	}
-	if err := r.conn.Write(req); err != nil {
+	if err := conn.Write(req); err != nil {
+		if r.session != "" {
+			// The op stays pending: the reconnect loop re-presents it on
+			// the replacement connection (the reader is already failing
+			// over, since the write and read sides die together).
+			return f, nil
+		}
 		r.mu.Lock()
 		delete(r.pending, seq)
 		r.mu.Unlock()
@@ -163,14 +435,39 @@ func (r *remoteClient) submit(kind seqcheck.Kind, proc int, value any) (*Future,
 	return f, nil
 }
 
-// close shuts the connection; the reader then fails remaining futures.
-func (r *remoteClient) close() { r.conn.Close() }
+// checkSession verifies the session's dependency order against the merged
+// cluster history (Client.Check calls it after the Definition 1 check);
+// ephemeral clients have nothing to verify.
+func (r *remoteClient) checkSession(h *seqcheck.History) error {
+	r.mu.Lock()
+	ops := append([]seqcheck.SessionOp(nil), r.oplog...)
+	id := r.session
+	r.mu.Unlock()
+	if id == "" || len(ops) == 0 {
+		return nil
+	}
+	return seqcheck.CheckSession(h, ops)
+}
+
+// close shuts the connection; the reader then fails remaining futures
+// (and a session client stops reconnecting).
+func (r *remoteClient) close() {
+	r.mu.Lock()
+	r.closed = true
+	conn := r.conn
+	r.mu.Unlock()
+	conn.Close()
+}
 
 // freshBook asks the first reachable member for its current address book,
-// so members that joined after this client opened are included. Falls
-// back to the dial-time snapshot if nobody answers.
+// so members that joined — or rejoined under a new address — after this
+// client opened are included. Falls back to the last known book if nobody
+// answers.
 func (r *remoteClient) freshBook() []wire.MemberInfo {
-	for _, m := range r.book {
+	r.mu.Lock()
+	book := append([]wire.MemberInfo(nil), r.book...)
+	r.mu.Unlock()
+	for _, m := range book {
 		nc, err := net.DialTimeout("tcp", m.Addr, 5*time.Second)
 		if err != nil {
 			continue
@@ -186,7 +483,7 @@ func (r *remoteClient) freshBook() []wire.MemberInfo {
 		}
 		conn.Close()
 	}
-	return r.book
+	return book
 }
 
 // histories fetches the completion history of every cluster member over
@@ -197,9 +494,9 @@ func (r *remoteClient) freshBook() []wire.MemberInfo {
 func (r *remoteClient) histories() (*seqcheck.History, error) {
 	hist := &seqcheck.History{}
 	for _, m := range r.freshBook() {
-		nc, err := net.DialTimeout("tcp", m.Addr, 10*time.Second)
+		nc, err := net.DialTimeout("tcp", m.Addr, r.dialTimeout)
 		if err != nil {
-			return nil, fmt.Errorf("skueue: dialing member %d (%s): %w", m.Index, m.Addr, err)
+			return nil, fmt.Errorf("skueue: dialing member %d (%s): %v: %w", m.Index, m.Addr, err, ErrUnreachable)
 		}
 		conn := wire.NewConn(nc)
 		err = func() error {
@@ -233,8 +530,8 @@ func (r *remoteClient) histories() (*seqcheck.History, error) {
 
 // openRemote builds the WithRemote flavour of a Client: no cluster, no
 // autopilot — just the connection and the shared Future machinery.
-func openRemote(addr string) (*Client, error) {
-	r, err := dialRemote(addr)
+func openRemote(o options) (*Client, error) {
+	r, err := dialRemote(o)
 	if err != nil {
 		return nil, err
 	}
@@ -251,8 +548,8 @@ func openRemote(addr string) (*Client, error) {
 	return c, nil
 }
 
-// failRemote is called by the reader when the server connection dies: it
-// closes the client so every blocked call returns ErrClosed.
+// failRemote is called by the reader when the server connection dies for
+// good: it closes the client so every blocked call returns ErrClosed.
 func (c *Client) failRemote() {
 	c.mu.Lock()
 	if c.closed {

@@ -66,6 +66,17 @@ func TestRemoteFutureFailsOnDisconnect(t *testing.T) {
 	if !errors.Is(werr, ErrRemote) {
 		t.Fatalf("Err() = %v, want it to wrap ErrRemote", werr)
 	}
+	// The split error taxonomy: a dropped connection is ErrUnreachable
+	// (which wraps ErrRemote), and the drained future is indeterminate —
+	// the operation may or may not have executed server-side. An
+	// ephemeral client (no WithSession) gets this fail-fast drain rather
+	// than a reconnect loop.
+	if !errors.Is(werr, ErrUnreachable) {
+		t.Fatalf("Err() = %v, want it to wrap ErrUnreachable", werr)
+	}
+	if !f.Indeterminate() {
+		t.Fatal("Indeterminate() false for an operation drained by a connection loss")
+	}
 	// The client is failed: further submissions report the dead
 	// connection instead of queueing into the void.
 	if _, err := c.EnqueueAsync(AnyProcess, "after"); err == nil {

@@ -43,7 +43,8 @@
 // Drain and Settle advance the clock explicitly.
 //
 // Errors are typed sentinels (ErrNoSuchProcess, ErrProcessLeft,
-// ErrTimeout, ErrClosed, ErrRemote, ...); match them with errors.Is.
+// ErrTimeout, ErrClosed, ErrUnsupported, ErrUnreachable, ...); match
+// them with errors.Is.
 //
 // See README.md for quickstarts (including a networked cluster),
 // DESIGN.md for the architecture and EXPERIMENTS.md for the reproduction
