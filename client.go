@@ -37,6 +37,9 @@ type Client struct {
 	manual  bool
 	quantum int64
 	mode    Mode
+	// heapLevels is the priority-level count in heap mode (1 otherwise
+	// irrelevant); remote clients adopt it from the server's HelloAck.
+	heapLevels int
 	// rem is set in WithRemote mode: operations round-trip to a networked
 	// cluster member and cl is nil. See remote.go.
 	rem *remoteClient
@@ -88,13 +91,20 @@ func Open(opts ...Option) (*Client, error) {
 		return nil, fmt.Errorf("skueue: WithWAN: %w", err)
 	}
 	mode := batch.Queue
-	if o.mode == Stack {
+	switch o.mode {
+	case Stack:
 		mode = batch.Stack
+	case Heap:
+		mode = batch.Heap
+		if o.heapLevels < 1 {
+			o.heapLevels = 1
+		}
 	}
 	cl, err := core.New(core.Config{
 		Processes:             o.processes,
 		Seed:                  o.seed,
 		Mode:                  mode,
+		HeapLevels:            o.heapLevels,
 		Async:                 o.async,
 		MaxDelay:              o.maxDelay,
 		TimeoutEvery:          o.timeoutEvery,
@@ -108,17 +118,18 @@ func Open(opts ...Option) (*Client, error) {
 		return nil, err
 	}
 	c := &Client{
-		manual:  o.manual,
-		quantum: o.quantum,
-		mode:    o.mode,
-		cl:      cl,
-		futures: make(map[uint64]*Future),
-		values:  make(map[dht.Element]any),
-		pending: make(map[uint64]any),
-		early:   make(map[uint64]seqcheck.Completion),
-		wake:    make(chan struct{}, 1),
-		quit:    make(chan struct{}),
-		stopped: make(chan struct{}),
+		manual:     o.manual,
+		quantum:    o.quantum,
+		mode:       o.mode,
+		heapLevels: o.heapLevels,
+		cl:         cl,
+		futures:    make(map[uint64]*Future),
+		values:     make(map[dht.Element]any),
+		pending:    make(map[uint64]any),
+		early:      make(map[uint64]seqcheck.Completion),
+		wake:       make(chan struct{}, 1),
+		quit:       make(chan struct{}),
+		stopped:    make(chan struct{}),
 	}
 	cl.SetOnComplete(c.onComplete)
 	if c.manual {
@@ -211,8 +222,16 @@ func (c *Client) pickLocked() (int, error) {
 
 // submit injects one request and registers its future, all under the
 // mutex so a synchronous completion (stack local combining) cannot race
-// the registration.
-func (c *Client) submit(kind seqcheck.Kind, proc int, value any) (*Future, error) {
+// the registration. priOp marks a priority-API submission (EnqueuePri /
+// DequeueMin); the flavour must match the client's mode, so priorities
+// can neither be dropped silently on a queue nor invented on a heap.
+func (c *Client) submit(kind seqcheck.Kind, proc int, pri int32, priOp bool, value any) (*Future, error) {
+	if priOp != (c.mode == Heap) {
+		return nil, fmt.Errorf("%w: %v flavour against a %v client", ErrWrongMode, flavourName(kind, priOp), c.mode)
+	}
+	if priOp && kind == seqcheck.Enqueue && (pri < 0 || int(pri) >= c.heapLevels) {
+		return nil, fmt.Errorf("skueue: priority %d outside [0,%d)", pri, c.heapLevels)
+	}
 	if c.rem != nil {
 		c.mu.Lock()
 		closed := c.closed
@@ -220,7 +239,7 @@ func (c *Client) submit(kind seqcheck.Kind, proc int, value any) (*Future, error
 		if closed {
 			return nil, ErrClosed
 		}
-		return c.rem.submit(kind, proc, value)
+		return c.rem.submit(kind, proc, pri, priOp, value)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -240,7 +259,7 @@ func (c *Client) submit(kind seqcheck.Kind, proc int, value any) (*Future, error
 	client := c.cl.Client(p)
 	c.injecting = true
 	if kind == seqcheck.Enqueue {
-		f.id = c.cl.Enqueue(client)
+		f.id = c.cl.EnqueuePriBlob(client, pri, nil)
 	} else {
 		f.id = c.cl.Dequeue(client)
 	}
@@ -251,6 +270,20 @@ func (c *Client) submit(kind seqcheck.Kind, proc int, value any) (*Future, error
 	c.futures[f.id] = f
 	c.resolveEarlyLocked(f.id)
 	return f, nil
+}
+
+// flavourName renders an operation flavour for wrong-mode errors.
+func flavourName(kind seqcheck.Kind, priOp bool) string {
+	switch {
+	case priOp && kind == seqcheck.Enqueue:
+		return "EnqueuePri"
+	case priOp:
+		return "DequeueMin"
+	case kind == seqcheck.Enqueue:
+		return "Enqueue"
+	default:
+		return "Dequeue"
+	}
 }
 
 // block completes a submitted future: under the autopilot it waits; under
@@ -447,7 +480,7 @@ func (c *Client) Enqueue(ctx context.Context, value any) error {
 // EnqueueAt is Enqueue pinned to a specific process (AnyProcess defers the
 // choice to the client).
 func (c *Client) EnqueueAt(ctx context.Context, proc int, value any) error {
-	f, err := c.submit(seqcheck.Enqueue, proc, value)
+	f, err := c.submit(seqcheck.Enqueue, proc, 0, false, value)
 	if err != nil {
 		return err
 	}
@@ -469,7 +502,7 @@ func (c *Client) Dequeue(ctx context.Context) (any, bool, error) {
 
 // DequeueAt is Dequeue pinned to a specific process.
 func (c *Client) DequeueAt(ctx context.Context, proc int) (any, bool, error) {
-	f, err := c.submit(seqcheck.Dequeue, proc, nil)
+	f, err := c.submit(seqcheck.Dequeue, proc, 0, false, nil)
 	if err != nil {
 		return nil, false, err
 	}
@@ -488,7 +521,7 @@ func (c *Client) Pop(ctx context.Context) (any, bool, error) { return c.Dequeue(
 // EnqueueAsync submits an ENQUEUE (PUSH) at the given process without
 // waiting; the returned Future resolves as the simulation advances.
 func (c *Client) EnqueueAsync(proc int, value any) (*Future, error) {
-	f, err := c.submit(seqcheck.Enqueue, proc, value)
+	f, err := c.submit(seqcheck.Enqueue, proc, 0, false, value)
 	if err != nil {
 		return nil, err
 	}
@@ -499,7 +532,7 @@ func (c *Client) EnqueueAsync(proc int, value any) (*Future, error) {
 // DequeueAsync submits a DEQUEUE (POP) at the given process without
 // waiting.
 func (c *Client) DequeueAsync(proc int) (*Future, error) {
-	f, err := c.submit(seqcheck.Dequeue, proc, nil)
+	f, err := c.submit(seqcheck.Dequeue, proc, 0, false, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -514,6 +547,75 @@ func (c *Client) PushAsync(proc int, value any) (*Future, error) {
 
 // PopAsync is the stack-flavoured alias of DequeueAsync.
 func (c *Client) PopAsync(proc int) (*Future, error) { return c.DequeueAsync(proc) }
+
+// ---- Priority operations (heap mode, WithHeap) ----
+
+// EnqueuePri submits an ENQUEUE(value) at priority level pri (0 is the
+// most urgent) at a client-chosen live process and blocks until it
+// completes. Only valid on a heap client: any other mode returns
+// ErrWrongMode, as does a plain Enqueue on a heap client.
+func (c *Client) EnqueuePri(ctx context.Context, pri int32, value any) error {
+	return c.EnqueuePriAt(ctx, AnyProcess, pri, value)
+}
+
+// EnqueuePriAt is EnqueuePri pinned to a specific process.
+func (c *Client) EnqueuePriAt(ctx context.Context, proc int, pri int32, value any) error {
+	f, err := c.submit(seqcheck.Enqueue, proc, pri, true, value)
+	if err != nil {
+		return err
+	}
+	return c.block(ctx, f)
+}
+
+// DequeueMin submits a DEQUEUE-MIN at a client-chosen live process and
+// blocks until it completes: it returns the oldest element of the lowest
+// non-empty priority level, or ok=false for ⊥. Heap clients only
+// (ErrWrongMode otherwise).
+func (c *Client) DequeueMin(ctx context.Context) (any, bool, error) {
+	return c.DequeueMinAt(ctx, AnyProcess)
+}
+
+// DequeueMinAt is DequeueMin pinned to a specific process.
+func (c *Client) DequeueMinAt(ctx context.Context, proc int) (any, bool, error) {
+	f, err := c.submit(seqcheck.Dequeue, proc, 0, true, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := c.block(ctx, f); err != nil {
+		return nil, false, err
+	}
+	return f.Value(), !f.Empty(), nil
+}
+
+// EnqueuePriAsync submits an ENQUEUE at the given priority level without
+// waiting.
+func (c *Client) EnqueuePriAsync(proc int, pri int32, value any) (*Future, error) {
+	f, err := c.submit(seqcheck.Enqueue, proc, pri, true, value)
+	if err != nil {
+		return nil, err
+	}
+	c.poke()
+	return f, nil
+}
+
+// DequeueMinAsync submits a DEQUEUE-MIN without waiting.
+func (c *Client) DequeueMinAsync(proc int) (*Future, error) {
+	f, err := c.submit(seqcheck.Dequeue, proc, 0, true, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.poke()
+	return f, nil
+}
+
+// HeapLevels returns the priority-level count of a heap client (1 when
+// opened with WithMode(Heap); 0 in the other modes).
+func (c *Client) HeapLevels() int {
+	if c.mode != Heap {
+		return 0
+	}
+	return c.heapLevels
+}
 
 // ---- Manual clock (WithManualClock only) ----
 
@@ -596,12 +698,17 @@ func (c *Client) Check() error {
 		if err != nil {
 			return err
 		}
-		mode := seqcheck.Queue
-		if c.mode == Stack {
-			mode = seqcheck.Stack
+		var cerr error
+		switch c.mode {
+		case Stack:
+			cerr = seqcheck.Check(seqcheck.Stack, hist)
+		case Heap:
+			cerr = seqcheck.CheckPriority(hist, c.heapLevels)
+		default:
+			cerr = seqcheck.Check(seqcheck.Queue, hist)
 		}
-		if err := seqcheck.Check(mode, hist); err != nil {
-			return err
+		if cerr != nil {
+			return cerr
 		}
 		return c.rem.checkSession(hist)
 	}

@@ -1,0 +1,188 @@
+// skueue-benchjson renders `go test -bench` output into the
+// BENCH_micro.json artifact committed by the bench-smoke CI job.
+//
+// The artifact's shape is fixed by BENCH_micro.schema.json at the repo
+// root (schema id "skueue/bench-micro/v1"); the Report and Benchmark
+// structs here are that schema's source of truth. Every benchmark line
+// becomes one entry carrying the iteration count and every metric the
+// benchmark reported (ns/op plus custom ReportMetric units such as
+// client-ops/s, net-ops/s and durable-ops/s), so successive CI runs
+// form a comparable perf trajectory instead of a pile of free-text
+// logs.
+//
+// Usage:
+//
+//	go test -bench 'ClientThroughput|...' -run '^$' | skueue-benchjson \
+//	    -sha "$GITHUB_SHA" -require client-ops/s,net-ops/s,durable-ops/s \
+//	    -o BENCH_micro.json
+//
+// -require makes the job fail loudly when an expected headline metric
+// is missing (a renamed or silently-skipped benchmark would otherwise
+// publish a hollow artifact).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Report is the top-level BENCH_micro.json document.
+type Report struct {
+	Schema     string      `json:"schema"` // always "skueue/bench-micro/v1"
+	GitSHA     string      `json:"git_sha,omitempty"`
+	Timestamp  string      `json:"timestamp"` // RFC 3339, UTC
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one `BenchmarkX[/sub]-P  N  v unit [v unit ...]` line.
+type Benchmark struct {
+	Name       string             `json:"name"`  // "DurableThroughput/group-commit"
+	Procs      int                `json:"procs"` // the -P GOMAXPROCS suffix
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"` // unit → value, e.g. "ns/op", "client-ops/s"
+}
+
+const schemaID = "skueue/bench-micro/v1"
+
+func main() {
+	out := flag.String("o", "BENCH_micro.json", "output file (\"-\" for stdout)")
+	sha := flag.String("sha", "", "git commit recorded in the artifact (default: git rev-parse HEAD)")
+	require := flag.String("require", "", "comma-separated metric units that must each appear in at least one benchmark")
+	flag.Parse()
+
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	rep.GitSHA = *sha
+	if rep.GitSHA == "" {
+		if b, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output(); err == nil {
+			rep.GitSHA = strings.TrimSpace(string(b))
+		}
+	}
+	rep.Timestamp = time.Now().UTC().Format(time.RFC3339)
+
+	if missing := missingMetrics(rep, *require); len(missing) > 0 {
+		fatal(fmt.Errorf("required metrics absent from benchmark output: %s", strings.Join(missing, ", ")))
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "skueue-benchjson: %d benchmark(s) → %s\n", len(rep.Benchmarks), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "skueue-benchjson:", err)
+	os.Exit(1)
+}
+
+// parse consumes `go test -bench` output: the goos/goarch/pkg/cpu
+// preamble and every Benchmark line; everything else (PASS, ok, test
+// logs) is ignored.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Schema: schemaID, Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok, err := parseBench(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: %w", line, err)
+			}
+			if ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseBench splits one result line. Fields: name-P, iterations, then
+// (value, unit) pairs. A bare "BenchmarkX" line with no fields (printed
+// when -v interleaves) is skipped, not an error.
+func parseBench(line string) (Benchmark, bool, error) {
+	f := strings.Fields(line)
+	if len(f) < 2 {
+		return Benchmark{}, false, nil
+	}
+	b := Benchmark{Metrics: map[string]float64{}}
+	b.Name = strings.TrimPrefix(f[0], "Benchmark")
+	if i := strings.LastIndex(b.Name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Procs = p
+			b.Name = b.Name[:i]
+		}
+	}
+	n, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false, fmt.Errorf("iteration count %q: %w", f[1], err)
+	}
+	b.Iterations = n
+	rest := f[2:]
+	if len(rest)%2 != 0 {
+		return Benchmark{}, false, fmt.Errorf("odd metric field count %d", len(rest))
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Benchmark{}, false, fmt.Errorf("metric value %q: %w", rest[i], err)
+		}
+		b.Metrics[rest[i+1]] = v
+	}
+	return b, true, nil
+}
+
+// missingMetrics returns the units from the comma-separated require
+// list that no parsed benchmark reported.
+func missingMetrics(rep *Report, require string) []string {
+	var missing []string
+	for _, unit := range strings.Split(require, ",") {
+		unit = strings.TrimSpace(unit)
+		if unit == "" {
+			continue
+		}
+		found := false
+		for _, b := range rep.Benchmarks {
+			if _, ok := b.Metrics[unit]; ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, unit)
+		}
+	}
+	return missing
+}

@@ -50,7 +50,7 @@ import (
 func main() {
 	var (
 		scenario = flag.String("scenario", "scaling", "scenario: scaling (in-process sweep) or proc (multi-process kill/restart storm)")
-		mode     = flag.String("mode", "queue", "semantics: queue or stack")
+		mode     = flag.String("mode", "queue", "semantics: queue, stack, or heap (proc only)")
 		seed     = flag.Int64("seed", 1, "random seed (runs are reproducible from it)")
 		out      = flag.String("out", ".", "directory for the BENCH_<scenario>.json file")
 		verbose  = flag.Bool("v", false, "log scenario progress")
@@ -87,6 +87,7 @@ func main() {
 		batchDelay  = flag.Duration("journal-batch-delay", 2*time.Millisecond, "server journal batch hold time (proc; should match -batch-window)")
 		sessions    = flag.Bool("sessions", true, "drive proc traffic through durable client sessions (WithSession + reconnect) instead of ephemeral fail-fast connections")
 		stateDir    = flag.String("state-dir", "", "state/log directory for the proc cluster (empty: fresh temp dir)")
+		heapLevels  = flag.Int("heap-levels", 4, "priority levels for -mode heap (proc)")
 	)
 	flag.Parse()
 
@@ -96,8 +97,10 @@ func main() {
 		m = skueue.Queue
 	case "stack":
 		m = skueue.Stack
+	case "heap":
+		m = skueue.Heap
 	default:
-		log.Fatalf("skueue-chaos: unknown -mode %q (want queue or stack)", *mode)
+		log.Fatalf("skueue-chaos: unknown -mode %q (want queue, stack, or heap)", *mode)
 	}
 	wan := skueue.WANProfile{
 		Latency: *wanLatency, Jitter: *wanJitter, Loss: *wanLoss,
@@ -116,6 +119,9 @@ func main() {
 
 	switch *scenario {
 	case "scaling", "storm":
+		if m == skueue.Heap {
+			log.Fatalf("skueue-chaos: the in-process scaling sweep drives the plain enqueue/dequeue workload; heap mode runs under -scenario proc")
+		}
 		sizes, err := parseSizes(*members)
 		if err != nil {
 			log.Fatalf("skueue-chaos: %v", err)
@@ -151,8 +157,15 @@ func main() {
 		}
 		bench.Workload = fmt.Sprintf("%d workers x %d ops, enq %.2f, %d kills, %s",
 			*workers, *opsPer, *enqRatio, *kills, kindWord)
+		lv := 0
+		if m == skueue.Heap {
+			lv = *heapLevels
+			// Heap runs get their own BENCH file so the nightly's queue
+			// and heap storms don't overwrite each other's artifact.
+			bench.Scenario = "proc-heap"
+		}
 		sc := chaos.ProcScenario{
-			Bin: bin, Members: *procMembers, Mode: *mode, Seed: *seed,
+			Bin: bin, Members: *procMembers, Mode: *mode, HeapLevels: lv, Seed: *seed,
 			Workers: *workers, OpsPerWorker: *opsPer, EnqRatio: *enqRatio,
 			Sessions: *sessions,
 			Storm: chaos.StormSpec{

@@ -8,9 +8,10 @@
 //	skueue-server -addr 127.0.0.1:7002 -index 1 -members 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 &
 //	skueue-server -addr 127.0.0.1:7003 -index 2 -members 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 &
 //
-// All bootstrap members must agree on -members, -procs, -seed and -mode;
-// the topology is derived deterministically from them, so the members wire
-// themselves without any coordination traffic.
+// All bootstrap members must agree on -members, -procs, -seed, -mode and
+// (in heap mode) -heap-levels; the topology is derived deterministically
+// from them, so the members wire themselves without any coordination
+// traffic.
 //
 // Add a fourth member later by pointing it at the seed (member 0):
 //
@@ -20,8 +21,8 @@
 // JOIN protocol (§IV-A).
 //
 // Fail-stop recovery: give each member a -state directory and it
-// persists write-ahead snapshots of its DHT fragment and queue or stack
-// state (both -mode values are recoverable), plus an operation journal
+// persists write-ahead snapshots of its DHT fragment and queue, stack or
+// heap state (all -mode values are recoverable), plus an operation journal
 // that makes client operations exactly-once across a crash. A crashed
 // member restarts from the snapshot with the same flags — it re-submits
 // the journaled operations the snapshot misses, re-announces its address
@@ -67,7 +68,8 @@ func main() {
 	var (
 		addr       = flag.String("addr", "127.0.0.1:7001", "listen address")
 		seed       = flag.Int64("seed", 1, "cluster-wide seed (bootstrap members must agree)")
-		mode       = flag.String("mode", "queue", "semantics: queue or stack")
+		mode       = flag.String("mode", "queue", "semantics: queue, stack or heap")
+		heapLvls   = flag.Int("heap-levels", 0, "priority levels in heap mode (default 4)")
 		index      = flag.Int("index", 0, "this member's index into -members")
 		members    = flag.String("members", "", "comma-separated bootstrap member addresses")
 		procs      = flag.Int("procs", 0, "total bootstrap processes (default: one per member)")
@@ -94,6 +96,7 @@ func main() {
 		Addr:              *addr,
 		Seed:              *seed,
 		Mode:              *mode,
+		HeapLevels:        *heapLvls,
 		Tick:              *tick,
 		Join:              *join,
 		StateDir:          *state,

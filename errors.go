@@ -34,6 +34,13 @@ var (
 	// deterministic control of simulated time.
 	ErrAutoClock = errors.New("skueue: clock is automatic (open with WithManualClock to step manually)")
 
+	// ErrWrongMode reports an operation whose flavour does not match the
+	// cluster's mode: EnqueuePri/DequeueMin against a queue or stack, or
+	// plain Enqueue/Dequeue against a heap. The operation never executes.
+	// Remote clients receive it through the future when the server polices
+	// the mismatch (wire.CliDone.WrongMode).
+	ErrWrongMode = errors.New("skueue: operation flavour does not match the cluster mode")
+
 	// ErrRemote is the umbrella sentinel for remote-cluster conditions on
 	// a client opened with WithRemote. It is never returned bare anymore:
 	// callers receive ErrUnsupported or ErrUnreachable, both of which wrap

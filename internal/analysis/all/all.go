@@ -7,6 +7,7 @@ import (
 	"skueue/internal/analysis"
 	"skueue/internal/analysis/futureerr"
 	"skueue/internal/analysis/lockorder"
+	"skueue/internal/analysis/modeseam"
 	"skueue/internal/analysis/releaseorder"
 	"skueue/internal/analysis/runnerblock"
 	"skueue/internal/analysis/wirereg"
@@ -16,6 +17,7 @@ import (
 var Analyzers = []*analysis.Analyzer{
 	futureerr.Analyzer,
 	lockorder.Analyzer,
+	modeseam.Analyzer,
 	releaseorder.Analyzer,
 	runnerblock.Analyzer,
 	wirereg.Analyzer,

@@ -2,7 +2,9 @@ package all_test
 
 import (
 	"go/types"
+	"os"
 	"path/filepath"
+	"regexp"
 	"testing"
 
 	"skueue/internal/analysis"
@@ -46,12 +48,35 @@ func TestRepoIsClean(t *testing.T) {
 	prog.Ann.Types("client-outcome", func(*types.TypeName, analysis.Annotation) { anchors["client-outcome types"]++ })
 	prog.Ann.Types("future", func(*types.TypeName, analysis.Annotation) { anchors["future types"]++ })
 	prog.Ann.Fields("lock", func(*types.Var, analysis.Annotation) { anchors["ranked locks"]++ })
+	prog.Ann.Types("discipline-seam", func(*types.TypeName, analysis.Annotation) { anchors["discipline-seam types"]++ })
+	prog.Ann.Types("discipline", func(*types.TypeName, analysis.Annotation) { anchors["discipline types"]++ })
 	for _, anchor := range []string{
 		"runner roots", "client-release funcs", "wire-payload funcs",
 		"wire-register funcs", "client-outcome types", "future types", "ranked locks",
+		"discipline-seam types", "discipline types",
 	} {
 		if anchors[anchor] == 0 {
 			t.Errorf("no %s annotated anywhere in the tree; the corresponding analyzer is running vacuously", anchor)
 		}
+	}
+	if n := anchors["discipline types"]; n > 0 && n < 3 {
+		t.Errorf("only %d discipline implementation(s) annotated; queue, stack and heap should each carry //skueue:discipline", n)
+	}
+}
+
+// TestNodeIsModeFree is the grep-style form of the discipline-seam
+// acceptance criterion: the wave engine in internal/core/node.go must
+// not mention the configured mode or a mode constant at all — every
+// mode-specific behavior goes through the discipline interface (the
+// modeseam analyzer enforces the semantic version of this for the whole
+// core package; this literal check pins the engine file itself).
+func TestNodeIsModeFree(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "core", "node.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`cfg\.Mode|batch\.(Queue|Stack|Heap)\b`)
+	for _, m := range re.FindAll(src, -1) {
+		t.Errorf("internal/core/node.go mentions %q; mode-specific behavior belongs in a discipline implementation (internal/core/discipline.go)", m)
 	}
 }

@@ -30,6 +30,8 @@ var knownAnnotations = map[string]bool{
 	"wire-register":     true,
 	"future":            true,
 	"awaits-future":     true,
+	"discipline-seam":   true,
+	"discipline":        true,
 	"ignore":            true,
 }
 

@@ -25,6 +25,11 @@
 //   - futureerr: results of a Future are only read after synchronizing on
 //     its completion, and Wait errors are not discarded (the remote-future
 //     hang class fixed ad hoc in PR 5).
+//   - modeseam: the ordering semantics (queue/stack/heap) stay behind the
+//     discipline strategy interface — every marked discipline implements
+//     the seam, and the seam's package names the mode enum's constants
+//     only in the file declaring the seam, so `cfg.Mode == batch.Stack`
+//     special cases cannot creep back into the wave engine.
 //
 // # Declaring invariants in source
 //
@@ -46,6 +51,9 @@
 //	//skueue:wire-register           — func: registers a wire type
 //	//skueue:future                  — type: a future with Value/Err/Done
 //	//skueue:awaits-future           — func: synchronizes a future argument
+//	//skueue:discipline-seam <type>  — interface: the mode-strategy seam;
+//	                                   the arg names the guarded mode enum
+//	//skueue:discipline              — type: one mode-strategy implementation
 //
 // A finding is silenced with a justified suppression on (or on the line
 // above) the offending line:

@@ -1,0 +1,162 @@
+// Package modeseam proves the discipline seam is real: every type
+// marked as a discipline implements the seam interface, and the seam's
+// package branches on the mode enum only inside the file that declares
+// the seam.
+//
+// The wave protocol's ordering semantics (queue §III, stack §VI, heap)
+// live behind one strategy interface, annotated
+//
+//	//skueue:discipline-seam <pkg.Type>
+//
+// where the argument names the mode enum the strategies are selected by
+// (batch.Mode). Each implementation carries //skueue:discipline. Before
+// the seam existed, `cfg.Mode == batch.Stack` comparisons were scattered
+// across the engine (13 in node.go alone); this analyzer keeps them from
+// creeping back: any use of the enum's constants in the seam's package
+// outside the seam's own file — a comparison, a switch case, a composite
+// literal — is reported. Constructing the strategies (the single
+// dispatch switch) lives next to the interface, so it is allowed by
+// construction.
+package modeseam
+
+import (
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"skueue/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "modeseam",
+	Doc:  "mode dispatch stays behind the discipline seam and every discipline implements it",
+	Run:  run,
+}
+
+// seam is one //skueue:discipline-seam interface with its guarded enum.
+type seam struct {
+	tn    *types.TypeName
+	iface *types.Interface
+	file  string     // declaring file; mode dispatch is confined to it
+	mode  types.Type // the enum named by the marker argument
+	enums []*types.Const
+}
+
+func run(pass *analysis.Pass) {
+	var seams []*seam
+	pass.Ann.Types("discipline-seam", func(tn *types.TypeName, ann analysis.Annotation) {
+		iface, ok := tn.Type().Underlying().(*types.Interface)
+		if !ok {
+			pass.Reportf(tn.Pos(), "discipline-seam marker on non-interface type %s", tn.Name())
+			return
+		}
+		s := &seam{tn: tn, iface: iface, file: pass.Prog.Fset.Position(tn.Pos()).Filename}
+		if len(ann.Args) != 1 {
+			pass.Reportf(tn.Pos(), `discipline-seam wants the guarded enum: "//skueue:discipline-seam <pkg.Type>"`)
+		} else if s.mode = resolveType(tn.Pkg(), ann.Args[0]); s.mode == nil {
+			pass.Reportf(tn.Pos(), "discipline-seam: cannot resolve mode type %q from package %s", ann.Args[0], tn.Pkg().Path())
+		} else {
+			s.enums = enumConsts(s.mode)
+		}
+		seams = append(seams, s)
+	})
+
+	// Every marked discipline implements its package's seam.
+	pass.Ann.Types("discipline", func(tn *types.TypeName, _ analysis.Annotation) {
+		var s *seam
+		for _, cand := range seams {
+			if cand.tn.Pkg() == tn.Pkg() {
+				s = cand
+				break
+			}
+		}
+		if s == nil {
+			pass.Reportf(tn.Pos(), "discipline implementation %s has no discipline-seam interface in its package", tn.Name())
+			return
+		}
+		T := tn.Type()
+		if types.Implements(T, s.iface) || types.Implements(types.NewPointer(T), s.iface) {
+			return
+		}
+		if m, _ := types.MissingMethod(types.NewPointer(T), s.iface, true); m != nil {
+			pass.Reportf(tn.Pos(), "discipline %s does not implement %s: missing or mismatched %s", tn.Name(), s.tn.Name(), m.Name())
+		} else {
+			pass.Reportf(tn.Pos(), "discipline %s does not implement %s", tn.Name(), s.tn.Name())
+		}
+	})
+
+	// Confinement: in the seam's package, the enum's constants appear only
+	// in the seam's file. (Other packages are out of scope — the client
+	// API, the server and the batch algebra legitimately name modes.)
+	for _, s := range seams {
+		if len(s.enums) == 0 {
+			continue
+		}
+		pkg := pass.Prog.Package(s.tn.Pkg().Path())
+		if pkg == nil {
+			continue
+		}
+		for id, obj := range pkg.Info.Uses {
+			c, ok := obj.(*types.Const)
+			if !ok || !isEnum(s.enums, c) {
+				continue
+			}
+			pos := pass.Prog.Fset.Position(id.Pos())
+			if pos.Filename == s.file {
+				continue
+			}
+			pass.Reportf(id.Pos(), "mode dispatch outside the discipline seam: %s.%s referenced in %s (mode-specific behavior belongs in a %s implementation in %s)",
+				c.Pkg().Name(), c.Name(), filepath.Base(pos.Filename), s.tn.Name(), filepath.Base(s.file))
+		}
+	}
+}
+
+func isEnum(enums []*types.Const, c *types.Const) bool {
+	for _, e := range enums {
+		if e == c {
+			return true
+		}
+	}
+	return false
+}
+
+// enumConsts lists the constants of the enum type declared in its own
+// package — the values a mode switch dispatches on.
+func enumConsts(mode types.Type) []*types.Const {
+	named, ok := mode.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	scope := named.Obj().Pkg().Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), mode) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// resolveType resolves the marker argument — "pkg.Type" through the
+// seam package's imports (matching the package's declared name), or a
+// bare "Type" in the seam's own package.
+func resolveType(pkg *types.Package, name string) types.Type {
+	pkgName, typName, qualified := strings.Cut(name, ".")
+	scopes := []*types.Scope{pkg.Scope()}
+	if qualified {
+		scopes = nil
+		for _, imp := range pkg.Imports() {
+			if imp.Name() == pkgName {
+				scopes = append(scopes, imp.Scope())
+			}
+		}
+	} else {
+		typName = pkgName
+	}
+	for _, scope := range scopes {
+		if tn, ok := scope.Lookup(typName).(*types.TypeName); ok {
+			return tn.Type()
+		}
+	}
+	return nil
+}

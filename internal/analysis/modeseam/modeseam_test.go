@@ -1,0 +1,12 @@
+package modeseam_test
+
+import (
+	"testing"
+
+	"skueue/internal/analysis/atest"
+	"skueue/internal/analysis/modeseam"
+)
+
+func TestModeseam(t *testing.T) {
+	atest.Run(t, "testdata", modeseam.Analyzer, "mbatch", "disc", "noseam", "badseam")
+}

@@ -1,0 +1,17 @@
+// Package badseam exercises malformed seam markers.
+package badseam
+
+import "mbatch"
+
+//skueue:discipline-seam
+type noArg interface { // want `discipline-seam wants the guarded enum`
+	mode() mbatch.Mode
+}
+
+//skueue:discipline-seam mbatch.Missing
+type badArg interface { // want `cannot resolve mode type "mbatch\.Missing" from package badseam`
+	mode() mbatch.Mode
+}
+
+//skueue:discipline-seam mbatch.Mode
+type notIface struct{} // want `discipline-seam marker on non-interface type notIface`

@@ -1,0 +1,24 @@
+package disc
+
+import "mbatch"
+
+// dispatch is the engine-style code the seam exists to keep mode-free.
+func dispatch(d disc) int {
+	if d.mode() == mbatch.Stack { // want `mode dispatch outside the discipline seam: mbatch\.Stack referenced in engine\.go`
+		return 1
+	}
+	switch d.mode() {
+	case mbatch.Heap: // want `mbatch\.Heap referenced in engine\.go`
+		return 2
+	}
+	//skueue:ignore modeseam -- boundary API legitimately names the mode
+	if d.mode() == mbatch.Queue {
+		return 0
+	}
+	return 3
+}
+
+//skueue:discipline
+type partial struct{} // want `discipline partial does not implement disc: missing or mismatched take`
+
+func (partial) mode() mbatch.Mode { return 0 }

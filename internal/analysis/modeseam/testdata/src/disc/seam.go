@@ -1,0 +1,35 @@
+// Package disc exercises the modeseam analyzer: the seam file may name
+// mode constants freely (the dispatch switch lives here), other files
+// may not, and every marked discipline must implement the seam.
+package disc
+
+import "mbatch"
+
+//skueue:discipline-seam mbatch.Mode
+type disc interface {
+	mode() mbatch.Mode
+	take() int
+}
+
+// newDisc is the single dispatch site; constant uses in the seam's own
+// file are allowed by construction.
+func newDisc(m mbatch.Mode) disc {
+	switch m {
+	case mbatch.Stack:
+		return stackImpl{}
+	default:
+		return queueImpl{}
+	}
+}
+
+//skueue:discipline
+type queueImpl struct{}
+
+func (queueImpl) mode() mbatch.Mode { return mbatch.Queue }
+func (queueImpl) take() int         { return 0 }
+
+//skueue:discipline
+type stackImpl struct{}
+
+func (stackImpl) mode() mbatch.Mode { return mbatch.Stack }
+func (stackImpl) take() int         { return 1 }

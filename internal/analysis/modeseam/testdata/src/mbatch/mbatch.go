@@ -1,0 +1,11 @@
+// Package mbatch is a stand-in for the batch algebra: the mode enum the
+// discipline seam guards.
+package mbatch
+
+type Mode int
+
+const (
+	Queue Mode = iota
+	Stack
+	Heap
+)

@@ -1,0 +1,5 @@
+// Package noseam has a marked discipline but no seam interface.
+package noseam
+
+//skueue:discipline
+type lone struct{} // want `discipline implementation lone has no discipline-seam interface in its package`

@@ -28,9 +28,14 @@ type ProcScenario struct {
 	Bin string
 	// Members is the cluster size (member 0 is the seed and never dies).
 	Members int
-	// Mode is "queue" or "stack".
+	// Mode is "queue", "stack" or "heap".
 	Mode string
-	Seed int64
+	// HeapLevels is the number of priority levels in heap mode (default
+	// 4). Heap workers spread enqueues uniformly over the levels and
+	// dequeue with DequeueMin; the post-storm accounting is then kept per
+	// level (ProcResult.Levels) on top of the global element accounting.
+	HeapLevels int
+	Seed       int64
 	// Workers and OpsPerWorker size the client traffic; EnqRatio is the
 	// probability an op is an enqueue/push.
 	Workers      int
@@ -80,6 +85,11 @@ type ProcResult struct {
 	IndetDequeues int
 	// Drained counts elements recovered by the post-storm drain.
 	Drained int
+	// Levels is the per-priority-level slice of the accounting universe
+	// (heap runs only): each level's confirmed/maybe enqueues, dequeues,
+	// and confirmed-but-undequeued elements. The sum of Missing across
+	// levels is bounded by IndetDequeues, like the global check.
+	Levels  map[int32]*LevelTally
 	Hist    *Histogram // microseconds
 	Elapsed time.Duration
 	// OpsPerSec counts confirmed ops per wall-clock second of the traffic
@@ -87,6 +97,14 @@ type ProcResult struct {
 	OpsPerSec float64
 	Faults    FaultSummary
 	Stats     skueue.Stats
+}
+
+// LevelTally is one priority level's element accounting (heap runs).
+type LevelTally struct {
+	Confirmed int // enqueues confirmed at this level
+	Maybe     int // enqueues cut off mid-flight at this level
+	Dequeued  int // elements of this level dequeued (workers + drain)
+	Missing   int // confirmed at this level but never seen again
 }
 
 // Point converts the result into a BENCH point.
@@ -229,6 +247,9 @@ func (c *ProcCluster) commonArgs(m *procMember) []string {
 		"-mode", sc.Mode,
 		"-state", m.dir,
 		"-v",
+	}
+	if sc.HeapLevels > 0 {
+		args = append(args, "-heap-levels", fmt.Sprint(sc.HeapLevels))
 	}
 	if sc.SnapshotEvery > 0 {
 		args = append(args, "-snapshot-every", sc.SnapshotEvery.String())
@@ -409,6 +430,9 @@ func RunProc(sc ProcScenario) (*ProcResult, error) {
 	if sc.Mode == "" {
 		sc.Mode = "queue"
 	}
+	if sc.Mode == "heap" && sc.HeapLevels <= 0 {
+		sc.HeapLevels = 4
+	}
 	if sc.OpTimeout <= 0 {
 		sc.OpTimeout = 60 * time.Second
 	}
@@ -571,6 +595,58 @@ func RunProc(sc ProcScenario) (*ProcResult, error) {
 		return nil, fmt.Errorf("chaos: history has %d enqueues, client accounting allows [%d, %d]",
 			stats.Enqueues, len(confirmed), len(confirmed)+len(maybeEnq))
 	}
+	// Heap runs additionally account per priority level: every value
+	// carries its level, so each level's confirmed/maybe/dequeued slice
+	// must balance on its own — a level overdrawn (more dequeues than
+	// enqueues that could have fed it) is a discipline bug even when the
+	// global totals happen to cancel out.
+	if sc.Mode == "heap" {
+		levels := make(map[int32]*LevelTally)
+		at := func(pri int32) *LevelTally {
+			lt := levels[pri]
+			if lt == nil {
+				lt = &LevelTally{}
+				levels[pri] = lt
+			}
+			return lt
+		}
+		tally := func(set map[string]bool, count func(*LevelTally)) error {
+			for v := range set {
+				pri, ok := valueLevel(v)
+				if !ok || int(pri) >= sc.HeapLevels {
+					return fmt.Errorf("chaos: heap value %q carries no valid level", v)
+				}
+				count(at(pri))
+			}
+			return nil
+		}
+		if err := tally(confirmed, func(lt *LevelTally) { lt.Confirmed++ }); err != nil {
+			return nil, err
+		}
+		if err := tally(maybeEnq, func(lt *LevelTally) { lt.Maybe++ }); err != nil {
+			return nil, err
+		}
+		for v, n := range dequeued {
+			pri, ok := valueLevel(v)
+			if !ok || int(pri) >= sc.HeapLevels {
+				return nil, fmt.Errorf("chaos: dequeued heap value %q carries no valid level", v)
+			}
+			at(pri).Dequeued += n
+		}
+		for _, v := range missing {
+			pri, _ := valueLevel(v)
+			at(pri).Missing++
+		}
+		for pri, lt := range levels {
+			if lt.Dequeued > lt.Confirmed+lt.Maybe {
+				return nil, fmt.Errorf("chaos: level %d overdrawn: %d dequeued, only %d confirmed + %d maybe enqueued",
+					pri, lt.Dequeued, lt.Confirmed, lt.Maybe)
+			}
+			logf("chaos: level %d: %d confirmed, %d maybe, %d dequeued, %d missing",
+				pri, lt.Confirmed, lt.Maybe, lt.Dequeued, lt.Missing)
+		}
+		res.Levels = levels
+	}
 	logf("chaos: proc run ok: %d confirmed, %d maybe, %d indet dequeues, %d drained, %d kills",
 		res.Confirmed, res.MaybeEnqueued, res.IndetDequeues, res.Drained, faults.Kills)
 	return res, nil
@@ -611,9 +687,14 @@ func runWorker(cluster *ProcCluster, sc ProcScenario, id int, t *workerTally) {
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), sc.OpTimeout)
 		if rng.Bool(sc.EnqRatio) {
-			v := fmt.Sprintf("w%d-%d", id, i)
+			v, pri := chaosValue(sc, rng, id, i)
 			t0 := time.Now()
-			err := c.Enqueue(ctx, v)
+			var err error
+			if sc.HeapLevels > 0 {
+				err = c.EnqueuePri(ctx, pri, v)
+			} else {
+				err = c.Enqueue(ctx, v)
+			}
 			if err == nil {
 				t.confirmed[v] = true
 				t.hist.Record(time.Since(t0).Microseconds())
@@ -626,7 +707,14 @@ func runWorker(cluster *ProcCluster, sc ProcScenario, id int, t *workerTally) {
 			}
 		} else {
 			t0 := time.Now()
-			v, ok, err := c.Dequeue(ctx)
+			var v any
+			var ok bool
+			var err error
+			if sc.HeapLevels > 0 {
+				v, ok, err = c.DequeueMin(ctx)
+			} else {
+				v, ok, err = c.Dequeue(ctx)
+			}
 			if err == nil {
 				if ok {
 					if s, isStr := v.(string); isStr {
@@ -646,6 +734,30 @@ func runWorker(cluster *ProcCluster, sc ProcScenario, id int, t *workerTally) {
 		}
 		cancel()
 	}
+}
+
+// chaosValue names one worker enqueue. Heap runs pick a uniform priority
+// level and bake it into the value ("w3-17@L2"), so the per-level
+// accounting can be reconstructed from the values alone after the storm.
+func chaosValue(sc ProcScenario, rng *xrand.RNG, id, i int) (string, int32) {
+	if sc.HeapLevels > 0 {
+		pri := int32(rng.Intn(sc.HeapLevels))
+		return fmt.Sprintf("w%d-%d@L%d", id, i, pri), pri
+	}
+	return fmt.Sprintf("w%d-%d", id, i), 0
+}
+
+// valueLevel recovers the priority level a heap value was enqueued at.
+func valueLevel(v string) (int32, bool) {
+	i := strings.LastIndex(v, "@L")
+	if i < 0 {
+		return 0, false
+	}
+	var pri int32
+	if _, err := fmt.Sscanf(v[i+2:], "%d", &pri); err != nil {
+		return 0, false
+	}
+	return pri, true
 }
 
 // runSessionWorker drives one worker's traffic through a durable session:
@@ -693,9 +805,15 @@ func runSessionWorker(cluster *ProcCluster, sc ProcScenario, id int, t *workerTa
 		ctx, cancel := context.WithTimeout(context.Background(), sc.OpTimeout)
 		var opErr error
 		if rng.Bool(sc.EnqRatio) {
-			v := fmt.Sprintf("w%d-%d", id, i)
+			v, pri := chaosValue(sc, rng, id, i)
 			t0 := time.Now()
-			f, err := c.EnqueueAsync(skueue.AnyProcess, v)
+			var f *skueue.Future
+			var err error
+			if sc.HeapLevels > 0 {
+				f, err = c.EnqueuePriAsync(skueue.AnyProcess, pri, v)
+			} else {
+				f, err = c.EnqueueAsync(skueue.AnyProcess, v)
+			}
 			if err == nil {
 				_, _, err = f.Result(ctx)
 			}
@@ -710,7 +828,13 @@ func runSessionWorker(cluster *ProcCluster, sc ProcScenario, id int, t *workerTa
 			opErr = err
 		} else {
 			t0 := time.Now()
-			f, err := c.DequeueAsync(skueue.AnyProcess)
+			var f *skueue.Future
+			var err error
+			if sc.HeapLevels > 0 {
+				f, err = c.DequeueMinAsync(skueue.AnyProcess)
+			} else {
+				f, err = c.DequeueAsync(skueue.AnyProcess)
+			}
 			var v any
 			var present bool
 			if err == nil {
@@ -785,7 +909,14 @@ func drainAndCheck(cluster *ProcCluster, sc ProcScenario, dequeued map[string]in
 			return drained, skueue.Stats{}, fmt.Errorf("chaos: drain did not reach empty in 5m (%d drained)", drained)
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), sc.OpTimeout)
-		v, ok, err := c.Dequeue(ctx)
+		var v any
+		var ok bool
+		var err error
+		if sc.HeapLevels > 0 {
+			v, ok, err = c.DequeueMin(ctx)
+		} else {
+			v, ok, err = c.Dequeue(ctx)
+		}
 		cancel()
 		if err != nil {
 			c.Close()

@@ -99,6 +99,78 @@ func TestChaosProcKillRestart(t *testing.T) {
 		res.Members, res.Ops, res.OpsPerSec, res.Hist, res.Drained, res.Stats)
 }
 
+// TestChaosProcKillRestartHeap runs the kill/restart storm against a
+// heap-mode cluster: workers spread EnqueuePri over every priority level
+// and dequeue with DequeueMin while the storm SIGKILLs members inside
+// group-commit windows. On top of the global exact element accounting
+// and the CheckPriority verification RunProc performs (Client.Check on a
+// heap cluster replays the merged history against L FIFO levels), the
+// test asserts the per-level accounting balances: every level's
+// confirmed enqueues are dequeued exactly once, modulo the globally
+// bounded indeterminate dequeues.
+func TestChaosProcKillRestartHeap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process chaos scenario skipped in -short mode")
+	}
+	members := chaosEnvInt(t, "SKUEUE_CHAOS_PROC_MEMBERS", 3)
+	kills := chaosEnvInt(t, "SKUEUE_CHAOS_KILLS", 1)
+	ops := chaosEnvInt(t, "SKUEUE_CHAOS_OPS", 150)
+	const levels = 3
+	sc := ProcScenario{
+		Bin:          serverBin,
+		Members:      members,
+		Mode:         "heap",
+		HeapLevels:   levels,
+		Seed:         44,
+		Workers:      4,
+		OpsPerWorker: ops,
+		EnqRatio:     0.65,
+		Storm: StormSpec{
+			Kills:       kills,
+			Start:       300 * time.Millisecond,
+			Every:       900 * time.Millisecond,
+			Downtime:    250 * time.Millisecond,
+			BatchWindow: 2 * time.Millisecond,
+		},
+		SnapshotEvery:     50 * time.Millisecond,
+		Tick:              500 * time.Microsecond,
+		JournalBatchDelay: 2 * time.Millisecond,
+		BaseDir:           t.TempDir(),
+		Logf:              t.Logf,
+	}
+	res, err := RunProc(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.Kills != kills || res.Faults.Restarts != kills {
+		t.Fatalf("storm executed %+v, want %d kill/restart pairs", res.Faults, kills)
+	}
+	if res.Confirmed == 0 {
+		t.Fatal("no enqueue confirmed; the scenario measured nothing")
+	}
+	if len(res.Levels) == 0 {
+		t.Fatal("heap run produced no per-level accounting")
+	}
+	var confirmed, dequeued, missing int
+	for pri, lt := range res.Levels {
+		if pri < 0 || pri >= levels {
+			t.Errorf("accounting for out-of-range level %d: %+v", pri, lt)
+		}
+		confirmed += lt.Confirmed
+		dequeued += lt.Dequeued
+		missing += lt.Missing
+		t.Logf("level %d: %+v", pri, lt)
+	}
+	if confirmed != res.Confirmed {
+		t.Errorf("per-level confirmed sums to %d, global accounting says %d", confirmed, res.Confirmed)
+	}
+	if missing > res.IndetDequeues {
+		t.Errorf("%d confirmed elements missing across levels, only %d indeterminate dequeues", missing, res.IndetDequeues)
+	}
+	t.Logf("heap proc chaos: %d members, %d levels, %d ops (%.0f ops/s), latency %s, drained %d, stats %+v",
+		res.Members, levels, res.Ops, res.OpsPerSec, res.Hist, res.Drained, res.Stats)
+}
+
 // TestChaosProcKillRestartSessions runs the same kill/restart storm with
 // every worker riding a durable client session (WithSession + reconnect)
 // instead of ephemeral fail-fast connections. The acceptance bar is

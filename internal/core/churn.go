@@ -538,8 +538,8 @@ func (c *churnState) tick(ctx *transport.Context, n *Node) {
 // drainedForLeave reports whether all client-attributed state has flushed
 // through normal waves, so the replacement never carries foreign requests.
 func (n *Node) drainedForLeave() bool {
-	return len(n.pending) == 0 && n.combiner.Empty() && n.inBatch == nil &&
-		len(n.pendingGets) == 0 && n.outstanding == 0
+	return len(n.pending) == 0 && n.disc.drained(n) && n.inBatch == nil &&
+		len(n.pendingGets) == 0
 }
 
 // handleChurn processes churn control messages; it reports whether the
@@ -830,6 +830,7 @@ func (n *Node) executeLeave(ctx *transport.Context) {
 func (n *Node) spawnReplacement(ctx *transport.Context, snap nodeSnapshot) {
 	repl := &Node{
 		cl:   n.cl,
+		disc: n.cl.newDiscipline(),
 		self: ldb.Ref{ID: transport.None, Point: snap.Self.Point, Kind: snap.Self.Kind},
 		pred: snap.Pred, succ: snap.Succ,
 		sibL: snap.SibL, sibM: snap.SibM, sibR: snap.SibR,

@@ -20,8 +20,13 @@ type Config struct {
 	Processes int
 	// Seed drives all randomness: labels, keys, scheduling, workloads.
 	Seed int64
-	// Mode selects queue (§III) or stack (§VI) semantics.
+	// Mode selects queue (§III), stack (§VI) or heap (bounded-priority,
+	// Skeap-style) semantics.
 	Mode batch.Mode
+	// HeapLevels is the number of priority levels in heap mode (bounded
+	// constant priorities); valid levels are 0..HeapLevels-1. Values
+	// below 1 select a single level. Ignored outside heap mode.
+	HeapLevels int
 	// Async switches to the fully asynchronous scheduler (§I-B model); the
 	// default is the synchronous round model the evaluation uses.
 	Async bool
@@ -213,6 +218,7 @@ func (cl *Cluster) spawnProcessAt(pid int32) (*Process, [3]ldb.Ref) {
 		kind := ldb.Kind(k)
 		n := &Node{
 			cl:          cl,
+			disc:        cl.newDiscipline(),
 			store:       dht.NewStore(),
 			pendingGets: make(map[uint64]getCtx),
 			// Until wired, every ref must be explicitly invalid; the zero
@@ -386,12 +392,33 @@ func (cl *Cluster) Enqueue(client transport.NodeID) uint64 {
 // EnqueueBlob is Enqueue with an opaque application payload that rides
 // with the element through the DHT (see Node.InjectEnqueueBlob).
 func (cl *Cluster) EnqueueBlob(client transport.NodeID, blob []byte) uint64 {
+	return cl.EnqueuePriBlob(client, 0, blob)
+}
+
+// EnqueuePriBlob buffers an ENQUEUE at the given priority level (heap
+// mode; other modes use level 0). Out-of-range levels are a caller bug.
+func (cl *Cluster) EnqueuePriBlob(client transport.NodeID, pri int32, blob []byte) uint64 {
 	n, ok := cl.nodes[client]
 	if !ok {
 		panic(fmt.Sprintf("core: Enqueue at unknown node %d", client))
 	}
-	return n.InjectEnqueueBlob(cl.net.Now(), blob)
+	if pri < 0 || int(pri) >= n.disc.priLevels() {
+		panic(fmt.Sprintf("core: enqueue priority %d out of range for mode %v (levels=%d)", pri, cl.cfg.Mode, n.disc.priLevels()))
+	}
+	return n.InjectEnqueuePriBlob(cl.net.Now(), pri, blob)
 }
+
+// heapLevels returns the effective number of priority levels.
+func (cl *Cluster) heapLevels() int {
+	if cl.cfg.HeapLevels < 1 {
+		return 1
+	}
+	return cl.cfg.HeapLevels
+}
+
+// HeapLevels exposes the effective priority-level count; the hosting
+// layer validates client-supplied levels against it before injection.
+func (cl *Cluster) HeapLevels() int { return cl.heapLevels() }
 
 // Dequeue buffers a DEQUEUE (POP) request at the given client node.
 func (cl *Cluster) Dequeue(client transport.NodeID) uint64 {
@@ -414,13 +441,10 @@ func (cl *Cluster) Drain(maxTime int64) bool {
 	return cl.eng.RunUntil(func() bool { return cl.finished >= cl.issued }, maxTime)
 }
 
-// CheckConsistency verifies the full history against Definition 1.
+// CheckConsistency verifies the full history against Definition 1 (or
+// its priority generalization in heap mode).
 func (cl *Cluster) CheckConsistency() error {
-	mode := seqcheck.Queue
-	if cl.cfg.Mode == batch.Stack {
-		mode = seqcheck.Stack
-	}
-	return seqcheck.Check(mode, cl.hist)
+	return cl.newDiscipline().check(cl.hist)
 }
 
 // JoinProcess spawns a fresh process and routes its three JOIN requests

@@ -53,6 +53,10 @@ type putReq struct {
 	Client    int32
 	LocalSeq  int64
 	Value     int64
+	// Pri is the element's priority level (heap mode); it rides to the
+	// storing node so the enqueue completion records the level the
+	// priority checker replays against.
+	Pri int32
 }
 
 // getReq removes an element from the DHT and delivers it to the requester

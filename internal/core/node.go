@@ -9,7 +9,6 @@ import (
 	"skueue/internal/fixpoint"
 	"skueue/internal/ldb"
 	"skueue/internal/seqcheck"
-	"skueue/internal/stack"
 	"skueue/internal/transport"
 )
 
@@ -20,6 +19,7 @@ type pendingOp struct {
 	reqID    uint64
 	born     int64
 	localSeq int64
+	pri      int32  // priority level of a heap enqueue; zero otherwise
 	blob     []byte // opaque payload riding with an enqueue (networked mode)
 }
 
@@ -78,6 +78,12 @@ type Node struct {
 	childCache   []ldb.Ref
 	childCacheOK bool
 
+	// disc is the mode strategy (queue, stack or heap): every
+	// mode-specific behavior of the wave protocol lives behind it, along
+	// with strategy-private state such as the stack's combiner and
+	// outstanding-ack accounting. See discipline.go.
+	disc discipline
+
 	// Anchor role and state (§III-D). The role follows the leftmost node;
 	// it is transferred explicitly during update phases.
 	anchorRole bool
@@ -91,10 +97,10 @@ type Node struct {
 	// (inBatch != nil) carries it upward and the parent's serve echoes it.
 	waveSeq int64
 
-	// Stage 1: own buffered operations (queue mode and uncombined stack
-	// mode) or the residual word combiner (stack mode, §VI).
-	pending  []pendingOp
-	combiner stack.Combiner
+	// Stage 1: own buffered operations (queue and heap mode, and
+	// uncombined stack mode). The stack strategy's residual combiner
+	// word lives inside disc.
+	pending []pendingOp
 
 	// Stage 1: sub-batches received from children, waiting to be folded.
 	waiting []subBatch
@@ -102,14 +108,6 @@ type Node struct {
 	// inBatch == nil means B is empty (the paper's B = (0)).
 	inBatch []subBatch
 	inOwn   ownWave
-
-	// Stage 4 (stack): own DHT operations not yet confirmed. awaitingAcks
-	// holds the request IDs of the unacknowledged PUTs, making the
-	// accounting idempotent: around a fail-stop restart an ack can arrive
-	// twice (the replayed original plus the dedupe re-ack), and a blind
-	// decrement would corrupt the §VI completion-wait gate.
-	outstanding  int
-	awaitingAcks map[uint64]struct{}
 
 	// DHT fragment and in-flight GETs issued by this node.
 	store       *dht.Store
@@ -120,8 +118,9 @@ type Node struct {
 	// of a crashed peer's history cannot double-apply an operation.
 	appliedPuts reqRing
 	servedGets  reqRing
-	// earlyReplies / earlyAcks (member mode only) park link-replayed
-	// getReply / putAck frames that arrive before the journal replay has
+	// earlyReplies (member mode only; the stack strategy keeps the
+	// analogous earlyAcks) parks link-replayed getReply frames that
+	// arrive before the journal replay has
 	// re-registered the operation they answer. After a fail-stop restart
 	// the peer link re-delivers its unacked frames immediately, while
 	// the restarted member is still re-injecting its journal tail wave
@@ -137,7 +136,6 @@ type Node struct {
 	// entry can never be claimed by a different op, and the map is
 	// bounded by the link-replay window.
 	earlyReplies map[uint64]getReply
-	earlyAcks    map[uint64]struct{}
 	// foldedWaves (member mode only) is the per-child cursor of the
 	// newest wave this node has FOLDED into a processing batch for that
 	// child. A restarted child re-fires the wave its snapshot rolled
@@ -269,10 +267,10 @@ func (n *Node) bounceStaleWaiting(ctx *transport.Context) {
 	n.waiting = keep
 }
 
-// stage4Gated reports whether the §VI completion wait blocks the next
-// aggregation phase.
+// stage4Gated reports whether the strategy's completion wait (§VI for
+// the stack) blocks the next aggregation phase.
 func (n *Node) stage4Gated() bool {
-	return n.cl.cfg.Mode == batch.Stack && !n.cl.cfg.DisableStage4Wait && n.outstanding > 0
+	return n.disc.gated(n)
 }
 
 // isCurrentChild reports whether id is one of our aggregation-tree
@@ -297,28 +295,7 @@ func (n *Node) hasWaitingFrom(id transport.NodeID) bool {
 
 // takeOwnOps drains the node's own buffered operations into an ownWave.
 func (n *Node) takeOwnOps() ownWave {
-	var w ownWave
-	if n.cl.cfg.Mode == batch.Stack && !n.cl.cfg.DisableLocalCombining {
-		pops, pushes := n.combiner.TakeResidual()
-		for _, p := range pops {
-			w.ops = append(w.ops, pendingOp{isDeq: true, reqID: p.ReqID, born: p.Born, localSeq: p.LocalSeq})
-		}
-		for _, p := range pushes {
-			w.ops = append(w.ops, pendingOp{elem: p.Elem, reqID: p.ReqID, born: p.Born, localSeq: p.LocalSeq, blob: p.Blob})
-		}
-		w.B = batch.MakeStack(int64(len(pops)), int64(len(pushes)))
-		return w
-	}
-	w.ops = n.pending
-	n.pending = nil
-	for _, op := range w.ops {
-		if op.isDeq {
-			w.B.AppendDequeue()
-		} else {
-			w.B.AppendEnqueue()
-		}
-	}
-	return w
+	return n.disc.takeOwn(n)
 }
 
 // takeWaiting drains the sub-batches for the next wave: the OLDEST
@@ -466,19 +443,7 @@ func (n *Node) noteFire() {
 
 // restoreOwn undoes a fire that could not proceed (rare churn corner).
 func (n *Node) restoreOwn(own ownWave, kids []subBatch) {
-	if n.cl.cfg.Mode == batch.Stack && !n.cl.cfg.DisableLocalCombining {
-		a := own.B.NumDequeues()
-		for i, op := range own.ops {
-			sop := stack.PendingOp{ReqID: op.reqID, Elem: op.elem, Born: op.born, LocalSeq: op.localSeq, Blob: op.blob}
-			if int64(i) < a {
-				n.combiner.RestorePop(sop)
-			} else {
-				n.combiner.RestorePush(sop)
-			}
-		}
-	} else {
-		n.pending = append(own.ops, n.pending...)
-	}
+	n.disc.restoreOwn(n, own)
 	n.churn.restoreCounts(own.B.J, own.B.L)
 	n.waiting = append(kids, n.waiting...)
 }
@@ -487,7 +452,7 @@ func (n *Node) restoreOwn(own ownWave, kids []subBatch) {
 func (n *Node) assignAndServe(ctx *transport.Context, combined batch.Batch) {
 	n.cl.metrics.WavesAssigned++
 	epoch := n.churn.anchorObserve(n, combined)
-	assigns := n.ast.Assign(n.cl.cfg.Mode, combined)
+	assigns := n.disc.assign(&n.ast, combined)
 	n.cl.metrics.noteQueueSize(n.ast.Size())
 	n.serve(ctx, assigns, epoch, transport.None)
 }
@@ -517,7 +482,7 @@ func (n *Node) serve(ctx *transport.Context, assigns []batch.RunAssign, epoch in
 		n.churn.enterUpdatePhase(ctx, from, epoch, subs)
 	}
 	for _, sb := range subs {
-		d := batch.Decompose(n.cl.cfg.Mode, assigns, sb.B)
+		d := n.disc.decompose(assigns, sb.B)
 		if sb.From == transport.None {
 			n.applyOwn(ctx, own, d)
 		} else {
@@ -534,7 +499,7 @@ func (n *Node) serve(ctx *transport.Context, assigns []batch.RunAssign, epoch in
 func (n *Node) applyOwn(ctx *transport.Context, own ownWave, d []batch.RunAssign) {
 	cur := 0
 	for ri, k := range own.B.Runs {
-		ops := batch.Expand(n.cl.cfg.Mode, ri, d[ri], k)
+		ops := n.disc.expand(ri, d[ri], k)
 		for j := int64(0); j < k; j++ {
 			n.dispatchOp(ctx, own.ops[cur], ops[j], batch.IsDeqIndex(ri))
 			cur++
@@ -550,9 +515,7 @@ func (n *Node) applyOwn(ctx *transport.Context, own ownWave, d []batch.RunAssign
 func (n *Node) resolveGet(ctx *transport.Context, m getReply) {
 	gc := n.pendingGets[m.ReqID]
 	delete(n.pendingGets, m.ReqID)
-	if n.cl.cfg.Mode == batch.Stack {
-		n.outstanding--
-	}
+	n.disc.getResolved(n)
 	n.cl.recordCompletion(seqcheck.Completion{
 		Client: n.clientID, LocalSeq: gc.localSeq,
 		Kind: seqcheck.Dequeue, Elem: m.Entry.Elem,
@@ -572,16 +535,10 @@ func (n *Node) dispatchOp(ctx *transport.Context, po pendingOp, oa batch.OpAssig
 		return
 	}
 	key := n.cl.keyHash.Frac(uint64(oa.Pos))
-	stackMode := n.cl.cfg.Mode == batch.Stack
 	if isDeq {
-		bound := int64(0)
-		if stackMode {
-			bound = oa.Ticket
-		}
+		bound := n.disc.opTicket(oa)
 		n.pendingGets[po.reqID] = getCtx{born: po.born, localSeq: po.localSeq, value: oa.Value}
-		if stackMode {
-			n.outstanding++
-		}
+		n.disc.trackGet(n)
 		if m, ok := n.earlyReplies[po.reqID]; ok {
 			// The reply already arrived via link replay while this op was
 			// still being re-injected from the journal (see earlyReplies).
@@ -595,30 +552,12 @@ func (n *Node) dispatchOp(ctx *transport.Context, po pendingOp, oa batch.OpAssig
 		n.sendRouted(ctx, key, getReq{Pos: oa.Pos, Bound: bound, Requester: n.self.ID, ReqID: po.reqID})
 		return
 	}
-	ticket := int64(0)
-	if stackMode {
-		ticket = oa.Ticket
-		n.outstanding++
-		if n.awaitingAcks == nil {
-			n.awaitingAcks = make(map[uint64]struct{})
-		}
-		n.awaitingAcks[po.reqID] = struct{}{}
-		if _, ok := n.earlyAcks[po.reqID]; ok {
-			// The ack already arrived via link replay while this op was
-			// still being re-injected from the journal (see earlyAcks).
-			delete(n.earlyAcks, po.reqID)
-			delete(n.awaitingAcks, po.reqID)
-			n.outstanding--
-			n.cl.logf("core: %v claiming parked ack for PUT %d (restart replay)", n.self, po.reqID)
-			if n.cl.onPutAck != nil {
-				n.cl.onPutAck(po.reqID)
-			}
-		}
-	}
+	ticket := n.disc.opTicket(oa)
+	n.disc.trackPut(n, po.reqID)
 	n.sendRouted(ctx, key, putReq{
 		Pos: oa.Pos, Ticket: ticket, Elem: po.elem, Blob: po.blob,
 		Requester: n.self.ID, ReqID: po.reqID, Born: po.born,
-		Client: n.clientID, LocalSeq: po.localSeq, Value: oa.Value,
+		Client: n.clientID, LocalSeq: po.localSeq, Value: oa.Value, Pri: po.pri,
 	})
 }
 
@@ -704,7 +643,7 @@ func (n *Node) handleDHT(ctx *transport.Context, inner any) {
 			// check — and its completion recorded. Re-acknowledge: the
 			// ack, not the store, may be what the crash swallowed.
 			n.cl.logf("core: %v dropping duplicate PUT %d at pos=%d (restart replay)", n.self, m.ReqID, m.Pos)
-			if n.cl.cfg.Mode == batch.Stack || n.cl.cfg.AckAllPuts {
+			if n.disc.ackPuts() || n.cl.cfg.AckAllPuts {
 				ctx.Send(m.Requester, putAck{ReqID: m.ReqID})
 			}
 			return
@@ -718,8 +657,9 @@ func (n *Node) handleDHT(ctx *transport.Context, inner any) {
 			Client: m.Client, LocalSeq: m.LocalSeq,
 			Kind: seqcheck.Enqueue, Elem: m.Elem,
 			Value: m.Value, Born: m.Born, Done: ctx.Now(), ReqID: m.ReqID,
+			Pri: m.Pri,
 		})
-		if n.cl.cfg.Mode == batch.Stack || n.cl.cfg.AckAllPuts {
+		if n.disc.ackPuts() || n.cl.cfg.AckAllPuts {
 			ctx.Send(m.Requester, putAck{ReqID: m.ReqID})
 		}
 		for _, rel := range released {
@@ -885,29 +825,13 @@ func (n *Node) OnMessage(ctx *transport.Context, from transport.NodeID, payload 
 		}
 		n.resolveGet(ctx, m)
 	case putAck:
-		if n.cl.cfg.Mode == batch.Stack {
-			if _, awaited := n.awaitingAcks[m.ReqID]; awaited {
-				delete(n.awaitingAcks, m.ReqID)
-				n.outstanding--
-			} else if !n.cl.memberMode() {
-				panic(fmt.Sprintf("core: node %v got ack for unawaited PUT %d", n.self, m.ReqID))
-			} else {
-				// Either a duplicate ack around a fail-stop restart
-				// (replayed original plus dedupe re-ack, already
-				// accounted) or a link-replayed ack racing ahead of the
-				// journal replay that will re-register the PUT. Park it
-				// so the re-registered op can claim it (see earlyAcks);
-				// an unclaimed entry is inert.
-				n.cl.logf("core: %v parking ack for unawaited PUT %d (restart replay)", n.self, m.ReqID)
-				if n.earlyAcks == nil {
-					n.earlyAcks = make(map[uint64]struct{})
-				}
-				n.earlyAcks[m.ReqID] = struct{}{}
-				break
+		// The strategy accounts the ack (stack: outstanding/awaitingAcks,
+		// parking replay strays); a parked or duplicate ack must not reach
+		// the hosting layer's callback.
+		if n.disc.putAcked(n, m.ReqID) {
+			if n.cl.onPutAck != nil {
+				n.cl.onPutAck(m.ReqID)
 			}
-		}
-		if n.cl.onPutAck != nil {
-			n.cl.onPutAck(m.ReqID)
 		}
 	default:
 		if !n.handleChurn(ctx, from, payload) {
@@ -928,30 +852,32 @@ func (n *Node) InjectEnqueue(now int64) uint64 {
 // against it receives the payload in its completion record. The networked
 // client layer stores the user's encoded value here.
 func (n *Node) InjectEnqueueBlob(now int64, blob []byte) uint64 {
+	return n.InjectEnqueuePriBlob(now, 0, blob)
+}
+
+// InjectEnqueuePriBlob buffers an enqueue at the given priority level
+// (heap mode; other modes use pri 0).
+func (n *Node) InjectEnqueuePriBlob(now int64, pri int32, blob []byte) uint64 {
 	reqID := n.cl.nextReqID()
-	n.injectEnqueue(reqID, now, blob)
+	n.injectEnqueue(reqID, now, pri, blob)
 	return reqID
 }
 
 // injectEnqueue buffers an enqueue under a caller-chosen request ID —
 // fresh from nextReqID, or the original ID of a journaled operation being
 // re-submitted after a fail-stop restart (Cluster.Resubmit).
-func (n *Node) injectEnqueue(reqID uint64, now int64, blob []byte) {
+func (n *Node) injectEnqueue(reqID uint64, now int64, pri int32, blob []byte) {
 	elem := dht.Element{Origin: n.clientID, Seq: n.nextElemSeq}
 	n.nextElemSeq++
-	op := pendingOp{elem: elem, reqID: reqID, born: now, localSeq: n.nextLocalSeq, blob: blob}
+	op := pendingOp{elem: elem, reqID: reqID, born: now, localSeq: n.nextLocalSeq, pri: pri, blob: blob}
 	n.nextLocalSeq++
-	if n.cl.cfg.Mode == batch.Stack && !n.cl.cfg.DisableLocalCombining {
-		n.combiner.Push(stack.PendingOp{ReqID: op.reqID, Elem: op.elem, Born: op.born, LocalSeq: op.localSeq, Blob: op.blob})
-	} else {
-		n.pending = append(n.pending, op)
-	}
 	n.cl.issued++
+	n.disc.bufferOp(n, op, now)
 }
 
-// InjectDequeue buffers a locally generated DEQUEUE (POP) request. In
-// stack mode with local combining it may complete immediately together
-// with a buffered push (§VI).
+// InjectDequeue buffers a locally generated DEQUEUE (POP, DEQUEUEMIN)
+// request. In stack mode with local combining it may complete immediately
+// together with a buffered push (§VI).
 func (n *Node) InjectDequeue(now int64) uint64 {
 	reqID := n.cl.nextReqID()
 	n.injectDequeue(reqID, now)
@@ -963,28 +889,7 @@ func (n *Node) injectDequeue(reqID uint64, now int64) {
 	op := pendingOp{isDeq: true, reqID: reqID, born: now, localSeq: n.nextLocalSeq}
 	n.nextLocalSeq++
 	n.cl.issued++
-	if n.cl.cfg.Mode == batch.Stack && !n.cl.cfg.DisableLocalCombining {
-		sop := stack.PendingOp{ReqID: op.reqID, Born: op.born, LocalSeq: op.localSeq}
-		if match, ok := n.combiner.Pop(sop); ok {
-			// Both operations complete on the spot, without value() ranks;
-			// the verifier anchors them into ≺ as a combined block.
-			n.cl.metrics.CombinedOps += 2
-			n.cl.recordCompletion(seqcheck.Completion{
-				Client: n.clientID, LocalSeq: match.LocalSeq,
-				Kind: seqcheck.Push, Elem: match.Elem,
-				Value: seqcheck.NoValue, Born: match.Born, Done: now, ReqID: match.ReqID,
-				Blob: match.Blob,
-			})
-			n.cl.recordCompletion(seqcheck.Completion{
-				Client: n.clientID, LocalSeq: op.localSeq,
-				Kind: seqcheck.Pop, Elem: match.Elem,
-				Value: seqcheck.NoValue, Born: op.born, Done: now, ReqID: op.reqID,
-				Blob: match.Blob,
-			})
-		}
-		return
-	}
-	n.pending = append(n.pending, op)
+	n.disc.bufferOp(n, op, now)
 }
 
 // Store exposes the DHT fragment for tests and load statistics.

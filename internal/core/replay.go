@@ -128,7 +128,7 @@ func (cl *Cluster) SetOnFire(fn func(node transport.NodeID, waveSeq int64)) { cl
 // concerned, and fresh request IDs can never collide with pre-crash ones
 // because the member-local sequence counter advances past it. It must run
 // on the runner goroutine (or before the transport starts).
-func (cl *Cluster) Resubmit(client transport.NodeID, reqID uint64, isDeq bool, blob []byte) {
+func (cl *Cluster) Resubmit(client transport.NodeID, reqID uint64, isDeq bool, pri int32, blob []byte) {
 	n, ok := cl.nodes[client]
 	if !ok {
 		cl.logf("core: dropping resubmitted op %d for unknown node %d", reqID, client)
@@ -140,7 +140,7 @@ func (cl *Cluster) Resubmit(client transport.NodeID, reqID uint64, isDeq bool, b
 	if isDeq {
 		n.injectDequeue(reqID, cl.net.Now())
 	} else {
-		n.injectEnqueue(reqID, cl.net.Now(), blob)
+		n.injectEnqueue(reqID, cl.net.Now(), pri, blob)
 	}
 }
 

@@ -77,6 +77,7 @@ type OpImage struct {
 	ReqID    uint64
 	Born     int64
 	LocalSeq int64
+	Pri      int32
 	Blob     []byte
 }
 
@@ -215,7 +216,7 @@ func (s *MemberSnapshot) Stats() SnapshotStats {
 func opImages(ops []pendingOp) []OpImage {
 	out := make([]OpImage, len(ops))
 	for i, op := range ops {
-		out[i] = OpImage{IsDeq: op.isDeq, Elem: op.elem, ReqID: op.reqID, Born: op.born, LocalSeq: op.localSeq, Blob: op.blob}
+		out[i] = OpImage{IsDeq: op.isDeq, Elem: op.elem, ReqID: op.reqID, Born: op.born, LocalSeq: op.localSeq, Pri: op.pri, Blob: op.blob}
 	}
 	return out
 }
@@ -226,7 +227,7 @@ func opsFromImages(imgs []OpImage) []pendingOp {
 	}
 	out := make([]pendingOp, len(imgs))
 	for i, im := range imgs {
-		out[i] = pendingOp{isDeq: im.IsDeq, elem: im.Elem, reqID: im.ReqID, born: im.Born, localSeq: im.LocalSeq, blob: im.Blob}
+		out[i] = pendingOp{isDeq: im.IsDeq, elem: im.Elem, reqID: im.ReqID, born: im.Born, localSeq: im.LocalSeq, pri: im.Pri, blob: im.Blob}
 	}
 	return out
 }
@@ -335,7 +336,6 @@ func (cl *Cluster) SnapshotMember() (*MemberSnapshot, error) {
 			Pending:      opImages(n.pending),
 			Waiting:      subImages(n.waiting),
 			InOwnB:       n.inOwn.B,
-			Outstanding:  n.outstanding,
 			Entries:      n.store.Entries(),
 			LastEpoch:    n.churn.lastEpoch,
 			EpochCounter: n.churn.epochCounter,
@@ -345,14 +345,12 @@ func (cl *Cluster) SnapshotMember() (*MemberSnapshot, error) {
 			img.InBatch = subImages(n.inBatch)
 			img.InOwnOps = opImages(n.inOwn.ops)
 		}
-		pops, pushes := n.combiner.Snapshot()
-		img.Combiner = CombinerImage{Pops: stackOpImages(pops, true), Pushes: stackOpImages(pushes, false)}
+		// Strategy-private state (stack: combiner residual, outstanding
+		// stage-4 waits, unacknowledged PUT IDs) is captured by the mode
+		// strategy; the image fields stay zero for the other modes.
+		n.disc.capture(n, &img)
 		img.AppliedPuts = n.appliedPuts.entries()
 		img.ServedGets = n.servedGets.entries()
-		for reqID := range n.awaitingAcks {
-			img.AwaitingAcks = append(img.AwaitingAcks, reqID)
-		}
-		sort.Slice(img.AwaitingAcks, func(i, j int) bool { return img.AwaitingAcks[i] < img.AwaitingAcks[j] })
 		for from, wave := range n.foldedWaves {
 			img.FoldedWaves = append(img.FoldedWaves, FoldedWaveImage{From: from, WaveSeq: wave})
 		}
@@ -421,6 +419,7 @@ func RestoreMember(cfg Config, snap *MemberSnapshot, net transport.Network) (*Cl
 	for _, img := range snap.Nodes {
 		n := &Node{
 			cl:           cl,
+			disc:         cl.newDiscipline(),
 			self:         img.Self,
 			clientID:     img.ClientID,
 			pred:         img.Pred,
@@ -436,7 +435,6 @@ func RestoreMember(cfg Config, snap *MemberSnapshot, net transport.Network) (*Cl
 			waveSeq:      img.WaveSeq,
 			pending:      opsFromImages(img.Pending),
 			waiting:      subsFromImages(img.Waiting),
-			outstanding:  img.Outstanding,
 			store:        dht.NewStore(),
 			pendingGets:  make(map[uint64]getCtx),
 		}
@@ -444,15 +442,9 @@ func RestoreMember(cfg Config, snap *MemberSnapshot, net transport.Network) (*Cl
 			n.inBatch = subsFromImages(img.InBatch)
 			n.inOwn = ownWave{ops: opsFromImages(img.InOwnOps), B: img.InOwnB}
 		}
-		n.combiner.Restore(stackOpsFromImages(img.Combiner.Pops), stackOpsFromImages(img.Combiner.Pushes))
+		n.disc.restoreImage(n, &img)
 		n.appliedPuts.restore(img.AppliedPuts)
 		n.servedGets.restore(img.ServedGets)
-		if len(img.AwaitingAcks) > 0 {
-			n.awaitingAcks = make(map[uint64]struct{}, len(img.AwaitingAcks))
-			for _, reqID := range img.AwaitingAcks {
-				n.awaitingAcks[reqID] = struct{}{}
-			}
-		}
 		if len(img.FoldedWaves) > 0 {
 			n.foldedWaves = make(map[transport.NodeID]int64, len(img.FoldedWaves))
 			for _, sw := range img.FoldedWaves {

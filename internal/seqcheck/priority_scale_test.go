@@ -1,0 +1,204 @@
+package seqcheck
+
+// Scale tests for CheckPriority, mirroring scale_test.go: a valid
+// at-scale priority history checks clean in bounded time, and planted
+// violations deep inside an at-scale history — a priority inversion and
+// an intra-level FIFO swap — are found. The chaos harness runs
+// CheckPriority after every heap scenario, so both the cost ceiling and
+// the detection depth are part of the harness contract.
+
+import (
+	"testing"
+	"time"
+
+	"skueue/internal/dht"
+	"skueue/internal/xrand"
+)
+
+// synthPriorityHistory builds a valid heap history of n operations over
+// nClients clients and the given number of priority levels by replaying
+// level FIFO queues in witness order: enqueues pick a uniform level,
+// dequeue-min takes the front of the lowest non-empty level, value()
+// ranks are assigned in construction order. This is the shape of a real
+// certified heap run at whatever scale the caller asks for.
+func synthPriorityHistory(levels, nClients, n int, seed int64) *History {
+	rng := xrand.New(seed).Fork("synth-pri")
+	h := &History{Ops: make([]Completion, 0, n)}
+	localSeq := make([]int64, nClients)
+	enqSeq := make([]int64, nClients)
+	lvls := make([][]dht.Element, levels)
+	pending := 0
+	for v := int64(0); v < int64(n); v++ {
+		client := int32(rng.Intn(nClients))
+		c := Completion{Client: client, LocalSeq: localSeq[client], Value: v, Born: v, Done: v + 1}
+		localSeq[client]++
+		if rng.Bool(0.55) {
+			c.Kind = Enqueue
+			c.Pri = int32(rng.Intn(levels))
+			c.Elem = dht.Element{Origin: client, Seq: enqSeq[client]}
+			enqSeq[client]++
+			lvls[c.Pri] = append(lvls[c.Pri], c.Elem)
+			pending++
+		} else {
+			c.Kind = Dequeue
+			if pending == 0 {
+				c.Bottom = true
+			} else {
+				for l := range lvls {
+					if len(lvls[l]) > 0 {
+						c.Elem = lvls[l][0]
+						lvls[l] = lvls[l][1:]
+						pending--
+						break
+					}
+				}
+			}
+		}
+		h.Record(c)
+	}
+	return h
+}
+
+// elemLevels maps every enqueued element to its priority level (dequeue
+// completions do not carry the level; the tests recover it from the
+// matching enqueue, exactly like the checker does).
+func elemLevels(h *History) map[dht.Element]int32 {
+	out := make(map[dht.Element]int32)
+	for _, op := range h.Ops {
+		if op.Kind == Enqueue {
+			out[op.Elem] = op.Pri
+		}
+	}
+	return out
+}
+
+// TestSeqcheckPriorityAtScale certifies CheckPriority at chaos-harness
+// history sizes: a million-operation heap history (200k under -short)
+// across 64 clients and 4 levels checks clean in bounded time.
+func TestSeqcheckPriorityAtScale(t *testing.T) {
+	n := 1_000_000
+	if testing.Short() {
+		n = 200_000
+	}
+	const levels = 4
+	h := synthPriorityHistory(levels, 64, n, 19)
+	start := time.Now()
+	if err := CheckPriority(h, levels); err != nil {
+		t.Fatalf("valid %d-op priority history rejected: %v", n, err)
+	}
+	elapsed := time.Since(start)
+	t.Logf("checked %d ops in %v (%.0f ops/s)", n, elapsed, float64(n)/elapsed.Seconds())
+	if elapsed > 2*time.Minute {
+		t.Fatalf("CheckPriority took %v for %d ops; the chaos harness cannot afford that", elapsed, n)
+	}
+}
+
+// TestSeqcheckPriorityCatchesInversionAtDepth plants a single priority
+// inversion deep inside an at-scale history: one dequeue-min returns a
+// high-level element while a level-0 element is pending. The checker
+// must find it.
+func TestSeqcheckPriorityCatchesInversionAtDepth(t *testing.T) {
+	n := 300_000
+	if testing.Short() {
+		n = 60_000
+	}
+	const levels = 4
+	h := synthPriorityHistory(levels, 32, n, 29)
+	pri := elemLevels(h)
+	// Find a dequeue of a level-0 element in the back half, then a later
+	// dequeue of a higher-level element, and swap their returns: the
+	// first now jumps the level-0 front.
+	lo, hi := -1, -1
+	for i := n / 2; i < n && hi < 0; i++ {
+		op := h.Ops[i]
+		if op.Kind != Dequeue || op.Bottom {
+			continue
+		}
+		if lo < 0 {
+			if pri[op.Elem] == 0 {
+				lo = i
+			}
+		} else if pri[op.Elem] > 0 {
+			hi = i
+		}
+	}
+	if hi < 0 {
+		t.Fatal("synthetic history has no usable dequeue pair to corrupt")
+	}
+	h.Ops[lo].Elem, h.Ops[hi].Elem = h.Ops[hi].Elem, h.Ops[lo].Elem
+	if err := CheckPriority(h, levels); err == nil {
+		t.Fatalf("checker accepted a %d-op history with a planted priority inversion at ops %d/%d", n, lo, hi)
+	} else {
+		t.Logf("caught: %v", err)
+	}
+}
+
+// TestSeqcheckPriorityCatchesIntraLevelSwap plants an intra-level FIFO
+// swap deep inside an at-scale history: two dequeues of same-level
+// elements exchange their returns, breaking FIFO order within the level
+// while leaving the level sequence itself intact.
+func TestSeqcheckPriorityCatchesIntraLevelSwap(t *testing.T) {
+	n := 300_000
+	if testing.Short() {
+		n = 60_000
+	}
+	const levels = 4
+	h := synthPriorityHistory(levels, 32, n, 31)
+	pri := elemLevels(h)
+	var deqs []int
+	for i := n / 2; i < n && len(deqs) < 2; i++ {
+		op := h.Ops[i]
+		if op.Kind == Dequeue && !op.Bottom && pri[op.Elem] == 1 {
+			deqs = append(deqs, i)
+		}
+	}
+	if len(deqs) < 2 {
+		t.Fatal("synthetic history has too few level-1 dequeues to corrupt")
+	}
+	i, j := deqs[0], deqs[1]
+	h.Ops[i].Elem, h.Ops[j].Elem = h.Ops[j].Elem, h.Ops[i].Elem
+	if err := CheckPriority(h, levels); err == nil {
+		t.Fatalf("checker accepted a %d-op history with a planted intra-level FIFO swap at ops %d/%d", n, i, j)
+	} else {
+		t.Logf("caught: %v", err)
+	}
+}
+
+// TestSeqcheckPriorityBottomWhilePending plants a false-⊥ deep inside an
+// at-scale history: a dequeue that returned an element is rewritten as
+// empty while elements are pending.
+func TestSeqcheckPriorityBottomWhilePending(t *testing.T) {
+	n := 300_000
+	if testing.Short() {
+		n = 60_000
+	}
+	const levels = 4
+	h := synthPriorityHistory(levels, 32, n, 37)
+	for i := n / 2; i < n; i++ {
+		op := &h.Ops[i]
+		if op.Kind == Dequeue && !op.Bottom {
+			op.Bottom = true
+			op.Elem = dht.Element{}
+			if err := CheckPriority(h, levels); err == nil {
+				t.Fatalf("checker accepted a %d-op history with a planted false ⊥ at op %d", n, i)
+			} else {
+				t.Logf("caught: %v", err)
+			}
+			return
+		}
+	}
+	t.Fatal("synthetic history has no non-bottom dequeue in the back half")
+}
+
+// BenchmarkSeqcheckPriority measures CheckPriority on a 100k-op heap
+// history (the typical size of one chaos scenario's merged history).
+func BenchmarkSeqcheckPriority(b *testing.B) {
+	h := synthPriorityHistory(4, 64, 100_000, 41)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := CheckPriority(h, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(h.Ops))*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}

@@ -72,6 +72,10 @@ type Completion struct {
 	Bottom bool
 	// Value is the operation's value() rank in ≺, or NoValue.
 	Value int64
+	// Pri is the enqueue's priority level (heap mode); zero otherwise.
+	// Dequeue completions do not carry it — the checker derives a dequeued
+	// element's level from the matching enqueue.
+	Pri int32
 	// Born and Done are the issue and completion times (rounds).
 	Born, Done int64
 	// ReqID identifies the request within the run (diagnostics).
@@ -208,6 +212,115 @@ func Check(mode Mode, h *History) error {
 		return replayQueue(ops)
 	}
 	return replayStack(ops)
+}
+
+// CheckPriority verifies a heap-mode history against a sequential
+// bounded-priority heap with the given number of levels: DEQUEUE-MIN
+// returns the front of the lowest non-empty priority level (FIFO within
+// each level), and ⊥ only when every level is empty. The witness order
+// machinery is the queue checker's — heap mode never combines locally, so
+// every operation must carry an anchor value() rank, and property 4 (the
+// witness extends each client's issue order) is checked identically.
+func CheckPriority(h *History, levels int) error {
+	if levels < 1 {
+		return fmt.Errorf("seqcheck: priority check needs at least one level, got %d", levels)
+	}
+	ops := make([]Completion, len(h.Ops))
+	copy(ops, h.Ops)
+
+	byClient := make(map[int32][]Completion)
+	for _, op := range ops {
+		byClient[op.Client] = append(byClient[op.Client], op)
+	}
+	seenValues := make(map[int64]opID)
+	for c, seq := range byClient {
+		sort.Slice(seq, func(i, j int) bool { return seq[i].LocalSeq < seq[j].LocalSeq })
+		for i := 1; i < len(seq); i++ {
+			if seq[i].LocalSeq == seq[i-1].LocalSeq {
+				return fmt.Errorf("seqcheck: client %d has two operations with local seq %d", c, seq[i].LocalSeq)
+			}
+		}
+		for i, op := range seq {
+			id := opID{op.Client, op.LocalSeq}
+			if op.Value == NoValue {
+				return fmt.Errorf("seqcheck: heap operation without value() rank: client %d seq %d", op.Client, op.LocalSeq)
+			}
+			if prev, dup := seenValues[op.Value]; dup {
+				return fmt.Errorf("seqcheck: value %d assigned to both %v and %v", op.Value, prev, id)
+			}
+			seenValues[op.Value] = id
+			if i > 0 && op.Value <= seq[i-1].Value {
+				return fmt.Errorf("seqcheck: property 4 violated at client %d: op seq %d (value %d) not after seq %d (value %d)",
+					c, op.LocalSeq, op.Value, seq[i-1].LocalSeq, seq[i-1].Value)
+			}
+		}
+	}
+
+	// The heap never combines, so every operation carries a distinct
+	// value() rank and the witness order is simply rank order (no
+	// combined-block tie-breaking like the queue/stack checker needs).
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Value < ops[j].Value })
+
+	// Uniqueness of elements.
+	enqueued := make(map[dht.Element]opID)
+	dequeued := make(map[dht.Element]opID)
+	for _, op := range ops {
+		id := opID{op.Client, op.LocalSeq}
+		if op.Kind == Enqueue {
+			if prev, dup := enqueued[op.Elem]; dup {
+				return fmt.Errorf("seqcheck: element %v enqueued twice (%v and %v)", op.Elem, prev, id)
+			}
+			enqueued[op.Elem] = id
+		} else if !op.Bottom {
+			if prev, dup := dequeued[op.Elem]; dup {
+				return fmt.Errorf("seqcheck: element %v dequeued twice (%v and %v)", op.Elem, prev, id)
+			}
+			dequeued[op.Elem] = id
+		}
+	}
+
+	return replayPriority(ops, levels)
+}
+
+func replayPriority(ops []Completion, levels int) error {
+	lvls := make([][]dht.Element, levels)
+	pending := 0
+	for _, op := range ops {
+		switch {
+		case op.Kind == Enqueue:
+			if op.Pri < 0 || int(op.Pri) >= levels {
+				return fmt.Errorf("seqcheck: enqueue by client %d (seq %d) has priority %d outside [0,%d)",
+					op.Client, op.LocalSeq, op.Pri, levels)
+			}
+			lvls[op.Pri] = append(lvls[op.Pri], op.Elem)
+			pending++
+		case op.Bottom:
+			if pending != 0 {
+				low := 0
+				for len(lvls[low]) == 0 {
+					low++
+				}
+				return fmt.Errorf("seqcheck: dequeue-min by client %d (seq %d) returned ⊥ while %d elements were pending (min level %d front %v)",
+					op.Client, op.LocalSeq, pending, low, lvls[low][0])
+			}
+		default:
+			if pending == 0 {
+				return fmt.Errorf("seqcheck: dequeue-min by client %d (seq %d) returned %v from an empty heap",
+					op.Client, op.LocalSeq, op.Elem)
+			}
+			low := 0
+			for len(lvls[low]) == 0 {
+				low++
+			}
+			if front := lvls[low][0]; front != op.Elem {
+				return fmt.Errorf("seqcheck: priority violation: dequeue-min by client %d (seq %d) returned %v, expected level-%d front %v",
+					op.Client, op.LocalSeq, op.Elem, low, front)
+			}
+			lvls[low] = lvls[low][1:]
+			pending--
+		}
+	}
+	return nil
 }
 
 type opID struct {

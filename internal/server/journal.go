@@ -122,6 +122,7 @@ type journalRecord struct {
 	ReqID   uint64           // op, done
 	Node    transport.NodeID // op, fire
 	IsDeq   bool             // op
+	Pri     int32            // op (enqueue priority level, heap mode)
 	Value   []byte           // op (enqueue payload)
 	Done    wire.CliDone     // done
 	Wave    int64            // fire
@@ -339,7 +340,7 @@ func (j *opJournal) noteFire(node transport.NodeID, wave int64) {
 // submitted through a durable session, sess and cliSeq carry the
 // session's identity and the operation's per-session sequence; both are
 // zero for ephemeral operations.
-func (j *opJournal) appendOp(node transport.NodeID, reqID uint64, isDeq bool, value []byte, sess string, cliSeq uint64, release journalRelease) {
+func (j *opJournal) appendOp(node transport.NodeID, reqID uint64, isDeq bool, pri int32, value []byte, sess string, cliSeq uint64, release journalRelease) {
 	j.mu.Lock()
 	if err := j.unusableLocked(); err != nil {
 		j.mu.Unlock()
@@ -361,7 +362,7 @@ func (j *opJournal) appendOp(node transport.NodeID, reqID uint64, isDeq bool, va
 		frames = append(frames, b...)
 		j.lastMark[node] = lf
 	}
-	b, err := encodeRecord(&journalRecord{Kind: recOp, ReqID: reqID, Node: node, IsDeq: isDeq, Value: value, Sess: sess, CliSeq: cliSeq})
+	b, err := encodeRecord(&journalRecord{Kind: recOp, ReqID: reqID, Node: node, IsDeq: isDeq, Pri: pri, Value: value, Sess: sess, CliSeq: cliSeq})
 	if err != nil {
 		j.mu.Unlock()
 		if release != nil {

@@ -32,7 +32,7 @@ func openSyncJournal(t *testing.T, dir string, fresh bool) *opJournal {
 func syncAppendOp(t *testing.T, j *opJournal, node transport.NodeID, id uint64, isDeq bool, value []byte) {
 	t.Helper()
 	var got error
-	j.appendOp(node, id, isDeq, value, "", 0, func(err error) { got = err })
+	j.appendOp(node, id, isDeq, 0, value, "", 0, func(err error) { got = err })
 	if got != nil {
 		t.Fatalf("appendOp: %v", got)
 	}
@@ -141,7 +141,7 @@ func TestJournalGroupCommitReleasesInOrder(t *testing.T) {
 	node := transport.NodeID(3)
 	for i := uint64(1); i <= n; i++ {
 		id := reqID(i)
-		j.appendOp(node, id, false, []byte("v"), "", 0, func(err error) {
+		j.appendOp(node, id, false, 0, []byte("v"), "", 0, func(err error) {
 			got <- fired{seq: id, err: err}
 		})
 	}
@@ -181,7 +181,7 @@ func TestJournalBarrierForcesFlush(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer j.close()
-	j.appendOp(3, reqID(1), false, []byte("v"), "", 0, nil)
+	j.appendOp(3, reqID(1), false, 0, []byte("v"), "", 0, nil)
 	logical := j.offset()
 	j.wmu.Lock()
 	durable := j.durable
@@ -224,7 +224,7 @@ func TestJournalTornBatchTail(t *testing.T) {
 			t.Fatal(err)
 		}
 		frames = append(frames, len(b))
-		j.appendOp(node, reqID(i), false, value, "", 0, nil)
+		j.appendOp(node, reqID(i), false, 0, value, "", 0, nil)
 	}
 	// All three are still one staged batch (huge delay, cap not reached);
 	// the barrier flushes them as a single write+fsync.
@@ -516,12 +516,12 @@ func TestJournalDiscardFailsParkedReleases(t *testing.T) {
 		t.Fatal(err)
 	}
 	node := transport.NodeID(3)
-	j.appendOp(node, reqID(1), false, []byte("flushed"), "", 0, nil)
+	j.appendOp(node, reqID(1), false, 0, []byte("flushed"), "", 0, nil)
 	if err := j.barrier(); err != nil {
 		t.Fatal(err)
 	}
 	relErr := make(chan error, 1)
-	j.appendOp(node, reqID(2), false, []byte("staged"), "", 0, func(err error) { relErr <- err })
+	j.appendOp(node, reqID(2), false, 0, []byte("staged"), "", 0, func(err error) { relErr <- err })
 	j.discard()
 	if err := <-relErr; err == nil {
 		t.Fatal("parked release of a discarded record reported success")
@@ -546,7 +546,7 @@ func TestJournalSessionRecordsRoundTrip(t *testing.T) {
 	node := transport.NodeID(3)
 	j.appendSession("sess-a")
 	var got error
-	j.appendOp(node, reqID(1), false, []byte("v1"), "sess-a", 7, func(err error) { got = err })
+	j.appendOp(node, reqID(1), false, 0, []byte("v1"), "sess-a", 7, func(err error) { got = err })
 	if got != nil {
 		t.Fatalf("appendOp: %v", got)
 	}

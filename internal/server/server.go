@@ -77,8 +77,11 @@ type Config struct {
 
 	// Seed is the cluster-wide seed; all members must agree on it.
 	Seed int64
-	// Mode is "queue" (default) or "stack".
+	// Mode is "queue" (default), "stack" or "heap".
 	Mode string
+	// HeapLevels is the number of priority levels in heap mode (default
+	// 4); ignored in the other modes. All members must agree on it.
+	HeapLevels int
 	// UpdateThreshold mirrors core.Config.UpdateThreshold.
 	UpdateThreshold int
 
@@ -348,6 +351,14 @@ func New(cfg Config) (*Server, error) {
 	case "", "queue":
 	case "stack":
 		mode = batch.Stack
+	case "heap":
+		mode = batch.Heap
+		if cfg.HeapLevels == 0 {
+			cfg.HeapLevels = defaultHeapLevels
+		}
+		if cfg.HeapLevels < 1 {
+			return nil, fmt.Errorf("server: heap mode needs at least one priority level, got %d", cfg.HeapLevels)
+		}
 	default:
 		return nil, fmt.Errorf("server: unknown mode %q", cfg.Mode)
 	}
@@ -557,11 +568,46 @@ func (s *Server) shutdown(graceful bool) {
 	}
 }
 
+// defaultHeapLevels is the heap-mode priority-level count when the config
+// leaves it 0.
+const defaultHeapLevels = 4
+
+// modeString renders the member's mode for the client protocol and the
+// disk snapshot.
+func (s *Server) modeString() string {
+	switch s.mode {
+	case batch.Stack:
+		return "stack"
+	case batch.Heap:
+		return "heap"
+	default:
+		return "queue"
+	}
+}
+
+// adoptMode installs a mode string received from the seed (join) or the
+// snapshot (restore), plus the heap level count riding with it.
+func (s *Server) adoptMode(mode string, heapLevels int) {
+	s.cfg.Mode = mode
+	s.mode = batch.Queue
+	switch mode {
+	case "stack":
+		s.mode = batch.Stack
+	case "heap":
+		s.mode = batch.Heap
+		if heapLevels < 1 {
+			heapLevels = defaultHeapLevels
+		}
+		s.cfg.HeapLevels = heapLevels
+	}
+}
+
 func (s *Server) coreConfig(procs int) core.Config {
 	return core.Config{
 		Processes:       procs,
 		Seed:            s.cfg.Seed,
 		Mode:            s.mode,
+		HeapLevels:      s.cfg.HeapLevels,
 		UpdateThreshold: s.cfg.UpdateThreshold,
 		AckAllPuts:      true,
 	}
@@ -790,12 +836,8 @@ func (s *Server) startJoining() error {
 		return err
 	}
 	s.cfg.Seed = ack.Seed
-	s.cfg.Mode = ack.Mode
 	s.cfg.UpdateThreshold = ack.UpdateThreshold
-	s.mode = batch.Queue
-	if ack.Mode == "stack" {
-		s.mode = batch.Stack
-	}
+	s.adoptMode(ack.Mode, int(ack.HeapLevels))
 	s.peer = tcp.New(s.peerOptions(ack.Index, []int32{ack.Pid}, 1))
 	s.peer.SetBook(ack.Book)
 	cl, err := core.NewMember(s.coreConfig(0), ack.Index, nil, s.peer)
@@ -823,12 +865,8 @@ func (s *Server) startJoining() error {
 // e.g. the seed member itself).
 func (s *Server) startRestore(disk *diskSnapshot, journalRecs []journalRecord) error {
 	s.cfg.Seed = disk.Seed
-	s.cfg.Mode = disk.Mode
 	s.cfg.UpdateThreshold = disk.UpdateThreshold
-	s.mode = batch.Queue
-	if disk.Mode == "stack" {
-		s.mode = batch.Stack
-	}
+	s.adoptMode(disk.Mode, disk.HeapLevels)
 	s.procsTotal = disk.Procs
 	s.peer = tcp.New(s.peerOptions(disk.Member.Index, disk.Pids, disk.Peer.Boot+1))
 	s.peer.RestoreState(disk.Peer)
@@ -874,7 +912,7 @@ func (s *Server) startRestore(disk *diskSnapshot, journalRecs []journalRecord) e
 	}
 	s.cl.AdvanceReqSeq(disk.SeqCeiling)
 	for _, rec := range s.plan.immediate {
-		s.cl.Resubmit(rec.Node, rec.ReqID, rec.IsDeq, rec.Value)
+		s.cl.Resubmit(rec.Node, rec.ReqID, rec.IsDeq, rec.Pri, rec.Value)
 	}
 	if n := len(s.plan.immediate); n > 0 || s.plan.pending() > 0 {
 		s.logf("server[%d]: re-submitted %d journaled operations, %d held for wave boundaries",
@@ -990,6 +1028,7 @@ type diskSnapshot struct {
 	Version         int
 	Seed            int64
 	Mode            string
+	HeapLevels      int
 	UpdateThreshold int
 	Procs           int
 	Pids            []int32
@@ -1149,17 +1188,14 @@ func (s *Server) SnapshotNow() error {
 		// the task queue; both clear within a drain — retry next interval.
 		return fmt.Errorf("%w: transport has frames in flight", core.ErrNotQuiescent)
 	}
-	mode := s.cfg.Mode
-	if mode == "" {
-		mode = "queue"
-	}
 	s.mu.Lock()
 	nextIndex, nextPid := s.nextIndex, s.nextPid
 	s.mu.Unlock()
 	disk := &diskSnapshot{
 		Version:         1,
 		Seed:            s.cfg.Seed,
-		Mode:            mode,
+		Mode:            s.modeString(),
+		HeapLevels:      s.cfg.HeapLevels,
 		UpdateThreshold: s.cfg.UpdateThreshold,
 		Procs:           s.procsTotal,
 		Pids:            s.peer.Me().Pids,
@@ -1271,7 +1307,7 @@ func (s *Server) wireCallbacks() {
 			s.journal.noteFire(node, wave)
 			if s.plan != nil {
 				for _, rec := range s.plan.take(node, wave) {
-					s.cl.Resubmit(rec.Node, rec.ReqID, rec.IsDeq, rec.Value)
+					s.cl.Resubmit(rec.Node, rec.ReqID, rec.IsDeq, rec.Pri, rec.Value)
 				}
 			}
 		})
@@ -1771,10 +1807,6 @@ func (s *Server) serveClient(conn *wire.Conn, hello wire.Hello) {
 	defer close(sess.quit)
 	defer conn.Close()
 
-	mode := "queue"
-	if s.mode == batch.Stack {
-		mode = "stack"
-	}
 	var sd *durSession
 	resumed := false
 	var sessSeq uint64
@@ -1784,7 +1816,8 @@ func (s *Server) serveClient(conn *wire.Conn, hello wire.Hello) {
 		sessSeq = s.sessionHighSeq(sd)
 	}
 	if err := conn.Write(wire.HelloAck{
-		Book: s.peer.Book(), Mode: mode, Index: s.peer.Me().Index,
+		Book: s.peer.Book(), Mode: s.modeString(), HeapLevels: int32(s.cfg.HeapLevels),
+		Index:          s.peer.Me().Index,
 		SessionResumed: resumed, SessionSeq: sessSeq,
 	}); err != nil {
 		return
@@ -1826,12 +1859,12 @@ func (s *Server) serveClient(conn *wire.Conn, hello wire.Hello) {
 			if sd != nil {
 				s.sessionAck(sd, m.Ack)
 			}
-			s.submit(sess, sd, m.Seq, true, m.Value)
+			s.submit(sess, sd, m.Seq, true, m.Pri, m.PriOp, m.Value)
 		case wire.CliDequeue:
 			if sd != nil {
 				s.sessionAck(sd, m.Ack)
 			}
-			s.submit(sess, sd, m.Seq, false, nil)
+			s.submit(sess, sd, m.Seq, false, 0, m.PriOp, nil)
 		case wire.CliSessionAck:
 			if sd != nil {
 				s.sessionAck(sd, m.Ack)
@@ -1868,8 +1901,27 @@ func (s *Server) serveClient(conn *wire.Conn, hello wire.Hello) {
 // parked path. A crash after the op record synced re-submits the
 // operation on restart; a crash before it loses an operation no client
 // was ever answered for.
-func (s *Server) submit(sess *session, sd *durSession, seq uint64, enq bool, value []byte) {
+func (s *Server) submit(sess *session, sd *durSession, seq uint64, enq bool, pri int32, priOp bool, value []byte) {
 	s.peer.Do(func() {
+		if priOp != (s.mode == batch.Heap) {
+			// Mode police: a priority operation on a queue/stack cluster
+			// (or a plain one on a heap cluster) never injects. The
+			// rejection is deterministic — it depends only on the immutable
+			// cluster mode — so a session replay re-deriving it is safe and
+			// it needs no journaled identity.
+			sess.send(wire.CliDone{
+				Seq: seq, WrongMode: true,
+				Err: fmt.Sprintf("operation flavour does not match cluster mode %q", s.modeString()),
+			})
+			return
+		}
+		if priOp && enq && (pri < 0 || int(pri) >= s.cl.HeapLevels()) {
+			sess.send(wire.CliDone{
+				Seq: seq,
+				Err: fmt.Sprintf("priority %d outside [0,%d)", pri, s.cl.HeapLevels()),
+			})
+			return
+		}
 		if sd != nil {
 			// Session dedupe before touching the cluster: a re-presented
 			// operation (the client reconnected and replayed its unresolved
@@ -1911,7 +1963,7 @@ func (s *Server) submit(sess *session, sd *durSession, seq uint64, enq bool, val
 			if !s.peer.ReplayFenced(s.replayPeers) ||
 				s.cl.HeldReplayServes() > 0 || s.plan.pending() > 0 {
 				time.AfterFunc(2*time.Millisecond, func() {
-					s.submit(sess, sd, seq, enq, value)
+					s.submit(sess, sd, seq, enq, pri, priOp, value)
 				})
 				return
 			}
@@ -1943,7 +1995,7 @@ func (s *Server) submit(sess *session, sd *durSession, seq uint64, enq bool, val
 		s.deferring = s.journal != nil
 		var reqID uint64
 		if enq {
-			reqID = s.cl.EnqueueBlob(node, value)
+			reqID = s.cl.EnqueuePriBlob(node, pri, value)
 		} else {
 			reqID = s.cl.Dequeue(node)
 		}
@@ -1970,12 +2022,12 @@ func (s *Server) submit(sess *session, sd *durSession, seq uint64, enq bool, val
 				// Combined pair answered inside the inject call: stage the
 				// op record, then retire the outcome through resolve (which
 				// retains it and parks the frame behind its done record).
-				s.journal.appendOp(node, reqID, !enq, value, sd.id, seq, nil)
+				s.journal.appendOp(node, reqID, !enq, pri, value, sd.id, seq, nil)
 				s.resolve(reqID, done)
 				s.flushDeferred()
 				return
 			}
-			s.journal.appendOp(node, reqID, !enq, value, sd.id, seq, func(err error) {
+			s.journal.appendOp(node, reqID, !enq, pri, value, sd.id, seq, func(err error) {
 				if err != nil {
 					s.sessionOpFailed(sd, seq, reqID, err)
 				}
@@ -2003,7 +2055,7 @@ func (s *Server) submit(sess *session, sd *durSession, seq uint64, enq bool, val
 			// its own.
 			done.Seq = seq
 			done.ReqID = reqID
-			s.journal.appendOp(node, reqID, !enq, value, "", 0, nil)
+			s.journal.appendOp(node, reqID, !enq, pri, value, "", 0, nil)
 			s.journal.appendDone(reqID, done, s.releaseDone(sess, seq, reqID, done))
 			s.flushDeferred()
 			return
@@ -2014,7 +2066,7 @@ func (s *Server) submit(sess *session, sd *durSession, seq uint64, enq bool, val
 		s.mu.Lock()
 		s.waiters[reqID] = &waiter{sess: sess, seq: seq}
 		s.mu.Unlock()
-		s.journal.appendOp(node, reqID, !enq, value, "", 0, func(err error) {
+		s.journal.appendOp(node, reqID, !enq, pri, value, "", 0, func(err error) {
 			if err != nil {
 				s.journalOpFailed(reqID, err)
 			}
@@ -2083,14 +2135,11 @@ func (s *Server) admit(m wire.CliJoin) wire.CliJoinResp {
 		s.logf("server[0]: member %d rejoining from %s after restart", m.Index, m.Addr)
 		s.peer.AddMember(wire.MemberInfo{Index: m.Index, Addr: m.Addr, Pids: m.Pids})
 		s.peer.BroadcastBook()
-		mode := "queue"
-		if s.mode == batch.Stack {
-			mode = "stack"
-		}
 		return wire.CliJoinResp{
 			Index: m.Index,
-			Seed:  s.cfg.Seed, Mode: mode, UpdateThreshold: s.cfg.UpdateThreshold,
-			Book: s.peer.Book(),
+			Seed:  s.cfg.Seed, Mode: s.modeString(), HeapLevels: int32(s.cfg.HeapLevels),
+			UpdateThreshold: s.cfg.UpdateThreshold,
+			Book:            s.peer.Book(),
 		}
 	}
 	s.mu.Lock()
@@ -2101,14 +2150,11 @@ func (s *Server) admit(m wire.CliJoin) wire.CliJoinResp {
 	s.mu.Unlock()
 	s.peer.AddMember(wire.MemberInfo{Index: idx, Addr: m.Addr, Pids: []int32{pid}})
 	s.peer.BroadcastBook()
-	mode := "queue"
-	if s.mode == batch.Stack {
-		mode = "stack"
-	}
 	return wire.CliJoinResp{
 		Index: idx, Pid: pid,
-		Seed: s.cfg.Seed, Mode: mode, UpdateThreshold: s.cfg.UpdateThreshold,
-		Book:    s.peer.Book(),
-		Contact: core.NodeIDForProcess(s.peer.Me().Pids[0], ldb.Middle),
+		Seed: s.cfg.Seed, Mode: s.modeString(), HeapLevels: int32(s.cfg.HeapLevels),
+		UpdateThreshold: s.cfg.UpdateThreshold,
+		Book:            s.peer.Book(),
+		Contact:         core.NodeIDForProcess(s.peer.Me().Pids[0], ldb.Middle),
 	}
 }

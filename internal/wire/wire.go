@@ -136,8 +136,11 @@ type Hello struct {
 // the cluster parameters a remote client needs.
 type HelloAck struct {
 	Book []MemberInfo
-	// Mode is "queue" or "stack" (client connections).
+	// Mode is "queue", "stack" or "heap" (client connections).
 	Mode string
+	// HeapLevels is the number of priority levels (heap mode only): the
+	// client validates EnqueuePri levels locally against it.
+	HeapLevels int32
 	// Index is the answering member's index.
 	Index int32
 	// AckSeq is the receiver's cumulative acknowledgment for the dialing
@@ -216,12 +219,22 @@ type CliEnqueue struct {
 	Seq   uint64
 	Value []byte
 	Ack   uint64
+	// Pri is the priority level of an EnqueuePri (heap clusters); PriOp
+	// marks the operation as a priority-API submission. The member rejects
+	// a PriOp against a queue/stack cluster — and a plain enqueue against a
+	// heap cluster — with CliDone.WrongMode, so a client talking to a
+	// cluster of the wrong flavour fails loudly instead of silently
+	// reinterpreting priorities.
+	Pri   int32
+	PriOp bool
 }
 
-// CliDequeue submits a DEQUEUE (POP). Seq and Ack as in CliEnqueue.
+// CliDequeue submits a DEQUEUE (POP). Seq and Ack as in CliEnqueue; PriOp
+// marks a DequeueMin (heap clusters), policed like CliEnqueue.PriOp.
 type CliDequeue struct {
-	Seq uint64
-	Ack uint64
+	Seq   uint64
+	Ack   uint64
+	PriOp bool
 }
 
 // CliSessionAck advances a durable session's delivered-outcome cursor
@@ -269,6 +282,13 @@ type CliDone struct {
 	Rank int64
 	// Err carries a server-side submission error, empty on success.
 	Err string
+	// WrongMode marks a submission rejected because the operation's
+	// flavour does not match the cluster's mode (a priority operation on a
+	// queue/stack cluster, or a plain one on a heap cluster). The client
+	// layer surfaces it as ErrWrongMode. The rejection is deterministic —
+	// it depends only on the immutable cluster mode — so it needs no
+	// journaled identity and is safe to re-derive on a session replay.
+	WrongMode bool
 	// Unreachable marks an operation abandoned because a cluster member
 	// stayed unreachable past the server's give-up timeout (fail-stop
 	// detection); the client layer surfaces it as ErrUnreachable with an
@@ -306,10 +326,11 @@ type CliJoinResp struct {
 	// Index and Pid are the new member's member index and first process ID.
 	Index int32
 	Pid   int32
-	// Seed, Mode and UpdateThreshold mirror the cluster configuration so
-	// the joiner derives identical labels and hashes.
+	// Seed, Mode, HeapLevels and UpdateThreshold mirror the cluster
+	// configuration so the joiner derives identical labels and hashes.
 	Seed            int64
 	Mode            string
+	HeapLevels      int32
 	UpdateThreshold int
 	// Book is the cluster's address book including the new member.
 	Book []MemberInfo

@@ -26,6 +26,10 @@ type Spec struct {
 	// EnqRatio is the probability that a generated request is an
 	// ENQUEUE/PUSH; the rest are DEQUEUE/POP.
 	EnqRatio float64
+	// Levels, when > 1, spreads enqueues uniformly over the priority
+	// levels [0, Levels) for heap-mode clusters; otherwise every enqueue
+	// is issued at level 0 (the only level queue and stack mode have).
+	Levels int
 }
 
 // Validate reports configuration errors.
@@ -51,11 +55,13 @@ type ChurnEvent struct {
 }
 
 // Op is one generated request as observed by SetObserver: the round it
-// was issued in, the client node it was issued at, and its kind.
+// was issued in, the client node it was issued at, its kind, and (for
+// enqueues under Spec.Levels) its priority level.
 type Op struct {
 	Round  int
 	Client sim.NodeID
 	Enq    bool
+	Pri    int32
 }
 
 // Generator drives a cluster through a workload.
@@ -72,6 +78,9 @@ type Generator struct {
 func New(cl *core.Cluster, spec Spec, seed int64) (*Generator, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if spec.Levels > cl.HeapLevels() {
+		return nil, fmt.Errorf("workload: Levels %d exceeds the cluster's %d priority levels", spec.Levels, cl.HeapLevels())
 	}
 	return &Generator{cl: cl, spec: spec, rng: xrand.New(seed).Fork("workload")}, nil
 }
@@ -125,11 +134,15 @@ func (g *Generator) Step() bool {
 
 func (g *Generator) issue(c sim.NodeID) {
 	enq := g.rng.Bool(g.spec.EnqRatio)
+	var pri int32
+	if enq && g.spec.Levels > 1 {
+		pri = int32(g.rng.Intn(g.spec.Levels))
+	}
 	if g.obs != nil {
-		g.obs(Op{Round: g.round, Client: c, Enq: enq})
+		g.obs(Op{Round: g.round, Client: c, Enq: enq, Pri: pri})
 	}
 	if enq {
-		g.cl.Enqueue(c)
+		g.cl.EnqueuePriBlob(c, pri, nil)
 	} else {
 		g.cl.Dequeue(c)
 	}

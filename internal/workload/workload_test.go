@@ -123,6 +123,45 @@ func TestStackWorkload(t *testing.T) {
 	}
 }
 
+// TestHeapWorkload drives a heap-mode cluster with enqueues spread over
+// every priority level; the drained history must pass CheckPriority
+// (via the heap discipline's checker) and actually cover all levels.
+func TestHeapWorkload(t *testing.T) {
+	const levels = 3
+	cl, err := core.New(core.Config{Processes: 4, Seed: 6, Mode: batch.Heap, HeapLevels: levels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := New(cl, Spec{Rounds: 80, PerNodeProb: 0.5, EnqRatio: 0.6, Levels: levels}, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int32]int)
+	gen.SetObserver(func(op Op) {
+		if op.Enq {
+			seen[op.Pri]++
+		}
+	})
+	if !gen.Run(60000) {
+		t.Fatalf("did not drain")
+	}
+	if err := cl.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != levels {
+		t.Fatalf("enqueues covered %d of %d levels: %v", len(seen), levels, seen)
+	}
+}
+
+// TestWorkloadLevelsValidated: a Levels spec wider than the cluster's
+// configured priority range is a construction error, not a later panic.
+func TestWorkloadLevelsValidated(t *testing.T) {
+	cl := mkCluster(t, 4, 7) // queue mode: one level
+	if _, err := New(cl, Spec{Rounds: 10, RequestsPerRound: 2, EnqRatio: 0.5, Levels: 4}, 21); err == nil {
+		t.Fatal("Levels 4 on a single-level cluster accepted")
+	}
+}
+
 func TestDeterministicWorkload(t *testing.T) {
 	run := func() int64 {
 		cl := mkCluster(t, 4, 6)

@@ -10,17 +10,24 @@ import (
 // Mode selects the data-structure semantics.
 type Mode int
 
-// Available semantics: FIFO queue (paper §III) and LIFO stack (§VI).
+// Available semantics: FIFO queue (paper §III), LIFO stack (§VI), and a
+// bounded-constant-priority heap (Skeap-style: a fixed number of priority
+// levels, FIFO within each level; see WithHeap).
 const (
 	Queue Mode = iota
 	Stack
+	Heap
 )
 
 func (m Mode) String() string {
-	if m == Stack {
+	switch m {
+	case Stack:
 		return "stack"
+	case Heap:
+		return "heap"
+	default:
+		return "queue"
 	}
-	return "queue"
 }
 
 // options collects the Open configuration; every Option mutates it.
@@ -28,6 +35,7 @@ type options struct {
 	processes       int
 	seed            int64
 	mode            Mode
+	heapLevels      int
 	async           bool
 	manual          bool
 	maxDelay        int
@@ -63,8 +71,26 @@ func WithProcesses(n int) Option { return func(o *options) { o.processes = n } }
 // any workload randomness all derive from this seed.
 func WithSeed(seed int64) Option { return func(o *options) { o.seed = seed } }
 
-// WithMode selects queue (default) or stack semantics.
+// WithMode selects queue (default), stack or heap semantics. Heap mode
+// opened through WithMode uses a single priority level; use WithHeap to
+// set the level count.
 func WithMode(m Mode) Option { return func(o *options) { o.mode = m } }
+
+// WithHeap selects heap semantics with the given number of priority
+// levels (minimum 1): EnqueuePri tags each element with a level in
+// [0, levels), and DequeueMin returns the oldest element of the lowest
+// non-empty level. Plain Enqueue/Dequeue return ErrWrongMode on a heap
+// client — the priority API is the only way to touch a heap, so a caller
+// can never silently drop priorities.
+func WithHeap(levels int) Option {
+	return func(o *options) {
+		o.mode = Heap
+		if levels < 1 {
+			levels = 1
+		}
+		o.heapLevels = levels
+	}
+}
 
 // WithAsync runs the fully asynchronous message-passing model (§I-B)
 // instead of the synchronous round model the evaluation uses.

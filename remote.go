@@ -31,6 +31,8 @@ const (
 type pendingOp struct {
 	f     *Future
 	enq   bool
+	pri   int32
+	priOp bool
 	blob  []byte
 	floor int64
 }
@@ -50,8 +52,9 @@ type pendingOp struct {
 // redelivered outcomes by per-session sequence — each future completes
 // exactly once.
 type remoteClient struct {
-	c    *Client
-	mode Mode
+	c          *Client
+	mode       Mode
+	heapLevels int
 
 	// Session configuration, immutable after open.
 	session     string
@@ -112,8 +115,15 @@ func dialRemote(o options) (*remoteClient, error) {
 	r.conn = conn
 	r.book = ack.Book
 	r.owner = ack.Index
-	if ack.Mode == "stack" {
+	switch ack.Mode {
+	case "stack":
 		r.mode = Stack
+	case "heap":
+		r.mode = Heap
+		r.heapLevels = int(ack.HeapLevels)
+		if r.heapLevels < 1 {
+			r.heapLevels = 1
+		}
 	}
 	if r.session != "" && ack.SessionSeq > r.seq {
 		// A fresh process adopting an existing durable session has no
@@ -250,6 +260,10 @@ func (r *remoteClient) dispatch(done wire.CliDone) {
 		// detection); its outcome is unknown.
 		f.err = fmt.Errorf("skueue: %s: %w", done.Err, ErrUnreachable)
 		f.indeterminate = true
+	} else if done.WrongMode {
+		// The server policed an operation flavour that does not match the
+		// cluster's mode; typed so callers can dispatch with errors.Is.
+		f.err = fmt.Errorf("%w: %s", ErrWrongMode, done.Err)
 	} else if failed {
 		// Submission failed server-side (e.g. no live local process): the
 		// operation never entered the queue, so it must surface as an
@@ -327,9 +341,9 @@ func (r *remoteClient) reconnect() bool {
 			op := ops[i]
 			var req any
 			if op.enq {
-				req = wire.CliEnqueue{Seq: seq, Value: op.blob, Ack: cursor}
+				req = wire.CliEnqueue{Seq: seq, Value: op.blob, Ack: cursor, Pri: op.pri, PriOp: op.priOp}
 			} else {
-				req = wire.CliDequeue{Seq: seq, Ack: cursor}
+				req = wire.CliDequeue{Seq: seq, Ack: cursor, PriOp: op.priOp}
 			}
 			if conn.Write(req) != nil {
 				break // the reader sees the same error and reconnects again
@@ -389,7 +403,7 @@ func (r *remoteClient) backoffFor(attempt int) time.Duration {
 }
 
 // submit sends one operation and registers its future.
-func (r *remoteClient) submit(kind seqcheck.Kind, proc int, value any) (*Future, error) {
+func (r *remoteClient) submit(kind seqcheck.Kind, proc int, pri int32, priOp bool, value any) (*Future, error) {
 	if proc != AnyProcess {
 		return nil, fmt.Errorf("process pinning is not available over the network: %w", ErrUnsupported)
 	}
@@ -410,15 +424,15 @@ func (r *remoteClient) submit(kind seqcheck.Kind, proc int, value any) (*Future,
 	r.seq++
 	seq := r.seq
 	f.id = seq
-	r.pending[seq] = &pendingOp{f: f, enq: kind == seqcheck.Enqueue, blob: blob, floor: r.maxRank}
+	r.pending[seq] = &pendingOp{f: f, enq: kind == seqcheck.Enqueue, pri: pri, priOp: priOp, blob: blob, floor: r.maxRank}
 	cursor := r.acked
 	conn := r.conn
 	r.mu.Unlock()
 	var req any
 	if kind == seqcheck.Enqueue {
-		req = wire.CliEnqueue{Seq: seq, Value: blob, Ack: cursor}
+		req = wire.CliEnqueue{Seq: seq, Value: blob, Ack: cursor, Pri: pri, PriOp: priOp}
 	} else {
-		req = wire.CliDequeue{Seq: seq, Ack: cursor}
+		req = wire.CliDequeue{Seq: seq, Ack: cursor, PriOp: priOp}
 	}
 	if err := conn.Write(req); err != nil {
 		if r.session != "" {
@@ -536,11 +550,12 @@ func openRemote(o options) (*Client, error) {
 		return nil, err
 	}
 	c := &Client{
-		mode:    r.mode,
-		rem:     r,
-		wake:    make(chan struct{}, 1),
-		quit:    make(chan struct{}),
-		stopped: make(chan struct{}),
+		mode:       r.mode,
+		heapLevels: r.heapLevels,
+		rem:        r,
+		wake:       make(chan struct{}, 1),
+		quit:       make(chan struct{}),
+		stopped:    make(chan struct{}),
 	}
 	close(c.stopped) // no autopilot to wait for on Close
 	r.c = c

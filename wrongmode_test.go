@@ -1,0 +1,229 @@
+package skueue
+
+// ErrWrongMode end-to-end: an operation whose flavour does not match the
+// cluster's mode fails with the typed sentinel at every layer — the
+// embedded client, the remote client's local check (mode learned from
+// the HelloAck), the server's own policing of raw frames, and a remote
+// future carrying the server's CliDone.WrongMode verdict.
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"skueue/internal/server"
+	"skueue/internal/wire"
+)
+
+func TestWrongModeEmbedded(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	heap, err := Open(WithProcesses(2), WithHeap(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer heap.Close()
+	if err := heap.Enqueue(ctx, "x"); !errors.Is(err, ErrWrongMode) {
+		t.Fatalf("plain Enqueue on heap client: %v, want ErrWrongMode", err)
+	}
+	if _, _, err := heap.Dequeue(ctx); !errors.Is(err, ErrWrongMode) {
+		t.Fatalf("plain Dequeue on heap client: %v, want ErrWrongMode", err)
+	}
+	if _, err := heap.EnqueueAsync(AnyProcess, "x"); !errors.Is(err, ErrWrongMode) {
+		t.Fatalf("EnqueueAsync on heap client: %v, want ErrWrongMode", err)
+	}
+	// The matching flavour works, and out-of-range levels are a distinct
+	// (non-wrong-mode) error.
+	if err := heap.EnqueuePri(ctx, 2, "ok"); err != nil {
+		t.Fatalf("EnqueuePri on heap client: %v", err)
+	}
+	if err := heap.EnqueuePri(ctx, 3, "over"); err == nil || errors.Is(err, ErrWrongMode) {
+		t.Fatalf("EnqueuePri level 3 of 3: %v, want a range error", err)
+	}
+
+	queue, err := Open(WithProcesses(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer queue.Close()
+	if err := queue.EnqueuePri(ctx, 0, "x"); !errors.Is(err, ErrWrongMode) {
+		t.Fatalf("EnqueuePri on queue client: %v, want ErrWrongMode", err)
+	}
+	if _, _, err := queue.DequeueMin(ctx); !errors.Is(err, ErrWrongMode) {
+		t.Fatalf("DequeueMin on queue client: %v, want ErrWrongMode", err)
+	}
+	if _, err := queue.DequeueMinAsync(AnyProcess); !errors.Is(err, ErrWrongMode) {
+		t.Fatalf("DequeueMinAsync on queue client: %v, want ErrWrongMode", err)
+	}
+}
+
+// startSingleMember boots a one-member loopback server in the given mode.
+func startSingleMember(t *testing.T, mode string, levels int) *server.Server {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.New(server.Config{
+		Listener: l, Seed: 5, Index: 0, Members: []string{l.Addr().String()},
+		Mode: mode, HeapLevels: levels,
+		Tick: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestWrongModeRemote: the remote client learns the cluster mode from
+// the HelloAck and polices the flavour locally, with the same sentinel.
+func TestWrongModeRemote(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	qs := startSingleMember(t, "queue", 0)
+	qc, err := Open(WithRemote(qs.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qc.Close()
+	if err := qc.EnqueuePri(ctx, 0, "x"); !errors.Is(err, ErrWrongMode) {
+		t.Fatalf("EnqueuePri via queue cluster: %v, want ErrWrongMode", err)
+	}
+	if _, _, err := qc.DequeueMin(ctx); !errors.Is(err, ErrWrongMode) {
+		t.Fatalf("DequeueMin via queue cluster: %v, want ErrWrongMode", err)
+	}
+
+	hs := startSingleMember(t, "heap", 3)
+	hc, err := Open(WithRemote(hs.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hc.Close()
+	if got := hc.HeapLevels(); got != 3 {
+		t.Fatalf("HeapLevels via remote heap cluster = %d, want 3", got)
+	}
+	if err := hc.Enqueue(ctx, "x"); !errors.Is(err, ErrWrongMode) {
+		t.Fatalf("plain Enqueue via heap cluster: %v, want ErrWrongMode", err)
+	}
+	if err := hc.EnqueuePri(ctx, 1, "ok"); err != nil {
+		t.Fatalf("EnqueuePri via heap cluster: %v", err)
+	}
+	if v, ok, err := hc.DequeueMin(ctx); err != nil || !ok || v != "ok" {
+		t.Fatalf("DequeueMin via heap cluster: (%v, %v, %v), want (ok, true, nil)", v, ok, err)
+	}
+}
+
+// TestWrongModeServerPolicing speaks raw wire frames, bypassing the
+// client's local check: the member itself must reject the mismatched
+// flavour with CliDone.WrongMode (deterministically — the verdict
+// depends only on the cluster's immutable mode, so it needs no
+// journaled identity).
+func TestWrongModeServerPolicing(t *testing.T) {
+	cases := []struct {
+		name   string
+		mode   string
+		levels int
+		op     any
+	}{
+		{"priority-op-vs-queue", "queue", 0, wire.CliEnqueue{Seq: 1, PriOp: true}},
+		{"plain-op-vs-heap", "heap", 2, wire.CliDequeue{Seq: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := startSingleMember(t, tc.mode, tc.levels)
+			nc, err := net.Dial("tcp", s.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer nc.Close()
+			nc.SetDeadline(time.Now().Add(15 * time.Second))
+			conn := wire.NewConn(nc)
+			if err := conn.Write(wire.Hello{Kind: "client"}); err != nil {
+				t.Fatal(err)
+			}
+			ack, err := conn.Read()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ha, ok := ack.(wire.HelloAck); !ok || ha.Mode != tc.mode {
+				t.Fatalf("handshake answer %#v, want HelloAck with mode %q", ack, tc.mode)
+			}
+			if err := conn.Write(tc.op); err != nil {
+				t.Fatal(err)
+			}
+			reply, err := conn.Read()
+			if err != nil {
+				t.Fatal(err)
+			}
+			done, ok := reply.(wire.CliDone)
+			if !ok {
+				t.Fatalf("reply %#v, want CliDone", reply)
+			}
+			if !done.WrongMode || done.Seq != 1 {
+				t.Fatalf("reply %+v, want Seq 1 with WrongMode set", done)
+			}
+		})
+	}
+}
+
+// TestWrongModeSurfacedThroughFuture: a CliDone carrying the server's
+// WrongMode verdict fails the matching future with the typed sentinel
+// (not the generic remote-failure error, and not indeterminate — the
+// operation definitively never executed).
+func TestWrongModeSurfacedThroughFuture(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		nc, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		conn := wire.NewConn(nc)
+		defer conn.Close()
+		if _, err := conn.Read(); err != nil { // Hello
+			return
+		}
+		if err := conn.Write(wire.HelloAck{Mode: "queue"}); err != nil {
+			return
+		}
+		for {
+			m, err := conn.Read()
+			if err != nil {
+				return
+			}
+			if enq, ok := m.(wire.CliEnqueue); ok {
+				conn.Write(wire.CliDone{Seq: enq.Seq, WrongMode: true,
+					Err: `operation flavour does not match cluster mode "queue"`})
+			}
+		}
+	}()
+
+	c, err := Open(WithRemote(lis.Addr().String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	f, err := c.EnqueueAsync(AnyProcess, "rejected")
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := f.Wait(ctx); err == nil {
+		t.Fatal("future succeeded for a WrongMode rejection")
+	}
+	if werr := f.Err(); !errors.Is(werr, ErrWrongMode) {
+		t.Fatalf("future error %v, want it to wrap ErrWrongMode", werr)
+	}
+	if f.Indeterminate() {
+		t.Fatal("WrongMode rejection marked indeterminate; the operation definitively never executed")
+	}
+}
