@@ -50,10 +50,19 @@ func TestRepoIsClean(t *testing.T) {
 	prog.Ann.Fields("lock", func(*types.Var, analysis.Annotation) { anchors["ranked locks"]++ })
 	prog.Ann.Types("discipline-seam", func(*types.TypeName, analysis.Annotation) { anchors["discipline-seam types"]++ })
 	prog.Ann.Types("discipline", func(*types.TypeName, analysis.Annotation) { anchors["discipline types"]++ })
+	prog.Ann.Types("snapshot-state", func(*types.TypeName, analysis.Annotation) { anchors["snapshot-state types"]++ })
+	prog.Ann.Funcs("snapshot-capture", func(*types.Func, analysis.Annotation) { anchors["snapshot-capture funcs"]++ })
+	prog.Ann.Funcs("snapshot-restore", func(*types.Func, analysis.Annotation) { anchors["snapshot-restore funcs"]++ })
+	prog.Ann.Fields("ephemeral", func(*types.Var, analysis.Annotation) { anchors["ephemeral fields"]++ })
+	prog.Ann.Fields("guarded-by", func(*types.Var, analysis.Annotation) { anchors["guarded-by fields"]++ })
+	prog.Ann.Funcs("owned-by", func(*types.Func, analysis.Annotation) { anchors["owned-by funcs"]++ })
+	prog.Ann.Funcs("locked", func(*types.Func, analysis.Annotation) { anchors["locked helpers"]++ })
 	for _, anchor := range []string{
 		"runner roots", "client-release funcs", "wire-payload funcs",
 		"wire-register funcs", "client-outcome types", "future types", "ranked locks",
 		"discipline-seam types", "discipline types",
+		"snapshot-state types", "snapshot-capture funcs", "snapshot-restore funcs",
+		"ephemeral fields", "guarded-by fields", "owned-by funcs", "locked helpers",
 	} {
 		if anchors[anchor] == 0 {
 			t.Errorf("no %s annotated anywhere in the tree; the corresponding analyzer is running vacuously", anchor)

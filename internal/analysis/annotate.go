@@ -32,6 +32,13 @@ var knownAnnotations = map[string]bool{
 	"awaits-future":     true,
 	"discipline-seam":   true,
 	"discipline":        true,
+	"snapshot-state":    true,
+	"snapshot-capture":  true,
+	"snapshot-restore":  true,
+	"ephemeral":         true,
+	"guarded-by":        true,
+	"owned-by":          true,
+	"locked":            true,
 	"ignore":            true,
 }
 

@@ -29,14 +29,29 @@ import (
 	"skueue/internal/analysis"
 )
 
+// Reporter is the slice of *testing.T the harness consumes. It exists so
+// the harness can be tested against a recording implementation: a golden
+// harness that silently swallows unmatched expectations or unexpected
+// diagnostics would quietly hollow out every analyzer suite built on it.
+// Implementations whose Fatal does not stop the goroutine (testing.T's
+// does, via runtime.Goexit) are safe: the harness returns after Fatal.
+type Reporter interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatal(args ...any)
+}
+
+var _ Reporter = (*testing.T)(nil)
+
 // Run loads testdata/src/<pkg> for each named package (listed in
 // dependency order if they import each other), runs the analyzer over
 // the resulting program, and checks diagnostics against want comments.
-func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+func Run(t Reporter, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
 	prog, err := load(testdata, pkgs)
 	if err != nil {
 		t.Fatal(err)
+		return
 	}
 	check(t, prog, analysis.Run(prog, []*analysis.Analyzer{a}))
 }
@@ -155,11 +170,12 @@ func quotedPrefix(s string) (string, error) {
 	return "", fmt.Errorf("unterminated quote")
 }
 
-func check(t *testing.T, prog *analysis.Program, got []analysis.Diagnostic) {
+func check(t Reporter, prog *analysis.Program, got []analysis.Diagnostic) {
 	t.Helper()
 	wants, err := expectations(prog)
 	if err != nil {
 		t.Fatal(err)
+		return
 	}
 	for _, d := range got {
 		text := fmt.Sprintf("[%s] %s", d.Analyzer, d.Message)

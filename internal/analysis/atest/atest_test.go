@@ -1,0 +1,93 @@
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+	"testing"
+
+	"skueue/internal/analysis"
+)
+
+// probe reports every function whose name starts with "bad" — a minimal
+// analyzer with fully predictable output, so the test can distinguish
+// the harness's verdicts from the analyzer's.
+var probe = &analysis.Analyzer{
+	Name: "probe",
+	Doc:  "test analyzer: reports functions named bad*",
+	Run: func(pass *analysis.Pass) {
+		for _, pkg := range pass.Prog.Pkgs {
+			for _, file := range pkg.Files {
+				for _, decl := range file.Decls {
+					if fn, ok := decl.(*ast.FuncDecl); ok && strings.HasPrefix(fn.Name.Name, "bad") {
+						pass.Reportf(fn.Pos(), "probe found %s", fn.Name.Name)
+					}
+				}
+			}
+		}
+	},
+}
+
+// recorder implements Reporter, collecting what the harness would have
+// failed the test with.
+type recorder struct {
+	errors []string
+	fatals []string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, fmt.Sprintf(format, args...))
+}
+func (r *recorder) Fatal(args ...any) {
+	r.fatals = append(r.fatals, fmt.Sprint(args...))
+}
+
+func (r *recorder) errorMatching(substr string) string {
+	for _, e := range r.errors {
+		if strings.Contains(e, substr) {
+			return e
+		}
+	}
+	return ""
+}
+
+// TestHarnessFlagsMismatches proves the golden harness itself fails on
+// both kinds of drift: a diagnostic with no want comment, and a want
+// comment no diagnostic matched. If either path went quiet, every
+// analyzer suite in the repo would still pass while checking nothing.
+func TestHarnessFlagsMismatches(t *testing.T) {
+	rec := &recorder{}
+	Run(rec, "testdata", probe, "selfcheck")
+	if len(rec.fatals) > 0 {
+		t.Fatalf("harness failed to load the fixture: %v", rec.fatals)
+	}
+	if len(rec.errors) != 2 {
+		t.Fatalf("harness reported %d errors, want exactly 2 (one unexpected, one unmatched):\n%s",
+			len(rec.errors), strings.Join(rec.errors, "\n"))
+	}
+	if e := rec.errorMatching("unexpected diagnostic"); e == "" || !strings.Contains(e, "badSurprise") {
+		t.Errorf("no 'unexpected diagnostic' error naming badSurprise:\n%s", strings.Join(rec.errors, "\n"))
+	}
+	if e := rec.errorMatching("expected diagnostic matching"); e == "" || !strings.Contains(e, "goodGhost") {
+		t.Errorf("no 'expected diagnostic matching' error for goodGhost's want comment:\n%s", strings.Join(rec.errors, "\n"))
+	}
+	// The matched pair must NOT produce an error — a harness that flags
+	// correct matches is as useless as one that misses drift.
+	if e := rec.errorMatching("badMatched"); e != "" {
+		t.Errorf("harness flagged the correctly matched diagnostic: %s", e)
+	}
+}
+
+// TestHarnessRejectsMalformedWant: a want comment that is not a quoted
+// pattern must abort the run (Fatal), not silently check nothing.
+func TestHarnessRejectsMalformedWant(t *testing.T) {
+	rec := &recorder{}
+	Run(rec, "testdata", probe, "malformedwant")
+	if len(rec.fatals) == 0 {
+		t.Fatal("harness accepted a malformed want comment")
+	}
+	if msg := rec.fatals[0]; !strings.Contains(msg, "malformed want") {
+		t.Errorf("fatal does not explain the malformed want comment: %s", msg)
+	}
+}

@@ -1,0 +1,7 @@
+// Package malformedwant carries a want comment without a quoted pattern;
+// the harness must refuse the whole run rather than ignore it.
+package malformedwant
+
+func ok() {} // want unquoted-pattern
+
+var _ = ok

@@ -1,0 +1,19 @@
+// Package selfcheck is the fixture for the harness's own test: the probe
+// analyzer reports every function whose name starts with "bad", so each
+// function below exercises one harness verdict.
+package selfcheck
+
+// badMatched is reported and its want comment matches: no harness error.
+func badMatched() {} // want `\[probe\] probe found badMatched`
+
+// badSurprise is reported but carries no want comment: the harness must
+// flag an unexpected diagnostic.
+func badSurprise() {}
+
+// goodGhost is never reported, so its want comment must surface as an
+// unmatched expectation.
+func goodGhost() {} // want "probe found goodGhost"
+
+var _ = badMatched
+var _ = badSurprise
+var _ = goodGhost

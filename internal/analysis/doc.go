@@ -30,6 +30,20 @@
 //     the seam, and the seam's package names the mode enum's constants
 //     only in the file declaring the seam, so `cfg.Mode == batch.Stack`
 //     special cases cannot creep back into the wave engine.
+//   - statecomplete: every field of a struct marked as snapshot state is
+//     either referenced (transitively, through helpers and interface
+//     implementations) by the struct's marked capture AND restore
+//     functions, or carries a justified //skueue:ephemeral marker — so a
+//     field added to recovery-critical state cannot silently be dropped
+//     from the member image (the earlyReplies/earlyAcks gap class). The
+//     image side is checked too: an image field no snapshot function
+//     reads is dead, and one that is captured but never restored (or
+//     vice versa) is half-wired.
+//   - guardedby: fields annotated with their guarding mutex are only
+//     accessed while that mutex is lexically held, from a helper marked
+//     //skueue:locked (whose call sites must hold the mutex), or inside
+//     a function marked //skueue:owned-by (single-owner phases like
+//     constructors and pre-Start restore).
 //
 // # Declaring invariants in source
 //
@@ -54,6 +68,21 @@
 //	//skueue:discipline-seam <type>  — interface: the mode-strategy seam;
 //	                                   the arg names the guarded mode enum
 //	//skueue:discipline              — type: one mode-strategy implementation
+//	//skueue:snapshot-state <Image>  — struct: survives restarts via the
+//	                                   named image struct
+//	//skueue:snapshot-capture <S...> — func: capture root for the named
+//	                                   snapshot-state structs
+//	//skueue:snapshot-restore <S...> — func: restore root for the named
+//	                                   snapshot-state structs
+//	//skueue:ephemeral -- reason     — field: justified as not surviving
+//	                                   a restart
+//	//skueue:guarded-by <mu>         — field: accessed only under the
+//	                                   sibling mutex field <mu> (or
+//	                                   <Type>.<mu> for another struct's)
+//	//skueue:locked <mu>             — method: called with the receiver's
+//	                                   <mu> held (checked at call sites)
+//	//skueue:owned-by <o> -- reason  — func: exclusive-owner phase; guarded
+//	                                   fields are accessible throughout
 //
 // A finding is silenced with a justified suppression on (or on the line
 // above) the offending line:

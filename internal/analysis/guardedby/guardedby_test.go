@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"skueue/internal/analysis/atest"
+	"skueue/internal/analysis/guardedby"
+)
+
+func TestGuardedBy(t *testing.T) {
+	atest.Run(t, "testdata", guardedby.Analyzer, "guarded")
+}

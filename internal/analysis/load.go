@@ -3,6 +3,7 @@ package analysis
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/build"
@@ -208,9 +209,12 @@ func checkPackage(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*
 }
 
 // CheckFiles type-checks one package's parsed files with a fresh
-// types.Info holding everything the analyzers consume. It is exported for
-// the golden-test loader (internal/analysis/atest), which builds programs
-// from testdata trees instead of `go list`.
+// types.Info holding everything the analyzers consume. On failure the
+// error lists every type error with its file:line position — a broken
+// tree usually has several, and the first alone rarely explains the
+// rest. It is exported for the golden-test loader
+// (internal/analysis/atest), which builds programs from testdata trees
+// instead of `go list`.
 func CheckFiles(fset *token.FileSet, imp types.Importer, path string, files []*ast.File) (*types.Package, *types.Info, error) {
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
@@ -219,9 +223,32 @@ func CheckFiles(fset *token.FileSet, imp types.Importer, path string, files []*a
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		Implicits:  make(map[ast.Node]types.Object),
 	}
-	conf := types.Config{Importer: imp}
+	var terrs []types.Error
+	conf := types.Config{
+		Importer: imp,
+		// Collecting instead of stopping makes Check report every error
+		// in the package, not just the first.
+		Error: func(err error) {
+			if te, ok := err.(types.Error); ok && !te.Soft {
+				terrs = append(terrs, te)
+			}
+		},
+	}
 	pkg, err := conf.Check(path, fset, files, info)
 	if err != nil {
+		if len(terrs) > 0 {
+			const maxShown = 10
+			var b strings.Builder
+			fmt.Fprintf(&b, "%d type error(s):", len(terrs))
+			for i, te := range terrs {
+				if i == maxShown {
+					fmt.Fprintf(&b, "\n\t... and %d more", len(terrs)-maxShown)
+					break
+				}
+				fmt.Fprintf(&b, "\n\t%s: %s", fset.Position(te.Pos), te.Msg)
+			}
+			return nil, nil, errors.New(b.String())
+		}
 		return nil, nil, err
 	}
 	return pkg, info, nil

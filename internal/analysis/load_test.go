@@ -2,6 +2,8 @@ package analysis
 
 import (
 	"path/filepath"
+	"regexp"
+	"strings"
 	"testing"
 )
 
@@ -26,5 +28,37 @@ func TestLoadRepo(t *testing.T) {
 		if prog.Package(want) == nil {
 			t.Errorf("package %s not loaded", want)
 		}
+	}
+}
+
+// TestLoadBrokenPackage: a package that fails to type-check must come
+// back as an error listing EVERY type error with its file:line position —
+// the deliberately broken fixture has three, and an opaque or
+// first-error-only failure would leave the operator hunting the rest.
+func TestLoadBrokenPackage(t *testing.T) {
+	dir, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(dir, "./testdata/src/broken")
+	if err == nil {
+		t.Fatal("loading a package with type errors succeeded")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "type-checking") || !strings.Contains(msg, "3 type error(s)") {
+		t.Errorf("error does not summarize the failure: %v", msg)
+	}
+	pos := regexp.MustCompile(`broken/broken\.go:(\d+):\d+`)
+	lines := make(map[string]bool)
+	for _, m := range pos.FindAllStringSubmatch(msg, -1) {
+		lines[m[1]] = true
+	}
+	for _, want := range []string{"7", "11", "15"} {
+		if !lines[want] {
+			t.Errorf("error is missing the type error at broken.go:%s:\n%v", want, msg)
+		}
+	}
+	if !strings.Contains(msg, "nowhere") {
+		t.Errorf("error does not carry the type checker's message: %v", msg)
 	}
 }

@@ -1,0 +1,12 @@
+package statecomplete_test
+
+import (
+	"testing"
+
+	"skueue/internal/analysis/atest"
+	"skueue/internal/analysis/statecomplete"
+)
+
+func TestStateComplete(t *testing.T) {
+	atest.Run(t, "testdata", statecomplete.Analyzer, "snap")
+}

@@ -1,0 +1,16 @@
+// Package broken deliberately fails to type-check: the loader's
+// regression test asserts every error below surfaces with its file:line
+// position instead of an opaque first-error-only failure.
+package broken
+
+func undefinedName() int {
+	return nowhere // line 7: undefined identifier
+}
+
+func mismatch() string {
+	return 42 // line 11: int returned as string
+}
+
+func badCall() {
+	undefinedName(1, 2) // line 15: too many arguments
+}

@@ -118,30 +118,41 @@ func (m *Metrics) AvgRouteHops() float64 {
 // nodes; the engine is absent, simulation-only methods (Step, Run, Drain,
 // Engine, ...) must not be called, and counters such as Issued, Finished
 // and the history are member-local.
+//
+// In member mode a Cluster survives fail-stop crashes through
+// MemberSnapshot (snapshot.go); statecomplete enforces field coverage.
+//
+//skueue:snapshot-state MemberSnapshot
 type Cluster struct {
-	cfg      Config
-	eng      *sim.Engine       // simulator backend; nil in member mode
-	net      transport.Network // message delivery (the engine, or a TCP peer)
-	reg      transport.Registry
-	labels   xrand.Hasher
-	keyHash  xrand.Hasher
-	procs    []*Process
-	nodes    map[transport.NodeID]*Node
-	hist     *seqcheck.History
+	cfg     Config
+	eng     *sim.Engine       // simulator backend; nil in member mode
+	net     transport.Network // message delivery (the engine, or a TCP peer)
+	reg     transport.Registry
+	labels  xrand.Hasher
+	keyHash xrand.Hasher
+	procs   []*Process
+	nodes   map[transport.NodeID]*Node
+	hist    *seqcheck.History
+	//skueue:ephemeral -- observability counters; a restart resets metrics, not queue state
 	metrics  Metrics
 	issued   int64
 	finished int64
 	// reqBase tags this member's request IDs so they stay globally unique
 	// across a networked cluster; zero under the simulator.
-	reqBase    uint64
-	reqSeq     uint64
-	nextProc   int32
+	reqBase  uint64
+	reqSeq   uint64
+	nextProc int32
+	//skueue:ephemeral -- completion callback, rewired by the hosting layer after restore
 	onComplete func(seqcheck.Completion)
-	onPutAck   func(reqID uint64)
+	//skueue:ephemeral -- put-ack callback, rewired by the hosting layer after restore
+	onPutAck func(reqID uint64)
 	// onFire reports committed wave fires to the hosting layer (operation
 	// journal wave boundaries for exactly-once restart; see replay.go).
+	//
+	//skueue:ephemeral -- wave-fire callback, rewired by the hosting layer after restore
 	onFire func(node transport.NodeID, waveSeq int64)
-	log    func(format string, args ...any)
+	//skueue:ephemeral -- logger, rewired via SetLogf after restore
+	log func(format string, args ...any)
 }
 
 // New builds and wires a cluster. All processes given in the config are

@@ -168,9 +168,12 @@ func (queueDisc) check(h *seqcheck.History) error { return seqcheck.Check(seqche
 // through the residual-word combiner, ticketed stage-4 operations with
 // the completion wait, and mandatory put acknowledgments. The combiner
 // and the outstanding-ack accounting are private to the strategy; the
-// member snapshot carries them through capture/restoreImage.
+// member snapshot carries them through capture/restoreImage, and
+// statecomplete holds the strategy to the same field-coverage rule as
+// the node itself.
 //
 //skueue:discipline
+//skueue:snapshot-state NodeImage
 type stackDisc struct {
 	modeDisc
 	combiner stack.Combiner
@@ -310,6 +313,7 @@ func (*stackDisc) priLevels() int { return 1 }
 
 func (*stackDisc) check(h *seqcheck.History) error { return seqcheck.Check(seqcheck.Stack, h) }
 
+//skueue:snapshot-capture stackDisc
 func (d *stackDisc) capture(n *Node, img *NodeImage) {
 	pops, pushes := d.combiner.Snapshot()
 	img.Combiner = CombinerImage{Pops: stackOpImages(pops, true), Pushes: stackOpImages(pushes, false)}
@@ -318,8 +322,13 @@ func (d *stackDisc) capture(n *Node, img *NodeImage) {
 		img.AwaitingAcks = append(img.AwaitingAcks, reqID)
 	}
 	sort.Slice(img.AwaitingAcks, func(i, j int) bool { return img.AwaitingAcks[i] < img.AwaitingAcks[j] })
+	for reqID := range d.earlyAcks {
+		img.EarlyAcks = append(img.EarlyAcks, reqID)
+	}
+	sort.Slice(img.EarlyAcks, func(i, j int) bool { return img.EarlyAcks[i] < img.EarlyAcks[j] })
 }
 
+//skueue:snapshot-restore stackDisc
 func (d *stackDisc) restoreImage(n *Node, img *NodeImage) {
 	d.combiner.Restore(stackOpsFromImages(img.Combiner.Pops), stackOpsFromImages(img.Combiner.Pushes))
 	d.outstanding = img.Outstanding
@@ -327,6 +336,12 @@ func (d *stackDisc) restoreImage(n *Node, img *NodeImage) {
 		d.awaitingAcks = make(map[uint64]struct{}, len(img.AwaitingAcks))
 		for _, reqID := range img.AwaitingAcks {
 			d.awaitingAcks[reqID] = struct{}{}
+		}
+	}
+	if len(img.EarlyAcks) > 0 {
+		d.earlyAcks = make(map[uint64]struct{}, len(img.EarlyAcks))
+		for _, reqID := range img.EarlyAcks {
+			d.earlyAcks[reqID] = struct{}{}
 		}
 	}
 }

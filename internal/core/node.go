@@ -59,6 +59,12 @@ type heldServe struct {
 // Node is one virtual node of the linearized De Bruijn network running the
 // Skueue protocol. A process emulates three of them (§II-A); each is an
 // independent transport.Handler.
+//
+// Fail-stop recovery images every field through NodeImage (snapshot.go);
+// the statecomplete analyzer enforces that a field is either part of the
+// capture/restore paths or carries an explicit ephemeral justification.
+//
+//skueue:snapshot-state NodeImage
 type Node struct {
 	cl   *Cluster
 	self ldb.Ref
@@ -74,8 +80,10 @@ type Node struct {
 	// only expected once that sibling announced its integration; joiners
 	// of a process can be integrated in different update phases, and
 	// waiting for a not-yet-integrated sibling would deadlock the wave.
-	sibIn        [3]bool
-	childCache   []ldb.Ref
+	sibIn [3]bool
+	//skueue:ephemeral -- derived route cache, recomputed from the topology on first use
+	childCache []ldb.Ref
+	//skueue:ephemeral -- validity bit of childCache, reset with it
 	childCacheOK bool
 
 	// disc is the mode strategy (queue, stack or heap): every

@@ -112,6 +112,14 @@ type FoldedWaveImage struct {
 	WaveSeq int64
 }
 
+// EarlyReplyImage is one parked link-replayed GET reply (member mode):
+// it arrived before the journal replay re-registered its GET, and its
+// delivery cursor has already advanced, so it exists nowhere but here.
+type EarlyReplyImage struct {
+	ReqID uint64
+	Entry dht.Entry
+}
+
 // NodeImage captures one virtual node.
 type NodeImage struct {
 	Self, Pred, Succ ldb.Ref
@@ -157,6 +165,14 @@ type NodeImage struct {
 	// a processing batch, which recognizes a restarted child's re-sent
 	// aggregates (see Node.foldedWaves).
 	FoldedWaves []FoldedWaveImage
+	// EarlyReplies are the parked replies of Node.earlyReplies, and
+	// EarlyAcks the stack strategy's analogous parked put-acks
+	// (stackDisc.earlyAcks), both sorted by request ID. A snapshot cut
+	// inside a restart-replay window must carry them: their link
+	// delivery cursors have already advanced, so dropping them here
+	// would lose the completions for good on a second crash.
+	EarlyReplies []EarlyReplyImage
+	EarlyAcks    []uint64
 
 	LastEpoch    int64
 	EpochCounter int64
@@ -293,6 +309,8 @@ func (n *Node) snapshottable() bool {
 // (tcp.Peer.DoSync), where no handler is concurrently mutating node
 // state. It fails with ErrNotQuiescent while any local node is inside a
 // join/leave handshake.
+//
+//skueue:snapshot-capture Cluster Node
 func (cl *Cluster) SnapshotMember() (*MemberSnapshot, error) {
 	if !cl.memberMode() {
 		return nil, errors.New("core: only networked members snapshot (the simulator has no crashes)")
@@ -355,6 +373,10 @@ func (cl *Cluster) SnapshotMember() (*MemberSnapshot, error) {
 			img.FoldedWaves = append(img.FoldedWaves, FoldedWaveImage{From: from, WaveSeq: wave})
 		}
 		sort.Slice(img.FoldedWaves, func(i, j int) bool { return img.FoldedWaves[i].From < img.FoldedWaves[j].From })
+		for reqID, reply := range n.earlyReplies {
+			img.EarlyReplies = append(img.EarlyReplies, EarlyReplyImage{ReqID: reqID, Entry: reply.Entry})
+		}
+		sort.Slice(img.EarlyReplies, func(i, j int) bool { return img.EarlyReplies[i].ReqID < img.EarlyReplies[j].ReqID })
 		img.Parked = parkedImage(n.store)
 		reqIDs := make([]uint64, 0, len(n.pendingGets))
 		for reqID := range n.pendingGets {
@@ -389,6 +411,8 @@ func parkedImage(s *dht.Store) []dht.ParkedEntry {
 // the member resumes exactly where the image was cut. The transport must
 // be restored to the matching state (tcp.Peer.RestoreState) so peers
 // replay everything the image misses.
+//
+//skueue:snapshot-restore Cluster Node
 func RestoreMember(cfg Config, snap *MemberSnapshot, net transport.Network) (*Cluster, error) {
 	reg, ok := net.(transport.Registry)
 	if !ok {
@@ -449,6 +473,12 @@ func RestoreMember(cfg Config, snap *MemberSnapshot, net transport.Network) (*Cl
 			n.foldedWaves = make(map[transport.NodeID]int64, len(img.FoldedWaves))
 			for _, sw := range img.FoldedWaves {
 				n.foldedWaves[sw.From] = sw.WaveSeq
+			}
+		}
+		if len(img.EarlyReplies) > 0 {
+			n.earlyReplies = make(map[uint64]getReply, len(img.EarlyReplies))
+			for _, er := range img.EarlyReplies {
+				n.earlyReplies[er.ReqID] = getReply{ReqID: er.ReqID, Entry: er.Entry}
 			}
 		}
 		for _, ent := range img.Entries {

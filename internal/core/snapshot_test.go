@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"skueue/internal/batch"
+	"skueue/internal/dht"
 	"skueue/internal/transport"
 	"skueue/internal/xrand"
 )
@@ -208,5 +209,105 @@ func TestMemberSnapshotStackRoundTrip(t *testing.T) {
 	}
 	if got := cl2.TotalStored(); got != 0 {
 		t.Fatalf("%d elements left after full drain", got)
+	}
+}
+
+// roundTrip pushes a snapshot through the gob codec (the on-disk
+// representation) so the restored state went through exactly what a
+// restart sees.
+func roundTrip(t *testing.T, snap *MemberSnapshot) *MemberSnapshot {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var decoded MemberSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&decoded); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return &decoded
+}
+
+// TestSnapshotCarriesEarlyReplies is the regression test for a recovery
+// gap the statecomplete analyzer surfaced: a GET reply parked in
+// Node.earlyReplies during a restart-replay window (delivered, cursor
+// advanced, GET not yet re-registered by the journal replay) was not
+// part of the member image. A snapshot cut in that window followed by a
+// second crash lost the completion for good.
+func TestSnapshotCarriesEarlyReplies(t *testing.T) {
+	cfg := Config{Processes: 1, Seed: 3}
+	net1 := newMemNet(t)
+	cl, err := NewMember(cfg, 0, []int32{0}, net1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Park a reply the way the restart-replay window does: the link
+	// replayed a getReply whose GET has not been re-injected yet.
+	var n *Node
+	for _, cand := range cl.nodes {
+		n = cand
+		break
+	}
+	ent := dht.Entry{Pos: 7, Ticket: 1, Elem: dht.Element{}, Blob: []byte("held")}
+	n.earlyReplies = map[uint64]getReply{42: {ReqID: 42, Entry: ent}}
+
+	snap, err := cl.SnapshotMember()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	net2 := newMemNet(t)
+	cl2, err := RestoreMember(cfg, roundTrip(t, snap), net2)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	n2 := cl2.nodes[n.self.ID]
+	if n2 == nil {
+		t.Fatalf("restored cluster lost node %v", n.self.ID)
+	}
+	got, ok := n2.earlyReplies[42]
+	if !ok {
+		t.Fatalf("restored node dropped the parked early reply; a second crash would lose the completion")
+	}
+	if got.Entry.Pos != ent.Pos || !bytes.Equal(got.Entry.Blob, ent.Blob) {
+		t.Fatalf("restored early reply = %+v, want entry %+v", got, ent)
+	}
+}
+
+// TestStackSnapshotCarriesEarlyAcks is the stack-mode twin: a put-ack
+// parked in stackDisc.earlyAcks (link-replayed ahead of the journal
+// replay re-registering its PUT) must survive the snapshot, or the
+// re-registered PUT waits for an ack that never comes again.
+func TestStackSnapshotCarriesEarlyAcks(t *testing.T) {
+	cfg := Config{Processes: 1, Seed: 5, Mode: batch.Stack}
+	net1 := newMemNet(t)
+	cl, err := NewMember(cfg, 0, []int32{0}, net1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n *Node
+	for _, cand := range cl.nodes {
+		n = cand
+		break
+	}
+	disc := n.disc.(*stackDisc)
+	disc.earlyAcks = map[uint64]struct{}{99: {}, 7: {}}
+
+	snap, err := cl.SnapshotMember()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	net2 := newMemNet(t)
+	cl2, err := RestoreMember(cfg, roundTrip(t, snap), net2)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	disc2 := cl2.nodes[n.self.ID].disc.(*stackDisc)
+	if len(disc2.earlyAcks) != 2 {
+		t.Fatalf("restored stack strategy has %d parked acks, want 2", len(disc2.earlyAcks))
+	}
+	for _, reqID := range []uint64{7, 99} {
+		if _, ok := disc2.earlyAcks[reqID]; !ok {
+			t.Errorf("parked ack for PUT %d lost across the snapshot", reqID)
+		}
 	}
 }

@@ -170,30 +170,45 @@ type opJournal struct {
 	// immediately regardless of what the disk is doing.
 	//
 	//skueue:lock 44
-	mu         sync.Mutex
-	buf        []byte
-	releases   []journalRelease
-	stagedOps  int
+	mu sync.Mutex
+	//skueue:guarded-by mu
+	buf []byte
+	//skueue:guarded-by mu
+	releases []journalRelease
+	//skueue:guarded-by mu
+	stagedOps int
+	//skueue:guarded-by mu
 	firstStage time.Time // when the open batch received its first record
-	urgent     bool      // a barrier or shutdown wants the batch flushed now
-	closed     bool
-	failed     error // sticky: set on the first write/fsync error
+	//skueue:guarded-by mu
+	urgent bool // a barrier or shutdown wants the batch flushed now
+	//skueue:guarded-by mu
+	closed bool
+	//skueue:guarded-by mu
+	failed error // sticky: set on the first write/fsync error
 	// logical is durable plus the staged bytes: the file length as if
 	// everything staged were already written. offset() hands it out as
 	// the compaction boundary of a snapshot capture — staging happens on
 	// the runner goroutine, so reading it inside the capture's DoSync
 	// still yields a precise cut (see offset).
+	//
+	//skueue:guarded-by mu
 	logical int64
 	// Lazily flushed wave boundaries: lastFire is the newest committed
 	// fire per node (in memory only), lastMark the newest marker value
 	// actually staged for the node.
+	//
+	//skueue:guarded-by mu
 	lastFire map[transport.NodeID]int64
+	//skueue:guarded-by mu
 	lastMark map[transport.NodeID]int64
 	// The sequence lease (see the package comment): request sequences
 	// below leaseDurable are safe to issue — a ceiling at or above them
 	// is on stable storage — and leasePending is the highest ceiling
 	// staged so far (what the next snapshot captures).
+	//
+	//skueue:guarded-by mu
 	leaseDurable uint64
+	//skueue:guarded-by mu
 	leasePending uint64
 
 	// wmu guards the file side: the handle, the durable length, each
@@ -204,8 +219,10 @@ type opJournal struct {
 	// whole point.
 	//
 	//skueue:lock 40 io
-	wmu     sync.Mutex
-	f       *os.File
+	wmu sync.Mutex
+	//skueue:guarded-by wmu
+	f *os.File
+	//skueue:guarded-by wmu
 	durable int64
 
 	wake chan struct{}
@@ -416,6 +433,8 @@ func (j *opJournal) appendDone(reqID uint64, done wire.CliDone, release journalR
 }
 
 // unusableLocked returns the error appends must fail with, if any.
+//
+//skueue:locked mu
 func (j *opJournal) unusableLocked() error {
 	if j.failed != nil {
 		return j.failed
@@ -428,6 +447,8 @@ func (j *opJournal) unusableLocked() error {
 
 // stageLocked adds frames and a release to the open batch (mu held by the
 // caller; unlocks it) and kicks the flush machinery.
+//
+//skueue:locked mu
 func (j *opJournal) stageLocked(frames []byte, release journalRelease) {
 	if len(j.buf) == 0 && len(j.releases) == 0 {
 		j.firstStage = time.Now()

@@ -153,6 +153,8 @@ func BootstrapPids(index, members, procs int) []int32 {
 }
 
 // Server is a running cluster member.
+//
+//skueue:snapshot-state diskSnapshot
 type Server struct {
 	cfg  Config
 	lis  net.Listener
@@ -162,22 +164,37 @@ type Server struct {
 	logf func(string, ...any)
 
 	//skueue:lock 20
-	mu      sync.Mutex
+	//skueue:ephemeral -- mutex; its zero value is ready after restore
+	mu sync.Mutex
+	//skueue:guarded-by mu
+	//skueue:ephemeral -- in-flight ops tied to live connections; crashed clients re-present or re-dial
 	waiters map[uint64]*waiter // reqID -> pending client op (ephemeral)
-	rr      int                // round-robin over local procs
+	//skueue:guarded-by mu
+	//skueue:ephemeral -- round-robin cursor; pure load balancing
+	rr int // round-robin over local procs
 	// Durable client sessions: sessions indexes them by client-chosen ID,
 	// sessRefs maps an in-flight session operation's request ID back to
 	// its session and per-session sequence (session ops never use
 	// waiters — their delivery outlives any one connection).
+	//
+	//skueue:guarded-by mu
 	sessions map[string]*durSession
+	//skueue:guarded-by mu
 	sessRefs map[uint64]sessRef
 	// Seed-side admission state (member 0 only).
+	//
+	//skueue:guarded-by mu
 	nextIndex int32
-	nextPid   int32
-	closed    bool
+	//skueue:guarded-by mu
+	nextPid int32
+	//skueue:guarded-by mu
+	//skueue:ephemeral -- shutdown latch; a restored server is by definition not closed
+	closed bool
 	// procsTotal is the bootstrap process count, persisted in snapshots.
 	procsTotal int
 	// snapQuit stops the snapshot loop (nil when StateDir is unset).
+	//
+	//skueue:ephemeral -- snapshot-loop lifecycle channel, recreated by Start
 	snapQuit chan struct{}
 	// snapMu serializes SnapshotNow: the capture-write-release sequence
 	// must be atomic, or a slow periodic snapshot could overwrite a newer
@@ -186,12 +203,16 @@ type Server struct {
 	// s.mu and runs DoSync inside, so snapMu ranks below everything.
 	//
 	//skueue:lock 10 io
+	//skueue:ephemeral -- mutex; its zero value is ready after restore
 	snapMu sync.Mutex
 	// lastSnapStats summarizes the in-flight operations of the newest
 	// written snapshot (under snapMu; tests assert a kill happened with a
 	// non-empty combiner residual through it).
+	//
+	//skueue:guarded-by snapMu
 	lastSnapStats core.SnapshotStats
-	snapCount     int64
+	//skueue:guarded-by snapMu
+	snapCount int64
 
 	// journal is the durable operation journal (nil when StateDir is
 	// unset); see journal.go. plan is the restart re-submission schedule,
@@ -208,7 +229,8 @@ type Server struct {
 	// drained: from then on fresh client operations cannot change the
 	// shape of a wave the replay must reproduce, so the submit gate stops
 	// parking them. Both runner-confined after Start.
-	replayPeers     []int32
+	replayPeers []int32
+	//skueue:ephemeral -- per-boot replay progress latch; every restore starts unconverged
 	replayConverged bool
 
 	// sendsParked counts outbound peer frames held by the WAL-before-send
@@ -224,12 +246,21 @@ type Server struct {
 	// operation still completes eventually — resolve logs, counts and
 	// best-effort journals the outcome instead of dropping it silently,
 	// keeping the on-disk trace truthful about what executed (under mu).
-	orphans        map[uint64]bool
-	orphanFailed   int64 // ops whose journal append failed after injection
+	//
+	//skueue:guarded-by mu
+	//skueue:ephemeral -- accounting for already-indeterminate outcomes; the client contract needs no cross-restart memory of them
+	orphans map[uint64]bool
+	//skueue:guarded-by mu
+	//skueue:ephemeral -- diagnostic counter
+	orphanFailed int64 // ops whose journal append failed after injection
+	//skueue:guarded-by mu
+	//skueue:ephemeral -- diagnostic counter
 	orphanResolved int64 // orphaned ops whose completion later surfaced
 
 	// onEarly catches completions that fire inside an inject call, before
 	// the waiter is registered (stack local combining). Runner-confined.
+	//
+	//skueue:ephemeral -- injection-window callback, installed per submit call
 	onEarly func(reqID uint64, done wire.CliDone)
 
 	// deferring parks PARTNER completions that resolve inside an inject
@@ -241,16 +272,25 @@ type Server struct {
 	// operation that caused it is lost from the journal. Runner-confined,
 	// like onEarly; submit drains deferredDones right after staging the
 	// op record.
-	deferring     bool
+	//
+	//skueue:ephemeral -- true only inside an inject call; a snapshot's DoSync never runs mid-inject
+	deferring bool
+	//skueue:ephemeral -- drained at the end of the inject call that parked them; empty whenever a capture runs
 	deferredDones []deferredDone
 
 	// conns tracks accepted connections so Close can unblock their
 	// handlers (the remote end may outlive us); cliConns is the subset
 	// currently serving the remote client protocol (CloseClientConns
 	// severs only those, sparing the peer links).
-	conns    map[net.Conn]struct{}
+	//
+	//skueue:guarded-by mu
+	//skueue:ephemeral -- live connections; nothing to restore, clients re-dial
+	conns map[net.Conn]struct{}
+	//skueue:guarded-by mu
+	//skueue:ephemeral -- live connections; nothing to restore, clients re-dial
 	cliConns map[*wire.Conn]struct{}
 
+	//skueue:ephemeral -- goroutine bookkeeping for Close
 	wg sync.WaitGroup
 }
 
@@ -267,12 +307,17 @@ type waiter struct {
 // connection, nil while the client is disconnected. All fields are
 // guarded by Server.mu; outcome delivery itself goes through the
 // attached session's writer like any other frame.
+//
+//skueue:snapshot-state sessionImage
 type durSession struct {
-	id    string
+	id string
+	//skueue:guarded-by Server.mu
 	acked uint64
 	// ops maps in-flight per-session sequences to their request IDs: a
 	// re-presented operation found here is already executing and needs no
 	// second injection.
+	//
+	//skueue:guarded-by Server.mu
 	ops map[uint64]uint64
 	// outcomes retains completed operations' CliDone frames by
 	// per-session sequence. Entries are inserted when the outcome record
@@ -281,14 +326,21 @@ type durSession struct {
 	// when the client's cursor passes them; redelivery to a resuming
 	// connection runs a journal barrier first, so nothing leaves before
 	// its record is durable.
+	//
+	//skueue:guarded-by Server.mu
 	outcomes map[uint64]wire.CliDone
 	// cur is the attached connection; a fresh Hello for the same session
 	// detaches (and closes) the previous one.
+	//
+	//skueue:guarded-by Server.mu
+	//skueue:ephemeral -- attached connection; a resuming client re-attaches with a fresh Hello
 	cur *session
 	// journaled marks the session's own journal record staged (ahead of
 	// its first op record); sessions restored from disk count as
 	// journaled — the snapshot or the surviving journal prefix is their
 	// durable record.
+	//
+	//skueue:guarded-by Server.mu
 	journaled bool
 }
 
@@ -724,6 +776,7 @@ func (s *Server) peerDown(idx int32) {
 	}
 }
 
+//skueue:owned-by startup -- runs before the transport starts; no other goroutine can see the server yet
 func (s *Server) startBootstrap() error {
 	if len(s.cfg.Members) == 0 {
 		return errors.New("server: bootstrap needs at least one member address")
@@ -863,6 +916,9 @@ func (s *Server) startJoining() error {
 // the cluster re-routes to it; without, it relies on the snapshotted
 // address book still being accurate (a restart on the same addresses,
 // e.g. the seed member itself).
+//
+//skueue:snapshot-restore Server
+//skueue:owned-by startup -- runs before the transport starts; no other goroutine can see the server yet
 func (s *Server) startRestore(disk *diskSnapshot, journalRecs []journalRecord) error {
 	s.cfg.Seed = disk.Seed
 	s.cfg.UpdateThreshold = disk.UpdateThreshold
@@ -946,6 +1002,9 @@ func (s *Server) startRestore(disk *diskSnapshot, journalRecs []journalRecord) e
 // not a re-execution). Runs before the transport starts, so no locking
 // is needed; restored sessions count as journaled (their record is the
 // snapshot itself or the surviving journal prefix).
+//
+//skueue:snapshot-restore durSession
+//skueue:owned-by startup -- runs before the transport starts; no other goroutine can see the session table yet
 func (s *Server) restoreSessions(images []sessionImage, recs []journalRecord) {
 	ref := make(map[uint64]sessRef) // reqID -> session/cliSeq, for done records
 	ensure := func(id string) *durSession {
@@ -1054,7 +1113,10 @@ type diskSnapshot struct {
 const snapshotFile = "snapshot.gob"
 
 // loadSnapshot reads the member snapshot from dir; (nil, nil) when none
-// exists yet (first boot).
+// exists yet (first boot). It is the load half of the restore path
+// (startRestore consumes what it validates).
+//
+//skueue:snapshot-restore Server
 func loadSnapshot(dir string) (*diskSnapshot, error) {
 	// The captured link frames carry core protocol messages in their
 	// interface-typed payloads; the decoder needs them registered before
@@ -1138,6 +1200,8 @@ func sweepStaleTemps(dir string, logf func(string, ...any)) {
 // prune their send buffers only once the snapshot is on disk). It returns
 // core.ErrNotQuiescent — and changes nothing — while churn is mid-flight;
 // the periodic loop just retries next interval.
+//
+//skueue:snapshot-capture Server
 func (s *Server) SnapshotNow() error {
 	if s.cfg.StateDir == "" {
 		return errors.New("server: no state dir configured")
@@ -1226,6 +1290,8 @@ func (s *Server) SnapshotNow() error {
 // captureSessions deep-copies the durable session table for a snapshot.
 // Runs inside the capture's DoSync; s.mu still guards the maps against
 // cursor advances racing in from connection handlers.
+//
+//skueue:snapshot-capture durSession
 func (s *Server) captureSessions() []sessionImage {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -1233,9 +1299,9 @@ func (s *Server) captureSessions() []sessionImage {
 		return nil
 	}
 	out := make([]sessionImage, 0, len(s.sessions))
-	for id, sd := range s.sessions {
+	for _, sd := range s.sessions {
 		img := sessionImage{
-			ID:       id,
+			ID:       sd.id,
 			Acked:    sd.acked,
 			Ops:      make(map[uint64]uint64, len(sd.ops)),
 			Outcomes: make(map[uint64]wire.CliDone, len(sd.outcomes)),

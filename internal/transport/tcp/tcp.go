@@ -147,6 +147,8 @@ type nodeState struct {
 // target member is, and a state capture (CaptureState) can copy the
 // not-yet-delivered frames — queued and unacknowledged alike — without
 // draining anything.
+//
+//skueue:snapshot-state LinkState
 type link struct {
 	idx  int32
 	quit chan struct{}
@@ -155,16 +157,26 @@ type link struct {
 	// (see route's unlock-before-send comment).
 	//
 	//skueue:lock 60
-	bmu     sync.Mutex
-	queue   []any // accepted, not yet transmitted (unsequenced)
+	bmu sync.Mutex
+	//skueue:guarded-by bmu
+	queue []any // accepted, not yet transmitted (unsequenced)
+	//skueue:guarded-by bmu
 	unacked []any // transmitted with a sequence, awaiting acknowledgment
+	//skueue:guarded-by bmu
+	//skueue:ephemeral -- per-boot sequence counter; restored frames get fresh sequences under the new epoch
 	nextSeq uint64
 	// Cumulative-ack intake, coalesced to the maximum seen.
+	//
+	//skueue:guarded-by bmu
+	//skueue:ephemeral -- per-boot acknowledgment cursor; the restore handshake re-establishes it
 	pendingAck uint64
 	// deadConns records connections whose reader goroutine saw them die,
 	// so an idle link still replays frames lost to a reset. A set, not a
 	// channel: a dropped notification would leave the link blocked on a
 	// dead connection forever.
+	//
+	//skueue:guarded-by bmu
+	//skueue:ephemeral -- live connection bookkeeping; no connection survives a restart
 	deadConns map[*wire.Conn]bool
 
 	// notify wakes the link goroutine for new frames, acknowledgments or
@@ -180,12 +192,16 @@ type link struct {
 // acknowledgment release has reached (== delivered unless AckGate holds
 // acks back for the write-ahead snapshot), and lastSent the highest
 // acknowledgment actually transmitted.
+//
+//skueue:snapshot-state RecvEntry
 type recvState struct {
-	boot      int64
-	enqueued  uint64
+	boot     int64
+	enqueued uint64
+	//skueue:guarded-by Peer.mu
 	delivered uint64
 	acked     uint64
-	lastSent  uint64
+	//skueue:ephemeral -- transmit-side ack dedupe; the first ack of the new boot re-seeds it
+	lastSent uint64
 }
 
 // RecvEntry is one sender's durable receive cursor, as captured into and
@@ -221,13 +237,19 @@ type PeerState struct {
 }
 
 // Peer is one cluster member's transport endpoint.
+//
+//skueue:snapshot-state PeerState
 type Peer struct {
 	opts Options
-	rng  *xrand.RNG
+	//skueue:ephemeral -- fault-injection randomness, reseeded per boot; determinism is per-run, not cross-restart
+	rng *xrand.RNG
 
 	// Runner-confined state (nodes, clock, dynamic allocator). Register is
 	// additionally allowed before Start, when no runner exists yet.
-	nodes     map[transport.NodeID]*nodeState
+	//
+	//skueue:ephemeral -- node registry; the hosting layer re-registers every node after restore
+	nodes map[transport.NodeID]*nodeState
+	//skueue:ephemeral -- tick iteration order, rebuilt by re-registration
 	order     []transport.NodeID // registration order, for tick iteration
 	now       int64
 	nextDyn   int32
@@ -241,30 +263,49 @@ type Peer struct {
 	// Task queue feeding the runner.
 	//
 	//skueue:lock 70
+	//skueue:ephemeral -- mutex; its zero value is ready after restore
 	taskMu sync.Mutex
-	tasks  []func()
-	wake   chan struct{}
+	//skueue:guarded-by taskMu
+	//skueue:ephemeral -- pending runner closures; a capture refuses while local work is queued (localPending)
+	tasks []func()
+	//skueue:ephemeral -- runner wake channel, recreated by Start
+	wake chan struct{}
 
 	// Address book, links and receive cursors (shared with connection
 	// goroutines). Shares rank 60 with link.bmu: never hold both.
 	//
 	//skueue:lock 60
-	mu          sync.Mutex
-	book        map[int32]wire.MemberInfo
+	mu sync.Mutex
+	//skueue:guarded-by mu
+	//skueue:ephemeral -- address book; a stale book could regress addresses, and the seed re-broadcasts on rejoin
+	book map[int32]wire.MemberInfo
+	//skueue:guarded-by mu
+	//skueue:ephemeral -- pid routing cache, rebuilt from the re-broadcast book
 	pidToMember map[int32]int32
-	links       map[int32]*link
-	pendingPid  map[int32][]wire.Envelope
-	recv        map[int32]*recvState
-	shapers     map[int32]*shaper
+	//skueue:guarded-by mu
+	links map[int32]*link
+	//skueue:guarded-by mu
+	pendingPid map[int32][]wire.Envelope
+	//skueue:guarded-by mu
+	recv map[int32]*recvState
+	//skueue:guarded-by mu
+	//skueue:ephemeral -- WAN-shaping configuration, reapplied by the harness after restore
+	shapers map[int32]*shaper
 	// fenced records senders whose reconnect replay completed at least
 	// once in this boot: a wire.ReplayFence was delivered through the
 	// ordered receive path, so every frame the sender buffered before the
 	// fence's connection was established has been processed by the runner.
 	// Consulted by a restarting member's replay gate (ReplayFenced).
+	//
+	//skueue:guarded-by mu
+	//skueue:ephemeral -- per-boot replay progress; a new boot starts unfenced by definition
 	fenced map[int32]bool
 
-	quit    chan struct{}
+	//skueue:ephemeral -- runner lifecycle channel, recreated by Start
+	quit chan struct{}
+	//skueue:ephemeral -- runner lifecycle channel, recreated by Start
 	stopped chan struct{}
+	//skueue:ephemeral -- lifecycle flag; a restored peer has not been started yet
 	started bool
 }
 
@@ -613,6 +654,7 @@ func (p *Peer) Book() []wire.MemberInfo {
 	return p.bookLocked()
 }
 
+//skueue:locked mu
 func (p *Peer) bookLocked() []wire.MemberInfo {
 	out := make([]wire.MemberInfo, 0, len(p.book))
 	for _, m := range p.book {
@@ -660,6 +702,7 @@ func (p *Peer) senderHello(idx int32, boot int64) uint64 {
 	return rs.acked
 }
 
+//skueue:locked mu
 func (p *Peer) recvLocked(idx int32) *recvState {
 	rs, ok := p.recv[idx]
 	if !ok {
@@ -808,6 +851,8 @@ func (p *Peer) ReleaseAcks(entries []RecvEntry) {
 // unregistered local nodes — such frames are delivered-but-held state a
 // snapshot cannot represent, and they only exist transiently during join
 // handshakes.
+//
+//skueue:snapshot-capture Peer link recvState
 func (p *Peer) CaptureState() *PeerState {
 	if len(p.heldLocal) > 0 || p.localPending > 0 {
 		return nil
@@ -854,8 +899,16 @@ func (p *Peer) CaptureState() *PeerState {
 // them covers their effects, so senders may prune them — the HelloAck of
 // the next handshake tells them to replay everything newer. Captured
 // outbound frames re-enter their links' queues and get fresh sequence
-// numbers under the new boot epoch.
+// numbers under the new boot epoch. The peer must have been created with
+// a boot epoch strictly above the captured one: receivers reset their
+// dedupe cursors on a boot bump, so restoring under a stale epoch would
+// silently replay frames into cursors that still cover them.
+//
+//skueue:snapshot-restore Peer link recvState
 func (p *Peer) RestoreState(ps *PeerState) {
+	if p.opts.Boot <= ps.Boot {
+		panic(fmt.Sprintf("tcp: RestoreState with boot %d, captured state is from boot %d; the restored peer must advance the epoch", p.opts.Boot, ps.Boot))
+	}
 	p.now = ps.Now
 	p.nextDyn = ps.NextDyn
 	p.mu.Lock()

@@ -349,17 +349,23 @@ type Conn struct {
 	c net.Conn
 
 	//skueue:lock 80 io
-	wmu  sync.Mutex
+	wmu sync.Mutex
+	//skueue:guarded-by wmu
 	wbuf bytes.Buffer
-	enc  *gob.Encoder
+	//skueue:guarded-by wmu
+	enc *gob.Encoder
 
 	//skueue:lock 81 io
 	rmu sync.Mutex
-	fr  *frameReader
+	//skueue:guarded-by rmu
+	fr *frameReader
+	//skueue:guarded-by rmu
 	dec *gob.Decoder
 }
 
 // NewConn wraps an established network connection.
+//
+//skueue:owned-by caller -- the Conn is under construction and not yet shared with any goroutine
 func NewConn(c net.Conn) *Conn {
 	w := &Conn{c: c}
 	w.enc = gob.NewEncoder(&w.wbuf)
